@@ -1,0 +1,93 @@
+// Ablation A1 — admission-policy quality in isolation: on random
+// request batches, how much of the optimal (exact knapsack) batch
+// revenue do FCFS and greedy-density capture? Complements D1, which
+// measures the same policies embedded in the full closed loop.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/admission.hpp"
+#include "telemetry/stats.hpp"
+
+namespace {
+
+using namespace slices;
+using namespace slices::bench;
+
+double batch_value(const std::vector<RequestId>& admitted,
+                   const std::vector<core::CandidateRequest>& batch) {
+  double value = 0.0;
+  for (const RequestId id : admitted) {
+    for (const core::CandidateRequest& c : batch) {
+      if (c.id == id) value += c.spec.gross_revenue().as_units();
+    }
+  }
+  return value;
+}
+
+void print_experiment() {
+  std::printf("\nA1: admission-policy ablation — fraction of optimal batch revenue captured\n");
+  std::printf("(500 random batches per cell; batch = Poisson mix of all verticals)\n");
+  rule(88);
+  std::printf("%-12s %-12s %14s %14s %14s\n", "batch size", "capacity", "fcfs/opt",
+              "greedy/opt", "knapsack/opt");
+  rule(88);
+
+  const core::FcfsPolicy fcfs;
+  const core::GreedyRevenuePolicy greedy;
+  const core::KnapsackRevenuePolicy knapsack;
+
+  Rng rng(404);
+  for (const std::size_t batch_size : {4u, 8u, 16u}) {
+    for (const double capacity_mbps : {40.0, 80.0}) {
+      telemetry::RunningStats fcfs_ratio, greedy_ratio, knap_ratio;
+      for (int trial = 0; trial < 500; ++trial) {
+        core::RequestGenerator generator({}, rng.fork());
+        std::vector<core::CandidateRequest> batch;
+        for (std::size_t i = 0; i < batch_size; ++i) {
+          batch.push_back(
+              core::CandidateRequest{RequestId{i + 1}, generator.next_request().spec});
+        }
+        const DataRate capacity = DataRate::mbps(capacity_mbps);
+        const double opt = batch_value(knapsack.select(batch, capacity), batch);
+        if (opt <= 0.0) continue;
+        fcfs_ratio.add(batch_value(fcfs.select(batch, capacity), batch) / opt);
+        greedy_ratio.add(batch_value(greedy.select(batch, capacity), batch) / opt);
+        knap_ratio.add(1.0);
+      }
+      std::printf("%-12zu %-12.0f %13.1f%% %13.1f%% %13.1f%%\n", batch_size, capacity_mbps,
+                  100.0 * fcfs_ratio.mean(), 100.0 * greedy_ratio.mean(),
+                  100.0 * knap_ratio.mean());
+    }
+  }
+  rule(88);
+  std::printf("expected shape: knapsack = 100%% by construction; greedy lands within a few\n"
+              "percent of optimal; FCFS leaves substantial revenue on the table, and the gap\n"
+              "widens as capacity tightens relative to the batch.\n\n");
+}
+
+void BM_KnapsackLargeBatch(benchmark::State& state) {
+  Rng rng(7);
+  core::RequestGenerator generator({}, rng.fork());
+  std::vector<core::CandidateRequest> batch;
+  for (std::size_t i = 0; i < 512; ++i) {
+    batch.push_back(core::CandidateRequest{RequestId{i + 1}, generator.next_request().spec});
+  }
+  const core::KnapsackRevenuePolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.select(batch, DataRate::mbps(500.0)));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_KnapsackLargeBatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

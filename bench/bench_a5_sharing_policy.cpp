@@ -1,0 +1,115 @@
+// Ablation A5 — MOCN intra-cell sharing policy. The testbed's eNBs can
+// "reserve radio resources for each particular network"; what happens
+// to the PRBs a slice reserved but is not using? `strict` leaves them
+// idle (hard isolation), `pooled` lends them out (work conserving).
+// Measures unserved traffic and utilization for a bursty multi-slice
+// cell under both policies, across reservation pressure levels.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "ran/cell.hpp"
+
+namespace {
+
+using namespace slices;
+using namespace slices::bench;
+
+struct SharingResult {
+  double served_mb = 0.0;
+  double unserved_mb = 0.0;
+  double mean_prb_used = 0.0;
+};
+
+SharingResult run_cell(ran::SharingPolicy policy, int reserved_per_slice,
+                       std::uint64_t seed) {
+  ran::Cell cell(CellId{1}, "cell", ran::Bandwidth::mhz20, policy);
+  constexpr int kSlices = 4;
+  std::vector<std::unique_ptr<traffic::TrafficModel>> demand;
+  Rng rng(seed);
+  for (int s = 0; s < kSlices; ++s) {
+    const PlmnId plmn{static_cast<std::uint64_t>(s + 1)};
+    (void)cell.broadcast_plmn(plmn);
+    (void)cell.set_reservation(plmn, PrbCount{reserved_per_slice});
+    // Bursty on/off demand: high peak, low duty — the overbooking-era
+    // load where idle reservations matter.
+    demand.push_back(std::make_unique<traffic::OnOffTraffic>(1.0, 18.0, 0.25, 0.10,
+                                                             rng.fork()));
+  }
+
+  SharingResult result;
+  const int epochs = 96 * 7;
+  double prb_sum = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    std::vector<std::pair<PlmnId, DataRate>> offered;
+    for (int s = 0; s < kSlices; ++s) {
+      offered.emplace_back(PlmnId{static_cast<std::uint64_t>(s + 1)},
+                           DataRate::mbps(demand[static_cast<std::size_t>(s)]->sample(
+                               SimTime::from_seconds(epoch * 900.0))));
+    }
+    const auto grants = cell.serve_epoch(offered);
+    for (const ran::PlmnGrant& g : grants) {
+      result.served_mb += g.served.as_mbps() * 900.0 / 8.0 / 1e3;
+      result.unserved_mb += g.unserved.as_mbps() * 900.0 / 8.0 / 1e3;
+      prb_sum += g.granted.value;
+    }
+  }
+  result.mean_prb_used = prb_sum / epochs;
+  return result;
+}
+
+void print_experiment() {
+  std::printf("\nA5: MOCN sharing-policy ablation — 4 bursty slices on one 100-PRB cell,\n"
+              "7 days; 'reserved' is the dedicated PRBs each slice holds\n");
+  rule(96);
+  std::printf("%-10s %-8s %14s %16s %16s\n", "reserved", "policy", "served (GB)",
+              "unserved (GB)", "mean PRB used");
+  rule(96);
+  for (const int reserved : {10, 20, 25}) {
+    for (const auto& [label, policy] :
+         {std::pair{"strict", ran::SharingPolicy::strict},
+          std::pair{"pooled", ran::SharingPolicy::pooled}}) {
+      SharingResult sum;
+      const int runs = 5;
+      for (int seed = 1; seed <= runs; ++seed) {
+        const SharingResult r = run_cell(policy, reserved, static_cast<std::uint64_t>(seed));
+        sum.served_mb += r.served_mb;
+        sum.unserved_mb += r.unserved_mb;
+        sum.mean_prb_used += r.mean_prb_used;
+      }
+      std::printf("%-10d %-8s %14.2f %16.2f %16.1f\n", reserved, label,
+                  sum.served_mb / runs / 1e3 * 8.0, sum.unserved_mb / runs / 1e3 * 8.0,
+                  sum.mean_prb_used / runs);
+    }
+  }
+  rule(96);
+  std::printf("expected shape: with small reservations the common pool dominates and the\n"
+              "policies coincide; as dedicated reservations grow, strict isolation strands\n"
+              "idle PRBs and unserved traffic rises, while pooled sharing stays work-\n"
+              "conserving — the intra-cell face of the paper's multiplexing argument.\n\n");
+}
+
+void BM_ScheduleEpochFourSlices(benchmark::State& state) {
+  const auto policy = static_cast<ran::SharingPolicy>(state.range(0));
+  std::vector<ran::PlmnLoad> loads;
+  for (int s = 0; s < 4; ++s) {
+    loads.push_back(ran::PlmnLoad{PlmnId{static_cast<std::uint64_t>(s + 1)}, PrbCount{20},
+                                  DataRate::mbps(15.0), ran::Cqi{10}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ran::schedule_epoch(PrbCount{100}, loads, policy));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleEpochFourSlices)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

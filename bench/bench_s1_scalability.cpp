@@ -1,0 +1,151 @@
+// Experiment S1 — scalability beyond the demo testbed: how the
+// orchestration loop costs grow with RAN size and concurrent slices on
+// operator-scale aggregation fabrics (the library-quality question the
+// 3-page demo could not answer). Wall-clock per monitoring epoch and
+// per admission, swept over #cells and #slices.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "transport/generators.hpp"
+
+namespace {
+
+using namespace slices;
+using namespace slices::bench;
+
+/// A scaled deployment: `cells` eNBs behind an aggregation tree, one
+/// big core DC, `slices` active slices with constant demand.
+struct ScaledSystem {
+  sim::Simulator simulator;
+  telemetry::MonitorRegistry registry;
+  net::RestBus bus;
+  ran::RanController ran{&registry};
+  cloud::CloudController cloud{&registry};
+  std::unique_ptr<transport::TransportController> transport;
+  std::unique_ptr<epc::EpcManager> epc;
+  std::unique_ptr<core::Orchestrator> orchestrator;
+};
+
+std::unique_ptr<ScaledSystem> make_scaled(std::size_t cells, std::size_t slices) {
+  auto sys = std::make_unique<ScaledSystem>();
+
+  for (std::size_t c = 0; c < cells; ++c) {
+    sys->ran.add_cell(ran::Cell(CellId{c + 1}, "cell-" + std::to_string(c),
+                                ran::Bandwidth::mhz20, ran::SharingPolicy::pooled));
+  }
+
+  transport::GeneratedTopology tree =
+      transport::make_aggregation_tree(/*leaves=*/std::max<std::size_t>(cells / 4, 1),
+                                       /*leaves_per_switch=*/4);
+  const NodeId ran_gateway = tree.ran_gateways.front();
+  const NodeId core_gateway = tree.core_gateway;
+  sys->transport = std::make_unique<transport::TransportController>(
+      std::move(tree.topology), Rng(1), &sys->registry);
+
+  const DatacenterId core_dc =
+      sys->cloud.add_datacenter("core", cloud::DatacenterKind::core, 4.0);
+  for (std::size_t h = 0; h < std::max<std::size_t>(slices / 8, 2); ++h) {
+    sys->cloud.add_host(core_dc, "host-" + std::to_string(h),
+                        ComputeCapacity{256.0, 1048576.0, 10000.0});
+  }
+  sys->cloud.finalize();
+  sys->epc = std::make_unique<epc::EpcManager>(&sys->cloud);
+
+  sys->bus.register_service("ran", sys->ran.make_router());
+  sys->bus.register_service("transport", sys->transport->make_router());
+  sys->bus.register_service("cloud", sys->cloud.make_router());
+
+  core::OrchestratorConfig config;
+  config.overbooking.warmup_observations = 4;
+  sys->orchestrator = std::make_unique<core::Orchestrator>(
+      &sys->simulator, &sys->ran, sys->transport.get(), &sys->cloud, sys->epc.get(),
+      &sys->bus, &sys->registry, config);
+  sys->orchestrator->set_attachment_points(ran_gateway, {{core_dc, core_gateway}});
+  sys->orchestrator->start();
+
+  // Admit `slices` small constant-demand slices (PLMN limit: 6 per
+  // cell; MOCN forces slices > 6 to share PLMN space in reality — here
+  // we cap at 6 concurrent and note the cap).
+  const std::size_t admitted = std::min<std::size_t>(slices, ran::kMaxBroadcastPlmns);
+  for (std::size_t s = 0; s < admitted; ++s) {
+    core::SliceSpec spec = core::SliceSpec::from_profile(
+        traffic::profile_for(traffic::Vertical::iot_metering), Duration::hours(10000.0));
+    spec.expected_throughput = DataRate::mbps(4.0);
+    (void)sys->orchestrator->submit(spec,
+                                    std::make_unique<traffic::ConstantTraffic>(1.0));
+  }
+  sys->simulator.run_for(Duration::hours(4.0));  // activate + warm estimators
+  return sys;
+}
+
+void print_experiment() {
+  std::printf("\nS1: orchestration-loop scalability (aggregation-tree transport, one epoch)\n");
+  std::printf("see the google-benchmark table below: BM_EpochAtScale/<cells>/<slices>\n");
+  std::printf("expected shape: epoch cost grows roughly linearly in cells + live slices;\n"
+              "admission cost is dominated by the PRB planning over cells.\n\n");
+}
+
+void BM_EpochAtScale(benchmark::State& state) {
+  auto sys = make_scaled(static_cast<std::size_t>(state.range(0)),
+                         static_cast<std::size_t>(state.range(1)));
+  SimTime now = sys->simulator.now();
+  for (auto _ : state) {
+    now = now + Duration::minutes(15.0);
+    sys->orchestrator->run_epoch(now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpochAtScale)
+    ->Args({2, 3})
+    ->Args({8, 6})
+    ->Args({32, 6})
+    ->Args({128, 6})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AdmissionAtScale(benchmark::State& state) {
+  auto sys = make_scaled(static_cast<std::size_t>(state.range(0)), 2);
+  core::SliceSpec spec = core::SliceSpec::from_profile(
+      traffic::profile_for(traffic::Vertical::iot_metering), Duration::hours(1.0));
+  spec.expected_throughput = DataRate::mbps(2.0);
+  for (auto _ : state) {
+    const RequestId request = sys->orchestrator->submit(spec);
+    state.PauseTiming();
+    const core::SliceRecord* record = sys->orchestrator->find_by_request(request);
+    if (record != nullptr && record->is_live()) {
+      (void)sys->orchestrator->terminate(record->id);
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdmissionAtScale)->Arg(2)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_CspfAtScale(benchmark::State& state) {
+  transport::GeneratedTopology tree = transport::make_aggregation_tree(
+      static_cast<std::size_t>(state.range(0)), 4);
+  const transport::ResidualFn residual = [](const transport::Link& link) {
+    return link.nominal_capacity;
+  };
+  std::size_t leaf = 0;
+  for (auto _ : state) {
+    leaf = (leaf + 1) % tree.ran_gateways.size();
+    benchmark::DoNotOptimize(transport::find_route(tree.topology,
+                                                   tree.ran_gateways[leaf],
+                                                   tree.core_gateway, DataRate::mbps(10.0),
+                                                   residual));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CspfAtScale)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,104 @@
+#pragma once
+// Shared scenario machinery for the experiment benches (see DESIGN.md §4
+// for the experiment index). Each bench binary prints the paper-style
+// table for its experiment and then runs google-benchmark timings of the
+// hot kernels involved.
+
+#include <cstdio>
+#include <string>
+
+#include "core/request_generator.hpp"
+#include "core/testbed.hpp"
+
+namespace slices::bench {
+
+/// Aggregate outcome of one driven scenario.
+struct ScenarioOutcome {
+  core::OrchestratorSummary summary;   ///< end-of-run orchestrator state
+  double acceptance_ratio = 0.0;       ///< admitted / (admitted + rejected)
+  double mean_multiplexing_gain = 1.0; ///< time-average of the gain series
+  double peak_active_slices = 0.0;     ///< max concurrent active slices
+  double mean_ran_reserved_mbps = 0.0; ///< time-average radio reservation
+};
+
+/// Knobs of the Poisson-arrival admission scenario that underlies
+/// experiments D1, D2, D3 and A2.
+struct ScenarioConfig {
+  std::string policy = "knapsack_revenue";
+  bool overbooking = true;
+  double risk_quantile = 0.95;
+  core::EstimatorKind estimator = core::EstimatorKind::adaptive;
+  double arrivals_per_hour = 0.25;
+  double days = 7.0;
+  std::uint64_t seed = 42;
+  /// > 0 queues requests and auctions them as a batch every window.
+  double admission_window_hours = 0.0;
+  core::RequestGeneratorConfig requests;
+};
+
+/// Drive the Fig. 2 testbed with Poisson slice arrivals for
+/// `config.days` simulated days and aggregate the dashboard metrics.
+inline ScenarioOutcome run_scenario(const ScenarioConfig& config) {
+  core::OrchestratorConfig orch;
+  orch.admission_policy = config.policy;
+  orch.overbooking.enabled = config.overbooking;
+  orch.overbooking.risk_quantile = config.risk_quantile;
+  orch.overbooking.estimator = config.estimator;
+  orch.overbooking.warmup_observations = 8;
+  if (config.admission_window_hours > 0.0) {
+    orch.admission_window = Duration::hours(config.admission_window_hours);
+  }
+
+  auto tb = core::make_testbed(config.seed, orch);
+
+  core::RequestGeneratorConfig requests = config.requests;
+  requests.arrivals_per_hour = config.arrivals_per_hour;
+  core::RequestGenerator generator(requests, Rng(config.seed * 7919 + 13));
+
+  // Self-rescheduling arrival process on the simulator.
+  std::function<void()> arrive = [&] {
+    core::GeneratedRequest request = generator.next_request();
+    (void)tb->orchestrator->submit(request.spec, std::move(request.workload));
+    tb->simulator.schedule_after(generator.next_interarrival(), arrive);
+  };
+  tb->simulator.schedule_after(generator.next_interarrival(), arrive);
+
+  tb->simulator.run_for(Duration::hours(24.0 * config.days));
+
+  ScenarioOutcome outcome;
+  outcome.summary = tb->orchestrator->summary();
+  const auto total = outcome.summary.admitted_total + outcome.summary.rejected_total;
+  outcome.acceptance_ratio =
+      total == 0 ? 0.0
+                 : static_cast<double>(outcome.summary.admitted_total) /
+                       static_cast<double>(total);
+
+  if (const telemetry::TimeSeries* gain =
+          tb->registry.find_series("orchestrator.multiplexing_gain")) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < gain->size(); ++i) sum += gain->at(i).value;
+    if (gain->size() > 0) outcome.mean_multiplexing_gain = sum / static_cast<double>(gain->size());
+  }
+  if (const telemetry::TimeSeries* active =
+          tb->registry.find_series("orchestrator.active_slices")) {
+    for (std::size_t i = 0; i < active->size(); ++i) {
+      outcome.peak_active_slices = std::max(outcome.peak_active_slices, active->at(i).value);
+    }
+  }
+  if (const telemetry::TimeSeries* reserved =
+          tb->registry.find_series("orchestrator.reserved_mbps")) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < reserved->size(); ++i) sum += reserved->at(i).value;
+    if (reserved->size() > 0)
+      outcome.mean_ran_reserved_mbps = sum / static_cast<double>(reserved->size());
+  }
+  return outcome;
+}
+
+/// printf a horizontal rule sized for the experiment tables.
+inline void rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace slices::bench

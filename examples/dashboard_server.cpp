@@ -1,0 +1,90 @@
+// Serves the demo's control dashboard over real HTTP.
+//
+// Runs the Fig. 2 testbed for a simulated day with three slices, then
+// exposes the orchestrator's REST API (slice CRUD + /report) and a
+// /dashboard endpoint with the full JSON snapshot on a loopback TCP
+// port — the external-tool integration surface of the demo.
+//
+// Usage:
+//   dashboard_server            # bind an ephemeral port and serve until ^C
+//   dashboard_server --selftest # serve one scripted client, print, exit 0
+
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "core/testbed.hpp"
+#include "dashboard/dashboard.hpp"
+#include "net/http_server.hpp"
+#include "traffic/verticals.hpp"
+
+using namespace slices;
+
+int main(int argc, char** argv) {
+  const bool selftest = argc > 1 && std::strcmp(argv[1], "--selftest") == 0;
+
+  // Bring the testbed to an interesting state: three slices, one day in.
+  auto tb = core::make_testbed(/*seed=*/99);
+  for (const traffic::Vertical v :
+       {traffic::Vertical::embb_video, traffic::Vertical::automotive,
+        traffic::Vertical::ehealth}) {
+    (void)tb->orchestrator->submit(
+        core::SliceSpec::from_profile(traffic::profile_for(v), Duration::hours(72.0)),
+        traffic::make_traffic(v, Rng(4)));
+    tb->simulator.run_for(Duration::hours(4.0));
+  }
+  tb->simulator.run_for(Duration::hours(12.0));
+
+  // The served router: the orchestrator's own REST API plus a
+  // /dashboard endpoint with the full snapshot.
+  auto router = tb->orchestrator->make_router();
+  dashboard::Dashboard dash(tb.get());
+  router->add(net::Method::get, "/dashboard", [&dash](const net::RouteContext&) {
+    return net::Response::json(net::Status::ok, json::serialize_pretty(dash.snapshot()));
+  });
+
+  Result<std::unique_ptr<net::HttpServer>> bound = net::HttpServer::bind(router, 0);
+  if (!bound.ok()) {
+    std::cerr << "bind failed: " << bound.error().message << "\n";
+    return 1;
+  }
+  net::HttpServer& server = *bound.value();
+  std::cout << "dashboard serving on http://127.0.0.1:" << server.port() << "\n"
+            << "  GET /report     — gains vs penalties headline\n"
+            << "  GET /slices     — the slice table\n"
+            << "  GET /dashboard  — full JSON snapshot\n";
+
+  if (!selftest) {
+    server.run();
+    return 0;
+  }
+
+  // Self-test: a scripted client hits the API while the server thread
+  // handles exactly its connections, then everything shuts down.
+  std::thread server_thread([&server] { server.run(); });
+
+  net::Request report;
+  report.method = net::Method::get;
+  report.target = "/report";
+  const Result<net::Response> r1 = net::http_request(server.port(), report);
+  if (!r1.ok() || r1.value().status != net::Status::ok) {
+    std::cerr << "/report failed\n";
+    return 1;
+  }
+  std::cout << "\nGET /report ->\n" << r1.value().body << "\n";
+
+  net::Request snapshot;
+  snapshot.method = net::Method::get;
+  snapshot.target = "/dashboard";
+  const Result<net::Response> r2 = net::http_request(server.port(), snapshot);
+  if (!r2.ok() || r2.value().status != net::Status::ok) {
+    std::cerr << "/dashboard failed\n";
+    return 1;
+  }
+  std::cout << "\nGET /dashboard -> " << r2.value().body.size() << " bytes of JSON\n";
+
+  server.stop();
+  server_thread.join();
+  std::cout << "self-test OK (" << server.connections_served() << " connections served)\n";
+  return 0;
+}

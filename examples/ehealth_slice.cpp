@@ -1,0 +1,77 @@
+// e-health vertical scenario — the penalty-aware tenant.
+//
+// Remote patient monitoring offers little traffic most of the time but
+// declares a high per-violation penalty: bursts (emergencies) must get
+// through. This example runs the same slice under two broker risk
+// settings and prints the dashboard economics side by side — the
+// "gains vs. penalties" trade-off of the demo, seen from one tenant.
+
+#include <iostream>
+
+#include "core/testbed.hpp"
+#include "dashboard/table.hpp"
+#include "traffic/verticals.hpp"
+
+using namespace slices;
+
+namespace {
+
+struct Outcome {
+  double reserved_mbps;
+  double gain;
+  std::uint64_t violations;
+  double earned;
+  double penalties;
+  double net;
+};
+
+Outcome run_with_risk(double risk_quantile) {
+  core::OrchestratorConfig config;
+  config.overbooking.risk_quantile = risk_quantile;
+  config.overbooking.warmup_observations = 4;
+  config.overbooking.floor_fraction = 0.05;
+  auto tb = core::make_testbed(/*seed=*/77, config);
+
+  const traffic::VerticalProfile profile = traffic::profile_for(traffic::Vertical::ehealth);
+  core::SliceSpec spec = core::SliceSpec::from_profile(profile, Duration::hours(48.0));
+  const RequestId request = tb->orchestrator->submit(
+      spec, traffic::make_traffic(traffic::Vertical::ehealth, Rng(99)));
+  tb->simulator.run_for(Duration::hours(47.0));
+
+  const core::SliceRecord* record = tb->orchestrator->find_by_request(request);
+  const core::SliceLedgerEntry* ledger = tb->orchestrator->ledger().find(record->id);
+  const core::OrchestratorSummary summary = tb->orchestrator->summary();
+  return Outcome{record->reserved.as_mbps(),
+                 summary.multiplexing_gain,
+                 record->violation_epochs,
+                 ledger->earned.as_units(),
+                 ledger->penalties.as_units(),
+                 ledger->net().as_units()};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "e-health slice: 10 Mb/s contracted, high penalty ("
+            << traffic::profile_for(traffic::Vertical::ehealth).penalty_per_violation
+            << " per violation epoch), bursty emergency traffic\n\n";
+
+  dashboard::TextTable table({"broker risk", "reserved Mb/s", "gain", "violations",
+                              "earned", "penalties", "tenant net"});
+  for (const auto& [label, q] :
+       {std::pair{"aggressive (q=0.50)", 0.50}, {"balanced   (q=0.95)", 0.95},
+        {"cautious   (q=0.99)", 0.99}}) {
+    const Outcome outcome = run_with_risk(q);
+    table.add_row({label, dashboard::TextTable::num(outcome.reserved_mbps),
+                   dashboard::TextTable::num(outcome.gain, 3),
+                   std::to_string(outcome.violations),
+                   dashboard::TextTable::num(outcome.earned, 2),
+                   dashboard::TextTable::num(outcome.penalties, 2),
+                   dashboard::TextTable::num(outcome.net, 2)});
+  }
+  std::cout << table.render();
+  std::cout << "\nthe broker reclaims the idle floor between bursts; how much headroom it\n"
+               "keeps for emergencies is the risk quantile. With a high-penalty tenant the\n"
+               "cautious setting usually maximizes the operator's net revenue.\n";
+  return 0;
+}

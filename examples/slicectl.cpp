@@ -1,0 +1,128 @@
+// slicectl — a command-line client for the orchestrator's REST API.
+//
+// Against a running dashboard_server (or any deployment of the
+// orchestrator router over HttpServer):
+//
+//   slicectl <port> report
+//   slicectl <port> list
+//   slicectl <port> get <slice-id>
+//   slicectl <port> request <vertical> <hours> [throughput_mbps]
+//   slicectl <port> resize <slice-id> <throughput_mbps>
+//   slicectl <port> delete <slice-id>
+//
+// With no arguments it runs a scripted self-contained session: spins up
+// an embedded testbed + HTTP server, then walks through request/list/
+// resize/delete like an operator at the demo booth.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "core/testbed.hpp"
+#include "net/http_server.hpp"
+#include "traffic/verticals.hpp"
+
+using namespace slices;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "slicectl: " << message << "\n";
+  return 1;
+}
+
+Result<net::Response> call(std::uint16_t port, net::Method method, std::string target,
+                           std::string body = {}) {
+  net::Request request;
+  request.method = method;
+  request.target = std::move(target);
+  if (!body.empty()) {
+    request.headers.insert_or_assign("Content-Type", "application/json");
+    request.body = std::move(body);
+  }
+  return net::http_request(port, request);
+}
+
+int print_response(const Result<net::Response>& response) {
+  if (!response.ok()) return fail(response.error().message);
+  const int code = static_cast<int>(response.value().status);
+  std::cout << code << " " << net::reason_phrase(response.value().status) << "\n";
+  if (!response.value().body.empty()) {
+    const Result<json::Value> doc = json::parse(response.value().body);
+    std::cout << (doc.ok() ? json::serialize_pretty(doc.value()) : response.value().body)
+              << "\n";
+  }
+  return code >= 200 && code < 300 ? 0 : 1;
+}
+
+int run_command(std::uint16_t port, int argc, char** argv) {
+  const std::string cmd = argv[2];
+  if (cmd == "report") return print_response(call(port, net::Method::get, "/report"));
+  if (cmd == "list") return print_response(call(port, net::Method::get, "/slices"));
+  if (cmd == "get" && argc >= 4) {
+    return print_response(call(port, net::Method::get, std::string("/slices/") + argv[3]));
+  }
+  if (cmd == "request" && argc >= 5) {
+    json::Value body;
+    body["vertical"] = argv[3];
+    body["duration_hours"] = std::atof(argv[4]);
+    if (argc >= 6) body["throughput_mbps"] = std::atof(argv[5]);
+    return print_response(
+        call(port, net::Method::post, "/slices", json::serialize(body)));
+  }
+  if (cmd == "resize" && argc >= 5) {
+    json::Value body;
+    body["throughput_mbps"] = std::atof(argv[4]);
+    return print_response(call(port, net::Method::patch,
+                               std::string("/slices/") + argv[3], json::serialize(body)));
+  }
+  if (cmd == "delete" && argc >= 4) {
+    return print_response(call(port, net::Method::del, std::string("/slices/") + argv[3]));
+  }
+  return fail("unknown command or missing arguments (see header comment for usage)");
+}
+
+int scripted_session() {
+  auto tb = core::make_testbed(7);
+  Result<std::unique_ptr<net::HttpServer>> bound =
+      net::HttpServer::bind(tb->orchestrator->make_router(), 0);
+  if (!bound.ok()) return fail(bound.error().message);
+  net::HttpServer& server = *bound.value();
+  std::thread server_thread([&server] { server.run(); });
+  const std::uint16_t port = server.port();
+  std::cout << "embedded orchestrator on port " << port << "\n";
+
+  const auto step = [&](const char* title, net::Method method, std::string target,
+                        std::string body = {}) {
+    std::cout << "\n$ " << title << "\n";
+    return print_response(call(port, method, std::move(target), std::move(body)));
+  };
+
+  json::Value request;
+  request["vertical"] = "automotive";
+  request["duration_hours"] = 12.0;
+  int rc = step("slicectl request automotive 12", net::Method::post, "/slices",
+                json::serialize(request));
+  tb->simulator.run_for(Duration::seconds(30.0));  // let it activate
+  rc |= step("slicectl list", net::Method::get, "/slices");
+  json::Value resize;
+  resize["throughput_mbps"] = 12.0;
+  rc |= step("slicectl resize 1 12", net::Method::patch, "/slices/1",
+             json::serialize(resize));
+  rc |= step("slicectl report", net::Method::get, "/report");
+  rc |= step("slicectl delete 1", net::Method::del, "/slices/1");
+
+  server.stop();
+  server_thread.join();
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return scripted_session();
+  const int port = std::atoi(argv[1]);
+  if (port <= 0 || port > 65535) return fail("bad port");
+  return run_command(static_cast<std::uint16_t>(port), argc, argv);
+}

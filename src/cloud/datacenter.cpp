@@ -1,0 +1,111 @@
+#include "cloud/datacenter.hpp"
+
+#include <cassert>
+
+namespace slices::cloud {
+
+std::string_view to_string(DatacenterKind k) noexcept {
+  switch (k) {
+    case DatacenterKind::edge: return "edge";
+    case DatacenterKind::core: return "core";
+  }
+  return "?";
+}
+
+Datacenter::Datacenter(DatacenterId id, std::string name, DatacenterKind kind,
+                       double cpu_allocation_ratio)
+    : id_(id), name_(std::move(name)), kind_(kind), cpu_ratio_(cpu_allocation_ratio) {
+  assert(cpu_allocation_ratio >= 1.0);
+}
+
+void Datacenter::add_host(std::string name, ComputeCapacity physical) {
+  assert(physical.non_negative());
+  hosts_.push_back(Host{host_ids_.next(), std::move(name), physical, ComputeCapacity{}});
+}
+
+ComputeCapacity Datacenter::schedulable(const Host& host) const noexcept {
+  ComputeCapacity c = host.physical;
+  c.vcpus *= cpu_ratio_;
+  return c;
+}
+
+ComputeCapacity Datacenter::total_capacity() const noexcept {
+  ComputeCapacity sum;
+  for (const Host& h : hosts_) sum += schedulable(h);
+  return sum;
+}
+
+ComputeCapacity Datacenter::used_capacity() const noexcept {
+  ComputeCapacity sum;
+  for (const Host& h : hosts_) sum += h.used;
+  return sum;
+}
+
+ComputeCapacity Datacenter::free_capacity() const noexcept {
+  ComputeCapacity free = total_capacity() - used_capacity();
+  if (free.vcpus < 0.0) free.vcpus = 0.0;
+  if (free.memory_mb < 0.0) free.memory_mb = 0.0;
+  if (free.disk_gb < 0.0) free.disk_gb = 0.0;
+  return free;
+}
+
+bool Datacenter::can_fit(const ComputeCapacity& footprint) const noexcept {
+  for (const Host& h : hosts_) {
+    if ((h.used + footprint).fits_within(schedulable(h))) return true;
+  }
+  return false;
+}
+
+Host* Datacenter::pick_host(const ComputeCapacity& footprint, PlacementPolicy policy) {
+  Host* chosen = nullptr;
+  for (Host& h : hosts_) {
+    if (!(h.used + footprint).fits_within(schedulable(h))) continue;
+    if (policy == PlacementPolicy::first_fit) return &h;
+    if (chosen == nullptr) {
+      chosen = &h;
+      continue;
+    }
+    const double free_h = schedulable(h).vcpus - h.used.vcpus;
+    const double free_c = schedulable(*chosen).vcpus - chosen->used.vcpus;
+    if (policy == PlacementPolicy::best_fit ? free_h < free_c : free_h > free_c) {
+      chosen = &h;
+    }
+  }
+  return chosen;
+}
+
+Result<VmId> Datacenter::boot_vm(std::string name, const Flavor& flavor,
+                                 PlacementPolicy policy) {
+  Host* host = pick_host(flavor.footprint, policy);
+  if (host == nullptr) {
+    return make_error(Errc::insufficient_capacity,
+                      "datacenter " + name_ + " has no host fitting flavor " + flavor.name);
+  }
+  host->used += flavor.footprint;
+  const VmId id = vm_ids_.next();
+  vms_.emplace(id.value(), Vm{id, std::move(name), flavor, host->id});
+  return id;
+}
+
+Result<void> Datacenter::delete_vm(VmId vm) {
+  const auto it = vms_.find(vm.value());
+  if (it == vms_.end()) return make_error(Errc::not_found, "unknown VM");
+  for (Host& h : hosts_) {
+    if (h.id == it->second.host) {
+      h.used -= it->second.flavor.footprint;
+      if (h.used.vcpus < 0.0) h.used.vcpus = 0.0;
+      if (h.used.memory_mb < 0.0) h.used.memory_mb = 0.0;
+      if (h.used.disk_gb < 0.0) h.used.disk_gb = 0.0;
+      break;
+    }
+  }
+  vms_.erase(it);
+  return {};
+}
+
+const Vm* Datacenter::find_vm(VmId vm) const noexcept {
+  const auto it = vms_.find(vm.value());
+  return it == vms_.end() ? nullptr : &it->second;
+}
+
+}  // namespace slices::cloud

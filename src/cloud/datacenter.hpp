@@ -1,0 +1,111 @@
+#pragma once
+// Compute substrate: datacenters, hosts, flavors and VMs.
+//
+// The testbed runs "two different data centers configured on top of
+// OpenStack deployments to host mobile edge and core networks". We model
+// the admission-relevant slice of OpenStack Nova: hosts with
+// vCPU/RAM/disk capacity, flavors, VM placement with a configurable
+// CPU-allocation (oversubscription) ratio, and boot/delete lifecycle.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace slices::cloud {
+
+/// Instance size template (OpenStack flavor).
+struct Flavor {
+  std::string name;
+  ComputeCapacity footprint;
+};
+
+/// Where a datacenter sits in the end-to-end path.
+enum class DatacenterKind {
+  edge,  ///< close to the RAN; low added latency, scarce capacity
+  core,  ///< central cloud; plentiful capacity, higher latency
+};
+
+[[nodiscard]] std::string_view to_string(DatacenterKind k) noexcept;
+
+/// VM placement strategy across hosts.
+enum class PlacementPolicy {
+  first_fit,  ///< first host with room (fast, fragments little under churn)
+  best_fit,   ///< tightest host (packs, risks hotspots)
+  worst_fit,  ///< emptiest host (spreads load)
+};
+
+/// A running virtual machine.
+struct Vm {
+  VmId id;
+  std::string name;
+  Flavor flavor;
+  HostId host;
+};
+
+/// One compute host.
+struct Host {
+  HostId id;
+  std::string name;
+  ComputeCapacity physical;
+  ComputeCapacity used;
+};
+
+/// An OpenStack-style datacenter: hosts plus placement.
+class Datacenter {
+ public:
+  /// `cpu_allocation_ratio` >= 1 scales the *schedulable* vCPU capacity
+  /// above the physical one, exactly like Nova's ratio; memory and disk
+  /// are never oversubscribed.
+  Datacenter(DatacenterId id, std::string name, DatacenterKind kind,
+             double cpu_allocation_ratio = 1.0);
+
+  void add_host(std::string name, ComputeCapacity physical);
+
+  [[nodiscard]] DatacenterId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] DatacenterKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
+  [[nodiscard]] const std::vector<Host>& hosts() const noexcept { return hosts_; }
+
+  /// Schedulable capacity of a host (physical with the vCPU ratio applied).
+  [[nodiscard]] ComputeCapacity schedulable(const Host& host) const noexcept;
+
+  /// Aggregate schedulable capacity of the whole datacenter.
+  [[nodiscard]] ComputeCapacity total_capacity() const noexcept;
+  /// Aggregate used capacity.
+  [[nodiscard]] ComputeCapacity used_capacity() const noexcept;
+  /// Aggregate free capacity (total − used, clamped >= 0 per axis).
+  [[nodiscard]] ComputeCapacity free_capacity() const noexcept;
+
+  /// True when some single host could fit `footprint` right now.
+  [[nodiscard]] bool can_fit(const ComputeCapacity& footprint) const noexcept;
+
+  /// Boot a VM of `flavor` under `policy`. Errors:
+  /// insufficient_capacity when no host fits.
+  [[nodiscard]] Result<VmId> boot_vm(std::string name, const Flavor& flavor,
+                                     PlacementPolicy policy = PlacementPolicy::first_fit);
+
+  /// Destroy a VM and free its footprint. Errors: not_found.
+  [[nodiscard]] Result<void> delete_vm(VmId vm);
+
+  [[nodiscard]] const Vm* find_vm(VmId vm) const noexcept;
+  [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
+
+ private:
+  [[nodiscard]] Host* pick_host(const ComputeCapacity& footprint, PlacementPolicy policy);
+
+  DatacenterId id_;
+  std::string name_;
+  DatacenterKind kind_;
+  double cpu_ratio_;
+  std::vector<Host> hosts_;
+  std::map<std::uint64_t, Vm> vms_;  // by VmId value
+  IdAllocator<HostTag> host_ids_;
+  IdAllocator<VmTag> vm_ids_;
+};
+
+}  // namespace slices::cloud

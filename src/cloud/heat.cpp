@@ -1,0 +1,69 @@
+#include "cloud/heat.hpp"
+
+#include <cassert>
+
+namespace slices::cloud {
+
+StackEngine::StackEngine(std::vector<Datacenter*> datacenters, PlacementPolicy policy)
+    : datacenters_(std::move(datacenters)), policy_(policy) {
+  for (const Datacenter* dc : datacenters_) {
+    assert(dc != nullptr);
+    (void)dc;
+  }
+}
+
+Datacenter* StackEngine::find_datacenter(DatacenterId id) const noexcept {
+  for (Datacenter* dc : datacenters_) {
+    if (dc->id() == id) return dc;
+  }
+  return nullptr;
+}
+
+Result<StackId> StackEngine::create_stack(DatacenterId dc_id, const StackTemplate& tmpl) {
+  Datacenter* dc = find_datacenter(dc_id);
+  if (dc == nullptr) return make_error(Errc::not_found, "unknown datacenter");
+
+  Stack stack;
+  stack.id = stack_ids_.next();
+  stack.name = tmpl.name;
+  stack.datacenter = dc_id;
+
+  for (const ResourceSpec& spec : tmpl.resources) {
+    Result<VmId> vm = dc->boot_vm(tmpl.name + "." + spec.name, spec.flavor, policy_);
+    if (!vm.ok()) {
+      // Roll back everything booted so far: stack creation is atomic.
+      for (const auto& [name, booted] : stack.resources) {
+        const Result<void> r = dc->delete_vm(booted);
+        assert(r.ok());
+        (void)r;
+      }
+      return vm.error();
+    }
+    stack.resources.emplace(spec.name, vm.value());
+  }
+
+  const StackId id = stack.id;
+  stacks_.emplace(id.value(), std::move(stack));
+  return id;
+}
+
+Result<void> StackEngine::delete_stack(StackId stack_id) {
+  const auto it = stacks_.find(stack_id.value());
+  if (it == stacks_.end()) return make_error(Errc::not_found, "unknown stack");
+  Datacenter* dc = find_datacenter(it->second.datacenter);
+  assert(dc != nullptr);
+  for (const auto& [name, vm] : it->second.resources) {
+    const Result<void> r = dc->delete_vm(vm);
+    assert(r.ok());
+    (void)r;
+  }
+  stacks_.erase(it);
+  return {};
+}
+
+const Stack* StackEngine::find_stack(StackId stack) const noexcept {
+  const auto it = stacks_.find(stack.value());
+  return it == stacks_.end() ? nullptr : &it->second;
+}
+
+}  // namespace slices::cloud

@@ -1,0 +1,94 @@
+#pragma once
+// Heat-style stack orchestration.
+//
+// "Dynamic configurations of computational resources are performed
+// through Heat, an OpenStack orchestration solution." A StackTemplate
+// declares a set of named resources (VMs by flavor); the StackEngine
+// creates them atomically in a datacenter (all-or-nothing with
+// rollback), updates them, and deletes them. Per-slice EPC instances are
+// deployed as stacks (see src/epc).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/datacenter.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace slices::cloud {
+
+/// One declared resource inside a template.
+struct ResourceSpec {
+  std::string name;  ///< unique within the template
+  Flavor flavor;
+};
+
+/// Declarative description of a stack.
+struct StackTemplate {
+  std::string name;
+  std::vector<ResourceSpec> resources;
+
+  /// Total compute footprint of the template.
+  [[nodiscard]] ComputeCapacity footprint() const noexcept {
+    ComputeCapacity sum;
+    for (const ResourceSpec& r : resources) sum += r.flavor.footprint;
+    return sum;
+  }
+};
+
+/// A deployed stack: the VMs created from a template.
+struct Stack {
+  StackId id;
+  std::string name;
+  DatacenterId datacenter;
+  std::map<std::string, VmId> resources;  ///< spec name -> VM
+};
+
+/// Time model of stack deployment: base orchestration latency plus
+/// per-VM boot time — this is what makes slice installation take
+/// "a few seconds" in the demo (mostly the EPC stack).
+struct DeployTimeModel {
+  Duration base = Duration::seconds(1.5);
+  Duration per_vm = Duration::seconds(2.0);
+
+  [[nodiscard]] Duration estimate(const StackTemplate& tmpl) const noexcept {
+    return base + per_vm * static_cast<double>(tmpl.resources.size());
+  }
+};
+
+/// Creates/updates/deletes stacks over a set of datacenters.
+class StackEngine {
+ public:
+  /// Datacenters are owned by the caller and must outlive the engine.
+  explicit StackEngine(std::vector<Datacenter*> datacenters,
+                       PlacementPolicy policy = PlacementPolicy::first_fit);
+
+  [[nodiscard]] const std::vector<Datacenter*>& datacenters() const noexcept {
+    return datacenters_;
+  }
+  [[nodiscard]] Datacenter* find_datacenter(DatacenterId id) const noexcept;
+
+  /// Create a stack from `tmpl` in `dc`. All-or-nothing: if any VM
+  /// fails to place, already-booted ones are destroyed and the error
+  /// returned. Errors: not_found (unknown DC), insufficient_capacity.
+  [[nodiscard]] Result<StackId> create_stack(DatacenterId dc, const StackTemplate& tmpl);
+
+  /// Delete a stack and all its VMs. Errors: not_found.
+  [[nodiscard]] Result<void> delete_stack(StackId stack);
+
+  [[nodiscard]] const Stack* find_stack(StackId stack) const noexcept;
+  [[nodiscard]] std::size_t stack_count() const noexcept { return stacks_.size(); }
+
+  [[nodiscard]] const DeployTimeModel& deploy_time() const noexcept { return time_model_; }
+
+ private:
+  std::vector<Datacenter*> datacenters_;
+  PlacementPolicy policy_;
+  std::map<std::uint64_t, Stack> stacks_;  // by StackId value
+  IdAllocator<StackTag> stack_ids_;
+  DeployTimeModel time_model_;
+};
+
+}  // namespace slices::cloud

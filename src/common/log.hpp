@@ -1,0 +1,63 @@
+#pragma once
+// Minimal leveled logger. Components log through a shared sink with a
+// component tag; benchmarks and tests lower the level to keep output
+// clean. Not thread-safe by design — the simulator is single-threaded.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace slices {
+
+enum class LogLevel { trace, debug, info, warn, error, off };
+
+[[nodiscard]] constexpr std::string_view to_string(LogLevel l) noexcept {
+  switch (l) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+/// Global log configuration (level + output stream).
+class LogConfig {
+ public:
+  static LogLevel& level() noexcept {
+    static LogLevel lvl = LogLevel::warn;
+    return lvl;
+  }
+  static std::ostream*& stream() noexcept {
+    static std::ostream* os = &std::clog;
+    return os;
+  }
+};
+
+/// Log one line at `level` under component tag `tag`.
+inline void log_line(LogLevel level, std::string_view tag, std::string_view msg) {
+  if (level < LogConfig::level()) return;
+  *LogConfig::stream() << "[" << to_string(level) << "] " << tag << ": " << msg << '\n';
+}
+
+/// Tagged logger handle owned by a component.
+class Logger {
+ public:
+  explicit Logger(std::string tag) : tag_(std::move(tag)) {}
+
+  void trace(std::string_view msg) const { log_line(LogLevel::trace, tag_, msg); }
+  void debug(std::string_view msg) const { log_line(LogLevel::debug, tag_, msg); }
+  void info(std::string_view msg) const { log_line(LogLevel::info, tag_, msg); }
+  void warn(std::string_view msg) const { log_line(LogLevel::warn, tag_, msg); }
+  void error(std::string_view msg) const { log_line(LogLevel::error, tag_, msg); }
+
+  [[nodiscard]] const std::string& tag() const noexcept { return tag_; }
+
+ private:
+  std::string tag_;
+};
+
+}  // namespace slices

@@ -1,0 +1,121 @@
+#pragma once
+// Error model for fallible operations across module boundaries.
+//
+// Controllers, allocators and the REST layer return Result<T>: a value on
+// success or an Error{code, message} on failure. Exceptions are reserved
+// for programming errors (violated preconditions), matching the Core
+// Guidelines split between recoverable conditions and logic bugs.
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace slices {
+
+/// Machine-readable failure categories. REST endpoints map these onto
+/// HTTP status codes; the orchestrator maps them onto admission verdicts.
+enum class Errc {
+  invalid_argument,        ///< Malformed request / out-of-domain value.
+  not_found,               ///< Unknown id or route.
+  conflict,                ///< State conflict (duplicate install, wrong FSM state).
+  insufficient_capacity,   ///< Not enough resources in a domain.
+  sla_unsatisfiable,       ///< No configuration can meet the requested SLA.
+  unavailable,             ///< Dependent subsystem down / unreachable.
+  protocol_error,          ///< Bad wire format (HTTP/JSON).
+  timeout,                 ///< Deadline exceeded.
+  internal,                ///< Invariant breach surfaced as error, not UB.
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Errc c) noexcept {
+  switch (c) {
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::not_found: return "not_found";
+    case Errc::conflict: return "conflict";
+    case Errc::insufficient_capacity: return "insufficient_capacity";
+    case Errc::sla_unsatisfiable: return "sla_unsatisfiable";
+    case Errc::unavailable: return "unavailable";
+    case Errc::protocol_error: return "protocol_error";
+    case Errc::timeout: return "timeout";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+/// A failure: category plus a human-oriented message for logs/dashboard.
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  friend bool operator==(const Error& a, const Error& b) noexcept { return a.code == b.code; }
+  friend std::ostream& operator<<(std::ostream& os, const Error& e) {
+    return os << to_string(e.code) << ": " << e.message;
+  }
+};
+
+/// Result<T>: holds either a T or an Error. Intentionally minimal —
+/// `ok()`, `value()`, `error()` plus value_or — because call sites branch
+/// immediately; no monadic chains are needed in this codebase.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : v_(std::move(error)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(std::move(v_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    assert(!ok() && "Result::error() on success");
+    return std::get<Error>(v_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void>: success carries no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : err_(std::move(error)), has_err_(true) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return !has_err_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const Error& error() const& {
+    assert(has_err_ && "Result::error() on success");
+    return err_;
+  }
+
+ private:
+  Error err_;
+  bool has_err_ = false;
+};
+
+/// Convenience maker used at most error sites.
+[[nodiscard]] inline Error make_error(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace slices

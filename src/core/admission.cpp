@@ -1,0 +1,97 @@
+#include "core/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace slices::core {
+
+std::vector<RequestId> FcfsPolicy::select(std::span<const CandidateRequest> candidates,
+                                          DataRate capacity) const {
+  std::vector<RequestId> admitted;
+  DataRate remaining = capacity;
+  for (const CandidateRequest& c : candidates) {
+    if (c.spec.expected_throughput <= remaining) {
+      admitted.push_back(c.id);
+      remaining -= c.spec.expected_throughput;
+    }
+  }
+  return admitted;
+}
+
+std::vector<RequestId> GreedyRevenuePolicy::select(
+    std::span<const CandidateRequest> candidates, DataRate capacity) const {
+  std::vector<const CandidateRequest*> order;
+  order.reserve(candidates.size());
+  for (const CandidateRequest& c : candidates) order.push_back(&c);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const CandidateRequest* a, const CandidateRequest* b) {
+                     const double da = a->spec.gross_revenue().as_units() /
+                                       std::max(1e-9, a->spec.expected_throughput.as_mbps());
+                     const double db = b->spec.gross_revenue().as_units() /
+                                       std::max(1e-9, b->spec.expected_throughput.as_mbps());
+                     return da > db;
+                   });
+
+  std::vector<RequestId> admitted;
+  DataRate remaining = capacity;
+  for (const CandidateRequest* c : order) {
+    if (c->spec.expected_throughput <= remaining) {
+      admitted.push_back(c->id);
+      remaining -= c->spec.expected_throughput;
+    }
+  }
+  return admitted;
+}
+
+std::vector<RequestId> KnapsackRevenuePolicy::select(
+    std::span<const CandidateRequest> candidates, DataRate capacity) const {
+  const int cap = std::min(max_capacity_mbps_,
+                           static_cast<int>(std::floor(capacity.as_mbps())));
+  if (cap <= 0 || candidates.empty()) return {};
+
+  // Item weights: ceil(Mb/s) so the discretization never under-counts.
+  std::vector<int> weight(candidates.size());
+  std::vector<std::int64_t> value(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    weight[i] = static_cast<int>(std::ceil(candidates[i].spec.expected_throughput.as_mbps()));
+    value[i] = candidates[i].spec.gross_revenue().as_cents();
+  }
+
+  // DP over capacity with take-decision tracking.
+  const std::size_t n = candidates.size();
+  std::vector<std::int64_t> best(static_cast<std::size_t>(cap) + 1, 0);
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(static_cast<std::size_t>(cap) + 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weight[i] > cap || value[i] <= 0) continue;
+    for (int w = cap; w >= weight[i]; --w) {
+      const std::int64_t with_item =
+          best[static_cast<std::size_t>(w - weight[i])] + value[i];
+      if (with_item > best[static_cast<std::size_t>(w)]) {
+        best[static_cast<std::size_t>(w)] = with_item;
+        take[i][static_cast<std::size_t>(w)] = true;
+      }
+    }
+  }
+
+  // Backtrack.
+  std::vector<RequestId> admitted;
+  int w = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (w >= 0 && take[i][static_cast<std::size_t>(w)]) {
+      admitted.push_back(candidates[i].id);
+      w -= weight[i];
+    }
+  }
+  std::reverse(admitted.begin(), admitted.end());
+  return admitted;
+}
+
+std::unique_ptr<AdmissionPolicy> make_policy(std::string_view name) {
+  if (name == "fcfs") return std::make_unique<FcfsPolicy>();
+  if (name == "greedy_revenue") return std::make_unique<GreedyRevenuePolicy>();
+  if (name == "knapsack_revenue") return std::make_unique<KnapsackRevenuePolicy>();
+  return nullptr;
+}
+
+}  // namespace slices::core

@@ -1,0 +1,63 @@
+#pragma once
+// Slice-template catalog.
+//
+// The demo dashboard offers preset slice types to request from; real
+// brokers keep such templates (GSMA GST-style) in a catalog, typically
+// provisioned as JSON. A SliceCatalog holds named templates, each
+// derived from a vertical profile with per-template overrides, and
+// instantiates SliceSpecs from them.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/slice.hpp"
+
+namespace slices::core {
+
+/// One catalog entry: a vertical plus optional overrides.
+struct SliceTemplate {
+  std::string name;
+  traffic::Vertical vertical = traffic::Vertical::embb_video;
+  Duration default_duration = Duration::hours(24.0);
+  // Overrides; negative/unset values fall back to the vertical profile.
+  double throughput_mbps = -1.0;
+  double max_latency_ms = -1.0;
+  double price_per_hour = -1.0;
+  double penalty_per_violation = -1.0;
+  int needs_edge = -1;  ///< -1 profile default, else 0/1
+};
+
+/// A named set of slice templates.
+class SliceCatalog {
+ public:
+  /// The built-in catalog: one template per vertical, profile defaults.
+  [[nodiscard]] static SliceCatalog builtin();
+
+  /// Parse a catalog document:
+  ///   {"templates": [{"name": "...", "vertical": "...",
+  ///     "duration_hours": 24, "throughput_mbps": 30, ...}, ...]}
+  /// Unknown verticals and duplicate names are errors; every override
+  /// field is optional. Errors: protocol_error / invalid_argument.
+  [[nodiscard]] static Result<SliceCatalog> from_json(std::string_view text);
+
+  /// Add (or replace) a template.
+  void put(SliceTemplate entry);
+
+  [[nodiscard]] std::size_t size() const noexcept { return templates_.size(); }
+  [[nodiscard]] const SliceTemplate* find(std::string_view name) const noexcept;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Build a SliceSpec from template `name`, with the template's
+  /// default duration or an explicit one. Errors: not_found.
+  [[nodiscard]] Result<SliceSpec> instantiate(std::string_view name) const;
+  [[nodiscard]] Result<SliceSpec> instantiate(std::string_view name,
+                                              Duration duration) const;
+
+ private:
+  std::map<std::string, SliceTemplate, std::less<>> templates_;
+};
+
+}  // namespace slices::core

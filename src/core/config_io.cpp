@@ -1,0 +1,127 @@
+#include "core/config_io.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "json/value.hpp"
+
+namespace slices::core {
+namespace {
+
+Error bad(std::string why) { return make_error(Errc::invalid_argument, std::move(why)); }
+
+Result<void> check_keys(const json::Object& object, std::set<std::string_view> allowed) {
+  for (const auto& [key, value] : object) {
+    if (!allowed.contains(key)) return Error{Errc::invalid_argument, "unknown key '" + key + "'"};
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<OrchestratorConfig> config_from_json(std::string_view text) {
+  Result<json::Value> doc = json::parse(text);
+  if (!doc.ok()) return doc.error();
+  if (!doc.value().is_object()) return bad("config must be an object");
+  const json::Object& root = doc.value().as_object();
+
+  if (Result<void> r = check_keys(
+          root, {"monitoring_period_minutes", "admission_policy", "admission_window_hours",
+                 "admission_patience_hours", "sla_tolerance", "reconfigure_threshold",
+                 "edge_breakout_fraction", "overbooking"});
+      !r.ok()) {
+    return r.error();
+  }
+
+  OrchestratorConfig config;
+  const auto number = [&root](const char* key, double fallback) {
+    const auto it = root.find(key);
+    return it != root.end() && it->second.is_number() ? it->second.as_number() : fallback;
+  };
+
+  const double period = number("monitoring_period_minutes",
+                               config.monitoring_period.as_seconds() / 60.0);
+  if (period <= 0.0 || !std::isfinite(period)) return bad("monitoring period must be > 0");
+  config.monitoring_period = Duration::minutes(period);
+
+  if (const auto it = root.find("admission_policy"); it != root.end()) {
+    if (!it->second.is_string()) return bad("admission_policy must be a string");
+    if (make_policy(it->second.as_string()) == nullptr)
+      return bad("unknown admission policy '" + it->second.as_string() + "'");
+    config.admission_policy = it->second.as_string();
+  }
+
+  const double window = number("admission_window_hours", 0.0);
+  if (window < 0.0) return bad("admission window must be >= 0");
+  config.admission_window = Duration::hours(window);
+
+  const double patience = number("admission_patience_hours", 0.0);
+  if (patience < 0.0) return bad("admission patience must be >= 0");
+  config.admission_patience = Duration::hours(patience);
+
+  config.sla_tolerance = number("sla_tolerance", config.sla_tolerance);
+  if (config.sla_tolerance < 0.0 || config.sla_tolerance >= 1.0)
+    return bad("sla_tolerance must be in [0,1)");
+  config.reconfigure_threshold =
+      number("reconfigure_threshold", config.reconfigure_threshold);
+  if (config.reconfigure_threshold < 0.0) return bad("reconfigure_threshold must be >= 0");
+  config.edge_breakout_fraction =
+      number("edge_breakout_fraction", config.edge_breakout_fraction);
+  if (config.edge_breakout_fraction < 0.0 || config.edge_breakout_fraction > 1.0)
+    return bad("edge_breakout_fraction must be in [0,1]");
+
+  if (const auto it = root.find("overbooking"); it != root.end()) {
+    if (!it->second.is_object()) return bad("overbooking must be an object");
+    const json::Object& ob = it->second.as_object();
+    if (Result<void> r = check_keys(ob, {"enabled", "risk_quantile", "horizon",
+                                         "floor_fraction", "headroom",
+                                         "warmup_observations", "season_length",
+                                         "estimator"});
+        !r.ok()) {
+      return r.error();
+    }
+    OverbookingConfig& overbooking = config.overbooking;
+    if (const auto e = ob.find("enabled"); e != ob.end()) {
+      if (!e->second.is_bool()) return bad("overbooking.enabled must be a bool");
+      overbooking.enabled = e->second.as_bool();
+    }
+    const auto ob_number = [&ob](const char* key, double fallback) {
+      const auto it2 = ob.find(key);
+      return it2 != ob.end() && it2->second.is_number() ? it2->second.as_number() : fallback;
+    };
+    overbooking.risk_quantile = ob_number("risk_quantile", overbooking.risk_quantile);
+    if (overbooking.risk_quantile < 0.0 || overbooking.risk_quantile > 1.0)
+      return bad("risk_quantile must be in [0,1]");
+    const double horizon = ob_number("horizon", static_cast<double>(overbooking.horizon));
+    if (horizon < 1.0) return bad("horizon must be >= 1");
+    overbooking.horizon = static_cast<std::size_t>(horizon);
+    overbooking.floor_fraction = ob_number("floor_fraction", overbooking.floor_fraction);
+    if (overbooking.floor_fraction < 0.0 || overbooking.floor_fraction > 1.0)
+      return bad("floor_fraction must be in [0,1]");
+    overbooking.headroom = ob_number("headroom", overbooking.headroom);
+    if (overbooking.headroom <= 0.0) return bad("headroom must be > 0");
+    overbooking.warmup_observations = static_cast<std::size_t>(
+        ob_number("warmup_observations", static_cast<double>(overbooking.warmup_observations)));
+    const double season =
+        ob_number("season_length", static_cast<double>(overbooking.season_length));
+    if (season < 2.0) return bad("season_length must be >= 2");
+    overbooking.season_length = static_cast<std::size_t>(season);
+    if (const auto e = ob.find("estimator"); e != ob.end()) {
+      if (!e->second.is_string()) return bad("estimator must be a string");
+      const std::string& name = e->second.as_string();
+      bool matched = false;
+      for (const EstimatorKind kind :
+           {EstimatorKind::adaptive, EstimatorKind::naive, EstimatorKind::ewma,
+            EstimatorKind::holt_winters}) {
+        if (to_string(kind) == name) {
+          overbooking.estimator = kind;
+          matched = true;
+        }
+      }
+      if (!matched) return bad("unknown estimator '" + name + "'");
+    }
+  }
+  return config;
+}
+
+}  // namespace slices::core

@@ -1,0 +1,27 @@
+#pragma once
+// Orchestrator configuration from JSON — deployments provision broker
+// policy (admission strategy, risk budget, monitoring cadence) as
+// config files, not code. Unknown keys are rejected so typos cannot
+// silently fall back to defaults.
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "core/orchestrator.hpp"
+
+namespace slices::core {
+
+/// Parse an OrchestratorConfig document. Every field is optional and
+/// falls back to the library default; recognised keys:
+///
+///   monitoring_period_minutes, admission_policy, admission_window_hours,
+///   sla_tolerance, reconfigure_threshold, edge_breakout_fraction,
+///   overbooking: { enabled, risk_quantile, horizon, floor_fraction,
+///                  headroom, warmup_observations, season_length,
+///                  estimator }
+///
+/// Errors: protocol_error (bad JSON), invalid_argument (unknown key or
+/// out-of-domain value).
+[[nodiscard]] Result<OrchestratorConfig> config_from_json(std::string_view text);
+
+}  // namespace slices::core

@@ -1,0 +1,110 @@
+#pragma once
+// Orchestrator event log — the scrolling activity feed of the demo
+// dashboard ("all operations are displayed in a control dashboard").
+// A bounded ring of structured events (admissions, rejections,
+// activations, reconfigurations, violations, teardowns) queryable by
+// the dashboard and exported over REST.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "json/value.hpp"
+
+namespace slices::core {
+
+enum class EventKind {
+  request_submitted,
+  slice_admitted,
+  slice_rejected,
+  slice_active,
+  slice_reconfigured,
+  sla_violation,
+  slice_resized,
+  slice_expired,
+  slice_terminated,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::request_submitted: return "request_submitted";
+    case EventKind::slice_admitted: return "slice_admitted";
+    case EventKind::slice_rejected: return "slice_rejected";
+    case EventKind::slice_active: return "slice_active";
+    case EventKind::slice_reconfigured: return "slice_reconfigured";
+    case EventKind::sla_violation: return "sla_violation";
+    case EventKind::slice_resized: return "slice_resized";
+    case EventKind::slice_expired: return "slice_expired";
+    case EventKind::slice_terminated: return "slice_terminated";
+  }
+  return "?";
+}
+
+/// One logged event.
+struct Event {
+  std::uint64_t sequence = 0;  ///< monotonically increasing
+  SimTime time;
+  EventKind kind = EventKind::request_submitted;
+  SliceId slice;
+  std::string detail;  ///< human-oriented one-liner
+
+  [[nodiscard]] json::Value to_json() const {
+    json::Object out;
+    out.emplace("seq", static_cast<double>(sequence));
+    out.emplace("t", time.as_seconds());
+    out.emplace("kind", std::string(to_string(kind)));
+    out.emplace("slice", static_cast<double>(slice.value()));
+    out.emplace("detail", detail);
+    return out;
+  }
+};
+
+/// Bounded event ring.
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void record(SimTime time, EventKind kind, SliceId slice, std::string detail) {
+    events_.push_back(Event{next_sequence_++, time, kind, slice, std::move(detail)});
+    if (events_.size() > capacity_) events_.pop_front();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept { return next_sequence_; }
+
+  /// Most recent `n` events, oldest first.
+  [[nodiscard]] std::vector<Event> recent(std::size_t n) const {
+    const std::size_t count = n < events_.size() ? n : events_.size();
+    return std::vector<Event>(events_.end() - static_cast<std::ptrdiff_t>(count),
+                              events_.end());
+  }
+
+  /// Events with sequence > `after` (for incremental polling).
+  [[nodiscard]] std::vector<Event> since(std::uint64_t after) const {
+    std::vector<Event> out;
+    for (const Event& event : events_) {
+      if (event.sequence > after) out.push_back(event);
+    }
+    return out;
+  }
+
+  /// All events of one slice, oldest first.
+  [[nodiscard]] std::vector<Event> for_slice(SliceId slice) const {
+    std::vector<Event> out;
+    for (const Event& event : events_) {
+      if (event.slice == slice) out.push_back(event);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t next_sequence_ = 1;
+  std::deque<Event> events_;
+};
+
+}  // namespace slices::core

@@ -1,0 +1,752 @@
+#include "core/orchestrator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <set>
+
+#include "json/value.hpp"
+
+namespace slices::core {
+
+Orchestrator::Orchestrator(sim::Simulator* simulator, ran::RanController* ran,
+                           transport::TransportController* transport,
+                           cloud::CloudController* cloud, epc::EpcManager* epc,
+                           net::RestBus* bus, telemetry::MonitorRegistry* registry,
+                           OrchestratorConfig config)
+    : simulator_(simulator),
+      ran_(ran),
+      transport_(transport),
+      cloud_(cloud),
+      epc_(epc),
+      bus_(bus),
+      registry_(registry),
+      config_(std::move(config)),
+      install_jitter_rng_(config_.install_jitter_seed),
+      engine_(config_.overbooking) {
+  assert(simulator_ != nullptr && ran_ != nullptr && transport_ != nullptr &&
+         cloud_ != nullptr && epc_ != nullptr);
+  policy_ = make_policy(config_.admission_policy);
+  assert(policy_ != nullptr && "unknown admission policy name");
+}
+
+void Orchestrator::set_attachment_points(NodeId ran_gateway,
+                                         std::map<DatacenterId, NodeId> datacenter_gateways) {
+  ran_gateway_ = ran_gateway;
+  dc_gateways_ = std::move(datacenter_gateways);
+}
+
+void Orchestrator::start() {
+  if (started_) return;
+  started_ = true;
+  simulator_->add_periodic(
+      config_.monitoring_period, [this](SimTime now) { run_epoch(now); },
+      config_.monitoring_period);
+  if (config_.admission_window > Duration::zero()) {
+    simulator_->add_periodic(
+        config_.admission_window, [this](SimTime) { decide_pending_batch(); },
+        config_.admission_window);
+  }
+}
+
+RequestId Orchestrator::submit(const SliceSpec& spec) { return submit(spec, nullptr); }
+
+RequestId Orchestrator::submit(const SliceSpec& spec,
+                               std::unique_ptr<traffic::TrafficModel> workload) {
+  const RequestId request = request_ids_.next();
+  const SliceId slice = slice_ids_.next();
+
+  SliceRecord record;
+  record.id = slice;
+  record.request = request;
+  record.spec = spec;
+  record.state = SliceState::pending;
+  record.submitted_at = simulator_->now();
+
+  by_request_.emplace(request, slice);
+  if (workload != nullptr) {
+    workloads_.emplace(slice, Workload{std::move(workload)});
+  }
+  auto [it, inserted] = records_.emplace(slice, std::move(record));
+  assert(inserted);
+  events_.record(simulator_->now(), EventKind::request_submitted, slice,
+                 spec.tenant_name + " requests " +
+                     std::to_string(spec.expected_throughput.as_mbps()) + " Mb/s for " +
+                     std::to_string(spec.duration.as_hours()) + " h");
+  if (config_.admission_window > Duration::zero()) {
+    // Batched mode: decided at the next auction.
+    return request;
+  }
+  decide(it->second);
+  return request;
+}
+
+DataRate Orchestrator::sellable_capacity() const {
+  DataRate capacity = ran_->available_capacity(config_.planning_cqi);
+  for (const auto& [slice, other] : records_) {
+    if (other.state == SliceState::active) {
+      capacity += engine_.reclaimable(slice, other.spec.expected_throughput);
+    }
+  }
+  return capacity;
+}
+
+bool Orchestrator::try_admit(SliceRecord& record) {
+  // Materialize the reclaim the capacity estimate assumed, then embed.
+  apply_overbooking(simulator_->now());
+  Result<InstallTimeline> timeline = embed(record);
+  if (timeline.ok()) {
+    record.state = SliceState::installing;
+    last_timeline_ = timeline.value();
+    ++admitted_total_;
+    const SliceId slice = record.id;
+    simulator_->schedule_after(timeline.value().total(), [this, slice] { activate(slice); });
+    events_.record(simulator_->now(), EventKind::slice_admitted, slice,
+                   "installing; ready in " +
+                       std::to_string(timeline.value().total().as_seconds()) + " s");
+    log_.info("admitted slice " + std::to_string(slice.value()) + " (" +
+              record.spec.tenant_name + ")");
+    return true;
+  }
+  events_.record(simulator_->now(), EventKind::slice_rejected, record.id,
+                 timeline.error().message);
+  log_.info("embedding failed: " + timeline.error().message);
+  record.state = SliceState::rejected;
+  ++rejected_total_;
+  return false;
+}
+
+void Orchestrator::decide(SliceRecord& record) {
+  assert(record.state == SliceState::pending);
+  const CandidateRequest candidate{record.request, record.spec};
+  const std::vector<RequestId> selected =
+      policy_->select({&candidate, 1}, sellable_capacity());
+  if (!selected.empty() && selected.front() == record.request) {
+    try_admit(record);
+    return;
+  }
+  events_.record(simulator_->now(), EventKind::slice_rejected, record.id,
+                 "declined by " + std::string(policy_->name()) + " policy");
+  record.state = SliceState::rejected;
+  ++rejected_total_;
+}
+
+void Orchestrator::decide_pending_batch() {
+  std::vector<CandidateRequest> candidates;
+  for (const auto& [slice, record] : records_) {
+    if (record.state == SliceState::pending) {
+      candidates.push_back(CandidateRequest{record.request, record.spec});
+    }
+  }
+  if (candidates.empty()) return;
+
+  const std::vector<RequestId> selected = policy_->select(candidates, sellable_capacity());
+  const std::set<RequestId> chosen(selected.begin(), selected.end());
+
+  for (auto& [slice, record] : records_) {
+    if (record.state != SliceState::pending) continue;
+    if (chosen.contains(record.request)) {
+      try_admit(record);
+    } else {
+      // Patient requests stay queued for later auctions until their
+      // deadline; impatient ones (the default) are rejected now.
+      const bool patient =
+          config_.admission_patience > Duration::zero() &&
+          simulator_->now() - record.submitted_at < config_.admission_patience;
+      if (patient) continue;
+      events_.record(simulator_->now(), EventKind::slice_rejected, record.id,
+                     "lost the " + std::string(policy_->name()) + " batch auction");
+      record.state = SliceState::rejected;
+      ++rejected_total_;
+    }
+  }
+}
+
+Result<InstallTimeline> Orchestrator::embed(SliceRecord& record) {
+  const SliceSpec& spec = record.spec;
+  Embedding embedding;
+
+  // 1. RAN: dynamic PLMN install (slice <-> PLMN mapping of the demo).
+  embedding.plmn = PlmnId{next_plmn_++};
+  if (Result<void> r = ran_->install_plmn(embedding.plmn); !r.ok()) return r.error();
+
+  // 2. RAN: PRB reservation sized for the contracted throughput.
+  if (Result<ran::RanAllocation> r = ran_->set_allocation(
+          embedding.plmn, spec.expected_throughput, config_.planning_cqi);
+      !r.ok()) {
+    (void)ran_->remove_plmn(embedding.plmn);
+    return r.error();
+  }
+
+  const auto rollback_ran = [&] {
+    ran_->release_allocation(embedding.plmn);
+    (void)ran_->remove_plmn(embedding.plmn);
+  };
+
+  // 3. Cloud: pick the datacenter for EPC + the vertical's edge service.
+  const ComputeCapacity footprint =
+      epc::epc_stack_template(record.id, spec.expected_throughput).footprint() +
+      spec.edge_compute;
+  const std::optional<DatacenterId> dc = cloud_->choose_datacenter(footprint, spec.needs_edge);
+  if (!dc) {
+    rollback_ran();
+    return make_error(Errc::insufficient_capacity,
+                      spec.needs_edge ? "no edge datacenter fits the slice"
+                                      : "no datacenter fits the slice");
+  }
+  embedding.datacenter = *dc;
+  const auto gw = dc_gateways_.find(*dc);
+  if (gw == dc_gateways_.end()) {
+    rollback_ran();
+    return make_error(Errc::internal, "datacenter has no transport gateway configured");
+  }
+
+  // 4. Transport: delay/capacity-constrained dedicated path.
+  Result<PathId> path = transport_->allocate_path(record.id, ran_gateway_, gw->second,
+                                                  spec.expected_throughput, spec.max_latency);
+  if (!path.ok()) {
+    rollback_ran();
+    return path.error();
+  }
+  embedding.paths.push_back(path.value());
+
+  const auto rollback_transport = [&] {
+    for (const PathId p : embedding.paths) (void)transport_->release_path(p);
+  };
+
+  // 4b. Edge placements also get a breakout leg toward the core cloud
+  // (centralized services / internet), at a fraction of the contract.
+  const cloud::Datacenter* placed = cloud_->find_datacenter(*dc);
+  if (config_.edge_breakout_fraction > 0.0 && placed != nullptr &&
+      placed->kind() == cloud::DatacenterKind::edge) {
+    const auto core_gw = [&]() -> std::optional<NodeId> {
+      for (const auto& [dc_id, node] : dc_gateways_) {
+        const cloud::Datacenter* candidate = cloud_->find_datacenter(dc_id);
+        if (candidate != nullptr && candidate->kind() == cloud::DatacenterKind::core) {
+          return node;
+        }
+      }
+      return std::nullopt;
+    }();
+    if (core_gw.has_value() && *core_gw != gw->second) {
+      Result<PathId> breakout = transport_->allocate_path(
+          record.id, gw->second, *core_gw, leg_rate(1, spec.expected_throughput),
+          config_.breakout_delay_bound);
+      if (!breakout.ok()) {
+        rollback_transport();
+        rollback_ran();
+        return breakout.error();
+      }
+      embedding.paths.push_back(breakout.value());
+    }
+  }
+
+  // 5. Cloud/EPC: deploy the slice's virtualized core as a Heat stack.
+  Result<Duration> epc_time =
+      epc_->deploy(record.id, *dc, spec.expected_throughput);
+  if (!epc_time.ok()) {
+    rollback_transport();
+    rollback_ran();
+    return epc_time.error();
+  }
+
+  // 6. Optional edge service stack for the vertical itself.
+  if (spec.edge_compute.vcpus > 0.0) {
+    cloud::StackTemplate svc;
+    svc.name = "svc-slice-" + std::to_string(record.id.value());
+    svc.resources.push_back(
+        cloud::ResourceSpec{"svc", cloud::Flavor{"svc", spec.edge_compute}});
+    Result<StackId> stack = cloud_->create_stack(*dc, svc);
+    if (!stack.ok()) {
+      (void)epc_->remove(record.id);
+      rollback_transport();
+      rollback_ran();
+      return stack.error();
+    }
+    embedding.edge_stack = stack.value();
+  }
+
+  record.embedding = embedding;
+  record.reserved = spec.expected_throughput;
+
+  const auto jitter = [this](Duration d) {
+    if (config_.install_jitter <= 0.0) return d;
+    const double factor =
+        std::max(0.2, 1.0 + config_.install_jitter * install_jitter_rng_.normal());
+    return d * factor;
+  };
+  InstallTimeline timeline;
+  timeline.plmn_install = jitter(config_.plmn_install_time);
+  timeline.ran_reservation = jitter(config_.ran_reserve_time);
+  const transport::PathReservation* reservation = transport_->find_path(path.value());
+  timeline.path_setup =
+      jitter(config_.path_setup_time_per_rule *
+             static_cast<double>(reservation == nullptr ? 1 : reservation->route.hops()));
+  timeline.epc_deploy = jitter(epc_time.value());
+  timeline.activation_margin = config_.activation_margin;
+  return timeline;
+}
+
+void Orchestrator::tear_down(SliceRecord& record) {
+  for (const PathId path : record.embedding.paths) {
+    (void)transport_->release_path(path);
+  }
+  record.embedding.paths.clear();
+  if (record.embedding.edge_stack) {
+    (void)cloud_->delete_stack(*record.embedding.edge_stack);
+    record.embedding.edge_stack.reset();
+  }
+  (void)epc_->remove(record.id);
+  if (record.embedding.plmn.valid()) {
+    ran_->release_allocation(record.embedding.plmn);
+    (void)ran_->remove_plmn(record.embedding.plmn);
+    record.embedding.plmn = PlmnId::invalid();
+  }
+  engine_.untrack(record.id);
+  record.reserved = DataRate::zero();
+}
+
+void Orchestrator::activate(SliceId slice) {
+  const auto it = records_.find(slice);
+  if (it == records_.end()) return;
+  SliceRecord& record = it->second;
+  if (record.state != SliceState::installing) return;  // terminated meanwhile
+
+  const Result<void> r = epc_->activate(slice);
+  assert(r.ok());
+  (void)r;
+  record.state = SliceState::active;
+  record.active_at = simulator_->now();
+  record.ends_at = record.active_at + record.spec.duration;
+  engine_.track(slice);
+  simulator_->schedule_at(record.ends_at, [this, slice] { expire(slice); });
+  events_.record(simulator_->now(), EventKind::slice_active, slice,
+                 "serving; expires at " + std::to_string(record.ends_at.as_hours()) + " h");
+  log_.info("slice " + std::to_string(slice.value()) + " active");
+}
+
+void Orchestrator::expire(SliceId slice) {
+  const auto it = records_.find(slice);
+  if (it == records_.end()) return;
+  SliceRecord& record = it->second;
+  if (record.state != SliceState::active) return;
+  tear_down(record);
+  record.state = SliceState::expired;
+  events_.record(simulator_->now(), EventKind::slice_expired, slice,
+                 std::to_string(record.violation_epochs) + " violation epochs over its life");
+  log_.info("slice " + std::to_string(slice.value()) + " expired");
+}
+
+Result<void> Orchestrator::resize_slice(SliceId slice, DataRate new_contract) {
+  const auto it = records_.find(slice);
+  if (it == records_.end()) return make_error(Errc::not_found, "unknown slice");
+  SliceRecord& record = it->second;
+  if (record.state != SliceState::active)
+    return make_error(Errc::conflict, "slice is not active");
+  if (new_contract <= DataRate::zero())
+    return make_error(Errc::invalid_argument, "contract must be positive");
+
+  const DataRate old_reserved = record.reserved;
+
+  // Radio first (atomic in itself).
+  Result<ran::RanAllocation> radio =
+      ran_->set_allocation(record.embedding.plmn, new_contract, config_.planning_cqi);
+  if (!radio.ok()) return radio.error();
+
+  // Transport next; on failure restore the radio reservation.
+  for (std::size_t i = 0; i < record.embedding.paths.size(); ++i) {
+    Result<void> resized =
+        transport_->resize_path(record.embedding.paths[i], leg_rate(i, new_contract));
+    if (!resized.ok()) {
+      for (std::size_t j = 0; j < i; ++j) {
+        (void)transport_->resize_path(record.embedding.paths[j], leg_rate(j, old_reserved));
+      }
+      (void)ran_->set_allocation(record.embedding.plmn, old_reserved, config_.planning_cqi);
+      return resized.error();
+    }
+  }
+
+  record.spec.expected_throughput = new_contract;
+  record.reserved = new_contract;  // overbooking re-targets next epoch
+  events_.record(simulator_->now(), EventKind::slice_resized, slice,
+                 "contract now " + std::to_string(new_contract.as_mbps()) + " Mb/s");
+  ++reconfigurations_;
+  log_.info("slice " + std::to_string(slice.value()) + " resized to " +
+            std::to_string(new_contract.as_mbps()) + " Mb/s");
+  return {};
+}
+
+Result<void> Orchestrator::attach_workload(SliceId slice,
+                                           std::unique_ptr<traffic::TrafficModel> workload) {
+  if (!records_.contains(slice)) return make_error(Errc::not_found, "unknown slice");
+  workloads_.insert_or_assign(slice, Workload{std::move(workload)});
+  return {};
+}
+
+Result<void> Orchestrator::terminate(SliceId slice) {
+  const auto it = records_.find(slice);
+  if (it == records_.end()) return make_error(Errc::not_found, "unknown slice");
+  SliceRecord& record = it->second;
+  if (!record.is_live()) return make_error(Errc::conflict, "slice is not live");
+  tear_down(record);
+  record.state = SliceState::terminated;
+  events_.record(simulator_->now(), EventKind::slice_terminated, slice,
+                 "operator-initiated teardown");
+  return {};
+}
+
+const SliceRecord* Orchestrator::find_by_request(RequestId request) const noexcept {
+  const auto it = by_request_.find(request);
+  if (it == by_request_.end()) return nullptr;
+  return find_slice(it->second);
+}
+
+const SliceRecord* Orchestrator::find_slice(SliceId slice) const noexcept {
+  const auto it = records_.find(slice);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<const SliceRecord*> Orchestrator::all_slices() const {
+  std::vector<const SliceRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& [slice, record] : records_) out.push_back(&record);
+  return out;
+}
+
+DataRate Orchestrator::apply_overbooking(SimTime now) {
+  (void)now;
+  DataRate reclaimed = DataRate::zero();
+  if (!config_.overbooking.enabled) return reclaimed;
+
+  for (auto& [slice, record] : records_) {
+    if (record.state != SliceState::active) continue;
+    const DataRate contracted = record.spec.expected_throughput;
+    const DataRate target = engine_.target_reservation(slice, contracted);
+    const double delta_mbps = target.as_mbps() - record.reserved.as_mbps();
+    if (std::abs(delta_mbps) <
+        config_.reconfigure_threshold * contracted.as_mbps()) {
+      continue;  // hysteresis
+    }
+
+    // Radio first; transport follows. Growing can fail when new slices
+    // took the headroom — that is the overbooking risk; keep what we
+    // can get and try again next epoch.
+    Result<ran::RanAllocation> radio =
+        ran_->set_allocation(record.embedding.plmn, target, config_.planning_cqi);
+    if (!radio.ok()) {
+      log_.debug("grow-back failed for slice " + std::to_string(slice.value()) + ": " +
+                 radio.error().message);
+      continue;
+    }
+    for (std::size_t leg = 0; leg < record.embedding.paths.size(); ++leg) {
+      (void)transport_->resize_path(record.embedding.paths[leg], leg_rate(leg, target));
+    }
+    reclaimed += clamp_non_negative(record.reserved - target);
+    events_.record(simulator_->now(), EventKind::slice_reconfigured, slice,
+                   "reservation " + std::to_string(record.reserved.as_mbps()) + " -> " +
+                       std::to_string(target.as_mbps()) + " Mb/s");
+    record.reserved = target;
+    ++reconfigurations_;
+  }
+  return reclaimed;
+}
+
+void Orchestrator::run_epoch(SimTime now) {
+  // 1. Sample offered demand of every active slice.
+  std::vector<std::pair<PlmnId, DataRate>> ran_demands;
+  std::map<SliceId, DataRate> demand_of;
+  for (auto& [slice, record] : records_) {
+    if (record.state != SliceState::active) continue;
+    DataRate demand = DataRate::zero();
+    const auto wl = workloads_.find(slice);
+    if (wl != workloads_.end()) {
+      demand = DataRate::mbps(std::max(0.0, wl->second.model->sample(now)));
+    }
+    demand_of.emplace(slice, demand);
+    ran_demands.emplace_back(record.embedding.plmn, demand);
+  }
+
+  // 2. Radio serves.
+  const std::vector<ran::RanServeReport> radio_reports = ran_->serve_epoch(ran_demands, now);
+  std::map<PlmnId, DataRate> radio_served;
+  for (const ran::RanServeReport& r : radio_reports) radio_served.emplace(r.plmn, r.served);
+
+  // 3. Transport carries what the radio delivered.
+  std::vector<std::pair<PathId, DataRate>> path_demands;
+  for (auto& [slice, record] : records_) {
+    if (record.state != SliceState::active || record.embedding.paths.empty()) continue;
+    const auto served = radio_served.find(record.embedding.plmn);
+    const DataRate offered =
+        served == radio_served.end() ? DataRate::zero() : min(demand_of[slice], served->second);
+    path_demands.emplace_back(record.embedding.paths.front(), offered);
+  }
+  const std::vector<transport::PathServeReport> path_reports =
+      transport_->serve_epoch(path_demands, now);
+  std::map<SliceId, const transport::PathServeReport*> path_by_slice;
+  for (const transport::PathServeReport& r : path_reports) path_by_slice.emplace(r.slice, &r);
+
+  cloud_->record_epoch(now);
+
+  // 4. SLA check + revenue accrual + demand learning per active slice.
+  for (auto& [slice, record] : records_) {
+    if (record.state != SliceState::active) continue;
+    const DataRate demand = demand_of[slice];
+    const auto pr = path_by_slice.find(slice);
+    const DataRate achieved =
+        pr == path_by_slice.end() ? DataRate::zero() : pr->second->served;
+    const bool delay_violated = pr != path_by_slice.end() && pr->second->delay_violated;
+
+    const DataRate entitled = min(demand, record.spec.expected_throughput);
+    const bool throughput_violated =
+        achieved < entitled * (1.0 - config_.sla_tolerance) &&
+        entitled > DataRate::zero();
+
+    ledger_.accrue(slice, record.spec.price_per_hour, config_.monitoring_period);
+    ++record.served_epochs;
+    if (throughput_violated || delay_violated) {
+      ledger_.charge_violation(slice, record.spec.penalty_per_violation);
+      ++record.violation_epochs;
+      events_.record(now, EventKind::sla_violation, slice,
+                     delay_violated ? "delay bound breached"
+                                    : "served " + std::to_string(achieved.as_mbps()) +
+                                          " of entitled " +
+                                          std::to_string(entitled.as_mbps()) + " Mb/s");
+    }
+
+    engine_.observe(slice, demand.as_mbps());
+
+    if (registry_ != nullptr) {
+      const std::string prefix = "slice." + std::to_string(slice.value());
+      registry_->observe(prefix + ".demand_mbps", now, demand.as_mbps());
+      registry_->observe(prefix + ".achieved_mbps", now, achieved.as_mbps());
+      registry_->observe(prefix + ".reserved_mbps", now, record.reserved.as_mbps());
+    }
+  }
+
+  // 5. Reconfiguration: shrink/grow reservations toward forecast targets.
+  apply_overbooking(now);
+
+  // 6. Monitoring over REST (the paper's controller -> orchestrator feed).
+  poll_domain_metrics();
+
+  publish_summary(now);
+}
+
+void Orchestrator::poll_domain_metrics() {
+  if (bus_ == nullptr) return;
+  for (const char* domain : {"ran", "transport", "cloud"}) {
+    if (!bus_->has_service(domain)) continue;
+    const Result<json::Value> snapshot = bus_->get_json(domain, "/metrics");
+    if (!snapshot.ok()) {
+      log_.warn(std::string("metrics poll failed for ") + domain + ": " +
+                snapshot.error().message);
+    }
+  }
+}
+
+OrchestratorSummary Orchestrator::summary() const {
+  OrchestratorSummary s;
+  for (const auto& [slice, record] : records_) {
+    if (record.state == SliceState::active) {
+      ++s.active_slices;
+      s.contracted_total += record.spec.expected_throughput;
+      s.reserved_total += record.reserved;
+    } else if (record.state == SliceState::installing) {
+      ++s.installing_slices;
+    }
+  }
+  s.admitted_total = admitted_total_;
+  s.rejected_total = rejected_total_;
+  s.multiplexing_gain = s.reserved_total > DataRate::zero()
+                            ? s.contracted_total / s.reserved_total
+                            : 1.0;
+  s.earned = ledger_.total_earned();
+  s.penalties = ledger_.total_penalties();
+  s.net = ledger_.net_revenue();
+  s.violation_epochs = ledger_.total_violation_epochs();
+  s.reconfigurations = reconfigurations_;
+  return s;
+}
+
+void Orchestrator::publish_summary(SimTime now) {
+  if (registry_ == nullptr) return;
+  const OrchestratorSummary s = summary();
+  registry_->observe("orchestrator.active_slices", now, static_cast<double>(s.active_slices));
+  registry_->observe("orchestrator.multiplexing_gain", now, s.multiplexing_gain);
+  registry_->observe("orchestrator.contracted_mbps", now, s.contracted_total.as_mbps());
+  registry_->observe("orchestrator.reserved_mbps", now, s.reserved_total.as_mbps());
+  registry_->observe("orchestrator.net_revenue", now, s.net.as_units());
+  registry_->observe("orchestrator.penalties", now, s.penalties.as_units());
+}
+
+std::shared_ptr<net::Router> Orchestrator::make_router() {
+  auto router = std::make_shared<net::Router>();
+
+  const auto record_json = [this](const SliceRecord& record) {
+    json::Object entry;
+    entry.emplace("slice", static_cast<double>(record.id.value()));
+    entry.emplace("request", static_cast<double>(record.request.value()));
+    entry.emplace("tenant", record.spec.tenant_name);
+    entry.emplace("vertical", std::string(traffic::to_string(record.spec.vertical)));
+    entry.emplace("state", std::string(to_string(record.state)));
+    entry.emplace("contracted_mbps", record.spec.expected_throughput.as_mbps());
+    entry.emplace("reserved_mbps", record.reserved.as_mbps());
+    entry.emplace("max_latency_ms", record.spec.max_latency.as_millis());
+    entry.emplace("violation_epochs", static_cast<double>(record.violation_epochs));
+    if (const SliceLedgerEntry* ledger = ledger_.find(record.id)) {
+      entry.emplace("earned", ledger->earned.as_units());
+      entry.emplace("penalties", ledger->penalties.as_units());
+    }
+    return json::Value(std::move(entry));
+  };
+
+  router->add(net::Method::post, "/slices", [this](const net::RouteContext& ctx) {
+    const Result<json::Value> doc = json::parse(ctx.request->body);
+    if (!doc.ok()) return net::Response::from_error(doc.error());
+    const json::Value& v = doc.value();
+
+    // Two ways to name what is requested: a catalog template, or a
+    // vertical + duration (the raw dashboard form).
+    SliceSpec spec;
+    if (const json::Value* tmpl = v.find("template"); tmpl != nullptr && tmpl->is_string()) {
+      Result<SliceSpec> from_catalog =
+          v.find("duration_hours") != nullptr && v.find("duration_hours")->is_number()
+              ? catalog_.instantiate(tmpl->as_string(),
+                                     Duration::hours(v.find("duration_hours")->as_number()))
+              : catalog_.instantiate(tmpl->as_string());
+      if (!from_catalog.ok()) return net::Response::from_error(from_catalog.error());
+      spec = std::move(from_catalog).value();
+    } else {
+      const Result<std::string> vertical_name = v.get_string("vertical");
+      if (!vertical_name.ok()) return net::Response::from_error(vertical_name.error());
+      std::optional<traffic::Vertical> vertical;
+      for (const traffic::Vertical candidate : traffic::all_verticals()) {
+        if (traffic::to_string(candidate) == vertical_name.value()) vertical = candidate;
+      }
+      if (!vertical)
+        return net::Response::from_error(make_error(
+            Errc::invalid_argument, "unknown vertical '" + vertical_name.value() + "'"));
+
+      const Result<double> hours = v.get_number("duration_hours");
+      if (!hours.ok()) return net::Response::from_error(hours.error());
+      spec = SliceSpec::from_profile(traffic::profile_for(*vertical),
+                                     Duration::hours(hours.value()));
+    }
+    // Dashboard overrides of the profile defaults.
+    if (const json::Value* f = v.find("throughput_mbps"); f != nullptr && f->is_number())
+      spec.expected_throughput = DataRate::mbps(f->as_number());
+    if (const json::Value* f = v.find("max_latency_ms"); f != nullptr && f->is_number())
+      spec.max_latency = Duration::millis(f->as_number());
+    if (const json::Value* f = v.find("price_per_hour"); f != nullptr && f->is_number())
+      spec.price_per_hour = Money::units(f->as_number());
+    if (const json::Value* f = v.find("penalty_per_violation"); f != nullptr && f->is_number())
+      spec.penalty_per_violation = Money::units(f->as_number());
+    if (const json::Value* f = v.find("tenant"); f != nullptr && f->is_string())
+      spec.tenant_name = f->as_string();
+
+    const RequestId request = submit(spec);
+    const SliceRecord* record = find_by_request(request);
+    assert(record != nullptr);
+    json::Object body;
+    body.emplace("request", static_cast<double>(request.value()));
+    body.emplace("slice", static_cast<double>(record->id.value()));
+    body.emplace("state", std::string(to_string(record->state)));
+    const net::Status status = record->state == SliceState::rejected
+                                   ? net::Status::conflict
+                                   : net::Status::created;
+    return net::Response::json(status, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::get, "/slices", [this, record_json](const net::RouteContext&) {
+    json::Array out;
+    for (const auto& [slice, record] : records_) out.push_back(record_json(record));
+    json::Object body;
+    body.emplace("slices", std::move(out));
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::get, "/slices/{id}",
+              [this, record_json](const net::RouteContext& ctx) {
+                const Result<std::uint64_t> id = ctx.id_param("id");
+                if (!id.ok()) return net::Response::from_error(id.error());
+                const SliceRecord* record = find_slice(SliceId{id.value()});
+                if (record == nullptr)
+                  return net::Response::from_error(make_error(Errc::not_found, "unknown slice"));
+                return net::Response::json(net::Status::ok, json::serialize(record_json(*record)));
+              });
+
+  router->add(net::Method::del, "/slices/{id}", [this](const net::RouteContext& ctx) {
+    const Result<std::uint64_t> id = ctx.id_param("id");
+    if (!id.ok()) return net::Response::from_error(id.error());
+    const Result<void> r = terminate(SliceId{id.value()});
+    if (!r.ok()) return net::Response::from_error(r.error());
+    net::Response resp;
+    resp.status = net::Status::no_content;
+    return resp;
+  });
+
+  router->add(net::Method::patch, "/slices/{id}", [this](const net::RouteContext& ctx) {
+    const Result<std::uint64_t> id = ctx.id_param("id");
+    if (!id.ok()) return net::Response::from_error(id.error());
+    const Result<json::Value> doc = json::parse(ctx.request->body);
+    if (!doc.ok()) return net::Response::from_error(doc.error());
+    const Result<double> rate = doc.value().get_number("throughput_mbps");
+    if (!rate.ok()) return net::Response::from_error(rate.error());
+    const Result<void> r = resize_slice(SliceId{id.value()}, DataRate::mbps(rate.value()));
+    if (!r.ok()) return net::Response::from_error(r.error());
+    return net::Response::json(net::Status::ok, "{}");
+  });
+
+  router->add(net::Method::get, "/templates", [this](const net::RouteContext&) {
+    json::Array out;
+    for (const std::string& name : catalog_.names()) {
+      const SliceTemplate* entry = catalog_.find(name);
+      json::Object row;
+      row.emplace("name", name);
+      row.emplace("vertical", std::string(traffic::to_string(entry->vertical)));
+      row.emplace("duration_hours", entry->default_duration.as_hours());
+      out.push_back(std::move(row));
+    }
+    json::Object body;
+    body.emplace("templates", std::move(out));
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::get, "/events", [this](const net::RouteContext& ctx) {
+    std::vector<Event> events;
+    const auto after = ctx.query.find("after");
+    if (after != ctx.query.end()) {
+      events = events_.since(std::strtoull(after->second.c_str(), nullptr, 10));
+    } else {
+      events = events_.recent(100);
+    }
+    json::Array out;
+    for (const Event& event : events) out.push_back(event.to_json());
+    json::Object body;
+    body.emplace("events", std::move(out));
+    body.emplace("total_recorded", static_cast<double>(events_.total_recorded()));
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::get, "/report", [this](const net::RouteContext&) {
+    const OrchestratorSummary s = summary();
+    json::Object body;
+    body.emplace("active_slices", static_cast<double>(s.active_slices));
+    body.emplace("installing_slices", static_cast<double>(s.installing_slices));
+    body.emplace("admitted_total", static_cast<double>(s.admitted_total));
+    body.emplace("rejected_total", static_cast<double>(s.rejected_total));
+    body.emplace("contracted_mbps", s.contracted_total.as_mbps());
+    body.emplace("reserved_mbps", s.reserved_total.as_mbps());
+    body.emplace("multiplexing_gain", s.multiplexing_gain);
+    body.emplace("earned", s.earned.as_units());
+    body.emplace("penalties", s.penalties.as_units());
+    body.emplace("net_revenue", s.net.as_units());
+    body.emplace("violation_epochs", static_cast<double>(s.violation_epochs));
+    body.emplace("reconfigurations", static_cast<double>(s.reconfigurations));
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  return router;
+}
+
+}  // namespace slices::core

@@ -1,0 +1,276 @@
+#pragma once
+// The end-to-end network-slicing orchestrator (Fig. 1 of the paper).
+//
+// Hierarchically placed on top of the three domain controllers (radio,
+// transport, cloud) plus the EPC manager, it:
+//   * admits slice requests under a revenue-maximization policy,
+//   * embeds admitted slices across all domains atomically (PLMN
+//     install, PRB allocation, delay/capacity-constrained path, EPC
+//     stack + optional edge service), with rollback on any failure,
+//   * runs the closed monitoring → forecasting → reconfiguration loop
+//     every monitoring period, overbooking idle reservations to make
+//     room for new slices,
+//   * tracks SLA violations and keeps the gains-vs-penalties ledger the
+//     demo dashboard displays.
+//
+// Monitoring flows through the REST bus when one is attached (the
+// paper's controllers feed the orchestrator over REST); resource
+// configuration uses the controllers' typed APIs so multi-domain
+// transactions can roll back precisely.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/controller.hpp"
+#include "common/ids.hpp"
+#include "common/log.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/admission.hpp"
+#include "core/catalog.hpp"
+#include "core/events.hpp"
+#include "core/overbooking.hpp"
+#include "core/revenue.hpp"
+#include "core/slice.hpp"
+#include "epc/epc.hpp"
+#include "net/rest_bus.hpp"
+#include "ran/controller.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/registry.hpp"
+#include "traffic/model.hpp"
+#include "transport/controller.hpp"
+
+namespace slices::core {
+
+/// Orchestrator tuning.
+struct OrchestratorConfig {
+  /// Monitoring/orchestration cycle (one epoch).
+  Duration monitoring_period = Duration::minutes(15.0);
+  OverbookingConfig overbooking;
+  std::string admission_policy = "knapsack_revenue";
+  /// When > 0, requests are not decided on arrival but queued and
+  /// auctioned as a batch every window (the broker model of the slice-
+  /// broker literature — this is where revenue-max policies beat FCFS).
+  /// Zero (default) decides each request immediately.
+  Duration admission_window = Duration::zero();
+  /// Batched mode only: how long a request that lost an auction stays
+  /// queued for later auctions before being finally rejected. Zero
+  /// (default) rejects at the first lost auction.
+  Duration admission_patience = Duration::zero();
+  /// Throughput SLA tolerance: a violation epoch is one where
+  /// served < (1 − tolerance) × min(demand, contracted).
+  double sla_tolerance = 0.05;
+  /// CQI assumed when planning radio capacity for not-yet-active slices.
+  ran::Cqi planning_cqi{10};
+  /// Reconfigure a reservation only when it moves by more than this
+  /// fraction of contract (hysteresis against thrashing).
+  double reconfigure_threshold = 0.02;
+  /// Slices placed at an edge datacenter also get a breakout path from
+  /// the edge to the core cloud (internet/centralized services), sized
+  /// at this fraction of the contract. 0 disables the second leg.
+  double edge_breakout_fraction = 0.25;
+  /// Delay bound of the breakout leg (it is not latency-critical).
+  Duration breakout_delay_bound = Duration::millis(50.0);
+
+  // Installation-stage latencies (see experiment D4). Each stage draws
+  // multiplicative lognormal-ish jitter of `install_jitter` relative
+  // std-dev, seeded per orchestrator, so repeated installs show a
+  // realistic latency distribution.
+  Duration plmn_install_time = Duration::millis(800.0);
+  Duration ran_reserve_time = Duration::millis(300.0);
+  Duration path_setup_time_per_rule = Duration::millis(50.0);
+  Duration activation_margin = Duration::millis(500.0);
+  double install_jitter = 0.15;
+  std::uint64_t install_jitter_seed = 0x1057a11;
+};
+
+/// Breakdown of one slice's installation timeline (experiment D4).
+struct InstallTimeline {
+  Duration plmn_install;
+  Duration ran_reservation;
+  Duration path_setup;
+  Duration epc_deploy;
+  Duration activation_margin;
+
+  [[nodiscard]] Duration total() const noexcept {
+    return plmn_install + ran_reservation + path_setup + epc_deploy + activation_margin;
+  }
+};
+
+/// Aggregate numbers for the dashboard's headline panel.
+struct OrchestratorSummary {
+  std::size_t active_slices = 0;
+  std::size_t installing_slices = 0;
+  std::uint64_t admitted_total = 0;
+  std::uint64_t rejected_total = 0;
+  DataRate contracted_total;    ///< sum of contracted rates (active)
+  DataRate reserved_total;      ///< sum of current reservations (active)
+  double multiplexing_gain = 1.0;  ///< contracted / reserved (>= 1 with OB)
+  Money earned;
+  Money penalties;
+  Money net;
+  std::uint64_t violation_epochs = 0;
+  std::uint64_t reconfigurations = 0;
+};
+
+/// The end-to-end orchestrator.
+class Orchestrator {
+ public:
+  /// All collaborators are owned by the caller and must outlive the
+  /// orchestrator. `bus` and `registry` may be nullptr (no REST
+  /// monitoring / no telemetry).
+  Orchestrator(sim::Simulator* simulator, ran::RanController* ran,
+               transport::TransportController* transport, cloud::CloudController* cloud,
+               epc::EpcManager* epc, net::RestBus* bus,
+               telemetry::MonitorRegistry* registry, OrchestratorConfig config = {});
+
+  /// Where slices enter/exit the transport network: the RAN-side
+  /// gateway and one gateway node per datacenter. Must be called before
+  /// the first submit().
+  void set_attachment_points(NodeId ran_gateway,
+                             std::map<DatacenterId, NodeId> datacenter_gateways);
+
+  /// Begin the periodic orchestration loop on the simulator.
+  void start();
+
+  // --- Dashboard-facing API -------------------------------------------------
+
+  /// Submit a slice request; decided immediately (admission + embedding).
+  /// Returns the request id; inspect find_by_request() for the verdict.
+  RequestId submit(const SliceSpec& spec);
+
+  /// Submit with an attached demand workload (sampled every epoch while
+  /// the slice is active).
+  RequestId submit(const SliceSpec& spec, std::unique_ptr<traffic::TrafficModel> workload);
+
+  /// Attach (or replace) the demand workload of an existing slice —
+  /// e.g. one submitted over REST, where the form carries SLA terms
+  /// only. Errors: not_found.
+  [[nodiscard]] Result<void> attach_workload(SliceId slice,
+                                             std::unique_ptr<traffic::TrafficModel> workload);
+
+  /// Tenant-initiated contract change: set a live slice's contracted
+  /// throughput to `new_contract`. Growth re-validates radio and
+  /// transport capacity atomically (insufficient_capacity leaves the
+  /// old contract untouched); shrinking always succeeds. The EPC
+  /// data-plane VNF keeps its deploy-time sizing (scaling VNFs in place
+  /// is out of demo scope). Errors: not_found, conflict (not active),
+  /// invalid_argument, insufficient_capacity.
+  [[nodiscard]] Result<void> resize_slice(SliceId slice, DataRate new_contract);
+
+  /// Operator-initiated early teardown. Errors: not_found, conflict
+  /// (slice not live).
+  [[nodiscard]] Result<void> terminate(SliceId slice);
+
+  [[nodiscard]] const SliceRecord* find_by_request(RequestId request) const noexcept;
+  [[nodiscard]] const SliceRecord* find_slice(SliceId slice) const noexcept;
+  [[nodiscard]] std::vector<const SliceRecord*> all_slices() const;
+
+  [[nodiscard]] const RevenueLedger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] const EventLog& events() const noexcept { return events_; }
+
+  /// Replace the slice-template catalog used by the REST dashboard API
+  /// (defaults to SliceCatalog::builtin()).
+  void set_catalog(SliceCatalog catalog) { catalog_ = std::move(catalog); }
+  [[nodiscard]] const SliceCatalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const OverbookingEngine& overbooking() const noexcept { return engine_; }
+  [[nodiscard]] OverbookingEngine& overbooking() noexcept { return engine_; }
+  [[nodiscard]] const OrchestratorConfig& config() const noexcept { return config_; }
+
+  /// Installation timeline of the most recent successful embedding.
+  [[nodiscard]] const InstallTimeline& last_install_timeline() const noexcept {
+    return last_timeline_;
+  }
+
+  /// Headline dashboard numbers, computed on demand.
+  [[nodiscard]] OrchestratorSummary summary() const;
+
+  /// REST facade — the dashboard API of the demo (slice CRUD + report).
+  [[nodiscard]] std::shared_ptr<net::Router> make_router();
+
+  /// Run one monitoring/orchestration epoch immediately (the periodic
+  /// loop calls this; tests/benches may call it directly).
+  void run_epoch(SimTime now);
+
+ private:
+  struct Workload {
+    std::unique_ptr<traffic::TrafficModel> model;
+  };
+
+  /// Try to admit + embed `record` (in pending state). On success the
+  /// record moves to installing and activation is scheduled.
+  void decide(SliceRecord& record);
+
+  /// Batch auction of all pending requests (admission_window mode).
+  void decide_pending_batch();
+
+  /// Capacity the broker believes it can sell: physical radio headroom
+  /// plus what the overbooking engine can reclaim from live slices.
+  [[nodiscard]] DataRate sellable_capacity() const;
+
+  /// Shared admit path: reclaim, embed, transition, schedule activation.
+  /// Returns false (and rejects) on embedding failure.
+  bool try_admit(SliceRecord& record);
+
+  /// Embed across all domains; rolls back on failure.
+  [[nodiscard]] Result<InstallTimeline> embed(SliceRecord& record);
+
+  /// Release every domain resource the record holds (best effort,
+  /// idempotent) and untrack it from the overbooking engine.
+  void tear_down(SliceRecord& record);
+
+  void activate(SliceId slice);
+  void expire(SliceId slice);
+
+  /// Shrink reservations of live slices to the engine's targets;
+  /// returns the total reclaimed rate.
+  DataRate apply_overbooking(SimTime now);
+
+  /// Reservation a given path leg should carry for a base (contract or
+  /// overbooked) rate: leg 0 is the access path at the full rate,
+  /// further legs are breakout at the configured fraction.
+  [[nodiscard]] DataRate leg_rate(std::size_t leg_index, DataRate base) const noexcept {
+    return leg_index == 0 ? base : base * config_.edge_breakout_fraction;
+  }
+
+  /// Pull /metrics of every domain over the REST bus (when attached).
+  void poll_domain_metrics();
+
+  void publish_summary(SimTime now);
+
+  sim::Simulator* simulator_;
+  ran::RanController* ran_;
+  transport::TransportController* transport_;
+  cloud::CloudController* cloud_;
+  epc::EpcManager* epc_;
+  net::RestBus* bus_;
+  telemetry::MonitorRegistry* registry_;
+  OrchestratorConfig config_;
+  std::unique_ptr<AdmissionPolicy> policy_;
+  Rng install_jitter_rng_{0};
+  OverbookingEngine engine_;
+  RevenueLedger ledger_;
+  EventLog events_;
+  SliceCatalog catalog_ = SliceCatalog::builtin();
+  Logger log_{"orchestrator"};
+
+  NodeId ran_gateway_;
+  std::map<DatacenterId, NodeId> dc_gateways_;
+
+  std::map<SliceId, SliceRecord> records_;
+  std::map<RequestId, SliceId> by_request_;
+  std::map<SliceId, Workload> workloads_;
+  IdAllocator<SliceTag> slice_ids_;
+  IdAllocator<RequestTag> request_ids_;
+  std::uint64_t next_plmn_ = 100001;  // PLMN code pool for dynamic installs
+  std::uint64_t admitted_total_ = 0;
+  std::uint64_t rejected_total_ = 0;
+  std::uint64_t reconfigurations_ = 0;
+  InstallTimeline last_timeline_;
+  bool started_ = false;
+};
+
+}  // namespace slices::core

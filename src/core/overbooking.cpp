@@ -1,0 +1,69 @@
+#include "core/overbooking.hpp"
+
+#include <algorithm>
+
+namespace slices::core {
+
+std::string_view to_string(EstimatorKind k) noexcept {
+  switch (k) {
+    case EstimatorKind::adaptive: return "adaptive";
+    case EstimatorKind::naive: return "naive";
+    case EstimatorKind::ewma: return "ewma";
+    case EstimatorKind::holt_winters: return "holt_winters";
+  }
+  return "?";
+}
+
+namespace {
+
+forecast::DemandEstimator make_estimator(const OverbookingConfig& config) {
+  switch (config.estimator) {
+    case EstimatorKind::adaptive:
+      return forecast::DemandEstimator::adaptive(config.season_length);
+    case EstimatorKind::naive:
+      return forecast::DemandEstimator(std::make_unique<forecast::NaiveForecaster>());
+    case EstimatorKind::ewma:
+      return forecast::DemandEstimator(std::make_unique<forecast::EwmaForecaster>(0.3));
+    case EstimatorKind::holt_winters:
+      return forecast::DemandEstimator(std::make_unique<forecast::HoltWintersForecaster>(
+          0.4, 0.05, 0.3, config.season_length));
+  }
+  return forecast::DemandEstimator::adaptive(config.season_length);
+}
+
+}  // namespace
+
+void OverbookingEngine::track(SliceId slice) {
+  if (estimators_.contains(slice)) return;
+  estimators_.emplace(slice, make_estimator(config_));
+}
+
+void OverbookingEngine::untrack(SliceId slice) { estimators_.erase(slice); }
+
+void OverbookingEngine::observe(SliceId slice, double demand_mbps) {
+  const auto it = estimators_.find(slice);
+  if (it == estimators_.end()) return;
+  it->second.observe(demand_mbps);
+}
+
+DataRate OverbookingEngine::target_reservation(SliceId slice, DataRate contracted) const {
+  if (!config_.enabled) return contracted;
+  const auto it = estimators_.find(slice);
+  if (it == estimators_.end()) return contracted;
+  const forecast::DemandEstimator& estimator = it->second;
+  if (!estimator.ready() || estimator.observations() < config_.warmup_observations)
+    return contracted;
+
+  const double bound =
+      config_.headroom * estimator.upper_bound(config_.risk_quantile, config_.horizon);
+  const double floor = config_.floor_fraction * contracted.as_mbps();
+  const double target = std::clamp(bound, floor, contracted.as_mbps());
+  return DataRate::mbps(target);
+}
+
+const forecast::DemandEstimator* OverbookingEngine::find(SliceId slice) const noexcept {
+  const auto it = estimators_.find(slice);
+  return it == estimators_.end() ? nullptr : &it->second;
+}
+
+}  // namespace slices::core

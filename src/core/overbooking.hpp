@@ -1,0 +1,95 @@
+#pragma once
+// The overbooking engine — the heart of the paper.
+//
+// "Allocated network slices might be dynamically re-configured
+// (overbooked) to accommodate new slice requests" (paper §3). The engine
+// keeps one DemandEstimator per live slice; each orchestration cycle it
+// proposes a reservation for every slice:
+//
+//   target = clamp( headroom × upper_bound(q, horizon),
+//                   floor_fraction × contracted, contracted )
+//
+// where upper_bound comes from the forecast plus the residual-quantile
+// safety margin. The difference (contracted − target) is the reclaimed
+// capacity that lets additional slices in; the risk quantile q is the
+// knob behind the dashboard's "gains vs. penalties" display.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "forecast/demand_estimator.hpp"
+
+namespace slices::core {
+
+/// Which forecaster family the engine instantiates per slice (the A2
+/// ablation knob; `adaptive` is the library default: EWMA warm-up with
+/// periodic reselection over the full candidate set).
+enum class EstimatorKind { adaptive, naive, ewma, holt_winters };
+
+[[nodiscard]] std::string_view to_string(EstimatorKind k) noexcept;
+
+/// Tuning of the overbooking engine.
+struct OverbookingConfig {
+  bool enabled = true;
+  /// Residual-quantile confidence; higher = safer = less reclaimed.
+  double risk_quantile = 0.95;
+  /// Monitoring periods the upper bound must cover (reconfiguration
+  /// cannot happen faster than this).
+  std::size_t horizon = 4;
+  /// Never shrink a reservation below this fraction of contract.
+  double floor_fraction = 0.10;
+  /// Multiplier on the upper bound (engineering headroom).
+  double headroom = 1.05;
+  /// Minimum observations before a slice may be overbooked at all.
+  std::size_t warmup_observations = 8;
+  /// Season length hint for per-slice estimators, in monitoring
+  /// periods. The default matches one day of 15-minute epochs.
+  std::size_t season_length = 96;
+  /// Forecaster family used for per-slice demand estimation.
+  EstimatorKind estimator = EstimatorKind::adaptive;
+};
+
+/// Per-slice demand learning + reservation targeting.
+class OverbookingEngine {
+ public:
+  explicit OverbookingEngine(OverbookingConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const OverbookingConfig& config() const noexcept { return config_; }
+
+  /// Start learning a slice's demand. Idempotent.
+  void track(SliceId slice);
+
+  /// Forget a slice (on teardown/expiry).
+  void untrack(SliceId slice);
+
+  [[nodiscard]] bool tracks(SliceId slice) const noexcept {
+    return estimators_.contains(slice);
+  }
+
+  /// Feed one monitoring period's *offered demand* (not served rate —
+  /// the engine must learn what tenants want, not what they got).
+  void observe(SliceId slice, double demand_mbps);
+
+  /// Reservation the engine proposes for the next cycle; equals
+  /// `contracted` when overbooking is disabled, the slice is unknown,
+  /// still warming up, or the forecast is not ready.
+  [[nodiscard]] DataRate target_reservation(SliceId slice, DataRate contracted) const;
+
+  /// contracted − target (>= 0): capacity reclaimable from this slice.
+  [[nodiscard]] DataRate reclaimable(SliceId slice, DataRate contracted) const {
+    return clamp_non_negative(contracted - target_reservation(slice, contracted));
+  }
+
+  /// Access a slice's estimator (nullptr when untracked). Exposed for
+  /// dashboards/tests.
+  [[nodiscard]] const forecast::DemandEstimator* find(SliceId slice) const noexcept;
+
+ private:
+  OverbookingConfig config_;
+  std::map<SliceId, forecast::DemandEstimator> estimators_;
+};
+
+}  // namespace slices::core

@@ -1,0 +1,39 @@
+#include "core/request_generator.hpp"
+
+#include <cassert>
+
+namespace slices::core {
+
+RequestGenerator::RequestGenerator(RequestGeneratorConfig config, Rng rng)
+    : config_(std::move(config)), rng_(rng) {
+  assert(config_.arrivals_per_hour > 0.0);
+  assert(config_.min_duration > Duration::zero());
+  assert(config_.max_duration >= config_.min_duration);
+  assert(config_.price_dispersion >= 0.0 && config_.price_dispersion < 1.0);
+  if (config_.verticals.empty()) config_.verticals = traffic::all_verticals();
+}
+
+Duration RequestGenerator::next_interarrival() {
+  return Duration::hours(rng_.exponential(config_.arrivals_per_hour));
+}
+
+GeneratedRequest RequestGenerator::next_request() {
+  const std::size_t pick = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(config_.verticals.size()) - 1));
+  const traffic::Vertical vertical = config_.verticals[pick];
+  const Duration duration = Duration::seconds(rng_.uniform(
+      config_.min_duration.as_seconds(), config_.max_duration.as_seconds()));
+
+  SliceSpec spec = SliceSpec::from_profile(traffic::profile_for(vertical), duration);
+  const double price_scale =
+      rng_.uniform(1.0 - config_.price_dispersion, 1.0 + config_.price_dispersion);
+  spec.price_per_hour = spec.price_per_hour * price_scale;
+  spec.penalty_per_violation = spec.penalty_per_violation * price_scale;
+
+  GeneratedRequest out;
+  out.spec = std::move(spec);
+  out.workload = traffic::make_traffic(vertical, rng_.fork());
+  return out;
+}
+
+}  // namespace slices::core

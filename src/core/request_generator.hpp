@@ -1,0 +1,58 @@
+#pragma once
+// Stochastic slice-request workload for admission experiments.
+//
+// The demo operator requests slices by hand through the dashboard; the
+// admission experiments (D1, A1) need a reproducible stream of
+// heterogeneous requests instead: Poisson arrivals, vertical mix,
+// dispersed durations and prices. Each generated request comes with the
+// matching demand workload so the slice actually offers traffic once
+// admitted.
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/slice.hpp"
+#include "traffic/model.hpp"
+#include "traffic/verticals.hpp"
+
+namespace slices::core {
+
+/// Tuning of the request stream.
+struct RequestGeneratorConfig {
+  double arrivals_per_hour = 0.5;       ///< Poisson arrival rate
+  Duration min_duration = Duration::hours(2.0);
+  Duration max_duration = Duration::hours(24.0);
+  /// Prices/penalties are scaled by a uniform factor in
+  /// [1 − dispersion, 1 + dispersion] to differentiate tenants.
+  double price_dispersion = 0.4;
+  /// Vertical mix; empty means all built-in verticals, equally likely.
+  std::vector<traffic::Vertical> verticals;
+};
+
+/// One generated request: the spec plus the tenant's demand process.
+struct GeneratedRequest {
+  SliceSpec spec;
+  std::unique_ptr<traffic::TrafficModel> workload;
+};
+
+/// Deterministic (seeded) request stream.
+class RequestGenerator {
+ public:
+  RequestGenerator(RequestGeneratorConfig config, Rng rng);
+
+  /// Exponential gap to the next arrival.
+  [[nodiscard]] Duration next_interarrival();
+
+  /// Draw the next request.
+  [[nodiscard]] GeneratedRequest next_request();
+
+  [[nodiscard]] const RequestGeneratorConfig& config() const noexcept { return config_; }
+
+ private:
+  RequestGeneratorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace slices::core

@@ -1,0 +1,72 @@
+#pragma once
+// Revenue accounting: the "gains vs. penalties" the demo dashboard shows.
+//
+// Slice income accrues per active hour at the contracted price; SLA
+// violations charge the tenant-declared penalty per violation epoch.
+// Everything is exact fixed-point Money.
+
+#include <cstdint>
+#include <map>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace slices::core {
+
+/// Per-slice revenue breakdown.
+struct SliceLedgerEntry {
+  Money earned;
+  Money penalties;
+  std::uint64_t violation_epochs = 0;
+
+  [[nodiscard]] Money net() const noexcept { return earned - penalties; }
+};
+
+/// The operator's books.
+class RevenueLedger {
+ public:
+  /// Accrue income for `active_time` of slice runtime at `price_per_hour`.
+  void accrue(SliceId slice, Money price_per_hour, Duration active_time) {
+    entries_[slice].earned += price_per_hour * active_time.as_hours();
+  }
+
+  /// Charge one violation epoch at the slice's declared penalty.
+  void charge_violation(SliceId slice, Money penalty) {
+    SliceLedgerEntry& entry = entries_[slice];
+    entry.penalties += penalty;
+    ++entry.violation_epochs;
+  }
+
+  [[nodiscard]] const SliceLedgerEntry* find(SliceId slice) const noexcept {
+    const auto it = entries_.find(slice);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] Money total_earned() const noexcept {
+    Money sum;
+    for (const auto& [slice, entry] : entries_) sum += entry.earned;
+    return sum;
+  }
+  [[nodiscard]] Money total_penalties() const noexcept {
+    Money sum;
+    for (const auto& [slice, entry] : entries_) sum += entry.penalties;
+    return sum;
+  }
+  [[nodiscard]] Money net_revenue() const noexcept {
+    return total_earned() - total_penalties();
+  }
+  [[nodiscard]] std::uint64_t total_violation_epochs() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& [slice, entry] : entries_) sum += entry.violation_epochs;
+    return sum;
+  }
+
+  [[nodiscard]] const std::map<SliceId, SliceLedgerEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::map<SliceId, SliceLedgerEntry> entries_;
+};
+
+}  // namespace slices::core

@@ -1,0 +1,47 @@
+#include "core/slice.hpp"
+
+namespace slices::core {
+
+SliceSpec SliceSpec::from_profile(const traffic::VerticalProfile& profile, Duration duration) {
+  SliceSpec spec;
+  spec.tenant_name = profile.label;
+  spec.vertical = profile.vertical;
+  spec.duration = duration;
+  spec.max_latency = profile.max_latency;
+  spec.expected_throughput = DataRate::mbps(profile.expected_throughput_mbps);
+  spec.edge_compute = profile.edge_compute;
+  spec.price_per_hour = Money::units(profile.price_per_hour);
+  spec.penalty_per_violation = Money::units(profile.penalty_per_violation);
+  spec.needs_edge = profile.needs_edge;
+  return spec;
+}
+
+std::string_view to_string(SliceState s) noexcept {
+  switch (s) {
+    case SliceState::pending: return "pending";
+    case SliceState::rejected: return "rejected";
+    case SliceState::installing: return "installing";
+    case SliceState::active: return "active";
+    case SliceState::expired: return "expired";
+    case SliceState::terminated: return "terminated";
+  }
+  return "?";
+}
+
+bool can_transition(SliceState from, SliceState to) noexcept {
+  switch (from) {
+    case SliceState::pending:
+      return to == SliceState::rejected || to == SliceState::installing;
+    case SliceState::installing:
+      return to == SliceState::active || to == SliceState::terminated;
+    case SliceState::active:
+      return to == SliceState::expired || to == SliceState::terminated;
+    case SliceState::rejected:
+    case SliceState::expired:
+    case SliceState::terminated:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace slices::core

@@ -1,0 +1,56 @@
+#pragma once
+// The Fig. 2 testbed, in software.
+//
+// Builds the full end-to-end deployment the demo runs on: two 20 MHz
+// MOCN eNBs, a transport network with parallel mmWave and µwave wireless
+// links into an OpenFlow switch and fiber toward the edge and core
+// datacenters, two OpenStack-style datacenters, the EPC manager, the
+// REST bus with every controller registered, and the orchestrator on
+// top. One call gives benches/examples a ready system.
+
+#include <cstdint>
+#include <memory>
+
+#include "cloud/controller.hpp"
+#include "core/orchestrator.hpp"
+#include "epc/epc.hpp"
+#include "net/rest_bus.hpp"
+#include "ran/controller.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/registry.hpp"
+#include "transport/controller.hpp"
+
+namespace slices::core {
+
+/// A fully wired testbed. Members are declared in dependency order so
+/// destruction is safe (orchestrator first, substrates last).
+struct Testbed {
+  sim::Simulator simulator;
+  telemetry::MonitorRegistry registry;
+  net::RestBus bus;
+  ran::RanController ran{&registry};
+  cloud::CloudController cloud{&registry};
+  std::unique_ptr<transport::TransportController> transport;
+  std::unique_ptr<epc::EpcManager> epc;
+  std::unique_ptr<Orchestrator> orchestrator;
+
+  // Well-known handles of the Fig. 2 layout.
+  NodeId ran_gateway;
+  NodeId switch_node;      ///< the programmable (PF5240-like) switch
+  NodeId edge_gateway;
+  NodeId core_gateway;
+  LinkId mmwave_uplink;    ///< RAN gw -> switch over mmWave
+  LinkId uwave_uplink;     ///< RAN gw -> switch over µwave (backup)
+  DatacenterId edge_dc;
+  DatacenterId core_dc;
+  CellId cell_a;
+  CellId cell_b;
+};
+
+/// Build the Fig. 2 testbed. `seed` drives every stochastic process
+/// (fading; traffic models are seeded by the caller). The orchestrator
+/// is constructed with `config` and started (periodic loop armed).
+[[nodiscard]] std::unique_ptr<Testbed> make_testbed(std::uint64_t seed,
+                                                    OrchestratorConfig config = {});
+
+}  // namespace slices::core

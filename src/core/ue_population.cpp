@@ -1,0 +1,85 @@
+#include "core/ue_population.hpp"
+
+#include <cassert>
+
+namespace slices::core {
+
+UePopulation::UePopulation(sim::Simulator* simulator, ran::RanController* ran,
+                           epc::EpcManager* epc, SliceId slice, PlmnId plmn,
+                           UePopulationConfig config, Rng rng)
+    : simulator_(simulator),
+      ran_(ran),
+      epc_(epc),
+      slice_(slice),
+      plmn_(plmn),
+      config_(config),
+      rng_(rng) {
+  assert(simulator_ != nullptr && ran_ != nullptr && epc_ != nullptr);
+  assert(config_.arrivals_per_hour > 0.0);
+  assert(config_.mean_holding > Duration::zero());
+  assert(config_.cqi_min >= 1 && config_.cqi_max <= 15 &&
+         config_.cqi_min <= config_.cqi_max);
+}
+
+void UePopulation::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next_arrival();
+}
+
+void UePopulation::stop() {
+  if (!running_) return;
+  running_ = false;
+  simulator_->cancel(pending_arrival_);
+  for (const auto& [ue, departure_event] : active_) {
+    simulator_->cancel(departure_event);
+    (void)ran_->detach_ue(ue);
+    (void)epc_->detach_ue(slice_);
+  }
+  active_.clear();
+}
+
+void UePopulation::schedule_next_arrival() {
+  const Duration gap = Duration::hours(rng_.exponential(config_.arrivals_per_hour));
+  pending_arrival_ = simulator_->schedule_after(gap, [this] { on_arrival(); });
+}
+
+void UePopulation::on_arrival() {
+  if (!running_) return;
+  schedule_next_arrival();
+  ++arrivals_;
+
+  // EPC attach first: the demo gating — no service before the slice's
+  // core is up.
+  const Result<Duration> attach = epc_->attach_ue(slice_);
+  if (!attach.ok()) {
+    ++blocked_;
+    return;
+  }
+  const ran::Cqi cqi{static_cast<int>(
+      rng_.uniform_int(config_.cqi_min, config_.cqi_max))};
+  const Result<UeId> ue = ran_->attach_ue(plmn_, cqi);
+  if (!ue.ok()) {
+    (void)epc_->detach_ue(slice_);
+    ++blocked_;
+    return;
+  }
+
+  const Duration holding =
+      Duration::seconds(rng_.exponential(1.0 / config_.mean_holding.as_seconds()));
+  const UeId ue_id = ue.value();
+  const sim::EventId departure =
+      simulator_->schedule_after(holding, [this, ue_id] { on_departure(ue_id); });
+  active_.emplace(ue_id, departure);
+}
+
+void UePopulation::on_departure(UeId ue) {
+  const auto it = active_.find(ue);
+  if (it == active_.end()) return;
+  active_.erase(it);
+  (void)ran_->detach_ue(ue);
+  (void)epc_->detach_ue(slice_);
+  ++departures_;
+}
+
+}  // namespace slices::core

@@ -1,0 +1,75 @@
+#pragma once
+// Session-level user dynamics for a live slice.
+//
+// In the demo, "user devices associated with the PLMN-id of the new
+// slices are allowed to connect to the respective services". This
+// process animates that population: UEs arrive Poisson, hold for an
+// exponential time, attach to the RAN under the slice's PLMN and run
+// the EPC attach procedure, then detach on departure — all as simulator
+// events. Attach attempts while the EPC is still deploying are counted
+// as blocked (the "few seconds" gating, observable in telemetry).
+
+#include <cstdint>
+#include <map>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "epc/epc.hpp"
+#include "ran/controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace slices::core {
+
+/// Tuning of one slice's session process.
+struct UePopulationConfig {
+  double arrivals_per_hour = 30.0;
+  Duration mean_holding = Duration::minutes(20.0);
+  int cqi_min = 5;   ///< arriving UEs draw CQI uniformly in [min, max]
+  int cqi_max = 14;
+};
+
+/// Drives UE churn for one slice. Construct after the slice is
+/// embedded; call start() (idempotent); stop() detaches everyone and
+/// halts arrivals (call before the slice is torn down).
+class UePopulation {
+ public:
+  UePopulation(sim::Simulator* simulator, ran::RanController* ran, epc::EpcManager* epc,
+               SliceId slice, PlmnId plmn, UePopulationConfig config, Rng rng);
+  ~UePopulation() { stop(); }
+
+  UePopulation(const UePopulation&) = delete;
+  UePopulation& operator=(const UePopulation&) = delete;
+
+  /// Begin the arrival process.
+  void start();
+
+  /// Halt arrivals and detach every active UE.
+  void stop();
+
+  [[nodiscard]] std::size_t active_ues() const noexcept { return active_.size(); }
+  [[nodiscard]] std::uint64_t total_arrivals() const noexcept { return arrivals_; }
+  [[nodiscard]] std::uint64_t total_blocked() const noexcept { return blocked_; }
+  [[nodiscard]] std::uint64_t total_departures() const noexcept { return departures_; }
+
+ private:
+  void schedule_next_arrival();
+  void on_arrival();
+  void on_departure(UeId ue);
+
+  sim::Simulator* simulator_;
+  ran::RanController* ran_;
+  epc::EpcManager* epc_;
+  SliceId slice_;
+  PlmnId plmn_;
+  UePopulationConfig config_;
+  Rng rng_;
+  bool running_ = false;
+  sim::EventId pending_arrival_{};
+  std::map<UeId, sim::EventId> active_;  // UE -> its departure event
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t blocked_ = 0;
+  std::uint64_t departures_ = 0;
+};
+
+}  // namespace slices::core

@@ -1,0 +1,142 @@
+#include "dashboard/dashboard.hpp"
+
+#include "dashboard/table.hpp"
+
+namespace slices::dashboard {
+
+std::string Dashboard::render_slices() const {
+  TextTable table({"slice", "tenant", "vertical", "state", "contracted Mb/s",
+                   "reserved Mb/s", "violations", "earned", "penalties"});
+  for (const core::SliceRecord* record : testbed_->orchestrator->all_slices()) {
+    const core::SliceLedgerEntry* ledger =
+        testbed_->orchestrator->ledger().find(record->id);
+    table.add_row({std::to_string(record->id.value()),
+                   record->spec.tenant_name,
+                   std::string(traffic::to_string(record->spec.vertical)),
+                   std::string(core::to_string(record->state)),
+                   TextTable::num(record->spec.expected_throughput.as_mbps()),
+                   TextTable::num(record->reserved.as_mbps()),
+                   std::to_string(record->violation_epochs),
+                   ledger == nullptr ? "0.00" : TextTable::num(ledger->earned.as_units(), 2),
+                   ledger == nullptr ? "0.00"
+                                     : TextTable::num(ledger->penalties.as_units(), 2)});
+  }
+  return "== Network slices ==\n" + table.render();
+}
+
+std::string Dashboard::render_domains() const {
+  std::string out = "== Domain utilization ==\n";
+
+  TextTable cells({"cell", "total PRB", "reserved PRB", "free PRB"});
+  for (const CellId id : {testbed_->cell_a, testbed_->cell_b}) {
+    const ran::Cell* cell = testbed_->ran.find_cell(id);
+    if (cell == nullptr) continue;
+    cells.add_row({cell->name(), std::to_string(cell->total_prbs().value),
+                   std::to_string(cell->reserved_prbs().value),
+                   std::to_string(cell->unreserved_prbs().value)});
+  }
+  out += cells.render();
+
+  TextTable links({"link", "tech", "nominal Mb/s", "effective Mb/s", "reserved Mb/s",
+                   "delay ms"});
+  const transport::TransportController& tc = *testbed_->transport;
+  for (const transport::Link& link : tc.topology().links()) {
+    const transport::Node* from = tc.topology().find_node(link.from);
+    const transport::Node* to = tc.topology().find_node(link.to);
+    links.add_row({from->name + "->" + to->name,
+                   std::string(transport::to_string(link.technology)),
+                   TextTable::num(link.nominal_capacity.as_mbps(), 0),
+                   TextTable::num(tc.fading().effective_capacity(link).as_mbps(), 0),
+                   TextTable::num(tc.reserved_on(link.id).as_mbps(), 0),
+                   TextTable::num(link.delay.as_millis(), 1)});
+  }
+  out += links.render();
+
+  TextTable dcs({"datacenter", "kind", "vCPU used", "vCPU total", "stacks"});
+  for (const cloud::Datacenter* dc : testbed_->cloud.datacenters()) {
+    dcs.add_row({dc->name(), std::string(cloud::to_string(dc->kind())),
+                 TextTable::num(dc->used_capacity().vcpus, 0),
+                 TextTable::num(dc->total_capacity().vcpus, 0),
+                 std::to_string(dc->vm_count())});
+  }
+  out += dcs.render();
+  return out;
+}
+
+std::string Dashboard::render_headline() const {
+  const core::OrchestratorSummary s = testbed_->orchestrator->summary();
+  TextTable table({"metric", "value"});
+  table.add_row({"active slices", std::to_string(s.active_slices)});
+  table.add_row({"admitted / rejected",
+                 std::to_string(s.admitted_total) + " / " + std::to_string(s.rejected_total)});
+  table.add_row({"contracted Mb/s", TextTable::num(s.contracted_total.as_mbps())});
+  table.add_row({"reserved Mb/s", TextTable::num(s.reserved_total.as_mbps())});
+  table.add_row({"multiplexing gain", TextTable::num(s.multiplexing_gain, 3)});
+  table.add_row({"earned", TextTable::num(s.earned.as_units(), 2)});
+  table.add_row({"penalties", TextTable::num(s.penalties.as_units(), 2)});
+  table.add_row({"net revenue", TextTable::num(s.net.as_units(), 2)});
+  table.add_row({"violation epochs", std::to_string(s.violation_epochs)});
+  table.add_row({"reconfigurations", std::to_string(s.reconfigurations)});
+  return "== Overbooking gains vs penalties ==\n" + table.render();
+}
+
+std::string Dashboard::render_bus() const {
+  TextTable table({"service", "requests", "2xx", "errors", "tx bytes", "rx bytes"});
+  for (const auto& [name, stats] : testbed_->bus.stats()) {
+    table.add_row({name, std::to_string(stats.requests), std::to_string(stats.responses_ok),
+                   std::to_string(stats.responses_error), std::to_string(stats.bytes_tx),
+                   std::to_string(stats.bytes_rx)});
+  }
+  return "== REST bus ==\n" + table.render();
+}
+
+std::string Dashboard::render_events(std::size_t count) const {
+  TextTable table({"t (h)", "slice", "event", "detail"});
+  for (const core::Event& event : testbed_->orchestrator->events().recent(count)) {
+    table.add_row({TextTable::num(event.time.as_hours(), 2),
+                   std::to_string(event.slice.value()),
+                   std::string(core::to_string(event.kind)), event.detail});
+  }
+  return "== Recent events ==\n" + table.render();
+}
+
+std::string Dashboard::render_all() const {
+  return render_headline() + "\n" + render_slices() + "\n" + render_domains() + "\n" +
+         render_events() + "\n" + render_bus();
+}
+
+json::Value Dashboard::snapshot() const {
+  const core::OrchestratorSummary s = testbed_->orchestrator->summary();
+  json::Object headline;
+  headline.emplace("active_slices", static_cast<double>(s.active_slices));
+  headline.emplace("admitted_total", static_cast<double>(s.admitted_total));
+  headline.emplace("rejected_total", static_cast<double>(s.rejected_total));
+  headline.emplace("contracted_mbps", s.contracted_total.as_mbps());
+  headline.emplace("reserved_mbps", s.reserved_total.as_mbps());
+  headline.emplace("multiplexing_gain", s.multiplexing_gain);
+  headline.emplace("earned", s.earned.as_units());
+  headline.emplace("penalties", s.penalties.as_units());
+  headline.emplace("net_revenue", s.net.as_units());
+  headline.emplace("violation_epochs", static_cast<double>(s.violation_epochs));
+
+  json::Array slice_rows;
+  for (const core::SliceRecord* record : testbed_->orchestrator->all_slices()) {
+    json::Object row;
+    row.emplace("slice", static_cast<double>(record->id.value()));
+    row.emplace("tenant", record->spec.tenant_name);
+    row.emplace("vertical", std::string(traffic::to_string(record->spec.vertical)));
+    row.emplace("state", std::string(core::to_string(record->state)));
+    row.emplace("contracted_mbps", record->spec.expected_throughput.as_mbps());
+    row.emplace("reserved_mbps", record->reserved.as_mbps());
+    row.emplace("violation_epochs", static_cast<double>(record->violation_epochs));
+    slice_rows.push_back(std::move(row));
+  }
+
+  json::Object root;
+  root.emplace("headline", std::move(headline));
+  root.emplace("slices", std::move(slice_rows));
+  root.emplace("telemetry", testbed_->registry.snapshot());
+  return root;
+}
+
+}  // namespace slices::dashboard

@@ -1,0 +1,49 @@
+#pragma once
+// The control dashboard of the demo, rendered as text/JSON.
+//
+// "All operations are displayed in a control dashboard that shows the
+// installed network slices resource utilization as well as the achieved
+// multiplexing gains." The Dashboard reads orchestrator + controller
+// state and renders the same panels: the slice table, per-domain
+// utilization, and the gains-vs-penalties headline.
+
+#include <string>
+
+#include "core/testbed.hpp"
+#include "json/value.hpp"
+
+namespace slices::dashboard {
+
+/// Renders panels from a live testbed. Non-owning; the testbed must
+/// outlive the dashboard.
+class Dashboard {
+ public:
+  explicit Dashboard(const core::Testbed* testbed) : testbed_(testbed) {}
+
+  /// The slice table: one row per request ever submitted.
+  [[nodiscard]] std::string render_slices() const;
+
+  /// Per-domain utilization: cells (PRBs), links (reserved/effective),
+  /// datacenters (vCPUs).
+  [[nodiscard]] std::string render_domains() const;
+
+  /// The headline panel: multiplexing gain, earned vs penalties, net.
+  [[nodiscard]] std::string render_headline() const;
+
+  /// REST-bus traffic counters (the controller <-> orchestrator feed).
+  [[nodiscard]] std::string render_bus() const;
+
+  /// The most recent orchestration events (the demo's activity feed).
+  [[nodiscard]] std::string render_events(std::size_t count = 12) const;
+
+  /// All panels concatenated.
+  [[nodiscard]] std::string render_all() const;
+
+  /// Machine-readable snapshot of everything the panels show.
+  [[nodiscard]] json::Value snapshot() const;
+
+ private:
+  const core::Testbed* testbed_;
+};
+
+}  // namespace slices::dashboard

@@ -1,0 +1,62 @@
+#pragma once
+// Fixed-width ASCII table renderer used by the dashboard panels.
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace slices::dashboard {
+
+/// Accumulates rows and renders a boxed, column-aligned table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  /// Format a double with fixed precision (column helper).
+  [[nodiscard]] static std::string num(double v, int precision = 1) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  /// Render with +---+ separators.
+  [[nodiscard]] std::string render() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+      }
+    }
+
+    std::string rule = "+";
+    for (const std::size_t w : width) rule += std::string(w + 2, '-') + "+";
+    rule += "\n";
+
+    const auto render_row = [&](const std::vector<std::string>& row) {
+      std::string out = "|";
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        out += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+      }
+      return out + "\n";
+    };
+
+    std::string out = rule + render_row(headers_) + rule;
+    for (const auto& row : rows_) out += render_row(row);
+    out += rule;
+    return out;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace slices::dashboard

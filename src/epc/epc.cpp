@@ -1,0 +1,118 @@
+#include "epc/epc.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace slices::epc {
+
+std::string_view to_string(VnfKind k) noexcept {
+  switch (k) {
+    case VnfKind::mme: return "mme";
+    case VnfKind::hss: return "hss";
+    case VnfKind::spgw_c: return "spgw_c";
+    case VnfKind::spgw_u: return "spgw_u";
+  }
+  return "?";
+}
+
+std::string_view to_string(EpcState s) noexcept {
+  switch (s) {
+    case EpcState::deploying: return "deploying";
+    case EpcState::active: return "active";
+    case EpcState::removed: return "removed";
+  }
+  return "?";
+}
+
+cloud::Flavor default_flavor(VnfKind k, DataRate slice_rate) {
+  switch (k) {
+    case VnfKind::mme:
+      return {"epc.mme", ComputeCapacity{2.0, 4096.0, 20.0}};
+    case VnfKind::hss:
+      return {"epc.hss", ComputeCapacity{1.0, 2048.0, 20.0}};
+    case VnfKind::spgw_c:
+      return {"epc.spgw_c", ComputeCapacity{1.0, 2048.0, 10.0}};
+    case VnfKind::spgw_u: {
+      // Data plane: 1 vCPU per 25 Mb/s of contracted rate, min 1.
+      const double vcpus = std::max(1.0, std::ceil(slice_rate.as_mbps() / 25.0));
+      return {"epc.spgw_u", ComputeCapacity{vcpus, 2048.0 + 64.0 * vcpus, 10.0}};
+    }
+  }
+  return {"epc.unknown", ComputeCapacity{}};
+}
+
+cloud::StackTemplate epc_stack_template(SliceId slice, DataRate slice_rate) {
+  cloud::StackTemplate tmpl;
+  tmpl.name = "epc-slice-" + std::to_string(slice.value());
+  for (const VnfKind kind : {VnfKind::mme, VnfKind::hss, VnfKind::spgw_c, VnfKind::spgw_u}) {
+    tmpl.resources.push_back(
+        cloud::ResourceSpec{std::string(to_string(kind)), default_flavor(kind, slice_rate)});
+  }
+  return tmpl;
+}
+
+Result<Duration> EpcManager::deploy(SliceId slice, DatacenterId dc, DataRate slice_rate) {
+  assert(cloud_ != nullptr && cloud_->finalized());
+  if (const auto it = instances_.find(slice);
+      it != instances_.end() && it->second.state != EpcState::removed) {
+    return make_error(Errc::conflict, "slice already has an EPC instance");
+  }
+  const cloud::StackTemplate tmpl = epc_stack_template(slice, slice_rate);
+  const Result<StackId> stack = cloud_->create_stack(dc, tmpl);
+  if (!stack.ok()) return stack.error();
+
+  EpcInstance instance;
+  instance.slice = slice;
+  instance.stack = stack.value();
+  instance.datacenter = dc;
+  instance.state = EpcState::deploying;
+  instances_.insert_or_assign(slice, instance);
+  return cloud_->estimated_deploy_time(tmpl);
+}
+
+Result<void> EpcManager::activate(SliceId slice) {
+  const auto it = instances_.find(slice);
+  if (it == instances_.end()) return make_error(Errc::not_found, "no EPC for slice");
+  if (it->second.state != EpcState::deploying)
+    return make_error(Errc::conflict, "EPC not in deploying state");
+  it->second.state = EpcState::active;
+  return {};
+}
+
+Result<void> EpcManager::remove(SliceId slice) {
+  const auto it = instances_.find(slice);
+  if (it == instances_.end() || it->second.state == EpcState::removed)
+    return make_error(Errc::not_found, "no EPC for slice");
+  const Result<void> r = cloud_->delete_stack(it->second.stack);
+  assert(r.ok());
+  (void)r;
+  instances_.erase(it);
+  return {};
+}
+
+Result<Duration> EpcManager::attach_ue(SliceId slice) {
+  const auto it = instances_.find(slice);
+  if (it == instances_.end()) return make_error(Errc::not_found, "no EPC for slice");
+  if (it->second.state != EpcState::active)
+    return make_error(Errc::unavailable, "EPC still deploying; UE cannot attach yet");
+  ++it->second.attached_ues;
+  ++it->second.active_bearers;  // default bearer comes with attach
+  return timings_.attach + timings_.bearer_setup;
+}
+
+Result<void> EpcManager::detach_ue(SliceId slice) {
+  const auto it = instances_.find(slice);
+  if (it == instances_.end()) return make_error(Errc::not_found, "no EPC for slice");
+  if (it->second.attached_ues == 0)
+    return make_error(Errc::invalid_argument, "no UEs attached");
+  --it->second.attached_ues;
+  --it->second.active_bearers;
+  return {};
+}
+
+const EpcInstance* EpcManager::find(SliceId slice) const noexcept {
+  const auto it = instances_.find(slice);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+}  // namespace slices::epc

@@ -1,0 +1,99 @@
+#pragma once
+// Virtualized Evolved Packet Core, one instance per slice.
+//
+// The demo "realize[s] the EPC with OpenEPC 7 ... placed as virtualized
+// instance" and deploys one per accepted slice; end-user devices can
+// attach only once their slice's EPC is up. We model the control-plane
+// VNF chain (MME, HSS, SPGW-C, SPGW-U) as a Heat stack template plus a
+// deployment state machine with attach/bearer procedures, which is the
+// behaviour the installation-latency experiment (D4) measures.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cloud/controller.hpp"
+#include "cloud/heat.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace slices::epc {
+
+/// Network functions in the (R14-style, pre-CUPS-split simplified) core.
+enum class VnfKind { mme, hss, spgw_c, spgw_u };
+
+[[nodiscard]] std::string_view to_string(VnfKind k) noexcept;
+
+/// Default flavor of each VNF (vCPU / MB / GB). SPGW-U is the data-plane
+/// workhorse and scales with the slice's contracted throughput.
+[[nodiscard]] cloud::Flavor default_flavor(VnfKind k, DataRate slice_rate);
+
+/// Build the Heat template of a slice's EPC instance.
+[[nodiscard]] cloud::StackTemplate epc_stack_template(SliceId slice, DataRate slice_rate);
+
+/// Lifecycle of one slice's EPC.
+enum class EpcState {
+  deploying,  ///< stack created, VNFs still booting
+  active,     ///< attach/bearer procedures available
+  removed,    ///< torn down
+};
+
+[[nodiscard]] std::string_view to_string(EpcState s) noexcept;
+
+/// A deployed per-slice EPC instance.
+struct EpcInstance {
+  SliceId slice;
+  StackId stack;
+  DatacenterId datacenter;
+  EpcState state = EpcState::deploying;
+  std::uint64_t attached_ues = 0;
+  std::uint64_t active_bearers = 0;
+};
+
+/// Control-plane latency constants (NAS attach + default bearer setup),
+/// used by the install-latency experiment.
+struct ProcedureTimings {
+  Duration attach = Duration::millis(150.0);
+  Duration bearer_setup = Duration::millis(50.0);
+};
+
+/// Manages every slice's EPC instance on top of the cloud controller.
+class EpcManager {
+ public:
+  /// `cloud` must outlive the manager.
+  explicit EpcManager(cloud::CloudController* cloud) : cloud_(cloud) {}
+
+  /// Deploy a fresh EPC for `slice` in `dc`; returns the estimated time
+  /// until the instance becomes active (Heat deploy estimate). The
+  /// instance starts in `deploying`; call activate() when that time has
+  /// elapsed (the orchestrator schedules it on the simulator). Errors:
+  /// conflict (slice already has an EPC), insufficient_capacity.
+  [[nodiscard]] Result<Duration> deploy(SliceId slice, DatacenterId dc, DataRate slice_rate);
+
+  /// Mark the instance active (VNFs booted). Errors: not_found,
+  /// conflict (not in deploying state).
+  [[nodiscard]] Result<void> activate(SliceId slice);
+
+  /// Tear the instance down, deleting its stack. Errors: not_found.
+  [[nodiscard]] Result<void> remove(SliceId slice);
+
+  /// UE attach: NAS attach + default bearer. Errors: not_found (no EPC),
+  /// unavailable (EPC still deploying — the demo's "after few seconds"
+  /// gating). Returns the control-plane latency incurred.
+  [[nodiscard]] Result<Duration> attach_ue(SliceId slice);
+
+  /// UE detach. Errors: not_found, invalid_argument (no UEs attached).
+  [[nodiscard]] Result<void> detach_ue(SliceId slice);
+
+  [[nodiscard]] const EpcInstance* find(SliceId slice) const noexcept;
+  [[nodiscard]] std::size_t instance_count() const noexcept { return instances_.size(); }
+  [[nodiscard]] const ProcedureTimings& timings() const noexcept { return timings_; }
+
+ private:
+  cloud::CloudController* cloud_;
+  std::map<SliceId, EpcInstance> instances_;
+  ProcedureTimings timings_;
+};
+
+}  // namespace slices::epc

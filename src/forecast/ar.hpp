@@ -1,0 +1,108 @@
+#pragma once
+// Online autoregressive forecaster fit by recursive least squares.
+//
+// Models x_t ≈ c + Σ_{i=1..p} a_i · x_{t−i} with exponential forgetting,
+// so coefficients track slow drift in the demand process. Complements
+// the exponential-smoothing family: AR captures short-range correlation
+// structure (e.g. session churn) that level/trend/seasonal smoothing
+// misses. O(p²) per update with p ≤ 8 in practice.
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+
+namespace slices::forecast {
+
+class ArForecaster final : public Forecaster {
+ public:
+  /// `order` = number of lags p (>= 1); `forgetting` in (0, 1]: 1 is
+  /// ordinary least squares, lower forgets faster.
+  explicit ArForecaster(std::size_t order, double forgetting = 0.995)
+      : order_(order), forgetting_(forgetting), dim_(order + 1) {
+    assert(order >= 1);
+    assert(forgetting > 0.0 && forgetting <= 1.0);
+    theta_.assign(dim_, 0.0);
+    // P = δ·I with large δ (uninformative prior).
+    p_matrix_.assign(dim_ * dim_, 0.0);
+    for (std::size_t i = 0; i < dim_; ++i) p_matrix_[i * dim_ + i] = 1e4;
+  }
+
+  void observe(double value) override {
+    if (lags_.size() == order_) {
+      rls_update(value);
+      ++updates_;
+    }
+    lags_.push_front(value);
+    if (lags_.size() > order_) lags_.pop_back();
+  }
+
+  [[nodiscard]] double predict(std::size_t steps_ahead) const override {
+    assert(ready());
+    // Roll the model forward, feeding forecasts back in as lags.
+    std::deque<double> lags = lags_;
+    double forecast = 0.0;
+    for (std::size_t step = 0; step < steps_ahead; ++step) {
+      forecast = theta_[0];
+      for (std::size_t i = 0; i < order_; ++i) forecast += theta_[i + 1] * lags[i];
+      lags.push_front(forecast);
+      lags.pop_back();
+    }
+    return forecast;
+  }
+
+  /// Needs a full lag window plus enough updates for the RLS estimate
+  /// to mean anything.
+  [[nodiscard]] bool ready() const noexcept override {
+    return lags_.size() == order_ && updates_ >= 2 * dim_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "ar_rls"; }
+  [[nodiscard]] std::unique_ptr<Forecaster> make_empty() const override {
+    return std::make_unique<ArForecaster>(order_, forgetting_);
+  }
+
+  /// Fitted coefficients [c, a_1, ..., a_p] (exposed for tests).
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept { return theta_; }
+
+ private:
+  void rls_update(double target) {
+    // phi = [1, x_{t-1}, ..., x_{t-p}]
+    std::vector<double> phi(dim_);
+    phi[0] = 1.0;
+    for (std::size_t i = 0; i < order_; ++i) phi[i + 1] = lags_[i];
+
+    // u = P · phi
+    std::vector<double> u(dim_, 0.0);
+    for (std::size_t r = 0; r < dim_; ++r) {
+      for (std::size_t c = 0; c < dim_; ++c) u[r] += p_matrix_[r * dim_ + c] * phi[c];
+    }
+    double denom = forgetting_;
+    for (std::size_t i = 0; i < dim_; ++i) denom += phi[i] * u[i];
+
+    // gain k = u / denom; innovation e = y − thetaᵀ phi
+    double prediction = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) prediction += theta_[i] * phi[i];
+    const double innovation = target - prediction;
+    for (std::size_t i = 0; i < dim_; ++i) theta_[i] += (u[i] / denom) * innovation;
+
+    // P = (P − k · uᵀ) / λ  (u = P phi, k = u/denom)
+    for (std::size_t r = 0; r < dim_; ++r) {
+      for (std::size_t c = 0; c < dim_; ++c) {
+        p_matrix_[r * dim_ + c] =
+            (p_matrix_[r * dim_ + c] - (u[r] / denom) * u[c]) / forgetting_;
+      }
+    }
+  }
+
+  std::size_t order_;
+  double forgetting_;
+  std::size_t dim_;
+  std::vector<double> theta_;
+  std::vector<double> p_matrix_;  // row-major (p+1)x(p+1)
+  std::deque<double> lags_;       // most recent first
+  std::size_t updates_ = 0;
+};
+
+}  // namespace slices::forecast

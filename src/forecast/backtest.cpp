@@ -1,0 +1,74 @@
+#include "forecast/backtest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "forecast/residual.hpp"
+
+namespace slices::forecast {
+
+BacktestReport backtest(const Forecaster& prototype, const std::vector<double>& series,
+                        double safety_quantile, std::size_t residual_window) {
+  std::unique_ptr<Forecaster> model = prototype.make_empty();
+  ResidualTracker residuals(residual_window);
+
+  BacktestReport report;
+  report.model = std::string(prototype.name());
+
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  double bias_sum = 0.0;
+  std::size_t violations = 0;
+
+  for (const double actual : series) {
+    if (model->ready()) {
+      const double predicted = model->predict(1);
+      const double upper = predicted + residuals.safety_margin(safety_quantile);
+      const double err = actual - predicted;
+      abs_sum += std::abs(err);
+      sq_sum += err * err;
+      bias_sum += err;
+      if (actual > upper) ++violations;
+      residuals.record(err);
+      ++report.evaluated;
+    }
+    model->observe(actual);
+  }
+
+  if (report.evaluated > 0) {
+    const auto n = static_cast<double>(report.evaluated);
+    report.mae = abs_sum / n;
+    report.rmse = std::sqrt(sq_sum / n);
+    report.bias = bias_sum / n;
+    report.upper_bound_violation_rate = static_cast<double>(violations) / n;
+  }
+  return report;
+}
+
+std::vector<BacktestReport> compare_models(
+    const std::vector<std::unique_ptr<Forecaster>>& candidates,
+    const std::vector<double>& series, double safety_quantile) {
+  std::vector<BacktestReport> reports;
+  reports.reserve(candidates.size());
+  for (const auto& candidate : candidates) {
+    reports.push_back(backtest(*candidate, series, safety_quantile));
+  }
+  std::stable_sort(reports.begin(), reports.end(),
+                   [](const BacktestReport& a, const BacktestReport& b) {
+                     if ((a.evaluated == 0) != (b.evaluated == 0)) return b.evaluated == 0;
+                     return a.rmse < b.rmse;
+                   });
+  return reports;
+}
+
+std::vector<std::unique_ptr<Forecaster>> default_candidates(std::size_t season_length) {
+  std::vector<std::unique_ptr<Forecaster>> out;
+  out.push_back(std::make_unique<NaiveForecaster>());
+  out.push_back(std::make_unique<MovingAverageForecaster>(8));
+  out.push_back(std::make_unique<EwmaForecaster>(0.3));
+  out.push_back(std::make_unique<HoltForecaster>(0.4, 0.1));
+  out.push_back(std::make_unique<HoltWintersForecaster>(0.4, 0.05, 0.3, season_length));
+  return out;
+}
+
+}  // namespace slices::forecast

@@ -1,0 +1,51 @@
+#pragma once
+// Rolling-origin backtesting of forecasters, plus model selection.
+//
+// Used in two places: offline, by bench_d5_forecasting to compare model
+// families on synthetic vertical traffic; online, by the orchestrator's
+// AdaptiveForecaster to pick the best model per slice from its own
+// recent history (the "data analysis and feature extraction" box in
+// Fig. 1 of the paper).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+
+namespace slices::forecast {
+
+/// Accuracy metrics of one backtest run.
+struct BacktestReport {
+  std::string model;
+  std::size_t evaluated = 0;   ///< number of (prediction, actual) pairs scored
+  double mae = 0.0;            ///< mean absolute error
+  double rmse = 0.0;           ///< root mean squared error
+  double bias = 0.0;           ///< mean(actual − predicted); >0 = underforecast
+  /// Fraction of actuals that exceeded forecast + margin(q): the
+  /// realized violation rate of the upper-bound estimator.
+  double upper_bound_violation_rate = 0.0;
+};
+
+/// Replay `series` through a fresh clone of `prototype`: at each step
+/// predict one period ahead, then reveal the actual. Steps where the
+/// model is not yet ready are skipped (warm-up). `safety_quantile`
+/// configures the residual margin used for the violation-rate metric.
+[[nodiscard]] BacktestReport backtest(const Forecaster& prototype,
+                                      const std::vector<double>& series,
+                                      double safety_quantile = 0.95,
+                                      std::size_t residual_window = 256);
+
+/// Backtest every candidate and return reports sorted by ascending RMSE
+/// (best first). Candidates that never became ready rank last.
+[[nodiscard]] std::vector<BacktestReport> compare_models(
+    const std::vector<std::unique_ptr<Forecaster>>& candidates,
+    const std::vector<double>& series, double safety_quantile = 0.95);
+
+/// Standard candidate set used across the codebase: naive, SMA, EWMA,
+/// Holt, Holt–Winters(season_length).
+[[nodiscard]] std::vector<std::unique_ptr<Forecaster>> default_candidates(
+    std::size_t season_length);
+
+}  // namespace slices::forecast

@@ -1,0 +1,76 @@
+#include "forecast/demand_estimator.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "forecast/backtest.hpp"
+
+namespace slices::forecast {
+
+DemandEstimator::DemandEstimator(std::unique_ptr<Forecaster> model, EstimatorConfig config)
+    : config_(config), model_(std::move(model)), residuals_(config.residual_window) {
+  assert(model_ != nullptr);
+}
+
+DemandEstimator DemandEstimator::adaptive(std::size_t season_length) {
+  EstimatorConfig config;
+  config.season_length = season_length;
+  config.reselect_every = season_length;  // re-evaluate once per season
+  config.history_capacity = 8 * season_length;
+  // Start with a fast-warmup level model so overbooking can begin after
+  // a handful of observations; reselection upgrades to the seasonal
+  // model once at least two full seasons of history exist.
+  return DemandEstimator(std::make_unique<EwmaForecaster>(0.3), config);
+}
+
+void DemandEstimator::observe(double demand) {
+  if (model_->ready()) {
+    residuals_.record(demand - model_->predict(1));
+  }
+  model_->observe(demand);
+  last_ = demand;
+  ++observations_;
+
+  if (config_.reselect_every > 0) {
+    history_.push_back(demand);
+    if (history_.size() > config_.history_capacity) history_.pop_front();
+    if (observations_ % config_.reselect_every == 0) maybe_reselect();
+  }
+}
+
+double DemandEstimator::upper_bound(double q, std::size_t horizon) const {
+  assert(ready());
+  assert(horizon >= 1);
+  double peak = model_->predict(1);
+  for (std::size_t h = 2; h <= horizon; ++h) {
+    const double p = model_->predict(h);
+    if (p > peak) peak = p;
+  }
+  const double bound = peak + residuals_.safety_margin(q);
+  return bound > 0.0 ? bound : 0.0;
+}
+
+void DemandEstimator::maybe_reselect() {
+  // Need at least two seasons of history before judging seasonal models.
+  if (history_.size() < 2 * config_.season_length) return;
+  const std::vector<double> series(history_.begin(), history_.end());
+  const auto candidates = default_candidates(config_.season_length);
+  const std::vector<BacktestReport> reports = compare_models(candidates, series);
+  if (reports.empty() || reports.front().evaluated == 0) return;
+
+  if (reports.front().model == model_->name()) return;  // already best
+
+  for (const auto& candidate : candidates) {
+    if (candidate->name() != reports.front().model) continue;
+    // Swap models and replay history so the new model starts warm. The
+    // residual window is kept: residuals of the old model still bound
+    // recent realized errors conservatively until fresh ones accrue.
+    std::unique_ptr<Forecaster> fresh = candidate->make_empty();
+    for (const double v : series) fresh->observe(v);
+    model_ = std::move(fresh);
+    ++reselections_;
+    return;
+  }
+}
+
+}  // namespace slices::forecast

@@ -1,0 +1,72 @@
+#pragma once
+// Per-slice demand estimation: point forecaster + residual safety margin
+// + optional periodic model reselection. One DemandEstimator per
+// (slice, domain metric) is the unit the overbooking engine consumes.
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string_view>
+
+#include "forecast/forecaster.hpp"
+#include "forecast/residual.hpp"
+
+namespace slices::forecast {
+
+/// Tuning for a DemandEstimator.
+struct EstimatorConfig {
+  std::size_t residual_window = 256;  ///< residuals kept for the margin quantile
+  /// Re-run model selection over recent history every N observations;
+  /// 0 disables reselection (fixed model).
+  std::size_t reselect_every = 0;
+  std::size_t history_capacity = 1024;  ///< history kept for reselection
+  std::size_t season_length = 24;       ///< season hint for candidate models
+};
+
+/// Tracks one demand series and answers "how much capacity must stay
+/// reserved to cover this slice with confidence q over the next
+/// `horizon` periods?"
+class DemandEstimator {
+ public:
+  DemandEstimator(std::unique_ptr<Forecaster> model, EstimatorConfig config = {});
+
+  /// Factory with the library default model (Holt–Winters) and adaptive
+  /// reselection enabled.
+  [[nodiscard]] static DemandEstimator adaptive(std::size_t season_length);
+
+  /// Ingest the next demand sample (records the residual of the
+  /// previous one-step forecast first, then updates the model).
+  void observe(double demand);
+
+  [[nodiscard]] bool ready() const noexcept { return model_->ready(); }
+
+  /// Point forecast h periods ahead. Precondition: ready().
+  [[nodiscard]] double predict(std::size_t steps_ahead) const {
+    return model_->predict(steps_ahead);
+  }
+
+  /// Upper demand bound over the next `horizon` periods at confidence
+  /// `q`: max_h forecast(h), plus the residual q-quantile margin,
+  /// clamped non-negative. Precondition: ready(), horizon >= 1.
+  [[nodiscard]] double upper_bound(double q, std::size_t horizon) const;
+
+  /// Most recent observation (0 before any).
+  [[nodiscard]] double last_observation() const noexcept { return last_; }
+
+  [[nodiscard]] std::string_view model_name() const noexcept { return model_->name(); }
+  [[nodiscard]] std::size_t observations() const noexcept { return observations_; }
+  [[nodiscard]] std::size_t reselections() const noexcept { return reselections_; }
+
+ private:
+  void maybe_reselect();
+
+  EstimatorConfig config_;
+  std::unique_ptr<Forecaster> model_;
+  ResidualTracker residuals_;
+  std::deque<double> history_;
+  double last_ = 0.0;
+  std::size_t observations_ = 0;
+  std::size_t reselections_ = 0;
+};
+
+}  // namespace slices::forecast

@@ -1,0 +1,67 @@
+#pragma once
+// Residual tracking: turns a point forecaster into an upper-bound
+// estimator.
+//
+// Overbooking needs more than a point forecast — reclaiming reserved
+// capacity down to the *expected* demand would violate SLAs roughly half
+// the time. The orchestrator therefore tracks one-step-ahead residuals
+// (actual − predicted) and adds the empirical q-quantile of recent
+// residuals as a safety margin. The quantile q is the orchestrator's
+// "risk budget" knob: higher q ⇒ safer ⇒ less reclaimable capacity —
+// exactly the multiplexing-gain vs. SLA-penalty trade-off the demo
+// dashboard displays.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace slices::forecast {
+
+/// Sliding-window store of forecast residuals with quantile queries.
+class ResidualTracker {
+ public:
+  explicit ResidualTracker(std::size_t window = 256) : window_(window) {
+    assert(window > 0);
+  }
+
+  /// Record a realized residual (actual − predicted).
+  void record(double residual) {
+    residuals_.push_back(residual);
+    if (residuals_.size() > window_) residuals_.pop_front();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return residuals_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return residuals_.empty(); }
+
+  /// Empirical q-quantile of stored residuals (q in [0,1]).
+  /// Precondition: !empty().
+  [[nodiscard]] double quantile(double q) const {
+    assert(!empty());
+    assert(q >= 0.0 && q <= 1.0);
+    std::vector<double> sorted(residuals_.begin(), residuals_.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  /// Safety margin for confidence q: the q-quantile clamped to >= 0
+  /// (a negative margin would *shrink* the forecast, which is never
+  /// safe for an upper bound).
+  [[nodiscard]] double safety_margin(double q) const {
+    if (empty()) return 0.0;
+    const double m = quantile(q);
+    return m > 0.0 ? m : 0.0;
+  }
+
+ private:
+  std::size_t window_;
+  std::deque<double> residuals_;
+};
+
+}  // namespace slices::forecast

@@ -1,0 +1,73 @@
+#include "net/rest_bus.hpp"
+
+namespace slices::net {
+
+void RestBus::register_service(std::string name, std::shared_ptr<Router> router) {
+  stats_.try_emplace(name);
+  services_.insert_or_assign(std::move(name), std::move(router));
+}
+
+void RestBus::unregister_service(const std::string& name) { services_.erase(name); }
+
+bool RestBus::has_service(const std::string& name) const noexcept {
+  return services_.contains(name);
+}
+
+Result<Response> RestBus::call(const std::string& name, const Request& request) {
+  const auto it = services_.find(name);
+  if (it == services_.end())
+    return make_error(Errc::unavailable, "no service registered as '" + name + "'");
+  BusStats& stats = stats_[name];
+  ++stats.requests;
+
+  // Full wire round trip: the request crosses the codec exactly as it
+  // would cross a TCP connection.
+  const std::string request_wire = request.encode();
+  stats.bytes_tx += request_wire.size();
+  Result<Request> decoded = parse_request(request_wire);
+  if (!decoded.ok()) return decoded.error();
+
+  const Response served = it->second->dispatch(decoded.value());
+
+  const std::string response_wire = served.encode();
+  stats.bytes_rx += response_wire.size();
+  Result<Response> redecoded = parse_response(response_wire);
+  if (!redecoded.ok()) return redecoded.error();
+
+  const int code = static_cast<int>(redecoded.value().status);
+  if (code >= 200 && code < 300) {
+    ++stats.responses_ok;
+  } else {
+    ++stats.responses_error;
+  }
+  return redecoded;
+}
+
+Result<json::Value> RestBus::call_json(const std::string& name, Method method,
+                                       const std::string& target, const json::Value& body) {
+  Request req;
+  req.method = method;
+  req.target = target;
+  if (!body.is_null()) {
+    req.headers.insert_or_assign("Content-Type", "application/json");
+    req.body = json::serialize(body);
+  }
+  Result<Response> resp = call(name, req);
+  if (!resp.ok()) return resp.error();
+
+  const Response& r = resp.value();
+  const int code = static_cast<int>(r.status);
+  if (code < 200 || code >= 300) {
+    return make_error(errc_from_status(r.status),
+                      "service '" + name + "' " + target + " -> " + std::to_string(code) +
+                          (r.body.empty() ? "" : (" " + r.body)));
+  }
+  if (r.body.empty()) return json::Value(nullptr);
+  return json::parse(r.body);
+}
+
+Result<json::Value> RestBus::get_json(const std::string& name, const std::string& target) {
+  return call_json(name, Method::get, target, json::Value(nullptr));
+}
+
+}  // namespace slices::net

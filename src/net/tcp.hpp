@@ -1,0 +1,106 @@
+#pragma once
+// Minimal RAII TCP primitives for the HTTP server/client.
+//
+// The in-process RestBus covers simulation runs; HttpServer (built on
+// these primitives) exposes the very same routers over real sockets so
+// the dashboard can be driven by external tools. Blocking I/O,
+// IPv4 loopback-oriented, single-threaded accept loop — deliberately
+// simple and fully owned (no external dependencies).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace slices::net {
+
+/// RAII file-descriptor handle (move-only).
+class FdHandle {
+ public:
+  FdHandle() noexcept = default;
+  explicit FdHandle(int fd) noexcept : fd_(fd) {}
+  ~FdHandle() { reset(); }
+
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+  FdHandle(FdHandle&& other) noexcept : fd_(other.release()) {}
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Give up ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Close now (idempotent).
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream with send-all / bounded-receive helpers.
+class TcpConnection {
+ public:
+  explicit TcpConnection(FdHandle fd) noexcept : fd_(std::move(fd)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+
+  /// Write the whole buffer; Errc::unavailable on peer reset.
+  [[nodiscard]] Result<void> send_all(std::string_view data);
+
+  /// Read up to `max_bytes` (returns what arrived; empty = EOF).
+  [[nodiscard]] Result<std::string> receive_some(std::size_t max_bytes = 64 * 1024);
+
+  /// Half-close the write side (signals end of request to the peer).
+  void shutdown_write() noexcept;
+
+ private:
+  FdHandle fd_;
+};
+
+/// A listening IPv4 TCP socket.
+class TcpListener {
+ public:
+  /// Bind to 127.0.0.1:`port` (0 = ephemeral) and listen. Errors:
+  /// unavailable with errno detail.
+  [[nodiscard]] static Result<TcpListener> bind_loopback(std::uint16_t port);
+
+  /// The actually bound port (useful after binding port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accept one connection (blocking). Errors: unavailable when the
+  /// listener was closed from another thread (clean shutdown path).
+  [[nodiscard]] Result<TcpConnection> accept_one();
+
+  /// Stop accepting: a blocked accept_one() (possibly in another
+  /// thread) fails immediately and new connects are refused.
+  /// Implemented as shutdown() — merely closing the fd does NOT unblock
+  /// a pending accept on Linux, and freeing the descriptor number under
+  /// a racing thread is unsafe; the destructor releases the fd.
+  void close() noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+
+ private:
+  TcpListener(FdHandle fd, std::uint16_t port) noexcept : fd_(std::move(fd)), port_(port) {}
+
+  FdHandle fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:`port`. Errors: unavailable.
+[[nodiscard]] Result<TcpConnection> connect_loopback(std::uint16_t port);
+
+}  // namespace slices::net

@@ -1,0 +1,111 @@
+#include "net/url.hpp"
+
+namespace slices::net {
+namespace {
+
+Error bad(std::string why) { return make_error(Errc::protocol_error, "url: " + std::move(why)); }
+
+int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool is_unreserved(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '-' || c == '.' || c == '_' || c == '~';
+}
+
+}  // namespace
+
+std::string Target::path() const {
+  if (segments.empty()) return "/";
+  std::string out;
+  for (const std::string& seg : segments) {
+    out.push_back('/');
+    out += seg;
+  }
+  return out;
+}
+
+Result<std::string> percent_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '%') {
+      if (i + 2 >= s.size()) return bad("truncated escape");
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi < 0 || lo < 0) return bad("invalid escape");
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (c == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string percent_encode(std::string_view s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (is_unreserved(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+    }
+  }
+  return out;
+}
+
+Result<Target> parse_target(std::string_view target) {
+  if (target.empty() || target.front() != '/') return bad("target must start with '/'");
+
+  Target out;
+  std::string_view path = target;
+  std::string_view query;
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    path = target.substr(0, q);
+    query = target.substr(q + 1);
+  }
+
+  path.remove_prefix(1);  // leading '/'
+  while (!path.empty()) {
+    const std::size_t slash = path.find('/');
+    const std::string_view raw =
+        slash == std::string_view::npos ? path : path.substr(0, slash);
+    path = slash == std::string_view::npos ? std::string_view{} : path.substr(slash + 1);
+    if (raw.empty()) return bad("empty path segment");
+    Result<std::string> seg = percent_decode(raw);
+    if (!seg.ok()) return seg.error();
+    out.segments.push_back(std::move(seg).value());
+  }
+
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{} : query.substr(amp + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    const std::string_view raw_key = eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    const std::string_view raw_val =
+        eq == std::string_view::npos ? std::string_view{} : pair.substr(eq + 1);
+    Result<std::string> key = percent_decode(raw_key);
+    if (!key.ok()) return key.error();
+    Result<std::string> val = percent_decode(raw_val);
+    if (!val.ok()) return val.error();
+    out.query.insert_or_assign(std::move(key).value(), std::move(val).value());
+  }
+  return out;
+}
+
+}  // namespace slices::net

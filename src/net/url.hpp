@@ -1,0 +1,33 @@
+#pragma once
+// Origin-form URL target parsing: path segmentation, query-string
+// decoding and percent-decoding, as used by the REST routers.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace slices::net {
+
+/// A parsed request target: decoded path segments plus query parameters.
+struct Target {
+  std::vector<std::string> segments;           ///< "/a/b/c" -> {"a","b","c"}
+  std::map<std::string, std::string> query;    ///< "?x=1&y=2" -> {{"x","1"},{"y","2"}}
+
+  /// Rebuild the canonical path ("/a/b/c"; "/" when empty).
+  [[nodiscard]] std::string path() const;
+};
+
+/// Percent-decode a component; rejects truncated/invalid %XX sequences.
+[[nodiscard]] Result<std::string> percent_decode(std::string_view s);
+
+/// Percent-encode everything outside unreserved characters.
+[[nodiscard]] std::string percent_encode(std::string_view s);
+
+/// Parse an origin-form target ("/slices/7?verbose=1"). Rejects targets
+/// not starting with '/', empty interior segments and bad escapes.
+[[nodiscard]] Result<Target> parse_target(std::string_view target);
+
+}  // namespace slices::net

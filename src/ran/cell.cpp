@@ -1,0 +1,142 @@
+#include "ran/cell.hpp"
+
+#include <algorithm>
+
+namespace slices::ran {
+
+Cell::Cell(CellId id, std::string name, Bandwidth bandwidth, SharingPolicy policy)
+    : id_(id), name_(std::move(name)), total_(prbs_for(bandwidth)), policy_(policy) {}
+
+PrbCount Cell::reserved_prbs() const noexcept {
+  PrbCount sum{0};
+  for (const auto& [plmn, prbs] : reservations_) sum += prbs;
+  return sum;
+}
+
+Result<void> Cell::broadcast_plmn(PlmnId plmn) {
+  if (broadcasts(plmn))
+    return make_error(Errc::conflict, "cell " + name_ + " already broadcasts this PLMN");
+  if (broadcast_.size() >= kMaxBroadcastPlmns)
+    return make_error(Errc::insufficient_capacity,
+                      "cell " + name_ + " SIB1 PLMN list is full");
+  broadcast_.push_back(plmn);
+  return {};
+}
+
+Result<void> Cell::withdraw_plmn(PlmnId plmn) {
+  const auto it = std::find(broadcast_.begin(), broadcast_.end(), plmn);
+  if (it == broadcast_.end())
+    return make_error(Errc::not_found, "PLMN not broadcast on cell " + name_);
+  if (reservations_.contains(plmn))
+    return make_error(Errc::conflict, "PLMN still holds a PRB reservation");
+  for (const auto& [ue, attached] : ues_) {
+    if (attached.plmn == plmn)
+      return make_error(Errc::conflict, "UEs still attached under this PLMN");
+  }
+  broadcast_.erase(it);
+  return {};
+}
+
+bool Cell::broadcasts(PlmnId plmn) const noexcept {
+  return std::find(broadcast_.begin(), broadcast_.end(), plmn) != broadcast_.end();
+}
+
+std::vector<PlmnId> Cell::broadcast_list() const { return broadcast_; }
+
+Result<void> Cell::set_reservation(PlmnId plmn, PrbCount prbs) {
+  if (!broadcasts(plmn))
+    return make_error(Errc::not_found, "PLMN not broadcast on cell " + name_);
+  if (prbs.value < 0) return make_error(Errc::invalid_argument, "negative PRB reservation");
+  const PrbCount others = reserved_prbs() - reservation_of(plmn);
+  if (others.value + prbs.value > total_.value)
+    return make_error(Errc::insufficient_capacity,
+                      "cell " + name_ + " has only " +
+                          std::to_string(total_.value - others.value) + " PRBs free");
+  if (prbs.value == 0) {
+    reservations_.erase(plmn);
+  } else {
+    reservations_.insert_or_assign(plmn, prbs);
+  }
+  return {};
+}
+
+void Cell::clear_reservation(PlmnId plmn) { reservations_.erase(plmn); }
+
+PrbCount Cell::reservation_of(PlmnId plmn) const noexcept {
+  const auto it = reservations_.find(plmn);
+  return it == reservations_.end() ? PrbCount{0} : it->second;
+}
+
+Result<void> Cell::attach_ue(UeId ue, PlmnId plmn, Cqi cqi) {
+  if (!broadcasts(plmn))
+    return make_error(Errc::not_found,
+                      "PLMN not on the air on cell " + name_ + "; UE cannot attach");
+  if (ues_.contains(ue)) return make_error(Errc::conflict, "UE already attached");
+  ues_.emplace(ue, AttachedUe{ue, plmn, cqi});
+  return {};
+}
+
+Result<void> Cell::update_ue_cqi(UeId ue, Cqi cqi) {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) return make_error(Errc::not_found, "UE not attached");
+  it->second.cqi = cqi;
+  return {};
+}
+
+std::optional<Cqi> Cell::ue_cqi(UeId ue) const noexcept {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) return std::nullopt;
+  return it->second.cqi;
+}
+
+void Cell::wander_cqis(Rng& rng, double step_probability) {
+  for (auto& [ue, attached] : ues_) {
+    if (!rng.bernoulli(step_probability)) continue;
+    const int delta = rng.bernoulli(0.5) ? 1 : -1;
+    const int next = attached.cqi.index() + delta;
+    attached.cqi = Cqi{next < 1 ? 1 : (next > 15 ? 15 : next)};
+  }
+}
+
+Result<void> Cell::detach_ue(UeId ue) {
+  if (ues_.erase(ue) == 0) return make_error(Errc::not_found, "UE not attached");
+  return {};
+}
+
+std::size_t Cell::attached_count(PlmnId plmn) const noexcept {
+  std::size_t n = 0;
+  for (const auto& [ue, attached] : ues_) {
+    if (attached.plmn == plmn) ++n;
+  }
+  return n;
+}
+
+Cqi Cell::mean_cqi(PlmnId plmn, Cqi fallback) const noexcept {
+  int sum = 0;
+  int n = 0;
+  for (const auto& [ue, attached] : ues_) {
+    if (attached.plmn == plmn) {
+      sum += attached.cqi.index();
+      ++n;
+    }
+  }
+  if (n == 0) return fallback;
+  const int mean = sum / n;
+  return Cqi{mean < 1 ? 1 : (mean > 15 ? 15 : mean)};
+}
+
+std::vector<PlmnGrant> Cell::serve_epoch(
+    std::span<const std::pair<PlmnId, DataRate>> demands, Cqi fallback_cqi) const {
+  std::vector<PlmnLoad> loads;
+  loads.reserve(broadcast_.size());
+  for (const PlmnId plmn : broadcast_) {
+    DataRate demand = DataRate::zero();
+    for (const auto& [p, d] : demands) {
+      if (p == plmn) demand += d;
+    }
+    loads.push_back(PlmnLoad{plmn, reservation_of(plmn), demand, mean_cqi(plmn, fallback_cqi)});
+  }
+  return schedule_epoch(total_, loads, policy_);
+}
+
+}  // namespace slices::ran

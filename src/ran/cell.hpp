@@ -1,0 +1,127 @@
+#pragma once
+// MOCN-sharing LTE cell model.
+//
+// The testbed's eNBs support the Multi Operator Core Network sharing
+// model: one cell broadcasts several PLMN ids and can "reserve radio
+// resources for each particular network". A Cell therefore tracks the
+// broadcast PLMN set (bounded, as over-the-air SIB1 lists are), a
+// dedicated PRB reservation per PLMN, the attached UE population, and
+// serves offered demand each monitoring epoch via the MOCN scheduler.
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "ran/phy.hpp"
+#include "ran/scheduler.hpp"
+
+namespace slices::ran {
+
+/// Maximum PLMN ids one cell may broadcast (SIB1 PLMN-IdentityList).
+inline constexpr std::size_t kMaxBroadcastPlmns = 6;
+
+/// A UE attached to a cell under some PLMN.
+struct AttachedUe {
+  UeId ue;
+  PlmnId plmn;
+  Cqi cqi;
+};
+
+/// One eNB cell.
+class Cell {
+ public:
+  Cell(CellId id, std::string name, Bandwidth bandwidth, SharingPolicy policy);
+
+  [[nodiscard]] CellId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] PrbCount total_prbs() const noexcept { return total_; }
+  [[nodiscard]] SharingPolicy sharing_policy() const noexcept { return policy_; }
+
+  /// Sum of all dedicated reservations.
+  [[nodiscard]] PrbCount reserved_prbs() const noexcept;
+  /// PRBs not reserved by any PLMN.
+  [[nodiscard]] PrbCount unreserved_prbs() const noexcept {
+    return total_ - reserved_prbs();
+  }
+
+  // --- PLMN broadcast management (slice <-> PLMN mapping) ---------------
+
+  /// Start broadcasting `plmn`. Errors: conflict (already broadcast),
+  /// insufficient_capacity (SIB1 list full).
+  [[nodiscard]] Result<void> broadcast_plmn(PlmnId plmn);
+
+  /// Stop broadcasting. Errors: not_found; conflict if a reservation or
+  /// attached UEs still exist (release/detach first).
+  [[nodiscard]] Result<void> withdraw_plmn(PlmnId plmn);
+
+  [[nodiscard]] bool broadcasts(PlmnId plmn) const noexcept;
+  [[nodiscard]] std::vector<PlmnId> broadcast_list() const;
+
+  // --- PRB reservations --------------------------------------------------
+
+  /// Set the dedicated reservation of `plmn` to `prbs` (PUT semantics;
+  /// both grow and shrink — shrinking is how overbooking reclaims radio
+  /// capacity). Errors: not_found (PLMN not broadcast),
+  /// invalid_argument (negative), insufficient_capacity.
+  [[nodiscard]] Result<void> set_reservation(PlmnId plmn, PrbCount prbs);
+
+  /// Drop the reservation entirely (idempotent).
+  void clear_reservation(PlmnId plmn);
+
+  /// Current reservation (0 when none).
+  [[nodiscard]] PrbCount reservation_of(PlmnId plmn) const noexcept;
+
+  // --- UE population -----------------------------------------------------
+
+  /// Attach a UE under `plmn`. Errors: not_found (PLMN not broadcast —
+  /// the demo's gating: devices connect only once their slice's PLMN is
+  /// on the air), conflict (duplicate UE id).
+  [[nodiscard]] Result<void> attach_ue(UeId ue, PlmnId plmn, Cqi cqi);
+
+  /// Detach a UE. Errors: not_found.
+  [[nodiscard]] Result<void> detach_ue(UeId ue);
+
+  /// Update a UE's reported channel quality (CQI feedback). Errors:
+  /// not_found.
+  [[nodiscard]] Result<void> update_ue_cqi(UeId ue, Cqi cqi);
+
+  /// Current reported CQI of a UE; nullopt when not attached here.
+  [[nodiscard]] std::optional<Cqi> ue_cqi(UeId ue) const noexcept;
+
+  /// Random-walk every attached UE's CQI by ±1 (clamped to [1,15]) with
+  /// probability `step_probability` each.
+  void wander_cqis(Rng& rng, double step_probability);
+
+  [[nodiscard]] std::size_t attached_count(PlmnId plmn) const noexcept;
+  [[nodiscard]] std::size_t attached_total() const noexcept { return ues_.size(); }
+
+  /// Mean CQI of `plmn`'s attached UEs, or `fallback` when none.
+  [[nodiscard]] Cqi mean_cqi(PlmnId plmn, Cqi fallback) const noexcept;
+
+  // --- Serving -----------------------------------------------------------
+
+  /// Serve one epoch of per-PLMN offered demand. PLMNs without an entry
+  /// offer zero. Returns one grant per *broadcast* PLMN, in broadcast
+  /// order. CQI used is the PLMN's mean UE CQI (fallback when no UEs).
+  [[nodiscard]] std::vector<PlmnGrant> serve_epoch(
+      std::span<const std::pair<PlmnId, DataRate>> demands,
+      Cqi fallback_cqi = Cqi{10}) const;
+
+ private:
+  CellId id_;
+  std::string name_;
+  PrbCount total_;
+  SharingPolicy policy_;
+  std::vector<PlmnId> broadcast_;               // ordered: deterministic scheduling
+  std::map<PlmnId, PrbCount> reservations_;
+  std::map<UeId, AttachedUe> ues_;
+};
+
+}  // namespace slices::ran

@@ -1,0 +1,445 @@
+#include "ran/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "json/value.hpp"
+
+namespace slices::ran {
+
+void RanController::add_cell(Cell cell) {
+  assert(find_cell(cell.id()) == nullptr && "duplicate cell id");
+  // Already-installed PLMNs must appear on new cells too.
+  for (const auto& [plmn, unused] : installed_) {
+    const Result<void> r = cell.broadcast_plmn(plmn);
+    assert(r.ok());
+    (void)r;
+  }
+  cells_.push_back(std::move(cell));
+}
+
+const Cell* RanController::find_cell(CellId id) const noexcept {
+  for (const Cell& c : cells_) {
+    if (c.id() == id) return &c;
+  }
+  return nullptr;
+}
+
+Result<void> RanController::install_plmn(PlmnId plmn) {
+  if (installed_.contains(plmn))
+    return make_error(Errc::conflict, "PLMN already installed");
+  // Validate first so failure leaves no cell half-configured.
+  for (const Cell& cell : cells_) {
+    if (cell.broadcasts(plmn))
+      return make_error(Errc::conflict, "PLMN already broadcast on " + cell.name());
+    if (cell.broadcast_list().size() >= kMaxBroadcastPlmns)
+      return make_error(Errc::insufficient_capacity,
+                        "broadcast list full on " + cell.name());
+  }
+  for (Cell& cell : cells_) {
+    const Result<void> r = cell.broadcast_plmn(plmn);
+    assert(r.ok());
+    (void)r;
+  }
+  installed_.emplace(plmn, std::monostate{});
+  return {};
+}
+
+Result<void> RanController::remove_plmn(PlmnId plmn) {
+  if (!installed_.contains(plmn)) return make_error(Errc::not_found, "PLMN not installed");
+  if (allocations_.contains(plmn))
+    return make_error(Errc::conflict, "PLMN still holds a radio allocation");
+  for (const auto& [ue, rec] : ues_) {
+    if (rec.plmn == plmn) return make_error(Errc::conflict, "UEs still attached");
+  }
+  for (Cell& cell : cells_) {
+    const Result<void> r = cell.withdraw_plmn(plmn);
+    assert(r.ok());
+    (void)r;
+  }
+  installed_.erase(plmn);
+  return {};
+}
+
+Result<RanAllocation> RanController::set_allocation(PlmnId plmn, DataRate rate,
+                                                    Cqi planning_cqi) {
+  if (!installed_.contains(plmn))
+    return make_error(Errc::not_found, "PLMN not installed; install before allocating");
+  if (rate < DataRate::zero())
+    return make_error(Errc::invalid_argument, "negative rate");
+
+  // Snapshot current reservations of this PLMN for atomic rollback.
+  std::map<CellId, PrbCount> previous;
+  for (const Cell& cell : cells_) previous[cell.id()] = cell.reservation_of(plmn);
+
+  // Plan: most-free-first over cells, each cell contributing up to its
+  // free PRBs (counting this PLMN's own current reservation as free).
+  std::vector<Cell*> order;
+  order.reserve(cells_.size());
+  for (Cell& cell : cells_) {
+    if (cell_active(cell.id())) order.push_back(&cell);  // plan on live cells only
+  }
+  std::sort(order.begin(), order.end(), [&](const Cell* a, const Cell* b) {
+    const int free_a = a->unreserved_prbs().value + a->reservation_of(plmn).value;
+    const int free_b = b->unreserved_prbs().value + b->reservation_of(plmn).value;
+    if (free_a != free_b) return free_a > free_b;
+    return a->id() < b->id();
+  });
+
+  RanAllocation alloc;
+  alloc.plmn = plmn;
+  alloc.rate = rate;
+  DataRate remaining = rate;
+  for (Cell* cell : order) {
+    if (remaining <= DataRate::zero()) break;
+    const Cqi cqi = cell->mean_cqi(plmn, planning_cqi);
+    const int free = cell->unreserved_prbs().value + cell->reservation_of(plmn).value;
+    const int needed = prbs_needed(remaining, cqi).value;
+    const int grant = needed < free ? needed : free;
+    if (grant <= 0) continue;
+    alloc.per_cell[cell->id()] = PrbCount{grant};
+    remaining -= throughput_of(PrbCount{grant}, cqi);
+  }
+
+  if (remaining > DataRate::zero()) {
+    return make_error(Errc::insufficient_capacity,
+                      "RAN cannot guarantee " + std::to_string(rate.as_mbps()) +
+                          " Mb/s; short by " + std::to_string(remaining.as_mbps()) +
+                          " Mb/s");
+  }
+
+  // Apply. set_reservation can only fail on capacity, which the plan
+  // already respected, so failures here are programming errors.
+  for (Cell& cell : cells_) {
+    const auto it = alloc.per_cell.find(cell.id());
+    const PrbCount target = it == alloc.per_cell.end() ? PrbCount{0} : it->second;
+    const Result<void> r = cell.set_reservation(plmn, target);
+    assert(r.ok());
+    (void)r;
+  }
+  allocations_.insert_or_assign(plmn, alloc);
+  return alloc;
+}
+
+void RanController::release_allocation(PlmnId plmn) {
+  for (Cell& cell : cells_) cell.clear_reservation(plmn);
+  allocations_.erase(plmn);
+}
+
+const RanAllocation* RanController::find_allocation(PlmnId plmn) const noexcept {
+  const auto it = allocations_.find(plmn);
+  return it == allocations_.end() ? nullptr : &it->second;
+}
+
+DataRate RanController::available_capacity(Cqi planning_cqi) const noexcept {
+  DataRate sum = DataRate::zero();
+  for (const Cell& cell : cells_) {
+    if (!cell_active(cell.id())) continue;
+    sum += throughput_of(cell.unreserved_prbs(), planning_cqi);
+  }
+  return sum;
+}
+
+DataRate RanController::total_capacity(Cqi planning_cqi) const noexcept {
+  DataRate sum = DataRate::zero();
+  for (const Cell& cell : cells_) {
+    if (!cell_active(cell.id())) continue;
+    sum += throughput_of(cell.total_prbs(), planning_cqi);
+  }
+  return sum;
+}
+
+Result<UeId> RanController::attach_ue(PlmnId plmn, Cqi cqi) {
+  if (!installed_.contains(plmn))
+    return make_error(Errc::not_found, "PLMN not on the air; UE cannot attach");
+  if (cells_.empty()) return make_error(Errc::unavailable, "no cells");
+
+  Cell* least = &cells_.front();
+  for (Cell& cell : cells_) {
+    if (cell.attached_total() < least->attached_total()) least = &cell;
+  }
+  const UeId ue = ue_ids_.next();
+  const Result<void> r = least->attach_ue(ue, plmn, cqi);
+  if (!r.ok()) return r.error();
+  ues_.emplace(ue, UeRecord{least->id(), plmn});
+  return ue;
+}
+
+Result<void> RanController::detach_ue(UeId ue) {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) return make_error(Errc::not_found, "unknown UE");
+  for (Cell& cell : cells_) {
+    if (cell.id() == it->second.cell) {
+      const Result<void> r = cell.detach_ue(ue);
+      assert(r.ok());
+      (void)r;
+      break;
+    }
+  }
+  ues_.erase(it);
+  return {};
+}
+
+void RanController::wander_cqis(Rng& rng, double step_probability) {
+  for (Cell& cell : cells_) cell.wander_cqis(rng, step_probability);
+}
+
+Result<void> RanController::handover_ue(UeId ue, CellId target) {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) return make_error(Errc::not_found, "unknown UE");
+  if (it->second.cell == target) return make_error(Errc::conflict, "UE already on that cell");
+  if (!cell_active(target)) return make_error(Errc::conflict, "target cell is inactive");
+
+  Cell* source = nullptr;
+  Cell* destination = nullptr;
+  for (Cell& cell : cells_) {
+    if (cell.id() == it->second.cell) source = &cell;
+    if (cell.id() == target) destination = &cell;
+  }
+  if (destination == nullptr) return make_error(Errc::not_found, "unknown target cell");
+  assert(source != nullptr);
+
+  const std::optional<Cqi> cqi = source->ue_cqi(ue);
+  assert(cqi.has_value());
+  // Attach on the target first so a failure leaves the UE where it was.
+  if (Result<void> r = destination->attach_ue(ue, it->second.plmn, *cqi); !r.ok()) {
+    return r;
+  }
+  const Result<void> detached = source->detach_ue(ue);
+  assert(detached.ok());
+  (void)detached;
+  it->second.cell = target;
+  return {};
+}
+
+std::size_t RanController::rebalance_ues() {
+  std::size_t handovers = 0;
+  while (true) {
+    Cell* most = nullptr;
+    Cell* least = nullptr;
+    for (Cell& cell : cells_) {
+      if (!cell_active(cell.id())) continue;
+      if (most == nullptr || cell.attached_total() > most->attached_total()) most = &cell;
+      if (least == nullptr || cell.attached_total() < least->attached_total()) least = &cell;
+    }
+    if (most == nullptr || least == nullptr ||
+        most->attached_total() <= least->attached_total() + 1) {
+      return handovers;
+    }
+    // Find any UE on the overloaded cell and move it.
+    UeId candidate = UeId::invalid();
+    for (const auto& [ue, rec] : ues_) {
+      if (rec.cell == most->id()) {
+        candidate = ue;
+        break;
+      }
+    }
+    if (!candidate.valid()) return handovers;
+    if (!handover_ue(candidate, least->id()).ok()) return handovers;
+    ++handovers;
+  }
+}
+
+Result<void> RanController::set_cell_active(CellId cell, bool active) {
+  if (find_cell(cell) == nullptr) return make_error(Errc::not_found, "unknown cell");
+  if (active) {
+    inactive_.erase(cell);
+  } else {
+    inactive_.insert(cell);
+  }
+  return {};
+}
+
+std::size_t RanController::attached_ues(PlmnId plmn) const noexcept {
+  std::size_t n = 0;
+  for (const auto& [ue, rec] : ues_) {
+    if (rec.plmn == plmn) ++n;
+  }
+  return n;
+}
+
+std::vector<RanServeReport> RanController::serve_epoch(
+    std::span<const std::pair<PlmnId, DataRate>> demands, SimTime now) {
+  // Split each PLMN's demand across cells: weight by attached UEs,
+  // equal split when the PLMN has none anywhere.
+  std::map<PlmnId, RanServeReport> totals;
+  for (const auto& [plmn, demand] : demands) {
+    totals[plmn] = RanServeReport{plmn, demand, DataRate::zero(), DataRate::zero()};
+  }
+
+  for (Cell& cell : cells_) {
+    std::vector<std::pair<PlmnId, DataRate>> cell_demand;
+    const bool active = cell_active(cell.id());
+    for (const auto& [plmn, demand] : demands) {
+      if (!cell.broadcasts(plmn)) continue;
+      const std::size_t here = cell.attached_count(plmn);
+      const std::size_t everywhere = attached_ues(plmn);
+      double share = 0.0;
+      if (everywhere > 0) {
+        share = static_cast<double>(here) / static_cast<double>(everywhere);
+      } else {
+        // Equal split over the cells broadcasting this PLMN.
+        std::size_t broadcasting = 0;
+        for (const Cell& c : cells_) {
+          if (c.broadcasts(plmn)) ++broadcasting;
+        }
+        share = broadcasting == 0 ? 0.0 : 1.0 / static_cast<double>(broadcasting);
+      }
+      cell_demand.emplace_back(plmn, demand * share);
+    }
+
+    if (!active) {
+      // Cell outage: its share of every PLMN's demand goes unserved.
+      for (const auto& [plmn, share_demand] : cell_demand) {
+        const auto it = totals.find(plmn);
+        if (it != totals.end()) it->second.unserved += share_demand;
+      }
+      if (registry_ != nullptr) {
+        const std::string prefix = "ran.cell." + std::to_string(cell.id().value());
+        registry_->observe(prefix + ".prb_used", now, 0.0);
+        registry_->observe(prefix + ".utilization", now, 0.0);
+      }
+      continue;
+    }
+
+    const std::vector<PlmnGrant> grants = cell.serve_epoch(cell_demand);
+    PrbCount used{0};
+    for (const PlmnGrant& g : grants) {
+      used += g.granted;
+      auto it = totals.find(g.plmn);
+      if (it == totals.end()) continue;  // PLMN with zero offered demand
+      it->second.served += g.served;
+      it->second.unserved += g.unserved;
+    }
+    if (registry_ != nullptr) {
+      const std::string prefix = "ran.cell." + std::to_string(cell.id().value());
+      registry_->observe(prefix + ".prb_used", now, static_cast<double>(used.value));
+      registry_->observe(prefix + ".prb_reserved", now,
+                         static_cast<double>(cell.reserved_prbs().value));
+      registry_->observe(prefix + ".utilization", now,
+                         static_cast<double>(used.value) /
+                             static_cast<double>(cell.total_prbs().value));
+    }
+  }
+
+  std::vector<RanServeReport> out;
+  out.reserve(totals.size());
+  for (const auto& [plmn, report] : totals) {
+    if (registry_ != nullptr) {
+      const std::string prefix = "ran.plmn." + std::to_string(plmn.value());
+      registry_->observe(prefix + ".demand_mbps", now, report.demand.as_mbps());
+      registry_->observe(prefix + ".served_mbps", now, report.served.as_mbps());
+      registry_->observe(prefix + ".unserved_mbps", now, report.unserved.as_mbps());
+    }
+    out.push_back(report);
+  }
+  return out;
+}
+
+std::shared_ptr<net::Router> RanController::make_router() {
+  auto router = std::make_shared<net::Router>();
+
+  router->add(net::Method::get, "/capacity", [this](const net::RouteContext&) {
+    json::Array cells;
+    for (const Cell& cell : cells_) {
+      json::Object entry;
+      entry.emplace("id", static_cast<double>(cell.id().value()));
+      entry.emplace("name", cell.name());
+      entry.emplace("total_prb", cell.total_prbs().value);
+      entry.emplace("reserved_prb", cell.reserved_prbs().value);
+      entry.emplace("free_prb", cell.unreserved_prbs().value);
+      cells.push_back(std::move(entry));
+    }
+    json::Object body;
+    body.emplace("cells", std::move(cells));
+    body.emplace("available_mbps", available_capacity().as_mbps());
+    body.emplace("total_mbps", total_capacity().as_mbps());
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::post, "/plmns", [this](const net::RouteContext& ctx) {
+    const Result<json::Value> doc = json::parse(ctx.request->body);
+    if (!doc.ok()) return net::Response::from_error(doc.error());
+    const Result<double> plmn = doc.value().get_number("plmn");
+    if (!plmn.ok()) return net::Response::from_error(plmn.error());
+    const Result<void> r = install_plmn(PlmnId{static_cast<std::uint64_t>(plmn.value())});
+    if (!r.ok()) return net::Response::from_error(r.error());
+    return net::Response::json(net::Status::created, "{}");
+  });
+
+  router->add(net::Method::del, "/plmns/{id}", [this](const net::RouteContext& ctx) {
+    const Result<std::uint64_t> id = ctx.id_param("id");
+    if (!id.ok()) return net::Response::from_error(id.error());
+    const Result<void> r = remove_plmn(PlmnId{id.value()});
+    if (!r.ok()) return net::Response::from_error(r.error());
+    net::Response resp;
+    resp.status = net::Status::no_content;
+    return resp;
+  });
+
+  router->add(net::Method::put, "/allocations/{plmn}", [this](const net::RouteContext& ctx) {
+    const Result<std::uint64_t> id = ctx.id_param("plmn");
+    if (!id.ok()) return net::Response::from_error(id.error());
+    const Result<json::Value> doc = json::parse(ctx.request->body);
+    if (!doc.ok()) return net::Response::from_error(doc.error());
+    const Result<double> rate = doc.value().get_number("rate_mbps");
+    if (!rate.ok()) return net::Response::from_error(rate.error());
+    const Result<RanAllocation> r =
+        set_allocation(PlmnId{id.value()}, DataRate::mbps(rate.value()));
+    if (!r.ok()) return net::Response::from_error(r.error());
+    json::Object body;
+    body.emplace("plmn", static_cast<double>(id.value()));
+    body.emplace("rate_mbps", r.value().rate.as_mbps());
+    body.emplace("total_prb", r.value().total_prbs().value);
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::del, "/allocations/{plmn}", [this](const net::RouteContext& ctx) {
+    const Result<std::uint64_t> id = ctx.id_param("plmn");
+    if (!id.ok()) return net::Response::from_error(id.error());
+    release_allocation(PlmnId{id.value()});
+    net::Response resp;
+    resp.status = net::Status::no_content;
+    return resp;
+  });
+
+  router->add(net::Method::post, "/ues", [this](const net::RouteContext& ctx) {
+    const Result<json::Value> doc = json::parse(ctx.request->body);
+    if (!doc.ok()) return net::Response::from_error(doc.error());
+    const Result<double> plmn = doc.value().get_number("plmn");
+    if (!plmn.ok()) return net::Response::from_error(plmn.error());
+    int cqi = 10;
+    if (const json::Value* c = doc.value().find("cqi"); c != nullptr && c->is_number()) {
+      cqi = static_cast<int>(c->as_number());
+      if (cqi < 1 || cqi > 15)
+        return net::Response::from_error(make_error(Errc::invalid_argument, "cqi out of range"));
+    }
+    const Result<UeId> ue =
+        attach_ue(PlmnId{static_cast<std::uint64_t>(plmn.value())}, Cqi{cqi});
+    if (!ue.ok()) return net::Response::from_error(ue.error());
+    json::Object body;
+    body.emplace("ue", static_cast<double>(ue.value().value()));
+    return net::Response::json(net::Status::created,
+                               json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::del, "/ues/{id}", [this](const net::RouteContext& ctx) {
+    const Result<std::uint64_t> id = ctx.id_param("id");
+    if (!id.ok()) return net::Response::from_error(id.error());
+    const Result<void> r = detach_ue(UeId{id.value()});
+    if (!r.ok()) return net::Response::from_error(r.error());
+    net::Response resp;
+    resp.status = net::Status::no_content;
+    return resp;
+  });
+
+  router->add(net::Method::get, "/metrics", [this](const net::RouteContext&) {
+    if (registry_ == nullptr)
+      return net::Response::json(net::Status::ok, "{}");
+    return net::Response::json(net::Status::ok, json::serialize(registry_->snapshot()));
+  });
+
+  return router;
+}
+
+}  // namespace slices::ran

@@ -1,0 +1,163 @@
+#pragma once
+// RAN domain controller.
+//
+// Sits between the end-to-end orchestrator and the cells, exactly like
+// the radio controller in the paper's hierarchy: it installs PLMNs
+// (the slice <-> PLMN mapping of the demo), translates throughput-level
+// slice allocations into per-cell PRB reservations, attaches UEs, serves
+// offered demand every monitoring epoch and publishes utilization
+// telemetry through a REST /metrics endpoint.
+
+#include <map>
+#include <set>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/router.hpp"
+#include "ran/cell.hpp"
+#include "telemetry/registry.hpp"
+
+namespace slices::ran {
+
+/// One slice's radio allocation as installed across cells.
+struct RanAllocation {
+  PlmnId plmn;
+  DataRate rate;                        ///< throughput the reservation guarantees
+  std::map<CellId, PrbCount> per_cell;  ///< dedicated PRBs on each cell
+
+  [[nodiscard]] PrbCount total_prbs() const noexcept {
+    PrbCount sum{0};
+    for (const auto& [cell, prbs] : per_cell) sum += prbs;
+    return sum;
+  }
+};
+
+/// Per-PLMN serving outcome of one epoch, aggregated over cells.
+struct RanServeReport {
+  PlmnId plmn;
+  DataRate demand;
+  DataRate served;
+  DataRate unserved;
+};
+
+/// The radio-domain controller.
+class RanController {
+ public:
+  explicit RanController(telemetry::MonitorRegistry* registry = nullptr)
+      : registry_(registry) {}
+
+  /// Add a cell to the managed RAN. Cells are fixed infrastructure; add
+  /// them before traffic starts.
+  void add_cell(Cell cell);
+
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cells_.size(); }
+  [[nodiscard]] const Cell* find_cell(CellId id) const noexcept;
+
+  // --- PLMN lifecycle ----------------------------------------------------
+
+  /// Install `plmn` network-wide (broadcast on every cell). Errors:
+  /// conflict (already installed), insufficient_capacity (some cell's
+  /// broadcast list is full — nothing is left half-installed).
+  [[nodiscard]] Result<void> install_plmn(PlmnId plmn);
+
+  /// Remove `plmn` everywhere. Errors: not_found; conflict while an
+  /// allocation or attached UEs exist.
+  [[nodiscard]] Result<void> remove_plmn(PlmnId plmn);
+
+  [[nodiscard]] bool plmn_installed(PlmnId plmn) const noexcept {
+    return installed_.contains(plmn);
+  }
+
+  // --- Slice allocations ---------------------------------------------------
+
+  /// Create or resize the radio allocation of `plmn` to guarantee
+  /// `rate`. PRBs are spread over cells (most-free-first) using each
+  /// cell's current mean UE CQI (or `planning_cqi` when no UEs yet).
+  /// Shrinking always succeeds; growing fails atomically with
+  /// insufficient_capacity when the RAN cannot fit the increase.
+  [[nodiscard]] Result<RanAllocation> set_allocation(PlmnId plmn, DataRate rate,
+                                                     Cqi planning_cqi = Cqi{10});
+
+  /// Drop the allocation of `plmn` (idempotent).
+  void release_allocation(PlmnId plmn);
+
+  [[nodiscard]] const RanAllocation* find_allocation(PlmnId plmn) const noexcept;
+
+  /// Throughput still allocatable at `planning_cqi` (sum of unreserved
+  /// PRBs across cells, converted).
+  [[nodiscard]] DataRate available_capacity(Cqi planning_cqi = Cqi{10}) const noexcept;
+  /// Total RAN capacity at `planning_cqi`.
+  [[nodiscard]] DataRate total_capacity(Cqi planning_cqi = Cqi{10}) const noexcept;
+
+  // --- UEs -----------------------------------------------------------------
+
+  /// Attach a new UE under `plmn` to the cell with fewest attached UEs.
+  /// Errors: not_found when the PLMN is not installed (the demo gating).
+  [[nodiscard]] Result<UeId> attach_ue(PlmnId plmn, Cqi cqi);
+
+  [[nodiscard]] Result<void> detach_ue(UeId ue);
+
+  [[nodiscard]] std::size_t attached_ues(PlmnId plmn) const noexcept;
+
+  /// Channel-quality dynamics: random-walk every attached UE's CQI by
+  /// ±1 (clamped to [1,15]) with probability `step_probability` each —
+  /// the periodic CQI feedback real eNBs receive. Call once per epoch.
+  void wander_cqis(Rng& rng, double step_probability = 0.3);
+
+  /// X2-style handover: move `ue` to `target`, preserving its PLMN and
+  /// reported CQI. Errors: not_found (unknown UE/cell), conflict (UE
+  /// already on the target, or target inactive).
+  [[nodiscard]] Result<void> handover_ue(UeId ue, CellId target);
+
+  /// Load-balancing pass: hand UEs over from the most- to the
+  /// least-loaded active cell until attach counts differ by at most 1.
+  /// Returns the number of handovers performed.
+  std::size_t rebalance_ues();
+
+  // --- Failure injection -----------------------------------------------------
+
+  /// Deactivate/reactivate a cell (eNB outage). An inactive cell serves
+  /// nothing and its PRBs stop counting toward planning capacity;
+  /// existing reservations stay installed and resume on recovery.
+  /// Errors: not_found.
+  [[nodiscard]] Result<void> set_cell_active(CellId cell, bool active);
+
+  [[nodiscard]] bool cell_active(CellId cell) const noexcept {
+    return !inactive_.contains(cell);
+  }
+
+  // --- Serving + monitoring -------------------------------------------------
+
+  /// Serve one epoch of offered demand (Mb/s per PLMN). Demand of a
+  /// PLMN is split across cells proportionally to its attached UEs
+  /// (equally when none). Publishes telemetry when a registry is set.
+  std::vector<RanServeReport> serve_epoch(
+      std::span<const std::pair<PlmnId, DataRate>> demands, SimTime now);
+
+  /// REST facade (see DESIGN.md for the route table). The router holds a
+  /// non-owning pointer to this controller; keep the controller alive.
+  [[nodiscard]] std::shared_ptr<net::Router> make_router();
+
+ private:
+  struct UeRecord {
+    CellId cell;
+    PlmnId plmn;
+  };
+
+  std::vector<Cell> cells_;
+  std::set<CellId> inactive_;
+  std::map<PlmnId, std::monostate> installed_;
+  std::map<PlmnId, RanAllocation> allocations_;
+  std::map<UeId, UeRecord> ues_;
+  IdAllocator<UeTag> ue_ids_;
+  telemetry::MonitorRegistry* registry_;
+};
+
+}  // namespace slices::ran

@@ -1,0 +1,87 @@
+#pragma once
+// LTE PHY-layer capacity model.
+//
+// The testbed's radio currency is the Physical Resource Block: the RAN
+// controller reserves PRBs per PLMN (slice) on each MOCN cell. This
+// header provides the 3GPP-derived tables that convert between PRBs and
+// throughput: channel bandwidth -> PRB count (TS 36.101) and CQI ->
+// spectral efficiency (TS 36.213 Table 7.2.3-1), with a fixed overhead
+// factor for control/reference symbols.
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace slices::ran {
+
+/// LTE channel bandwidths supported by commercial small cells.
+enum class Bandwidth { mhz1_4, mhz3, mhz5, mhz10, mhz15, mhz20 };
+
+/// Downlink PRBs per subframe for a channel bandwidth (TS 36.101).
+[[nodiscard]] constexpr PrbCount prbs_for(Bandwidth bw) noexcept {
+  switch (bw) {
+    case Bandwidth::mhz1_4: return {6};
+    case Bandwidth::mhz3: return {15};
+    case Bandwidth::mhz5: return {25};
+    case Bandwidth::mhz10: return {50};
+    case Bandwidth::mhz15: return {75};
+    case Bandwidth::mhz20: return {100};
+  }
+  return {0};
+}
+
+/// Channel quality indicator, 1 (worst) .. 15 (best). CQI 0 = out of
+/// range and is not representable here on purpose.
+class Cqi {
+ public:
+  constexpr Cqi() noexcept = default;
+  constexpr explicit Cqi(int index) noexcept : index_(index) {
+    assert(index >= 1 && index <= 15);
+  }
+  [[nodiscard]] constexpr int index() const noexcept { return index_; }
+
+  friend constexpr auto operator<=>(Cqi, Cqi) noexcept = default;
+
+ private:
+  int index_ = 7;  // mid-range default
+};
+
+/// Spectral efficiency in bits per resource element for each CQI
+/// (TS 36.213 Table 7.2.3-1).
+[[nodiscard]] constexpr double spectral_efficiency(Cqi cqi) noexcept {
+  constexpr std::array<double, 16> kEff = {
+      0.0,     // unused (CQI 0)
+      0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766,
+      1.9141, 2.4063, 2.7305, 3.3223, 3.9023, 4.5234, 5.1152, 5.5547};
+  return kEff[static_cast<std::size_t>(cqi.index())];
+}
+
+/// Resource elements per PRB per subframe (12 subcarriers x 14 OFDM
+/// symbols), and the fraction of them carrying user data after control
+/// region, reference signals and sync overhead.
+inline constexpr double kResourceElementsPerPrbPerMs = 12.0 * 14.0;
+inline constexpr double kDataFraction = 0.75;
+
+/// Sustained downlink throughput of one PRB at channel quality `cqi`.
+/// One subframe per millisecond => RE/ms * bits/RE * 1000 = bits/s.
+[[nodiscard]] constexpr DataRate prb_throughput(Cqi cqi) noexcept {
+  const double bits_per_ms =
+      kResourceElementsPerPrbPerMs * kDataFraction * spectral_efficiency(cqi);
+  return DataRate::bps(bits_per_ms * 1000.0);
+}
+
+/// Throughput of `prbs` PRBs at quality `cqi`.
+[[nodiscard]] constexpr DataRate throughput_of(PrbCount prbs, Cqi cqi) noexcept {
+  return prb_throughput(cqi) * static_cast<double>(prbs.value);
+}
+
+/// Minimum PRBs needed to carry `rate` at quality `cqi` (ceiling).
+[[nodiscard]] inline PrbCount prbs_needed(DataRate rate, Cqi cqi) noexcept {
+  if (rate <= DataRate::zero()) return {0};
+  const double per_prb = prb_throughput(cqi).bits_per_second();
+  return {static_cast<int>(std::ceil(rate.bits_per_second() / per_prb))};
+}
+
+}  // namespace slices::ran

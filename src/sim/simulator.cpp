@@ -1,0 +1,64 @@
+#include "sim/simulator.hpp"
+
+namespace slices::sim {
+
+EventId Simulator::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) t = now_;  // never schedule in the past
+  const QueueKey key{t, next_seq_++};
+  queue_.emplace(key, std::move(cb));
+  event_index_.emplace(key.seq, key);
+  return EventId{key.seq};
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = event_index_.find(id.value);
+  if (it == event_index_.end()) return false;
+  queue_.erase(it->second);
+  event_index_.erase(it);
+  return true;
+}
+
+PeriodicId Simulator::add_periodic(Duration period, PeriodicCallback cb, Duration offset) {
+  assert(period > Duration::zero());
+  const std::uint64_t key = next_periodic_++;
+  periodics_.emplace(key, PeriodicTask{period, std::move(cb)});
+  schedule_periodic_firing(key, now_ + offset);
+  return PeriodicId{key};
+}
+
+void Simulator::schedule_periodic_firing(std::uint64_t periodic_key, SimTime at) {
+  schedule_at(at, [this, periodic_key, at] {
+    const auto it = periodics_.find(periodic_key);
+    if (it == periodics_.end()) return;  // stopped meanwhile
+    // Reschedule before running so the callback can remove_periodic(self).
+    schedule_periodic_firing(periodic_key, at + it->second.period);
+    it->second.callback(at);
+  });
+}
+
+bool Simulator::remove_periodic(PeriodicId id) { return periodics_.erase(id.value) > 0; }
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  const QueueKey key = it->first;
+  Callback cb = std::move(it->second);
+  queue_.erase(it);
+  event_index_.erase(key.seq);
+  now_ = key.time;
+  ++executed_;
+  cb();
+  return true;
+}
+
+std::size_t Simulator::run_until(SimTime t) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.begin()->first.time <= t) {
+    step();
+    ++executed;
+  }
+  if (now_ < t) now_ = t;
+  return executed;
+}
+
+}  // namespace slices::sim

@@ -1,0 +1,102 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// Everything time-dependent in the reproduction — traffic demand
+// evolution, link-capacity fading, monitoring sampling, orchestration
+// cycles, slice arrivals/expiries, EPC deployment delays — is driven by
+// one Simulator instance. Events at equal timestamps execute in
+// scheduling order (a strict total order), which makes whole runs
+// reproducible bit-for-bit from a seed.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/units.hpp"
+
+namespace slices::sim {
+
+/// Handle to a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  std::uint64_t value = 0;
+  friend constexpr auto operator<=>(EventId, EventId) noexcept = default;
+};
+
+/// Handle to a periodic task; usable to stop future firings.
+struct PeriodicId {
+  std::uint64_t value = 0;
+  friend constexpr auto operator<=>(PeriodicId, PeriodicId) noexcept = default;
+};
+
+/// Single-threaded discrete-event simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+  using PeriodicCallback = std::function<void(SimTime)>;
+
+  /// Current simulated time. Advances only while run_* executes events.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now, else fires immediately
+  /// at now — the kernel never travels backwards).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedule `cb` after `d` (>= 0) from now.
+  EventId schedule_after(Duration d, Callback cb) {
+    assert(d >= Duration::zero());
+    return schedule_at(now_ + d, std::move(cb));
+  }
+
+  /// Cancel a pending event; returns false if it already fired/was
+  /// cancelled.
+  bool cancel(EventId id);
+
+  /// Register a task firing every `period` (> 0), first at now+offset.
+  /// The callback receives the firing time.
+  PeriodicId add_periodic(Duration period, PeriodicCallback cb,
+                          Duration offset = Duration::zero());
+
+  /// Stop a periodic task; returns false when unknown/already stopped.
+  bool remove_periodic(PeriodicId id);
+
+  /// Execute the next pending event; false when the queue is empty.
+  bool step();
+
+  /// Run all events with time <= `t`, then set now = t.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime t);
+
+  /// Run for a duration from the current time.
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+ private:
+  struct QueueKey {
+    SimTime time;
+    std::uint64_t seq;  // tiebreaker: FIFO among same-time events
+    friend constexpr auto operator<=>(const QueueKey&, const QueueKey&) noexcept = default;
+  };
+
+  void schedule_periodic_firing(std::uint64_t periodic_key, SimTime at);
+
+  struct PeriodicTask {
+    Duration period;
+    PeriodicCallback callback;
+  };
+
+  SimTime now_ = SimTime::origin();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  // std::map keeps deterministic ordering and allows cancellation by key
+  // lookup through the id->key index.
+  std::map<QueueKey, Callback> queue_;
+  std::map<std::uint64_t, QueueKey> event_index_;  // EventId -> key
+  std::map<std::uint64_t, PeriodicTask> periodics_;
+  std::uint64_t next_periodic_ = 1;
+};
+
+}  // namespace slices::sim

@@ -1,0 +1,85 @@
+#pragma once
+// CSV export of telemetry — the dashboard's "download the series"
+// button. Series are exported wide (one time column, one column per
+// series, rows aligned by exact timestamp) or long (name,t,v records).
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace slices::telemetry {
+
+/// Escape a CSV field (quotes + separators per RFC 4180).
+[[nodiscard]] inline std::string csv_escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+/// Long format: `series,t_seconds,value` — one row per retained sample
+/// of every series whose name matches `prefix` (empty = all).
+[[nodiscard]] inline std::string export_long_csv(const MonitorRegistry& registry,
+                                                 const std::vector<std::string>& names) {
+  std::ostringstream out;
+  out << "series,t_seconds,value\n";
+  for (const std::string& name : names) {
+    const TimeSeries* series = registry.find_series(name);
+    if (series == nullptr) continue;
+    for (std::size_t i = 0; i < series->size(); ++i) {
+      out << csv_escape(name) << ',' << series->at(i).time.as_seconds() << ','
+          << series->at(i).value << '\n';
+    }
+  }
+  return out.str();
+}
+
+/// Wide format: `t_seconds,<name1>,<name2>,...` with one row per
+/// distinct timestamp; series without a sample at a timestamp leave the
+/// cell empty. Suited to series sampled on the same epoch grid.
+[[nodiscard]] inline std::string export_wide_csv(const MonitorRegistry& registry,
+                                                 const std::vector<std::string>& names) {
+  // Collect the union of timestamps.
+  std::set<std::int64_t> timestamps;
+  std::map<std::string, std::map<std::int64_t, double>> table;
+  for (const std::string& name : names) {
+    const TimeSeries* series = registry.find_series(name);
+    if (series == nullptr) continue;
+    auto& column = table[name];
+    for (std::size_t i = 0; i < series->size(); ++i) {
+      const std::int64_t t = series->at(i).time.as_micros();
+      timestamps.insert(t);
+      column[t] = series->at(i).value;
+    }
+  }
+
+  std::ostringstream out;
+  out << "t_seconds";
+  for (const std::string& name : names) out << ',' << csv_escape(name);
+  out << '\n';
+  for (const std::int64_t t : timestamps) {
+    out << (static_cast<double>(t) / 1e6);
+    for (const std::string& name : names) {
+      out << ',';
+      const auto column = table.find(name);
+      if (column == table.end()) continue;
+      const auto cell = column->second.find(t);
+      if (cell != column->second.end()) out << cell->second;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace slices::telemetry

@@ -1,0 +1,46 @@
+#include "telemetry/registry.hpp"
+
+namespace slices::telemetry {
+
+json::Value MonitorRegistry::snapshot() const {
+  json::Object counters;
+  for (const auto& [name, c] : counters_) counters.emplace(name, static_cast<double>(c.value()));
+
+  json::Object gauges;
+  for (const auto& [name, g] : gauges_) gauges.emplace(name, g.value());
+
+  json::Object series;
+  for (const auto& [name, s] : series_) {
+    json::Object entry;
+    entry.emplace("n", static_cast<double>(s->size()));
+    if (!s->empty()) {
+      entry.emplace("latest", s->back().value);
+      entry.emplace("latest_t", s->back().time.as_seconds());
+      if (const auto m = s->mean_last(16)) entry.emplace("mean_16", *m);
+      if (const auto m = s->max_last(16)) entry.emplace("max_16", *m);
+    }
+    series.emplace(name, std::move(entry));
+  }
+
+  json::Object root;
+  root.emplace("counters", std::move(counters));
+  root.emplace("gauges", std::move(gauges));
+  root.emplace("series", std::move(series));
+  return root;
+}
+
+json::Value MonitorRegistry::series_window(std::string_view name, std::size_t n) const {
+  json::Array out;
+  const TimeSeries* s = find_series(name);
+  if (s == nullptr) return out;
+  const std::size_t count = n < s->size() ? n : s->size();
+  for (std::size_t i = s->size() - count; i < s->size(); ++i) {
+    json::Object point;
+    point.emplace("t", s->at(i).time.as_seconds());
+    point.emplace("v", s->at(i).value);
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+}  // namespace slices::telemetry

@@ -1,0 +1,96 @@
+#pragma once
+// Monitor registry: named counters, gauges and time series owned by one
+// component (a controller or the orchestrator). The registry snapshots
+// to JSON, which is what each controller's /metrics REST endpoint
+// returns to the orchestrator — the "real time monitoring" feed of the
+// paper's closed loop (Fig. 1).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "json/value.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace slices::telemetry {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) noexcept { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous value (utilization, queue depth, residual capacity...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double v) noexcept { value_ += v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Registry of named instruments. Names are dotted paths, e.g.
+/// "cell.1.prb_used" or "slice.7.throughput_mbps".
+class MonitorRegistry {
+ public:
+  explicit MonitorRegistry(std::size_t series_capacity = 4096)
+      : series_capacity_(series_capacity) {}
+
+  /// Get or create a counter.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  /// Get or create a gauge.
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  /// Get or create a time series (capacity fixed at registry default).
+  TimeSeries& series(const std::string& name) {
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+      it = series_.emplace(name, std::make_unique<TimeSeries>(series_capacity_)).first;
+    }
+    return *it->second;
+  }
+
+  [[nodiscard]] const TimeSeries* find_series(std::string_view name) const {
+    const auto it = series_.find(std::string(name));
+    return it == series_.end() ? nullptr : it->second.get();
+  }
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const {
+    const auto it = gauges_.find(std::string(name));
+    return it == gauges_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const {
+    const auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? nullptr : &it->second;
+  }
+
+  /// Record a sample into `name`'s series and mirror it into a gauge of
+  /// the same name (latest value is often all a caller needs).
+  void observe(const std::string& name, SimTime time, double value) {
+    series(name).append(time, value);
+    gauge(name).set(value);
+  }
+
+  /// Snapshot every instrument into a JSON object:
+  /// { "counters": {...}, "gauges": {...},
+  ///   "series": { name: {"n": ..., "latest": ..., "mean_16": ...} } }
+  [[nodiscard]] json::Value snapshot() const;
+
+  /// Snapshot one series' recent window as a JSON array of
+  /// {"t": seconds, "v": value} pairs (most recent `n`).
+  [[nodiscard]] json::Value series_window(std::string_view name, std::size_t n) const;
+
+ private:
+  std::size_t series_capacity_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+};
+
+}  // namespace slices::telemetry

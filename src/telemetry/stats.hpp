@@ -1,0 +1,79 @@
+#pragma once
+// Small statistics toolkit: Welford online accumulator and quantile
+// estimation over sample vectors. Used by SLA accounting (violation
+// rates, latency percentiles) and by the forecast residual model.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace slices::telemetry {
+
+/// Numerically stable online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : (x < min_ ? x : min_);
+    max_ = n_ == 1 ? x : (x > max_ ? x : max_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance; 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double minimum() const noexcept { return min_; }
+  [[nodiscard]] double maximum() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile (q in [0,1]) by linear interpolation between order
+/// statistics. Copies + sorts; intended for report-time use.
+[[nodiscard]] inline double quantile(std::vector<double> values, double q) {
+  assert(!values.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = lo + 1 < values.size() ? lo + 1 : lo;
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+/// Mean absolute error between two equal-length vectors.
+[[nodiscard]] inline double mean_absolute_error(const std::vector<double>& a,
+                                                const std::vector<double>& b) {
+  assert(a.size() == b.size() && !a.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+/// Root-mean-square error between two equal-length vectors.
+[[nodiscard]] inline double root_mean_square_error(const std::vector<double>& a,
+                                                   const std::vector<double>& b) {
+  assert(a.size() == b.size() && !a.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+}  // namespace slices::telemetry

@@ -1,0 +1,215 @@
+#pragma once
+// Synthetic slice traffic models.
+//
+// The paper demonstrates overbooking with real verticals on a testbed;
+// we substitute controlled synthetic demand processes (see DESIGN.md).
+// What matters for the broker is the *structure* of demand: diurnal
+// seasonality (forecastable, the multiplexing-gain source), burstiness
+// (the SLA-violation risk source) and session dynamics. Each model is a
+// stateful process sampled once per monitoring period with its own
+// deterministic RNG stream.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace slices::traffic {
+
+/// A stateful demand process. `sample(t)` returns the offered demand
+/// (Mb/s) for the monitoring period ending at `t`; calls must be made
+/// with non-decreasing `t`.
+class TrafficModel {
+ public:
+  virtual ~TrafficModel() = default;
+
+  /// Demand in Mb/s for the period ending at `t` (never negative).
+  [[nodiscard]] virtual double sample(SimTime t) = 0;
+
+  /// Long-run mean demand in Mb/s (used to size SLAs in generators).
+  [[nodiscard]] virtual double mean_rate() const noexcept = 0;
+
+  /// Peak demand the process can (plausibly) offer, in Mb/s. SLAs are
+  /// typically contracted at this level — the gap between peak and the
+  /// instantaneous demand is precisely what overbooking reclaims.
+  [[nodiscard]] virtual double peak_rate() const noexcept = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// Constant-bit-rate demand (e.g. an industrial control stream).
+class ConstantTraffic final : public TrafficModel {
+ public:
+  explicit ConstantTraffic(double rate_mbps) : rate_(rate_mbps) { assert(rate_mbps >= 0.0); }
+
+  [[nodiscard]] double sample(SimTime) override { return rate_; }
+  [[nodiscard]] double mean_rate() const noexcept override { return rate_; }
+  [[nodiscard]] double peak_rate() const noexcept override { return rate_; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "constant"; }
+
+ private:
+  double rate_;
+};
+
+/// Sinusoidal diurnal demand with multiplicative Gaussian noise:
+///   d(t) = mean + amplitude * sin(2π (t+phase)/period) + noise.
+/// The canonical "office hours" vertical load from the forecasting
+/// literature the paper builds on.
+class DiurnalTraffic final : public TrafficModel {
+ public:
+  DiurnalTraffic(double mean_mbps, double amplitude_mbps, Duration period, Duration phase,
+                 double noise_fraction, Rng rng)
+      : mean_(mean_mbps),
+        amplitude_(amplitude_mbps),
+        period_(period),
+        phase_(phase),
+        noise_fraction_(noise_fraction),
+        rng_(rng) {
+    assert(mean_mbps >= 0.0);
+    assert(amplitude_mbps >= 0.0 && amplitude_mbps <= mean_mbps);
+    assert(period > Duration::zero());
+    assert(noise_fraction >= 0.0);
+  }
+
+  [[nodiscard]] double sample(SimTime t) override {
+    const double angle = 2.0 * std::numbers::pi *
+                         ((t.as_seconds() + phase_.as_seconds()) / period_.as_seconds());
+    const double base = mean_ + amplitude_ * std::sin(angle);
+    const double noisy = base * (1.0 + noise_fraction_ * rng_.normal());
+    return std::max(0.0, noisy);
+  }
+  [[nodiscard]] double mean_rate() const noexcept override { return mean_; }
+  [[nodiscard]] double peak_rate() const noexcept override {
+    // Mean + amplitude plus ~2σ of noise at the crest.
+    return (mean_ + amplitude_) * (1.0 + 2.0 * noise_fraction_);
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "diurnal"; }
+
+ private:
+  double mean_;
+  double amplitude_;
+  Duration period_;
+  Duration phase_;
+  double noise_fraction_;
+  Rng rng_;
+};
+
+/// M/G/∞ session model: sessions arrive Poisson with (optionally
+/// diurnally modulated) rate and hold exponential durations; each active
+/// session offers `per_session_mbps`. Sampled as the stationary Poisson
+/// occupancy at the modulated load — captures user-population dynamics
+/// of eMBB verticals.
+class SessionTraffic final : public TrafficModel {
+ public:
+  /// `arrivals_per_hour` is the *mean* arrival rate; when
+  /// `diurnal_depth` > 0 the instantaneous rate swings ±depth·mean over
+  /// a 24h period.
+  SessionTraffic(double arrivals_per_hour, Duration mean_holding, double per_session_mbps,
+                 double diurnal_depth, Rng rng)
+      : arrivals_per_hour_(arrivals_per_hour),
+        mean_holding_(mean_holding),
+        per_session_mbps_(per_session_mbps),
+        diurnal_depth_(diurnal_depth),
+        rng_(rng) {
+    assert(arrivals_per_hour >= 0.0);
+    assert(mean_holding > Duration::zero());
+    assert(per_session_mbps >= 0.0);
+    assert(diurnal_depth >= 0.0 && diurnal_depth <= 1.0);
+  }
+
+  [[nodiscard]] double sample(SimTime t) override {
+    const double angle = 2.0 * std::numbers::pi * (t.as_hours() / 24.0);
+    const double rate = arrivals_per_hour_ * (1.0 + diurnal_depth_ * std::sin(angle));
+    const double offered_load = std::max(0.0, rate) * mean_holding_.as_hours();
+    const auto active = static_cast<double>(rng_.poisson(offered_load));
+    return active * per_session_mbps_;
+  }
+  [[nodiscard]] double mean_rate() const noexcept override {
+    return arrivals_per_hour_ * mean_holding_.as_hours() * per_session_mbps_;
+  }
+  [[nodiscard]] double peak_rate() const noexcept override {
+    const double peak_load =
+        arrivals_per_hour_ * (1.0 + diurnal_depth_) * mean_holding_.as_hours();
+    // Poisson peak occupancy ≈ mean + 3σ.
+    return (peak_load + 3.0 * std::sqrt(std::max(peak_load, 1.0))) * per_session_mbps_;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "sessions"; }
+
+ private:
+  double arrivals_per_hour_;
+  Duration mean_holding_;
+  double per_session_mbps_;
+  double diurnal_depth_;
+  Rng rng_;
+};
+
+/// Two-state Markov-modulated on/off process: `base` demand always, plus
+/// `burst` while in the ON state. Dwell times are geometric in sampling
+/// periods. The hard case for overbooking — bursts are unforecastable.
+class OnOffTraffic final : public TrafficModel {
+ public:
+  OnOffTraffic(double base_mbps, double burst_mbps, double p_on_to_off, double p_off_to_on,
+               Rng rng)
+      : base_(base_mbps),
+        burst_(burst_mbps),
+        p_on_to_off_(p_on_to_off),
+        p_off_to_on_(p_off_to_on),
+        rng_(rng) {
+    assert(base_mbps >= 0.0 && burst_mbps >= 0.0);
+    assert(p_on_to_off > 0.0 && p_on_to_off <= 1.0);
+    assert(p_off_to_on > 0.0 && p_off_to_on <= 1.0);
+  }
+
+  [[nodiscard]] double sample(SimTime) override {
+    if (on_) {
+      if (rng_.bernoulli(p_on_to_off_)) on_ = false;
+    } else {
+      if (rng_.bernoulli(p_off_to_on_)) on_ = true;
+    }
+    return on_ ? base_ + burst_ : base_;
+  }
+  [[nodiscard]] double mean_rate() const noexcept override {
+    const double duty = p_off_to_on_ / (p_off_to_on_ + p_on_to_off_);
+    return base_ + duty * burst_;
+  }
+  [[nodiscard]] double peak_rate() const noexcept override { return base_ + burst_; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "onoff"; }
+
+ private:
+  double base_;
+  double burst_;
+  double p_on_to_off_;
+  double p_off_to_on_;
+  Rng rng_;
+  bool on_ = false;
+};
+
+/// Composite: sum of two component processes (e.g. diurnal + bursts).
+class CompositeTraffic final : public TrafficModel {
+ public:
+  CompositeTraffic(std::unique_ptr<TrafficModel> a, std::unique_ptr<TrafficModel> b)
+      : a_(std::move(a)), b_(std::move(b)) {
+    assert(a_ != nullptr && b_ != nullptr);
+  }
+
+  [[nodiscard]] double sample(SimTime t) override { return a_->sample(t) + b_->sample(t); }
+  [[nodiscard]] double mean_rate() const noexcept override {
+    return a_->mean_rate() + b_->mean_rate();
+  }
+  [[nodiscard]] double peak_rate() const noexcept override {
+    return a_->peak_rate() + b_->peak_rate();
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "composite"; }
+
+ private:
+  std::unique_ptr<TrafficModel> a_;
+  std::unique_ptr<TrafficModel> b_;
+};
+
+}  // namespace slices::traffic

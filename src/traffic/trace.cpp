@@ -1,0 +1,69 @@
+#include "traffic/trace.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <string>
+
+namespace slices::traffic {
+
+TraceTraffic::TraceTraffic(std::vector<double> samples_mbps, bool loop)
+    : samples_(std::move(samples_mbps)), loop_(loop) {
+  assert(!samples_.empty());
+  double sum = 0.0;
+  for (const double v : samples_) {
+    assert(v >= 0.0);
+    sum += v;
+    if (v > peak_) peak_ = v;
+  }
+  mean_ = sum / static_cast<double>(samples_.size());
+}
+
+double TraceTraffic::sample(SimTime) {
+  const std::size_t index =
+      loop_ ? cursor_ % samples_.size()
+            : (cursor_ < samples_.size() ? cursor_ : samples_.size() - 1);
+  ++cursor_;
+  return samples_[index];
+}
+
+Result<std::vector<double>> parse_trace_csv(std::string_view text) {
+  std::vector<double> out;
+  std::size_t line_number = 0;
+  bool first_data_row = true;
+  while (!text.empty()) {
+    ++line_number;
+    const std::size_t eol = text.find('\n');
+    std::string_view line = eol == std::string_view::npos ? text : text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view{} : text.substr(eol + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    // Use the last comma-separated field (rows may be "t,value").
+    const std::size_t comma = line.rfind(',');
+    const std::string_view field =
+        comma == std::string_view::npos ? line : line.substr(comma + 1);
+
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
+    if (ec != std::errc{} || ptr != field.data() + field.size()) {
+      if (first_data_row) {
+        first_data_row = false;  // header row
+        continue;
+      }
+      return make_error(Errc::protocol_error,
+                        "trace line " + std::to_string(line_number) + ": bad number '" +
+                            std::string(field) + "'");
+    }
+    first_data_row = false;
+    if (value < 0.0) {
+      return make_error(Errc::invalid_argument,
+                        "trace line " + std::to_string(line_number) + ": negative demand");
+    }
+    out.push_back(value);
+  }
+  if (out.empty()) return make_error(Errc::invalid_argument, "empty trace");
+  return out;
+}
+
+}  // namespace slices::traffic

@@ -1,0 +1,45 @@
+#pragma once
+// Trace-replay traffic: bridges recorded demand (one sample per
+// monitoring period) into the synthetic harness — the substitution path
+// back toward real vertical traces when they are available.
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "traffic/model.hpp"
+
+namespace slices::traffic {
+
+/// Replays a fixed series of demand samples in order; loops around by
+/// default, or holds the last value when looping is disabled.
+class TraceTraffic final : public TrafficModel {
+ public:
+  /// Precondition: at least one sample, all non-negative.
+  explicit TraceTraffic(std::vector<double> samples_mbps, bool loop = true);
+
+  [[nodiscard]] double sample(SimTime) override;
+  [[nodiscard]] double mean_rate() const noexcept override { return mean_; }
+  [[nodiscard]] double peak_rate() const noexcept override { return peak_; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "trace"; }
+
+  [[nodiscard]] std::size_t length() const noexcept { return samples_.size(); }
+  /// Samples consumed so far (wraps do not reset it).
+  [[nodiscard]] std::size_t position() const noexcept { return cursor_; }
+
+ private:
+  std::vector<double> samples_;
+  bool loop_;
+  std::size_t cursor_ = 0;
+  double mean_ = 0.0;
+  double peak_ = 0.0;
+};
+
+/// Parse a demand trace from CSV text. Accepted row shapes: `value` or
+/// `t,value` (the time column is ignored — samples are period-indexed).
+/// Blank lines and lines starting with '#' are skipped; a non-numeric
+/// first data row is treated as a header. Errors: protocol_error
+/// (malformed row), invalid_argument (negative value or empty trace).
+[[nodiscard]] Result<std::vector<double>> parse_trace_csv(std::string_view text);
+
+}  // namespace slices::traffic

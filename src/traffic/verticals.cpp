@@ -1,0 +1,123 @@
+#include "traffic/verticals.hpp"
+
+#include <cassert>
+
+namespace slices::traffic {
+
+std::string_view to_string(Vertical v) noexcept {
+  switch (v) {
+    case Vertical::embb_video: return "embb_video";
+    case Vertical::automotive: return "automotive";
+    case Vertical::ehealth: return "ehealth";
+    case Vertical::iot_metering: return "iot_metering";
+    case Vertical::cloud_gaming: return "cloud_gaming";
+  }
+  return "?";
+}
+
+std::vector<Vertical> all_verticals() {
+  return {Vertical::embb_video, Vertical::automotive, Vertical::ehealth,
+          Vertical::iot_metering, Vertical::cloud_gaming};
+}
+
+VerticalProfile profile_for(Vertical v) {
+  VerticalProfile p;
+  p.vertical = v;
+  p.label = std::string(to_string(v));
+  switch (v) {
+    case Vertical::embb_video:
+      // Video CDN slice: big pipe, relaxed latency, cheap per Mb.
+      p.expected_throughput_mbps = 60.0;
+      p.max_latency = Duration::millis(50.0);
+      p.edge_compute = {4.0, 8192.0, 80.0};
+      p.price_per_hour = 30.0;
+      p.penalty_per_violation = 2.0;
+      p.needs_edge = false;
+      break;
+    case Vertical::automotive:
+      // V2X assistance: tight latency forces edge placement; traffic
+      // follows commuting rush hours.
+      p.expected_throughput_mbps = 20.0;
+      p.max_latency = Duration::millis(10.0);
+      p.edge_compute = {8.0, 16384.0, 40.0};
+      p.price_per_hour = 45.0;
+      p.penalty_per_violation = 8.0;
+      p.needs_edge = true;
+      break;
+    case Vertical::ehealth:
+      // Remote-monitoring: modest rate but violations are expensive.
+      p.expected_throughput_mbps = 10.0;
+      p.max_latency = Duration::millis(20.0);
+      p.edge_compute = {2.0, 4096.0, 20.0};
+      p.price_per_hour = 25.0;
+      p.penalty_per_violation = 15.0;
+      p.needs_edge = true;
+      break;
+    case Vertical::iot_metering:
+      // Smart metering: tiny steady load, loose latency, cheap.
+      p.expected_throughput_mbps = 2.0;
+      p.max_latency = Duration::millis(200.0);
+      p.edge_compute = {1.0, 1024.0, 10.0};
+      p.price_per_hour = 5.0;
+      p.penalty_per_violation = 1.0;
+      p.needs_edge = false;
+      break;
+    case Vertical::cloud_gaming:
+      // Gaming: evening-peaked, latency-sensitive, pays well.
+      p.expected_throughput_mbps = 40.0;
+      p.max_latency = Duration::millis(15.0);
+      p.edge_compute = {12.0, 24576.0, 60.0};
+      p.price_per_hour = 50.0;
+      p.penalty_per_violation = 6.0;
+      p.needs_edge = true;
+      break;
+  }
+  return p;
+}
+
+std::unique_ptr<TrafficModel> make_traffic(Vertical v, Rng rng) {
+  const Duration day = Duration::hours(24.0);
+  switch (v) {
+    case Vertical::embb_video: {
+      // Strong day/night swing around ~55% of contracted peak.
+      return std::make_unique<DiurnalTraffic>(
+          /*mean=*/32.0, /*amplitude=*/22.0, day, /*phase=*/Duration::hours(-6.0),
+          /*noise=*/0.08, rng);
+    }
+    case Vertical::automotive: {
+      // Two commuting humps approximated by a 12h-period diurnal plus a
+      // session layer for platoons of vehicles.
+      auto rush = std::make_unique<DiurnalTraffic>(8.0, 5.0, Duration::hours(12.0),
+                                                   Duration::hours(-3.0), 0.10, rng.fork());
+      auto sessions = std::make_unique<SessionTraffic>(
+          /*arrivals_per_hour=*/120.0, /*holding=*/Duration::minutes(3.0),
+          /*per_session=*/0.5, /*diurnal_depth=*/0.6, rng.fork());
+      return std::make_unique<CompositeTraffic>(std::move(rush), std::move(sessions));
+    }
+    case Vertical::ehealth: {
+      // Low floor with emergency bursts (hard to forecast).
+      auto floor = std::make_unique<ConstantTraffic>(2.0);
+      auto bursts = std::make_unique<OnOffTraffic>(/*base=*/0.0, /*burst=*/6.0,
+                                                   /*p_on_off=*/0.30, /*p_off_on=*/0.05,
+                                                   rng.fork());
+      return std::make_unique<CompositeTraffic>(std::move(floor), std::move(bursts));
+    }
+    case Vertical::iot_metering: {
+      // Nearly flat with small reporting waves.
+      return std::make_unique<DiurnalTraffic>(1.2, 0.4, Duration::hours(6.0),
+                                              Duration::zero(), 0.05, rng);
+    }
+    case Vertical::cloud_gaming: {
+      // Evening peak (phase shifts crest to ~21h) + session churn.
+      auto evening = std::make_unique<DiurnalTraffic>(20.0, 14.0, day, Duration::hours(3.0),
+                                                      0.10, rng.fork());
+      auto sessions = std::make_unique<SessionTraffic>(60.0, Duration::minutes(40.0), 0.2,
+                                                       0.8, rng.fork());
+      return std::make_unique<CompositeTraffic>(std::move(evening), std::move(sessions));
+    }
+  }
+  assert(false && "unknown vertical");
+  return std::make_unique<ConstantTraffic>(0.0);
+}
+
+}  // namespace slices::traffic

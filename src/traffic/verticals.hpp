@@ -1,0 +1,53 @@
+#pragma once
+// Vertical-industry traffic profiles.
+//
+// The paper motivates slicing with vertical industries "such as
+// automotive, e-health". Each profile bundles a demand model with the
+// SLA-shaping attributes a vertical typically contracts: latency bound,
+// throughput expectation, unit price and violation penalty scale.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "traffic/model.hpp"
+
+namespace slices::traffic {
+
+/// Identifies one of the built-in vertical profiles.
+enum class Vertical {
+  embb_video,    ///< eMBB video distribution: high-rate, strongly diurnal.
+  automotive,    ///< V2X-style: moderate rate, tight latency, rush-hour peaks.
+  ehealth,       ///< e-health telemetry: modest rate, high penalty, bursty.
+  iot_metering,  ///< mMTC metering: low constant rate, loose latency.
+  cloud_gaming,  ///< latency-sensitive eMBB with evening seasonality.
+};
+
+[[nodiscard]] std::string_view to_string(Vertical v) noexcept;
+
+/// All built-in verticals, for sweeps.
+[[nodiscard]] std::vector<Vertical> all_verticals();
+
+/// SLA-shaping attributes of a vertical (per slice instance).
+struct VerticalProfile {
+  Vertical vertical;
+  std::string label;
+  double expected_throughput_mbps = 0.0;  ///< contracted (peak-level) rate
+  Duration max_latency;                   ///< end-to-end latency bound
+  ComputeCapacity edge_compute;           ///< edge footprint (beyond the EPC)
+  double price_per_hour = 0.0;            ///< willingness to pay
+  double penalty_per_violation = 0.0;     ///< SLA-violation charge
+  bool needs_edge = false;                ///< must be placed at the edge DC
+};
+
+/// Profile attributes for `v`. Deterministic (no RNG).
+[[nodiscard]] VerticalProfile profile_for(Vertical v);
+
+/// Demand process for one slice instance of vertical `v`, scaled so that
+/// its peak approaches the profile's contracted throughput. `rng` seeds
+/// the instance's private stream.
+[[nodiscard]] std::unique_ptr<TrafficModel> make_traffic(Vertical v, Rng rng);
+
+}  // namespace slices::traffic

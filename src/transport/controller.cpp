@@ -1,0 +1,377 @@
+#include "transport/controller.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "json/value.hpp"
+
+namespace slices::transport {
+
+TransportController::TransportController(Topology topology, Rng rng,
+                                         telemetry::MonitorRegistry* registry)
+    : topology_(std::move(topology)), fading_(topology_, rng), registry_(registry) {}
+
+DataRate TransportController::reserved_on(LinkId link) const noexcept {
+  const auto it = reserved_.find(link);
+  return it == reserved_.end() ? DataRate::zero() : it->second;
+}
+
+DataRate TransportController::residual(const Link& link) const noexcept {
+  if (!link_up(link.id)) return DataRate::zero();
+  return clamp_non_negative(link.nominal_capacity - reserved_on(link.id));
+}
+
+Result<void> TransportController::set_link_up(LinkId link, bool up) {
+  if (topology_.find_link(link) == nullptr)
+    return make_error(Errc::not_found, "unknown link");
+  if (up) {
+    down_links_.erase(link);
+  } else {
+    down_links_.insert(link);
+  }
+  return {};
+}
+
+DataRate TransportController::current_capacity(const Link& link) const noexcept {
+  if (!link_up(link.id)) return DataRate::zero();
+  return fading_.effective_capacity(link);
+}
+
+Result<PathId> TransportController::allocate_path(SliceId slice, NodeId src, NodeId dst,
+                                                  DataRate rate, Duration max_delay,
+                                                  PathObjective objective) {
+  if (rate <= DataRate::zero()) return make_error(Errc::invalid_argument, "rate must be > 0");
+
+  const ResidualFn residual_fn = [this](const Link& link) { return residual(link); };
+  const std::optional<Route> route =
+      find_route(topology_, src, dst, rate, residual_fn, objective);
+  if (!route) {
+    return make_error(Errc::insufficient_capacity,
+                      "no route with " + std::to_string(rate.as_mbps()) + " Mb/s residual");
+  }
+  if (route->total_delay > max_delay) {
+    return make_error(Errc::sla_unsatisfiable,
+                      "best route delay " + std::to_string(route->total_delay.as_millis()) +
+                          " ms exceeds bound " + std::to_string(max_delay.as_millis()) + " ms");
+  }
+
+  PathReservation reservation;
+  reservation.id = path_ids_.next();
+  reservation.slice = slice;
+  reservation.src = src;
+  reservation.dst = dst;
+  reservation.reserved = rate;
+  reservation.max_delay = max_delay;
+  reservation.route = *route;
+
+  reserve_bandwidth(reservation.route, rate);
+  install_rules(reservation);
+  const PathId id = reservation.id;
+  paths_.emplace(id.value(), std::move(reservation));
+  return id;
+}
+
+void TransportController::install_rules(PathReservation& reservation) {
+  for (const LinkId link_id : reservation.route.links) {
+    const Link* link = topology_.find_link(link_id);
+    assert(link != nullptr);
+    // One rule per traversed node. A slice can hold several paths (e.g.
+    // RAN->edge and edge->core legs) whose node sets overlap; reuse the
+    // existing rule in that case.
+    if (flows_.lookup(link->from, reservation.slice) == nullptr) {
+      const Result<FlowRuleId> r = flows_.install(link->from, reservation.slice, link_id);
+      assert(r.ok());
+      (void)r;
+    }
+  }
+}
+
+void TransportController::reserve_bandwidth(const Route& route, DataRate rate) {
+  for (const LinkId link : route.links) {
+    reserved_[link] = reserved_on(link) + rate;
+  }
+}
+
+void TransportController::release_bandwidth(const Route& route, DataRate rate) {
+  for (const LinkId link : route.links) {
+    reserved_[link] = clamp_non_negative(reserved_on(link) - rate);
+  }
+}
+
+Result<void> TransportController::resize_path(PathId path, DataRate new_rate) {
+  const auto it = paths_.find(path.value());
+  if (it == paths_.end()) return make_error(Errc::not_found, "unknown path");
+  PathReservation& reservation = it->second;
+  if (new_rate < DataRate::zero())
+    return make_error(Errc::invalid_argument, "negative rate");
+
+  const DataRate delta = new_rate - reservation.reserved;
+  if (delta > DataRate::zero()) {
+    for (const LinkId link_id : reservation.route.links) {
+      const Link* link = topology_.find_link(link_id);
+      if (residual(*link) < delta) {
+        return make_error(Errc::insufficient_capacity,
+                          "link " + std::to_string(link_id.value()) +
+                              " cannot absorb the increase");
+      }
+    }
+  }
+  if (delta > DataRate::zero()) {
+    reserve_bandwidth(reservation.route, delta);
+  } else {
+    release_bandwidth(reservation.route, clamp_non_negative(reservation.reserved - new_rate));
+  }
+  reservation.reserved = new_rate;
+  return {};
+}
+
+Result<void> TransportController::release_path(PathId path) {
+  const auto it = paths_.find(path.value());
+  if (it == paths_.end()) return make_error(Errc::not_found, "unknown path");
+  release_bandwidth(it->second.route, it->second.reserved);
+  // Remove this path's flow rules unless another path of the same slice
+  // still uses the node.
+  const SliceId slice = it->second.slice;
+  const PathReservation removed = it->second;
+  paths_.erase(it);
+  for (const LinkId link_id : removed.route.links) {
+    const Link* link = topology_.find_link(link_id);
+    bool still_used = false;
+    for (const auto& [other_id, other] : paths_) {
+      if (other.slice != slice) continue;
+      for (const LinkId other_link : other.route.links) {
+        const Link* ol = topology_.find_link(other_link);
+        if (ol->from == link->from) {
+          still_used = true;
+          break;
+        }
+      }
+      if (still_used) break;
+    }
+    if (!still_used) {
+      if (const FlowRule* rule = flows_.lookup(link->from, slice)) {
+        const Result<void> r = flows_.remove(rule->id);
+        assert(r.ok());
+        (void)r;
+      }
+    }
+  }
+  return {};
+}
+
+const PathReservation* TransportController::find_path(PathId path) const noexcept {
+  const auto it = paths_.find(path.value());
+  return it == paths_.end() ? nullptr : &it->second;
+}
+
+std::vector<PathId> TransportController::paths_of(SliceId slice) const {
+  std::vector<PathId> out;
+  for (const auto& [id, reservation] : paths_) {
+    if (reservation.slice == slice) out.push_back(reservation.id);
+  }
+  return out;
+}
+
+void TransportController::try_reroute(PathReservation& reservation) {
+  // Residual as seen when this path's own reservation is lifted:
+  // effective (faded) capacity minus what *other* paths reserve. The
+  // path's own reservation must not be added back on top of the faded
+  // capacity — a link in deep fade cannot carry it, which is exactly
+  // why we are rerouting.
+  const ResidualFn residual_fn = [this, &reservation](const Link& link) {
+    DataRate others = reserved_on(link.id);
+    for (const LinkId own : reservation.route.links) {
+      if (own == link.id) {
+        others = clamp_non_negative(others - reservation.reserved);
+        break;
+      }
+    }
+    return clamp_non_negative(current_capacity(link) - others);
+  };
+  const std::optional<Route> fresh = find_route(topology_, reservation.src, reservation.dst,
+                                                reservation.reserved, residual_fn,
+                                                PathObjective::min_delay);
+  if (!fresh || fresh->total_delay > reservation.max_delay) return;
+  // Only move when the route actually changes.
+  if (fresh->links == reservation.route.links) return;
+
+  release_bandwidth(reservation.route, reservation.reserved);
+  flows_.remove_slice(reservation.slice);
+  reservation.route = *fresh;
+  reserve_bandwidth(reservation.route, reservation.reserved);
+  install_rules(reservation);
+  // Reinstall rules of the slice's *other* paths dropped by remove_slice.
+  for (auto& [id, other] : paths_) {
+    if (other.slice == reservation.slice && other.id != reservation.id) {
+      install_rules(other);
+    }
+  }
+  ++reroutes_;
+}
+
+std::vector<PathServeReport> TransportController::serve_epoch(
+    std::span<const std::pair<PathId, DataRate>> demands, SimTime now) {
+  fading_.step();
+
+  // Effective per-link scale: when fading pushes capacity below the
+  // total reservation, every traversing path is scaled by cap/reserved.
+  std::map<LinkId, double> scale;
+  for (const Link& link : topology_.links()) {
+    const DataRate reserved = reserved_on(link.id);
+    if (reserved <= DataRate::zero()) continue;
+    const DataRate capacity = current_capacity(link);
+    scale[link.id] = capacity >= reserved ? 1.0 : capacity / reserved;
+  }
+
+  std::vector<PathServeReport> reports;
+  reports.reserve(demands.size());
+  std::vector<PathId> to_repair;
+
+  for (const auto& [path_id, demand] : demands) {
+    const auto it = paths_.find(path_id.value());
+    if (it == paths_.end()) continue;
+    PathReservation& reservation = it->second;
+
+    double factor = 1.0;
+    Duration delay = Duration::zero();
+    for (const LinkId link_id : reservation.route.links) {
+      const Link* link = topology_.find_link(link_id);
+      delay += link->delay;
+      const auto sc = scale.find(link_id);
+      if (sc != scale.end() && sc->second < factor) factor = sc->second;
+    }
+
+    PathServeReport report;
+    report.path = reservation.id;
+    report.slice = reservation.slice;
+    report.demand = demand;
+    // The reservation caps the slice; fading scales what the links can
+    // actually carry of that reservation.
+    report.served = min(demand, reservation.reserved * factor);
+    report.degraded = factor < 0.999;
+    // Congestion adds queueing delay as the path saturates.
+    const double utilization =
+        reservation.reserved <= DataRate::zero()
+            ? 0.0
+            : report.served / (reservation.reserved * factor + DataRate::mbps(1e-9));
+    const double queue_penalty = utilization > 0.9 ? (utilization - 0.9) * 10.0 : 0.0;
+    report.experienced_delay = delay * (1.0 + queue_penalty);
+    report.delay_violated = report.experienced_delay > reservation.max_delay;
+    reports.push_back(report);
+
+    if (report.degraded) to_repair.push_back(reservation.id);
+
+    if (registry_ != nullptr) {
+      const std::string prefix = "transport.path." + std::to_string(reservation.id.value());
+      registry_->observe(prefix + ".served_mbps", now, report.served.as_mbps());
+      registry_->observe(prefix + ".delay_ms", now, report.experienced_delay.as_millis());
+    }
+  }
+
+  for (const PathId id : to_repair) {
+    const auto it = paths_.find(id.value());
+    if (it != paths_.end()) try_reroute(it->second);
+  }
+
+  if (registry_ != nullptr) {
+    double reserved_total = 0.0;
+    double capacity_total = 0.0;
+    for (const Link& link : topology_.links()) {
+      reserved_total += reserved_on(link.id).as_mbps();
+      capacity_total += current_capacity(link).as_mbps();
+    }
+    registry_->observe("transport.reserved_mbps", now, reserved_total);
+    registry_->observe("transport.capacity_mbps", now, capacity_total);
+  }
+  return reports;
+}
+
+std::shared_ptr<net::Router> TransportController::make_router() {
+  auto router = std::make_shared<net::Router>();
+
+  router->add(net::Method::get, "/topology", [this](const net::RouteContext&) {
+    json::Array nodes;
+    for (const Node& n : topology_.nodes()) {
+      json::Object entry;
+      entry.emplace("id", static_cast<double>(n.id.value()));
+      entry.emplace("name", n.name);
+      entry.emplace("kind", std::string(to_string(n.kind)));
+      nodes.push_back(std::move(entry));
+    }
+    json::Array links;
+    for (const Link& l : topology_.links()) {
+      json::Object entry;
+      entry.emplace("id", static_cast<double>(l.id.value()));
+      entry.emplace("from", static_cast<double>(l.from.value()));
+      entry.emplace("to", static_cast<double>(l.to.value()));
+      entry.emplace("technology", std::string(to_string(l.technology)));
+      entry.emplace("capacity_mbps", l.nominal_capacity.as_mbps());
+      entry.emplace("effective_mbps", current_capacity(l).as_mbps());
+      entry.emplace("reserved_mbps", reserved_on(l.id).as_mbps());
+      entry.emplace("delay_ms", l.delay.as_millis());
+      links.push_back(std::move(entry));
+    }
+    json::Object body;
+    body.emplace("nodes", std::move(nodes));
+    body.emplace("links", std::move(links));
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::post, "/paths", [this](const net::RouteContext& ctx) {
+    const Result<json::Value> doc = json::parse(ctx.request->body);
+    if (!doc.ok()) return net::Response::from_error(doc.error());
+    const json::Value& v = doc.value();
+    const Result<double> slice = v.get_number("slice");
+    const Result<double> src = v.get_number("src");
+    const Result<double> dst = v.get_number("dst");
+    const Result<double> rate = v.get_number("rate_mbps");
+    const Result<double> delay = v.get_number("max_delay_ms");
+    for (const auto* field : {&slice, &src, &dst, &rate, &delay}) {
+      if (!field->ok()) return net::Response::from_error(field->error());
+    }
+    const Result<PathId> path = allocate_path(
+        SliceId{static_cast<std::uint64_t>(slice.value())},
+        NodeId{static_cast<std::uint64_t>(src.value())},
+        NodeId{static_cast<std::uint64_t>(dst.value())}, DataRate::mbps(rate.value()),
+        Duration::millis(delay.value()));
+    if (!path.ok()) return net::Response::from_error(path.error());
+    const PathReservation* reservation = find_path(path.value());
+    json::Object body;
+    body.emplace("path", static_cast<double>(path.value().value()));
+    body.emplace("hops", static_cast<double>(reservation->route.hops()));
+    body.emplace("delay_ms", reservation->route.total_delay.as_millis());
+    return net::Response::json(net::Status::created,
+                               json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::put, "/paths/{id}", [this](const net::RouteContext& ctx) {
+    const Result<std::uint64_t> id = ctx.id_param("id");
+    if (!id.ok()) return net::Response::from_error(id.error());
+    const Result<json::Value> doc = json::parse(ctx.request->body);
+    if (!doc.ok()) return net::Response::from_error(doc.error());
+    const Result<double> rate = doc.value().get_number("rate_mbps");
+    if (!rate.ok()) return net::Response::from_error(rate.error());
+    const Result<void> r = resize_path(PathId{id.value()}, DataRate::mbps(rate.value()));
+    if (!r.ok()) return net::Response::from_error(r.error());
+    return net::Response::json(net::Status::ok, "{}");
+  });
+
+  router->add(net::Method::del, "/paths/{id}", [this](const net::RouteContext& ctx) {
+    const Result<std::uint64_t> id = ctx.id_param("id");
+    if (!id.ok()) return net::Response::from_error(id.error());
+    const Result<void> r = release_path(PathId{id.value()});
+    if (!r.ok()) return net::Response::from_error(r.error());
+    net::Response resp;
+    resp.status = net::Status::no_content;
+    return resp;
+  });
+
+  router->add(net::Method::get, "/metrics", [this](const net::RouteContext&) {
+    if (registry_ == nullptr) return net::Response::json(net::Status::ok, "{}");
+    return net::Response::json(net::Status::ok, json::serialize(registry_->snapshot()));
+  });
+
+  return router;
+}
+
+}  // namespace slices::transport

@@ -1,0 +1,140 @@
+#pragma once
+// Transport domain controller.
+//
+// Owns the topology, link fading state, capacity reservations and the
+// OpenFlow tables. The orchestrator asks it for "dedicated paths ...
+// to guarantee the required delay and capacity" (paper §3); every
+// monitoring epoch it advances fading, serves offered demand over the
+// installed paths, repairs paths broken by deep fades, and publishes
+// telemetry.
+
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/router.hpp"
+#include "telemetry/registry.hpp"
+#include "transport/cspf.hpp"
+#include "transport/fading.hpp"
+#include "transport/flow_table.hpp"
+#include "transport/topology.hpp"
+
+namespace slices::transport {
+
+/// An installed path reservation.
+struct PathReservation {
+  PathId id;
+  SliceId slice;
+  NodeId src;
+  NodeId dst;
+  DataRate reserved;
+  Duration max_delay;  ///< SLA bound the path must respect
+  Route route;
+};
+
+/// Per-path serving outcome of one epoch.
+struct PathServeReport {
+  PathId path;
+  SliceId slice;
+  DataRate demand;
+  DataRate served;
+  Duration experienced_delay;
+  bool delay_violated = false;   ///< experienced_delay > max_delay
+  bool degraded = false;         ///< fading cut below the reservation
+};
+
+/// The transport-domain controller.
+class TransportController {
+ public:
+  /// Takes ownership of the topology; `rng` seeds the fading field.
+  TransportController(Topology topology, Rng rng,
+                      telemetry::MonitorRegistry* registry = nullptr);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const FlowTable& flow_table() const noexcept { return flows_; }
+  [[nodiscard]] const FadingField& fading() const noexcept { return fading_; }
+
+  // --- Path lifecycle ------------------------------------------------------
+
+  /// Reserve a path for `slice` from `src` to `dst` carrying `rate`
+  /// within `max_delay`. Runs CSPF over residual capacity, reserves
+  /// bandwidth on each traversed link and installs flow rules. Errors:
+  /// insufficient_capacity (no capacity-feasible route),
+  /// sla_unsatisfiable (routes exist but none meets the delay bound).
+  [[nodiscard]] Result<PathId> allocate_path(SliceId slice, NodeId src, NodeId dst,
+                                             DataRate rate, Duration max_delay,
+                                             PathObjective objective = PathObjective::min_delay);
+
+  /// Resize an existing path reservation (grow re-validates capacity on
+  /// the current route; it does not reroute). Shrink always succeeds.
+  [[nodiscard]] Result<void> resize_path(PathId path, DataRate new_rate);
+
+  /// Tear down a path: release bandwidth + remove flow rules.
+  [[nodiscard]] Result<void> release_path(PathId path);
+
+  [[nodiscard]] const PathReservation* find_path(PathId path) const noexcept;
+  [[nodiscard]] std::vector<PathId> paths_of(SliceId slice) const;
+
+  /// Residual (nominal − reserved) capacity of a link; zero while the
+  /// link is administratively down.
+  [[nodiscard]] DataRate residual(const Link& link) const noexcept;
+
+  /// Total reserved bandwidth of a link.
+  [[nodiscard]] DataRate reserved_on(LinkId link) const noexcept;
+
+  // --- Failure injection -----------------------------------------------------
+
+  /// Administrative link state: a down link carries nothing until
+  /// brought back up — serving drops to zero, new allocations avoid it
+  /// and the repair loop routes existing paths around it. Errors:
+  /// not_found.
+  [[nodiscard]] Result<void> set_link_up(LinkId link, bool up);
+
+  [[nodiscard]] bool link_up(LinkId link) const noexcept { return !down_links_.contains(link); }
+
+  /// Capacity a link can carry right now: nominal x fading, zero when
+  /// administratively down.
+  [[nodiscard]] DataRate current_capacity(const Link& link) const noexcept;
+
+  // --- Epoch processing ------------------------------------------------------
+
+  /// Advance fading one epoch, then serve `demands` (offered Mb/s per
+  /// path). Serving: a link whose effective capacity dropped below its
+  /// total reservation scales all traversing paths proportionally.
+  /// Afterwards, paths that were degraded are rerouted when a better
+  /// feasible route exists (the "network reconfiguration" arc of
+  /// Fig. 1). Publishes telemetry when a registry is set.
+  std::vector<PathServeReport> serve_epoch(
+      std::span<const std::pair<PathId, DataRate>> demands, SimTime now);
+
+  /// Number of reroutes performed since construction.
+  [[nodiscard]] std::uint64_t reroutes() const noexcept { return reroutes_; }
+
+  /// REST facade (topology, path CRUD, metrics).
+  [[nodiscard]] std::shared_ptr<net::Router> make_router();
+
+ private:
+  void install_rules(PathReservation& reservation);
+  void reserve_bandwidth(const Route& route, DataRate rate);
+  void release_bandwidth(const Route& route, DataRate rate);
+  void try_reroute(PathReservation& reservation);
+
+  Topology topology_;
+  FadingField fading_;
+  FlowTable flows_;
+  std::map<std::uint64_t, PathReservation> paths_;  // by PathId value
+  std::map<LinkId, DataRate> reserved_;
+  std::set<LinkId> down_links_;
+  IdAllocator<PathTag> path_ids_;
+  telemetry::MonitorRegistry* registry_;
+  std::uint64_t reroutes_ = 0;
+};
+
+}  // namespace slices::transport

@@ -1,0 +1,81 @@
+#include "transport/cspf.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <queue>
+
+namespace slices::transport {
+namespace {
+
+struct QueueEntry {
+  std::int64_t cost_us = 0;  // delay in µs, or hop count for min_hops
+  std::uint64_t tiebreak = 0;
+  NodeId node;
+
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) noexcept {
+    if (a.cost_us != b.cost_us) return a.cost_us > b.cost_us;
+    return a.tiebreak > b.tiebreak;
+  }
+};
+
+}  // namespace
+
+std::optional<Route> find_route(const Topology& topology, NodeId src, NodeId dst,
+                                DataRate demand, const ResidualFn& residual,
+                                PathObjective objective) {
+  if (topology.find_node(src) == nullptr || topology.find_node(dst) == nullptr)
+    return std::nullopt;
+
+  std::map<NodeId, std::int64_t> best;
+  std::map<NodeId, LinkId> via;  // incoming link on the best path
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> frontier;
+
+  best[src] = 0;
+  frontier.push(QueueEntry{0, 0, src});
+
+  while (!frontier.empty()) {
+    const QueueEntry entry = frontier.top();
+    frontier.pop();
+    if (entry.node == dst) break;
+    const auto found = best.find(entry.node);
+    if (found != best.end() && entry.cost_us > found->second) continue;  // stale
+
+    for (const LinkId link_id : topology.outgoing(entry.node)) {
+      const Link* link = topology.find_link(link_id);
+      if (link == nullptr) continue;
+      if (residual(*link) < demand) continue;  // capacity-infeasible
+
+      const std::int64_t step =
+          objective == PathObjective::min_delay ? link->delay.as_micros() : 1;
+      const std::int64_t cost = entry.cost_us + step;
+      const auto it = best.find(link->to);
+      if (it == best.end() || cost < it->second ||
+          (cost == it->second && link_id.value() < via[link->to].value())) {
+        best[link->to] = cost;
+        via[link->to] = link_id;
+        frontier.push(QueueEntry{cost, link_id.value(), link->to});
+      }
+    }
+  }
+
+  if (!best.contains(dst)) return std::nullopt;
+
+  // Walk predecessors back from dst.
+  Route route;
+  route.bottleneck = DataRate::gbps(1e9);  // effectively +inf until tightened
+  NodeId cursor = dst;
+  while (cursor != src) {
+    const LinkId incoming = via.at(cursor);
+    const Link* link = topology.find_link(incoming);
+    route.links.push_back(incoming);
+    route.total_delay += link->delay;
+    route.bottleneck = min(route.bottleneck, residual(*link));
+    cursor = link->from;
+  }
+  std::reverse(route.links.begin(), route.links.end());
+  return route;
+}
+
+}  // namespace slices::transport

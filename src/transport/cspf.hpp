@@ -1,0 +1,48 @@
+#pragma once
+// Constrained shortest-path computation (CSPF).
+//
+// Path selection for a slice must "guarantee the required delay and
+// capacity in the transport network" (paper §3). CSPF prunes links whose
+// residual capacity is below the demand, then runs Dijkstra minimizing
+// total propagation delay; a min-hop variant exists for the A3 ablation.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "transport/topology.hpp"
+
+namespace slices::transport {
+
+/// A computed route: ordered link ids plus its aggregate properties.
+struct Route {
+  std::vector<LinkId> links;
+  Duration total_delay;
+  /// Bottleneck residual capacity along the route at computation time.
+  DataRate bottleneck;
+
+  [[nodiscard]] std::size_t hops() const noexcept { return links.size(); }
+};
+
+/// Residual capacity oracle: residual(link) the path computation must
+/// respect (controller supplies nominal − reserved, possibly scaled by
+/// fading).
+using ResidualFn = std::function<DataRate(const Link&)>;
+
+/// Objective for path selection.
+enum class PathObjective {
+  min_delay,  ///< CSPF: minimize summed propagation delay (default)
+  min_hops,   ///< baseline for the A3 ablation
+};
+
+/// Compute a route from `src` to `dst` with every link's residual
+/// >= `demand`. Returns nullopt when no feasible route exists.
+/// Deterministic tie-break: lower link ids win.
+[[nodiscard]] std::optional<Route> find_route(const Topology& topology, NodeId src,
+                                              NodeId dst, DataRate demand,
+                                              const ResidualFn& residual,
+                                              PathObjective objective = PathObjective::min_delay);
+
+}  // namespace slices::transport

@@ -1,0 +1,95 @@
+#pragma once
+// Wireless-link capacity fluctuation.
+//
+// mmWave links deliver multi-Gb/s in clear conditions but degrade
+// sharply under rain or obstruction; µwave degrades more mildly. Each
+// wireless link gets an AR(1) "condition" process in [floor, 1] whose
+// value scales the nominal capacity each monitoring epoch. Fiber links
+// have no process (factor 1). This fluctuation is what stresses
+// transport-path SLAs under overbooking and motivates path repair.
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "transport/topology.hpp"
+
+namespace slices::transport {
+
+/// Fading parameters of one technology.
+struct FadingParams {
+  double mean = 1.0;         ///< long-run mean condition factor
+  double reversion = 0.2;    ///< AR(1) pull toward the mean per epoch
+  double volatility = 0.0;   ///< per-epoch Gaussian shock std-dev
+  double floor = 1.0;        ///< worst-case factor (deep fade)
+  double outage_probability = 0.0;  ///< chance per epoch of a deep fade event
+};
+
+/// Library defaults per technology (tuned so mmWave occasionally dips
+/// hard, µwave wobbles, fiber never moves).
+[[nodiscard]] constexpr FadingParams default_fading(LinkTechnology t) noexcept {
+  switch (t) {
+    case LinkTechnology::fiber:
+      return FadingParams{1.0, 0.0, 0.0, 1.0, 0.0};
+    case LinkTechnology::mmwave:
+      return FadingParams{0.95, 0.25, 0.05, 0.25, 0.01};
+    case LinkTechnology::uwave:
+      return FadingParams{0.97, 0.30, 0.02, 0.60, 0.002};
+  }
+  return FadingParams{};
+}
+
+/// Tracks the current condition factor of every link in a topology.
+class FadingField {
+ public:
+  /// Initialize processes for all wireless links of `topology`.
+  FadingField(const Topology& topology, Rng rng) : rng_(rng) {
+    for (const Link& link : topology.links()) {
+      const FadingParams params = default_fading(link.technology);
+      if (params.volatility > 0.0 || params.outage_probability > 0.0) {
+        states_.emplace(link.id, State{params, params.mean});
+      }
+    }
+  }
+
+  /// Advance every wireless link by one epoch.
+  void step() {
+    for (auto& [link, state] : states_) {
+      const FadingParams& p = state.params;
+      if (rng_.bernoulli(p.outage_probability)) {
+        state.factor = p.floor;  // deep fade event (rain burst, blockage)
+        continue;
+      }
+      const double shock = p.volatility * rng_.normal();
+      state.factor += p.reversion * (p.mean - state.factor) + shock;
+      state.factor = std::clamp(state.factor, p.floor, 1.0);
+    }
+  }
+
+  /// Condition factor of `link` (1.0 for wired / unknown links).
+  [[nodiscard]] double factor(LinkId link) const noexcept {
+    const auto it = states_.find(link);
+    return it == states_.end() ? 1.0 : it->second.factor;
+  }
+
+  /// Effective capacity of a link right now.
+  [[nodiscard]] DataRate effective_capacity(const Link& link) const noexcept {
+    return link.nominal_capacity * factor(link.id);
+  }
+
+  /// Number of links with an active fading process.
+  [[nodiscard]] std::size_t tracked_links() const noexcept { return states_.size(); }
+
+ private:
+  struct State {
+    FadingParams params;
+    double factor = 1.0;
+  };
+
+  Rng rng_;
+  std::map<LinkId, State> states_;
+};
+
+}  // namespace slices::transport

@@ -1,0 +1,47 @@
+#include "transport/flow_table.hpp"
+
+namespace slices::transport {
+
+Result<FlowRuleId> FlowTable::install(NodeId node, SliceId slice, LinkId out_link,
+                                      std::uint32_t priority) {
+  if (lookup(node, slice) != nullptr)
+    return make_error(Errc::conflict, "flow rule for this slice already on node");
+  const FlowRuleId id = ids_.next();
+  rules_.emplace(id.value(), FlowRule{id, node, slice, out_link, priority});
+  return id;
+}
+
+Result<void> FlowTable::remove(FlowRuleId id) {
+  if (rules_.erase(id.value()) == 0) return make_error(Errc::not_found, "unknown flow rule");
+  return {};
+}
+
+std::size_t FlowTable::remove_slice(SliceId slice) {
+  std::size_t removed = 0;
+  for (auto it = rules_.begin(); it != rules_.end();) {
+    if (it->second.slice == slice) {
+      it = rules_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+const FlowRule* FlowTable::lookup(NodeId node, SliceId slice) const noexcept {
+  for (const auto& [id, rule] : rules_) {
+    if (rule.node == node && rule.slice == slice) return &rule;
+  }
+  return nullptr;
+}
+
+std::vector<FlowRule> FlowTable::rules_for(SliceId slice) const {
+  std::vector<FlowRule> out;
+  for (const auto& [id, rule] : rules_) {
+    if (rule.slice == slice) out.push_back(rule);
+  }
+  return out;
+}
+
+}  // namespace slices::transport

@@ -1,0 +1,54 @@
+#pragma once
+// OpenFlow-style flow state.
+//
+// Installing a transport path for a slice materializes as one flow rule
+// per traversed node, matching on the slice id and forwarding out of the
+// chosen link — the programmable-switch reconfiguration the testbed
+// performs on its PF5240. The flow table is the ground truth a real
+// switch would hold; the controller keeps it consistent with its path
+// reservations, and tests assert that consistency.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+
+namespace slices::transport {
+
+/// One forwarding rule: on `node`, traffic of `slice` goes out `out_link`.
+struct FlowRule {
+  FlowRuleId id;
+  NodeId node;
+  SliceId slice;
+  LinkId out_link;
+  std::uint32_t priority = 100;
+};
+
+/// The network-wide flow state (per-node tables keyed together).
+class FlowTable {
+ public:
+  /// Install a rule. Errors: conflict when (node, slice) already has one
+  /// — a slice's traffic must have exactly one next hop per node.
+  [[nodiscard]] Result<FlowRuleId> install(NodeId node, SliceId slice, LinkId out_link,
+                                           std::uint32_t priority = 100);
+
+  /// Remove one rule by id. Errors: not_found.
+  [[nodiscard]] Result<void> remove(FlowRuleId id);
+
+  /// Remove all rules of a slice (path teardown); returns removed count.
+  std::size_t remove_slice(SliceId slice);
+
+  /// Look up the forwarding decision for `slice` at `node`.
+  [[nodiscard]] const FlowRule* lookup(NodeId node, SliceId slice) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+  [[nodiscard]] std::vector<FlowRule> rules_for(SliceId slice) const;
+
+ private:
+  std::map<std::uint64_t, FlowRule> rules_;  // by rule id value
+  IdAllocator<FlowRuleTag> ids_;
+};
+
+}  // namespace slices::transport

@@ -1,0 +1,79 @@
+#include "transport/generators.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace slices::transport {
+
+GeneratedTopology make_aggregation_tree(std::size_t leaves, std::size_t leaves_per_switch,
+                                        const GeneratorConfig& config) {
+  assert(leaves >= 1 && leaves_per_switch >= 1);
+  GeneratedTopology out;
+  Topology& topo = out.topology;
+
+  const NodeId core_switch = topo.add_node("core-sw", NodeKind::openflow_switch);
+  out.core_gateway = topo.add_node("core-gw", NodeKind::core_gateway);
+  topo.add_bidirectional(core_switch, out.core_gateway, LinkTechnology::fiber,
+                         config.aggregation_capacity, config.aggregation_delay);
+
+  const std::size_t switch_count = (leaves + leaves_per_switch - 1) / leaves_per_switch;
+  std::vector<NodeId> agg_switches;
+  for (std::size_t s = 0; s < switch_count; ++s) {
+    const NodeId agg =
+        topo.add_node("agg-sw-" + std::to_string(s), NodeKind::openflow_switch);
+    agg_switches.push_back(agg);
+    topo.add_bidirectional(agg, core_switch, LinkTechnology::fiber,
+                           config.aggregation_capacity, config.aggregation_delay);
+
+    const NodeId edge = topo.add_node("edge-gw-" + std::to_string(s), NodeKind::edge_gateway);
+    out.edge_gateways.push_back(edge);
+    topo.add_bidirectional(agg, edge, LinkTechnology::fiber, config.aggregation_capacity,
+                           Duration::millis(0.5));
+  }
+
+  for (std::size_t leaf = 0; leaf < leaves; ++leaf) {
+    const NodeId gw = topo.add_node("ran-gw-" + std::to_string(leaf), NodeKind::enb_gateway);
+    out.ran_gateways.push_back(gw);
+    topo.add_bidirectional(gw, agg_switches[leaf / leaves_per_switch],
+                           config.access_technology, config.access_capacity,
+                           config.access_delay);
+  }
+  return out;
+}
+
+GeneratedTopology make_metro_ring(std::size_t switch_count, const GeneratorConfig& config) {
+  assert(switch_count >= 3);
+  GeneratedTopology out;
+  Topology& topo = out.topology;
+
+  std::vector<NodeId> switches;
+  for (std::size_t s = 0; s < switch_count; ++s) {
+    switches.push_back(topo.add_node("ring-sw-" + std::to_string(s),
+                                     NodeKind::openflow_switch));
+  }
+  for (std::size_t s = 0; s < switch_count; ++s) {
+    topo.add_bidirectional(switches[s], switches[(s + 1) % switch_count],
+                           LinkTechnology::fiber, config.aggregation_capacity,
+                           config.aggregation_delay);
+  }
+
+  for (std::size_t s = 0; s < switch_count; ++s) {
+    const NodeId gw = topo.add_node("ran-gw-" + std::to_string(s), NodeKind::enb_gateway);
+    out.ran_gateways.push_back(gw);
+    topo.add_bidirectional(gw, switches[s], config.access_technology,
+                           config.access_capacity, config.access_delay);
+  }
+
+  const NodeId edge = topo.add_node("edge-gw-0", NodeKind::edge_gateway);
+  out.edge_gateways.push_back(edge);
+  topo.add_bidirectional(switches[0], edge, LinkTechnology::fiber,
+                         config.aggregation_capacity, Duration::millis(0.5));
+
+  out.core_gateway = topo.add_node("core-gw", NodeKind::core_gateway);
+  topo.add_bidirectional(switches[switch_count / 2], out.core_gateway,
+                         LinkTechnology::fiber, config.aggregation_capacity,
+                         config.aggregation_delay);
+  return out;
+}
+
+}  // namespace slices::transport

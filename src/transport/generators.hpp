@@ -1,0 +1,52 @@
+#pragma once
+// Synthetic transport-topology generators.
+//
+// The demo testbed is Fig. 2 scale; the library also targets
+// operator-scale evaluations (the S1 scalability experiment). These
+// generators build classic aggregation topologies with RAN gateways at
+// the leaves and datacenter gateways at the core, all parameterized and
+// deterministic.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "transport/topology.hpp"
+
+namespace slices::transport {
+
+/// Handles into a generated topology.
+struct GeneratedTopology {
+  Topology topology;
+  std::vector<NodeId> ran_gateways;   ///< leaf attachment points (eNB side)
+  std::vector<NodeId> edge_gateways;  ///< edge-DC attachment points
+  NodeId core_gateway;                ///< the central cloud attachment
+};
+
+/// Tuning of the generated fabrics.
+struct GeneratorConfig {
+  DataRate access_capacity = DataRate::mbps(1000.0);    ///< leaf uplinks
+  DataRate aggregation_capacity = DataRate::mbps(10000.0);
+  Duration access_delay = Duration::millis(1.0);
+  Duration aggregation_delay = Duration::millis(2.0);
+  /// Technology of the leaf uplinks (wireless makes them fade).
+  LinkTechnology access_technology = LinkTechnology::mmwave;
+};
+
+/// A two-level aggregation tree: `leaves` RAN gateways, one aggregation
+/// switch per `leaves_per_switch` group, all switches into a core
+/// switch; one edge gateway per aggregation switch and one core
+/// gateway. The standard metro-aggregation shape.
+[[nodiscard]] GeneratedTopology make_aggregation_tree(std::size_t leaves,
+                                                      std::size_t leaves_per_switch,
+                                                      const GeneratorConfig& config = {});
+
+/// A ring of `switch_count` switches (metro ring): each switch hosts one
+/// RAN gateway; one switch hosts the edge gateway and the opposite one
+/// the core gateway. Two disjoint directions exist between any pair —
+/// the topology CSPF needs for repair.
+[[nodiscard]] GeneratedTopology make_metro_ring(std::size_t switch_count,
+                                                const GeneratorConfig& config = {});
+
+}  // namespace slices::transport

@@ -1,0 +1,79 @@
+#include "transport/topology.hpp"
+
+#include <cassert>
+
+namespace slices::transport {
+
+std::string_view to_string(NodeKind k) noexcept {
+  switch (k) {
+    case NodeKind::openflow_switch: return "openflow_switch";
+    case NodeKind::enb_gateway: return "enb_gateway";
+    case NodeKind::edge_gateway: return "edge_gateway";
+    case NodeKind::core_gateway: return "core_gateway";
+  }
+  return "?";
+}
+
+std::string_view to_string(LinkTechnology t) noexcept {
+  switch (t) {
+    case LinkTechnology::fiber: return "fiber";
+    case LinkTechnology::mmwave: return "mmwave";
+    case LinkTechnology::uwave: return "uwave";
+  }
+  return "?";
+}
+
+NodeId Topology::add_node(std::string name, NodeKind kind) {
+  assert(find_node_by_name(name) == nullptr && "duplicate node name");
+  const NodeId id = node_ids_.next();
+  nodes_.push_back(Node{id, std::move(name), kind});
+  adjacency_.try_emplace(id);
+  return id;
+}
+
+LinkId Topology::add_link(NodeId from, NodeId to, LinkTechnology technology,
+                          DataRate capacity, Duration delay) {
+  assert(find_node(from) != nullptr && find_node(to) != nullptr);
+  assert(capacity > DataRate::zero());
+  assert(delay >= Duration::zero());
+  const LinkId id = link_ids_.next();
+  links_.push_back(Link{id, from, to, technology, capacity, delay});
+  adjacency_[from].push_back(id);
+  return id;
+}
+
+std::pair<LinkId, LinkId> Topology::add_bidirectional(NodeId a, NodeId b,
+                                                      LinkTechnology technology,
+                                                      DataRate capacity, Duration delay) {
+  return {add_link(a, b, technology, capacity, delay),
+          add_link(b, a, technology, capacity, delay)};
+}
+
+const Node* Topology::find_node(NodeId id) const noexcept {
+  for (const Node& n : nodes_) {
+    if (n.id == id) return &n;
+  }
+  return nullptr;
+}
+
+const Node* Topology::find_node_by_name(std::string_view name) const noexcept {
+  for (const Node& n : nodes_) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+const Link* Topology::find_link(LinkId id) const noexcept {
+  for (const Link& l : links_) {
+    if (l.id == id) return &l;
+  }
+  return nullptr;
+}
+
+const std::vector<LinkId>& Topology::outgoing(NodeId node) const {
+  static const std::vector<LinkId> kEmpty;
+  const auto it = adjacency_.find(node);
+  return it == adjacency_.end() ? kEmpty : it->second;
+}
+
+}  // namespace slices::transport

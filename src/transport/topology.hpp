@@ -1,0 +1,94 @@
+#pragma once
+// Transport-network topology model.
+//
+// The testbed's transport is "composed of mmWave and µwave wireless
+// links as well as of an OpenFlow programmable switch that enables
+// different transport network topology configurations with predefined
+// capacity and delay characteristics". We model a directed multigraph of
+// typed links; wireless technologies get a fluctuating capacity process
+// (see fading.hpp), which is what makes transport overbooking risky.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace slices::transport {
+
+/// Role of a node in the end-to-end data path.
+enum class NodeKind {
+  openflow_switch,  ///< programmable switch (the PF5240 in the testbed)
+  enb_gateway,      ///< aggregation point of an eNB's fronthaul
+  edge_gateway,     ///< edge datacenter ingress
+  core_gateway,     ///< core/cloud datacenter ingress
+};
+
+[[nodiscard]] std::string_view to_string(NodeKind k) noexcept;
+
+/// Physical layer of a link; determines its fading behaviour.
+enum class LinkTechnology {
+  fiber,   ///< wired: stable capacity
+  mmwave,  ///< high capacity, weather/obstruction-sensitive
+  uwave,   ///< µwave: moderate capacity, mildly weather-sensitive
+};
+
+[[nodiscard]] std::string_view to_string(LinkTechnology t) noexcept;
+
+/// A transport node.
+struct Node {
+  NodeId id;
+  std::string name;
+  NodeKind kind = NodeKind::openflow_switch;
+};
+
+/// A directed link with nominal capacity and propagation delay.
+struct Link {
+  LinkId id;
+  NodeId from;
+  NodeId to;
+  LinkTechnology technology = LinkTechnology::fiber;
+  DataRate nominal_capacity;
+  Duration delay;
+};
+
+/// Directed multigraph. Nodes and links are append-only (infrastructure
+/// does not disappear mid-run; degradation is modelled by fading).
+class Topology {
+ public:
+  /// Add a node; name must be unique (used by builders/tests).
+  NodeId add_node(std::string name, NodeKind kind);
+
+  /// Add a directed link. Precondition: endpoints exist.
+  LinkId add_link(NodeId from, NodeId to, LinkTechnology technology, DataRate capacity,
+                  Duration delay);
+
+  /// Add a pair of opposite links (most testbed links are symmetric).
+  /// Returns {forward, reverse}.
+  std::pair<LinkId, LinkId> add_bidirectional(NodeId a, NodeId b, LinkTechnology technology,
+                                              DataRate capacity, Duration delay);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+
+  [[nodiscard]] const Node* find_node(NodeId id) const noexcept;
+  [[nodiscard]] const Node* find_node_by_name(std::string_view name) const noexcept;
+  [[nodiscard]] const Link* find_link(LinkId id) const noexcept;
+
+  /// Links leaving `node` (ids into links()).
+  [[nodiscard]] const std::vector<LinkId>& outgoing(NodeId node) const;
+
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::map<NodeId, std::vector<LinkId>> adjacency_;
+  IdAllocator<NodeTag> node_ids_;
+  IdAllocator<LinkTag> link_ids_;
+};
+
+}  // namespace slices::transport

@@ -1,0 +1,196 @@
+// Tests for the slice-template catalog and JSON config loading.
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.hpp"
+#include "core/testbed.hpp"
+#include "core/config_io.hpp"
+
+namespace slices::core {
+namespace {
+
+// --- SliceCatalog -----------------------------------------------------------
+
+TEST(SliceCatalog, BuiltinCoversEveryVertical) {
+  const SliceCatalog catalog = SliceCatalog::builtin();
+  EXPECT_EQ(catalog.size(), traffic::all_verticals().size());
+  for (const traffic::Vertical v : traffic::all_verticals()) {
+    EXPECT_NE(catalog.find(traffic::to_string(v)), nullptr);
+  }
+}
+
+TEST(SliceCatalog, InstantiateUsesProfileDefaults) {
+  const SliceCatalog catalog = SliceCatalog::builtin();
+  const Result<SliceSpec> spec = catalog.instantiate("automotive", Duration::hours(6.0));
+  ASSERT_TRUE(spec.ok());
+  const traffic::VerticalProfile profile = traffic::profile_for(traffic::Vertical::automotive);
+  EXPECT_DOUBLE_EQ(spec.value().expected_throughput.as_mbps(),
+                   profile.expected_throughput_mbps);
+  EXPECT_EQ(spec.value().max_latency, profile.max_latency);
+  EXPECT_EQ(spec.value().duration, Duration::hours(6.0));
+  EXPECT_TRUE(spec.value().needs_edge);
+}
+
+TEST(SliceCatalog, UnknownTemplateIsNotFound) {
+  const SliceCatalog catalog = SliceCatalog::builtin();
+  EXPECT_EQ(catalog.instantiate("nope").error().code, Errc::not_found);
+}
+
+TEST(SliceCatalog, FromJsonAppliesOverrides) {
+  const char* doc = R"({
+    "templates": [
+      {"name": "gold-video", "vertical": "embb_video",
+       "duration_hours": 48, "throughput_mbps": 100,
+       "price_per_hour": 80, "penalty_per_violation": 10,
+       "max_latency_ms": 30, "needs_edge": true},
+      {"name": "bronze-iot", "vertical": "iot_metering"}
+    ]})";
+  const Result<SliceCatalog> catalog = SliceCatalog::from_json(doc);
+  ASSERT_TRUE(catalog.ok()) << catalog.error().message;
+  EXPECT_EQ(catalog.value().size(), 2u);
+
+  const Result<SliceSpec> gold = catalog.value().instantiate("gold-video");
+  ASSERT_TRUE(gold.ok());
+  EXPECT_DOUBLE_EQ(gold.value().expected_throughput.as_mbps(), 100.0);
+  EXPECT_EQ(gold.value().duration, Duration::hours(48.0));
+  EXPECT_EQ(gold.value().price_per_hour, Money::units(80.0));
+  EXPECT_EQ(gold.value().max_latency, Duration::millis(30.0));
+  EXPECT_TRUE(gold.value().needs_edge);
+
+  // The minimal entry falls back to profile values entirely.
+  const Result<SliceSpec> bronze = catalog.value().instantiate("bronze-iot");
+  ASSERT_TRUE(bronze.ok());
+  EXPECT_DOUBLE_EQ(
+      bronze.value().expected_throughput.as_mbps(),
+      traffic::profile_for(traffic::Vertical::iot_metering).expected_throughput_mbps);
+}
+
+TEST(SliceCatalog, FromJsonRejectsBadDocuments) {
+  EXPECT_FALSE(SliceCatalog::from_json("not json").ok());
+  EXPECT_FALSE(SliceCatalog::from_json("{}").ok());
+  EXPECT_FALSE(SliceCatalog::from_json(
+                   R"({"templates":[{"name":"x","vertical":"warp-drive"}]})")
+                   .ok());
+  EXPECT_FALSE(SliceCatalog::from_json(R"({"templates":[{"vertical":"ehealth"}]})").ok());
+  EXPECT_FALSE(SliceCatalog::from_json(
+                   R"({"templates":[{"name":"a","vertical":"ehealth"},
+                                    {"name":"a","vertical":"ehealth"}]})")
+                   .ok());
+  EXPECT_FALSE(SliceCatalog::from_json(
+                   R"({"templates":[{"name":"a","vertical":"ehealth","duration_hours":0}]})")
+                   .ok());
+}
+
+TEST(SliceCatalog, NamesSortedAndPutReplaces) {
+  SliceCatalog catalog;
+  catalog.put(SliceTemplate{.name = "b"});
+  catalog.put(SliceTemplate{.name = "a"});
+  SliceTemplate replacement{.name = "b"};
+  replacement.throughput_mbps = 5.0;
+  catalog.put(replacement);
+  EXPECT_EQ(catalog.names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_DOUBLE_EQ(catalog.find("b")->throughput_mbps, 5.0);
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+// --- catalog over the orchestrator REST API ----------------------------------
+
+TEST(SliceCatalog, TemplateSubmissionOverRest) {
+  auto tb = make_testbed(81);
+  SliceCatalog catalog = SliceCatalog::builtin();
+  SliceTemplate gold;
+  gold.name = "gold-iot";
+  gold.vertical = traffic::Vertical::iot_metering;
+  gold.default_duration = Duration::hours(8.0);
+  gold.throughput_mbps = 3.0;
+  catalog.put(gold);
+  tb->orchestrator->set_catalog(std::move(catalog));
+
+  // The catalog is browsable.
+  const Result<json::Value> listed = tb->bus.get_json("orchestrator", "/templates");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.value().find("templates")->as_array().size(),
+            traffic::all_verticals().size() + 1);
+
+  // Request by template name.
+  json::Value request;
+  request["template"] = "gold-iot";
+  const Result<json::Value> created =
+      tb->bus.call_json("orchestrator", net::Method::post, "/slices", request);
+  ASSERT_TRUE(created.ok()) << created.error().message;
+  const auto slice =
+      SliceId{static_cast<std::uint64_t>(created.value().find("slice")->as_number())};
+  const SliceRecord* record = tb->orchestrator->find_slice(slice);
+  ASSERT_NE(record, nullptr);
+  EXPECT_DOUBLE_EQ(record->spec.expected_throughput.as_mbps(), 3.0);
+  EXPECT_EQ(record->spec.duration, Duration::hours(8.0));
+
+  // Unknown template -> 404 semantics.
+  json::Value bad;
+  bad["template"] = "platinum";
+  EXPECT_FALSE(tb->bus.call_json("orchestrator", net::Method::post, "/slices", bad).ok());
+}
+
+// --- config_from_json --------------------------------------------------------
+
+TEST(ConfigIo, EmptyObjectGivesDefaults) {
+  const Result<OrchestratorConfig> config = config_from_json("{}");
+  ASSERT_TRUE(config.ok());
+  const OrchestratorConfig defaults;
+  EXPECT_EQ(config.value().monitoring_period, defaults.monitoring_period);
+  EXPECT_EQ(config.value().admission_policy, defaults.admission_policy);
+  EXPECT_EQ(config.value().overbooking.enabled, defaults.overbooking.enabled);
+}
+
+TEST(ConfigIo, FullDocumentRoundTrips) {
+  const char* doc = R"({
+    "monitoring_period_minutes": 5,
+    "admission_policy": "greedy_revenue",
+    "admission_window_hours": 2,
+    "sla_tolerance": 0.1,
+    "edge_breakout_fraction": 0.5,
+    "overbooking": {
+      "enabled": true, "risk_quantile": 0.9, "horizon": 8,
+      "floor_fraction": 0.2, "headroom": 1.1,
+      "warmup_observations": 16, "season_length": 288,
+      "estimator": "holt_winters"
+    }})";
+  const Result<OrchestratorConfig> config = config_from_json(doc);
+  ASSERT_TRUE(config.ok()) << config.error().message;
+  EXPECT_EQ(config.value().monitoring_period, Duration::minutes(5.0));
+  EXPECT_EQ(config.value().admission_policy, "greedy_revenue");
+  EXPECT_EQ(config.value().admission_window, Duration::hours(2.0));
+  EXPECT_DOUBLE_EQ(config.value().sla_tolerance, 0.1);
+  EXPECT_DOUBLE_EQ(config.value().edge_breakout_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(config.value().overbooking.risk_quantile, 0.9);
+  EXPECT_EQ(config.value().overbooking.horizon, 8u);
+  EXPECT_EQ(config.value().overbooking.season_length, 288u);
+  EXPECT_EQ(config.value().overbooking.estimator, EstimatorKind::holt_winters);
+}
+
+class ConfigIoRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConfigIoRejects, BadDocuments) {
+  const Result<OrchestratorConfig> config = config_from_json(GetParam());
+  ASSERT_FALSE(config.ok()) << "accepted: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bad, ConfigIoRejects,
+    ::testing::Values(
+        "[]",                                                  // not an object
+        "{bad json",                                           // malformed
+        R"({"typo_key": 1})",                                  // unknown key
+        R"({"monitoring_period_minutes": 0})",                 // non-positive
+        R"({"monitoring_period_minutes": -5})",
+        R"({"admission_policy": "coin-flip"})",                // unknown policy
+        R"({"sla_tolerance": 1.5})",                           // out of domain
+        R"({"edge_breakout_fraction": 2.0})",
+        R"({"overbooking": {"risk_quantile": 1.5}})",
+        R"({"overbooking": {"horizon": 0}})",
+        R"({"overbooking": {"estimator": "crystal-ball"}})",
+        R"({"overbooking": {"typo": true}})",
+        R"({"overbooking": {"season_length": 1}})"));
+
+}  // namespace
+}  // namespace slices::core

@@ -1,0 +1,303 @@
+// Unit tests for src/common: ids, units, result, rng.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace slices {
+namespace {
+
+// --- Ids -------------------------------------------------------------------
+
+TEST(Ids, DefaultIsInvalid) {
+  SliceId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, SliceId::invalid());
+}
+
+TEST(Ids, AllocatorIsMonotonicAndUnique) {
+  IdAllocator<SliceTag> alloc;
+  std::set<SliceId> seen;
+  SliceId prev{0};
+  for (int i = 0; i < 1000; ++i) {
+    const SliceId id = alloc.next();
+    EXPECT_TRUE(id.valid());
+    EXPECT_GT(id, prev);
+    EXPECT_TRUE(seen.insert(id).second);
+    prev = id;
+  }
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<SliceId, CellId>);
+  static_assert(!std::is_convertible_v<SliceId, CellId>);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<PlmnId> set;
+  set.insert(PlmnId{1});
+  set.insert(PlmnId{1});
+  set.insert(PlmnId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// --- DataRate ----------------------------------------------------------------
+
+TEST(DataRate, UnitConversions) {
+  EXPECT_DOUBLE_EQ(DataRate::mbps(10.0).bits_per_second(), 10e6);
+  EXPECT_DOUBLE_EQ(DataRate::gbps(1.0).as_mbps(), 1000.0);
+  EXPECT_DOUBLE_EQ(DataRate::kbps(500.0).as_mbps(), 0.5);
+}
+
+TEST(DataRate, Arithmetic) {
+  const DataRate a = DataRate::mbps(30.0);
+  const DataRate b = DataRate::mbps(12.0);
+  EXPECT_DOUBLE_EQ((a + b).as_mbps(), 42.0);
+  EXPECT_DOUBLE_EQ((a - b).as_mbps(), 18.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).as_mbps(), 60.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_LT(b, a);
+}
+
+TEST(DataRate, ClampNonNegative) {
+  const DataRate negative = DataRate::mbps(1.0) - DataRate::mbps(5.0);
+  EXPECT_LT(negative, DataRate::zero());
+  EXPECT_EQ(clamp_non_negative(negative), DataRate::zero());
+  EXPECT_EQ(clamp_non_negative(DataRate::mbps(3.0)), DataRate::mbps(3.0));
+}
+
+TEST(DataRate, MinMax) {
+  EXPECT_EQ(min(DataRate::mbps(1.0), DataRate::mbps(2.0)), DataRate::mbps(1.0));
+  EXPECT_EQ(max(DataRate::mbps(1.0), DataRate::mbps(2.0)), DataRate::mbps(2.0));
+}
+
+// --- Duration / SimTime --------------------------------------------------------
+
+TEST(Duration, Conversions) {
+  EXPECT_EQ(Duration::seconds(1.5).as_micros(), 1'500'000);
+  EXPECT_DOUBLE_EQ(Duration::millis(250.0).as_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Duration::hours(2.0).as_seconds(), 7200.0);
+  EXPECT_DOUBLE_EQ(Duration::minutes(15.0).as_seconds(), 900.0);
+}
+
+TEST(Duration, ArithmeticAndComparison) {
+  EXPECT_EQ(Duration::seconds(1.0) + Duration::seconds(2.0), Duration::seconds(3.0));
+  EXPECT_EQ(Duration::seconds(5.0) - Duration::seconds(2.0), Duration::seconds(3.0));
+  EXPECT_LT(Duration::millis(1.0), Duration::seconds(1.0));
+  EXPECT_DOUBLE_EQ(Duration::hours(1.0) / Duration::minutes(15.0), 4.0);
+}
+
+TEST(SimTime, AdvancesByDuration) {
+  const SimTime t0 = SimTime::origin();
+  const SimTime t1 = t0 + Duration::seconds(10.0);
+  EXPECT_EQ((t1 - t0), Duration::seconds(10.0));
+  EXPECT_LT(t0, t1);
+  EXPECT_DOUBLE_EQ(SimTime::from_seconds(7200.0).as_hours(), 2.0);
+}
+
+// --- PrbCount / ComputeCapacity -----------------------------------------------
+
+TEST(PrbCount, Arithmetic) {
+  PrbCount a{40};
+  a += PrbCount{10};
+  EXPECT_EQ(a, (PrbCount{50}));
+  EXPECT_EQ((PrbCount{50} - PrbCount{20}).value, 30);
+  EXPECT_LT((PrbCount{10}), (PrbCount{20}));
+}
+
+TEST(ComputeCapacity, FitsWithin) {
+  const ComputeCapacity host{16.0, 65536.0, 500.0};
+  EXPECT_TRUE((ComputeCapacity{4.0, 8192.0, 100.0}).fits_within(host));
+  EXPECT_FALSE((ComputeCapacity{17.0, 8192.0, 100.0}).fits_within(host));
+  EXPECT_FALSE((ComputeCapacity{4.0, 8192.0, 501.0}).fits_within(host));
+}
+
+TEST(ComputeCapacity, Arithmetic) {
+  ComputeCapacity used{2.0, 1024.0, 10.0};
+  used += ComputeCapacity{1.0, 512.0, 5.0};
+  EXPECT_DOUBLE_EQ(used.vcpus, 3.0);
+  used -= ComputeCapacity{1.0, 512.0, 5.0};
+  EXPECT_DOUBLE_EQ(used.memory_mb, 1024.0);
+  EXPECT_TRUE(used.non_negative());
+}
+
+// --- Money ---------------------------------------------------------------------
+
+TEST(Money, ExactCents) {
+  EXPECT_EQ(Money::units(10.55).as_cents(), 1055);
+  EXPECT_EQ(Money::units(-3.335).as_cents(), -334);  // round half away from zero
+  EXPECT_DOUBLE_EQ(Money::cents(250).as_units(), 2.5);
+}
+
+TEST(Money, ArithmeticIsExact) {
+  Money sum = Money::zero();
+  for (int i = 0; i < 1000; ++i) sum += Money::units(0.01);
+  EXPECT_EQ(sum, Money::units(10.0));
+  EXPECT_EQ(sum - Money::units(10.0), Money::zero());
+  EXPECT_EQ(-Money::units(5.0), Money::units(-5.0));
+}
+
+TEST(Money, ScaleRoundsToNearestCent) {
+  EXPECT_EQ((Money::units(10.0) * 0.333).as_cents(), 333);
+  EXPECT_EQ((Money::units(30.0) * 1.5).as_units(), 45.0);
+}
+
+// --- Rng -------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentUsage) {
+  Rng parent1(99);
+  Rng child1 = parent1.fork();
+  const std::uint64_t c1 = child1.next_u64();
+
+  Rng parent2(99);
+  Rng child2 = parent2.fork();
+  // Using the parent after fork must not affect the child stream.
+  (void)parent2.next_u64();
+  EXPECT_EQ(child2.next_u64(), c1);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(19);
+  for (const double mean : {0.5, 4.0, 30.0, 200.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(31);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 1.5);
+}
+
+// --- Result -----------------------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  const Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r = make_error(Errc::not_found, "missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::not_found);
+  EXPECT_EQ(r.error().message, "missing");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, VoidSpecialization) {
+  const Result<void> ok;
+  EXPECT_TRUE(ok.ok());
+  const Result<void> bad = make_error(Errc::conflict, "dup");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, Errc::conflict);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> extracted = std::move(r).value();
+  EXPECT_EQ(*extracted, 5);
+}
+
+TEST(Errc, AllCodesHaveNames) {
+  for (const Errc c : {Errc::invalid_argument, Errc::not_found, Errc::conflict,
+                       Errc::insufficient_capacity, Errc::sla_unsatisfiable,
+                       Errc::unavailable, Errc::protocol_error, Errc::timeout,
+                       Errc::internal}) {
+    EXPECT_NE(to_string(c), "unknown");
+    EXPECT_FALSE(to_string(c).empty());
+  }
+}
+
+}  // namespace
+}  // namespace slices

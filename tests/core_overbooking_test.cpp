@@ -1,0 +1,151 @@
+// Unit + property tests for the overbooking engine.
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "core/overbooking.hpp"
+
+namespace slices::core {
+namespace {
+
+OverbookingConfig test_config() {
+  OverbookingConfig config;
+  config.season_length = 24;
+  config.warmup_observations = 8;
+  return config;
+}
+
+void feed_diurnal(OverbookingEngine& engine, SliceId slice, int samples, double mean,
+                  double amplitude, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  for (int i = 0; i < samples; ++i) {
+    const double angle = 2.0 * std::numbers::pi * (i % 24) / 24.0;
+    engine.observe(slice, mean + amplitude * std::sin(angle) + rng.normal(0.0, 1.0));
+  }
+}
+
+TEST(OverbookingEngine, UnknownSliceGetsFullContract) {
+  OverbookingEngine engine(test_config());
+  EXPECT_EQ(engine.target_reservation(SliceId{1}, DataRate::mbps(50.0)), DataRate::mbps(50.0));
+  EXPECT_EQ(engine.reclaimable(SliceId{1}, DataRate::mbps(50.0)), DataRate::zero());
+}
+
+TEST(OverbookingEngine, WarmupKeepsFullContract) {
+  OverbookingEngine engine(test_config());
+  engine.track(SliceId{1});
+  for (int i = 0; i < 5; ++i) engine.observe(SliceId{1}, 1.0);  // below warmup=8
+  EXPECT_EQ(engine.target_reservation(SliceId{1}, DataRate::mbps(50.0)), DataRate::mbps(50.0));
+}
+
+TEST(OverbookingEngine, ReclaimsIdleCapacityAfterLearning) {
+  OverbookingEngine engine(test_config());
+  engine.track(SliceId{1});
+  // Contracted 60, actual demand hovers near 10: most is reclaimable.
+  feed_diurnal(engine, SliceId{1}, 24 * 10, 10.0, 3.0);
+  const DataRate target = engine.target_reservation(SliceId{1}, DataRate::mbps(60.0));
+  EXPECT_LT(target, DataRate::mbps(30.0));
+  EXPECT_GT(engine.reclaimable(SliceId{1}, DataRate::mbps(60.0)), DataRate::mbps(30.0));
+}
+
+TEST(OverbookingEngine, NeverBelowFloorNorAboveContract) {
+  OverbookingConfig config = test_config();
+  config.floor_fraction = 0.2;
+  OverbookingEngine engine(config);
+
+  engine.track(SliceId{1});
+  for (int i = 0; i < 100; ++i) engine.observe(SliceId{1}, 0.0);  // zero demand
+  const DataRate floor_target = engine.target_reservation(SliceId{1}, DataRate::mbps(50.0));
+  EXPECT_EQ(floor_target, DataRate::mbps(10.0));  // 0.2 x 50
+
+  engine.track(SliceId{2});
+  for (int i = 0; i < 100; ++i) engine.observe(SliceId{2}, 500.0);  // way over contract
+  EXPECT_EQ(engine.target_reservation(SliceId{2}, DataRate::mbps(50.0)), DataRate::mbps(50.0));
+}
+
+TEST(OverbookingEngine, DisabledMeansFullContract) {
+  OverbookingConfig config = test_config();
+  config.enabled = false;
+  OverbookingEngine engine(config);
+  engine.track(SliceId{1});
+  feed_diurnal(engine, SliceId{1}, 24 * 10, 5.0, 2.0);
+  EXPECT_EQ(engine.target_reservation(SliceId{1}, DataRate::mbps(60.0)), DataRate::mbps(60.0));
+}
+
+TEST(OverbookingEngine, UntrackForgetsHistory) {
+  OverbookingEngine engine(test_config());
+  engine.track(SliceId{1});
+  feed_diurnal(engine, SliceId{1}, 24 * 10, 5.0, 2.0);
+  EXPECT_TRUE(engine.tracks(SliceId{1}));
+  engine.untrack(SliceId{1});
+  EXPECT_FALSE(engine.tracks(SliceId{1}));
+  EXPECT_EQ(engine.find(SliceId{1}), nullptr);
+  EXPECT_EQ(engine.target_reservation(SliceId{1}, DataRate::mbps(60.0)), DataRate::mbps(60.0));
+}
+
+TEST(OverbookingEngine, TrackIsIdempotent) {
+  OverbookingEngine engine(test_config());
+  engine.track(SliceId{1});
+  feed_diurnal(engine, SliceId{1}, 24 * 5, 5.0, 2.0);
+  const std::size_t observations = engine.find(SliceId{1})->observations();
+  engine.track(SliceId{1});  // must not reset the estimator
+  EXPECT_EQ(engine.find(SliceId{1})->observations(), observations);
+}
+
+TEST(OverbookingEngine, ObserveOnUntrackedSliceIsIgnored) {
+  OverbookingEngine engine(test_config());
+  engine.observe(SliceId{9}, 10.0);  // no crash, no state
+  EXPECT_FALSE(engine.tracks(SliceId{9}));
+}
+
+// Property: the reservation target is monotone in the risk quantile —
+// a more conservative broker reserves at least as much.
+class RiskSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RiskSweep, TargetMonotoneInRiskQuantile) {
+  const std::uint64_t seed = GetParam();
+  double previous = -1.0;
+  for (const double q : {0.5, 0.75, 0.9, 0.95, 0.99}) {
+    OverbookingConfig config = test_config();
+    config.risk_quantile = q;
+    OverbookingEngine engine(config);
+    engine.track(SliceId{1});
+    feed_diurnal(engine, SliceId{1}, 24 * 15, 20.0, 8.0, seed);
+    const double target = engine.target_reservation(SliceId{1}, DataRate::mbps(60.0)).as_mbps();
+    EXPECT_GE(target + 1e-9, previous) << "q=" << q << " seed=" << seed;
+    previous = target;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RiskSweep, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// Property: target covers near-future demand most of the time at a high
+// quantile (the safety story of the engine).
+TEST(OverbookingEngine, HighQuantileTargetRarelyUndershootsNextDemand) {
+  OverbookingConfig config = test_config();
+  config.risk_quantile = 0.95;
+  OverbookingEngine engine(config);
+  engine.track(SliceId{1});
+
+  Rng rng(21);
+  int evaluated = 0;
+  int undershoot = 0;
+  double phase = 0.0;
+  for (int i = 0; i < 24 * 40; ++i) {
+    const double demand = 20.0 + 8.0 * std::sin(phase) + rng.normal(0.0, 1.5);
+    if (engine.find(SliceId{1})->ready() && i > 24 * 4) {
+      const double target =
+          engine.target_reservation(SliceId{1}, DataRate::mbps(100.0)).as_mbps();
+      ++evaluated;
+      if (std::max(0.0, demand) > target) ++undershoot;
+    }
+    engine.observe(SliceId{1}, std::max(0.0, demand));
+    phase += 2.0 * std::numbers::pi / 24.0;
+  }
+  ASSERT_GT(evaluated, 500);
+  EXPECT_LT(static_cast<double>(undershoot) / evaluated, 0.10);
+}
+
+}  // namespace
+}  // namespace slices::core

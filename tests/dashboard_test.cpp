@@ -1,0 +1,107 @@
+// Tests for the dashboard renderers and JSON snapshot.
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "dashboard/dashboard.hpp"
+#include "dashboard/table.hpp"
+
+namespace slices::dashboard {
+namespace {
+
+TEST(TextTable, RendersAlignedBox) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta-long", "23456"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha     | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("+-----------+-------+"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(5.0, 0), "5");
+}
+
+struct DashboardFixture : ::testing::Test {
+  void SetUp() override {
+    tb = core::make_testbed(21);
+    (void)tb->orchestrator->submit(
+        core::SliceSpec::from_profile(traffic::profile_for(traffic::Vertical::embb_video),
+                                      Duration::hours(12.0)),
+        traffic::make_traffic(traffic::Vertical::embb_video, Rng(5)));
+    // Give the broker learning time before the second request arrives,
+    // as in the live demo — the first slice's idle capacity is what
+    // admits the second.
+    tb->simulator.run_for(Duration::hours(3.0));
+    (void)tb->orchestrator->submit(
+        core::SliceSpec::from_profile(traffic::profile_for(traffic::Vertical::automotive),
+                                      Duration::hours(12.0)),
+        traffic::make_traffic(traffic::Vertical::automotive, Rng(6)));
+    tb->simulator.run_for(Duration::hours(2.0));
+  }
+
+  std::unique_ptr<core::Testbed> tb;
+};
+
+TEST_F(DashboardFixture, SlicePanelListsEverySubmission) {
+  Dashboard dash(tb.get());
+  const std::string panel = dash.render_slices();
+  EXPECT_NE(panel.find("embb_video"), std::string::npos);
+  EXPECT_NE(panel.find("automotive"), std::string::npos);
+  EXPECT_NE(panel.find("active"), std::string::npos);
+}
+
+TEST_F(DashboardFixture, DomainPanelShowsAllThreeDomains) {
+  Dashboard dash(tb.get());
+  const std::string panel = dash.render_domains();
+  EXPECT_NE(panel.find("enb-a"), std::string::npos);
+  EXPECT_NE(panel.find("mmwave"), std::string::npos);
+  EXPECT_NE(panel.find("edge-dc"), std::string::npos);
+  EXPECT_NE(panel.find("core-dc"), std::string::npos);
+}
+
+TEST_F(DashboardFixture, HeadlineShowsGainAndMoney) {
+  Dashboard dash(tb.get());
+  const std::string panel = dash.render_headline();
+  EXPECT_NE(panel.find("multiplexing gain"), std::string::npos);
+  EXPECT_NE(panel.find("net revenue"), std::string::npos);
+  // Both slices are active after two hours; the row reads "| 2".
+  const std::size_t row = panel.find("active slices");
+  ASSERT_NE(row, std::string::npos);
+  EXPECT_NE(panel.find("| 2", row), std::string::npos);
+}
+
+TEST_F(DashboardFixture, BusPanelShowsControllerTraffic) {
+  Dashboard dash(tb.get());
+  const std::string panel = dash.render_bus();
+  EXPECT_NE(panel.find("ran"), std::string::npos);
+  EXPECT_NE(panel.find("transport"), std::string::npos);
+  EXPECT_NE(panel.find("cloud"), std::string::npos);
+}
+
+TEST_F(DashboardFixture, RenderAllConcatenatesPanels) {
+  Dashboard dash(tb.get());
+  const std::string all = dash.render_all();
+  for (const char* heading : {"== Overbooking gains vs penalties ==", "== Network slices ==",
+                              "== Domain utilization ==", "== Recent events ==",
+                              "== REST bus =="}) {
+    EXPECT_NE(all.find(heading), std::string::npos) << heading;
+  }
+}
+
+TEST_F(DashboardFixture, SnapshotIsValidJsonWithAllSections) {
+  Dashboard dash(tb.get());
+  const json::Value snap = dash.snapshot();
+  const Result<json::Value> reparsed = json::parse(json::serialize(snap));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_NE(snap.find("headline"), nullptr);
+  EXPECT_NE(snap.find("slices"), nullptr);
+  EXPECT_NE(snap.find("telemetry"), nullptr);
+  EXPECT_EQ(snap.find("slices")->as_array().size(), 2u);
+  EXPECT_GE(snap.find("headline")->find("multiplexing_gain")->as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace slices::dashboard

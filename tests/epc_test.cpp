@@ -1,0 +1,127 @@
+// Unit tests for the virtualized EPC: templates, deployment lifecycle,
+// attach gating and resource accounting.
+
+#include <gtest/gtest.h>
+
+#include "cloud/controller.hpp"
+#include "epc/epc.hpp"
+
+namespace slices::epc {
+namespace {
+
+struct Fixture {
+  cloud::CloudController cloud;
+  DatacenterId dc;
+  EpcManager manager{&cloud};
+
+  Fixture() {
+    dc = cloud.add_datacenter("core", cloud::DatacenterKind::core);
+    cloud.add_host(dc, "h1", ComputeCapacity{64.0, 262144.0, 4000.0});
+    cloud.finalize();
+  }
+};
+
+TEST(EpcTemplate, HasFourVnfs) {
+  const cloud::StackTemplate tmpl = epc_stack_template(SliceId{1}, DataRate::mbps(20.0));
+  ASSERT_EQ(tmpl.resources.size(), 4u);
+  EXPECT_EQ(tmpl.resources[0].name, "mme");
+  EXPECT_EQ(tmpl.resources[1].name, "hss");
+  EXPECT_EQ(tmpl.resources[2].name, "spgw_c");
+  EXPECT_EQ(tmpl.resources[3].name, "spgw_u");
+  EXPECT_NE(tmpl.name.find("epc-slice-1"), std::string::npos);
+}
+
+TEST(EpcTemplate, SpgwUScalesWithContractedRate) {
+  const cloud::Flavor small = default_flavor(VnfKind::spgw_u, DataRate::mbps(10.0));
+  const cloud::Flavor big = default_flavor(VnfKind::spgw_u, DataRate::mbps(200.0));
+  EXPECT_LT(small.footprint.vcpus, big.footprint.vcpus);
+  EXPECT_DOUBLE_EQ(small.footprint.vcpus, 1.0);
+  EXPECT_DOUBLE_EQ(big.footprint.vcpus, 8.0);
+  // Control-plane VNFs do not scale with rate.
+  EXPECT_EQ(default_flavor(VnfKind::mme, DataRate::mbps(10.0)).footprint.vcpus,
+            default_flavor(VnfKind::mme, DataRate::mbps(200.0)).footprint.vcpus);
+}
+
+TEST(EpcManager, DeployActivateRemoveLifecycle) {
+  Fixture f;
+  const Result<Duration> deploy = f.manager.deploy(SliceId{1}, f.dc, DataRate::mbps(20.0));
+  ASSERT_TRUE(deploy.ok());
+  // "After few seconds": 4 VNFs at ~2 s each plus base.
+  EXPECT_GT(deploy.value(), Duration::seconds(5.0));
+  EXPECT_LT(deploy.value(), Duration::seconds(30.0));
+
+  const EpcInstance* instance = f.manager.find(SliceId{1});
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(instance->state, EpcState::deploying);
+
+  ASSERT_TRUE(f.manager.activate(SliceId{1}).ok());
+  EXPECT_EQ(f.manager.find(SliceId{1})->state, EpcState::active);
+  EXPECT_EQ(f.manager.activate(SliceId{1}).error().code, Errc::conflict);
+
+  ASSERT_TRUE(f.manager.remove(SliceId{1}).ok());
+  EXPECT_EQ(f.manager.find(SliceId{1}), nullptr);
+  EXPECT_EQ(f.manager.remove(SliceId{1}).error().code, Errc::not_found);
+  // Stack resources were freed.
+  EXPECT_DOUBLE_EQ(f.cloud.find_datacenter(f.dc)->used_capacity().vcpus, 0.0);
+}
+
+TEST(EpcManager, DuplicateDeployRejected) {
+  Fixture f;
+  ASSERT_TRUE(f.manager.deploy(SliceId{1}, f.dc, DataRate::mbps(20.0)).ok());
+  EXPECT_EQ(f.manager.deploy(SliceId{1}, f.dc, DataRate::mbps(20.0)).error().code,
+            Errc::conflict);
+}
+
+TEST(EpcManager, DeployFailsWhenDatacenterFull) {
+  Fixture f;
+  // A slice needing ~40 spgw-u vCPUs on top of control plane: the host
+  // has 64, so the second such EPC cannot fit.
+  ASSERT_TRUE(f.manager.deploy(SliceId{1}, f.dc, DataRate::mbps(900.0)).ok());
+  const Result<Duration> second = f.manager.deploy(SliceId{2}, f.dc, DataRate::mbps(900.0));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, Errc::insufficient_capacity);
+  EXPECT_EQ(f.manager.find(SliceId{2}), nullptr);
+}
+
+TEST(EpcManager, AttachGatedOnActivation) {
+  Fixture f;
+  // No EPC at all.
+  EXPECT_EQ(f.manager.attach_ue(SliceId{1}).error().code, Errc::not_found);
+
+  ASSERT_TRUE(f.manager.deploy(SliceId{1}, f.dc, DataRate::mbps(20.0)).ok());
+  // Still deploying — the demo's "after few seconds" gating.
+  EXPECT_EQ(f.manager.attach_ue(SliceId{1}).error().code, Errc::unavailable);
+
+  ASSERT_TRUE(f.manager.activate(SliceId{1}).ok());
+  const Result<Duration> latency = f.manager.attach_ue(SliceId{1});
+  ASSERT_TRUE(latency.ok());
+  EXPECT_EQ(latency.value(), f.manager.timings().attach + f.manager.timings().bearer_setup);
+  EXPECT_EQ(f.manager.find(SliceId{1})->attached_ues, 1u);
+  EXPECT_EQ(f.manager.find(SliceId{1})->active_bearers, 1u);
+}
+
+TEST(EpcManager, DetachAccounting) {
+  Fixture f;
+  ASSERT_TRUE(f.manager.deploy(SliceId{1}, f.dc, DataRate::mbps(20.0)).ok());
+  ASSERT_TRUE(f.manager.activate(SliceId{1}).ok());
+  EXPECT_EQ(f.manager.detach_ue(SliceId{1}).error().code, Errc::invalid_argument);
+  ASSERT_TRUE(f.manager.attach_ue(SliceId{1}).ok());
+  EXPECT_TRUE(f.manager.detach_ue(SliceId{1}).ok());
+  EXPECT_EQ(f.manager.find(SliceId{1})->attached_ues, 0u);
+}
+
+TEST(EpcManager, IndependentInstancesPerSlice) {
+  Fixture f;
+  ASSERT_TRUE(f.manager.deploy(SliceId{1}, f.dc, DataRate::mbps(20.0)).ok());
+  ASSERT_TRUE(f.manager.deploy(SliceId{2}, f.dc, DataRate::mbps(40.0)).ok());
+  EXPECT_EQ(f.manager.instance_count(), 2u);
+  ASSERT_TRUE(f.manager.activate(SliceId{1}).ok());
+  EXPECT_EQ(f.manager.find(SliceId{1})->state, EpcState::active);
+  EXPECT_EQ(f.manager.find(SliceId{2})->state, EpcState::deploying);
+  ASSERT_TRUE(f.manager.remove(SliceId{1}).ok());
+  EXPECT_EQ(f.manager.instance_count(), 1u);
+  EXPECT_NE(f.manager.find(SliceId{2}), nullptr);
+}
+
+}  // namespace
+}  // namespace slices::epc

@@ -1,0 +1,103 @@
+// Robustness property tests: the wire-facing parsers (JSON, HTTP
+// request/response, URL targets, trace CSV) must never crash and must
+// return a typed error — not garbage — for arbitrary byte soup and for
+// truncated/mutated valid documents.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "json/value.hpp"
+#include "net/http.hpp"
+#include "net/url.hpp"
+#include "traffic/trace.hpp"
+
+namespace slices {
+namespace {
+
+std::string random_bytes(Rng& rng, std::size_t max_len) {
+  const std::size_t len = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+  std::string out(len, '\0');
+  for (char& c : out) c = static_cast<char>(rng.uniform_int(0, 255));
+  return out;
+}
+
+std::string random_printable(Rng& rng, std::size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "{}[]\",:0123456789.eE+-truefalsnl \t\n\r\\/ufx";
+  const std::size_t len = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+  std::string out(len, '\0');
+  for (char& c : out) {
+    c = kAlphabet[static_cast<std::size_t>(rng.uniform_int(0, sizeof kAlphabet - 2))];
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, JsonNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    // Raw bytes and JSON-flavored soup both must parse or error cleanly.
+    (void)json::parse(random_bytes(rng, 64));
+    const Result<json::Value> r = json::parse(random_printable(rng, 64));
+    if (r.ok()) {
+      // Whatever parsed must serialize and re-parse to itself.
+      const std::string text = json::serialize(r.value());
+      const Result<json::Value> again = json::parse(text);
+      ASSERT_TRUE(again.ok()) << text;
+      EXPECT_EQ(json::serialize(again.value()), text);
+    }
+  }
+}
+
+TEST_P(ParserFuzz, HttpNeverCrashes) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 2000; ++i) {
+    (void)net::parse_request(random_bytes(rng, 96));
+    (void)net::parse_response(random_bytes(rng, 96));
+  }
+}
+
+TEST_P(ParserFuzz, TruncatedValidRequestsAlwaysError) {
+  net::Request req;
+  req.method = net::Method::post;
+  req.target = "/slices/7?verbose=1";
+  req.headers.insert_or_assign("Content-Type", "application/json");
+  req.body = R"({"vertical":"ehealth","duration_hours":4})";
+  const std::string wire = req.encode();
+  // Every strict prefix must fail (never mis-parse a partial message).
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const Result<net::Request> r = net::parse_request(wire.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "accepted a " << len << "-byte prefix";
+  }
+  EXPECT_TRUE(net::parse_request(wire).ok());
+}
+
+TEST_P(ParserFuzz, MutatedValidJsonNeverCrashes) {
+  Rng rng(GetParam() * 97 + 3);
+  const std::string base =
+      R"({"slices":[{"id":1,"rate":12.5,"tags":["a","b"]},null,true],"n":-1e3})";
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = base;
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(base.size() - 1)));
+    mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    (void)json::parse(mutated);  // must not crash; outcome may be either
+  }
+}
+
+TEST_P(ParserFuzz, UrlAndTraceNeverCrash) {
+  Rng rng(GetParam() * 13 + 1);
+  for (int i = 0; i < 2000; ++i) {
+    (void)net::parse_target("/" + random_printable(rng, 32));
+    (void)net::percent_decode(random_printable(rng, 32));
+    (void)traffic::parse_trace_csv(random_printable(rng, 48));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace slices

@@ -1,0 +1,168 @@
+// Tests for the real-socket HTTP server and client (loopback).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/http_server.hpp"
+
+namespace slices::net {
+namespace {
+
+std::shared_ptr<Router> demo_router() {
+  auto router = std::make_shared<Router>();
+  router->add(Method::get, "/ping", [](const RouteContext&) {
+    return Response::json(Status::ok, "\"pong\"");
+  });
+  router->add(Method::post, "/echo", [](const RouteContext& ctx) {
+    return Response::json(Status::ok, ctx.request->body);
+  });
+  router->add(Method::get, "/things/{id}", [](const RouteContext& ctx) {
+    return Response::json(Status::ok, "\"thing-" + ctx.param("id").value() + "\"");
+  });
+  return router;
+}
+
+/// Serves exactly `n` connections on a background thread.
+struct ServerFixture {
+  explicit ServerFixture(int n) {
+    Result<std::unique_ptr<HttpServer>> bound = HttpServer::bind(demo_router(), 0);
+    EXPECT_TRUE(bound.ok()) << bound.error().message;
+    server = std::move(bound).value();
+    port = server->port();
+    thread = std::thread([this, n] {
+      for (int i = 0; i < n; ++i) {
+        if (!server->serve_one().ok()) break;
+      }
+    });
+  }
+  ~ServerFixture() {
+    server->stop();
+    if (thread.joinable()) thread.join();
+  }
+
+  std::unique_ptr<HttpServer> server;
+  std::uint16_t port = 0;
+  std::thread thread;
+};
+
+Request get(std::string target) {
+  Request req;
+  req.method = Method::get;
+  req.target = std::move(target);
+  return req;
+}
+
+TEST(HttpServer, BindsEphemeralPort) {
+  Result<std::unique_ptr<HttpServer>> server = HttpServer::bind(demo_router(), 0);
+  ASSERT_TRUE(server.ok()) << server.error().message;
+  EXPECT_GT(server.value()->port(), 0);
+}
+
+TEST(HttpServer, GetRoundTripOverRealSockets) {
+  ServerFixture fixture(1);
+  const Result<Response> resp = http_request(fixture.port, get("/ping"));
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_EQ(resp.value().status, Status::ok);
+  EXPECT_EQ(resp.value().body, "\"pong\"");
+  EXPECT_EQ(resp.value().headers.at("Connection"), "close");
+}
+
+TEST(HttpServer, PostBodyRoundTrip) {
+  ServerFixture fixture(1);
+  Request req;
+  req.method = Method::post;
+  req.target = "/echo";
+  req.body = R"({"rate_mbps":25.5,"name":"slice"})";
+  const Result<Response> resp = http_request(fixture.port, req);
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_EQ(resp.value().body, req.body);
+}
+
+TEST(HttpServer, LargeBodyRoundTrip) {
+  ServerFixture fixture(1);
+  Request req;
+  req.method = Method::post;
+  req.target = "/echo";
+  req.body.assign(512 * 1024, 'x');  // spans many TCP segments
+  const Result<Response> resp = http_request(fixture.port, req);
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_EQ(resp.value().body.size(), req.body.size());
+}
+
+TEST(HttpServer, PathParamsWorkOverTheWire) {
+  ServerFixture fixture(1);
+  const Result<Response> resp = http_request(fixture.port, get("/things/42"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().body, "\"thing-42\"");
+}
+
+TEST(HttpServer, UnknownRouteIs404) {
+  ServerFixture fixture(1);
+  const Result<Response> resp = http_request(fixture.port, get("/nope"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, Status::not_found);
+}
+
+TEST(HttpServer, MalformedRequestGets400) {
+  ServerFixture fixture(1);
+  Result<TcpConnection> conn = connect_loopback(fixture.port);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.value().send_all("NONSENSE\r\n\r\n").ok());
+  conn.value().shutdown_write();
+  std::string wire;
+  while (true) {
+    Result<std::string> chunk = conn.value().receive_some();
+    ASSERT_TRUE(chunk.ok());
+    if (chunk.value().empty()) break;
+    wire += chunk.value();
+  }
+  const Result<Response> resp = parse_response(wire);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().status, Status::bad_request);
+}
+
+TEST(HttpServer, SequentialConnections) {
+  ServerFixture fixture(5);
+  for (int i = 0; i < 5; ++i) {
+    const Result<Response> resp = http_request(fixture.port, get("/ping"));
+    ASSERT_TRUE(resp.ok()) << "iteration " << i << ": " << resp.error().message;
+    EXPECT_EQ(resp.value().body, "\"pong\"");
+  }
+  EXPECT_EQ(fixture.server->connections_served(), 5u);
+}
+
+TEST(HttpServer, StopUnblocksRun) {
+  Result<std::unique_ptr<HttpServer>> bound = HttpServer::bind(demo_router(), 0);
+  ASSERT_TRUE(bound.ok());
+  HttpServer& server = *bound.value();
+  std::thread runner([&server] { server.run(); });
+  // Serve one real request, then stop.
+  const Result<Response> resp = http_request(server.port(), get("/ping"));
+  ASSERT_TRUE(resp.ok());
+  server.stop();
+  runner.join();
+  EXPECT_GE(server.connections_served(), 1u);
+}
+
+TEST(TcpListener, PortZeroGivesDistinctPorts) {
+  Result<TcpListener> a = TcpListener::bind_loopback(0);
+  Result<TcpListener> b = TcpListener::bind_loopback(0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().port(), b.value().port());
+}
+
+TEST(TcpConnection, ConnectToClosedPortFails) {
+  // Bind then immediately close to get a (very likely) dead port.
+  Result<TcpListener> probe = TcpListener::bind_loopback(0);
+  ASSERT_TRUE(probe.ok());
+  const std::uint16_t dead = probe.value().port();
+  probe.value().close();
+  const Result<TcpConnection> conn = connect_loopback(dead);
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.error().code, Errc::unavailable);
+}
+
+}  // namespace
+}  // namespace slices::net

@@ -1,0 +1,183 @@
+// Unit tests for URL parsing and REST routing.
+
+#include <gtest/gtest.h>
+
+#include "net/router.hpp"
+#include "net/url.hpp"
+
+namespace slices::net {
+namespace {
+
+// --- percent encoding/decoding ---------------------------------------------
+
+TEST(Url, PercentDecodeBasics) {
+  EXPECT_EQ(percent_decode("plain").value(), "plain");
+  EXPECT_EQ(percent_decode("a%20b").value(), "a b");
+  EXPECT_EQ(percent_decode("a+b").value(), "a b");
+  EXPECT_EQ(percent_decode("%2Fetc%2F").value(), "/etc/");
+  EXPECT_EQ(percent_decode("%41%62").value(), "Ab");
+}
+
+TEST(Url, PercentDecodeRejectsBadEscapes) {
+  EXPECT_FALSE(percent_decode("%").ok());
+  EXPECT_FALSE(percent_decode("%2").ok());
+  EXPECT_FALSE(percent_decode("%zz").ok());
+  EXPECT_FALSE(percent_decode("ok%2").ok());
+}
+
+TEST(Url, PercentEncodeRoundTrip) {
+  const std::string original = "slice name/with specials?&=#%";
+  EXPECT_EQ(percent_decode(percent_encode(original)).value(), original);
+}
+
+TEST(Url, PercentEncodeLeavesUnreserved) {
+  EXPECT_EQ(percent_encode("AZaz09-._~"), "AZaz09-._~");
+  EXPECT_EQ(percent_encode(" "), "%20");
+}
+
+// --- target parsing -----------------------------------------------------------
+
+TEST(Url, ParseTargetSegmentsAndQuery) {
+  const Result<Target> t = parse_target("/slices/42/usage?window=16&verbose=1");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t.value().segments.size(), 3u);
+  EXPECT_EQ(t.value().segments[0], "slices");
+  EXPECT_EQ(t.value().segments[1], "42");
+  EXPECT_EQ(t.value().segments[2], "usage");
+  EXPECT_EQ(t.value().query.at("window"), "16");
+  EXPECT_EQ(t.value().query.at("verbose"), "1");
+  EXPECT_EQ(t.value().path(), "/slices/42/usage");
+}
+
+TEST(Url, ParseRootTarget) {
+  const Result<Target> t = parse_target("/");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t.value().segments.empty());
+  EXPECT_EQ(t.value().path(), "/");
+}
+
+TEST(Url, ParseTargetDecodesSegments) {
+  const Result<Target> t = parse_target("/a%20b/c?k%20ey=v%26al");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().segments[0], "a b");
+  EXPECT_EQ(t.value().query.at("k ey"), "v&al");
+}
+
+TEST(Url, ParseTargetRejectsBadShapes) {
+  EXPECT_FALSE(parse_target("").ok());
+  EXPECT_FALSE(parse_target("relative/path").ok());
+  EXPECT_FALSE(parse_target("//double").ok());
+  EXPECT_FALSE(parse_target("/a//b").ok());
+  EXPECT_FALSE(parse_target("/bad%zz").ok());
+}
+
+TEST(Url, QueryWithoutValueAndEmptyPairs) {
+  const Result<Target> t = parse_target("/x?flag&&k=v");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().query.at("flag"), "");
+  EXPECT_EQ(t.value().query.at("k"), "v");
+}
+
+// --- routing ---------------------------------------------------------------------
+
+Request make_request(Method m, std::string target, std::string body = {}) {
+  Request req;
+  req.method = m;
+  req.target = std::move(target);
+  req.body = std::move(body);
+  return req;
+}
+
+TEST(Router, ExactMatchDispatches) {
+  Router router;
+  router.add(Method::get, "/health",
+             [](const RouteContext&) { return Response::json(Status::ok, "\"up\""); });
+  const Response resp = router.dispatch(make_request(Method::get, "/health"));
+  EXPECT_EQ(resp.status, Status::ok);
+  EXPECT_EQ(resp.body, "\"up\"");
+}
+
+TEST(Router, PathParamsAreCaptured) {
+  Router router;
+  router.add(Method::get, "/slices/{id}/cells/{cell}", [](const RouteContext& ctx) {
+    return Response::json(Status::ok, "\"" + ctx.param("id").value() + ":" +
+                                          ctx.param("cell").value() + "\"");
+  });
+  const Response resp = router.dispatch(make_request(Method::get, "/slices/7/cells/2"));
+  EXPECT_EQ(resp.body, "\"7:2\"");
+}
+
+TEST(Router, IdParamValidation) {
+  Router router;
+  router.add(Method::get, "/slices/{id}", [](const RouteContext& ctx) {
+    const Result<std::uint64_t> id = ctx.id_param("id");
+    if (!id.ok()) return Response::from_error(id.error());
+    return Response::json(Status::ok, std::to_string(id.value()));
+  });
+  EXPECT_EQ(router.dispatch(make_request(Method::get, "/slices/15")).body, "15");
+  EXPECT_EQ(router.dispatch(make_request(Method::get, "/slices/abc")).status,
+            Status::bad_request);
+  EXPECT_EQ(router.dispatch(make_request(Method::get, "/slices/-3")).status,
+            Status::bad_request);
+}
+
+TEST(Router, UnknownPathIs404) {
+  Router router;
+  router.add(Method::get, "/a", [](const RouteContext&) {
+    return Response::json(Status::ok, "{}");
+  });
+  EXPECT_EQ(router.dispatch(make_request(Method::get, "/b")).status, Status::not_found);
+}
+
+TEST(Router, WrongMethodOnKnownPathIs404WithHint) {
+  Router router;
+  router.add(Method::get, "/a", [](const RouteContext&) {
+    return Response::json(Status::ok, "{}");
+  });
+  const Response resp = router.dispatch(make_request(Method::post, "/a"));
+  EXPECT_EQ(resp.status, Status::not_found);
+  EXPECT_NE(resp.body.find("method not allowed"), std::string::npos);
+}
+
+TEST(Router, MalformedTargetIs400) {
+  Router router;
+  router.add(Method::get, "/a", [](const RouteContext&) {
+    return Response::json(Status::ok, "{}");
+  });
+  EXPECT_EQ(router.dispatch(make_request(Method::get, "/a%zz")).status, Status::bad_request);
+}
+
+TEST(Router, FirstMatchWins) {
+  Router router;
+  router.add(Method::get, "/slices/all", [](const RouteContext&) {
+    return Response::json(Status::ok, "\"literal\"");
+  });
+  router.add(Method::get, "/slices/{id}", [](const RouteContext&) {
+    return Response::json(Status::ok, "\"pattern\"");
+  });
+  EXPECT_EQ(router.dispatch(make_request(Method::get, "/slices/all")).body, "\"literal\"");
+  EXPECT_EQ(router.dispatch(make_request(Method::get, "/slices/5")).body, "\"pattern\"");
+}
+
+TEST(Router, QueryParamsReachHandler) {
+  Router router;
+  router.add(Method::get, "/metrics", [](const RouteContext& ctx) {
+    const auto it = ctx.query.find("window");
+    return Response::json(Status::ok,
+                          it == ctx.query.end() ? "\"none\"" : "\"" + it->second + "\"");
+  });
+  EXPECT_EQ(router.dispatch(make_request(Method::get, "/metrics?window=32")).body, "\"32\"");
+  EXPECT_EQ(router.dispatch(make_request(Method::get, "/metrics")).body, "\"none\"");
+}
+
+TEST(Router, SegmentCountMustMatch) {
+  Router router;
+  router.add(Method::get, "/a/{x}", [](const RouteContext&) {
+    return Response::json(Status::ok, "{}");
+  });
+  EXPECT_EQ(router.dispatch(make_request(Method::get, "/a")).status, Status::not_found);
+  EXPECT_EQ(router.dispatch(make_request(Method::get, "/a/1/2")).status, Status::not_found);
+}
+
+}  // namespace
+}  // namespace slices::net

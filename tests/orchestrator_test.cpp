@@ -1,0 +1,519 @@
+// End-to-end tests of the orchestrator on the Fig. 2 testbed: admission,
+// multi-domain embedding with rollback, lifecycle, overbooking effects,
+// SLA accounting and the dashboard REST API.
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "traffic/verticals.hpp"
+
+namespace slices::core {
+namespace {
+
+SliceSpec spec_for(traffic::Vertical v, double hours) {
+  return SliceSpec::from_profile(traffic::profile_for(v), Duration::hours(hours));
+}
+
+std::unique_ptr<traffic::TrafficModel> workload_for(traffic::Vertical v, std::uint64_t seed) {
+  return traffic::make_traffic(v, Rng(seed));
+}
+
+TEST(Orchestrator, AdmitInstallActivateExpireLifecycle) {
+  auto tb = make_testbed(1);
+  const RequestId request = tb->orchestrator->submit(
+      spec_for(traffic::Vertical::embb_video, 2.0),
+      workload_for(traffic::Vertical::embb_video, 7));
+
+  const SliceRecord* record = tb->orchestrator->find_by_request(request);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, SliceState::installing);
+
+  // Domains are configured immediately; the slice is serving only after
+  // the install timeline elapses.
+  EXPECT_TRUE(tb->ran.plmn_installed(record->embedding.plmn));
+  EXPECT_NE(tb->ran.find_allocation(record->embedding.plmn), nullptr);
+  ASSERT_EQ(record->embedding.paths.size(), 1u);
+  EXPECT_NE(tb->transport->find_path(record->embedding.paths.front()), nullptr);
+  EXPECT_NE(tb->epc->find(record->id), nullptr);
+
+  tb->simulator.run_for(Duration::seconds(30.0));
+  EXPECT_EQ(record->state, SliceState::active);
+  EXPECT_EQ(tb->epc->find(record->id)->state, epc::EpcState::active);
+
+  // Runs to expiry; everything is released.
+  tb->simulator.run_for(Duration::hours(3.0));
+  EXPECT_EQ(record->state, SliceState::expired);
+  EXPECT_FALSE(tb->ran.plmn_installed(record->embedding.plmn));
+  EXPECT_EQ(tb->epc->find(record->id), nullptr);
+  EXPECT_EQ(tb->ran.find_cell(tb->cell_a)->reserved_prbs().value, 0);
+  EXPECT_TRUE(tb->transport->flow_table().rules_for(record->id).empty());
+}
+
+TEST(Orchestrator, InstallTimelineMatchesDemoScale) {
+  auto tb = make_testbed(2);
+  (void)tb->orchestrator->submit(spec_for(traffic::Vertical::embb_video, 1.0));
+  const InstallTimeline timeline = tb->orchestrator->last_install_timeline();
+  // "After few seconds" — dominated by the EPC stack deployment.
+  EXPECT_GT(timeline.total(), Duration::seconds(5.0));
+  EXPECT_LT(timeline.total(), Duration::seconds(60.0));
+  EXPECT_GT(timeline.epc_deploy, timeline.plmn_install);
+  EXPECT_GT(timeline.epc_deploy, timeline.path_setup);
+}
+
+TEST(Orchestrator, RejectsWhenRadioExhaustedAndRollsBackCleanly) {
+  OrchestratorConfig config;
+  config.overbooking.enabled = false;
+  auto tb = make_testbed(3, config);
+
+  // Fill the RAN: each 20 MHz cell at CQI 10 carries ~41 Mb/s.
+  const double total = tb->ran.total_capacity().as_mbps();
+  SliceSpec big = spec_for(traffic::Vertical::embb_video, 4.0);
+  big.expected_throughput = DataRate::mbps(total * 0.7);
+  ASSERT_EQ(tb->orchestrator->find_by_request(tb->orchestrator->submit(big))->state,
+            SliceState::installing);
+
+  const std::size_t stacks_before = tb->cloud.engine().stack_count();
+  const int prbs_before = tb->ran.find_cell(tb->cell_a)->reserved_prbs().value +
+                          tb->ran.find_cell(tb->cell_b)->reserved_prbs().value;
+
+  SliceSpec second = spec_for(traffic::Vertical::embb_video, 4.0);
+  second.expected_throughput = DataRate::mbps(total * 0.7);
+  const RequestId rejected = tb->orchestrator->submit(second);
+  EXPECT_EQ(tb->orchestrator->find_by_request(rejected)->state, SliceState::rejected);
+
+  // Rollback: no partial state left anywhere.
+  EXPECT_EQ(tb->cloud.engine().stack_count(), stacks_before);
+  EXPECT_EQ(tb->ran.find_cell(tb->cell_a)->reserved_prbs().value +
+                tb->ran.find_cell(tb->cell_b)->reserved_prbs().value,
+            prbs_before);
+  const OrchestratorSummary summary = tb->orchestrator->summary();
+  EXPECT_EQ(summary.admitted_total, 1u);
+  EXPECT_EQ(summary.rejected_total, 1u);
+}
+
+TEST(Orchestrator, EdgeRequirementRejectsWhenEdgeFull) {
+  auto tb = make_testbed(4);
+  // Exhaust the edge DC (64 vCPUs over two 32-vCPU hosts).
+  cloud::StackTemplate filler;
+  filler.name = "filler";
+  filler.resources = {{"a", cloud::Flavor{"f", ComputeCapacity{30.0, 1024.0, 10.0}}},
+                      {"b", cloud::Flavor{"f", ComputeCapacity{30.0, 1024.0, 10.0}}}};
+  ASSERT_TRUE(tb->cloud.create_stack(tb->edge_dc, filler).ok());
+
+  // Automotive requires the edge; it must be rejected now.
+  const RequestId request =
+      tb->orchestrator->submit(spec_for(traffic::Vertical::automotive, 2.0));
+  EXPECT_EQ(tb->orchestrator->find_by_request(request)->state, SliceState::rejected);
+
+  // A core-eligible vertical still gets in.
+  const RequestId ok = tb->orchestrator->submit(spec_for(traffic::Vertical::iot_metering, 2.0));
+  EXPECT_EQ(tb->orchestrator->find_by_request(ok)->state, SliceState::installing);
+}
+
+TEST(Orchestrator, LatencyBoundSelectsDatacenterAndPath) {
+  auto tb = make_testbed(5);
+  const RequestId request =
+      tb->orchestrator->submit(spec_for(traffic::Vertical::automotive, 2.0));
+  const SliceRecord* record = tb->orchestrator->find_by_request(request);
+  ASSERT_EQ(record->state, SliceState::installing);
+  EXPECT_EQ(record->embedding.datacenter, tb->edge_dc);
+  const transport::PathReservation* path =
+      tb->transport->find_path(record->embedding.paths.front());
+  ASSERT_NE(path, nullptr);
+  EXPECT_LE(path->route.total_delay, record->spec.max_latency);
+}
+
+TEST(Orchestrator, EdgePlacementGetsBreakoutLeg) {
+  auto tb = make_testbed(17);
+  // Automotive requires the edge -> two transport legs: access at the
+  // contract rate, breakout to the core at the configured fraction.
+  const RequestId request =
+      tb->orchestrator->submit(spec_for(traffic::Vertical::automotive, 2.0));
+  const SliceRecord* record = tb->orchestrator->find_by_request(request);
+  ASSERT_EQ(record->state, SliceState::installing);
+  ASSERT_EQ(record->embedding.paths.size(), 2u);
+
+  const transport::PathReservation* access =
+      tb->transport->find_path(record->embedding.paths[0]);
+  const transport::PathReservation* breakout =
+      tb->transport->find_path(record->embedding.paths[1]);
+  ASSERT_NE(access, nullptr);
+  ASSERT_NE(breakout, nullptr);
+  EXPECT_EQ(access->dst, tb->edge_gateway);
+  EXPECT_EQ(breakout->src, tb->edge_gateway);
+  EXPECT_EQ(breakout->dst, tb->core_gateway);
+  EXPECT_DOUBLE_EQ(access->reserved.as_mbps(), record->spec.expected_throughput.as_mbps());
+  EXPECT_DOUBLE_EQ(
+      breakout->reserved.as_mbps(),
+      record->spec.expected_throughput.as_mbps() *
+          tb->orchestrator->config().edge_breakout_fraction);
+
+  // Core placements keep a single leg.
+  const RequestId core_req =
+      tb->orchestrator->submit(spec_for(traffic::Vertical::iot_metering, 2.0));
+  EXPECT_EQ(tb->orchestrator->find_by_request(core_req)->embedding.paths.size(), 1u);
+
+  // Teardown releases both legs.
+  ASSERT_TRUE(tb->orchestrator->terminate(record->id).ok());
+  EXPECT_TRUE(tb->transport->paths_of(record->id).empty());
+}
+
+TEST(Orchestrator, TerminateReleasesEarly) {
+  auto tb = make_testbed(6);
+  const RequestId request = tb->orchestrator->submit(
+      spec_for(traffic::Vertical::embb_video, 10.0),
+      workload_for(traffic::Vertical::embb_video, 3));
+  const SliceRecord* record = tb->orchestrator->find_by_request(request);
+  tb->simulator.run_for(Duration::minutes(60.0));
+  ASSERT_EQ(record->state, SliceState::active);
+
+  ASSERT_TRUE(tb->orchestrator->terminate(record->id).ok());
+  EXPECT_EQ(record->state, SliceState::terminated);
+  EXPECT_EQ(tb->epc->find(record->id), nullptr);
+  EXPECT_EQ(tb->ran.find_cell(tb->cell_a)->reserved_prbs().value, 0);
+  EXPECT_FALSE(tb->orchestrator->terminate(record->id).ok());
+  EXPECT_EQ(tb->orchestrator->terminate(SliceId{999}).error().code, Errc::not_found);
+}
+
+TEST(Orchestrator, OverbookingShrinksReservationsOfIdleSlices) {
+  OrchestratorConfig config;
+  config.overbooking.warmup_observations = 4;
+  auto tb = make_testbed(7, config);
+
+  // A slice that contracts 60 Mb/s but offers ~6.
+  SliceSpec spec = spec_for(traffic::Vertical::embb_video, 48.0);
+  const RequestId request = tb->orchestrator->submit(
+      spec, std::make_unique<traffic::ConstantTraffic>(6.0));
+  const SliceRecord* record = tb->orchestrator->find_by_request(request);
+  ASSERT_EQ(record->state, SliceState::installing);
+
+  tb->simulator.run_for(Duration::hours(8.0));
+  ASSERT_EQ(record->state, SliceState::active);
+  EXPECT_LT(record->reserved, record->spec.expected_throughput * 0.5);
+  EXPECT_GT(tb->orchestrator->summary().multiplexing_gain, 1.5);
+}
+
+TEST(Orchestrator, OverbookingAdmitsMoreSlicesThanPeakReservation) {
+  const auto count_admitted = [](bool overbooking) {
+    OrchestratorConfig config;
+    config.overbooking.enabled = overbooking;
+    config.overbooking.warmup_observations = 4;
+    auto tb = make_testbed(8, config);
+
+    // Lightly loaded long-lived slices contracting most of the RAN.
+    std::size_t admitted = 0;
+    for (int i = 0; i < 8; ++i) {
+      SliceSpec spec = spec_for(traffic::Vertical::embb_video, 72.0);
+      spec.expected_throughput = DataRate::mbps(20.0);
+      const RequestId request = tb->orchestrator->submit(
+          spec, std::make_unique<traffic::ConstantTraffic>(2.0));
+      if (tb->orchestrator->find_by_request(request)->state != SliceState::rejected) {
+        ++admitted;
+      }
+      // Give the broker time to learn before the next request arrives.
+      tb->simulator.run_for(Duration::hours(3.0));
+    }
+    return admitted;
+  };
+
+  const std::size_t with_ob = count_admitted(true);
+  const std::size_t without_ob = count_admitted(false);
+  EXPECT_GT(with_ob, without_ob);
+  // With overbooking the radio is no longer binding; the MOCN broadcast
+  // list (6 PLMNs per cell, the slice<->PLMN mapping of the demo) is.
+  EXPECT_EQ(with_ob, 6u);
+  // Without overbooking the ~69 Mb/s RAN fits only three 20 Mb/s peaks.
+  EXPECT_EQ(without_ob, 3u);
+}
+
+TEST(Orchestrator, SlaViolationsAreChargedWhenDemandExceedsService) {
+  OrchestratorConfig config;
+  // Aggressive overbooking with zero safety to force violations.
+  config.overbooking.risk_quantile = 0.0;
+  config.overbooking.floor_fraction = 0.01;
+  config.overbooking.warmup_observations = 4;
+  config.overbooking.headroom = 1.0;
+  auto tb = make_testbed(9, config);
+
+  // Bursty e-health traffic is unforecastable: quiet then spiking.
+  const RequestId request = tb->orchestrator->submit(
+      spec_for(traffic::Vertical::ehealth, 48.0),
+      workload_for(traffic::Vertical::ehealth, 17));
+  const SliceRecord* record = tb->orchestrator->find_by_request(request);
+  ASSERT_EQ(record->state, SliceState::installing);
+
+  tb->simulator.run_for(Duration::hours(47.0));
+  const OrchestratorSummary summary = tb->orchestrator->summary();
+  EXPECT_GT(summary.violation_epochs, 0u);
+  EXPECT_GT(summary.penalties, Money::zero());
+  EXPECT_EQ(summary.penalties,
+            record->spec.penalty_per_violation * static_cast<double>(summary.violation_epochs));
+  // The demo's economics: gains should still dominate penalties here.
+  EXPECT_GT(summary.net, Money::zero());
+}
+
+TEST(Orchestrator, RevenueAccruesPerActiveHour) {
+  auto tb = make_testbed(10);
+  SliceSpec spec = spec_for(traffic::Vertical::iot_metering, 4.0);
+  const RequestId request =
+      tb->orchestrator->submit(spec, workload_for(traffic::Vertical::iot_metering, 5));
+  const SliceRecord* record = tb->orchestrator->find_by_request(request);
+  tb->simulator.run_for(Duration::hours(6.0));
+  ASSERT_EQ(record->state, SliceState::expired);
+  const SliceLedgerEntry* entry = tb->orchestrator->ledger().find(record->id);
+  ASSERT_NE(entry, nullptr);
+  // ~4 h at the profile price, +- one epoch of accrual skew.
+  const double expected = traffic::profile_for(traffic::Vertical::iot_metering).price_per_hour * 4.0;
+  EXPECT_NEAR(entry->earned.as_units(), expected, expected * 0.10);
+}
+
+TEST(Orchestrator, RestDashboardApi) {
+  auto tb = make_testbed(11);
+
+  // Submit through the REST facade, exactly like the demo dashboard.
+  json::Value request;
+  request["vertical"] = "ehealth";
+  request["duration_hours"] = 2.0;
+  request["price_per_hour"] = 99.0;
+  const Result<json::Value> created =
+      tb->bus.call_json("orchestrator", net::Method::post, "/slices", request);
+  ASSERT_TRUE(created.ok()) << created.error().message;
+  EXPECT_EQ(created.value().find("state")->as_string(), "installing");
+  const auto slice_id =
+      static_cast<std::uint64_t>(created.value().find("slice")->as_number());
+
+  const Result<json::Value> listed = tb->bus.get_json("orchestrator", "/slices");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed.value().find("slices")->as_array().size(), 1u);
+
+  const Result<json::Value> one =
+      tb->bus.get_json("orchestrator", "/slices/" + std::to_string(slice_id));
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().find("vertical")->as_string(), "ehealth");
+  EXPECT_DOUBLE_EQ(one.value().find("contracted_mbps")->as_number(), 10.0);
+
+  const Result<json::Value> report = tb->bus.get_json("orchestrator", "/report");
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.value().find("admitted_total")->as_number(), 1.0);
+
+  // Terminate over REST.
+  ASSERT_TRUE(tb->bus.call_json("orchestrator", net::Method::del,
+                                "/slices/" + std::to_string(slice_id),
+                                json::Value(nullptr)).ok());
+  EXPECT_EQ(tb->bus.get_json("orchestrator", "/slices/" + std::to_string(slice_id))
+                .value()
+                .find("state")
+                ->as_string(),
+            "terminated");
+
+  // Unknown vertical and unknown slice produce proper errors.
+  json::Value bad;
+  bad["vertical"] = "underwater-basket-weaving";
+  bad["duration_hours"] = 1.0;
+  EXPECT_FALSE(tb->bus.call_json("orchestrator", net::Method::post, "/slices", bad).ok());
+  EXPECT_FALSE(tb->bus.get_json("orchestrator", "/slices/424242").ok());
+}
+
+TEST(Orchestrator, RejectedSubmissionReturns409OverRest) {
+  OrchestratorConfig config;
+  config.overbooking.enabled = false;
+  auto tb = make_testbed(12, config);
+
+  json::Value request;
+  request["vertical"] = "embb_video";
+  request["duration_hours"] = 2.0;
+  request["throughput_mbps"] = 100000.0;  // impossible
+  const Result<json::Value> resp =
+      tb->bus.call_json("orchestrator", net::Method::post, "/slices", request);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error().code, Errc::conflict);
+}
+
+TEST(Orchestrator, MonitoringPollsDomainsOverRest) {
+  auto tb = make_testbed(13);
+  (void)tb->orchestrator->submit(spec_for(traffic::Vertical::embb_video, 4.0),
+                                 workload_for(traffic::Vertical::embb_video, 1));
+  tb->simulator.run_for(Duration::hours(1.0));
+  // Every epoch polls /metrics of ran, transport and cloud.
+  for (const char* domain : {"ran", "transport", "cloud"}) {
+    const auto it = tb->bus.stats().find(domain);
+    ASSERT_NE(it, tb->bus.stats().end()) << domain;
+    EXPECT_GE(it->second.requests, 4u) << domain;
+    EXPECT_EQ(it->second.responses_error, 0u) << domain;
+  }
+}
+
+TEST(Orchestrator, BatchedAdmissionAuctionsPendingRequests) {
+  OrchestratorConfig config;
+  config.admission_window = Duration::hours(1.0);
+  config.admission_policy = "knapsack_revenue";
+  config.overbooking.enabled = false;
+  auto tb = make_testbed(15, config);
+
+  // Three requests that cannot all fit (~69 Mb/s RAN): a low-value fat
+  // one and two high-value ones. The knapsack auction must prefer value,
+  // not arrival order.
+  SliceSpec cheap_fat = spec_for(traffic::Vertical::embb_video, 10.0);
+  cheap_fat.expected_throughput = DataRate::mbps(60.0);
+  cheap_fat.price_per_hour = Money::units(1.0);
+  const RequestId fat = tb->orchestrator->submit(cheap_fat);
+
+  SliceSpec valuable_a = spec_for(traffic::Vertical::cloud_gaming, 10.0);
+  valuable_a.expected_throughput = DataRate::mbps(30.0);
+  const RequestId a = tb->orchestrator->submit(valuable_a);
+
+  SliceSpec valuable_b = spec_for(traffic::Vertical::automotive, 10.0);
+  valuable_b.expected_throughput = DataRate::mbps(20.0);
+  const RequestId b = tb->orchestrator->submit(valuable_b);
+
+  // Nothing is decided before the auction fires.
+  EXPECT_EQ(tb->orchestrator->find_by_request(fat)->state, SliceState::pending);
+  EXPECT_EQ(tb->orchestrator->find_by_request(a)->state, SliceState::pending);
+
+  tb->simulator.run_for(Duration::hours(1.5));
+  EXPECT_EQ(tb->orchestrator->find_by_request(fat)->state, SliceState::rejected);
+  EXPECT_EQ(tb->orchestrator->find_by_request(a)->state, SliceState::active);
+  EXPECT_EQ(tb->orchestrator->find_by_request(b)->state, SliceState::active);
+
+  // An FCFS broker on the same sequence admits the fat request first
+  // and starves the valuable pair.
+  OrchestratorConfig fcfs_config = config;
+  fcfs_config.admission_policy = "fcfs";
+  auto tb2 = make_testbed(15, fcfs_config);
+  const RequestId fat2 = tb2->orchestrator->submit(cheap_fat);
+  const RequestId a2 = tb2->orchestrator->submit(valuable_a);
+  (void)tb2->orchestrator->submit(valuable_b);
+  tb2->simulator.run_for(Duration::hours(1.5));
+  EXPECT_EQ(tb2->orchestrator->find_by_request(fat2)->state, SliceState::active);
+  EXPECT_EQ(tb2->orchestrator->find_by_request(a2)->state, SliceState::rejected);
+}
+
+TEST(Orchestrator, PatientRequestsWaitForCapacity) {
+  OrchestratorConfig config;
+  config.admission_window = Duration::hours(1.0);
+  config.admission_patience = Duration::hours(8.0);
+  config.overbooking.enabled = false;
+  auto tb = make_testbed(18, config);
+
+  // A short-lived but very valuable slice fills the RAN (the auction
+  // must prefer it); a patient second request loses the first auctions
+  // but lands once the first slice expires.
+  SliceSpec big = spec_for(traffic::Vertical::embb_video, 2.0);
+  big.expected_throughput = DataRate::mbps(50.0);
+  big.price_per_hour = Money::units(1000.0);
+  (void)tb->orchestrator->submit(big);
+
+  SliceSpec waiting = spec_for(traffic::Vertical::cloud_gaming, 4.0);
+  waiting.expected_throughput = DataRate::mbps(40.0);
+  const RequestId patient = tb->orchestrator->submit(waiting);
+
+  tb->simulator.run_for(Duration::hours(1.5));
+  // First auction happened: the big slice is in, the patient one queued.
+  EXPECT_EQ(tb->orchestrator->find_by_request(patient)->state, SliceState::pending);
+
+  tb->simulator.run_for(Duration::hours(3.0));  // big slice expired at ~2 h
+  EXPECT_EQ(tb->orchestrator->find_by_request(patient)->state, SliceState::active);
+
+  // Without patience the same sequence rejects immediately.
+  OrchestratorConfig impatient = config;
+  impatient.admission_patience = Duration::zero();
+  auto tb2 = make_testbed(18, impatient);
+  (void)tb2->orchestrator->submit(big);
+  const RequestId bounced = tb2->orchestrator->submit(waiting);
+  tb2->simulator.run_for(Duration::hours(1.5));
+  EXPECT_EQ(tb2->orchestrator->find_by_request(bounced)->state, SliceState::rejected);
+}
+
+TEST(Orchestrator, PatienceDeadlineEventuallyRejects) {
+  OrchestratorConfig config;
+  config.admission_window = Duration::hours(1.0);
+  config.admission_patience = Duration::hours(3.0);
+  config.overbooking.enabled = false;
+  auto tb = make_testbed(19, config);
+
+  SliceSpec big = spec_for(traffic::Vertical::embb_video, 100.0);  // never expires
+  big.expected_throughput = DataRate::mbps(50.0);
+  (void)tb->orchestrator->submit(big);
+  SliceSpec waiting = spec_for(traffic::Vertical::cloud_gaming, 4.0);
+  waiting.expected_throughput = DataRate::mbps(40.0);
+  const RequestId doomed = tb->orchestrator->submit(waiting);
+
+  tb->simulator.run_for(Duration::hours(2.5));
+  EXPECT_EQ(tb->orchestrator->find_by_request(doomed)->state, SliceState::pending);
+  tb->simulator.run_for(Duration::hours(2.0));  // patience exceeded
+  EXPECT_EQ(tb->orchestrator->find_by_request(doomed)->state, SliceState::rejected);
+}
+
+TEST(Orchestrator, InstallJitterVariesTimelines) {
+  auto tb = make_testbed(16);
+  std::set<std::int64_t> totals;
+  for (int i = 0; i < 5; ++i) {
+    const RequestId request =
+        tb->orchestrator->submit(spec_for(traffic::Vertical::iot_metering, 1.0));
+    const SliceRecord* record = tb->orchestrator->find_by_request(request);
+    ASSERT_EQ(record->state, SliceState::installing);
+    totals.insert(tb->orchestrator->last_install_timeline().total().as_micros());
+    ASSERT_TRUE(tb->orchestrator->terminate(record->id).ok());
+  }
+  EXPECT_GT(totals.size(), 1u);  // jitter produces distinct timelines
+}
+
+TEST(Orchestrator, OverbookingShrinksBothTransportLegsProportionally) {
+  OrchestratorConfig config;
+  config.overbooking.warmup_observations = 4;
+  auto tb = make_testbed(20, config);
+
+  // Edge-placed slice (two legs) with near-idle demand.
+  SliceSpec spec = spec_for(traffic::Vertical::automotive, 48.0);
+  const RequestId request =
+      tb->orchestrator->submit(spec, std::make_unique<traffic::ConstantTraffic>(2.0));
+  const SliceRecord* record = tb->orchestrator->find_by_request(request);
+  ASSERT_EQ(record->embedding.paths.size(), 2u);
+
+  tb->simulator.run_for(Duration::hours(6.0));
+  ASSERT_EQ(record->state, SliceState::active);
+  ASSERT_LT(record->reserved, record->spec.expected_throughput * 0.5);  // shrunk
+
+  const transport::PathReservation* access =
+      tb->transport->find_path(record->embedding.paths[0]);
+  const transport::PathReservation* breakout =
+      tb->transport->find_path(record->embedding.paths[1]);
+  EXPECT_NEAR(access->reserved.as_mbps(), record->reserved.as_mbps(), 1e-6);
+  EXPECT_NEAR(breakout->reserved.as_mbps(),
+              record->reserved.as_mbps() * tb->orchestrator->config().edge_breakout_fraction,
+              1e-6);
+}
+
+TEST(Orchestrator, MonitoringSurvivesControllerLoss) {
+  auto tb = make_testbed(21);
+  (void)tb->orchestrator->submit(spec_for(traffic::Vertical::iot_metering, 12.0),
+                                 workload_for(traffic::Vertical::iot_metering, 2));
+  tb->simulator.run_for(Duration::hours(1.0));
+
+  // The RAN controller's REST endpoint vanishes mid-run (crash). The
+  // orchestration loop must keep running: serving, SLA accounting and
+  // the other domains' polls continue.
+  tb->bus.unregister_service("ran");
+  tb->simulator.run_for(Duration::hours(3.0));
+
+  const OrchestratorSummary summary = tb->orchestrator->summary();
+  EXPECT_EQ(summary.active_slices, 1u);
+  EXPECT_GT(summary.earned, Money::zero());
+  // Transport/cloud polls kept flowing.
+  EXPECT_GT(tb->bus.stats().at("transport").requests, 12u);
+}
+
+TEST(Orchestrator, SummaryGainIsOneWithoutOverbooking) {
+  OrchestratorConfig config;
+  config.overbooking.enabled = false;
+  auto tb = make_testbed(14, config);
+  (void)tb->orchestrator->submit(spec_for(traffic::Vertical::embb_video, 12.0),
+                                 std::make_unique<traffic::ConstantTraffic>(1.0));
+  tb->simulator.run_for(Duration::hours(6.0));
+  const OrchestratorSummary summary = tb->orchestrator->summary();
+  EXPECT_EQ(summary.active_slices, 1u);
+  EXPECT_NEAR(summary.multiplexing_gain, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace slices::core

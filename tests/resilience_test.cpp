@@ -1,0 +1,231 @@
+// Failure-injection tests: link outages in the transport domain, cell
+// outages in the RAN, topology generators, and tenant-initiated slice
+// resizing on the full testbed.
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "transport/generators.hpp"
+
+namespace slices {
+namespace {
+
+// --- topology generators ----------------------------------------------------
+
+TEST(Generators, AggregationTreeShape) {
+  const transport::GeneratedTopology g = transport::make_aggregation_tree(6, 3);
+  EXPECT_EQ(g.ran_gateways.size(), 6u);
+  EXPECT_EQ(g.edge_gateways.size(), 2u);  // ceil(6/3) aggregation switches
+  // nodes: core-sw + core-gw + 2*(agg + edge) + 6 leaves = 12
+  EXPECT_EQ(g.topology.node_count(), 12u);
+  // Every RAN gateway can reach the core gateway.
+  const transport::ResidualFn residual = [](const transport::Link& link) {
+    return link.nominal_capacity;
+  };
+  for (const NodeId gw : g.ran_gateways) {
+    EXPECT_TRUE(transport::find_route(g.topology, gw, g.core_gateway,
+                                      DataRate::mbps(10.0), residual)
+                    .has_value());
+  }
+}
+
+TEST(Generators, AggregationTreeRoundsUpSwitches) {
+  const transport::GeneratedTopology g = transport::make_aggregation_tree(7, 3);
+  EXPECT_EQ(g.edge_gateways.size(), 3u);
+}
+
+TEST(Generators, MetroRingHasTwoDisjointDirections) {
+  const transport::GeneratedTopology g = transport::make_metro_ring(6);
+  EXPECT_EQ(g.ran_gateways.size(), 6u);
+  const transport::ResidualFn residual = [](const transport::Link& link) {
+    return link.nominal_capacity;
+  };
+  // Remove any one ring direction mentally: with one ring link vetoed,
+  // a route must still exist (the other way round).
+  const auto baseline = transport::find_route(g.topology, g.ran_gateways[1],
+                                              g.core_gateway, DataRate::mbps(10.0), residual);
+  ASSERT_TRUE(baseline.has_value());
+  ASSERT_FALSE(baseline->links.empty());
+  const LinkId vetoed = baseline->links[1];  // a ring link on the best path
+  const transport::ResidualFn vetoing = [vetoed](const transport::Link& link) {
+    return link.id == vetoed ? DataRate::zero() : link.nominal_capacity;
+  };
+  const auto detour = transport::find_route(g.topology, g.ran_gateways[1], g.core_gateway,
+                                            DataRate::mbps(10.0), vetoing);
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_NE(detour->links, baseline->links);
+}
+
+// --- transport link outage -----------------------------------------------------
+
+TEST(LinkOutage, DownLinkCarriesNothingAndRepairRoutesAround) {
+  transport::Topology topo;
+  const NodeId s = topo.add_node("s", transport::NodeKind::enb_gateway);
+  const NodeId t = topo.add_node("t", transport::NodeKind::core_gateway);
+  const LinkId primary = topo.add_link(s, t, transport::LinkTechnology::fiber,
+                                       DataRate::mbps(1000.0), Duration::millis(1.0));
+  topo.add_link(s, t, transport::LinkTechnology::fiber, DataRate::mbps(1000.0),
+                Duration::millis(3.0));
+  transport::TransportController tc(std::move(topo), Rng(1));
+
+  const Result<PathId> path = tc.allocate_path(SliceId{1}, s, t, DataRate::mbps(100.0),
+                                               Duration::millis(10.0));
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(tc.find_path(path.value())->route.links.front(), primary);
+
+  ASSERT_TRUE(tc.set_link_up(primary, false).ok());
+  EXPECT_FALSE(tc.link_up(primary));
+  EXPECT_DOUBLE_EQ(tc.current_capacity(*tc.topology().find_link(primary)).as_mbps(), 0.0);
+
+  // First epoch after the outage: nothing served, then repaired.
+  const std::vector<std::pair<PathId, DataRate>> demands = {
+      {path.value(), DataRate::mbps(80.0)}};
+  const auto reports = tc.serve_epoch(demands, SimTime::from_seconds(1.0));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_DOUBLE_EQ(reports[0].served.as_mbps(), 0.0);
+  EXPECT_TRUE(reports[0].degraded);
+  EXPECT_EQ(tc.reroutes(), 1u);
+  EXPECT_NE(tc.find_path(path.value())->route.links.front(), primary);
+
+  // Next epoch flows over the detour.
+  const auto after = tc.serve_epoch(demands, SimTime::from_seconds(2.0));
+  EXPECT_NEAR(after[0].served.as_mbps(), 80.0, 1e-6);
+
+  // Recovery brings the link back into planning.
+  ASSERT_TRUE(tc.set_link_up(primary, true).ok());
+  EXPECT_GT(tc.residual(*tc.topology().find_link(primary)).as_mbps(), 0.0);
+  EXPECT_EQ(tc.set_link_up(LinkId{999}, false).error().code, Errc::not_found);
+}
+
+TEST(LinkOutage, NewAllocationsAvoidDownLinks) {
+  transport::Topology topo;
+  const NodeId s = topo.add_node("s", transport::NodeKind::enb_gateway);
+  const NodeId t = topo.add_node("t", transport::NodeKind::core_gateway);
+  const LinkId only = topo.add_link(s, t, transport::LinkTechnology::fiber,
+                                    DataRate::mbps(1000.0), Duration::millis(1.0));
+  transport::TransportController tc(std::move(topo), Rng(1));
+  ASSERT_TRUE(tc.set_link_up(only, false).ok());
+  const Result<PathId> path = tc.allocate_path(SliceId{1}, s, t, DataRate::mbps(10.0),
+                                               Duration::millis(10.0));
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.error().code, Errc::insufficient_capacity);
+}
+
+// --- RAN cell outage --------------------------------------------------------------
+
+TEST(CellOutage, InactiveCellServesNothingAndCapacityDrops) {
+  ran::RanController controller;
+  controller.add_cell(
+      ran::Cell(CellId{1}, "a", ran::Bandwidth::mhz20, ran::SharingPolicy::pooled));
+  controller.add_cell(
+      ran::Cell(CellId{2}, "b", ran::Bandwidth::mhz20, ran::SharingPolicy::pooled));
+  ASSERT_TRUE(controller.install_plmn(PlmnId{1}).ok());
+  ASSERT_TRUE(controller.set_allocation(PlmnId{1}, DataRate::mbps(30.0)).ok());
+
+  const DataRate before = controller.total_capacity();
+  ASSERT_TRUE(controller.set_cell_active(CellId{1}, false).ok());
+  EXPECT_FALSE(controller.cell_active(CellId{1}));
+  EXPECT_NEAR(controller.total_capacity().as_mbps(), before.as_mbps() / 2.0, 1e-6);
+
+  // Demand splits equally over both cells (no UEs); the dead cell's
+  // half goes unserved.
+  const std::vector<std::pair<PlmnId, DataRate>> demands = {{PlmnId{1}, DataRate::mbps(20.0)}};
+  const auto reports = controller.serve_epoch(demands, SimTime::from_seconds(1.0));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NEAR(reports[0].served.as_mbps() + reports[0].unserved.as_mbps(), 20.0, 1e-6);
+  EXPECT_NEAR(reports[0].unserved.as_mbps(), 10.0, 1.0);
+
+  // Recovery restores everything.
+  ASSERT_TRUE(controller.set_cell_active(CellId{1}, true).ok());
+  const auto healed = controller.serve_epoch(demands, SimTime::from_seconds(2.0));
+  EXPECT_NEAR(healed[0].served.as_mbps(), 20.0, 0.5);
+  EXPECT_EQ(controller.set_cell_active(CellId{9}, false).error().code, Errc::not_found);
+}
+
+TEST(CellOutage, AllocationPlanningSkipsInactiveCells) {
+  ran::RanController controller;
+  controller.add_cell(
+      ran::Cell(CellId{1}, "a", ran::Bandwidth::mhz20, ran::SharingPolicy::pooled));
+  controller.add_cell(
+      ran::Cell(CellId{2}, "b", ran::Bandwidth::mhz20, ran::SharingPolicy::pooled));
+  ASSERT_TRUE(controller.install_plmn(PlmnId{1}).ok());
+  ASSERT_TRUE(controller.set_cell_active(CellId{1}, false).ok());
+
+  const Result<ran::RanAllocation> alloc =
+      controller.set_allocation(PlmnId{1}, DataRate::mbps(20.0));
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_FALSE(alloc.value().per_cell.contains(CellId{1}));
+  EXPECT_TRUE(alloc.value().per_cell.contains(CellId{2}));
+
+  // More than one live cell can carry must fail.
+  const double one_cell = ran::throughput_of(PrbCount{100}, ran::Cqi{10}).as_mbps();
+  EXPECT_FALSE(controller.set_allocation(PlmnId{1}, DataRate::mbps(one_cell * 1.5)).ok());
+}
+
+// --- slice resizing on the full testbed ----------------------------------------
+
+TEST(ResizeSlice, GrowShrinkAndAtomicFailure) {
+  core::OrchestratorConfig config;
+  config.overbooking.enabled = false;
+  auto tb = core::make_testbed(51, config);
+
+  core::SliceSpec spec = core::SliceSpec::from_profile(
+      traffic::profile_for(traffic::Vertical::embb_video), Duration::hours(24.0));
+  spec.expected_throughput = DataRate::mbps(20.0);
+  const RequestId request = tb->orchestrator->submit(spec);
+  const core::SliceRecord* record = tb->orchestrator->find_by_request(request);
+  tb->simulator.run_for(Duration::seconds(30.0));
+  ASSERT_EQ(record->state, core::SliceState::active);
+
+  // Not-yet-active and unknown slices are rejected.
+  EXPECT_EQ(tb->orchestrator->resize_slice(SliceId{999}, DataRate::mbps(5.0)).error().code,
+            Errc::not_found);
+  EXPECT_EQ(tb->orchestrator->resize_slice(record->id, DataRate::zero()).error().code,
+            Errc::invalid_argument);
+
+  // Grow within capacity.
+  ASSERT_TRUE(tb->orchestrator->resize_slice(record->id, DataRate::mbps(40.0)).ok());
+  EXPECT_DOUBLE_EQ(record->spec.expected_throughput.as_mbps(), 40.0);
+  EXPECT_DOUBLE_EQ(record->reserved.as_mbps(), 40.0);
+  const transport::PathReservation* path =
+      tb->transport->find_path(record->embedding.paths.front());
+  EXPECT_DOUBLE_EQ(path->reserved.as_mbps(), 40.0);
+
+  // Shrink.
+  ASSERT_TRUE(tb->orchestrator->resize_slice(record->id, DataRate::mbps(10.0)).ok());
+  EXPECT_DOUBLE_EQ(record->reserved.as_mbps(), 10.0);
+
+  // Grow beyond the whole RAN fails atomically.
+  const Result<void> too_big =
+      tb->orchestrator->resize_slice(record->id, DataRate::mbps(100000.0));
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.error().code, Errc::insufficient_capacity);
+  EXPECT_DOUBLE_EQ(record->spec.expected_throughput.as_mbps(), 10.0);
+  EXPECT_DOUBLE_EQ(record->reserved.as_mbps(), 10.0);
+  EXPECT_DOUBLE_EQ(tb->transport->find_path(record->embedding.paths.front())
+                       ->reserved.as_mbps(),
+                   10.0);
+}
+
+TEST(ResizeSlice, WorksOverRestPatch) {
+  auto tb = core::make_testbed(52);
+  json::Value body;
+  body["vertical"] = "iot_metering";
+  body["duration_hours"] = 4.0;
+  const Result<json::Value> created =
+      tb->bus.call_json("orchestrator", net::Method::post, "/slices", body);
+  ASSERT_TRUE(created.ok());
+  const auto id = static_cast<std::uint64_t>(created.value().find("slice")->as_number());
+  tb->simulator.run_for(Duration::seconds(30.0));
+
+  json::Value patch;
+  patch["throughput_mbps"] = 5.0;
+  ASSERT_TRUE(tb->bus.call_json("orchestrator", net::Method::patch,
+                                "/slices/" + std::to_string(id), patch)
+                  .ok());
+  const core::SliceRecord* record = tb->orchestrator->find_slice(SliceId{id});
+  EXPECT_DOUBLE_EQ(record->spec.expected_throughput.as_mbps(), 5.0);
+}
+
+}  // namespace
+}  // namespace slices

@@ -1,0 +1,165 @@
+// Unit tests for the discrete-event simulation kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace slices::sim {
+namespace {
+
+TEST(Simulator, StartsAtOrigin) {
+  Simulator s;
+  EXPECT_EQ(s.now(), SimTime::origin());
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::from_seconds(3.0), [&] { order.push_back(3); });
+  s.schedule_at(SimTime::from_seconds(1.0), [&] { order.push_back(1); });
+  s.schedule_at(SimTime::from_seconds(2.0), [&] { order.push_back(2); });
+  s.run_until(SimTime::from_seconds(10.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), SimTime::from_seconds(10.0));
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(SimTime::from_seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  s.run_until(SimTime::from_seconds(1.0));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilOnlyRunsDueEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(SimTime::from_seconds(1.0), [&] { ++fired; });
+  s.schedule_at(SimTime::from_seconds(5.0), [&] { ++fired; });
+  EXPECT_EQ(s.run_until(SimTime::from_seconds(2.0)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending_events(), 1u);
+  EXPECT_EQ(s.now(), SimTime::from_seconds(2.0));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  SimTime fired_at;
+  s.schedule_at(SimTime::from_seconds(2.0), [&] {
+    s.schedule_after(Duration::seconds(3.0), [&] { fired_at = s.now(); });
+  });
+  s.run_until(SimTime::from_seconds(10.0));
+  EXPECT_EQ(fired_at, SimTime::from_seconds(5.0));
+}
+
+TEST(Simulator, PastScheduleClampsToNow) {
+  Simulator s;
+  s.run_until(SimTime::from_seconds(5.0));
+  bool fired = false;
+  s.schedule_at(SimTime::from_seconds(1.0), [&] { fired = true; });
+  s.run_until(SimTime::from_seconds(5.0));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), SimTime::from_seconds(5.0));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule_at(SimTime::from_seconds(1.0), [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // double-cancel reports false
+  s.run_until(SimTime::from_seconds(2.0));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator s;
+  const EventId id = s.schedule_at(SimTime::from_seconds(1.0), [] {});
+  s.run_until(SimTime::from_seconds(2.0));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(SimTime::from_seconds(1.0), [&] { ++fired; });
+  s.schedule_at(SimTime::from_seconds(2.0), [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), SimTime::from_seconds(1.0));
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) s.schedule_after(Duration::seconds(1.0), chain);
+  };
+  s.schedule_after(Duration::seconds(1.0), chain);
+  s.run_until(SimTime::from_seconds(100.0));
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(s.executed_events(), 10u);
+}
+
+TEST(Simulator, PeriodicFiresAtPeriod) {
+  Simulator s;
+  std::vector<double> times;
+  s.add_periodic(Duration::seconds(10.0),
+                 [&](SimTime t) { times.push_back(t.as_seconds()); });
+  s.run_until(SimTime::from_seconds(35.0));
+  EXPECT_EQ(times, (std::vector<double>{0.0, 10.0, 20.0, 30.0}));
+}
+
+TEST(Simulator, PeriodicWithOffset) {
+  Simulator s;
+  std::vector<double> times;
+  s.add_periodic(Duration::seconds(10.0),
+                 [&](SimTime t) { times.push_back(t.as_seconds()); },
+                 Duration::seconds(5.0));
+  s.run_until(SimTime::from_seconds(26.0));
+  EXPECT_EQ(times, (std::vector<double>{5.0, 15.0, 25.0}));
+}
+
+TEST(Simulator, RemovePeriodicStopsFirings) {
+  Simulator s;
+  int fired = 0;
+  const PeriodicId id = s.add_periodic(Duration::seconds(1.0), [&](SimTime) { ++fired; });
+  s.run_until(SimTime::from_seconds(2.5));
+  EXPECT_EQ(fired, 3);  // t=0,1,2
+  EXPECT_TRUE(s.remove_periodic(id));
+  EXPECT_FALSE(s.remove_periodic(id));
+  s.run_until(SimTime::from_seconds(10.0));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, PeriodicCanRemoveItself) {
+  Simulator s;
+  int fired = 0;
+  PeriodicId id{};
+  id = s.add_periodic(Duration::seconds(1.0), [&](SimTime) {
+    if (++fired == 3) s.remove_periodic(id);
+  });
+  s.run_until(SimTime::from_seconds(10.0));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, TwoPeriodicsInterleaveDeterministically) {
+  Simulator s;
+  std::vector<char> order;
+  s.add_periodic(Duration::seconds(2.0), [&](SimTime) { order.push_back('a'); });
+  s.add_periodic(Duration::seconds(3.0), [&](SimTime) { order.push_back('b'); });
+  s.run_until(SimTime::from_seconds(6.0));
+  // t=0: a,b ; t=2: a ; t=3: b ; t=4: a ; t=6: b,a (b's firing was
+  // enqueued at t=3, before a's at t=4 — FIFO among equal timestamps).
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'a', 'b', 'a', 'b', 'a'}));
+}
+
+}  // namespace
+}  // namespace slices::sim

@@ -1,0 +1,220 @@
+// Unit tests for time series, statistics and the monitor registry.
+
+#include <gtest/gtest.h>
+
+#include "json/value.hpp"
+#include "telemetry/csv.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/stats.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace slices::telemetry {
+namespace {
+
+SimTime at(double s) { return SimTime::from_seconds(s); }
+
+// --- TimeSeries ---------------------------------------------------------------
+
+TEST(TimeSeries, AppendsAndReads) {
+  TimeSeries ts(8);
+  EXPECT_TRUE(ts.empty());
+  ts.append(at(1.0), 10.0);
+  ts.append(at(2.0), 20.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.at(0).value, 10.0);
+  EXPECT_DOUBLE_EQ(ts.back().value, 20.0);
+  EXPECT_DOUBLE_EQ(ts.latest_or(-1.0), 20.0);
+}
+
+TEST(TimeSeries, LatestOrFallback) {
+  TimeSeries ts(4);
+  EXPECT_DOUBLE_EQ(ts.latest_or(-1.0), -1.0);
+}
+
+TEST(TimeSeries, EvictsOldestWhenFull) {
+  TimeSeries ts(3);
+  for (int i = 0; i < 5; ++i) ts.append(at(i), static_cast<double>(i));
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.at(0).value, 2.0);
+  EXPECT_DOUBLE_EQ(ts.at(1).value, 3.0);
+  EXPECT_DOUBLE_EQ(ts.at(2).value, 4.0);
+}
+
+TEST(TimeSeries, WrapAroundKeepsChronologicalOrder) {
+  TimeSeries ts(4);
+  for (int i = 0; i < 11; ++i) ts.append(at(i), static_cast<double>(i * i));
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    EXPECT_LT(ts.at(i).time, ts.at(i + 1).time);
+  }
+  EXPECT_DOUBLE_EQ(ts.back().value, 100.0);
+}
+
+TEST(TimeSeries, LastValuesAndWindows) {
+  TimeSeries ts(16);
+  for (int i = 1; i <= 10; ++i) ts.append(at(i), static_cast<double>(i));
+  EXPECT_EQ(ts.last_values(3), (std::vector<double>{8.0, 9.0, 10.0}));
+  EXPECT_EQ(ts.last_values(100).size(), 10u);
+  EXPECT_DOUBLE_EQ(*ts.mean_last(4), 8.5);
+  EXPECT_DOUBLE_EQ(*ts.max_last(5), 10.0);
+  EXPECT_FALSE(TimeSeries(4).mean_last(3).has_value());
+}
+
+TEST(TimeSeries, SinceFiltersbyTime) {
+  TimeSeries ts(16);
+  for (int i = 0; i < 10; ++i) ts.append(at(i), static_cast<double>(i));
+  const std::vector<Sample> recent = ts.since(at(7.0));
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_DOUBLE_EQ(recent.front().value, 7.0);
+}
+
+// --- RunningStats -----------------------------------------------------------------
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.minimum(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.maximum(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+}
+
+TEST(RunningStats, StableUnderLargeOffsets) {
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) stats.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(stats.variance(), 1.0, 1e-6);
+}
+
+// --- quantile / error metrics ---------------------------------------------------
+
+TEST(Quantile, InterpolatesOrderStatistics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.1), 1.4);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.99), 7.0);
+}
+
+TEST(ErrorMetrics, MaeAndRmse) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, b), 1.0);
+  EXPECT_NEAR(root_mean_square_error(a, b), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+// --- MonitorRegistry ---------------------------------------------------------------
+
+TEST(MonitorRegistry, CountersAndGauges) {
+  MonitorRegistry reg;
+  reg.counter("requests").increment();
+  reg.counter("requests").increment(4);
+  reg.gauge("load").set(0.7);
+  reg.gauge("load").add(0.1);
+  EXPECT_EQ(reg.find_counter("requests")->value(), 5u);
+  EXPECT_NEAR(reg.find_gauge("load")->value(), 0.8, 1e-12);
+  EXPECT_EQ(reg.find_counter("ghost"), nullptr);
+  EXPECT_EQ(reg.find_gauge("ghost"), nullptr);
+}
+
+TEST(MonitorRegistry, ObserveMirrorsSeriesToGauge) {
+  MonitorRegistry reg;
+  reg.observe("cell.prb", at(1.0), 40.0);
+  reg.observe("cell.prb", at(2.0), 60.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("cell.prb")->value(), 60.0);
+  ASSERT_NE(reg.find_series("cell.prb"), nullptr);
+  EXPECT_EQ(reg.find_series("cell.prb")->size(), 2u);
+}
+
+TEST(MonitorRegistry, SnapshotIsWellFormedJson) {
+  MonitorRegistry reg;
+  reg.counter("a").increment(2);
+  reg.gauge("b").set(1.5);
+  reg.observe("c", at(3.0), 9.0);
+
+  const json::Value snap = reg.snapshot();
+  const std::string text = json::serialize(snap);
+  const Result<json::Value> reparsed = json::parse(text);
+  ASSERT_TRUE(reparsed.ok());
+
+  EXPECT_DOUBLE_EQ(snap.find("counters")->find("a")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.find("gauges")->find("b")->as_number(), 1.5);
+  const json::Value* series = snap.find("series")->find("c");
+  ASSERT_NE(series, nullptr);
+  EXPECT_DOUBLE_EQ(series->find("latest")->as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(series->find("latest_t")->as_number(), 3.0);
+}
+
+TEST(MonitorRegistry, SeriesWindowReturnsRecentPoints) {
+  MonitorRegistry reg;
+  for (int i = 0; i < 10; ++i) reg.observe("x", at(i), static_cast<double>(i));
+  const json::Value window = reg.series_window("x", 3);
+  ASSERT_TRUE(window.is_array());
+  ASSERT_EQ(window.as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(window.as_array()[0].find("v")->as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(window.as_array()[2].find("v")->as_number(), 9.0);
+  EXPECT_TRUE(reg.series_window("ghost", 5).as_array().empty());
+}
+
+// --- CSV export -------------------------------------------------------------------
+
+TEST(CsvExport, EscapeQuotesAndSeparators) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvExport, LongFormatOneRowPerSample) {
+  MonitorRegistry reg;
+  reg.observe("a", at(1.0), 10.0);
+  reg.observe("a", at(2.0), 20.0);
+  reg.observe("b", at(1.0), 0.5);
+  const std::string csv = export_long_csv(reg, {"a", "b"});
+  EXPECT_EQ(csv,
+            "series,t_seconds,value\n"
+            "a,1,10\n"
+            "a,2,20\n"
+            "b,1,0.5\n");
+}
+
+TEST(CsvExport, LongFormatSkipsUnknownSeries) {
+  MonitorRegistry reg;
+  reg.observe("a", at(1.0), 1.0);
+  const std::string csv = export_long_csv(reg, {"ghost", "a"});
+  EXPECT_EQ(csv, "series,t_seconds,value\na,1,1\n");
+}
+
+TEST(CsvExport, WideFormatAlignsByTimestamp) {
+  MonitorRegistry reg;
+  reg.observe("x", at(1.0), 1.0);
+  reg.observe("x", at(2.0), 2.0);
+  reg.observe("y", at(2.0), 20.0);
+  reg.observe("y", at(3.0), 30.0);
+  const std::string csv = export_wide_csv(reg, {"x", "y"});
+  EXPECT_EQ(csv,
+            "t_seconds,x,y\n"
+            "1,1,\n"
+            "2,2,20\n"
+            "3,,30\n");
+}
+
+TEST(CsvExport, WideFormatEmptyRegistry) {
+  MonitorRegistry reg;
+  EXPECT_EQ(export_wide_csv(reg, {"none"}), "t_seconds,none\n");
+}
+
+}  // namespace
+}  // namespace slices::telemetry
