@@ -9,6 +9,10 @@
 //   slicectl <port> request <vertical> <hours> [throughput_mbps]
 //   slicectl <port> resize <slice-id> <throughput_mbps>
 //   slicectl <port> delete <slice-id>
+//   slicectl <port> store-status
+//   slicectl <port> snapshot
+//   slicectl <port> restore
+//   slicectl <port> compact
 //
 // With no arguments it runs a scripted self-contained session: spins up
 // an embedded testbed + HTTP server, then walks through request/list/
@@ -79,6 +83,18 @@ int run_command(std::uint16_t port, int argc, char** argv) {
   }
   if (cmd == "delete" && argc >= 4) {
     return print_response(call(port, net::Method::del, std::string("/slices/") + argv[3]));
+  }
+  if (cmd == "store-status") {
+    return print_response(call(port, net::Method::get, "/store/status"));
+  }
+  if (cmd == "snapshot") {
+    return print_response(call(port, net::Method::post, "/store/snapshot"));
+  }
+  if (cmd == "restore") {
+    return print_response(call(port, net::Method::post, "/store/restore"));
+  }
+  if (cmd == "compact") {
+    return print_response(call(port, net::Method::post, "/store/compact"));
   }
   return fail("unknown command or missing arguments (see header comment for usage)");
 }

@@ -46,6 +46,13 @@ class IdAllocator {
  public:
   [[nodiscard]] Id<Tag> next() noexcept { return Id<Tag>{next_++}; }
 
+  /// Ensure future next() calls return ids strictly above `id` —
+  /// crash-recovery replay restores entities under their original ids
+  /// and must keep the allocator ahead of everything restored.
+  void advance_past(Id<Tag> id) noexcept {
+    if (id.valid() && id.value() >= next_) next_ = id.value() + 1;
+  }
+
  private:
   std::uint64_t next_ = 1;  // 0 is reserved for fixtures / well-known ids
 };

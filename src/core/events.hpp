@@ -27,6 +27,7 @@ enum class EventKind {
   slice_resized,
   slice_expired,
   slice_terminated,
+  state_recovered,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(EventKind k) noexcept {
@@ -40,6 +41,7 @@ enum class EventKind {
     case EventKind::slice_resized: return "slice_resized";
     case EventKind::slice_expired: return "slice_expired";
     case EventKind::slice_terminated: return "slice_terminated";
+    case EventKind::state_recovered: return "state_recovered";
   }
   return "?";
 }

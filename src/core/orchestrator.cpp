@@ -2,12 +2,168 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <set>
 
 #include "json/value.hpp"
 
 namespace slices::core {
+
+// --- Durable-state serialization (docs/persistence.md) ----------------------
+//
+// Journal operations and snapshots are written by this process and read
+// back only by it, but disk contents can be damaged, so every reader is
+// tolerant: missing/odd fields fall back to safe defaults instead of
+// asserting. Rates are stored in exact bits-per-second and money in
+// exact cents so a dump -> load round trip is bit-identical.
+
+namespace {
+
+double field_num(const json::Value& v, std::string_view key, double fallback = 0.0) {
+  const json::Value* f = v.find(key);
+  return f != nullptr && f->is_number() ? f->as_number() : fallback;
+}
+
+std::string field_str(const json::Value& v, std::string_view key) {
+  const json::Value* f = v.find(key);
+  return f != nullptr && f->is_string() ? f->as_string() : std::string{};
+}
+
+bool field_bool(const json::Value& v, std::string_view key, bool fallback = false) {
+  const json::Value* f = v.find(key);
+  return f != nullptr && f->is_bool() ? f->as_bool() : fallback;
+}
+
+std::int64_t field_i64(const json::Value& v, std::string_view key) {
+  return static_cast<std::int64_t>(field_num(v, key));
+}
+
+std::uint64_t field_u64(const json::Value& v, std::string_view key, double fallback = 0.0) {
+  const double n = field_num(v, key, fallback);
+  return n <= 0.0 ? 0 : static_cast<std::uint64_t>(n);
+}
+
+template <typename Tag>
+Id<Tag> field_id(const json::Value& v, std::string_view key) {
+  const double n = field_num(v, key, -1.0);
+  return n < 0.0 ? Id<Tag>::invalid() : Id<Tag>{static_cast<std::uint64_t>(n)};
+}
+
+/// Ids are serialized as -1 when invalid (JSON has no uint64).
+double id_num(std::uint64_t value, bool valid) {
+  return valid ? static_cast<double>(value) : -1.0;
+}
+
+json::Value spec_to_json(const SliceSpec& spec) {
+  json::Object out;
+  out.emplace("tenant", spec.tenant_name);
+  out.emplace("vertical", std::string(traffic::to_string(spec.vertical)));
+  out.emplace("duration_us", static_cast<double>(spec.duration.as_micros()));
+  out.emplace("max_latency_us", static_cast<double>(spec.max_latency.as_micros()));
+  out.emplace("throughput_bps", spec.expected_throughput.bits_per_second());
+  out.emplace("vcpus", spec.edge_compute.vcpus);
+  out.emplace("memory_mb", spec.edge_compute.memory_mb);
+  out.emplace("disk_gb", spec.edge_compute.disk_gb);
+  out.emplace("price_cents_per_hour", static_cast<double>(spec.price_per_hour.as_cents()));
+  out.emplace("penalty_cents", static_cast<double>(spec.penalty_per_violation.as_cents()));
+  out.emplace("needs_edge", spec.needs_edge);
+  return json::Value{std::move(out)};
+}
+
+SliceSpec spec_from_json(const json::Value& v) {
+  SliceSpec spec;
+  spec.tenant_name = field_str(v, "tenant");
+  const std::string vertical = field_str(v, "vertical");
+  for (const traffic::Vertical candidate : traffic::all_verticals()) {
+    if (traffic::to_string(candidate) == vertical) spec.vertical = candidate;
+  }
+  spec.duration = Duration::micros(field_i64(v, "duration_us"));
+  spec.max_latency = Duration::micros(field_i64(v, "max_latency_us"));
+  spec.expected_throughput = DataRate::bps(field_num(v, "throughput_bps"));
+  spec.edge_compute.vcpus = field_num(v, "vcpus");
+  spec.edge_compute.memory_mb = field_num(v, "memory_mb");
+  spec.edge_compute.disk_gb = field_num(v, "disk_gb");
+  spec.price_per_hour = Money::cents(field_i64(v, "price_cents_per_hour"));
+  spec.penalty_per_violation = Money::cents(field_i64(v, "penalty_cents"));
+  spec.needs_edge = field_bool(v, "needs_edge");
+  return spec;
+}
+
+SliceState state_from_string(std::string_view s) noexcept {
+  for (const SliceState candidate :
+       {SliceState::pending, SliceState::rejected, SliceState::installing, SliceState::active,
+        SliceState::expired, SliceState::terminated}) {
+    if (to_string(candidate) == s) return candidate;
+  }
+  return SliceState::terminated;  // unknown state: safest terminal
+}
+
+json::Value embedding_to_json(const Embedding& e) {
+  json::Object out;
+  out.emplace("plmn", id_num(e.plmn.value(), e.plmn.valid()));
+  out.emplace("datacenter", id_num(e.datacenter.value(), e.datacenter.valid()));
+  json::Array paths;
+  for (const PathId p : e.paths) paths.push_back(static_cast<double>(p.value()));
+  out.emplace("paths", std::move(paths));
+  // The Heat engine allocates fresh StackIds, so only *presence* of the
+  // edge service stack is durable; the id is re-created on reinstall.
+  out.emplace("edge_stack", e.edge_stack.has_value());
+  return json::Value{std::move(out)};
+}
+
+Embedding embedding_from_json(const json::Value& v) {
+  Embedding e;
+  e.plmn = field_id<PlmnTag>(v, "plmn");
+  e.datacenter = field_id<DatacenterTag>(v, "datacenter");
+  if (const json::Value* paths = v.find("paths"); paths != nullptr && paths->is_array()) {
+    for (const json::Value& p : paths->as_array()) {
+      if (p.is_number() && p.as_number() >= 0.0) {
+        e.paths.push_back(PathId{static_cast<std::uint64_t>(p.as_number())});
+      }
+    }
+  }
+  // Placeholder until reinstall re-creates the stack (has_value is what
+  // the durable representation preserves).
+  if (field_bool(v, "edge_stack")) e.edge_stack = StackId::invalid();
+  return e;
+}
+
+json::Value record_to_json(const SliceRecord& r) {
+  json::Object out;
+  out.emplace("slice", static_cast<double>(r.id.value()));
+  out.emplace("request", static_cast<double>(r.request.value()));
+  out.emplace("spec", spec_to_json(r.spec));
+  out.emplace("state", std::string(to_string(r.state)));
+  out.emplace("submitted_at_us", static_cast<double>(r.submitted_at.as_micros()));
+  out.emplace("activates_at_us", static_cast<double>(r.activates_at.as_micros()));
+  out.emplace("active_at_us", static_cast<double>(r.active_at.as_micros()));
+  out.emplace("ends_at_us", static_cast<double>(r.ends_at.as_micros()));
+  out.emplace("embedding", embedding_to_json(r.embedding));
+  out.emplace("reserved_bps", r.reserved.bits_per_second());
+  out.emplace("violation_epochs", static_cast<double>(r.violation_epochs));
+  out.emplace("served_epochs", static_cast<double>(r.served_epochs));
+  return json::Value{std::move(out)};
+}
+
+SliceRecord record_from_json(const json::Value& v) {
+  SliceRecord r;
+  r.id = field_id<SliceTag>(v, "slice");
+  r.request = field_id<RequestTag>(v, "request");
+  if (const json::Value* spec = v.find("spec")) r.spec = spec_from_json(*spec);
+  r.state = state_from_string(field_str(v, "state"));
+  r.submitted_at = SimTime::from_micros(field_i64(v, "submitted_at_us"));
+  r.activates_at = SimTime::from_micros(field_i64(v, "activates_at_us"));
+  r.active_at = SimTime::from_micros(field_i64(v, "active_at_us"));
+  r.ends_at = SimTime::from_micros(field_i64(v, "ends_at_us"));
+  if (const json::Value* e = v.find("embedding")) r.embedding = embedding_from_json(*e);
+  r.reserved = DataRate::bps(field_num(v, "reserved_bps"));
+  r.violation_epochs = field_u64(v, "violation_epochs");
+  r.served_epochs = field_u64(v, "served_epochs");
+  return r;
+}
+
+}  // namespace
 
 Orchestrator::Orchestrator(sim::Simulator* simulator, ran::RanController* ran,
                            transport::TransportController* transport,
@@ -73,6 +229,13 @@ RequestId Orchestrator::submit(const SliceSpec& spec,
                  spec.tenant_name + " requests " +
                      std::to_string(spec.expected_throughput.as_mbps()) + " Mb/s for " +
                      std::to_string(spec.duration.as_hours()) + " h");
+  {
+    json::Object op;
+    op.emplace("slice", static_cast<double>(slice.value()));
+    op.emplace("request", static_cast<double>(request.value()));
+    op.emplace("spec", spec_to_json(spec));
+    journal_op("submit", std::move(op));
+  }
   if (config_.admission_window > Duration::zero()) {
     // Batched mode: decided at the next auction.
     return request;
@@ -100,12 +263,22 @@ bool Orchestrator::try_admit(SliceRecord& record) {
     last_timeline_ = timeline.value();
     ++admitted_total_;
     const SliceId slice = record.id;
-    simulator_->schedule_after(timeline.value().total(), [this, slice] { activate(slice); });
+    record.activates_at = simulator_->now() + timeline.value().total();
+    simulator_->schedule_at(record.activates_at, [this, slice] { activate(slice); });
     events_.record(simulator_->now(), EventKind::slice_admitted, slice,
                    "installing; ready in " +
                        std::to_string(timeline.value().total().as_seconds()) + " s");
     log_.info("admitted slice " + std::to_string(slice.value()) + " (" +
               record.spec.tenant_name + ")");
+    json::Object op;
+    op.emplace("slice", static_cast<double>(slice.value()));
+    op.emplace("reserved_bps", record.reserved.bits_per_second());
+    op.emplace("activates_at_us", static_cast<double>(record.activates_at.as_micros()));
+    op.emplace("embedding", embedding_to_json(record.embedding));
+    // embed() consumes a PLMN code even on failure, so admits and
+    // rejects both carry the watermark for replay.
+    op.emplace("next_plmn", static_cast<double>(next_plmn_));
+    journal_op("admit", std::move(op));
     return true;
   }
   events_.record(simulator_->now(), EventKind::slice_rejected, record.id,
@@ -113,6 +286,10 @@ bool Orchestrator::try_admit(SliceRecord& record) {
   log_.info("embedding failed: " + timeline.error().message);
   record.state = SliceState::rejected;
   ++rejected_total_;
+  json::Object op;
+  op.emplace("slice", static_cast<double>(record.id.value()));
+  op.emplace("next_plmn", static_cast<double>(next_plmn_));
+  journal_op("reject", std::move(op));
   return false;
 }
 
@@ -129,6 +306,10 @@ void Orchestrator::decide(SliceRecord& record) {
                  "declined by " + std::string(policy_->name()) + " policy");
   record.state = SliceState::rejected;
   ++rejected_total_;
+  json::Object op;
+  op.emplace("slice", static_cast<double>(record.id.value()));
+  op.emplace("next_plmn", static_cast<double>(next_plmn_));
+  journal_op("reject", std::move(op));
 }
 
 void Orchestrator::decide_pending_batch() {
@@ -158,6 +339,10 @@ void Orchestrator::decide_pending_batch() {
                      "lost the " + std::string(policy_->name()) + " batch auction");
       record.state = SliceState::rejected;
       ++rejected_total_;
+      json::Object op;
+      op.emplace("slice", static_cast<double>(record.id.value()));
+      op.emplace("next_plmn", static_cast<double>(next_plmn_));
+      journal_op("reject", std::move(op));
     }
   }
 }
@@ -323,6 +508,11 @@ void Orchestrator::activate(SliceId slice) {
   events_.record(simulator_->now(), EventKind::slice_active, slice,
                  "serving; expires at " + std::to_string(record.ends_at.as_hours()) + " h");
   log_.info("slice " + std::to_string(slice.value()) + " active");
+  json::Object op;
+  op.emplace("slice", static_cast<double>(slice.value()));
+  op.emplace("at_us", static_cast<double>(record.active_at.as_micros()));
+  op.emplace("ends_at_us", static_cast<double>(record.ends_at.as_micros()));
+  journal_op("activate", std::move(op));
 }
 
 void Orchestrator::expire(SliceId slice) {
@@ -335,6 +525,9 @@ void Orchestrator::expire(SliceId slice) {
   events_.record(simulator_->now(), EventKind::slice_expired, slice,
                  std::to_string(record.violation_epochs) + " violation epochs over its life");
   log_.info("slice " + std::to_string(slice.value()) + " expired");
+  json::Object op;
+  op.emplace("slice", static_cast<double>(slice.value()));
+  journal_op("expire", std::move(op));
 }
 
 Result<void> Orchestrator::resize_slice(SliceId slice, DataRate new_contract) {
@@ -371,6 +564,11 @@ Result<void> Orchestrator::resize_slice(SliceId slice, DataRate new_contract) {
   events_.record(simulator_->now(), EventKind::slice_resized, slice,
                  "contract now " + std::to_string(new_contract.as_mbps()) + " Mb/s");
   ++reconfigurations_;
+  json::Object op;
+  op.emplace("slice", static_cast<double>(slice.value()));
+  op.emplace("contract_bps", new_contract.bits_per_second());
+  op.emplace("reserved_bps", record.reserved.bits_per_second());
+  journal_op("resize", std::move(op));
   log_.info("slice " + std::to_string(slice.value()) + " resized to " +
             std::to_string(new_contract.as_mbps()) + " Mb/s");
   return {};
@@ -392,6 +590,9 @@ Result<void> Orchestrator::terminate(SliceId slice) {
   record.state = SliceState::terminated;
   events_.record(simulator_->now(), EventKind::slice_terminated, slice,
                  "operator-initiated teardown");
+  json::Object op;
+  op.emplace("slice", static_cast<double>(slice.value()));
+  journal_op("terminate", std::move(op));
   return {};
 }
 
@@ -447,6 +648,10 @@ DataRate Orchestrator::apply_overbooking(SimTime now) {
                        std::to_string(target.as_mbps()) + " Mb/s");
     record.reserved = target;
     ++reconfigurations_;
+    json::Object op;
+    op.emplace("slice", static_cast<double>(slice.value()));
+    op.emplace("reserved_bps", target.bits_per_second());
+    journal_op("reconfigure", std::move(op));
   }
   return reclaimed;
 }
@@ -488,6 +693,7 @@ void Orchestrator::run_epoch(SimTime now) {
   cloud_->record_epoch(now);
 
   // 4. SLA check + revenue accrual + demand learning per active slice.
+  json::Array epoch_entries;  // journaled so replay re-applies exact accruals
   for (auto& [slice, record] : records_) {
     if (record.state != SliceState::active) continue;
     const DataRate demand = demand_of[slice];
@@ -500,6 +706,21 @@ void Orchestrator::run_epoch(SimTime now) {
     const bool throughput_violated =
         achieved < entitled * (1.0 - config_.sla_tolerance) &&
         entitled > DataRate::zero();
+
+    const bool violated = throughput_violated || delay_violated;
+    json::Object epoch_entry;
+    epoch_entry.emplace("slice", static_cast<double>(slice.value()));
+    // Same Money expression ledger_.accrue uses — replay re-applies the
+    // exact cents instead of re-deriving price x hours.
+    epoch_entry.emplace("accrued_cents",
+                        static_cast<double>((record.spec.price_per_hour *
+                                             config_.monitoring_period.as_hours())
+                                                .as_cents()));
+    epoch_entry.emplace("violation", violated);
+    epoch_entry.emplace("penalty_cents",
+                        static_cast<double>(record.spec.penalty_per_violation.as_cents()));
+    epoch_entry.emplace("demand_mbps", demand.as_mbps());
+    epoch_entries.push_back(std::move(epoch_entry));
 
     ledger_.accrue(slice, record.spec.price_per_hour, config_.monitoring_period);
     ++record.served_epochs;
@@ -521,6 +742,12 @@ void Orchestrator::run_epoch(SimTime now) {
       registry_->observe(prefix + ".achieved_mbps", now, achieved.as_mbps());
       registry_->observe(prefix + ".reserved_mbps", now, record.reserved.as_mbps());
     }
+  }
+
+  if (!epoch_entries.empty()) {
+    json::Object op;
+    op.emplace("slices", std::move(epoch_entries));
+    journal_op("epoch", std::move(op));
   }
 
   // 5. Reconfiguration: shrink/grow reservations toward forecast targets.
@@ -577,6 +804,292 @@ void Orchestrator::publish_summary(SimTime now) {
   registry_->observe("orchestrator.reserved_mbps", now, s.reserved_total.as_mbps());
   registry_->observe("orchestrator.net_revenue", now, s.net.as_units());
   registry_->observe("orchestrator.penalties", now, s.penalties.as_units());
+}
+
+// --- Durability (docs/persistence.md) ---------------------------------------
+
+void Orchestrator::journal_op(const char* op, json::Object fields) {
+  if (store_ == nullptr || !store_->is_open()) return;
+  fields.emplace("op", std::string(op));
+  fields.emplace("t_us", static_cast<double>(simulator_->now().as_micros()));
+  if (const Result<std::uint64_t> seq = store_->append(std::move(fields)); !seq.ok()) {
+    // Durability degrades, the control plane keeps running.
+    log_.warn(std::string("journal append failed (") + op + "): " + seq.error().message);
+    return;
+  }
+  if (store_->wants_snapshot()) {
+    if (const Result<std::uint64_t> snap = snapshot_now(); !snap.ok()) {
+      log_.warn("auto-snapshot failed: " + snap.error().message);
+    }
+  }
+}
+
+json::Value Orchestrator::state_json() const {
+  json::Object out;
+  json::Array records;
+  for (const auto& [slice, record] : records_) records.push_back(record_to_json(record));
+  out.emplace("records", std::move(records));
+  json::Object ledger;
+  for (const auto& [slice, entry] : ledger_.entries()) {
+    json::Object e;
+    e.emplace("earned_cents", static_cast<double>(entry.earned.as_cents()));
+    e.emplace("penalty_cents", static_cast<double>(entry.penalties.as_cents()));
+    e.emplace("violation_epochs", static_cast<double>(entry.violation_epochs));
+    ledger.emplace(std::to_string(slice.value()), std::move(e));
+  }
+  out.emplace("ledger", std::move(ledger));
+  out.emplace("admitted_total", static_cast<double>(admitted_total_));
+  out.emplace("rejected_total", static_cast<double>(rejected_total_));
+  out.emplace("reconfigurations", static_cast<double>(reconfigurations_));
+  out.emplace("next_plmn", static_cast<double>(next_plmn_));
+  return json::Value{std::move(out)};
+}
+
+Result<std::uint64_t> Orchestrator::snapshot_now() {
+  if (store_ == nullptr || !store_->is_open())
+    return make_error(Errc::unavailable, "no open state store attached");
+  json::Object wrapped;
+  wrapped.emplace("t_us", static_cast<double>(simulator_->now().as_micros()));
+  wrapped.emplace("data", state_json());
+  return store_->write_snapshot(json::Value{std::move(wrapped)});
+}
+
+void Orchestrator::load_state(const json::Value& state) {
+  if (const json::Value* records = state.find("records");
+      records != nullptr && records->is_array()) {
+    for (const json::Value& v : records->as_array()) {
+      SliceRecord record = record_from_json(v);
+      if (!record.id.valid()) continue;
+      if (record.state == SliceState::active) engine_.track(record.id);
+      by_request_.insert_or_assign(record.request, record.id);
+      records_.insert_or_assign(record.id, std::move(record));
+    }
+  }
+  if (const json::Value* ledger = state.find("ledger");
+      ledger != nullptr && ledger->is_object()) {
+    for (const auto& [key, entry] : ledger->as_object()) {
+      SliceLedgerEntry e;
+      e.earned = Money::cents(field_i64(entry, "earned_cents"));
+      e.penalties = Money::cents(field_i64(entry, "penalty_cents"));
+      e.violation_epochs = field_u64(entry, "violation_epochs");
+      ledger_.restore(SliceId{std::strtoull(key.c_str(), nullptr, 10)}, e);
+    }
+  }
+  admitted_total_ = field_u64(state, "admitted_total");
+  rejected_total_ = field_u64(state, "rejected_total");
+  reconfigurations_ = field_u64(state, "reconfigurations");
+  next_plmn_ = std::max(next_plmn_, field_u64(state, "next_plmn"));
+}
+
+void Orchestrator::apply_journal_op(const json::Value& op) {
+  const std::string kind = field_str(op, "op");
+
+  if (kind == "epoch") {
+    const json::Value* entries = op.find("slices");
+    if (entries == nullptr || !entries->is_array()) return;
+    for (const json::Value& entry : entries->as_array()) {
+      const SliceId s = field_id<SliceTag>(entry, "slice");
+      const auto it = records_.find(s);
+      if (it == records_.end()) continue;
+      ledger_.add_earned(s, Money::cents(field_i64(entry, "accrued_cents")));
+      ++it->second.served_epochs;
+      if (field_bool(entry, "violation")) {
+        ledger_.charge_violation(s, Money::cents(field_i64(entry, "penalty_cents")));
+        ++it->second.violation_epochs;
+      }
+      // Warm the forecaster with the journaled offered demand so
+      // overbooking targets pick up where the crashed process left off.
+      if (engine_.tracks(s)) engine_.observe(s, field_num(entry, "demand_mbps"));
+    }
+    return;
+  }
+
+  const SliceId slice = field_id<SliceTag>(op, "slice");
+  if (!slice.valid()) return;
+
+  if (kind == "submit") {
+    if (records_.contains(slice)) return;
+    SliceRecord record;
+    record.id = slice;
+    record.request = field_id<RequestTag>(op, "request");
+    if (const json::Value* spec = op.find("spec")) record.spec = spec_from_json(*spec);
+    record.state = SliceState::pending;
+    record.submitted_at = SimTime::from_micros(field_i64(op, "t_us"));
+    by_request_.insert_or_assign(record.request, slice);
+    records_.insert_or_assign(slice, std::move(record));
+    return;
+  }
+
+  const auto it = records_.find(slice);
+  if (it == records_.end()) return;
+  SliceRecord& record = it->second;
+
+  if (kind == "admit") {
+    record.state = SliceState::installing;
+    record.reserved = DataRate::bps(field_num(op, "reserved_bps"));
+    record.activates_at = SimTime::from_micros(field_i64(op, "activates_at_us"));
+    if (const json::Value* e = op.find("embedding")) record.embedding = embedding_from_json(*e);
+    ++admitted_total_;
+    next_plmn_ = std::max(next_plmn_, field_u64(op, "next_plmn"));
+  } else if (kind == "reject") {
+    record.state = SliceState::rejected;
+    ++rejected_total_;
+    next_plmn_ = std::max(next_plmn_, field_u64(op, "next_plmn"));
+  } else if (kind == "activate") {
+    record.state = SliceState::active;
+    record.active_at = SimTime::from_micros(field_i64(op, "at_us"));
+    record.ends_at = SimTime::from_micros(field_i64(op, "ends_at_us"));
+    engine_.track(slice);
+  } else if (kind == "resize") {
+    record.spec.expected_throughput = DataRate::bps(field_num(op, "contract_bps"));
+    record.reserved = DataRate::bps(field_num(op, "reserved_bps"));
+    ++reconfigurations_;
+  } else if (kind == "reconfigure") {
+    record.reserved = DataRate::bps(field_num(op, "reserved_bps"));
+    ++reconfigurations_;
+  } else if (kind == "expire" || kind == "terminate") {
+    // Mirror what tear_down leaves in memory (the domain releases
+    // themselves have no meaning during replay — nothing is installed).
+    record.embedding.paths.clear();
+    record.embedding.edge_stack.reset();
+    record.embedding.plmn = PlmnId::invalid();
+    record.reserved = DataRate::zero();
+    engine_.untrack(slice);
+    record.state = kind == "expire" ? SliceState::expired : SliceState::terminated;
+  } else {
+    log_.warn("replay skipped unknown journal op '" + kind + "'");
+  }
+}
+
+void Orchestrator::reinstall_recovered(RecoveryStats& stats) {
+  const auto core_gateway = [this]() -> std::optional<NodeId> {
+    for (const auto& [dc_id, node] : dc_gateways_) {
+      const cloud::Datacenter* candidate = cloud_->find_datacenter(dc_id);
+      if (candidate != nullptr && candidate->kind() == cloud::DatacenterKind::core) return node;
+    }
+    return std::nullopt;
+  }();
+
+  for (auto& [slice, record] : records_) {
+    if (!record.is_live()) continue;
+    const SliceId id = slice;
+    const bool ok = [&]() -> bool {
+      const Embedding& e = record.embedding;
+      if (!e.plmn.valid() || !e.datacenter.valid()) return false;
+      const auto gw = dc_gateways_.find(e.datacenter);
+      if (gw == dc_gateways_.end()) return false;
+      if (!ran_->install_plmn(e.plmn).ok()) return false;
+      if (!ran_->set_allocation(e.plmn, record.reserved, config_.planning_cqi).ok())
+        return false;
+      for (std::size_t i = 0; i < e.paths.size(); ++i) {
+        const NodeId src = i == 0 ? ran_gateway_ : gw->second;
+        if (i > 0 && !core_gateway.has_value()) return false;
+        const NodeId dst = i == 0 ? gw->second : *core_gateway;
+        const Duration bound = i == 0 ? record.spec.max_latency : config_.breakout_delay_bound;
+        if (!transport_
+                 ->restore_path(e.paths[i], id, src, dst, leg_rate(i, record.reserved), bound)
+                 .ok()) {
+          return false;
+        }
+      }
+      if (!epc_->deploy(id, e.datacenter, record.spec.expected_throughput).ok()) return false;
+      if (e.edge_stack.has_value()) {
+        cloud::StackTemplate svc;
+        svc.name = "svc-slice-" + std::to_string(id.value());
+        svc.resources.push_back(
+            cloud::ResourceSpec{"svc", cloud::Flavor{"svc", record.spec.edge_compute}});
+        const Result<StackId> stack = cloud_->create_stack(e.datacenter, svc);
+        if (!stack.ok()) return false;
+        record.embedding.edge_stack = stack.value();
+      }
+      if (record.state == SliceState::active) {
+        if (!epc_->activate(id).ok()) return false;
+        engine_.track(id);
+        simulator_->schedule_at(record.ends_at, [this, id] { expire(id); });
+      } else {
+        simulator_->schedule_at(record.activates_at, [this, id] { activate(id); });
+      }
+      return true;
+    }();
+    if (ok) {
+      ++stats.reinstalled;
+      continue;
+    }
+    // Degrade, never crash: the substrate could not re-fit this slice
+    // (capacity moved while we were down, or the record was damaged).
+    ++stats.reinstall_failures;
+    tear_down(record);
+    record.state = SliceState::terminated;
+    events_.record(simulator_->now(), EventKind::slice_terminated, id,
+                   "substrate could not re-fit the slice on recovery");
+    log_.warn("recovery could not reinstall slice " + std::to_string(id.value()));
+    json::Object op;
+    op.emplace("slice", static_cast<double>(id.value()));
+    journal_op("terminate", op);
+  }
+}
+
+Result<RecoveryStats> Orchestrator::recover_from_store() {
+  if (store_ == nullptr || !store_->is_open())
+    return make_error(Errc::unavailable, "no open state store attached");
+  if (!records_.empty() || admitted_total_ != 0 || rejected_total_ != 0)
+    return make_error(Errc::conflict, "orchestrator already holds slice state");
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const store::RecoveredInput& in = store_->recovered();
+
+  RecoveryStats stats;
+  stats.had_snapshot = in.has_snapshot;
+  stats.snapshot_seq = in.snapshot_seq;
+  stats.journal_truncated = in.journal_truncated;
+
+  // Fast-forward the simulator to the last journaled instant *before*
+  // touching state: anything pending in between (periodic epochs armed
+  // by start()) fires against an empty orchestrator and is harmless,
+  // and every recovered timer then lands in the future.
+  std::int64_t last_us = 0;
+  if (in.has_snapshot) last_us = field_i64(in.snapshot_state, "t_us");
+  for (const json::Value& op : in.events) {
+    last_us = std::max(last_us, field_i64(op, "t_us"));
+  }
+  if (SimTime::from_micros(last_us) > simulator_->now()) {
+    (void)simulator_->run_until(SimTime::from_micros(last_us));
+  }
+
+  if (in.has_snapshot) {
+    if (const json::Value* data = in.snapshot_state.find("data")) load_state(*data);
+  }
+  for (const json::Value& op : in.events) {
+    apply_journal_op(op);
+    ++stats.events_replayed;
+  }
+  stats.records_recovered = records_.size();
+
+  // Keep every allocator ahead of the ids we restored.
+  for (const auto& [slice, record] : records_) {
+    slice_ids_.advance_past(slice);
+    request_ids_.advance_past(record.request);
+  }
+
+  reinstall_recovered(stats);
+
+  store_->discard_recovered();
+  stats.replay_millis =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  last_recovery_ = stats;
+  if (registry_ != nullptr) {
+    registry_->observe("store.recover_ms", simulator_->now(), stats.replay_millis);
+    registry_->observe("store.recovered_records", simulator_->now(),
+                       static_cast<double>(stats.records_recovered));
+  }
+  events_.record(simulator_->now(), EventKind::state_recovered, SliceId{0},
+                 "replayed " + std::to_string(stats.events_replayed) + " events, " +
+                     std::to_string(stats.reinstalled) + " slices reinstalled, " +
+                     std::to_string(stats.reinstall_failures) + " lost");
+  log_.info("state recovered: " + std::to_string(stats.records_recovered) + " records, " +
+            std::to_string(stats.events_replayed) + " events replayed");
+  return stats;
 }
 
 std::shared_ptr<net::Router> Orchestrator::make_router() {
@@ -743,6 +1256,59 @@ std::shared_ptr<net::Router> Orchestrator::make_router() {
     body.emplace("net_revenue", s.net.as_units());
     body.emplace("violation_epochs", static_cast<double>(s.violation_epochs));
     body.emplace("reconfigurations", static_cast<double>(s.reconfigurations));
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::get, "/store/status", [this](const net::RouteContext&) {
+    if (store_ == nullptr)
+      return net::Response::from_error(make_error(Errc::unavailable, "no state store attached"));
+    json::Value status = store_->status_json();
+    if (last_recovery_.has_value()) {
+      json::Object recovery;
+      recovery.emplace("had_snapshot", last_recovery_->had_snapshot);
+      recovery.emplace("snapshot_seq", static_cast<double>(last_recovery_->snapshot_seq));
+      recovery.emplace("events_replayed", static_cast<double>(last_recovery_->events_replayed));
+      recovery.emplace("records_recovered",
+                       static_cast<double>(last_recovery_->records_recovered));
+      recovery.emplace("reinstalled", static_cast<double>(last_recovery_->reinstalled));
+      recovery.emplace("reinstall_failures",
+                       static_cast<double>(last_recovery_->reinstall_failures));
+      recovery.emplace("journal_truncated", last_recovery_->journal_truncated);
+      recovery.emplace("replay_ms", last_recovery_->replay_millis);
+      status["last_recovery"] = json::Value(std::move(recovery));
+    }
+    return net::Response::json(net::Status::ok, json::serialize(status));
+  });
+
+  router->add(net::Method::post, "/store/snapshot", [this](const net::RouteContext&) {
+    const Result<std::uint64_t> seq = snapshot_now();
+    if (!seq.ok()) return net::Response::from_error(seq.error());
+    json::Object body;
+    body.emplace("snapshot_seq", static_cast<double>(seq.value()));
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::post, "/store/compact", [this](const net::RouteContext&) {
+    if (store_ == nullptr || !store_->is_open())
+      return net::Response::from_error(
+          make_error(Errc::unavailable, "no open state store attached"));
+    const Result<std::uint64_t> reclaimed = store_->compact();
+    if (!reclaimed.ok()) return net::Response::from_error(reclaimed.error());
+    json::Object body;
+    body.emplace("bytes_reclaimed", static_cast<double>(reclaimed.value()));
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::post, "/store/restore", [this](const net::RouteContext&) {
+    const Result<RecoveryStats> stats = recover_from_store();
+    if (!stats.ok()) return net::Response::from_error(stats.error());
+    json::Object body;
+    body.emplace("had_snapshot", stats.value().had_snapshot);
+    body.emplace("events_replayed", static_cast<double>(stats.value().events_replayed));
+    body.emplace("records_recovered", static_cast<double>(stats.value().records_recovered));
+    body.emplace("reinstalled", static_cast<double>(stats.value().reinstalled));
+    body.emplace("reinstall_failures",
+                 static_cast<double>(stats.value().reinstall_failures));
     return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
   });
 

@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,7 @@
 #include "net/rest_bus.hpp"
 #include "ran/controller.hpp"
 #include "sim/simulator.hpp"
+#include "store/store.hpp"
 #include "telemetry/registry.hpp"
 #include "traffic/model.hpp"
 #include "transport/controller.hpp"
@@ -116,6 +118,18 @@ struct OrchestratorSummary {
   std::uint64_t reconfigurations = 0;
 };
 
+/// What a crash-recovery replay did (docs/persistence.md).
+struct RecoveryStats {
+  bool had_snapshot = false;
+  std::uint64_t snapshot_seq = 0;
+  std::uint64_t events_replayed = 0;
+  std::size_t records_recovered = 0;     ///< slice records reconstructed
+  std::size_t reinstalled = 0;           ///< live slices re-embedded into the domains
+  std::size_t reinstall_failures = 0;    ///< live slices the substrate could no longer fit
+  bool journal_truncated = false;        ///< a torn tail was dropped
+  double replay_millis = 0.0;            ///< wall-clock of the whole recovery
+};
+
 /// The end-to-end orchestrator.
 class Orchestrator {
  public:
@@ -188,6 +202,44 @@ class Orchestrator {
   /// Headline dashboard numbers, computed on demand.
   [[nodiscard]] OrchestratorSummary summary() const;
 
+  // --- Durable state store (docs/persistence.md) ---------------------------
+
+  /// Attach the write-ahead store. From here on every state transition
+  /// (submit/admit/reject/activate/resize/reconfigure/expire/terminate
+  /// and per-epoch accruals) is journaled at its commit point, and a
+  /// full-state snapshot is cut whenever the store asks for one. The
+  /// store must be open() and must outlive the orchestrator. Pass
+  /// nullptr to detach (stops journaling).
+  void attach_store(store::StateStore* store) { store_ = store; }
+  [[nodiscard]] store::StateStore* attached_store() const noexcept { return store_; }
+
+  /// Rebuild orchestrator state from the attached store's recovered
+  /// input (latest valid snapshot + journal tail): reload the durable
+  /// state, replay events past the snapshot, re-install live slices
+  /// into the RAN/transport/cloud controllers and the EPC, and
+  /// re-schedule their activation/expiry timers. Fast-forwards the
+  /// simulator to the last journaled timestamp first, so recovered
+  /// timers land in the future. Demand workloads are soft state and
+  /// must be re-attached afterwards (attach_workload). Errors:
+  /// unavailable (no store attached / not open), conflict (this
+  /// orchestrator already holds slice state).
+  [[nodiscard]] Result<RecoveryStats> recover_from_store();
+
+  /// Durable-state dump: everything recovery needs to reconstruct this
+  /// orchestrator, deterministically serialized (used for snapshots and
+  /// for state-equality checks in tests). Soft state — forecaster
+  /// internals, the event ring, install-jitter RNG — is excluded.
+  [[nodiscard]] json::Value state_json() const;
+
+  /// Cut a snapshot now (also truncates the journal). Errors:
+  /// unavailable (no store attached / not open) plus I/O errors.
+  [[nodiscard]] Result<std::uint64_t> snapshot_now();
+
+  /// Stats of the last recover_from_store(), if one ran.
+  [[nodiscard]] const std::optional<RecoveryStats>& last_recovery() const noexcept {
+    return last_recovery_;
+  }
+
   /// REST facade — the dashboard API of the demo (slice CRUD + report).
   [[nodiscard]] std::shared_ptr<net::Router> make_router();
 
@@ -241,6 +293,25 @@ class Orchestrator {
 
   void publish_summary(SimTime now);
 
+  // --- Durability internals (docs/persistence.md) --------------------------
+
+  /// Append one journal operation (stamps "t_us"; cuts a snapshot when
+  /// the store's cadence asks for one). No-op without an open store;
+  /// journal I/O failures are logged, never fatal to the control plane.
+  void journal_op(const char* op, json::Object fields);
+
+  /// Replay one journaled operation onto in-memory state (no domain
+  /// side effects — reinstall happens once, after replay).
+  void apply_journal_op(const json::Value& op);
+
+  /// Install a snapshot's durable-state dump wholesale.
+  void load_state(const json::Value& state);
+
+  /// Re-embed every installing/active record into the domain
+  /// controllers after a replay; slices the substrate can no longer fit
+  /// are torn down and marked terminated (degrade, never crash).
+  void reinstall_recovered(RecoveryStats& stats);
+
   sim::Simulator* simulator_;
   ran::RanController* ran_;
   transport::TransportController* transport_;
@@ -271,6 +342,8 @@ class Orchestrator {
   std::uint64_t reconfigurations_ = 0;
   InstallTimeline last_timeline_;
   bool started_ = false;
+  store::StateStore* store_ = nullptr;
+  std::optional<RecoveryStats> last_recovery_;
 };
 
 }  // namespace slices::core

@@ -37,6 +37,16 @@ class RevenueLedger {
     ++entry.violation_epochs;
   }
 
+  /// Crash-recovery replay: re-apply an exact earned amount journaled at
+  /// the original accrual (avoids re-deriving price x hours, which could
+  /// round differently).
+  void add_earned(SliceId slice, Money amount) { entries_[slice].earned += amount; }
+
+  /// Crash-recovery snapshot load: install a slice's books wholesale.
+  void restore(SliceId slice, SliceLedgerEntry entry) {
+    entries_.insert_or_assign(slice, entry);
+  }
+
   [[nodiscard]] const SliceLedgerEntry* find(SliceId slice) const noexcept {
     const auto it = entries_.find(slice);
     return it == entries_.end() ? nullptr : &it->second;

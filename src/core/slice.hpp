@@ -72,6 +72,7 @@ struct SliceRecord {
   SliceSpec spec;
   SliceState state = SliceState::pending;
   SimTime submitted_at;
+  SimTime activates_at;   ///< scheduled end of installation (installing state)
   SimTime active_at;      ///< when it started serving (if it did)
   SimTime ends_at;        ///< scheduled expiry (active_at + duration)
   Embedding embedding;    ///< valid in installing/active states

@@ -1,0 +1,45 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to checksum
+// journal records and snapshot payloads. Table-driven, no external
+// dependency; the table is built once on first use.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace slices::store {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() noexcept {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 of a byte range.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = detail::crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view s) noexcept {
+  return crc32(s.data(), s.size());
+}
+
+}  // namespace slices::store

@@ -1,0 +1,79 @@
+#pragma once
+// Append-only binary write-ahead journal.
+//
+// Record framing: [u32 payload_len][u32 crc32(payload)][payload], both
+// integers little-endian. The payload is one compact-serialized JSON
+// document (via src/json) carrying at least a monotonically increasing
+// "seq" field stamped by the StateStore. The reader accepts any valid
+// prefix: a truncated header, a truncated payload or a CRC/JSON mismatch
+// ends the scan at the last good record — torn tail writes from a crash
+// are expected, never fatal. Reopening for append truncates the file
+// back to the valid prefix so new records never follow garbage.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+
+namespace slices::store {
+
+/// Hard cap on one record's payload; anything larger is corruption.
+inline constexpr std::uint32_t kMaxRecordBytes = 64u * 1024u * 1024u;
+
+/// Outcome of scanning a journal file.
+struct JournalScan {
+  std::vector<json::Value> records;   ///< valid prefix, in append order
+  std::uint64_t valid_bytes = 0;      ///< file offset after the last good record
+  std::uint64_t file_bytes = 0;       ///< total size on disk
+  bool truncated_tail = false;        ///< bytes past valid_bytes were dropped
+  std::string corruption;             ///< why the scan stopped early (empty = clean)
+};
+
+/// Read every valid record of the journal at `path`. A missing file is
+/// an empty, clean scan (fresh deployment). Only I/O errors (e.g. the
+/// path is a directory) are reported as errors; corruption is data.
+[[nodiscard]] Result<JournalScan> scan_journal(const std::string& path);
+
+/// Appending side of the journal. Not thread-safe (the orchestrator is
+/// single-threaded by design).
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Open `path` for appending, truncating it to `valid_bytes` first
+  /// (drop any torn tail found by scan_journal). Creates the file when
+  /// absent.
+  [[nodiscard]] Result<void> open(const std::string& path, std::uint64_t valid_bytes);
+
+  /// Frame `payload`, append it and (optionally) fsync. Returns the
+  /// number of bytes written to disk.
+  [[nodiscard]] Result<std::uint64_t> append(const std::string& payload, bool fsync);
+
+  /// Truncate the journal to zero length (after a snapshot made the
+  /// contents redundant).
+  [[nodiscard]] Result<void> reset();
+
+  void close();
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Wall-clock duration of the most recent fsync, in microseconds.
+  [[nodiscard]] double last_fsync_micros() const noexcept { return last_fsync_us_; }
+  [[nodiscard]] std::uint64_t fsync_count() const noexcept { return fsyncs_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t fsyncs_ = 0;
+  double last_fsync_us_ = 0.0;
+};
+
+}  // namespace slices::store

@@ -1,0 +1,48 @@
+#pragma once
+// Full-state snapshots.
+//
+// A snapshot is one CRC-framed JSON document ({"seq": N, "state": ...})
+// written atomically: temp file + fsync + rename, so a crash mid-write
+// never damages an existing snapshot. Files are named
+// "snapshot-<seq>.snap"; recovery picks the highest-seq file whose
+// checksum verifies and falls back to older ones when the newest is
+// damaged. The "seq" is the journal sequence number of the last event
+// folded into the state — replay skips journal records at or below it,
+// which also makes a snapshot newer than the whole journal harmless.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+
+namespace slices::store {
+
+/// A successfully loaded snapshot.
+struct LoadedSnapshot {
+  std::uint64_t seq = 0;      ///< last journal seq folded into `state`
+  json::Value state;          ///< opaque application state document
+  std::uint64_t bytes = 0;    ///< file size
+  std::string path;
+};
+
+/// Write `state` as snapshot `seq` into `directory`. Returns the final
+/// file path.
+[[nodiscard]] Result<std::string> write_snapshot(const std::string& directory,
+                                                 std::uint64_t seq, const json::Value& state,
+                                                 bool fsync);
+
+/// Load the newest valid snapshot in `directory` (nullopt when none
+/// exists or every candidate is damaged — recovery then replays the
+/// journal from scratch). `rejected` (optional) collects the paths of
+/// damaged candidates that were skipped.
+[[nodiscard]] Result<std::optional<LoadedSnapshot>> load_latest_snapshot(
+    const std::string& directory, std::vector<std::string>* rejected = nullptr);
+
+/// Delete every snapshot file except the newest valid one. Returns the
+/// number of bytes reclaimed.
+[[nodiscard]] Result<std::uint64_t> prune_snapshots(const std::string& directory);
+
+}  // namespace slices::store

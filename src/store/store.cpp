@@ -1,0 +1,163 @@
+#include "store/store.hpp"
+
+#include <filesystem>
+
+namespace slices::store {
+
+namespace fs = std::filesystem;
+
+StateStore::StateStore(StoreConfig config, telemetry::MonitorRegistry* registry)
+    : config_(std::move(config)), registry_(registry) {}
+
+Result<void> StateStore::open() {
+  if (config_.directory.empty()) {
+    return make_error(Errc::invalid_argument, "store directory not configured");
+  }
+  std::error_code ec;
+  fs::create_directories(config_.directory, ec);
+  if (ec) {
+    return make_error(Errc::internal,
+                      "cannot create store directory '" + config_.directory +
+                          "': " + ec.message());
+  }
+
+  recovered_ = RecoveredInput{};
+  Result<std::optional<LoadedSnapshot>> snapshot =
+      load_latest_snapshot(config_.directory, &recovered_.rejected_snapshots);
+  if (!snapshot.ok()) return snapshot.error();
+  if (snapshot.value().has_value()) {
+    recovered_.has_snapshot = true;
+    recovered_.snapshot_seq = snapshot.value()->seq;
+    recovered_.snapshot_state = std::move(snapshot.value()->state);
+    last_snapshot_seq_ = snapshot.value()->seq;
+    last_snapshot_bytes_ = snapshot.value()->bytes;
+  }
+
+  const std::string journal_path = (fs::path(config_.directory) / "journal.wal").string();
+  Result<JournalScan> scan = scan_journal(journal_path);
+  if (!scan.ok()) return scan.error();
+  recovered_.journal_truncated = scan.value().truncated_tail;
+  recovered_.journal_corruption = scan.value().corruption;
+
+  // Keep only events strictly after the snapshot (a snapshot newer than
+  // the whole journal simply skips everything). Events without a valid
+  // "seq" cannot be ordered against the snapshot — treat them as
+  // corruption-adjacent and drop them too.
+  std::uint64_t max_seq = recovered_.snapshot_seq;
+  journal_records_ = scan.value().records.size();
+  for (json::Value& event : scan.value().records) {
+    const json::Value* seq_field = event.find("seq");
+    if (seq_field == nullptr || !seq_field->is_number()) {
+      ++recovered_.skipped_events;
+      continue;
+    }
+    const auto seq = static_cast<std::uint64_t>(seq_field->as_number());
+    if (seq > max_seq) max_seq = seq;
+    if (seq <= recovered_.snapshot_seq) {
+      ++recovered_.skipped_events;
+      continue;
+    }
+    recovered_.events.push_back(std::move(event));
+  }
+  next_seq_ = max_seq + 1;
+  records_since_snapshot_ = recovered_.events.size();
+
+  if (Result<void> opened = journal_.open(journal_path, scan.value().valid_bytes);
+      !opened.ok()) {
+    return opened;
+  }
+  publish_metrics();
+  return {};
+}
+
+Result<std::uint64_t> StateStore::append(json::Object event) {
+  if (!journal_.is_open()) return make_error(Errc::unavailable, "store is not open");
+  const std::uint64_t seq = next_seq_;
+  event.insert_or_assign("seq", json::Value(static_cast<double>(seq)));
+  const std::string payload = json::serialize(json::Value(std::move(event)));
+  Result<std::uint64_t> written = journal_.append(payload, config_.fsync_on_append);
+  if (!written.ok()) return written.error();
+  ++next_seq_;
+  ++journal_records_;
+  ++records_since_snapshot_;
+  ++total_appended_;
+  total_bytes_appended_ += written.value();
+  publish_metrics();
+  return seq;
+}
+
+Result<std::uint64_t> StateStore::write_snapshot(const json::Value& state) {
+  if (!journal_.is_open()) return make_error(Errc::unavailable, "store is not open");
+  const std::uint64_t seq = last_seq();
+  Result<std::string> path =
+      slices::store::write_snapshot(config_.directory, seq, state, config_.fsync_snapshots);
+  if (!path.ok()) return path.error();
+
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path.value(), ec);
+  last_snapshot_bytes_ = ec ? 0 : static_cast<std::uint64_t>(size);
+  last_snapshot_seq_ = seq;
+  ++snapshots_written_;
+  records_since_snapshot_ = 0;
+  journal_records_ = 0;
+
+  // The snapshot covers every journaled event; the journal restarts
+  // empty. Crash between rename and reset is safe: replay skips
+  // events with seq <= snapshot seq.
+  if (Result<void> reset = journal_.reset(); !reset.ok()) return reset.error();
+  publish_metrics();
+  return seq;
+}
+
+Result<std::uint64_t> StateStore::compact() {
+  if (!journal_.is_open()) return make_error(Errc::unavailable, "store is not open");
+  Result<std::uint64_t> reclaimed = prune_snapshots(config_.directory);
+  if (reclaimed.ok()) publish_metrics();
+  return reclaimed;
+}
+
+void StateStore::publish_metrics() {
+  if (registry_ == nullptr) return;
+  registry_->gauge("store.journal_bytes").set(static_cast<double>(journal_.bytes()));
+  registry_->gauge("store.journal_records").set(static_cast<double>(journal_records_));
+  registry_->gauge("store.last_fsync_us").set(journal_.last_fsync_micros());
+  registry_->gauge("store.last_snapshot_seq").set(static_cast<double>(last_snapshot_seq_));
+  registry_->gauge("store.last_snapshot_bytes").set(static_cast<double>(last_snapshot_bytes_));
+
+  // Counters are monotonic; re-sync them to the running totals.
+  auto sync = [this](const char* name, std::uint64_t total) {
+    telemetry::Counter& c = registry_->counter(name);
+    if (total > c.value()) c.increment(total - c.value());
+  };
+  sync("store.records_appended", total_appended_);
+  sync("store.bytes_appended", total_bytes_appended_);
+  sync("store.fsyncs", journal_.fsync_count());
+  sync("store.snapshots_written", snapshots_written_);
+}
+
+json::Value StateStore::status_json() const {
+  json::Object journal;
+  journal.emplace("path", journal_.path());
+  journal.emplace("bytes", static_cast<double>(journal_.bytes()));
+  journal.emplace("records", static_cast<double>(journal_records_));
+  journal.emplace("fsync_on_append", config_.fsync_on_append);
+  journal.emplace("fsyncs", static_cast<double>(journal_.fsync_count()));
+  journal.emplace("last_fsync_us", journal_.last_fsync_micros());
+
+  json::Object snapshot;
+  snapshot.emplace("last_seq", static_cast<double>(last_snapshot_seq_));
+  snapshot.emplace("last_bytes", static_cast<double>(last_snapshot_bytes_));
+  snapshot.emplace("written", static_cast<double>(snapshots_written_));
+  snapshot.emplace("every_records", static_cast<double>(config_.snapshot_every_records));
+
+  json::Object out;
+  out.emplace("open", is_open());
+  out.emplace("directory", config_.directory);
+  out.emplace("next_seq", static_cast<double>(next_seq_));
+  out.emplace("records_since_snapshot", static_cast<double>(records_since_snapshot_));
+  out.emplace("journal", std::move(journal));
+  out.emplace("snapshot", std::move(snapshot));
+  return json::Value(std::move(out));
+}
+
+}  // namespace slices::store

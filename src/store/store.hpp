@@ -1,0 +1,118 @@
+#pragma once
+// Durable state store: the event-sourced persistence subsystem behind
+// the orchestrator (docs/persistence.md).
+//
+// The store is deliberately application-agnostic: it journals opaque
+// JSON events stamped with a monotonically increasing sequence number,
+// writes full-state snapshots (truncating the journal they make
+// redundant) and, on open(), reconstructs the recovery input — latest
+// valid snapshot + the journal tail strictly after it. What the events
+// and the state document *mean* is owned by the layer above (the
+// orchestrator's replay in src/core), keeping src/store below src/core
+// in the dependency graph.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "json/value.hpp"
+#include "store/journal.hpp"
+#include "store/snapshot.hpp"
+#include "telemetry/registry.hpp"
+
+namespace slices::store {
+
+/// Tuning of a store instance.
+struct StoreConfig {
+  /// Directory holding "journal.wal" and "snapshot-<seq>.snap" files.
+  /// Created on open() when missing.
+  std::string directory;
+  /// fsync the journal after every append (durability over throughput).
+  bool fsync_on_append = false;
+  /// fsync snapshot files before the atomic rename.
+  bool fsync_snapshots = true;
+  /// When > 0, wants_snapshot() turns true every this-many appended
+  /// records — the owner is expected to write a snapshot then.
+  std::size_t snapshot_every_records = 0;
+};
+
+/// What open() reconstructed from disk.
+struct RecoveredInput {
+  bool has_snapshot = false;
+  std::uint64_t snapshot_seq = 0;       ///< last seq folded into the snapshot
+  json::Value snapshot_state;           ///< application state document
+  std::vector<json::Value> events;      ///< journal tail, seq > snapshot_seq
+  std::uint64_t skipped_events = 0;     ///< journal records at/below snapshot_seq
+  bool journal_truncated = false;       ///< a torn tail was dropped
+  std::string journal_corruption;       ///< scanner's reason (empty = clean)
+  std::vector<std::string> rejected_snapshots;  ///< damaged snapshot files skipped
+};
+
+/// The write-ahead journal + snapshot facade.
+class StateStore {
+ public:
+  explicit StateStore(StoreConfig config, telemetry::MonitorRegistry* registry = nullptr);
+
+  /// Create the directory if needed, scan snapshots + journal, truncate
+  /// any torn journal tail and position the journal for appending.
+  /// Recovery input is available via recovered() afterwards. Never
+  /// fails on corrupt *data* (that degrades to a shorter valid prefix);
+  /// fails only on real I/O errors.
+  [[nodiscard]] Result<void> open();
+
+  [[nodiscard]] bool is_open() const noexcept { return journal_.is_open(); }
+
+  /// What open() found on disk; replayed by the owner exactly once.
+  [[nodiscard]] const RecoveredInput& recovered() const noexcept { return recovered_; }
+
+  /// Release the (potentially large) recovery buffers after replay.
+  void discard_recovered() { recovered_ = RecoveredInput{}; }
+
+  /// Stamp `event` with the next sequence number and append it to the
+  /// journal. Returns the assigned sequence.
+  [[nodiscard]] Result<std::uint64_t> append(json::Object event);
+
+  /// Write `state` as a snapshot covering everything appended so far,
+  /// then truncate the journal. Returns the snapshot's seq.
+  [[nodiscard]] Result<std::uint64_t> write_snapshot(const json::Value& state);
+
+  /// Delete all but the newest valid snapshot (and stale temp files).
+  /// Returns bytes reclaimed.
+  [[nodiscard]] Result<std::uint64_t> compact();
+
+  /// True when snapshot_every_records is configured and at least that
+  /// many records were appended since the last snapshot.
+  [[nodiscard]] bool wants_snapshot() const noexcept {
+    return config_.snapshot_every_records > 0 &&
+           records_since_snapshot_ >= config_.snapshot_every_records;
+  }
+
+  [[nodiscard]] const StoreConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t last_seq() const noexcept { return next_seq_ - 1; }
+  [[nodiscard]] std::uint64_t journal_bytes() const noexcept { return journal_.bytes(); }
+  [[nodiscard]] std::uint64_t journal_records() const noexcept { return journal_records_; }
+  [[nodiscard]] std::uint64_t snapshots_written() const noexcept { return snapshots_written_; }
+
+  /// Operational status for GET /store/status.
+  [[nodiscard]] json::Value status_json() const;
+
+ private:
+  void publish_metrics();
+
+  StoreConfig config_;
+  telemetry::MonitorRegistry* registry_;
+  Journal journal_;
+  RecoveredInput recovered_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t journal_records_ = 0;        ///< records currently in the journal
+  std::uint64_t records_since_snapshot_ = 0;
+  std::uint64_t total_appended_ = 0;
+  std::uint64_t total_bytes_appended_ = 0;
+  std::uint64_t snapshots_written_ = 0;
+  std::uint64_t last_snapshot_seq_ = 0;
+  std::uint64_t last_snapshot_bytes_ = 0;
+};
+
+}  // namespace slices::store

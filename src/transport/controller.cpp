@@ -71,6 +71,45 @@ Result<PathId> TransportController::allocate_path(SliceId slice, NodeId src, Nod
   return id;
 }
 
+Result<void> TransportController::restore_path(PathId id, SliceId slice, NodeId src,
+                                               NodeId dst, DataRate rate, Duration max_delay,
+                                               PathObjective objective) {
+  if (!id.valid()) return make_error(Errc::invalid_argument, "invalid path id");
+  if (paths_.contains(id.value())) {
+    return make_error(Errc::conflict,
+                      "path " + std::to_string(id.value()) + " already installed");
+  }
+  if (rate <= DataRate::zero()) return make_error(Errc::invalid_argument, "rate must be > 0");
+
+  const ResidualFn residual_fn = [this](const Link& link) { return residual(link); };
+  const std::optional<Route> route =
+      find_route(topology_, src, dst, rate, residual_fn, objective);
+  if (!route) {
+    return make_error(Errc::insufficient_capacity,
+                      "no route with " + std::to_string(rate.as_mbps()) + " Mb/s residual");
+  }
+  if (route->total_delay > max_delay) {
+    return make_error(Errc::sla_unsatisfiable,
+                      "best route delay " + std::to_string(route->total_delay.as_millis()) +
+                          " ms exceeds bound " + std::to_string(max_delay.as_millis()) + " ms");
+  }
+
+  PathReservation reservation;
+  reservation.id = id;
+  reservation.slice = slice;
+  reservation.src = src;
+  reservation.dst = dst;
+  reservation.reserved = rate;
+  reservation.max_delay = max_delay;
+  reservation.route = *route;
+
+  reserve_bandwidth(reservation.route, rate);
+  install_rules(reservation);
+  paths_.emplace(id.value(), std::move(reservation));
+  path_ids_.advance_past(id);
+  return {};
+}
+
 void TransportController::install_rules(PathReservation& reservation) {
   for (const LinkId link_id : reservation.route.links) {
     const Link* link = topology_.find_link(link_id);

@@ -72,6 +72,16 @@ class TransportController {
                                              DataRate rate, Duration max_delay,
                                              PathObjective objective = PathObjective::min_delay);
 
+  /// Crash-recovery variant of allocate_path: install the reservation
+  /// under its original `id` (from the durable store) instead of a
+  /// freshly allocated one, and keep the id allocator ahead of it. The
+  /// route is recomputed over the *current* substrate — it may differ
+  /// from the pre-crash route, but src/dst/rate/delay are preserved.
+  /// Errors: conflict (id already installed) plus allocate_path's.
+  [[nodiscard]] Result<void> restore_path(PathId id, SliceId slice, NodeId src, NodeId dst,
+                                          DataRate rate, Duration max_delay,
+                                          PathObjective objective = PathObjective::min_delay);
+
   /// Resize an existing path reservation (grow re-validates capacity on
   /// the current route; it does not reroute). Shrink always succeeds.
   [[nodiscard]] Result<void> resize_path(PathId path, DataRate new_rate);

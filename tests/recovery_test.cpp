@@ -1,0 +1,328 @@
+// Crash-recovery replay on the full Fig. 2 testbed: the round-trip
+// property state(orchestrator) == state(recover(snapshot + journal)) —
+// including after a torn tail write — plus timer resurrection, the
+// RAN PRB-map regression and the /store REST endpoints
+// (docs/persistence.md).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/testbed.hpp"
+#include "store/store.hpp"
+#include "traffic/model.hpp"
+
+namespace slices {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("slices_recovery_test_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+core::SliceSpec spec_for(traffic::Vertical vertical, double hours, double mbps) {
+  core::SliceSpec spec =
+      core::SliceSpec::from_profile(traffic::profile_for(vertical), Duration::hours(hours));
+  spec.expected_throughput = DataRate::mbps(mbps);
+  return spec;
+}
+
+/// Drive a testbed through a busy stretch of life: admits (with demand
+/// workloads), epochs with accrual + overbooking, a resize, a rejection
+/// and an operator teardown. Returns after ~2h of simulated time.
+void exercise(core::Testbed& tb) {
+  tb.orchestrator->submit(spec_for(traffic::Vertical::embb_video, 24.0, 30.0),
+                          std::make_unique<traffic::ConstantTraffic>(12.0));
+  tb.orchestrator->submit(spec_for(traffic::Vertical::automotive, 12.0, 15.0),
+                          std::make_unique<traffic::ConstantTraffic>(6.0));
+  const RequestId doomed =
+      tb.orchestrator->submit(spec_for(traffic::Vertical::iot_metering, 6.0, 5.0));
+  tb.simulator.run_for(Duration::minutes(40.0));  // install + two epochs
+
+  const core::SliceRecord* second = tb.orchestrator->find_by_request(doomed);
+  ASSERT_NE(second, nullptr);
+  ASSERT_TRUE(tb.orchestrator->terminate(second->id).ok());
+
+  // A request the substrate cannot possibly fit -> journaled reject.
+  tb.orchestrator->submit(spec_for(traffic::Vertical::embb_video, 1.0, 1e6));
+
+  const core::SliceRecord* first = tb.orchestrator->find_by_request(RequestId{1});
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(tb.orchestrator->resize_slice(first->id, DataRate::mbps(25.0)).ok());
+  tb.simulator.run_for(Duration::minutes(80.0));
+}
+
+struct StoredTestbed {
+  std::unique_ptr<core::Testbed> tb;
+  std::unique_ptr<store::StateStore> store;
+};
+
+StoredTestbed make_stored_testbed(std::uint64_t seed, const std::string& directory,
+                                  std::size_t snapshot_every = 0) {
+  StoredTestbed out;
+  out.tb = core::make_testbed(seed);
+  out.store = std::make_unique<store::StateStore>(
+      store::StoreConfig{.directory = directory, .snapshot_every_records = snapshot_every},
+      &out.tb->registry);
+  EXPECT_TRUE(out.store->open().ok());
+  out.tb->orchestrator->attach_store(out.store.get());
+  return out;
+}
+
+TEST(Recovery, JournalReplayReproducesStateExactly) {
+  const fs::path dir = fresh_dir("roundtrip");
+  std::string before;
+  {
+    StoredTestbed live = make_stored_testbed(71, dir.string());
+    exercise(*live.tb);
+    before = json::serialize(live.tb->orchestrator->state_json());
+  }  // crash: process gone, only the journal survives
+
+  StoredTestbed revived = make_stored_testbed(71, dir.string());
+  const Result<core::RecoveryStats> stats = revived.tb->orchestrator->recover_from_store();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats.value().had_snapshot);
+  EXPECT_GT(stats.value().events_replayed, 0u);
+  EXPECT_EQ(stats.value().reinstall_failures, 0u);
+  EXPECT_EQ(json::serialize(revived.tb->orchestrator->state_json()), before);
+}
+
+TEST(Recovery, SnapshotPlusJournalTailReproducesStateExactly) {
+  const fs::path dir = fresh_dir("snapshot_tail");
+  std::string before;
+  {
+    StoredTestbed live = make_stored_testbed(72, dir.string());
+    live.tb->orchestrator->submit(spec_for(traffic::Vertical::embb_video, 24.0, 30.0),
+                                  std::make_unique<traffic::ConstantTraffic>(12.0));
+    live.tb->simulator.run_for(Duration::minutes(40.0));
+    ASSERT_TRUE(live.tb->orchestrator->snapshot_now().ok());
+    // Post-snapshot life lands in the journal tail.
+    live.tb->orchestrator->submit(spec_for(traffic::Vertical::automotive, 12.0, 15.0),
+                                  std::make_unique<traffic::ConstantTraffic>(6.0));
+    live.tb->simulator.run_for(Duration::minutes(40.0));
+    before = json::serialize(live.tb->orchestrator->state_json());
+  }
+
+  StoredTestbed revived = make_stored_testbed(72, dir.string());
+  const Result<core::RecoveryStats> stats = revived.tb->orchestrator->recover_from_store();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats.value().had_snapshot);
+  EXPECT_GT(stats.value().events_replayed, 0u);
+  EXPECT_EQ(json::serialize(revived.tb->orchestrator->state_json()), before);
+}
+
+TEST(Recovery, TornTailWriteStillReproducesStateExactly) {
+  const fs::path dir = fresh_dir("torn_tail");
+  std::string before;
+  {
+    StoredTestbed live = make_stored_testbed(73, dir.string());
+    exercise(*live.tb);
+    before = json::serialize(live.tb->orchestrator->state_json());
+  }
+  // The crash tore the record being appended: half a frame at the tail.
+  {
+    std::ofstream out(dir / "journal.wal", std::ios::binary | std::ios::app);
+    const char partial[] = {0x33, 0x02, 0x00, 0x00, 0x7f, 0x01};
+    out.write(partial, sizeof(partial));
+  }
+
+  StoredTestbed revived = make_stored_testbed(73, dir.string());
+  const Result<core::RecoveryStats> stats = revived.tb->orchestrator->recover_from_store();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats.value().journal_truncated);
+  EXPECT_EQ(stats.value().reinstall_failures, 0u);
+  EXPECT_EQ(json::serialize(revived.tb->orchestrator->state_json()), before);
+}
+
+TEST(Recovery, InstallingSliceActivatesAndActiveSliceExpiresAfterRecovery) {
+  const fs::path dir = fresh_dir("timers");
+  SimTime activates_at;
+  SimTime ends_at;
+  SliceId installing_id;
+  SliceId active_id;
+  {
+    StoredTestbed live = make_stored_testbed(74, dir.string());
+    const RequestId r1 =
+        live.tb->orchestrator->submit(spec_for(traffic::Vertical::embb_video, 2.0, 20.0));
+    live.tb->simulator.run_for(Duration::seconds(30.0));
+    const RequestId r2 =
+        live.tb->orchestrator->submit(spec_for(traffic::Vertical::automotive, 3.0, 10.0));
+    // r2 is still installing when the process dies.
+    const core::SliceRecord* active = live.tb->orchestrator->find_by_request(r1);
+    const core::SliceRecord* installing = live.tb->orchestrator->find_by_request(r2);
+    ASSERT_EQ(active->state, core::SliceState::active);
+    ASSERT_EQ(installing->state, core::SliceState::installing);
+    active_id = active->id;
+    ends_at = active->ends_at;
+    installing_id = installing->id;
+    activates_at = installing->activates_at;
+  }
+
+  StoredTestbed revived = make_stored_testbed(74, dir.string());
+  ASSERT_TRUE(revived.tb->orchestrator->recover_from_store().ok());
+  const core::SliceRecord* installing = revived.tb->orchestrator->find_slice(installing_id);
+  ASSERT_NE(installing, nullptr);
+  EXPECT_EQ(installing->state, core::SliceState::installing);
+
+  // The resurrected activation timer fires at the journaled instant.
+  revived.tb->simulator.run_until(activates_at);
+  EXPECT_EQ(installing->state, core::SliceState::active);
+  EXPECT_EQ(installing->active_at, activates_at);
+
+  // And the active slice still expires exactly on schedule.
+  revived.tb->simulator.run_until(ends_at);
+  EXPECT_EQ(revived.tb->orchestrator->find_slice(active_id)->state,
+            core::SliceState::expired);
+}
+
+// Regression for the RAN controller's promise that "existing
+// reservations stay installed and resume on recovery"
+// (src/ran/controller.hpp): after a store-driven recovery the
+// re-installed per-cell PRB maps must match the pre-failure
+// reservations exactly.
+TEST(Recovery, ReinstalledPrbMapsMatchPreFailureReservations) {
+  const fs::path dir = fresh_dir("prb_maps");
+  std::map<PlmnId, std::map<CellId, PrbCount>> before;
+  {
+    StoredTestbed live = make_stored_testbed(75, dir.string());
+    live.tb->orchestrator->submit(spec_for(traffic::Vertical::embb_video, 24.0, 30.0));
+    live.tb->orchestrator->submit(spec_for(traffic::Vertical::automotive, 12.0, 15.0));
+    live.tb->simulator.run_for(Duration::seconds(30.0));
+    for (const core::SliceRecord* record : live.tb->orchestrator->all_slices()) {
+      ASSERT_EQ(record->state, core::SliceState::active);
+      const ran::RanAllocation* alloc =
+          live.tb->ran.find_allocation(record->embedding.plmn);
+      ASSERT_NE(alloc, nullptr);
+      before.emplace(record->embedding.plmn, alloc->per_cell);
+    }
+    ASSERT_EQ(before.size(), 2u);
+  }
+
+  StoredTestbed revived = make_stored_testbed(75, dir.string());
+  ASSERT_TRUE(revived.tb->orchestrator->recover_from_store().ok());
+  for (const auto& [plmn, per_cell] : before) {
+    const ran::RanAllocation* alloc = revived.tb->ran.find_allocation(plmn);
+    ASSERT_NE(alloc, nullptr);
+    EXPECT_EQ(alloc->per_cell, per_cell) << "PRB map diverged for PLMN " << plmn.value();
+  }
+}
+
+TEST(Recovery, TransportPathsKeepTheirIdsAndReservations) {
+  const fs::path dir = fresh_dir("path_ids");
+  std::vector<PathId> paths;
+  DataRate reserved;
+  {
+    StoredTestbed live = make_stored_testbed(76, dir.string());
+    const RequestId r =
+        live.tb->orchestrator->submit(spec_for(traffic::Vertical::embb_video, 24.0, 30.0));
+    live.tb->simulator.run_for(Duration::seconds(30.0));
+    const core::SliceRecord* record = live.tb->orchestrator->find_by_request(r);
+    paths = record->embedding.paths;
+    reserved = record->reserved;
+    ASSERT_FALSE(paths.empty());
+  }
+
+  StoredTestbed revived = make_stored_testbed(76, dir.string());
+  ASSERT_TRUE(revived.tb->orchestrator->recover_from_store().ok());
+  const transport::PathReservation* path = revived.tb->transport->find_path(paths.front());
+  ASSERT_NE(path, nullptr);
+  EXPECT_EQ(path->reserved, reserved);
+  // New allocations never collide with the restored ids.
+  const Result<PathId> fresh = revived.tb->transport->allocate_path(
+      SliceId{999}, revived.tb->ran_gateway, revived.tb->core_gateway, DataRate::mbps(1.0),
+      Duration::millis(50.0));
+  ASSERT_TRUE(fresh.ok());
+  for (const PathId old : paths) EXPECT_NE(fresh.value(), old);
+}
+
+TEST(Recovery, AutoSnapshotCadenceCutsSnapshotsDuringOperation) {
+  const fs::path dir = fresh_dir("auto_snapshot");
+  StoredTestbed live = make_stored_testbed(77, dir.string(), /*snapshot_every=*/4);
+  exercise(*live.tb);
+  EXPECT_GT(live.store->snapshots_written(), 0u);
+  // The journal only holds the short tail since the last snapshot.
+  EXPECT_LT(live.store->journal_records(), 4u + 1u);
+}
+
+TEST(Recovery, RestEndpointsDriveTheStore) {
+  const fs::path dir = fresh_dir("rest");
+  StoredTestbed live = make_stored_testbed(78, dir.string());
+  live.tb->orchestrator->submit(spec_for(traffic::Vertical::embb_video, 24.0, 30.0));
+  live.tb->simulator.run_for(Duration::seconds(30.0));
+
+  const Result<json::Value> status =
+      live.tb->bus.get_json("orchestrator", "/store/status");
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status.value().find("open")->as_bool());
+  EXPECT_GT(status.value().find("journal")->find("records")->as_number(), 0.0);
+
+  const Result<json::Value> snap =
+      live.tb->bus.call_json("orchestrator", net::Method::post, "/store/snapshot", json::Value(nullptr));
+  ASSERT_TRUE(snap.ok());
+  EXPECT_GT(snap.value().find("snapshot_seq")->as_number(), 0.0);
+
+  // More journaled life, then a second snapshot at a higher sequence —
+  // the first snapshot file becomes compactable.
+  live.tb->orchestrator->submit(spec_for(traffic::Vertical::automotive, 12.0, 15.0));
+  live.tb->simulator.run_for(Duration::seconds(30.0));
+  ASSERT_TRUE(
+      live.tb->bus.call_json("orchestrator", net::Method::post, "/store/snapshot", json::Value(nullptr)).ok());
+  const Result<json::Value> compact =
+      live.tb->bus.call_json("orchestrator", net::Method::post, "/store/compact", json::Value(nullptr));
+  ASSERT_TRUE(compact.ok());
+  EXPECT_GT(compact.value().find("bytes_reclaimed")->as_number(), 0.0);
+
+  // Restoring into an orchestrator that already holds state is refused.
+  const Result<json::Value> restore =
+      live.tb->bus.call_json("orchestrator", net::Method::post, "/store/restore", json::Value(nullptr));
+  ASSERT_FALSE(restore.ok());
+  EXPECT_EQ(restore.error().code, Errc::conflict);
+
+  // Without a store attached the endpoints answer 503, not a crash.
+  auto bare = core::make_testbed(79);
+  const Result<json::Value> none =
+      bare->bus.get_json("orchestrator", "/store/status");
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.error().code, Errc::unavailable);
+}
+
+TEST(Recovery, RestRestoreRebuildsStateOnFreshTestbed) {
+  const fs::path dir = fresh_dir("rest_restore");
+  std::string before;
+  {
+    StoredTestbed live = make_stored_testbed(80, dir.string());
+    live.tb->orchestrator->submit(spec_for(traffic::Vertical::embb_video, 24.0, 30.0));
+    live.tb->simulator.run_for(Duration::seconds(30.0));
+    before = json::serialize(live.tb->orchestrator->state_json());
+  }
+  StoredTestbed revived = make_stored_testbed(80, dir.string());
+  const Result<json::Value> restored =
+      revived.tb->bus.call_json("orchestrator", net::Method::post, "/store/restore", json::Value(nullptr));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored.value().find("reinstall_failures")->as_number(), 0.0);
+  EXPECT_EQ(json::serialize(revived.tb->orchestrator->state_json()), before);
+
+  const Result<json::Value> status =
+      revived.tb->bus.get_json("orchestrator", "/store/status");
+  ASSERT_TRUE(status.ok());
+  ASSERT_NE(status.value().find("last_recovery"), nullptr);
+  EXPECT_DOUBLE_EQ(
+      status.value().find("last_recovery")->find("reinstall_failures")->as_number(), 0.0);
+}
+
+TEST(Recovery, WithoutStoreAttachedRecoveryIsUnavailable) {
+  auto tb = core::make_testbed(81);
+  const Result<core::RecoveryStats> stats = tb->orchestrator->recover_from_store();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.error().code, Errc::unavailable);
+}
+
+}  // namespace
+}  // namespace slices

@@ -1,10 +1,16 @@
 // Failure-injection tests: link outages in the transport domain, cell
-// outages in the RAN, topology generators, and tenant-initiated slice
-// resizing on the full testbed.
+// outages in the RAN, topology generators, tenant-initiated slice
+// resizing, and orchestrator kill-and-recover via the durable store on
+// the full testbed.
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <memory>
+
 #include "core/testbed.hpp"
+#include "store/store.hpp"
+#include "traffic/model.hpp"
 #include "transport/generators.hpp"
 
 namespace slices {
@@ -225,6 +231,61 @@ TEST(ResizeSlice, WorksOverRestPatch) {
                   .ok());
   const core::SliceRecord* record = tb->orchestrator->find_slice(SliceId{id});
   EXPECT_DOUBLE_EQ(record->spec.expected_throughput.as_mbps(), 5.0);
+}
+
+// --- orchestrator kill-and-recover ----------------------------------------------
+
+TEST(KillAndRecover, ServiceResumesFromJournalAfterOrchestratorLoss) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "slices_kill_recover_test";
+  std::filesystem::remove_all(dir);
+
+  Money earned_before;
+  SliceId slice;
+  SimTime ends_at;
+  {
+    auto tb = core::make_testbed(53);
+    store::StateStore store(store::StoreConfig{.directory = dir.string()}, &tb->registry);
+    ASSERT_TRUE(store.open().ok());
+    tb->orchestrator->attach_store(&store);
+
+    core::SliceSpec spec = core::SliceSpec::from_profile(
+        traffic::profile_for(traffic::Vertical::embb_video), Duration::hours(2.0));
+    spec.expected_throughput = DataRate::mbps(25.0);
+    const RequestId request = tb->orchestrator->submit(
+        spec, std::make_unique<traffic::ConstantTraffic>(10.0));
+    tb->simulator.run_for(Duration::minutes(30.0));
+
+    const core::SliceRecord* record = tb->orchestrator->find_by_request(request);
+    ASSERT_EQ(record->state, core::SliceState::active);
+    slice = record->id;
+    ends_at = record->ends_at;
+    earned_before = tb->orchestrator->ledger().total_earned();
+    EXPECT_GT(earned_before.as_cents(), 0);
+  }  // the whole process — orchestrator, controllers, simulator — is gone
+
+  auto tb = core::make_testbed(53);
+  store::StateStore store(store::StoreConfig{.directory = dir.string()}, &tb->registry);
+  ASSERT_TRUE(store.open().ok());
+  tb->orchestrator->attach_store(&store);
+  const Result<core::RecoveryStats> stats = tb->orchestrator->recover_from_store();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().reinstalled, 1u);
+  EXPECT_EQ(stats.value().reinstall_failures, 0u);
+
+  // The recovered ledger carries the pre-crash earnings, and the slice
+  // keeps accruing revenue once epochs resume.
+  const core::SliceRecord* record = tb->orchestrator->find_slice(slice);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, core::SliceState::active);
+  EXPECT_EQ(tb->orchestrator->ledger().total_earned(), earned_before);
+  tb->simulator.run_for(Duration::minutes(30.0));
+  EXPECT_GT(tb->orchestrator->ledger().total_earned().as_cents(),
+            earned_before.as_cents());
+
+  // And it still expires exactly when the original contract said.
+  tb->simulator.run_until(ends_at);
+  EXPECT_EQ(record->state, core::SliceState::expired);
 }
 
 }  // namespace

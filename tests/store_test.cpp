@@ -1,0 +1,392 @@
+// Durable state store units: journal framing + torn-tail tolerance,
+// snapshot atomicity + fallback, StateStore sequencing and the
+// corruption edge cases recovery must degrade through gracefully
+// (docs/persistence.md).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/crc32.hpp"
+#include "store/journal.hpp"
+#include "store/snapshot.hpp"
+#include "store/store.hpp"
+
+namespace slices::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh per-test scratch directory under the system temp dir.
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("slices_store_test_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void write_file(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+/// Build one correctly framed journal record.
+std::string frame(const std::string& payload) {
+  std::string out;
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(out, crc32(payload));
+  out += payload;
+  return out;
+}
+
+json::Object event(double n) {
+  json::Object e;
+  e.emplace("n", n);
+  return e;
+}
+
+// --- journal ----------------------------------------------------------------
+
+TEST(Journal, AppendScanRoundTrip) {
+  const fs::path dir = fresh_dir("journal_roundtrip");
+  const std::string path = (dir / "journal.wal").string();
+
+  Journal journal;
+  ASSERT_TRUE(journal.open(path, 0).ok());
+  for (int i = 0; i < 3; ++i) {
+    json::Object e;
+    e.emplace("i", static_cast<double>(i));
+    ASSERT_TRUE(journal.append(json::serialize(json::Value(std::move(e))), false).ok());
+  }
+  journal.close();
+
+  const Result<JournalScan> scan = scan_journal(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.value().records.size(), 3u);
+  EXPECT_FALSE(scan.value().truncated_tail);
+  EXPECT_TRUE(scan.value().corruption.empty());
+  EXPECT_EQ(scan.value().valid_bytes, scan.value().file_bytes);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(scan.value().records[static_cast<std::size_t>(i)].find("i")->as_number(),
+                     static_cast<double>(i));
+  }
+}
+
+TEST(Journal, MissingFileIsCleanAndEmpty) {
+  const fs::path dir = fresh_dir("journal_missing");
+  const Result<JournalScan> scan = scan_journal((dir / "nope.wal").string());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().records.empty());
+  EXPECT_FALSE(scan.value().truncated_tail);
+  EXPECT_TRUE(scan.value().corruption.empty());
+}
+
+TEST(Journal, EmptyFileIsCleanAndEmpty) {
+  const fs::path dir = fresh_dir("journal_empty");
+  const fs::path path = dir / "journal.wal";
+  write_file(path, "");
+  const Result<JournalScan> scan = scan_journal(path.string());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().records.empty());
+  EXPECT_TRUE(scan.value().corruption.empty());
+}
+
+TEST(Journal, TruncatedTailKeepsValidPrefix) {
+  const fs::path dir = fresh_dir("journal_torn");
+  const std::string path = (dir / "journal.wal").string();
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path, 0).ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          journal.append(json::serialize(json::Value(event(static_cast<double>(i)))), false)
+              .ok());
+    }
+  }
+  // Tear the last record mid-payload, as a crash during write() would.
+  std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() - 3));
+
+  const Result<JournalScan> scan = scan_journal(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.value().records.size(), 2u);
+  EXPECT_TRUE(scan.value().truncated_tail);
+  EXPECT_FALSE(scan.value().corruption.empty());
+  EXPECT_LT(scan.value().valid_bytes, scan.value().file_bytes);
+
+  // Reopening at the valid prefix drops the garbage; appends continue.
+  Journal journal;
+  ASSERT_TRUE(journal.open(path, scan.value().valid_bytes).ok());
+  ASSERT_TRUE(journal.append(json::serialize(json::Value(event(9.0))), false).ok());
+  journal.close();
+  const Result<JournalScan> again = scan_journal(path);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.value().records.size(), 3u);
+  EXPECT_TRUE(again.value().corruption.empty());
+  EXPECT_DOUBLE_EQ(again.value().records[2].find("n")->as_number(), 9.0);
+}
+
+TEST(Journal, FlippedPayloadByteFailsCrcAndStopsScan) {
+  const fs::path dir = fresh_dir("journal_crc");
+  const fs::path path = dir / "journal.wal";
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path.string(), 0).ok());
+    ASSERT_TRUE(journal.append(json::serialize(json::Value(event(1.0))), false).ok());
+    ASSERT_TRUE(journal.append(json::serialize(json::Value(event(2.0))), false).ok());
+  }
+  std::string bytes = read_file(path);
+  bytes[bytes.size() - 1] ^= 0x01;  // one bit in the last record's payload
+  write_file(path, bytes);
+
+  const Result<JournalScan> scan = scan_journal(path.string());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.value().records.size(), 1u);
+  EXPECT_TRUE(scan.value().truncated_tail);
+  EXPECT_NE(scan.value().corruption.find("CRC"), std::string::npos);
+}
+
+TEST(Journal, ImplausibleLengthHeaderStopsScan) {
+  const fs::path dir = fresh_dir("journal_length");
+  const fs::path path = dir / "journal.wal";
+  std::string bytes = frame(json::serialize(json::Value(event(1.0))));
+  put_u32le(bytes, kMaxRecordBytes + 1);  // absurd length header
+  put_u32le(bytes, 0);
+  bytes += "xxxx";
+  write_file(path, bytes);
+
+  const Result<JournalScan> scan = scan_journal(path.string());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.value().records.size(), 1u);
+  EXPECT_NE(scan.value().corruption.find("length"), std::string::npos);
+}
+
+TEST(Journal, ValidCrcButNonJsonPayloadStopsScan) {
+  const fs::path dir = fresh_dir("journal_nonjson");
+  const fs::path path = dir / "journal.wal";
+  write_file(path, frame(json::serialize(json::Value(event(1.0)))) + frame("not json {"));
+
+  const Result<JournalScan> scan = scan_journal(path.string());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.value().records.size(), 1u);
+  EXPECT_NE(scan.value().corruption.find("JSON"), std::string::npos);
+}
+
+// --- snapshots --------------------------------------------------------------
+
+json::Value sample_state(double marker) {
+  json::Object state;
+  state.emplace("marker", marker);
+  return json::Value{std::move(state)};
+}
+
+TEST(Snapshot, WriteAndLoadLatest) {
+  const fs::path dir = fresh_dir("snapshot_latest");
+  ASSERT_TRUE(write_snapshot(dir.string(), 5, sample_state(5.0), true).ok());
+  ASSERT_TRUE(write_snapshot(dir.string(), 9, sample_state(9.0), true).ok());
+
+  const auto loaded = load_latest_snapshot(dir.string());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().has_value());
+  EXPECT_EQ(loaded.value()->seq, 9u);
+  EXPECT_DOUBLE_EQ(loaded.value()->state.find("marker")->as_number(), 9.0);
+}
+
+TEST(Snapshot, DamagedNewestFallsBackToOlder) {
+  const fs::path dir = fresh_dir("snapshot_fallback");
+  ASSERT_TRUE(write_snapshot(dir.string(), 5, sample_state(5.0), true).ok());
+  const Result<std::string> newest = write_snapshot(dir.string(), 9, sample_state(9.0), true);
+  ASSERT_TRUE(newest.ok());
+  std::string bytes = read_file(newest.value());
+  bytes[bytes.size() / 2] ^= 0xff;
+  write_file(newest.value(), bytes);
+
+  std::vector<std::string> rejected;
+  const auto loaded = load_latest_snapshot(dir.string(), &rejected);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().has_value());
+  EXPECT_EQ(loaded.value()->seq, 5u);
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected.front(), newest.value());
+}
+
+TEST(Snapshot, EmptyDirectoryLoadsNothing) {
+  const fs::path dir = fresh_dir("snapshot_none");
+  const auto loaded = load_latest_snapshot(dir.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().has_value());
+}
+
+TEST(Snapshot, PruneKeepsOnlyNewestValid) {
+  const fs::path dir = fresh_dir("snapshot_prune");
+  ASSERT_TRUE(write_snapshot(dir.string(), 1, sample_state(1.0), true).ok());
+  ASSERT_TRUE(write_snapshot(dir.string(), 2, sample_state(2.0), true).ok());
+  ASSERT_TRUE(write_snapshot(dir.string(), 3, sample_state(3.0), true).ok());
+
+  const Result<std::uint64_t> reclaimed = prune_snapshots(dir.string());
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_GT(reclaimed.value(), 0u);
+  std::size_t remaining = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, 1u);
+  const auto loaded = load_latest_snapshot(dir.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->seq, 3u);
+}
+
+// --- StateStore -------------------------------------------------------------
+
+TEST(StateStore, StampsSequencesAndRecoversEventsInOrder) {
+  const fs::path dir = fresh_dir("store_seq");
+  {
+    StateStore store(StoreConfig{.directory = dir.string()});
+    ASSERT_TRUE(store.open().ok());
+    EXPECT_FALSE(store.recovered().has_snapshot);
+    for (int i = 0; i < 4; ++i) {
+      const Result<std::uint64_t> seq = store.append(event(static_cast<double>(i)));
+      ASSERT_TRUE(seq.ok());
+      EXPECT_EQ(seq.value(), static_cast<std::uint64_t>(i + 1));
+    }
+  }
+  StateStore reopened(StoreConfig{.directory = dir.string()});
+  ASSERT_TRUE(reopened.open().ok());
+  const RecoveredInput& in = reopened.recovered();
+  EXPECT_FALSE(in.has_snapshot);
+  ASSERT_EQ(in.events.size(), 4u);
+  for (std::size_t i = 0; i < in.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(in.events[i].find("seq")->as_number(), static_cast<double>(i + 1));
+    EXPECT_DOUBLE_EQ(in.events[i].find("n")->as_number(), static_cast<double>(i));
+  }
+  EXPECT_EQ(reopened.last_seq(), 4u);
+}
+
+TEST(StateStore, SnapshotTruncatesJournalAndReplayResumesAfterIt) {
+  const fs::path dir = fresh_dir("store_snapshot");
+  {
+    StateStore store(StoreConfig{.directory = dir.string()});
+    ASSERT_TRUE(store.open().ok());
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(store.append(event(static_cast<double>(i))).ok());
+    const Result<std::uint64_t> seq = store.write_snapshot(sample_state(42.0));
+    ASSERT_TRUE(seq.ok());
+    EXPECT_EQ(seq.value(), 3u);
+    EXPECT_EQ(store.journal_bytes(), 0u);  // journal truncated
+    ASSERT_TRUE(store.append(event(3.0)).ok());
+    ASSERT_TRUE(store.append(event(4.0)).ok());
+  }
+  StateStore reopened(StoreConfig{.directory = dir.string()});
+  ASSERT_TRUE(reopened.open().ok());
+  const RecoveredInput& in = reopened.recovered();
+  EXPECT_TRUE(in.has_snapshot);
+  EXPECT_EQ(in.snapshot_seq, 3u);
+  EXPECT_DOUBLE_EQ(in.snapshot_state.find("marker")->as_number(), 42.0);
+  ASSERT_EQ(in.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(in.events[0].find("seq")->as_number(), 4.0);
+  EXPECT_EQ(reopened.last_seq(), 5u);
+}
+
+TEST(StateStore, SnapshotNewerThanJournalSkipsStaleRecords) {
+  const fs::path dir = fresh_dir("store_stale_journal");
+  // Snapshot covers through seq 10, but the journal on disk holds stale
+  // records 1..3 (e.g. restored from an older backup of the WAL file).
+  ASSERT_TRUE(write_snapshot(dir.string(), 10, sample_state(10.0), true).ok());
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open((dir / "journal.wal").string(), 0).ok());
+    for (int i = 1; i <= 3; ++i) {
+      json::Object e = event(static_cast<double>(i));
+      e.emplace("seq", static_cast<double>(i));
+      ASSERT_TRUE(journal.append(json::serialize(json::Value(std::move(e))), false).ok());
+    }
+  }
+  StateStore store(StoreConfig{.directory = dir.string()});
+  ASSERT_TRUE(store.open().ok());
+  const RecoveredInput& in = store.recovered();
+  EXPECT_TRUE(in.has_snapshot);
+  EXPECT_EQ(in.snapshot_seq, 10u);
+  EXPECT_TRUE(in.events.empty());
+  EXPECT_EQ(in.skipped_events, 3u);
+  // New appends continue above everything seen.
+  const Result<std::uint64_t> seq = store.append(event(99.0));
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), 11u);
+}
+
+TEST(StateStore, TornJournalTailToleratedOnOpen) {
+  const fs::path dir = fresh_dir("store_torn");
+  {
+    StateStore store(StoreConfig{.directory = dir.string()});
+    ASSERT_TRUE(store.open().ok());
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(store.append(event(static_cast<double>(i))).ok());
+  }
+  // A crash mid-append leaves a partial frame at the tail.
+  const fs::path wal = dir / "journal.wal";
+  std::ofstream out(wal, std::ios::binary | std::ios::app);
+  const char garbage[] = {0x40, 0x00, 0x00};  // half a length header
+  out.write(garbage, sizeof(garbage));
+  out.close();
+
+  StateStore store(StoreConfig{.directory = dir.string()});
+  ASSERT_TRUE(store.open().ok());
+  const RecoveredInput& in = store.recovered();
+  EXPECT_EQ(in.events.size(), 5u);
+  EXPECT_TRUE(in.journal_truncated);
+  EXPECT_FALSE(in.journal_corruption.empty());
+  // The torn bytes are gone; appending works and survives a re-scan.
+  ASSERT_TRUE(store.append(event(5.0)).ok());
+  const Result<JournalScan> scan = scan_journal(wal.string());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.value().records.size(), 6u);
+  EXPECT_TRUE(scan.value().corruption.empty());
+}
+
+TEST(StateStore, SnapshotCadenceDrivesWantsSnapshot) {
+  const fs::path dir = fresh_dir("store_cadence");
+  StateStore store(
+      StoreConfig{.directory = dir.string(), .snapshot_every_records = 3});
+  ASSERT_TRUE(store.open().ok());
+  ASSERT_TRUE(store.append(event(0.0)).ok());
+  ASSERT_TRUE(store.append(event(1.0)).ok());
+  EXPECT_FALSE(store.wants_snapshot());
+  ASSERT_TRUE(store.append(event(2.0)).ok());
+  EXPECT_TRUE(store.wants_snapshot());
+  ASSERT_TRUE(store.write_snapshot(sample_state(1.0)).ok());
+  EXPECT_FALSE(store.wants_snapshot());
+}
+
+TEST(StateStore, StatusJsonReportsJournalAndSnapshotState) {
+  const fs::path dir = fresh_dir("store_status");
+  StateStore store(StoreConfig{.directory = dir.string()});
+  ASSERT_TRUE(store.open().ok());
+  ASSERT_TRUE(store.append(event(1.0)).ok());
+  ASSERT_TRUE(store.write_snapshot(sample_state(1.0)).ok());
+
+  const json::Value status = store.status_json();
+  EXPECT_TRUE(status.find("open")->as_bool());
+  EXPECT_EQ(status.find("directory")->as_string(), dir.string());
+  ASSERT_NE(status.find("journal"), nullptr);
+  EXPECT_DOUBLE_EQ(status.find("journal")->find("records")->as_number(), 0.0);
+  ASSERT_NE(status.find("snapshot"), nullptr);
+  EXPECT_DOUBLE_EQ(status.find("snapshot")->find("last_seq")->as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace slices::store
