@@ -1,21 +1,41 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace slices::sim {
+
+namespace {
+/// Below this size the compaction heuristic never kicks in — a tiny
+/// heap costs nothing to scan and rebuilds would dominate.
+constexpr std::size_t kCompactionFloor = 64;
+}  // namespace
 
 EventId Simulator::schedule_at(SimTime t, Callback cb) {
   if (t < now_) t = now_;  // never schedule in the past
   const QueueKey key{t, next_seq_++};
-  queue_.emplace(key, std::move(cb));
-  event_index_.emplace(key.seq, key);
+  heap_.push_back(HeapEntry{key, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), heap_after);
+  live_.insert(key.seq);
   return EventId{key.seq};
 }
 
 bool Simulator::cancel(EventId id) {
-  const auto it = event_index_.find(id.value);
-  if (it == event_index_.end()) return false;
-  queue_.erase(it->second);
-  event_index_.erase(it);
+  if (live_.erase(id.value) == 0) return false;
+  maybe_compact();
   return true;
+}
+
+void Simulator::prune_cancelled() {
+  while (!heap_.empty() && !live_.contains(heap_.front().key.seq)) {
+    std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+    heap_.pop_back();
+  }
+}
+
+void Simulator::maybe_compact() {
+  if (heap_.size() < kCompactionFloor || heap_.size() <= 2 * live_.size()) return;
+  std::erase_if(heap_, [this](const HeapEntry& e) { return !live_.contains(e.key.seq); });
+  std::make_heap(heap_.begin(), heap_.end(), heap_after);
 }
 
 PeriodicId Simulator::add_periodic(Duration period, PeriodicCallback cb, Duration offset) {
@@ -39,12 +59,13 @@ void Simulator::schedule_periodic_firing(std::uint64_t periodic_key, SimTime at)
 bool Simulator::remove_periodic(PeriodicId id) { return periodics_.erase(id.value) > 0; }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  auto it = queue_.begin();
-  const QueueKey key = it->first;
-  Callback cb = std::move(it->second);
-  queue_.erase(it);
-  event_index_.erase(key.seq);
+  prune_cancelled();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+  const QueueKey key = heap_.back().key;
+  Callback cb = std::move(heap_.back().callback);
+  heap_.pop_back();
+  live_.erase(key.seq);
   now_ = key.time;
   ++executed_;
   cb();
@@ -53,7 +74,9 @@ bool Simulator::step() {
 
 std::size_t Simulator::run_until(SimTime t) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.begin()->first.time <= t) {
+  while (true) {
+    prune_cancelled();
+    if (heap_.empty() || heap_.front().key.time > t) break;
     step();
     ++executed;
   }

@@ -12,7 +12,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "common/units.hpp"
 
@@ -31,6 +33,13 @@ struct PeriodicId {
 };
 
 /// Single-threaded discrete-event simulator.
+///
+/// The pending queue is a binary min-heap ordered by (time, seq) — the
+/// same strict total order the original std::map kernel used, so runs
+/// remain bit-for-bit reproducible — with O(log n) push/pop instead of
+/// balanced-tree rebalancing and per-event index bookkeeping. cancel()
+/// is lazy: the entry stays in the heap and is dropped when it reaches
+/// the top (or at the next compaction), which makes cancellation O(1).
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -71,7 +80,9 @@ class Simulator {
   /// Run for a duration from the current time.
   std::size_t run_for(Duration d) { return run_until(now_ + d); }
 
-  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  /// Number of scheduled-and-not-yet-fired events (cancelled events do
+  /// not count, even while their heap entry lingers).
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
 
  private:
@@ -80,6 +91,22 @@ class Simulator {
     std::uint64_t seq;  // tiebreaker: FIFO among same-time events
     friend constexpr auto operator<=>(const QueueKey&, const QueueKey&) noexcept = default;
   };
+
+  struct HeapEntry {
+    QueueKey key;
+    Callback callback;
+  };
+
+  /// std::push_heap builds a max-heap; ordering by *greater* key makes
+  /// the heap top the earliest (time, seq).
+  static bool heap_after(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return b.key < a.key;
+  }
+
+  /// Drop cancelled entries sitting on top of the heap.
+  void prune_cancelled();
+  /// Rebuild the heap when cancelled entries dominate it.
+  void maybe_compact();
 
   void schedule_periodic_firing(std::uint64_t periodic_key, SimTime at);
 
@@ -91,10 +118,8 @@ class Simulator {
   SimTime now_ = SimTime::origin();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  // std::map keeps deterministic ordering and allows cancellation by key
-  // lookup through the id->key index.
-  std::map<QueueKey, Callback> queue_;
-  std::map<std::uint64_t, QueueKey> event_index_;  // EventId -> key
+  std::vector<HeapEntry> heap_;
+  std::unordered_set<std::uint64_t> live_;  // seqs scheduled, not yet fired/cancelled
   std::map<std::uint64_t, PeriodicTask> periodics_;
   std::uint64_t next_periodic_ = 1;
 };

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -148,6 +149,85 @@ TEST(Simulator, PeriodicCanRemoveItself) {
   });
   s.run_until(SimTime::from_seconds(10.0));
   EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, CancelInsideCallbackOfSameTimestamp) {
+  Simulator s;
+  bool second_fired = false;
+  EventId second{};
+  // Both events share t=1; the first cancels the second before the
+  // kernel reaches it, even though it is already due.
+  s.schedule_at(SimTime::from_seconds(1.0), [&] { EXPECT_TRUE(s.cancel(second)); });
+  second = s.schedule_at(SimTime::from_seconds(1.0), [&] { second_fired = true; });
+  s.run_until(SimTime::from_seconds(2.0));
+  EXPECT_FALSE(second_fired);
+  EXPECT_EQ(s.executed_events(), 1u);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, EventCannotCancelItselfWhileRunning) {
+  Simulator s;
+  EventId self{};
+  bool cancel_result = true;
+  self = s.schedule_at(SimTime::from_seconds(1.0), [&] { cancel_result = s.cancel(self); });
+  s.run_until(SimTime::from_seconds(2.0));
+  EXPECT_FALSE(cancel_result);  // already firing — no longer pending
+}
+
+TEST(Simulator, PendingCountIgnoresCancelledEntries) {
+  Simulator s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(s.schedule_at(SimTime::from_seconds(1.0 + i), [] {}));
+  }
+  // Cancel every id except the last — lazy deletion must not inflate
+  // pending_events() and compaction must not lose the survivor.
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) EXPECT_TRUE(s.cancel(ids[i]));
+  EXPECT_EQ(s.pending_events(), 1u);
+  EXPECT_EQ(s.run_until(SimTime::from_seconds(500.0)), 1u);
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Simulator, StepSkipsCancelledFront) {
+  Simulator s;
+  int fired = 0;
+  const EventId first = s.schedule_at(SimTime::from_seconds(1.0), [&] { fired = 1; });
+  s.schedule_at(SimTime::from_seconds(2.0), [&] { fired = 2; });
+  EXPECT_TRUE(s.cancel(first));
+  EXPECT_TRUE(s.step());  // must land on the t=2 event, not the corpse
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), SimTime::from_seconds(2.0));
+  EXPECT_FALSE(s.step());
+}
+
+// Replays a pseudo-random schedule/cancel workload twice from the same
+// seed and demands identical execution traces — the reproducibility
+// contract the whole testbed rests on.
+TEST(Simulator, SeedReplayProducesIdenticalTraces) {
+  const auto run_trace = [](std::uint32_t seed) {
+    Simulator s;
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> when(0.0, 100.0);
+    std::vector<std::pair<double, int>> trace;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 500; ++i) {
+      ids.push_back(s.schedule_at(SimTime::from_seconds(when(rng)),
+                                  [&trace, &s, i] { trace.emplace_back(s.now().as_seconds(), i); }));
+    }
+    for (int i = 0; i < 200; ++i) {
+      s.cancel(ids[rng() % ids.size()]);
+    }
+    s.run_until(SimTime::from_seconds(100.0));
+    return std::pair{trace, s.executed_events()};
+  };
+  const auto a = run_trace(42);
+  const auto b = run_trace(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_FALSE(a.first.empty());
+  const auto c = run_trace(7);
+  EXPECT_NE(a.first, c.first);  // different seed actually changes the workload
 }
 
 TEST(Simulator, TwoPeriodicsInterleaveDeterministically) {
