@@ -301,11 +301,20 @@ std::string serialize(const Value& v) {
   return out;
 }
 
+void serialize(const Value& v, std::string& out) {
+  out.clear();
+  serialize_into(out, v, /*indent=*/0, /*depth=*/0);
+}
+
 std::string serialize_pretty(const Value& v) {
   std::string out;
   serialize_into(out, v, /*indent=*/2, /*depth=*/0);
   return out;
 }
+
+void append_escaped(std::string& out, std::string_view s) { escape_into(out, s); }
+
+void append_number(std::string& out, double d) { number_into(out, d); }
 
 Result<Value> parse(std::string_view text) { return Parser(text).run(); }
 

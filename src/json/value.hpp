@@ -120,8 +120,23 @@ class Value {
 /// members emit in key order.
 [[nodiscard]] std::string serialize(const Value& v);
 
+/// Serialize compact JSON into `out` (cleared first), reusing its
+/// capacity — the allocation-free variant for per-epoch hot paths.
+void serialize(const Value& v, std::string& out);
+
 /// Serialize with 2-space indentation for human-readable dashboards.
 [[nodiscard]] std::string serialize_pretty(const Value& v);
+
+/// Append the JSON text of a string (quoted + escaped) to `out` —
+/// exactly what serialize() emits for a string Value. Together with
+/// append_number this lets hot paths emit documents straight into a
+/// buffer without building a DOM first.
+void append_escaped(std::string& out, std::string_view s);
+
+/// Append the JSON text of a number to `out` — exactly what
+/// serialize() emits for a number Value (integers without a fractional
+/// part, everything else %.17g).
+void append_number(std::string& out, double d);
 
 /// Parse a JSON document. Rejects trailing garbage, unterminated
 /// strings, bad escapes, deep nesting (>256 levels) and non-finite

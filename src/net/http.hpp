@@ -71,6 +71,10 @@ struct Request {
 
   /// Serialize to HTTP/1.1 wire format (adds Content-Length).
   [[nodiscard]] std::string encode() const;
+
+  /// Exact byte count encode() would produce, without building the
+  /// string (used by the bus fast path to keep traffic counters exact).
+  [[nodiscard]] std::size_t encoded_size() const noexcept;
 };
 
 /// An HTTP response.
@@ -80,6 +84,9 @@ struct Response {
   std::string body;
 
   [[nodiscard]] std::string encode() const;
+
+  /// Exact byte count encode() would produce (see Request::encoded_size).
+  [[nodiscard]] std::size_t encoded_size() const noexcept;
 
   /// Build a JSON response with Content-Type set.
   [[nodiscard]] static Response json(Status status, std::string body_json);

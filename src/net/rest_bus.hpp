@@ -4,10 +4,15 @@
 // The testbed in the paper connects three domain controllers to the
 // end-to-end orchestrator via REST over an IP network. Here services
 // (routers) register under a name ("ran", "transport", "cloud") and
-// clients issue requests by service name. Each exchange is round-tripped
-// through the real HTTP/1.1 codec — encode -> parse -> dispatch ->
-// encode -> parse — so the full wire path is exercised while keeping the
-// system deterministic and self-contained.
+// clients issue requests by service name.
+//
+// Hot-path exchanges dispatch straight into the service router; every
+// wire_check_interval-th call per service instead round-trips through
+// the real HTTP/1.1 codec — encode -> parse -> dispatch -> encode ->
+// parse — so the wire format stays continuously verified without paying
+// codec cost on every monitoring exchange. Traffic counters are exact
+// on both paths (the fast path accounts the bytes encode() would have
+// produced), and both paths return byte-identical responses.
 
 #include <functional>
 #include <map>
@@ -32,17 +37,35 @@ struct BusStats {
 /// Name-addressed registry of REST services with a synchronous client.
 class RestBus {
  public:
+  /// Default sampling: one call in 64 per service crosses the full
+  /// HTTP/1.1 codec; the rest take the direct-dispatch fast path.
+  static constexpr std::uint64_t kDefaultWireCheckInterval = 64;
+
   /// Register a service; replaces any previous router under `name`.
+  /// Traffic counters of a previously registered `name` are kept.
   void register_service(std::string name, std::shared_ptr<Router> router);
 
-  /// Remove a service (subsequent calls see Errc::unavailable).
+  /// Remove a service (subsequent calls see Errc::unavailable). Its
+  /// traffic counters remain visible in stats().
   void unregister_service(const std::string& name);
 
   [[nodiscard]] bool has_service(const std::string& name) const noexcept;
 
-  /// Issue `request` to service `name` through the wire codec.
-  /// Errors: unavailable (unknown service) or protocol_error (codec).
+  /// Issue `request` to service `name`. Every wire_check_interval-th
+  /// call per service crosses the full wire codec; others dispatch
+  /// directly. Errors: unavailable (unknown service) or protocol_error
+  /// (codec, on sampled calls).
   [[nodiscard]] Result<Response> call(const std::string& name, const Request& request);
+
+  /// How often the wire codec is exercised: every `interval`-th call
+  /// per service (1 = every call, restoring the always-encode
+  /// behaviour). Must be >= 1.
+  void set_wire_check_interval(std::uint64_t interval) noexcept {
+    wire_check_interval_ = interval == 0 ? 1 : interval;
+  }
+  [[nodiscard]] std::uint64_t wire_check_interval() const noexcept {
+    return wire_check_interval_;
+  }
 
   /// Convenience: JSON request/response round trip. Non-2xx responses
   /// come back as errors carrying the response body as message.
@@ -52,11 +75,22 @@ class RestBus {
   /// GET returning parsed JSON.
   [[nodiscard]] Result<json::Value> get_json(const std::string& name, const std::string& target);
 
-  [[nodiscard]] const std::map<std::string, BusStats>& stats() const noexcept { return stats_; }
+  /// Per-service traffic counters (includes unregistered services that
+  /// saw traffic). Returned by value: the bus keeps router and counters
+  /// in one combined entry internally.
+  [[nodiscard]] std::map<std::string, BusStats> stats() const;
 
  private:
-  std::map<std::string, std::shared_ptr<Router>> services_;
-  std::map<std::string, BusStats> stats_;
+  /// Router + counters in one map node: call() resolves a service with
+  /// a single string lookup.
+  struct ServiceEntry {
+    std::shared_ptr<Router> router;  ///< nullptr once unregistered
+    BusStats stats;
+  };
+
+  std::map<std::string, ServiceEntry> services_;
+  std::uint64_t wire_check_interval_ = kDefaultWireCheckInterval;
+  std::string json_buffer_;  ///< reused request-body serialization buffer
 };
 
 }  // namespace slices::net

@@ -335,9 +335,10 @@ TEST(Orchestrator, MonitoringPollsDomainsOverRest) {
                                  workload_for(traffic::Vertical::embb_video, 1));
   tb->simulator.run_for(Duration::hours(1.0));
   // Every epoch polls /metrics of ran, transport and cloud.
+  const auto stats = tb->bus.stats();
   for (const char* domain : {"ran", "transport", "cloud"}) {
-    const auto it = tb->bus.stats().find(domain);
-    ASSERT_NE(it, tb->bus.stats().end()) << domain;
+    const auto it = stats.find(domain);
+    ASSERT_NE(it, stats.end()) << domain;
     EXPECT_GE(it->second.requests, 4u) << domain;
     EXPECT_EQ(it->second.responses_error, 0u) << domain;
   }
