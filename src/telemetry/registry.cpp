@@ -2,24 +2,47 @@
 
 namespace slices::telemetry {
 
-json::Value MonitorRegistry::snapshot() const {
+namespace {
+
+/// First element of a sorted string-keyed map whose key starts with
+/// `prefix`; iteration stays inside the prefix range.
+template <typename Map>
+typename Map::const_iterator prefix_begin(const Map& map, std::string_view prefix) {
+  return prefix.empty() ? map.begin() : map.lower_bound(std::string(prefix));
+}
+
+bool in_prefix(std::string_view name, std::string_view prefix) {
+  return prefix.empty() || name.starts_with(prefix);
+}
+
+}  // namespace
+
+json::Value MonitorRegistry::snapshot(std::string_view prefix) const {
   json::Object counters;
-  for (const auto& [name, c] : counters_) counters.emplace(name, static_cast<double>(c.value()));
+  for (auto it = prefix_begin(counters_, prefix);
+       it != counters_.end() && in_prefix(it->first, prefix); ++it) {
+    counters.emplace(it->first, static_cast<double>(it->second.value()));
+  }
 
   json::Object gauges;
-  for (const auto& [name, g] : gauges_) gauges.emplace(name, g.value());
+  for (auto it = prefix_begin(gauges_, prefix);
+       it != gauges_.end() && in_prefix(it->first, prefix); ++it) {
+    gauges.emplace(it->first, it->second.value());
+  }
 
   json::Object series;
-  for (const auto& [name, s] : series_) {
+  for (auto it = prefix_begin(series_, prefix);
+       it != series_.end() && in_prefix(it->first, prefix); ++it) {
+    const TimeSeries& s = *it->second;
     json::Object entry;
-    entry.emplace("n", static_cast<double>(s->size()));
-    if (!s->empty()) {
-      entry.emplace("latest", s->back().value);
-      entry.emplace("latest_t", s->back().time.as_seconds());
-      if (const auto m = s->mean_last(16)) entry.emplace("mean_16", *m);
-      if (const auto m = s->max_last(16)) entry.emplace("max_16", *m);
+    entry.emplace("n", static_cast<double>(s.size()));
+    if (!s.empty()) {
+      entry.emplace("latest", s.back().value);
+      entry.emplace("latest_t", s.back().time.as_seconds());
+      if (const auto m = s.mean_last(16)) entry.emplace("mean_16", *m);
+      if (const auto m = s.max_last(16)) entry.emplace("max_16", *m);
     }
-    series.emplace(name, std::move(entry));
+    series.emplace(it->first, std::move(entry));
   }
 
   json::Object root;
@@ -27,6 +50,66 @@ json::Value MonitorRegistry::snapshot() const {
   root.emplace("gauges", std::move(gauges));
   root.emplace("series", std::move(series));
   return root;
+}
+
+void MonitorRegistry::metrics_body(std::string& out, std::string_view prefix) const {
+  // Emits exactly the bytes json::serialize(snapshot(prefix)) would:
+  // maps iterate in sorted key order, and json::Object sorts its keys
+  // the same way. Within a series entry the keys emit in their sorted
+  // order: latest, latest_t, max_16, mean_16, n.
+  out.clear();
+  out += "{\"counters\":{";
+  bool first = true;
+  for (auto it = prefix_begin(counters_, prefix);
+       it != counters_.end() && in_prefix(it->first, prefix); ++it) {
+    if (!first) out.push_back(',');
+    first = false;
+    json::append_escaped(out, it->first);
+    out.push_back(':');
+    json::append_number(out, static_cast<double>(it->second.value()));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (auto it = prefix_begin(gauges_, prefix);
+       it != gauges_.end() && in_prefix(it->first, prefix); ++it) {
+    if (!first) out.push_back(',');
+    first = false;
+    json::append_escaped(out, it->first);
+    out.push_back(':');
+    json::append_number(out, it->second.value());
+  }
+  out += "},\"series\":{";
+  first = true;
+  for (auto it = prefix_begin(series_, prefix);
+       it != series_.end() && in_prefix(it->first, prefix); ++it) {
+    const TimeSeries& s = *it->second;
+    if (!first) out.push_back(',');
+    first = false;
+    json::append_escaped(out, it->first);
+    out.push_back(':');
+    if (s.empty()) {
+      out += "{\"n\":";
+      json::append_number(out, static_cast<double>(s.size()));
+      out.push_back('}');
+      continue;
+    }
+    out += "{\"latest\":";
+    json::append_number(out, s.back().value);
+    out += ",\"latest_t\":";
+    json::append_number(out, s.back().time.as_seconds());
+    if (const auto m = s.max_last(16)) {
+      out += ",\"max_16\":";
+      json::append_number(out, *m);
+    }
+    if (const auto m = s.mean_last(16)) {
+      out += ",\"mean_16\":";
+      json::append_number(out, *m);
+    }
+    out += ",\"n\":";
+    json::append_number(out, static_cast<double>(s.size()));
+    out.push_back('}');
+  }
+  out += "}}";
 }
 
 json::Value MonitorRegistry::series_window(std::string_view name, std::size_t n) const {

@@ -37,6 +37,32 @@ class Gauge {
   double value_ = 0.0;
 };
 
+/// Stable handle to a (series, gauge) pair resolved once by name.
+/// Hot paths intern the dotted key at setup and observe through the
+/// handle each epoch instead of rebuilding the string. The pointers
+/// stay valid for the registry's lifetime: series are unique_ptr-held
+/// and gauges live in std::map nodes, neither of which relocates.
+class SeriesHandle {
+ public:
+  SeriesHandle() = default;
+
+  /// Append to the series and mirror into the gauge, exactly like
+  /// MonitorRegistry::observe(name, ...).
+  void observe(SimTime time, double value) {
+    series_->append(time, value);
+    gauge_->set(value);
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return series_ != nullptr; }
+
+ private:
+  friend class MonitorRegistry;
+  SeriesHandle(TimeSeries* series, Gauge* gauge) noexcept : series_(series), gauge_(gauge) {}
+
+  TimeSeries* series_ = nullptr;
+  Gauge* gauge_ = nullptr;
+};
+
 /// Registry of named instruments. Names are dotted paths, e.g.
 /// "cell.1.prb_used" or "slice.7.throughput_mbps".
 class MonitorRegistry {
@@ -77,10 +103,22 @@ class MonitorRegistry {
     gauge(name).set(value);
   }
 
-  /// Snapshot every instrument into a JSON object:
+  /// Resolve (and create if needed) the series+gauge pair for `name`
+  /// once; the returned handle observes without any map lookup.
+  [[nodiscard]] SeriesHandle handle(const std::string& name) {
+    return SeriesHandle{&series(name), &gauge(name)};
+  }
+
+  /// Snapshot every instrument whose name starts with `prefix` (all of
+  /// them when empty) into a JSON object:
   /// { "counters": {...}, "gauges": {...},
   ///   "series": { name: {"n": ..., "latest": ..., "mean_16": ...} } }
-  [[nodiscard]] json::Value snapshot() const;
+  [[nodiscard]] json::Value snapshot(std::string_view prefix = {}) const;
+
+  /// Serialize snapshot(prefix) straight into `out` (cleared first,
+  /// capacity reused) without building the JSON DOM — the per-epoch
+  /// /metrics hot path. Byte-identical to json::serialize(snapshot(prefix)).
+  void metrics_body(std::string& out, std::string_view prefix = {}) const;
 
   /// Snapshot one series' recent window as a JSON array of
   /// {"t": seconds, "v": value} pairs (most recent `n`).

@@ -157,6 +157,52 @@ TEST(MonitorRegistry, SnapshotIsWellFormedJson) {
   EXPECT_DOUBLE_EQ(series->find("latest_t")->as_number(), 3.0);
 }
 
+TEST(MonitorRegistry, SnapshotPrefixFiltersEveryInstrumentKind) {
+  MonitorRegistry reg;
+  reg.counter("ran.attach").increment(3);
+  reg.counter("transport.reroutes").increment(1);
+  reg.gauge("ran.util").set(0.5);
+  reg.gauge("cloud.cpu").set(0.9);
+  reg.observe("ran.cell.1.prb", at(1.0), 10.0);
+  reg.observe("transport.path.1.mbps", at(1.0), 40.0);
+
+  const json::Value ran = reg.snapshot("ran.");
+  EXPECT_NE(ran.find("counters")->find("ran.attach"), nullptr);
+  EXPECT_EQ(ran.find("counters")->find("transport.reroutes"), nullptr);
+  EXPECT_NE(ran.find("gauges")->find("ran.util"), nullptr);
+  EXPECT_EQ(ran.find("gauges")->find("cloud.cpu"), nullptr);
+  EXPECT_NE(ran.find("series")->find("ran.cell.1.prb"), nullptr);
+  EXPECT_EQ(ran.find("series")->find("transport.path.1.mbps"), nullptr);
+
+  // Empty prefix keeps the everything-snapshot.
+  const json::Value all = reg.snapshot();
+  EXPECT_NE(all.find("series")->find("transport.path.1.mbps"), nullptr);
+}
+
+TEST(MonitorRegistry, MetricsBodyMatchesDomSerialization) {
+  MonitorRegistry reg;
+  reg.counter("ran.attach").increment(7);
+  reg.counter("transport.reroutes").increment(2);
+  reg.gauge("ran.util").set(0.375);
+  reg.observe("ran.cell.1.prb", at(1.0), 10.0);
+  reg.observe("ran.cell.1.prb", at(2.0), 12.5);
+  reg.observe("transport.path.1.mbps", at(2.0), 41.830000000000005);
+  (void)reg.series("ran.empty");  // series with no points
+
+  std::string direct;
+  for (const std::string prefix : {"", "ran.", "transport.", "ghost."}) {
+    reg.metrics_body(direct, prefix);
+    EXPECT_EQ(direct, json::serialize(reg.snapshot(prefix))) << "prefix=" << prefix;
+    EXPECT_TRUE(json::parse(direct).ok()) << "prefix=" << prefix;
+  }
+
+  // Buffer reuse: a second call overwrites, not appends.
+  reg.metrics_body(direct, "ran.");
+  const std::string once = direct;
+  reg.metrics_body(direct, "ran.");
+  EXPECT_EQ(direct, once);
+}
+
 TEST(MonitorRegistry, SeriesWindowReturnsRecentPoints) {
   MonitorRegistry reg;
   for (int i = 0; i < 10; ++i) reg.observe("x", at(i), static_cast<double>(i));
