@@ -7,8 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "common.hpp"
+#include "common/thread_pool.hpp"
 #include "transport/generators.hpp"
 
 namespace {
@@ -21,6 +23,7 @@ using namespace slices::bench;
 struct ScaledSystem {
   sim::Simulator simulator;
   telemetry::MonitorRegistry registry;
+  std::unique_ptr<ThreadPool> pool;
   net::RestBus bus;
   ran::RanController ran{&registry};
   cloud::CloudController cloud{&registry};
@@ -29,8 +32,17 @@ struct ScaledSystem {
   std::unique_ptr<core::Orchestrator> orchestrator;
 };
 
-std::unique_ptr<ScaledSystem> make_scaled(std::size_t cells, std::size_t slices) {
+std::unique_ptr<ScaledSystem> make_scaled(std::size_t cells, std::size_t slices,
+                                          std::size_t epoch_threads = 0) {
   auto sys = std::make_unique<ScaledSystem>();
+  if (epoch_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    epoch_threads = hw == 0 ? 1 : hw;
+  }
+  if (epoch_threads > 1) {
+    sys->pool = std::make_unique<ThreadPool>(epoch_threads);
+    sys->ran.set_thread_pool(sys->pool.get());
+  }
 
   for (std::size_t c = 0; c < cells; ++c) {
     sys->ran.add_cell(ran::Cell(CellId{c + 1}, "cell-" + std::to_string(c),
@@ -44,6 +56,7 @@ std::unique_ptr<ScaledSystem> make_scaled(std::size_t cells, std::size_t slices)
   const NodeId core_gateway = tree.core_gateway;
   sys->transport = std::make_unique<transport::TransportController>(
       std::move(tree.topology), Rng(1), &sys->registry);
+  if (sys->pool != nullptr) sys->transport->set_thread_pool(sys->pool.get());
 
   const DatacenterId core_dc =
       sys->cloud.add_datacenter("core", cloud::DatacenterKind::core, 4.0);

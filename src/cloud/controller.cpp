@@ -167,7 +167,8 @@ std::shared_ptr<net::Router> CloudController::make_router() {
 
   router->add(net::Method::get, "/metrics", [this](const net::RouteContext&) {
     if (registry_ == nullptr) return net::Response::json(net::Status::ok, "{}");
-    return net::Response::json(net::Status::ok, json::serialize(registry_->snapshot()));
+    registry_->metrics_body(metrics_buffer_, "cloud.");
+    return net::Response::json(net::Status::ok, metrics_buffer_);
   });
 
   return router;

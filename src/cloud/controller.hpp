@@ -74,6 +74,7 @@ class CloudController {
   std::unique_ptr<StackEngine> engine_;
   IdAllocator<DatacenterTag> dc_ids_;
   telemetry::MonitorRegistry* registry_;
+  std::string metrics_buffer_;  ///< reused /metrics serialization buffer
 };
 
 }  // namespace slices::cloud

@@ -1,0 +1,120 @@
+#pragma once
+// Small persistent worker pool for sharding epoch hot loops.
+//
+// The only primitive is parallel_for(n, fn): run fn(0..n-1) with the
+// calling thread participating, returning once every invocation has
+// finished. Work is handed out through an atomic index, so the mapping
+// of index -> thread is nondeterministic — callers preserve determinism
+// by writing into index-addressed slots and reducing sequentially in
+// index order afterwards (see RanController::serve_epoch).
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slices {
+
+class ThreadPool {
+ public:
+  /// `concurrency` counts the calling thread: ThreadPool(1) spawns no
+  /// workers and parallel_for runs inline; ThreadPool(4) spawns 3.
+  explicit ThreadPool(std::size_t concurrency) {
+    const std::size_t workers = concurrency > 1 ? concurrency - 1 : 0;
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Calling thread + workers.
+  [[nodiscard]] std::size_t concurrency() const noexcept { return threads_.size() + 1; }
+
+  /// Run fn(i) for every i in [0, n). Blocks until all invocations have
+  /// returned. fn must not throw and must not call parallel_for on the
+  /// same pool reentrantly.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (threads_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      assert(pending_.load(std::memory_order_relaxed) == 0 && "reentrant parallel_for");
+      job_fn_ = &fn;
+      job_n_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      pending_.store(n, std::memory_order_relaxed);
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    drain(&fn, n);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0 && busy_workers_ == 0;
+    });
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      const std::function<void(std::size_t)>* fn = job_fn_;
+      const std::size_t n = job_n_;
+      ++busy_workers_;
+      lock.unlock();
+      drain(fn, n);
+      lock.lock();
+      --busy_workers_;
+      // parallel_for may be blocked on the last worker leaving the job.
+      if (busy_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  void drain(const std::function<void(std::size_t)>* fn, std::size_t n) {
+    while (true) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      (*fn)(i);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  std::size_t busy_workers_ = 0;  // workers currently inside drain()
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> pending_{0};
+};
+
+}  // namespace slices

@@ -737,10 +737,18 @@ void Orchestrator::run_epoch(SimTime now) {
     engine_.observe(slice, demand.as_mbps());
 
     if (registry_ != nullptr) {
-      const std::string prefix = "slice." + std::to_string(slice.value());
-      registry_->observe(prefix + ".demand_mbps", now, demand.as_mbps());
-      registry_->observe(prefix + ".achieved_mbps", now, achieved.as_mbps());
-      registry_->observe(prefix + ".reserved_mbps", now, record.reserved.as_mbps());
+      auto handle_it = slice_handles_.find(slice);
+      if (handle_it == slice_handles_.end()) {
+        const std::string prefix = "slice." + std::to_string(slice.value());
+        handle_it = slice_handles_
+                        .emplace(slice, SliceHandles{registry_->handle(prefix + ".demand_mbps"),
+                                                     registry_->handle(prefix + ".achieved_mbps"),
+                                                     registry_->handle(prefix + ".reserved_mbps")})
+                        .first;
+      }
+      handle_it->second.demand.observe(now, demand.as_mbps());
+      handle_it->second.achieved.observe(now, achieved.as_mbps());
+      handle_it->second.reserved.observe(now, record.reserved.as_mbps());
     }
   }
 
@@ -761,12 +769,21 @@ void Orchestrator::run_epoch(SimTime now) {
 
 void Orchestrator::poll_domain_metrics() {
   if (bus_ == nullptr) return;
+  // The poll transfers each domain's serialized metrics document over
+  // the bus (the paper's monitoring feed); only the response status is
+  // inspected here — dashboards parse the body, the epoch loop must not
+  // pay for a JSON parse it would throw away.
+  net::Request request;
+  request.target = "/metrics";
   for (const char* domain : {"ran", "transport", "cloud"}) {
     if (!bus_->has_service(domain)) continue;
-    const Result<json::Value> snapshot = bus_->get_json(domain, "/metrics");
-    if (!snapshot.ok()) {
+    const Result<net::Response> response = bus_->call(domain, request);
+    if (!response.ok()) {
       log_.warn(std::string("metrics poll failed for ") + domain + ": " +
-                snapshot.error().message);
+                response.error().message);
+    } else if (response.value().status != net::Status::ok) {
+      log_.warn(std::string("metrics poll failed for ") + domain + ": HTTP " +
+                std::to_string(static_cast<int>(response.value().status)));
     }
   }
 }
@@ -798,12 +815,20 @@ OrchestratorSummary Orchestrator::summary() const {
 void Orchestrator::publish_summary(SimTime now) {
   if (registry_ == nullptr) return;
   const OrchestratorSummary s = summary();
-  registry_->observe("orchestrator.active_slices", now, static_cast<double>(s.active_slices));
-  registry_->observe("orchestrator.multiplexing_gain", now, s.multiplexing_gain);
-  registry_->observe("orchestrator.contracted_mbps", now, s.contracted_total.as_mbps());
-  registry_->observe("orchestrator.reserved_mbps", now, s.reserved_total.as_mbps());
-  registry_->observe("orchestrator.net_revenue", now, s.net.as_units());
-  registry_->observe("orchestrator.penalties", now, s.penalties.as_units());
+  if (!summary_handles_.active_slices.valid()) {
+    summary_handles_.active_slices = registry_->handle("orchestrator.active_slices");
+    summary_handles_.multiplexing_gain = registry_->handle("orchestrator.multiplexing_gain");
+    summary_handles_.contracted_mbps = registry_->handle("orchestrator.contracted_mbps");
+    summary_handles_.reserved_mbps = registry_->handle("orchestrator.reserved_mbps");
+    summary_handles_.net_revenue = registry_->handle("orchestrator.net_revenue");
+    summary_handles_.penalties = registry_->handle("orchestrator.penalties");
+  }
+  summary_handles_.active_slices.observe(now, static_cast<double>(s.active_slices));
+  summary_handles_.multiplexing_gain.observe(now, s.multiplexing_gain);
+  summary_handles_.contracted_mbps.observe(now, s.contracted_total.as_mbps());
+  summary_handles_.reserved_mbps.observe(now, s.reserved_total.as_mbps());
+  summary_handles_.net_revenue.observe(now, s.net.as_units());
+  summary_handles_.penalties.observe(now, s.penalties.as_units());
 }
 
 // --- Durability (docs/persistence.md) ---------------------------------------

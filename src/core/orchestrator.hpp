@@ -87,6 +87,12 @@ struct OrchestratorConfig {
   Duration activation_margin = Duration::millis(500.0);
   double install_jitter = 0.15;
   std::uint64_t install_jitter_seed = 0x1057a11;
+
+  /// Worker threads (including the calling one) for sharding per-cell
+  /// RAN serving and per-path transport serving inside each epoch.
+  /// 1 = fully sequential. The parallel phases reduce deterministically,
+  /// so every value produces bit-for-bit identical results.
+  std::size_t epoch_threads = 1;
 };
 
 /// Breakdown of one slice's installation timeline (experiment D4).
@@ -330,6 +336,24 @@ class Orchestrator {
 
   NodeId ran_gateway_;
   std::map<DatacenterId, NodeId> dc_gateways_;
+
+  // Telemetry handles interned on first use so the epoch loop never
+  // rebuilds "slice.N.*" / "orchestrator.*" key strings.
+  struct SliceHandles {
+    telemetry::SeriesHandle demand;
+    telemetry::SeriesHandle achieved;
+    telemetry::SeriesHandle reserved;
+  };
+  struct SummaryHandles {
+    telemetry::SeriesHandle active_slices;
+    telemetry::SeriesHandle multiplexing_gain;
+    telemetry::SeriesHandle contracted_mbps;
+    telemetry::SeriesHandle reserved_mbps;
+    telemetry::SeriesHandle net_revenue;
+    telemetry::SeriesHandle penalties;
+  };
+  std::map<SliceId, SliceHandles> slice_handles_;
+  SummaryHandles summary_handles_;
 
   std::map<SliceId, SliceRecord> records_;
   std::map<RequestId, SliceId> by_request_;

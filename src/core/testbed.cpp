@@ -63,6 +63,13 @@ std::unique_ptr<Testbed> make_testbed(std::uint64_t seed, OrchestratorConfig con
 
   tb->epc = std::make_unique<epc::EpcManager>(&tb->cloud);
 
+  // --- Epoch worker pool ---------------------------------------------------
+  if (config.epoch_threads > 1) {
+    tb->pool = std::make_unique<ThreadPool>(config.epoch_threads);
+    tb->ran.set_thread_pool(tb->pool.get());
+    tb->transport->set_thread_pool(tb->pool.get());
+  }
+
   // --- REST bus: controllers feed the orchestrator over HTTP --------------
   tb->bus.register_service("ran", tb->ran.make_router());
   tb->bus.register_service("transport", tb->transport->make_router());

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "cloud/controller.hpp"
+#include "common/thread_pool.hpp"
 #include "core/orchestrator.hpp"
 #include "epc/epc.hpp"
 #include "net/rest_bus.hpp"
@@ -27,6 +28,9 @@ namespace slices::core {
 struct Testbed {
   sim::Simulator simulator;
   telemetry::MonitorRegistry registry;
+  /// Epoch-serving workers; created when config.epoch_threads > 1 and
+  /// attached to the RAN and transport controllers.
+  std::unique_ptr<ThreadPool> pool;
   net::RestBus bus;
   ran::RanController ran{&registry};
   cloud::CloudController cloud{&registry};

@@ -267,58 +267,113 @@ std::vector<RanServeReport> RanController::serve_epoch(
     totals[plmn] = RanServeReport{plmn, demand, DataRate::zero(), DataRate::zero()};
   }
 
-  for (Cell& cell : cells_) {
+  // Per-PLMN indices, built once per epoch instead of rescanning all
+  // UEs and all cells for every (cell, PLMN) pair.
+  std::map<PlmnId, std::size_t> attached_by_plmn;
+  for (const auto& [ue, rec] : ues_) ++attached_by_plmn[rec.plmn];
+  std::map<PlmnId, std::size_t> broadcasting_by_plmn;
+  for (const auto& [plmn, demand] : demands) {
+    std::size_t broadcasting = 0;
+    for (const Cell& c : cells_) {
+      if (c.broadcasts(plmn)) ++broadcasting;
+    }
+    broadcasting_by_plmn.emplace(plmn, broadcasting);
+  }
+
+  // Phase 1 — per-cell serving, shardable across the pool: every cell
+  // only reads itself plus the shared read-only indices above and writes
+  // its own outcome slot, so execution order cannot affect the result.
+  struct CellOutcome {
+    bool active = false;
+    std::vector<std::pair<PlmnId, DataRate>> lost;  // outage: demand shares gone unserved
+    std::vector<PlmnGrant> grants;
+    PrbCount used{0};
+  };
+  std::vector<CellOutcome> outcomes(cells_.size());
+
+  const auto serve_cell = [&](std::size_t i) {
+    const Cell& cell = cells_[i];
+    CellOutcome& out = outcomes[i];
+    out.active = cell_active(cell.id());
+
     std::vector<std::pair<PlmnId, DataRate>> cell_demand;
-    const bool active = cell_active(cell.id());
     for (const auto& [plmn, demand] : demands) {
       if (!cell.broadcasts(plmn)) continue;
       const std::size_t here = cell.attached_count(plmn);
-      const std::size_t everywhere = attached_ues(plmn);
+      const auto everywhere = attached_by_plmn.find(plmn);
       double share = 0.0;
-      if (everywhere > 0) {
-        share = static_cast<double>(here) / static_cast<double>(everywhere);
+      if (everywhere != attached_by_plmn.end() && everywhere->second > 0) {
+        share = static_cast<double>(here) / static_cast<double>(everywhere->second);
       } else {
         // Equal split over the cells broadcasting this PLMN.
-        std::size_t broadcasting = 0;
-        for (const Cell& c : cells_) {
-          if (c.broadcasts(plmn)) ++broadcasting;
-        }
+        const std::size_t broadcasting = broadcasting_by_plmn.at(plmn);
         share = broadcasting == 0 ? 0.0 : 1.0 / static_cast<double>(broadcasting);
       }
       cell_demand.emplace_back(plmn, demand * share);
     }
 
-    if (!active) {
+    if (!out.active) {
+      out.lost = std::move(cell_demand);
+      return;
+    }
+    out.grants = cell.serve_epoch(cell_demand);
+    for (const PlmnGrant& g : out.grants) out.used += g.granted;
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(cells_.size(), serve_cell);
+  } else {
+    for (std::size_t i = 0; i < cells_.size(); ++i) serve_cell(i);
+  }
+
+  // Phase 2 — sequential reduction in cell order on the calling thread;
+  // this fixed order is what keeps reports and telemetry bit-for-bit
+  // identical at any pool size.
+  if (registry_ != nullptr && cell_handles_.size() < cells_.size()) {
+    cell_handles_.resize(cells_.size());
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& cell = cells_[i];
+    CellOutcome& outcome = outcomes[i];
+
+    if (!outcome.active) {
       // Cell outage: its share of every PLMN's demand goes unserved.
-      for (const auto& [plmn, share_demand] : cell_demand) {
+      for (const auto& [plmn, share_demand] : outcome.lost) {
         const auto it = totals.find(plmn);
         if (it != totals.end()) it->second.unserved += share_demand;
       }
       if (registry_ != nullptr) {
-        const std::string prefix = "ran.cell." + std::to_string(cell.id().value());
-        registry_->observe(prefix + ".prb_used", now, 0.0);
-        registry_->observe(prefix + ".utilization", now, 0.0);
+        CellHandles& h = cell_handles_[i];
+        if (!h.prb_used.valid()) {
+          const std::string prefix = "ran.cell." + std::to_string(cell.id().value());
+          h.prb_used = registry_->handle(prefix + ".prb_used");
+          h.utilization = registry_->handle(prefix + ".utilization");
+        }
+        h.prb_used.observe(now, 0.0);
+        h.utilization.observe(now, 0.0);
       }
       continue;
     }
 
-    const std::vector<PlmnGrant> grants = cell.serve_epoch(cell_demand);
-    PrbCount used{0};
-    for (const PlmnGrant& g : grants) {
-      used += g.granted;
+    for (const PlmnGrant& g : outcome.grants) {
       auto it = totals.find(g.plmn);
       if (it == totals.end()) continue;  // PLMN with zero offered demand
       it->second.served += g.served;
       it->second.unserved += g.unserved;
     }
     if (registry_ != nullptr) {
-      const std::string prefix = "ran.cell." + std::to_string(cell.id().value());
-      registry_->observe(prefix + ".prb_used", now, static_cast<double>(used.value));
-      registry_->observe(prefix + ".prb_reserved", now,
-                         static_cast<double>(cell.reserved_prbs().value));
-      registry_->observe(prefix + ".utilization", now,
-                         static_cast<double>(used.value) /
-                             static_cast<double>(cell.total_prbs().value));
+      CellHandles& h = cell_handles_[i];
+      if (!h.prb_used.valid() || !h.prb_reserved.valid()) {
+        const std::string prefix = "ran.cell." + std::to_string(cell.id().value());
+        if (!h.prb_used.valid()) {
+          h.prb_used = registry_->handle(prefix + ".prb_used");
+          h.utilization = registry_->handle(prefix + ".utilization");
+        }
+        if (!h.prb_reserved.valid()) h.prb_reserved = registry_->handle(prefix + ".prb_reserved");
+      }
+      h.prb_used.observe(now, static_cast<double>(outcome.used.value));
+      h.prb_reserved.observe(now, static_cast<double>(cell.reserved_prbs().value));
+      h.utilization.observe(now, static_cast<double>(outcome.used.value) /
+                                     static_cast<double>(cell.total_prbs().value));
     }
   }
 
@@ -326,10 +381,18 @@ std::vector<RanServeReport> RanController::serve_epoch(
   out.reserve(totals.size());
   for (const auto& [plmn, report] : totals) {
     if (registry_ != nullptr) {
-      const std::string prefix = "ran.plmn." + std::to_string(plmn.value());
-      registry_->observe(prefix + ".demand_mbps", now, report.demand.as_mbps());
-      registry_->observe(prefix + ".served_mbps", now, report.served.as_mbps());
-      registry_->observe(prefix + ".unserved_mbps", now, report.unserved.as_mbps());
+      auto it = plmn_handles_.find(plmn);
+      if (it == plmn_handles_.end()) {
+        const std::string prefix = "ran.plmn." + std::to_string(plmn.value());
+        it = plmn_handles_
+                 .emplace(plmn, PlmnHandles{registry_->handle(prefix + ".demand_mbps"),
+                                            registry_->handle(prefix + ".served_mbps"),
+                                            registry_->handle(prefix + ".unserved_mbps")})
+                 .first;
+      }
+      it->second.demand.observe(now, report.demand.as_mbps());
+      it->second.served.observe(now, report.served.as_mbps());
+      it->second.unserved.observe(now, report.unserved.as_mbps());
     }
     out.push_back(report);
   }
@@ -436,7 +499,8 @@ std::shared_ptr<net::Router> RanController::make_router() {
   router->add(net::Method::get, "/metrics", [this](const net::RouteContext&) {
     if (registry_ == nullptr)
       return net::Response::json(net::Status::ok, "{}");
-    return net::Response::json(net::Status::ok, json::serialize(registry_->snapshot()));
+    registry_->metrics_body(metrics_buffer_, "ran.");
+    return net::Response::json(net::Status::ok, metrics_buffer_);
   });
 
   return router;

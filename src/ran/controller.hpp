@@ -19,6 +19,7 @@
 #include "common/ids.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "net/router.hpp"
 #include "ran/cell.hpp"
@@ -138,8 +139,16 @@ class RanController {
   /// Serve one epoch of offered demand (Mb/s per PLMN). Demand of a
   /// PLMN is split across cells proportionally to its attached UEs
   /// (equally when none). Publishes telemetry when a registry is set.
+  ///
+  /// When a thread pool is attached, per-cell serving is sharded across
+  /// it. Results are written to per-cell slots and reduced on the
+  /// calling thread in cell order, so the reports and telemetry are
+  /// bit-for-bit identical at any pool size.
   std::vector<RanServeReport> serve_epoch(
       std::span<const std::pair<PlmnId, DataRate>> demands, SimTime now);
+
+  /// Attach a worker pool (non-owning; may be nullptr to detach).
+  void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
 
   /// REST facade (see DESIGN.md for the route table). The router holds a
   /// non-owning pointer to this controller; keep the controller alive.
@@ -151,6 +160,19 @@ class RanController {
     PlmnId plmn;
   };
 
+  // Telemetry handles interned on first use so the epoch loop never
+  // rebuilds "ran.cell.N.*" / "ran.plmn.N.*" key strings.
+  struct CellHandles {
+    telemetry::SeriesHandle prb_used;
+    telemetry::SeriesHandle prb_reserved;
+    telemetry::SeriesHandle utilization;
+  };
+  struct PlmnHandles {
+    telemetry::SeriesHandle demand;
+    telemetry::SeriesHandle served;
+    telemetry::SeriesHandle unserved;
+  };
+
   std::vector<Cell> cells_;
   std::set<CellId> inactive_;
   std::map<PlmnId, std::monostate> installed_;
@@ -158,6 +180,10 @@ class RanController {
   std::map<UeId, UeRecord> ues_;
   IdAllocator<UeTag> ue_ids_;
   telemetry::MonitorRegistry* registry_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<CellHandles> cell_handles_;  // index-aligned with cells_
+  std::map<PlmnId, PlmnHandles> plmn_handles_;
+  std::string metrics_buffer_;  ///< reused /metrics serialization buffer
 };
 
 }  // namespace slices::ran

@@ -262,14 +262,20 @@ std::vector<PathServeReport> TransportController::serve_epoch(
     scale[link.id] = capacity >= reserved ? 1.0 : capacity / reserved;
   }
 
-  std::vector<PathServeReport> reports;
-  reports.reserve(demands.size());
-  std::vector<PathId> to_repair;
+  // Phase 1 — per-path serving, shardable across the pool: each slot
+  // only reads the installed paths, the topology and the scale map, so
+  // execution order cannot affect the result.
+  struct PathOutcome {
+    bool valid = false;
+    PathServeReport report;
+  };
+  std::vector<PathOutcome> outcomes(demands.size());
 
-  for (const auto& [path_id, demand] : demands) {
+  const auto serve_path = [&](std::size_t i) {
+    const auto& [path_id, demand] = demands[i];
     const auto it = paths_.find(path_id.value());
-    if (it == paths_.end()) continue;
-    PathReservation& reservation = it->second;
+    if (it == paths_.end()) return;
+    const PathReservation& reservation = it->second;
 
     double factor = 1.0;
     Duration delay = Duration::zero();
@@ -296,14 +302,37 @@ std::vector<PathServeReport> TransportController::serve_epoch(
     const double queue_penalty = utilization > 0.9 ? (utilization - 0.9) * 10.0 : 0.0;
     report.experienced_delay = delay * (1.0 + queue_penalty);
     report.delay_violated = report.experienced_delay > reservation.max_delay;
-    reports.push_back(report);
+    outcomes[i] = PathOutcome{true, report};
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(demands.size(), serve_path);
+  } else {
+    for (std::size_t i = 0; i < demands.size(); ++i) serve_path(i);
+  }
 
-    if (report.degraded) to_repair.push_back(reservation.id);
+  // Phase 2 — sequential reduction in demand order: collect reports,
+  // publish telemetry, note degraded paths for repair.
+  std::vector<PathServeReport> reports;
+  reports.reserve(demands.size());
+  std::vector<PathId> to_repair;
+  for (const PathOutcome& outcome : outcomes) {
+    if (!outcome.valid) continue;
+    const PathServeReport& report = outcome.report;
+    reports.push_back(report);
+    if (report.degraded) to_repair.push_back(report.path);
 
     if (registry_ != nullptr) {
-      const std::string prefix = "transport.path." + std::to_string(reservation.id.value());
-      registry_->observe(prefix + ".served_mbps", now, report.served.as_mbps());
-      registry_->observe(prefix + ".delay_ms", now, report.experienced_delay.as_millis());
+      auto handle_it = path_handles_.find(report.path.value());
+      if (handle_it == path_handles_.end()) {
+        const std::string prefix = "transport.path." + std::to_string(report.path.value());
+        handle_it = path_handles_
+                        .emplace(report.path.value(),
+                                 PathHandles{registry_->handle(prefix + ".served_mbps"),
+                                             registry_->handle(prefix + ".delay_ms")})
+                        .first;
+      }
+      handle_it->second.served.observe(now, report.served.as_mbps());
+      handle_it->second.delay.observe(now, report.experienced_delay.as_millis());
     }
   }
 
@@ -319,8 +348,12 @@ std::vector<PathServeReport> TransportController::serve_epoch(
       reserved_total += reserved_on(link.id).as_mbps();
       capacity_total += current_capacity(link).as_mbps();
     }
-    registry_->observe("transport.reserved_mbps", now, reserved_total);
-    registry_->observe("transport.capacity_mbps", now, capacity_total);
+    if (!reserved_total_.valid()) {
+      reserved_total_ = registry_->handle("transport.reserved_mbps");
+      capacity_total_ = registry_->handle("transport.capacity_mbps");
+    }
+    reserved_total_.observe(now, reserved_total);
+    capacity_total_.observe(now, capacity_total);
   }
   return reports;
 }
@@ -407,7 +440,8 @@ std::shared_ptr<net::Router> TransportController::make_router() {
 
   router->add(net::Method::get, "/metrics", [this](const net::RouteContext&) {
     if (registry_ == nullptr) return net::Response::json(net::Status::ok, "{}");
-    return net::Response::json(net::Status::ok, json::serialize(registry_->snapshot()));
+    registry_->metrics_body(metrics_buffer_, "transport.");
+    return net::Response::json(net::Status::ok, metrics_buffer_);
   });
 
   return router;

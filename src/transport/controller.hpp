@@ -18,6 +18,7 @@
 #include "common/ids.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "net/router.hpp"
 #include "telemetry/registry.hpp"
@@ -124,6 +125,12 @@ class TransportController {
   std::vector<PathServeReport> serve_epoch(
       std::span<const std::pair<PathId, DataRate>> demands, SimTime now);
 
+  /// Attach a worker pool (non-owning; may be nullptr to detach). The
+  /// per-path serving computation shards across it; reduction, repair
+  /// and telemetry stay sequential on the calling thread, keeping the
+  /// output bit-for-bit identical at any pool size.
+  void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+
   /// Number of reroutes performed since construction.
   [[nodiscard]] std::uint64_t reroutes() const noexcept { return reroutes_; }
 
@@ -136,6 +143,13 @@ class TransportController {
   void release_bandwidth(const Route& route, DataRate rate);
   void try_reroute(PathReservation& reservation);
 
+  // Telemetry handles interned on first use so the epoch loop never
+  // rebuilds "transport.path.N.*" key strings.
+  struct PathHandles {
+    telemetry::SeriesHandle served;
+    telemetry::SeriesHandle delay;
+  };
+
   Topology topology_;
   FadingField fading_;
   FlowTable flows_;
@@ -145,6 +159,11 @@ class TransportController {
   IdAllocator<PathTag> path_ids_;
   telemetry::MonitorRegistry* registry_;
   std::uint64_t reroutes_ = 0;
+  ThreadPool* pool_ = nullptr;
+  std::map<std::uint64_t, PathHandles> path_handles_;  // by PathId value
+  telemetry::SeriesHandle reserved_total_;
+  telemetry::SeriesHandle capacity_total_;
+  std::string metrics_buffer_;  ///< reused /metrics serialization buffer
 };
 
 }  // namespace slices::transport
