@@ -5,7 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common.hpp"
 #include "core/admission.hpp"
@@ -25,6 +27,67 @@ double batch_value(const std::vector<RequestId>& admitted,
     }
   }
   return value;
+}
+
+/// Runtime (not assert, so Release bench builds keep it) self-check of
+/// the flat take-matrix DP: on random small batches the knapsack
+/// selection must match the exhaustive subset optimum under the same
+/// Mb/s discretization, and respect capacity. Aborts loudly on any
+/// mismatch so a DP regression can never hide in the timing tables.
+void verify_knapsack_unchanged() {
+  const core::KnapsackRevenuePolicy policy;
+  Rng rng(1213);
+  constexpr int kBatches = 200;
+  for (int trial = 0; trial < kBatches; ++trial) {
+    core::RequestGenerator generator({}, rng.fork());
+    std::vector<core::CandidateRequest> batch;
+    const std::size_t size = 2 + static_cast<std::size_t>(rng.uniform_int(0, 10));
+    for (std::size_t i = 0; i < size; ++i) {
+      batch.push_back(core::CandidateRequest{RequestId{i + 1}, generator.next_request().spec});
+    }
+    const int cap = static_cast<int>(rng.uniform_int(20, 120));
+    const DataRate capacity = DataRate::mbps(static_cast<double>(cap));
+
+    std::vector<int> weight(size);
+    std::vector<std::int64_t> value(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      weight[i] = static_cast<int>(std::ceil(batch[i].spec.expected_throughput.as_mbps()));
+      value[i] = batch[i].spec.gross_revenue().as_cents();
+    }
+
+    // Exhaustive optimum over all subsets (size <= 12).
+    std::int64_t optimum = 0;
+    for (std::uint32_t mask = 0; mask < (1u << size); ++mask) {
+      int w = 0;
+      std::int64_t v = 0;
+      for (std::size_t i = 0; i < size; ++i) {
+        if ((mask >> i) & 1u) {
+          w += weight[i];
+          v += value[i] > 0 ? value[i] : 0;
+        }
+      }
+      if (w <= cap && v > optimum) optimum = v;
+    }
+
+    const std::vector<RequestId> admitted = policy.select(batch, capacity);
+    int w = 0;
+    std::int64_t v = 0;
+    for (const RequestId id : admitted) {
+      const std::size_t i = id.value() - 1;
+      w += weight[i];
+      v += value[i];
+    }
+    if (w > cap || v != optimum) {
+      std::fprintf(stderr,
+                   "FATAL: knapsack self-check failed on batch %d: picked %lld cents "
+                   "(weight %d/%d), exhaustive optimum %lld cents\n",
+                   trial, static_cast<long long>(v), w, cap,
+                   static_cast<long long>(optimum));
+      std::abort();
+    }
+  }
+  std::printf("knapsack self-check: flat take-matrix DP matches the exhaustive optimum "
+              "on %d random batches\n", kBatches);
 }
 
 void print_experiment() {
@@ -86,6 +149,7 @@ BENCHMARK(BM_KnapsackLargeBatch)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  verify_knapsack_unchanged();
   print_experiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -58,18 +58,23 @@ std::vector<RequestId> KnapsackRevenuePolicy::select(
     value[i] = candidates[i].spec.gross_revenue().as_cents();
   }
 
-  // DP over capacity with take-decision tracking.
+  // DP over capacity with take-decision tracking. The take matrix is a
+  // single flat n×(cap+1) byte buffer — one allocation instead of one
+  // heap node per row, and row-major so the inner loop walks one
+  // contiguous stripe.
   const std::size_t n = candidates.size();
-  std::vector<std::int64_t> best(static_cast<std::size_t>(cap) + 1, 0);
-  std::vector<std::vector<bool>> take(n, std::vector<bool>(static_cast<std::size_t>(cap) + 1));
+  const std::size_t stride = static_cast<std::size_t>(cap) + 1;
+  std::vector<std::int64_t> best(stride, 0);
+  std::vector<char> take(n * stride, 0);
   for (std::size_t i = 0; i < n; ++i) {
     if (weight[i] > cap || value[i] <= 0) continue;
+    char* take_row = take.data() + i * stride;
     for (int w = cap; w >= weight[i]; --w) {
       const std::int64_t with_item =
           best[static_cast<std::size_t>(w - weight[i])] + value[i];
       if (with_item > best[static_cast<std::size_t>(w)]) {
         best[static_cast<std::size_t>(w)] = with_item;
-        take[i][static_cast<std::size_t>(w)] = true;
+        take_row[w] = 1;
       }
     }
   }
@@ -78,7 +83,7 @@ std::vector<RequestId> KnapsackRevenuePolicy::select(
   std::vector<RequestId> admitted;
   int w = cap;
   for (std::size_t i = n; i-- > 0;) {
-    if (w >= 0 && take[i][static_cast<std::size_t>(w)]) {
+    if (w >= 0 && take[i * stride + static_cast<std::size_t>(w)] != 0) {
       admitted.push_back(candidates[i].id);
       w -= weight[i];
     }

@@ -70,13 +70,11 @@ void UePopulation::on_arrival() {
   const UeId ue_id = ue.value();
   const sim::EventId departure =
       simulator_->schedule_after(holding, [this, ue_id] { on_departure(ue_id); });
-  active_.emplace(ue_id, departure);
+  active_.insert(ue_id, departure);
 }
 
 void UePopulation::on_departure(UeId ue) {
-  const auto it = active_.find(ue);
-  if (it == active_.end()) return;
-  active_.erase(it);
+  if (!active_.erase(ue)) return;
   (void)ran_->detach_ue(ue);
   (void)epc_->detach_ue(slice_);
   ++departures_;

@@ -10,8 +10,8 @@
 // as blocked (the "few seconds" gating, observable in telemetry).
 
 #include <cstdint>
-#include <map>
 
+#include "common/dense_map.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -66,7 +66,7 @@ class UePopulation {
   Rng rng_;
   bool running_ = false;
   sim::EventId pending_arrival_{};
-  std::map<UeId, sim::EventId> active_;  // UE -> its departure event
+  DenseIdMap<UeId, sim::EventId> active_;  // UE -> its departure event
   std::uint64_t arrivals_ = 0;
   std::uint64_t blocked_ = 0;
   std::uint64_t departures_ = 0;

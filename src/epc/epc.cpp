@@ -53,8 +53,8 @@ cloud::StackTemplate epc_stack_template(SliceId slice, DataRate slice_rate) {
 
 Result<Duration> EpcManager::deploy(SliceId slice, DatacenterId dc, DataRate slice_rate) {
   assert(cloud_ != nullptr && cloud_->finalized());
-  if (const auto it = instances_.find(slice);
-      it != instances_.end() && it->second.state != EpcState::removed) {
+  if (const EpcInstance* existing = instances_.find(slice);
+      existing != nullptr && existing->state != EpcState::removed) {
     return make_error(Errc::conflict, "slice already has an EPC instance");
   }
   const cloud::StackTemplate tmpl = epc_stack_template(slice, slice_rate);
@@ -71,48 +71,47 @@ Result<Duration> EpcManager::deploy(SliceId slice, DatacenterId dc, DataRate sli
 }
 
 Result<void> EpcManager::activate(SliceId slice) {
-  const auto it = instances_.find(slice);
-  if (it == instances_.end()) return make_error(Errc::not_found, "no EPC for slice");
-  if (it->second.state != EpcState::deploying)
+  EpcInstance* instance = instances_.find(slice);
+  if (instance == nullptr) return make_error(Errc::not_found, "no EPC for slice");
+  if (instance->state != EpcState::deploying)
     return make_error(Errc::conflict, "EPC not in deploying state");
-  it->second.state = EpcState::active;
+  instance->state = EpcState::active;
   return {};
 }
 
 Result<void> EpcManager::remove(SliceId slice) {
-  const auto it = instances_.find(slice);
-  if (it == instances_.end() || it->second.state == EpcState::removed)
+  const EpcInstance* instance = instances_.find(slice);
+  if (instance == nullptr || instance->state == EpcState::removed)
     return make_error(Errc::not_found, "no EPC for slice");
-  const Result<void> r = cloud_->delete_stack(it->second.stack);
+  const Result<void> r = cloud_->delete_stack(instance->stack);
   assert(r.ok());
   (void)r;
-  instances_.erase(it);
+  instances_.erase(slice);
   return {};
 }
 
 Result<Duration> EpcManager::attach_ue(SliceId slice) {
-  const auto it = instances_.find(slice);
-  if (it == instances_.end()) return make_error(Errc::not_found, "no EPC for slice");
-  if (it->second.state != EpcState::active)
+  EpcInstance* instance = instances_.find(slice);
+  if (instance == nullptr) return make_error(Errc::not_found, "no EPC for slice");
+  if (instance->state != EpcState::active)
     return make_error(Errc::unavailable, "EPC still deploying; UE cannot attach yet");
-  ++it->second.attached_ues;
-  ++it->second.active_bearers;  // default bearer comes with attach
+  ++instance->attached_ues;
+  ++instance->active_bearers;  // default bearer comes with attach
   return timings_.attach + timings_.bearer_setup;
 }
 
 Result<void> EpcManager::detach_ue(SliceId slice) {
-  const auto it = instances_.find(slice);
-  if (it == instances_.end()) return make_error(Errc::not_found, "no EPC for slice");
-  if (it->second.attached_ues == 0)
+  EpcInstance* instance = instances_.find(slice);
+  if (instance == nullptr) return make_error(Errc::not_found, "no EPC for slice");
+  if (instance->attached_ues == 0)
     return make_error(Errc::invalid_argument, "no UEs attached");
-  --it->second.attached_ues;
-  --it->second.active_bearers;
+  --instance->attached_ues;
+  --instance->active_bearers;
   return {};
 }
 
 const EpcInstance* EpcManager::find(SliceId slice) const noexcept {
-  const auto it = instances_.find(slice);
-  return it == instances_.end() ? nullptr : &it->second;
+  return instances_.find(slice);
 }
 
 }  // namespace slices::epc

@@ -9,11 +9,11 @@
 // behaviour the installation-latency experiment (D4) measures.
 
 #include <cstdint>
-#include <map>
 #include <string>
 
 #include "cloud/controller.hpp"
 #include "cloud/heat.hpp"
+#include "common/dense_map.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
 #include "common/units.hpp"
@@ -92,7 +92,7 @@ class EpcManager {
 
  private:
   cloud::CloudController* cloud_;
-  std::map<SliceId, EpcInstance> instances_;
+  DenseIdMap<SliceId, EpcInstance> instances_;
   ProcedureTimings timings_;
 };
 

@@ -7,7 +7,7 @@
 
 namespace slices::forecast {
 
-BacktestReport backtest(const Forecaster& prototype, const std::vector<double>& series,
+BacktestReport backtest(const Forecaster& prototype, std::span<const double> series,
                         double safety_quantile, std::size_t residual_window) {
   std::unique_ptr<Forecaster> model = prototype.make_empty();
   ResidualTracker residuals(residual_window);
@@ -47,7 +47,7 @@ BacktestReport backtest(const Forecaster& prototype, const std::vector<double>& 
 
 std::vector<BacktestReport> compare_models(
     const std::vector<std::unique_ptr<Forecaster>>& candidates,
-    const std::vector<double>& series, double safety_quantile) {
+    std::span<const double> series, double safety_quantile) {
   std::vector<BacktestReport> reports;
   reports.reserve(candidates.size());
   for (const auto& candidate : candidates) {

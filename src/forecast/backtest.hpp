@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,8 +33,9 @@ struct BacktestReport {
 /// predict one period ahead, then reveal the actual. Steps where the
 /// model is not yet ready are skipped (warm-up). `safety_quantile`
 /// configures the residual margin used for the violation-rate metric.
+/// Takes a span so callers with reusable buffers never copy history.
 [[nodiscard]] BacktestReport backtest(const Forecaster& prototype,
-                                      const std::vector<double>& series,
+                                      std::span<const double> series,
                                       double safety_quantile = 0.95,
                                       std::size_t residual_window = 256);
 
@@ -41,7 +43,7 @@ struct BacktestReport {
 /// (best first). Candidates that never became ready rank last.
 [[nodiscard]] std::vector<BacktestReport> compare_models(
     const std::vector<std::unique_ptr<Forecaster>>& candidates,
-    const std::vector<double>& series, double safety_quantile = 0.95);
+    std::span<const double> series, double safety_quantile = 0.95);
 
 /// Standard candidate set used across the codebase: naive, SMA, EWMA,
 /// Holt, Holt–Winters(season_length).

@@ -1,6 +1,7 @@
 #include "forecast/demand_estimator.hpp"
 
 #include <cassert>
+#include <span>
 #include <vector>
 
 #include "forecast/backtest.hpp"
@@ -53,7 +54,10 @@ double DemandEstimator::upper_bound(double q, std::size_t horizon) const {
 void DemandEstimator::maybe_reselect() {
   // Need at least two seasons of history before judging seasonal models.
   if (history_.size() < 2 * config_.season_length) return;
-  const std::vector<double> series(history_.begin(), history_.end());
+  // Linearize the deque into the reusable scratch buffer; assign()
+  // reuses its capacity across reselections.
+  scratch_.assign(history_.begin(), history_.end());
+  const std::span<const double> series(scratch_);
   const auto candidates = default_candidates(config_.season_length);
   const std::vector<BacktestReport> reports = compare_models(candidates, series);
   if (reports.empty() || reports.front().evaluated == 0) return;

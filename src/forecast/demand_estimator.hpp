@@ -7,6 +7,7 @@
 #include <deque>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "forecast/forecaster.hpp"
 #include "forecast/residual.hpp"
@@ -64,6 +65,10 @@ class DemandEstimator {
   std::unique_ptr<Forecaster> model_;
   ResidualTracker residuals_;
   std::deque<double> history_;
+  /// Reselection scratch: history is linearized here and handed to
+  /// compare_models as a span, so the periodic reselection reuses one
+  /// buffer instead of allocating a fresh vector every season.
+  std::vector<double> scratch_;
   double last_ = 0.0;
   std::size_t observations_ = 0;
   std::size_t reselections_ = 0;

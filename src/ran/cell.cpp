@@ -1,6 +1,7 @@
 #include "ran/cell.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace slices::ran {
 
@@ -13,6 +14,13 @@ PrbCount Cell::reserved_prbs() const noexcept {
   return sum;
 }
 
+std::size_t Cell::plmn_index(PlmnId plmn) const noexcept {
+  for (std::size_t i = 0; i < broadcast_.size(); ++i) {
+    if (broadcast_[i] == plmn) return i;
+  }
+  return broadcast_.size();
+}
+
 Result<void> Cell::broadcast_plmn(PlmnId plmn) {
   if (broadcasts(plmn))
     return make_error(Errc::conflict, "cell " + name_ + " already broadcasts this PLMN");
@@ -20,25 +28,25 @@ Result<void> Cell::broadcast_plmn(PlmnId plmn) {
     return make_error(Errc::insufficient_capacity,
                       "cell " + name_ + " SIB1 PLMN list is full");
   broadcast_.push_back(plmn);
+  plmn_stats_.push_back(PlmnUeStats{});
   return {};
 }
 
 Result<void> Cell::withdraw_plmn(PlmnId plmn) {
-  const auto it = std::find(broadcast_.begin(), broadcast_.end(), plmn);
-  if (it == broadcast_.end())
+  const std::size_t i = plmn_index(plmn);
+  if (i == broadcast_.size())
     return make_error(Errc::not_found, "PLMN not broadcast on cell " + name_);
   if (reservations_.contains(plmn))
     return make_error(Errc::conflict, "PLMN still holds a PRB reservation");
-  for (const auto& [ue, attached] : ues_) {
-    if (attached.plmn == plmn)
-      return make_error(Errc::conflict, "UEs still attached under this PLMN");
-  }
-  broadcast_.erase(it);
+  if (plmn_stats_[i].count > 0)
+    return make_error(Errc::conflict, "UEs still attached under this PLMN");
+  broadcast_.erase(broadcast_.begin() + static_cast<std::ptrdiff_t>(i));
+  plmn_stats_.erase(plmn_stats_.begin() + static_cast<std::ptrdiff_t>(i));
   return {};
 }
 
 bool Cell::broadcasts(PlmnId plmn) const noexcept {
-  return std::find(broadcast_.begin(), broadcast_.end(), plmn) != broadcast_.end();
+  return plmn_index(plmn) != broadcast_.size();
 }
 
 std::vector<PlmnId> Cell::broadcast_list() const { return broadcast_; }
@@ -63,30 +71,35 @@ Result<void> Cell::set_reservation(PlmnId plmn, PrbCount prbs) {
 void Cell::clear_reservation(PlmnId plmn) { reservations_.erase(plmn); }
 
 PrbCount Cell::reservation_of(PlmnId plmn) const noexcept {
-  const auto it = reservations_.find(plmn);
-  return it == reservations_.end() ? PrbCount{0} : it->second;
+  const PrbCount* prbs = reservations_.find(plmn);
+  return prbs == nullptr ? PrbCount{0} : *prbs;
 }
 
 Result<void> Cell::attach_ue(UeId ue, PlmnId plmn, Cqi cqi) {
-  if (!broadcasts(plmn))
+  const std::size_t i = plmn_index(plmn);
+  if (i == broadcast_.size())
     return make_error(Errc::not_found,
                       "PLMN not on the air on cell " + name_ + "; UE cannot attach");
-  if (ues_.contains(ue)) return make_error(Errc::conflict, "UE already attached");
-  ues_.emplace(ue, AttachedUe{ue, plmn, cqi});
+  if (ues_.insert(ue, AttachedUe{ue, plmn, cqi}) == nullptr)
+    return make_error(Errc::conflict, "UE already attached");
+  ++plmn_stats_[i].count;
+  plmn_stats_[i].cqi_sum += cqi.index();
   return {};
 }
 
 Result<void> Cell::update_ue_cqi(UeId ue, Cqi cqi) {
-  const auto it = ues_.find(ue);
-  if (it == ues_.end()) return make_error(Errc::not_found, "UE not attached");
-  it->second.cqi = cqi;
+  AttachedUe* attached = ues_.find(ue);
+  if (attached == nullptr) return make_error(Errc::not_found, "UE not attached");
+  PlmnUeStats& stats = plmn_stats_[plmn_index(attached->plmn)];
+  stats.cqi_sum += cqi.index() - attached->cqi.index();
+  attached->cqi = cqi;
   return {};
 }
 
 std::optional<Cqi> Cell::ue_cqi(UeId ue) const noexcept {
-  const auto it = ues_.find(ue);
-  if (it == ues_.end()) return std::nullopt;
-  return it->second.cqi;
+  const AttachedUe* attached = ues_.find(ue);
+  if (attached == nullptr) return std::nullopt;
+  return attached->cqi;
 }
 
 void Cell::wander_cqis(Rng& rng, double step_probability) {
@@ -94,34 +107,34 @@ void Cell::wander_cqis(Rng& rng, double step_probability) {
     if (!rng.bernoulli(step_probability)) continue;
     const int delta = rng.bernoulli(0.5) ? 1 : -1;
     const int next = attached.cqi.index() + delta;
-    attached.cqi = Cqi{next < 1 ? 1 : (next > 15 ? 15 : next)};
+    const Cqi clamped{next < 1 ? 1 : (next > 15 ? 15 : next)};
+    plmn_stats_[plmn_index(attached.plmn)].cqi_sum +=
+        clamped.index() - attached.cqi.index();
+    attached.cqi = clamped;
   }
 }
 
 Result<void> Cell::detach_ue(UeId ue) {
-  if (ues_.erase(ue) == 0) return make_error(Errc::not_found, "UE not attached");
+  const AttachedUe* attached = ues_.find(ue);
+  if (attached == nullptr) return make_error(Errc::not_found, "UE not attached");
+  PlmnUeStats& stats = plmn_stats_[plmn_index(attached->plmn)];
+  assert(stats.count > 0);
+  --stats.count;
+  stats.cqi_sum -= attached->cqi.index();
+  ues_.erase(ue);
   return {};
 }
 
 std::size_t Cell::attached_count(PlmnId plmn) const noexcept {
-  std::size_t n = 0;
-  for (const auto& [ue, attached] : ues_) {
-    if (attached.plmn == plmn) ++n;
-  }
-  return n;
+  const std::size_t i = plmn_index(plmn);
+  return i == broadcast_.size() ? 0 : plmn_stats_[i].count;
 }
 
 Cqi Cell::mean_cqi(PlmnId plmn, Cqi fallback) const noexcept {
-  int sum = 0;
-  int n = 0;
-  for (const auto& [ue, attached] : ues_) {
-    if (attached.plmn == plmn) {
-      sum += attached.cqi.index();
-      ++n;
-    }
-  }
-  if (n == 0) return fallback;
-  const int mean = sum / n;
+  const std::size_t i = plmn_index(plmn);
+  if (i == broadcast_.size() || plmn_stats_[i].count == 0) return fallback;
+  const int mean = static_cast<int>(plmn_stats_[i].cqi_sum /
+                                    static_cast<std::int64_t>(plmn_stats_[i].count));
   return Cqi{mean < 1 ? 1 : (mean > 15 ? 15 : mean)};
 }
 

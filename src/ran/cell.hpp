@@ -7,14 +7,21 @@
 // broadcast PLMN set (bounded, as over-the-air SIB1 lists are), a
 // dedicated PRB reservation per PLMN, the attached UE population, and
 // serves offered demand each monitoring epoch via the MOCN scheduler.
+//
+// UE state lives in a DenseIdMap (contiguous slots, O(1) attach/detach,
+// deterministic slot-order iteration) and each broadcast PLMN keeps a
+// running (count, cqi_sum) aggregate, so attached_count / mean_cqi —
+// the per-epoch scheduling inputs — are O(1) instead of full-population
+// scans.
 
-#include <map>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/dense_map.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
@@ -96,7 +103,9 @@ class Cell {
   [[nodiscard]] std::optional<Cqi> ue_cqi(UeId ue) const noexcept;
 
   /// Random-walk every attached UE's CQI by ±1 (clamped to [1,15]) with
-  /// probability `step_probability` each.
+  /// probability `step_probability` each. Iterates UEs in slot order —
+  /// deterministic for a given attach/detach history, which keeps the
+  /// RNG consumption order reproducible.
   void wander_cqis(Rng& rng, double step_probability);
 
   [[nodiscard]] std::size_t attached_count(PlmnId plmn) const noexcept;
@@ -115,13 +124,24 @@ class Cell {
       Cqi fallback_cqi = Cqi{10}) const;
 
  private:
+  /// Running UE aggregate of one broadcast PLMN; index-aligned with
+  /// `broadcast_`. Maintained on attach/detach/CQI updates so the
+  /// scheduler inputs never rescan the population.
+  struct PlmnUeStats {
+    std::size_t count = 0;
+    std::int64_t cqi_sum = 0;
+  };
+
+  [[nodiscard]] std::size_t plmn_index(PlmnId plmn) const noexcept;
+
   CellId id_;
   std::string name_;
   PrbCount total_;
   SharingPolicy policy_;
   std::vector<PlmnId> broadcast_;               // ordered: deterministic scheduling
-  std::map<PlmnId, PrbCount> reservations_;
-  std::map<UeId, AttachedUe> ues_;
+  std::vector<PlmnUeStats> plmn_stats_;         // index-aligned with broadcast_
+  DenseIdMap<PlmnId, PrbCount> reservations_;
+  DenseIdMap<UeId, AttachedUe> ues_;
 };
 
 }  // namespace slices::ran

@@ -15,14 +15,13 @@ void RanController::add_cell(Cell cell) {
     assert(r.ok());
     (void)r;
   }
+  cell_index_.insert_or_assign(cell.id(), static_cast<std::uint32_t>(cells_.size()));
   cells_.push_back(std::move(cell));
 }
 
 const Cell* RanController::find_cell(CellId id) const noexcept {
-  for (const Cell& c : cells_) {
-    if (c.id() == id) return &c;
-  }
-  return nullptr;
+  const std::uint32_t* index = cell_index_.find(id);
+  return index == nullptr ? nullptr : &cells_[*index];
 }
 
 Result<void> RanController::install_plmn(PlmnId plmn) {
@@ -41,7 +40,7 @@ Result<void> RanController::install_plmn(PlmnId plmn) {
     assert(r.ok());
     (void)r;
   }
-  installed_.emplace(plmn, std::monostate{});
+  installed_.insert(plmn, std::monostate{});
   return {};
 }
 
@@ -49,14 +48,13 @@ Result<void> RanController::remove_plmn(PlmnId plmn) {
   if (!installed_.contains(plmn)) return make_error(Errc::not_found, "PLMN not installed");
   if (allocations_.contains(plmn))
     return make_error(Errc::conflict, "PLMN still holds a radio allocation");
-  for (const auto& [ue, rec] : ues_) {
-    if (rec.plmn == plmn) return make_error(Errc::conflict, "UEs still attached");
-  }
+  if (attached_ues(plmn) > 0) return make_error(Errc::conflict, "UEs still attached");
   for (Cell& cell : cells_) {
     const Result<void> r = cell.withdraw_plmn(plmn);
     assert(r.ok());
     (void)r;
   }
+  attached_by_plmn_.erase(plmn);
   installed_.erase(plmn);
   return {};
 }
@@ -117,8 +115,7 @@ Result<RanAllocation> RanController::set_allocation(PlmnId plmn, DataRate rate,
     assert(r.ok());
     (void)r;
   }
-  allocations_.insert_or_assign(plmn, alloc);
-  return alloc;
+  return allocations_.insert_or_assign(plmn, std::move(alloc));
 }
 
 void RanController::release_allocation(PlmnId plmn) {
@@ -127,8 +124,7 @@ void RanController::release_allocation(PlmnId plmn) {
 }
 
 const RanAllocation* RanController::find_allocation(PlmnId plmn) const noexcept {
-  const auto it = allocations_.find(plmn);
-  return it == allocations_.end() ? nullptr : &it->second;
+  return allocations_.find(plmn);
 }
 
 DataRate RanController::available_capacity(Cqi planning_cqi) const noexcept {
@@ -161,22 +157,28 @@ Result<UeId> RanController::attach_ue(PlmnId plmn, Cqi cqi) {
   const UeId ue = ue_ids_.next();
   const Result<void> r = least->attach_ue(ue, plmn, cqi);
   if (!r.ok()) return r.error();
-  ues_.emplace(ue, UeRecord{least->id(), plmn});
+  ues_.insert(ue, UeRecord{least->id(), plmn});
+  if (std::size_t* count = attached_by_plmn_.find(plmn)) {
+    ++*count;
+  } else {
+    attached_by_plmn_.insert(plmn, 1);
+  }
   return ue;
 }
 
 Result<void> RanController::detach_ue(UeId ue) {
-  const auto it = ues_.find(ue);
-  if (it == ues_.end()) return make_error(Errc::not_found, "unknown UE");
-  for (Cell& cell : cells_) {
-    if (cell.id() == it->second.cell) {
-      const Result<void> r = cell.detach_ue(ue);
-      assert(r.ok());
-      (void)r;
-      break;
-    }
+  const UeRecord* record = ues_.find(ue);
+  if (record == nullptr) return make_error(Errc::not_found, "unknown UE");
+  if (const std::uint32_t* index = cell_index_.find(record->cell)) {
+    const Result<void> r = cells_[*index].detach_ue(ue);
+    assert(r.ok());
+    (void)r;
   }
-  ues_.erase(it);
+  if (std::size_t* count = attached_by_plmn_.find(record->plmn)) {
+    assert(*count > 0);
+    --*count;
+  }
+  ues_.erase(ue);
   return {};
 }
 
@@ -185,30 +187,28 @@ void RanController::wander_cqis(Rng& rng, double step_probability) {
 }
 
 Result<void> RanController::handover_ue(UeId ue, CellId target) {
-  const auto it = ues_.find(ue);
-  if (it == ues_.end()) return make_error(Errc::not_found, "unknown UE");
-  if (it->second.cell == target) return make_error(Errc::conflict, "UE already on that cell");
+  UeRecord* record = ues_.find(ue);
+  if (record == nullptr) return make_error(Errc::not_found, "unknown UE");
+  if (record->cell == target) return make_error(Errc::conflict, "UE already on that cell");
   if (!cell_active(target)) return make_error(Errc::conflict, "target cell is inactive");
 
-  Cell* source = nullptr;
-  Cell* destination = nullptr;
-  for (Cell& cell : cells_) {
-    if (cell.id() == it->second.cell) source = &cell;
-    if (cell.id() == target) destination = &cell;
-  }
-  if (destination == nullptr) return make_error(Errc::not_found, "unknown target cell");
-  assert(source != nullptr);
+  const std::uint32_t* destination_index = cell_index_.find(target);
+  if (destination_index == nullptr) return make_error(Errc::not_found, "unknown target cell");
+  Cell& destination = cells_[*destination_index];
+  const std::uint32_t* source_index = cell_index_.find(record->cell);
+  assert(source_index != nullptr);
+  Cell& source = cells_[*source_index];
 
-  const std::optional<Cqi> cqi = source->ue_cqi(ue);
+  const std::optional<Cqi> cqi = source.ue_cqi(ue);
   assert(cqi.has_value());
   // Attach on the target first so a failure leaves the UE where it was.
-  if (Result<void> r = destination->attach_ue(ue, it->second.plmn, *cqi); !r.ok()) {
+  if (Result<void> r = destination.attach_ue(ue, record->plmn, *cqi); !r.ok()) {
     return r;
   }
-  const Result<void> detached = source->detach_ue(ue);
+  const Result<void> detached = source.detach_ue(ue);
   assert(detached.ok());
   (void)detached;
-  it->second.cell = target;
+  record->cell = target;
   return {};
 }
 
@@ -251,11 +251,8 @@ Result<void> RanController::set_cell_active(CellId cell, bool active) {
 }
 
 std::size_t RanController::attached_ues(PlmnId plmn) const noexcept {
-  std::size_t n = 0;
-  for (const auto& [ue, rec] : ues_) {
-    if (rec.plmn == plmn) ++n;
-  }
-  return n;
+  const std::size_t* count = attached_by_plmn_.find(plmn);
+  return count == nullptr ? 0 : *count;
 }
 
 std::vector<RanServeReport> RanController::serve_epoch(
@@ -267,10 +264,10 @@ std::vector<RanServeReport> RanController::serve_epoch(
     totals[plmn] = RanServeReport{plmn, demand, DataRate::zero(), DataRate::zero()};
   }
 
-  // Per-PLMN indices, built once per epoch instead of rescanning all
-  // UEs and all cells for every (cell, PLMN) pair.
-  std::map<PlmnId, std::size_t> attached_by_plmn;
-  for (const auto& [ue, rec] : ues_) ++attached_by_plmn[rec.plmn];
+  // Per-PLMN broadcasting-cell counts, built once per epoch. Attached
+  // counts need no scan at all: attached_by_plmn_ is maintained
+  // incrementally on attach/detach, so the epoch cost is independent of
+  // the UE population size.
   std::map<PlmnId, std::size_t> broadcasting_by_plmn;
   for (const auto& [plmn, demand] : demands) {
     std::size_t broadcasting = 0;
@@ -300,10 +297,10 @@ std::vector<RanServeReport> RanController::serve_epoch(
     for (const auto& [plmn, demand] : demands) {
       if (!cell.broadcasts(plmn)) continue;
       const std::size_t here = cell.attached_count(plmn);
-      const auto everywhere = attached_by_plmn.find(plmn);
+      const std::size_t* everywhere = attached_by_plmn_.find(plmn);
       double share = 0.0;
-      if (everywhere != attached_by_plmn.end() && everywhere->second > 0) {
-        share = static_cast<double>(here) / static_cast<double>(everywhere->second);
+      if (everywhere != nullptr && *everywhere > 0) {
+        share = static_cast<double>(here) / static_cast<double>(*everywhere);
       } else {
         // Equal split over the cells broadcasting this PLMN.
         const std::size_t broadcasting = broadcasting_by_plmn.at(plmn);
@@ -381,18 +378,17 @@ std::vector<RanServeReport> RanController::serve_epoch(
   out.reserve(totals.size());
   for (const auto& [plmn, report] : totals) {
     if (registry_ != nullptr) {
-      auto it = plmn_handles_.find(plmn);
-      if (it == plmn_handles_.end()) {
+      PlmnHandles* handles = plmn_handles_.find(plmn);
+      if (handles == nullptr) {
         const std::string prefix = "ran.plmn." + std::to_string(plmn.value());
-        it = plmn_handles_
-                 .emplace(plmn, PlmnHandles{registry_->handle(prefix + ".demand_mbps"),
-                                            registry_->handle(prefix + ".served_mbps"),
-                                            registry_->handle(prefix + ".unserved_mbps")})
-                 .first;
+        handles = &plmn_handles_.insert_or_assign(
+            plmn, PlmnHandles{registry_->handle(prefix + ".demand_mbps"),
+                              registry_->handle(prefix + ".served_mbps"),
+                              registry_->handle(prefix + ".unserved_mbps")});
       }
-      it->second.demand.observe(now, report.demand.as_mbps());
-      it->second.served.observe(now, report.served.as_mbps());
-      it->second.unserved.observe(now, report.unserved.as_mbps());
+      handles->demand.observe(now, report.demand.as_mbps());
+      handles->served.observe(now, report.served.as_mbps());
+      handles->unserved.observe(now, report.unserved.as_mbps());
     }
     out.push_back(report);
   }

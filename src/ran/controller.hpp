@@ -8,6 +8,7 @@
 // offered demand every monitoring epoch and publishes utilization
 // telemetry through a REST /metrics endpoint.
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <memory>
@@ -16,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/dense_map.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
@@ -173,16 +175,23 @@ class RanController {
     telemetry::SeriesHandle unserved;
   };
 
+  // Hot-path state is slot-indexed (common/dense_map.hpp): attach,
+  // detach and the epoch demand scans are O(1) lookups / contiguous
+  // walks, and iteration is in deterministic slot order.
   std::vector<Cell> cells_;
+  DenseIdMap<CellId, std::uint32_t> cell_index_;  ///< cell id -> cells_ index
   std::set<CellId> inactive_;
-  std::map<PlmnId, std::monostate> installed_;
-  std::map<PlmnId, RanAllocation> allocations_;
-  std::map<UeId, UeRecord> ues_;
+  DenseIdMap<PlmnId, std::monostate> installed_;
+  DenseIdMap<PlmnId, RanAllocation> allocations_;
+  DenseIdMap<UeId, UeRecord> ues_;
+  /// Attached-UE count per PLMN, maintained incrementally on attach and
+  /// detach so serve_epoch never rescans the UE population.
+  DenseIdMap<PlmnId, std::size_t> attached_by_plmn_;
   IdAllocator<UeTag> ue_ids_;
   telemetry::MonitorRegistry* registry_;
   ThreadPool* pool_ = nullptr;
   std::vector<CellHandles> cell_handles_;  // index-aligned with cells_
-  std::map<PlmnId, PlmnHandles> plmn_handles_;
+  DenseIdMap<PlmnId, PlmnHandles> plmn_handles_;
   std::string metrics_buffer_;  ///< reused /metrics serialization buffer
 };
 

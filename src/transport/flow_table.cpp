@@ -4,36 +4,39 @@ namespace slices::transport {
 
 Result<FlowRuleId> FlowTable::install(NodeId node, SliceId slice, LinkId out_link,
                                       std::uint32_t priority) {
-  if (lookup(node, slice) != nullptr)
+  const NodeSliceKey key{node, slice};
+  if (by_endpoint_.contains(key))
     return make_error(Errc::conflict, "flow rule for this slice already on node");
   const FlowRuleId id = ids_.next();
-  rules_.emplace(id.value(), FlowRule{id, node, slice, out_link, priority});
+  rules_.insert(id, FlowRule{id, node, slice, out_link, priority});
+  by_endpoint_.insert(key, id);
   return id;
 }
 
 Result<void> FlowTable::remove(FlowRuleId id) {
-  if (rules_.erase(id.value()) == 0) return make_error(Errc::not_found, "unknown flow rule");
+  const FlowRule* rule = rules_.find(id);
+  if (rule == nullptr) return make_error(Errc::not_found, "unknown flow rule");
+  by_endpoint_.erase(NodeSliceKey{rule->node, rule->slice});
+  rules_.erase(id);
   return {};
 }
 
 std::size_t FlowTable::remove_slice(SliceId slice) {
-  std::size_t removed = 0;
-  for (auto it = rules_.begin(); it != rules_.end();) {
-    if (it->second.slice == slice) {
-      it = rules_.erase(it);
-      ++removed;
-    } else {
-      ++it;
-    }
+  std::vector<FlowRuleId> doomed;
+  for (const auto& [id, rule] : rules_) {
+    if (rule.slice == slice) doomed.push_back(id);
   }
-  return removed;
+  for (const FlowRuleId id : doomed) {
+    const FlowRule* rule = rules_.find(id);
+    by_endpoint_.erase(NodeSliceKey{rule->node, rule->slice});
+    rules_.erase(id);
+  }
+  return doomed.size();
 }
 
 const FlowRule* FlowTable::lookup(NodeId node, SliceId slice) const noexcept {
-  for (const auto& [id, rule] : rules_) {
-    if (rule.node == node && rule.slice == slice) return &rule;
-  }
-  return nullptr;
+  const FlowRuleId* id = by_endpoint_.find(NodeSliceKey{node, slice});
+  return id == nullptr ? nullptr : rules_.find(*id);
 }
 
 std::vector<FlowRule> FlowTable::rules_for(SliceId slice) const {

@@ -9,9 +9,9 @@
 // reservations, and tests assert that consistency.
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "common/dense_map.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
 
@@ -47,7 +47,24 @@ class FlowTable {
   [[nodiscard]] std::vector<FlowRule> rules_for(SliceId slice) const;
 
  private:
-  std::map<std::uint64_t, FlowRule> rules_;  // by rule id value
+  /// Secondary index key: the (node, slice) pair the uniqueness rule is
+  /// stated over. Hashed whole; never iterated, so only lookups matter.
+  struct NodeSliceKey {
+    NodeId node{NodeId::invalid()};
+    SliceId slice{SliceId::invalid()};
+    friend constexpr bool operator==(NodeSliceKey, NodeSliceKey) noexcept = default;
+  };
+  struct NodeSliceTraits {
+    [[nodiscard]] static constexpr NodeSliceKey invalid() noexcept { return {}; }
+    [[nodiscard]] static constexpr std::uint64_t hash(NodeSliceKey k) noexcept {
+      return dense_mix64(k.node.value() ^ dense_mix64(k.slice.value()));
+    }
+  };
+
+  DenseIdMap<FlowRuleId, FlowRule> rules_;
+  /// (node, slice) -> rule id, making install-time conflict checks and
+  /// forwarding lookups O(1) instead of full-table scans.
+  DenseIdMap<NodeSliceKey, FlowRuleId, NodeSliceTraits> by_endpoint_;
   IdAllocator<FlowRuleTag> ids_;
 };
 

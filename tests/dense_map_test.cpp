@@ -1,0 +1,249 @@
+// Tests for the dense slot-indexed containers (common/dense_map.hpp):
+// StableVector pointer stability, DenseIdMap insert/erase/slot-reuse
+// semantics, deterministic slot-order iteration, handle stability under
+// growth, and a randomized differential test against std::map.
+
+#include "common/dense_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+
+namespace slices {
+namespace {
+
+TEST(StableVector, PushSlotReturnsSequentialIndices) {
+  StableVector<int> v;
+  EXPECT_TRUE(v.empty());
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(v.push_slot(), i);
+    v[i] = static_cast<int>(i);
+  }
+  EXPECT_EQ(v.size(), 1000u);
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_EQ(v[i], static_cast<int>(i));
+}
+
+TEST(StableVector, PointersSurviveGrowth) {
+  StableVector<std::string> v;
+  const std::size_t first = v.push_slot();
+  v[first] = "anchor";
+  std::string* anchor = &v[first];
+  // Grow well past several 256-element blocks.
+  for (std::size_t i = 0; i < 5000; ++i) {
+    const std::size_t slot = v.push_slot();
+    v[slot] = std::to_string(slot);
+  }
+  EXPECT_EQ(anchor, &v[first]);
+  EXPECT_EQ(*anchor, "anchor");
+  EXPECT_EQ(v[4321], "4321");
+}
+
+TEST(DenseIdMap, InsertFindErase) {
+  DenseIdMap<UeId, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(UeId{1}), nullptr);
+  EXPECT_FALSE(map.erase(UeId{1}));
+
+  ASSERT_NE(map.insert(UeId{1}, 10), nullptr);
+  ASSERT_NE(map.insert(UeId{2}, 20), nullptr);
+  EXPECT_EQ(map.insert(UeId{1}, 99), nullptr);  // duplicate: rejected
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(UeId{1}), nullptr);
+  EXPECT_EQ(*map.find(UeId{1}), 10);  // duplicate insert left value alone
+
+  map.insert_or_assign(UeId{1}, 11);
+  EXPECT_EQ(*map.find(UeId{1}), 11);
+
+  EXPECT_TRUE(map.erase(UeId{1}));
+  EXPECT_FALSE(map.erase(UeId{1}));
+  EXPECT_EQ(map.find(UeId{1}), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.contains(UeId{2}));
+}
+
+TEST(DenseIdMap, ErasedSlotsAreReusedLifo) {
+  DenseIdMap<UeId, int> map;
+  for (std::uint64_t i = 1; i <= 6; ++i) map.insert(UeId{i}, static_cast<int>(i));
+  const std::uint32_t slot2 = map.slot_of(UeId{2});
+  const std::uint32_t slot5 = map.slot_of(UeId{5});
+  ASSERT_TRUE(map.erase(UeId{2}));
+  ASSERT_TRUE(map.erase(UeId{5}));
+  // LIFO: the next insert takes 5's slot, the one after takes 2's.
+  map.insert(UeId{100}, 100);
+  map.insert(UeId{200}, 200);
+  EXPECT_EQ(map.slot_of(UeId{100}), slot5);
+  EXPECT_EQ(map.slot_of(UeId{200}), slot2);
+  EXPECT_EQ(map.slot_count(), 6u);  // arena did not grow
+}
+
+TEST(DenseIdMap, IterationIsSlotOrdered) {
+  DenseIdMap<UeId, int> map;
+  for (std::uint64_t i = 1; i <= 5; ++i) map.insert(UeId{i}, static_cast<int>(i));
+  ASSERT_TRUE(map.erase(UeId{3}));
+
+  std::vector<std::uint64_t> seen;
+  for (const auto& [ue, value] : map) {
+    seen.push_back(ue.value());
+    EXPECT_EQ(value, static_cast<int>(ue.value()));
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 4, 5}));
+
+  // A new key fills the freed slot and shows up mid-sequence, exactly
+  // where the erased key used to be.
+  map.insert(UeId{42}, 42);
+  seen.clear();
+  for (const auto& [ue, value] : map) seen.push_back(ue.value());
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 42, 4, 5}));
+}
+
+TEST(DenseIdMap, IterationOrderIsAFunctionOfOperationHistory) {
+  // Two maps fed the same operation sequence iterate identically —
+  // the property the epoch loop's determinism contract relies on.
+  DenseIdMap<UeId, int> a;
+  DenseIdMap<UeId, int> b;
+  Rng rng(7);
+  std::vector<UeId> live;
+  for (int op = 0; op < 2000; ++op) {
+    if (live.empty() || rng.uniform() < 0.6) {
+      const UeId id{static_cast<std::uint64_t>(op) + 1};
+      a.insert(id, op);
+      b.insert(id, op);
+      live.push_back(id);
+    } else {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      a.erase(live[pick]);
+      b.erase(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  auto ita = a.begin();
+  auto itb = b.begin();
+  for (; ita != a.end() && itb != b.end(); ++ita, ++itb) {
+    EXPECT_EQ((*ita).key, (*itb).key);
+    EXPECT_EQ((*ita).value, (*itb).value);
+  }
+  EXPECT_EQ(ita == a.end(), itb == b.end());
+}
+
+TEST(DenseIdMap, HandlesStayValidUnderGrowth) {
+  DenseIdMap<UeId, std::uint64_t> map;
+  std::vector<std::uint64_t*> handles;
+  constexpr std::uint64_t kCount = 10000;  // many rehashes + arena blocks
+  for (std::uint64_t i = 1; i <= kCount; ++i) {
+    handles.push_back(map.insert(UeId{i}, i * 3));
+  }
+  for (std::uint64_t i = 1; i <= kCount; ++i) {
+    EXPECT_EQ(map.find(UeId{i}), handles[i - 1]);
+    EXPECT_EQ(*handles[i - 1], i * 3);
+  }
+}
+
+TEST(DenseIdMap, ReserveAvoidsRehashButKeepsSemantics) {
+  DenseIdMap<UeId, int> map;
+  map.reserve(5000);
+  for (std::uint64_t i = 1; i <= 5000; ++i) map.insert(UeId{i}, static_cast<int>(i));
+  EXPECT_EQ(map.size(), 5000u);
+  EXPECT_EQ(*map.find(UeId{4999}), 4999);
+}
+
+struct PairKey {
+  std::uint32_t a = ~std::uint32_t{0};
+  std::uint32_t b = ~std::uint32_t{0};
+  friend bool operator==(PairKey, PairKey) = default;
+};
+
+struct PairKeyTraits {
+  [[nodiscard]] static constexpr PairKey invalid() noexcept { return PairKey{}; }
+  [[nodiscard]] static constexpr std::uint64_t hash(PairKey k) noexcept {
+    return dense_mix64((std::uint64_t{k.a} << 32) | k.b);
+  }
+};
+
+TEST(DenseIdMap, CustomKeyTraits) {
+  DenseIdMap<PairKey, int, PairKeyTraits> map;
+  for (std::uint32_t a = 0; a < 20; ++a) {
+    for (std::uint32_t b = 0; b < 20; ++b) {
+      map.insert(PairKey{a, b}, static_cast<int>(a * 100 + b));
+    }
+  }
+  EXPECT_EQ(map.size(), 400u);
+  ASSERT_NE(map.find(PairKey{7, 13}), nullptr);
+  EXPECT_EQ(*map.find(PairKey{7, 13}), 713);
+  EXPECT_TRUE(map.erase(PairKey{7, 13}));
+  EXPECT_EQ(map.find(PairKey{7, 13}), nullptr);
+  EXPECT_EQ(map.size(), 399u);
+}
+
+TEST(DenseIdMap, RandomizedDifferentialAgainstStdMap) {
+  // Fuzz-style differential test: a long random mix of insert /
+  // insert_or_assign / erase / find, mirrored into std::map; contents
+  // must agree after every operation batch. Keys are drawn from a small
+  // range so collisions, reuse and backward-shift deletion all trigger.
+  DenseIdMap<UeId, std::uint64_t> dense;
+  std::map<UeId, std::uint64_t> reference;
+  Rng rng(1213);
+  for (int op = 0; op < 50000; ++op) {
+    const UeId key{static_cast<std::uint64_t>(rng.uniform_int(1, 400))};
+    switch (rng.uniform_int(0, 3)) {
+      case 0: {  // insert (no overwrite)
+        const std::uint64_t value = rng.next_u64();
+        const bool dense_inserted = dense.insert(key, value) != nullptr;
+        const bool ref_inserted = reference.emplace(key, value).second;
+        ASSERT_EQ(dense_inserted, ref_inserted);
+        break;
+      }
+      case 1: {  // insert_or_assign
+        const std::uint64_t value = rng.next_u64();
+        dense.insert_or_assign(key, value);
+        reference[key] = value;
+        break;
+      }
+      case 2: {  // erase
+        ASSERT_EQ(dense.erase(key), reference.erase(key) > 0);
+        break;
+      }
+      default: {  // find
+        const std::uint64_t* found = dense.find(key);
+        const auto it = reference.find(key);
+        ASSERT_EQ(found != nullptr, it != reference.end());
+        if (found != nullptr) ASSERT_EQ(*found, it->second);
+        break;
+      }
+    }
+    ASSERT_EQ(dense.size(), reference.size());
+    if (op % 1000 == 999) {
+      // Full-content sweep: every dense entry is in the reference...
+      std::size_t walked = 0;
+      for (const auto& [key_seen, value] : dense) {
+        const auto it = reference.find(key_seen);
+        ASSERT_NE(it, reference.end());
+        ASSERT_EQ(value, it->second);
+        ++walked;
+      }
+      // ...and the counts match, so the sets are equal.
+      ASSERT_EQ(walked, reference.size());
+    }
+  }
+}
+
+TEST(DenseIdMap, ClearResetsEverything) {
+  DenseIdMap<UeId, int> map;
+  for (std::uint64_t i = 1; i <= 100; ++i) map.insert(UeId{i}, 1);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.slot_count(), 0u);
+  EXPECT_EQ(map.find(UeId{50}), nullptr);
+  map.insert(UeId{50}, 2);
+  EXPECT_EQ(*map.find(UeId{50}), 2);
+}
+
+}  // namespace
+}  // namespace slices

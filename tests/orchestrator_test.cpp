@@ -193,6 +193,38 @@ TEST(Orchestrator, OverbookingShrinksReservationsOfIdleSlices) {
   EXPECT_GT(tb->orchestrator->summary().multiplexing_gain, 1.5);
 }
 
+TEST(Orchestrator, ParallelEpochServingMatchesSingleThreaded) {
+  // Same scenario at epoch_threads 1 and 4 — the pooled epoch path must
+  // produce bit-identical aggregates (the contract determinism_test pins
+  // network-wide; this is the orchestrator-level spot check, and the
+  // scenario TSan runs to race-check the sharded serving).
+  const auto run = [](std::size_t threads) {
+    OrchestratorConfig config;
+    config.overbooking.warmup_observations = 4;
+    config.epoch_threads = threads;
+    auto tb = make_testbed(11, config);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      SliceSpec spec = spec_for(traffic::Vertical::embb_video, 24.0);
+      spec.expected_throughput = DataRate::mbps(10.0);
+      (void)tb->orchestrator->submit(
+          spec, workload_for(traffic::Vertical::embb_video, 100 + i));
+      tb->simulator.run_for(Duration::hours(1.0));
+    }
+    tb->simulator.run_for(Duration::hours(12.0));
+    return tb->orchestrator->summary();
+  };
+
+  const OrchestratorSummary solo = run(1);
+  const OrchestratorSummary pooled = run(4);
+  EXPECT_EQ(solo.active_slices, pooled.active_slices);
+  EXPECT_EQ(solo.admitted_total, pooled.admitted_total);
+  EXPECT_EQ(solo.reserved_total, pooled.reserved_total);
+  EXPECT_EQ(solo.earned, pooled.earned);
+  EXPECT_EQ(solo.penalties, pooled.penalties);
+  EXPECT_EQ(solo.violation_epochs, pooled.violation_epochs);
+  EXPECT_EQ(solo.reconfigurations, pooled.reconfigurations);
+}
+
 TEST(Orchestrator, OverbookingAdmitsMoreSlicesThanPeakReservation) {
   const auto count_admitted = [](bool overbooking) {
     OrchestratorConfig config;
