@@ -45,11 +45,11 @@ void print_experiment() {
   rule(72);
   std::printf("%-22s %10s %10s %10s\n", "stage", "mean s", "p50 s", "p95 s");
   rule(72);
-  const auto row = [](const char* label, std::vector<double> values) {
+  const auto row = [](const char* label, const std::vector<double>& values) {
     telemetry::RunningStats stats;
     for (const double v : values) stats.add(v);
-    std::printf("%-22s %10.2f %10.2f %10.2f\n", label, stats.mean(),
-                telemetry::quantile(values, 0.5), telemetry::quantile(values, 0.95));
+    const std::vector<double> ps = percentiles(values, {0.5, 0.95});
+    std::printf("%-22s %10.2f %10.2f %10.2f\n", label, stats.mean(), ps[0], ps[1]);
   };
   row("PLMN install (RAN)", plmn);
   row("PRB reservation", ran);

@@ -7,92 +7,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <thread>
 
 #include "common.hpp"
-#include "common/thread_pool.hpp"
 #include "transport/generators.hpp"
 
 namespace {
 
 using namespace slices;
 using namespace slices::bench;
-
-/// A scaled deployment: `cells` eNBs behind an aggregation tree, one
-/// big core DC, `slices` active slices with constant demand.
-struct ScaledSystem {
-  sim::Simulator simulator;
-  telemetry::MonitorRegistry registry;
-  std::unique_ptr<ThreadPool> pool;
-  net::RestBus bus;
-  ran::RanController ran{&registry};
-  cloud::CloudController cloud{&registry};
-  std::unique_ptr<transport::TransportController> transport;
-  std::unique_ptr<epc::EpcManager> epc;
-  std::unique_ptr<core::Orchestrator> orchestrator;
-};
-
-std::unique_ptr<ScaledSystem> make_scaled(std::size_t cells, std::size_t slices,
-                                          std::size_t epoch_threads = 0) {
-  auto sys = std::make_unique<ScaledSystem>();
-  if (epoch_threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    epoch_threads = hw == 0 ? 1 : hw;
-  }
-  if (epoch_threads > 1) {
-    sys->pool = std::make_unique<ThreadPool>(epoch_threads);
-    sys->ran.set_thread_pool(sys->pool.get());
-  }
-
-  for (std::size_t c = 0; c < cells; ++c) {
-    sys->ran.add_cell(ran::Cell(CellId{c + 1}, "cell-" + std::to_string(c),
-                                ran::Bandwidth::mhz20, ran::SharingPolicy::pooled));
-  }
-
-  transport::GeneratedTopology tree =
-      transport::make_aggregation_tree(/*leaves=*/std::max<std::size_t>(cells / 4, 1),
-                                       /*leaves_per_switch=*/4);
-  const NodeId ran_gateway = tree.ran_gateways.front();
-  const NodeId core_gateway = tree.core_gateway;
-  sys->transport = std::make_unique<transport::TransportController>(
-      std::move(tree.topology), Rng(1), &sys->registry);
-  if (sys->pool != nullptr) sys->transport->set_thread_pool(sys->pool.get());
-
-  const DatacenterId core_dc =
-      sys->cloud.add_datacenter("core", cloud::DatacenterKind::core, 4.0);
-  for (std::size_t h = 0; h < std::max<std::size_t>(slices / 8, 2); ++h) {
-    sys->cloud.add_host(core_dc, "host-" + std::to_string(h),
-                        ComputeCapacity{256.0, 1048576.0, 10000.0});
-  }
-  sys->cloud.finalize();
-  sys->epc = std::make_unique<epc::EpcManager>(&sys->cloud);
-
-  sys->bus.register_service("ran", sys->ran.make_router());
-  sys->bus.register_service("transport", sys->transport->make_router());
-  sys->bus.register_service("cloud", sys->cloud.make_router());
-
-  core::OrchestratorConfig config;
-  config.overbooking.warmup_observations = 4;
-  sys->orchestrator = std::make_unique<core::Orchestrator>(
-      &sys->simulator, &sys->ran, sys->transport.get(), &sys->cloud, sys->epc.get(),
-      &sys->bus, &sys->registry, config);
-  sys->orchestrator->set_attachment_points(ran_gateway, {{core_dc, core_gateway}});
-  sys->orchestrator->start();
-
-  // Admit `slices` small constant-demand slices (PLMN limit: 6 per
-  // cell; MOCN forces slices > 6 to share PLMN space in reality — here
-  // we cap at 6 concurrent and note the cap).
-  const std::size_t admitted = std::min<std::size_t>(slices, ran::kMaxBroadcastPlmns);
-  for (std::size_t s = 0; s < admitted; ++s) {
-    core::SliceSpec spec = core::SliceSpec::from_profile(
-        traffic::profile_for(traffic::Vertical::iot_metering), Duration::hours(10000.0));
-    spec.expected_throughput = DataRate::mbps(4.0);
-    (void)sys->orchestrator->submit(spec,
-                                    std::make_unique<traffic::ConstantTraffic>(1.0));
-  }
-  sys->simulator.run_for(Duration::hours(4.0));  // activate + warm estimators
-  return sys;
-}
 
 void print_experiment() {
   std::printf("\nS1: orchestration-loop scalability (aggregation-tree transport, one epoch)\n");

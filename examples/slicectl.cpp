@@ -13,6 +13,10 @@
 //   slicectl <port> snapshot
 //   slicectl <port> restore
 //   slicectl <port> compact
+//   slicectl <port> health
+//   slicectl <port> audit <slice-id>
+//   slicectl <port> trace dump [--clear]
+//   slicectl <port> trace clear
 //
 // With no arguments it runs a scripted self-contained session: spins up
 // an embedded testbed + HTTP server, then walks through request/list/
@@ -96,6 +100,24 @@ int run_command(std::uint16_t port, int argc, char** argv) {
   if (cmd == "compact") {
     return print_response(call(port, net::Method::post, "/store/compact"));
   }
+  if (cmd == "health") {
+    return print_response(call(port, net::Method::get, "/healthz"));
+  }
+  if (cmd == "audit" && argc >= 4) {
+    return print_response(
+        call(port, net::Method::get, std::string("/slices/") + argv[3] + "/audit"));
+  }
+  if (cmd == "trace" && argc >= 4) {
+    const std::string sub = argv[3];
+    if (sub == "dump") {
+      const bool clear = argc >= 5 && std::strcmp(argv[4], "--clear") == 0;
+      return print_response(
+          call(port, net::Method::get, clear ? "/trace?clear=1" : "/trace"));
+    }
+    if (sub == "clear") {
+      return print_response(call(port, net::Method::del, "/trace"));
+    }
+  }
   return fail("unknown command or missing arguments (see header comment for usage)");
 }
 
@@ -127,6 +149,8 @@ int scripted_session() {
   rc |= step("slicectl resize 1 12", net::Method::patch, "/slices/1",
              json::serialize(resize));
   rc |= step("slicectl report", net::Method::get, "/report");
+  rc |= step("slicectl health", net::Method::get, "/healthz");
+  rc |= step("slicectl audit 1", net::Method::get, "/slices/1/audit");
   rc |= step("slicectl delete 1", net::Method::del, "/slices/1");
 
   server.stop();

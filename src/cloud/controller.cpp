@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "json/value.hpp"
+#include "telemetry/trace.hpp"
 
 namespace slices::cloud {
 
@@ -80,6 +81,7 @@ Result<void> CloudController::delete_stack(StackId stack) {
 }
 
 void CloudController::record_epoch(SimTime now) {
+  TRACE_SCOPE("cloud.record_epoch");
   if (registry_ == nullptr) return;
   for (const auto& d : datacenters_) {
     const std::string prefix = "cloud.dc." + std::to_string(d->id().value());

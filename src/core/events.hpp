@@ -52,7 +52,8 @@ struct Event {
   SimTime time;
   EventKind kind = EventKind::request_submitted;
   SliceId slice;
-  std::string detail;  ///< human-oriented one-liner
+  std::string detail;     ///< human-oriented one-liner
+  json::Object fields;    ///< structured attribution (audit trail); may be empty
 
   [[nodiscard]] json::Value to_json() const {
     json::Object out;
@@ -61,6 +62,7 @@ struct Event {
     out.emplace("kind", std::string(to_string(kind)));
     out.emplace("slice", static_cast<double>(slice.value()));
     out.emplace("detail", detail);
+    if (!fields.empty()) out.emplace("fields", json::Object(fields));
     return out;
   }
 };
@@ -70,8 +72,10 @@ class EventLog {
  public:
   explicit EventLog(std::size_t capacity = 1024) : capacity_(capacity) {}
 
-  void record(SimTime time, EventKind kind, SliceId slice, std::string detail) {
-    events_.push_back(Event{next_sequence_++, time, kind, slice, std::move(detail)});
+  void record(SimTime time, EventKind kind, SliceId slice, std::string detail,
+              json::Object fields = {}) {
+    events_.push_back(
+        Event{next_sequence_++, time, kind, slice, std::move(detail), std::move(fields)});
     if (events_.size() > capacity_) events_.pop_front();
   }
 

@@ -184,7 +184,50 @@ Orchestrator::Orchestrator(sim::Simulator* simulator, ran::RanController* ran,
          cloud_ != nullptr && epc_ != nullptr);
   policy_ = make_policy(config_.admission_policy);
   assert(policy_ != nullptr && "unknown admission policy name");
+  if (registry_ != nullptr) {
+    hist_.epoch_us = &registry_->histogram("orchestrator.epoch_us");
+    hist_.ran_us = &registry_->histogram("orchestrator.epoch.ran_us");
+    hist_.transport_us = &registry_->histogram("orchestrator.epoch.transport_us");
+    hist_.reduce_us = &registry_->histogram("orchestrator.epoch.reduce_us");
+    hist_.admission_us = &registry_->histogram("orchestrator.admission_us");
+  }
 }
+
+namespace {
+
+/// Wall-clock phase timer for the latency histograms. Inert (no clock
+/// reads, no records) unless wall-clock profiling is enabled, so the
+/// default configuration stays deterministic.
+class WallPhaseTimer {
+ public:
+  explicit WallPhaseTimer(telemetry::Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr && telemetry::trace::wall_clock()) {
+      armed_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  WallPhaseTimer(const WallPhaseTimer&) = delete;
+  WallPhaseTimer& operator=(const WallPhaseTimer&) = delete;
+  ~WallPhaseTimer() { stop(); }
+
+  /// Record now instead of at destruction; returns the elapsed µs
+  /// (-1 when not armed). Idempotent.
+  std::int64_t stop() {
+    if (!armed_) return -1;
+    armed_ = false;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+    hist_->record(static_cast<std::uint64_t>(us < 0 ? 0 : us));
+    return us;
+  }
+
+ private:
+  telemetry::Histogram* hist_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 void Orchestrator::set_attachment_points(NodeId ran_gateway,
                                          std::map<DatacenterId, NodeId> datacenter_gateways) {
@@ -209,6 +252,9 @@ RequestId Orchestrator::submit(const SliceSpec& spec) { return submit(spec, null
 
 RequestId Orchestrator::submit(const SliceSpec& spec,
                                std::unique_ptr<traffic::TrafficModel> workload) {
+  // Keep the trace sim-clock current for admission spans that fire
+  // between epochs (run_epoch refreshes it on its own cadence).
+  telemetry::trace::set_sim_now(simulator_->now().as_micros());
   const RequestId request = request_ids_.next();
   const SliceId slice = slice_ids_.next();
 
@@ -255,6 +301,7 @@ DataRate Orchestrator::sellable_capacity() const {
 }
 
 bool Orchestrator::try_admit(SliceRecord& record) {
+  TRACE_SCOPE("orch.admit.try");
   // Materialize the reclaim the capacity estimate assumed, then embed.
   apply_overbooking(simulator_->now());
   Result<InstallTimeline> timeline = embed(record);
@@ -265,9 +312,17 @@ bool Orchestrator::try_admit(SliceRecord& record) {
     const SliceId slice = record.id;
     record.activates_at = simulator_->now() + timeline.value().total();
     simulator_->schedule_at(record.activates_at, [this, slice] { activate(slice); });
+    json::Object audit;
+    audit.emplace("reserved_mbps", record.reserved.as_mbps());
+    audit.emplace("price_per_hour", record.spec.price_per_hour.as_units());
+    audit.emplace("expected_revenue",
+                  (record.spec.price_per_hour * record.spec.duration.as_hours()).as_units());
+    audit.emplace("penalty_per_violation", record.spec.penalty_per_violation.as_units());
+    audit.emplace("install_s", timeline.value().total().as_seconds());
     events_.record(simulator_->now(), EventKind::slice_admitted, slice,
                    "installing; ready in " +
-                       std::to_string(timeline.value().total().as_seconds()) + " s");
+                       std::to_string(timeline.value().total().as_seconds()) + " s",
+                   std::move(audit));
     log_.info("admitted slice " + std::to_string(slice.value()) + " (" +
               record.spec.tenant_name + ")");
     json::Object op;
@@ -281,8 +336,11 @@ bool Orchestrator::try_admit(SliceRecord& record) {
     journal_op("admit", std::move(op));
     return true;
   }
+  json::Object audit;
+  audit.emplace("reason", timeline.error().message);
+  audit.emplace("stage", std::string("embedding"));
   events_.record(simulator_->now(), EventKind::slice_rejected, record.id,
-                 timeline.error().message);
+                 timeline.error().message, std::move(audit));
   log_.info("embedding failed: " + timeline.error().message);
   record.state = SliceState::rejected;
   ++rejected_total_;
@@ -295,6 +353,8 @@ bool Orchestrator::try_admit(SliceRecord& record) {
 
 void Orchestrator::decide(SliceRecord& record) {
   assert(record.state == SliceState::pending);
+  TRACE_SCOPE("orch.admit.decide");
+  WallPhaseTimer timer(hist_.admission_us);
   const CandidateRequest candidate{record.request, record.spec};
   const std::vector<RequestId> selected =
       policy_->select({&candidate, 1}, sellable_capacity());
@@ -302,8 +362,13 @@ void Orchestrator::decide(SliceRecord& record) {
     try_admit(record);
     return;
   }
+  json::Object audit;
+  audit.emplace("reason", std::string("declined"));
+  audit.emplace("stage", std::string("policy"));
+  audit.emplace("policy", std::string(policy_->name()));
   events_.record(simulator_->now(), EventKind::slice_rejected, record.id,
-                 "declined by " + std::string(policy_->name()) + " policy");
+                 "declined by " + std::string(policy_->name()) + " policy",
+                 std::move(audit));
   record.state = SliceState::rejected;
   ++rejected_total_;
   json::Object op;
@@ -313,6 +378,8 @@ void Orchestrator::decide(SliceRecord& record) {
 }
 
 void Orchestrator::decide_pending_batch() {
+  TRACE_SCOPE("orch.admit.batch");
+  WallPhaseTimer timer(hist_.admission_us);
   std::vector<CandidateRequest> candidates;
   for (const auto& [slice, record] : records_) {
     if (record.state == SliceState::pending) {
@@ -335,8 +402,13 @@ void Orchestrator::decide_pending_batch() {
           config_.admission_patience > Duration::zero() &&
           simulator_->now() - record.submitted_at < config_.admission_patience;
       if (patient) continue;
+      json::Object audit;
+      audit.emplace("reason", std::string("lost_auction"));
+      audit.emplace("stage", std::string("policy"));
+      audit.emplace("policy", std::string(policy_->name()));
       events_.record(simulator_->now(), EventKind::slice_rejected, record.id,
-                     "lost the " + std::string(policy_->name()) + " batch auction");
+                     "lost the " + std::string(policy_->name()) + " batch auction",
+                     std::move(audit));
       record.state = SliceState::rejected;
       ++rejected_total_;
       json::Object op;
@@ -348,6 +420,7 @@ void Orchestrator::decide_pending_batch() {
 }
 
 Result<InstallTimeline> Orchestrator::embed(SliceRecord& record) {
+  TRACE_SCOPE("orch.admit.embed");
   const SliceSpec& spec = record.spec;
   Embedding embedding;
 
@@ -559,10 +632,14 @@ Result<void> Orchestrator::resize_slice(SliceId slice, DataRate new_contract) {
     }
   }
 
+  json::Object audit;
+  audit.emplace("from_mbps", record.spec.expected_throughput.as_mbps());
+  audit.emplace("to_mbps", new_contract.as_mbps());
   record.spec.expected_throughput = new_contract;
   record.reserved = new_contract;  // overbooking re-targets next epoch
   events_.record(simulator_->now(), EventKind::slice_resized, slice,
-                 "contract now " + std::to_string(new_contract.as_mbps()) + " Mb/s");
+                 "contract now " + std::to_string(new_contract.as_mbps()) + " Mb/s",
+                 std::move(audit));
   ++reconfigurations_;
   json::Object op;
   op.emplace("slice", static_cast<double>(slice.value()));
@@ -643,9 +720,16 @@ DataRate Orchestrator::apply_overbooking(SimTime now) {
       (void)transport_->resize_path(record.embedding.paths[leg], leg_rate(leg, target));
     }
     reclaimed += clamp_non_negative(record.reserved - target);
+    json::Object audit;
+    audit.emplace("from_mbps", record.reserved.as_mbps());
+    audit.emplace("to_mbps", target.as_mbps());
+    audit.emplace("reclaimed_mbps",
+                  clamp_non_negative(record.reserved - target).as_mbps());
+    audit.emplace("contracted_mbps", contracted.as_mbps());
     events_.record(simulator_->now(), EventKind::slice_reconfigured, slice,
                    "reservation " + std::to_string(record.reserved.as_mbps()) + " -> " +
-                       std::to_string(target.as_mbps()) + " Mb/s");
+                       std::to_string(target.as_mbps()) + " Mb/s",
+                   std::move(audit));
     record.reserved = target;
     ++reconfigurations_;
     json::Object op;
@@ -657,22 +741,34 @@ DataRate Orchestrator::apply_overbooking(SimTime now) {
 }
 
 void Orchestrator::run_epoch(SimTime now) {
+  telemetry::trace::set_sim_now(now.as_micros());
+  TRACE_SCOPE("orch.serve_epoch");
+  WallPhaseTimer epoch_timer(hist_.epoch_us);
+
   // 1. Sample offered demand of every active slice.
   std::vector<std::pair<PlmnId, DataRate>> ran_demands;
   std::map<SliceId, DataRate> demand_of;
-  for (auto& [slice, record] : records_) {
-    if (record.state != SliceState::active) continue;
-    DataRate demand = DataRate::zero();
-    const auto wl = workloads_.find(slice);
-    if (wl != workloads_.end()) {
-      demand = DataRate::mbps(std::max(0.0, wl->second.model->sample(now)));
+  {
+    TRACE_SCOPE("orch.epoch.sample_demand");
+    for (auto& [slice, record] : records_) {
+      if (record.state != SliceState::active) continue;
+      DataRate demand = DataRate::zero();
+      const auto wl = workloads_.find(slice);
+      if (wl != workloads_.end()) {
+        demand = DataRate::mbps(std::max(0.0, wl->second.model->sample(now)));
+      }
+      demand_of.emplace(slice, demand);
+      ran_demands.emplace_back(record.embedding.plmn, demand);
     }
-    demand_of.emplace(slice, demand);
-    ran_demands.emplace_back(record.embedding.plmn, demand);
   }
 
   // 2. Radio serves.
-  const std::vector<ran::RanServeReport> radio_reports = ran_->serve_epoch(ran_demands, now);
+  std::vector<ran::RanServeReport> radio_reports;
+  {
+    TRACE_SCOPE("orch.epoch.ran_serve");
+    WallPhaseTimer timer(hist_.ran_us);
+    radio_reports = ran_->serve_epoch(ran_demands, now);
+  }
   std::map<PlmnId, DataRate> radio_served;
   for (const ran::RanServeReport& r : radio_reports) radio_served.emplace(r.plmn, r.served);
 
@@ -685,14 +781,26 @@ void Orchestrator::run_epoch(SimTime now) {
         served == radio_served.end() ? DataRate::zero() : min(demand_of[slice], served->second);
     path_demands.emplace_back(record.embedding.paths.front(), offered);
   }
-  const std::vector<transport::PathServeReport> path_reports =
-      transport_->serve_epoch(path_demands, now);
+  std::vector<transport::PathServeReport> path_reports;
+  {
+    TRACE_SCOPE("orch.epoch.transport_serve");
+    WallPhaseTimer timer(hist_.transport_us);
+    path_reports = transport_->serve_epoch(path_demands, now);
+  }
   std::map<SliceId, const transport::PathServeReport*> path_by_slice;
   for (const transport::PathServeReport& r : path_reports) path_by_slice.emplace(r.slice, &r);
 
-  cloud_->record_epoch(now);
+  {
+    TRACE_SCOPE("orch.epoch.cloud_record");
+    cloud_->record_epoch(now);
+  }
 
-  // 4. SLA check + revenue accrual + demand learning per active slice.
+  // 4. SLA check + revenue accrual + demand learning per active slice
+  // (the sequential reduction over the parallel serve results). Closed
+  // explicitly after the epoch journal append, before phase 5.
+  std::optional<telemetry::trace::Scope> reduce_scope;
+  reduce_scope.emplace("orch.epoch.reduce");
+  WallPhaseTimer reduce_timer(hist_.reduce_us);
   json::Array epoch_entries;  // journaled so replay re-applies exact accruals
   for (auto& [slice, record] : records_) {
     if (record.state != SliceState::active) continue;
@@ -727,11 +835,17 @@ void Orchestrator::run_epoch(SimTime now) {
     if (throughput_violated || delay_violated) {
       ledger_.charge_violation(slice, record.spec.penalty_per_violation);
       ++record.violation_epochs;
+      json::Object audit;
+      audit.emplace("achieved_mbps", achieved.as_mbps());
+      audit.emplace("entitled_mbps", entitled.as_mbps());
+      audit.emplace("delay_violated", delay_violated);
+      audit.emplace("penalty", record.spec.penalty_per_violation.as_units());
       events_.record(now, EventKind::sla_violation, slice,
                      delay_violated ? "delay bound breached"
                                     : "served " + std::to_string(achieved.as_mbps()) +
                                           " of entitled " +
-                                          std::to_string(entitled.as_mbps()) + " Mb/s");
+                                          std::to_string(entitled.as_mbps()) + " Mb/s",
+                     std::move(audit));
     }
 
     engine_.observe(slice, demand.as_mbps());
@@ -757,14 +871,30 @@ void Orchestrator::run_epoch(SimTime now) {
     op.emplace("slices", std::move(epoch_entries));
     journal_op("epoch", std::move(op));
   }
+  reduce_scope.reset();
+  reduce_timer.stop();
 
   // 5. Reconfiguration: shrink/grow reservations toward forecast targets.
-  apply_overbooking(now);
+  {
+    TRACE_SCOPE("orch.epoch.overbooking");
+    apply_overbooking(now);
+  }
 
   // 6. Monitoring over REST (the paper's controller -> orchestrator feed).
-  poll_domain_metrics();
+  {
+    TRACE_SCOPE("orch.epoch.poll_metrics");
+    poll_domain_metrics();
+  }
 
-  publish_summary(now);
+  {
+    TRACE_SCOPE("orch.epoch.publish");
+    publish_summary(now);
+  }
+
+  epoch_ran_ = true;
+  last_epoch_at_ = now;
+  last_epoch_active_ = demand_of.size();
+  last_epoch_wall_us_ = epoch_timer.stop();
 }
 
 void Orchestrator::poll_domain_metrics() {
@@ -1117,6 +1247,56 @@ Result<RecoveryStats> Orchestrator::recover_from_store() {
   return stats;
 }
 
+json::Value Orchestrator::health_json() const {
+  const SimTime now = simulator_->now();
+
+  // Component liveness: reachability of every domain service over the
+  // monitoring bus (absent bus = standalone mode, reported as such).
+  json::Object components;
+  for (const char* domain : {"ran", "transport", "cloud"}) {
+    components.emplace(domain, bus_ != nullptr && bus_->has_service(domain));
+  }
+
+  // Journal lag: records appended since the last snapshot — what a
+  // crash would have to replay.
+  bool store_degraded = false;
+  json::Object journal;
+  journal.emplace("attached", store_ != nullptr);
+  if (store_ != nullptr) {
+    journal.emplace("open", store_->is_open());
+    journal.emplace("lag_records", static_cast<double>(store_->journal_records()));
+    journal.emplace("bytes", static_cast<double>(store_->journal_bytes()));
+    store_degraded = !store_->is_open();
+  }
+
+  json::Object last_epoch;
+  last_epoch.emplace("ran", epoch_ran_);
+  bool epoch_stale = false;
+  if (epoch_ran_) {
+    last_epoch.emplace("t_s", last_epoch_at_.as_seconds());
+    last_epoch.emplace("active_slices", static_cast<double>(last_epoch_active_));
+    if (last_epoch_wall_us_ >= 0) {
+      last_epoch.emplace("duration_us", static_cast<double>(last_epoch_wall_us_));
+    }
+    epoch_stale = started_ && now - last_epoch_at_ > config_.monitoring_period * 2.0;
+  } else {
+    // Before the first epoch the loop is healthy as long as one is due.
+    epoch_stale = started_ && now.as_micros() > (config_.monitoring_period * 2.0).as_micros();
+  }
+  last_epoch.emplace("stale", epoch_stale);
+
+  json::Object out;
+  out.emplace("status", epoch_stale || store_degraded ? std::string("degraded")
+                                                      : std::string("ok"));
+  out.emplace("started", started_);
+  out.emplace("sim_time_s", now.as_seconds());
+  out.emplace("components", std::move(components));
+  out.emplace("journal", std::move(journal));
+  out.emplace("last_epoch", std::move(last_epoch));
+  out.emplace("trace", telemetry::trace::Tracer::instance().status_json());
+  return json::Value{std::move(out)};
+}
+
 std::shared_ptr<net::Router> Orchestrator::make_router() {
   auto router = std::make_shared<net::Router>();
 
@@ -1281,6 +1461,45 @@ std::shared_ptr<net::Router> Orchestrator::make_router() {
     body.emplace("net_revenue", s.net.as_units());
     body.emplace("violation_epochs", static_cast<double>(s.violation_epochs));
     body.emplace("reconfigurations", static_cast<double>(s.reconfigurations));
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::get, "/slices/{id}/audit", [this](const net::RouteContext& ctx) {
+    const Result<std::uint64_t> id = ctx.id_param("id");
+    if (!id.ok()) return net::Response::from_error(id.error());
+    const SliceRecord* record = find_slice(SliceId{id.value()});
+    if (record == nullptr)
+      return net::Response::from_error(make_error(Errc::not_found, "unknown slice"));
+    json::Array out;
+    for (const Event& event : events_.for_slice(record->id)) out.push_back(event.to_json());
+    json::Object body;
+    body.emplace("slice", static_cast<double>(record->id.value()));
+    body.emplace("state", std::string(to_string(record->state)));
+    body.emplace("events", std::move(out));
+    return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
+  });
+
+  router->add(net::Method::get, "/healthz", [this](const net::RouteContext&) {
+    return net::Response::json(net::Status::ok, json::serialize(health_json()));
+  });
+
+  router->add(net::Method::get, "/trace", [](const net::RouteContext& ctx) {
+    auto& tracer = telemetry::trace::Tracer::instance();
+    std::string body;
+    tracer.export_chrome_json(body);
+    if (const auto clear = ctx.query.find("clear");
+        clear != ctx.query.end() && clear->second != "0") {
+      tracer.clear();
+    }
+    return net::Response::json(net::Status::ok, std::move(body));
+  });
+
+  router->add(net::Method::del, "/trace", [](const net::RouteContext&) {
+    auto& tracer = telemetry::trace::Tracer::instance();
+    const std::size_t cleared = tracer.span_count();
+    tracer.clear();
+    json::Object body;
+    body.emplace("cleared_spans", static_cast<double>(cleared));
     return net::Response::json(net::Status::ok, json::serialize(json::Value(std::move(body))));
   });
 

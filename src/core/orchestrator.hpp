@@ -42,6 +42,7 @@
 #include "sim/simulator.hpp"
 #include "store/store.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 #include "traffic/model.hpp"
 #include "transport/controller.hpp"
 
@@ -246,6 +247,11 @@ class Orchestrator {
     return last_recovery_;
   }
 
+  /// Liveness/health document served at GET /healthz: component
+  /// reachability over the bus, journal lag, last-epoch freshness and
+  /// tracer status. Pure read — safe to call from tests and dashboards.
+  [[nodiscard]] json::Value health_json() const;
+
   /// REST facade — the dashboard API of the demo (slice CRUD + report).
   [[nodiscard]] std::shared_ptr<net::Router> make_router();
 
@@ -354,6 +360,27 @@ class Orchestrator {
   };
   std::map<SliceId, SliceHandles> slice_handles_;
   SummaryHandles summary_handles_;
+
+  // Latency histograms, interned eagerly in the constructor so the set
+  // of registered instruments (and hence /metrics bytes) never depends
+  // on which code paths ran. Only filled when trace::wall_clock() is on
+  // — wall durations are nondeterministic and must stay out of the
+  // default registry contents (see docs/observability.md).
+  struct EpochHistograms {
+    telemetry::Histogram* epoch_us = nullptr;
+    telemetry::Histogram* ran_us = nullptr;
+    telemetry::Histogram* transport_us = nullptr;
+    telemetry::Histogram* reduce_us = nullptr;
+    telemetry::Histogram* admission_us = nullptr;
+  };
+  EpochHistograms hist_;
+
+  // Freshness facts for /healthz (wall duration is -1 while wall-clock
+  // profiling is off).
+  SimTime last_epoch_at_;
+  std::size_t last_epoch_active_ = 0;
+  std::int64_t last_epoch_wall_us_ = -1;
+  bool epoch_ran_ = false;
 
   std::map<SliceId, SliceRecord> records_;
   std::map<RequestId, SliceId> by_request_;

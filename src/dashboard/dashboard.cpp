@@ -90,6 +90,55 @@ std::string Dashboard::render_bus() const {
   return "== REST bus ==\n" + table.render();
 }
 
+std::string Dashboard::render_health() const {
+  const json::Value health = testbed_->orchestrator->health_json();
+  const auto field = [&](std::string_view key) -> const json::Value* {
+    return health.find(key);
+  };
+  TextTable table({"check", "value"});
+  if (const json::Value* status = field("status"); status != nullptr && status->is_string()) {
+    table.add_row({"status", status->as_string()});
+  }
+  if (const json::Value* components = field("components");
+      components != nullptr && components->is_object()) {
+    for (const auto& [name, up] : components->as_object()) {
+      table.add_row({name, up.is_bool() && up.as_bool() ? "up" : "down"});
+    }
+  }
+  if (const json::Value* journal = field("journal");
+      journal != nullptr && journal->is_object()) {
+    const json::Value* lag = journal->find("lag_records");
+    table.add_row({"journal lag",
+                   lag != nullptr && lag->is_number()
+                       ? std::to_string(static_cast<std::uint64_t>(lag->as_number()))
+                       : "detached"});
+  }
+  if (const json::Value* epoch = field("last_epoch");
+      epoch != nullptr && epoch->is_object()) {
+    const json::Value* t = epoch->find("t_s");
+    if (t != nullptr && t->is_number()) {
+      table.add_row({"last epoch (h)", TextTable::num(t->as_number() / 3600.0, 2)});
+    }
+    const json::Value* dur = epoch->find("duration_us");
+    if (dur != nullptr && dur->is_number()) {
+      table.add_row({"epoch wall (us)",
+                     std::to_string(static_cast<std::int64_t>(dur->as_number()))});
+    }
+  }
+  if (const json::Value* trace = field("trace"); trace != nullptr && trace->is_object()) {
+    const json::Value* spans = trace->find("spans");
+    const json::Value* enabled = trace->find("enabled");
+    std::string summary = enabled != nullptr && enabled->is_bool() && enabled->as_bool()
+                              ? "on" : "off";
+    if (spans != nullptr && spans->is_number()) {
+      summary += ", " + std::to_string(static_cast<std::uint64_t>(spans->as_number())) +
+                 " spans";
+    }
+    table.add_row({"tracing", summary});
+  }
+  return "== Health ==\n" + table.render();
+}
+
 std::string Dashboard::render_events(std::size_t count) const {
   TextTable table({"t (h)", "slice", "event", "detail"});
   for (const core::Event& event : testbed_->orchestrator->events().recent(count)) {
@@ -102,7 +151,7 @@ std::string Dashboard::render_events(std::size_t count) const {
 
 std::string Dashboard::render_all() const {
   return render_headline() + "\n" + render_slices() + "\n" + render_domains() + "\n" +
-         render_events() + "\n" + render_bus();
+         render_events() + "\n" + render_bus() + "\n" + render_health();
 }
 
 json::Value Dashboard::snapshot() const {
@@ -135,6 +184,7 @@ json::Value Dashboard::snapshot() const {
   json::Object root;
   root.emplace("headline", std::move(headline));
   root.emplace("slices", std::move(slice_rows));
+  root.emplace("health", testbed_->orchestrator->health_json());
   root.emplace("telemetry", testbed_->registry.snapshot());
   return root;
 }

@@ -33,6 +33,10 @@ class Dashboard {
   /// REST-bus traffic counters (the controller <-> orchestrator feed).
   [[nodiscard]] std::string render_bus() const;
 
+  /// Liveness panel: the orchestrator's /healthz document as a table
+  /// (status, component reachability, journal lag, last epoch, tracer).
+  [[nodiscard]] std::string render_health() const;
+
   /// The most recent orchestration events (the demo's activity feed).
   [[nodiscard]] std::string render_events(std::size_t count = 12) const;
 

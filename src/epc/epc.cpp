@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/trace.hpp"
+
 namespace slices::epc {
 
 std::string_view to_string(VnfKind k) noexcept {
@@ -52,6 +54,7 @@ cloud::StackTemplate epc_stack_template(SliceId slice, DataRate slice_rate) {
 }
 
 Result<Duration> EpcManager::deploy(SliceId slice, DatacenterId dc, DataRate slice_rate) {
+  TRACE_SCOPE("epc.deploy");
   assert(cloud_ != nullptr && cloud_->finalized());
   if (const EpcInstance* existing = instances_.find(slice);
       existing != nullptr && existing->state != EpcState::removed) {

@@ -1,5 +1,7 @@
 #include "net/rest_bus.hpp"
 
+#include "telemetry/trace.hpp"
+
 namespace slices::net {
 
 void RestBus::register_service(std::string name, std::shared_ptr<Router> router) {
@@ -17,6 +19,7 @@ bool RestBus::has_service(const std::string& name) const noexcept {
 }
 
 Result<Response> RestBus::call(const std::string& name, const Request& request) {
+  TRACE_SCOPE("bus.call");
   const auto it = services_.find(name);
   if (it == services_.end() || it->second.router == nullptr)
     return make_error(Errc::unavailable, "no service registered as '" + name + "'");

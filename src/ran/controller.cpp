@@ -5,6 +5,8 @@
 
 #include "json/value.hpp"
 
+#include "telemetry/trace.hpp"
+
 namespace slices::ran {
 
 void RanController::add_cell(Cell cell) {
@@ -257,6 +259,7 @@ std::size_t RanController::attached_ues(PlmnId plmn) const noexcept {
 
 std::vector<RanServeReport> RanController::serve_epoch(
     std::span<const std::pair<PlmnId, DataRate>> demands, SimTime now) {
+  TRACE_SCOPE("ran.serve_epoch");
   // Split each PLMN's demand across cells: weight by attached UEs,
   // equal split when the PLMN has none anywhere.
   std::map<PlmnId, RanServeReport> totals;

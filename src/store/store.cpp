@@ -1,13 +1,22 @@
 #include "store/store.hpp"
 
+#include <chrono>
 #include <filesystem>
+#include <optional>
+
+#include "telemetry/trace.hpp"
 
 namespace slices::store {
 
 namespace fs = std::filesystem;
 
 StateStore::StateStore(StoreConfig config, telemetry::MonitorRegistry* registry)
-    : config_(std::move(config)), registry_(registry) {}
+    : config_(std::move(config)), registry_(registry) {
+  // Interned eagerly so the instrument set (and /metrics bytes) never
+  // depends on whether an append happened; only filled when wall-clock
+  // profiling is on (docs/observability.md).
+  if (registry_ != nullptr) append_hist_ = &registry_->histogram("store.append_us");
+}
 
 Result<void> StateStore::open() {
   if (config_.directory.empty()) {
@@ -71,7 +80,11 @@ Result<void> StateStore::open() {
 }
 
 Result<std::uint64_t> StateStore::append(json::Object event) {
+  TRACE_SCOPE("store.append");
   if (!journal_.is_open()) return make_error(Errc::unavailable, "store is not open");
+  const auto wall_start = append_hist_ != nullptr && telemetry::trace::wall_clock()
+                              ? std::optional{std::chrono::steady_clock::now()}
+                              : std::nullopt;
   const std::uint64_t seq = next_seq_;
   event.insert_or_assign("seq", json::Value(static_cast<double>(seq)));
   const std::string payload = json::serialize(json::Value(std::move(event)));
@@ -82,11 +95,18 @@ Result<std::uint64_t> StateStore::append(json::Object event) {
   ++records_since_snapshot_;
   ++total_appended_;
   total_bytes_appended_ += written.value();
+  if (wall_start.has_value()) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - *wall_start)
+                        .count();
+    append_hist_->record(static_cast<std::uint64_t>(us < 0 ? 0 : us));
+  }
   publish_metrics();
   return seq;
 }
 
 Result<std::uint64_t> StateStore::write_snapshot(const json::Value& state) {
+  TRACE_SCOPE("store.snapshot");
   if (!journal_.is_open()) return make_error(Errc::unavailable, "store is not open");
   const std::uint64_t seq = last_seq();
   Result<std::string> path =

@@ -103,6 +103,7 @@ class StateStore {
 
   StoreConfig config_;
   telemetry::MonitorRegistry* registry_;
+  telemetry::Histogram* append_hist_ = nullptr;  ///< wall-gated append latency
   Journal journal_;
   RecoveredInput recovered_;
   std::uint64_t next_seq_ = 1;

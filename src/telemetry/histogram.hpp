@@ -1,0 +1,123 @@
+#pragma once
+// Mergeable log-linear latency histogram (HdrHistogram-style bucketing).
+// Values are non-negative integers (microseconds in practice). Each
+// power-of-two octave is split into SubBuckets linear sub-buckets, so
+// the relative quantile error is bounded by 1/SubBuckets (6.25% at the
+// default 16) while the bucket count stays logarithmic in the range.
+//
+// Buckets are plain additive counts, so merging histograms — across
+// epochs, threads, or components — is an elementwise sum and is
+// associative; quantiles computed from a merge equal quantiles over the
+// concatenated samples up to bucket resolution.
+//
+// Determinism rule: histograms registered in a MonitorRegistry are
+// serialized into /metrics and compared bit-for-bit by determinism_test,
+// so only sim-derived or otherwise reproducible values may be recorded
+// there by default. Wall-clock observations must stay behind
+// trace::wall_clock() (see docs/observability.md).
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slices::telemetry {
+
+/// Log-linear histogram over uint64 values with p50/p90/p99/p999 export.
+class Histogram {
+ public:
+  /// Sub-buckets per octave; power of two. Relative error <= 1/SubBuckets.
+  static constexpr std::uint64_t kSubBucketBits = 4;
+  static constexpr std::uint64_t kSubBuckets = 1u << kSubBucketBits;
+
+  void record(std::uint64_t value) noexcept {
+    const std::size_t i = bucket_index(value);
+    if (i >= buckets_.size()) buckets_.resize(i + 1, 0);
+    ++buckets_[i];
+    ++count_;
+    sum_ += value;
+    min_ = count_ == 1 ? value : (value < min_ ? value : min_);
+    max_ = count_ == 1 ? value : (value > max_ ? value : max_);
+  }
+
+  /// Elementwise-add `other` into this histogram.
+  void merge(const Histogram& other) {
+    if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+    if (other.count_ > 0) {
+      min_ = count_ == 0 ? other.min_ : (other.min_ < min_ ? other.min_ : min_);
+      max_ = count_ == 0 ? other.max_ : (other.max_ > max_ ? other.max_ : max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void reset() noexcept {
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t minimum() const noexcept { return min_; }
+  [[nodiscard]] std::uint64_t maximum() const noexcept { return max_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Quantile (q in [0,1]) with linear interpolation inside the bucket.
+  /// Clamped to the observed [min, max] so tails never report values
+  /// outside what was actually recorded.
+  [[nodiscard]] double value_at_quantile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    const double rank = q * static_cast<double>(count_ - 1);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] == 0) continue;
+      const double before = static_cast<double>(cumulative);
+      cumulative += buckets_[i];
+      if (static_cast<double>(cumulative) <= rank) continue;
+      const double lo = static_cast<double>(bucket_lower(i));
+      const double hi = static_cast<double>(bucket_upper(i));
+      const double frac = (rank - before) / static_cast<double>(buckets_[i]);
+      const double v = lo + frac * (hi - lo);
+      const double lo_clamp = static_cast<double>(min_);
+      const double hi_clamp = static_cast<double>(max_);
+      return v < lo_clamp ? lo_clamp : (v > hi_clamp ? hi_clamp : v);
+    }
+    return static_cast<double>(max_);
+  }
+
+  /// Bucket index for `value`: identity below kSubBuckets, then
+  /// (octave, sub-bucket) with kSubBuckets linear steps per octave.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    const auto exponent = static_cast<std::uint64_t>(std::bit_width(value) - 1);
+    const std::uint64_t shift = exponent - kSubBucketBits;
+    return static_cast<std::size_t>((shift + 1) * kSubBuckets + ((value >> shift) - kSubBuckets));
+  }
+
+  /// Smallest value mapping to bucket `i` (inverse of bucket_index).
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t i) noexcept {
+    if (i < kSubBuckets) return i;
+    const std::uint64_t octave = i / kSubBuckets;  // >= 1
+    const std::uint64_t sub = i % kSubBuckets;
+    return (kSubBuckets + sub) << (octave - 1);
+  }
+
+  /// Largest value mapping to bucket `i`.
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t i) noexcept {
+    return bucket_lower(i + 1) - 1;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace slices::telemetry

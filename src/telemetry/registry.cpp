@@ -30,6 +30,24 @@ json::Value MonitorRegistry::snapshot(std::string_view prefix) const {
     gauges.emplace(it->first, it->second.value());
   }
 
+  json::Object histograms;
+  for (auto it = prefix_begin(histograms_, prefix);
+       it != histograms_.end() && in_prefix(it->first, prefix); ++it) {
+    const Histogram& h = it->second;
+    json::Object entry;
+    entry.emplace("count", static_cast<double>(h.count()));
+    if (!h.empty()) {
+      entry.emplace("max", static_cast<double>(h.maximum()));
+      entry.emplace("min", static_cast<double>(h.minimum()));
+      entry.emplace("p50", h.value_at_quantile(0.50));
+      entry.emplace("p90", h.value_at_quantile(0.90));
+      entry.emplace("p99", h.value_at_quantile(0.99));
+      entry.emplace("p999", h.value_at_quantile(0.999));
+      entry.emplace("sum", static_cast<double>(h.sum()));
+    }
+    histograms.emplace(it->first, std::move(entry));
+  }
+
   json::Object series;
   for (auto it = prefix_begin(series_, prefix);
        it != series_.end() && in_prefix(it->first, prefix); ++it) {
@@ -48,6 +66,7 @@ json::Value MonitorRegistry::snapshot(std::string_view prefix) const {
   json::Object root;
   root.emplace("counters", std::move(counters));
   root.emplace("gauges", std::move(gauges));
+  root.emplace("histograms", std::move(histograms));
   root.emplace("series", std::move(series));
   return root;
 }
@@ -77,6 +96,35 @@ void MonitorRegistry::metrics_body(std::string& out, std::string_view prefix) co
     json::append_escaped(out, it->first);
     out.push_back(':');
     json::append_number(out, it->second.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (auto it = prefix_begin(histograms_, prefix);
+       it != histograms_.end() && in_prefix(it->first, prefix); ++it) {
+    const Histogram& h = it->second;
+    if (!first) out.push_back(',');
+    first = false;
+    json::append_escaped(out, it->first);
+    out.push_back(':');
+    out += "{\"count\":";
+    json::append_number(out, static_cast<double>(h.count()));
+    if (!h.empty()) {
+      out += ",\"max\":";
+      json::append_number(out, static_cast<double>(h.maximum()));
+      out += ",\"min\":";
+      json::append_number(out, static_cast<double>(h.minimum()));
+      out += ",\"p50\":";
+      json::append_number(out, h.value_at_quantile(0.50));
+      out += ",\"p90\":";
+      json::append_number(out, h.value_at_quantile(0.90));
+      out += ",\"p99\":";
+      json::append_number(out, h.value_at_quantile(0.99));
+      out += ",\"p999\":";
+      json::append_number(out, h.value_at_quantile(0.999));
+      out += ",\"sum\":";
+      json::append_number(out, static_cast<double>(h.sum()));
+    }
+    out.push_back('}');
   }
   out += "},\"series\":{";
   first = true;

@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "json/value.hpp"
+#include "telemetry/histogram.hpp"
 #include "telemetry/timeseries.hpp"
 
 namespace slices::telemetry {
@@ -83,6 +84,16 @@ class MonitorRegistry {
     return *it->second;
   }
 
+  /// Get or create a latency histogram. Histograms serialize as
+  /// {"count","max","min","p50","p90","p99","p999","sum"} under the
+  /// top-level "histograms" key of snapshot()/metrics_body().
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const {
+    const auto it = histograms_.find(std::string(name));
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
   [[nodiscard]] const TimeSeries* find_series(std::string_view name) const {
     const auto it = series_.find(std::string(name));
     return it == series_.end() ? nullptr : it->second.get();
@@ -111,7 +122,7 @@ class MonitorRegistry {
 
   /// Snapshot every instrument whose name starts with `prefix` (all of
   /// them when empty) into a JSON object:
-  /// { "counters": {...}, "gauges": {...},
+  /// { "counters": {...}, "gauges": {...}, "histograms": {...},
   ///   "series": { name: {"n": ..., "latest": ..., "mean_16": ...} } }
   [[nodiscard]] json::Value snapshot(std::string_view prefix = {}) const;
 
@@ -128,6 +139,7 @@ class MonitorRegistry {
   std::size_t series_capacity_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
   std::map<std::string, std::unique_ptr<TimeSeries>> series_;
 };
 

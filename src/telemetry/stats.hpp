@@ -41,18 +41,31 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Quantile (q in [0,1]) by linear interpolation between order
-/// statistics. Copies + sorts; intended for report-time use.
-[[nodiscard]] inline double quantile(std::vector<double> values, double q) {
+/// Single-quantile (q in [0,1]) selection with linear interpolation
+/// between order statistics; partially reorders `values` in place.
+/// O(n) via nth_element instead of a full sort — the fast path when one
+/// quantile is needed from a scratch buffer.
+[[nodiscard]] inline double quantile_inplace(std::vector<double>& values, double q) {
   assert(!values.empty());
   assert(q >= 0.0 && q <= 1.0);
-  std::sort(values.begin(), values.end());
   if (values.size() == 1) return values.front();
   const double pos = q * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = lo + 1 < values.size() ? lo + 1 : lo;
   const double frac = pos - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  const auto lo_it = values.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(values.begin(), lo_it, values.end());
+  const double lo_v = *lo_it;
+  if (frac == 0.0 || lo + 1 >= values.size()) return lo_v;
+  // The (lo+1)-th order statistic is the minimum of the upper partition.
+  const double hi_v = *std::min_element(lo_it + 1, values.end());
+  return lo_v * (1.0 - frac) + hi_v * frac;
+}
+
+/// Quantile (q in [0,1]) by linear interpolation between order
+/// statistics. Copies its input; intended for report-time use. Callers
+/// that own a scratch vector should use quantile_inplace directly.
+[[nodiscard]] inline double quantile(std::vector<double> values, double q) {
+  return quantile_inplace(values, q);
 }
 
 /// Mean absolute error between two equal-length vectors.

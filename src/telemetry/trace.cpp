@@ -1,0 +1,146 @@
+#include "telemetry/trace.hpp"
+
+namespace slices::telemetry::trace {
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Lane& Tracer::local_lane() {
+  thread_local Lane* lane = nullptr;
+  // The cached pointer can outlive a clear() only logically, never
+  // physically: lanes are unique_ptr-held and never erased, so a lane
+  // pointer stays valid for the process lifetime.
+  if (lane == nullptr) {
+    auto owned = std::make_unique<Lane>();
+    owned->ring.resize(lane_capacity_.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    owned->tid = static_cast<int>(lanes_.size());
+    lanes_.push_back(std::move(owned));
+    lane = lanes_.back().get();
+  }
+  return *lane;
+}
+
+void Tracer::record(const char* name, std::int64_t sim_us, std::int64_t wall_start_ns,
+                    std::int64_t wall_dur_ns, std::uint32_t depth) noexcept {
+  Lane& lane = local_lane();
+  Span& slot = lane.ring[lane.next];
+  if (lane.size == lane.ring.size()) {
+    ++lane.dropped;  // overwriting the oldest span
+  } else {
+    ++lane.size;
+  }
+  slot.name = name;
+  slot.sim_us = sim_us;
+  slot.wall_start_ns = wall_start_ns;
+  slot.wall_dur_ns = wall_dur_ns;
+  slot.seq = lane.seq++;
+  slot.depth = depth;
+  lane.next = lane.next + 1 == lane.ring.size() ? 0 : lane.next + 1;
+}
+
+std::uint32_t Tracer::enter_depth() noexcept {
+  Lane& lane = local_lane();
+  return lane.depth++;
+}
+
+void Tracer::exit_depth() noexcept {
+  Lane& lane = local_lane();
+  if (lane.depth > 0) --lane.depth;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane->size;
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane->dropped;
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  for (auto& lane : lanes_) {
+    lane->next = 0;
+    lane->size = 0;
+    lane->seq = 0;
+    lane->dropped = 0;
+  }
+  // Clearing the trace restarts its timeline; otherwise spans recorded
+  // before the next epoch would carry the previous run's sim clock.
+  sim_now_us_.store(0, std::memory_order_relaxed);
+}
+
+json::Value Tracer::status_json() const {
+  json::Object out;
+  out.emplace("enabled", enabled());
+  out.emplace("wall_clock", wall_clock());
+  out.emplace("spans", static_cast<double>(span_count()));
+  out.emplace("dropped", static_cast<double>(dropped()));
+  {
+    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    out.emplace("lanes", static_cast<double>(lanes_.size()));
+  }
+  return out;
+}
+
+void Tracer::export_chrome_json(std::string& out) const {
+  // Chrome trace-event format: complete ("X") events with µs timestamps.
+  // With wall clock off, ts is the span's sim clock and dur is 0 — the
+  // bytes are then a pure function of the recorded spans.
+  out.clear();
+  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  std::int64_t wall_base_ns = -1;
+  for (const auto& lane : lanes_) {
+    const std::size_t start = lane->size == lane->ring.size() ? lane->next : 0;
+    for (std::size_t i = 0; i < lane->size; ++i) {
+      const Span& span = lane->ring[(start + i) % lane->ring.size()];
+      if (span.wall_start_ns >= 0 && (wall_base_ns < 0 || span.wall_start_ns < wall_base_ns)) {
+        wall_base_ns = span.wall_start_ns;
+      }
+    }
+  }
+  bool first = true;
+  for (const auto& lane : lanes_) {
+    const std::size_t start = lane->size == lane->ring.size() ? lane->next : 0;
+    for (std::size_t i = 0; i < lane->size; ++i) {
+      const Span& span = lane->ring[(start + i) % lane->ring.size()];
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"name\":";
+      json::append_escaped(out, span.name);
+      out += ",\"cat\":\"slices\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+      json::append_number(out, static_cast<double>(lane->tid));
+      out += ",\"ts\":";
+      if (span.wall_start_ns >= 0) {
+        json::append_number(out,
+                            static_cast<double>(span.wall_start_ns - wall_base_ns) / 1000.0);
+      } else {
+        json::append_number(out, static_cast<double>(span.sim_us));
+      }
+      out += ",\"dur\":";
+      json::append_number(out,
+                          span.wall_dur_ns >= 0
+                              ? static_cast<double>(span.wall_dur_ns) / 1000.0
+                              : 0.0);
+      out += ",\"args\":{\"depth\":";
+      json::append_number(out, static_cast<double>(span.depth));
+      out += ",\"seq\":";
+      json::append_number(out, static_cast<double>(span.seq));
+      out += ",\"sim_us\":";
+      json::append_number(out, static_cast<double>(span.sim_us));
+      out += "}}";
+    }
+  }
+  out += "]}";
+}
+
+}  // namespace slices::telemetry::trace

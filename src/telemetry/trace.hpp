@@ -1,0 +1,175 @@
+#pragma once
+// Fixed-capacity per-thread span tracer. `TRACE_SCOPE("orch.serve_epoch")`
+// records an RAII span into the calling thread's ring buffer; full rings
+// overwrite the oldest span and count the drop, so tracing never
+// allocates or blocks on the hot path. Disabled cost is one relaxed
+// atomic load and a branch.
+//
+// Timestamps are *sim-clock* microseconds (fed via set_sim_now from the
+// epoch loop), so a trace dump is bit-identical across runs and across
+// `epoch_threads` settings — determinism_test runs with tracing enabled.
+// Wall-clock durations are opt-in (set_wall_clock) and reserved for
+// benches and live deployments; they must never feed instruments that
+// determinism_test compares. See docs/observability.md.
+//
+// Threading: each lane is written only by its owning thread.
+// snapshot/export/clear walk every lane and must run at a quiescent
+// point (no concurrent TRACE_SCOPEs), which holds everywhere we call
+// them: REST handlers and benches run on the control thread while the
+// pool is idle between epochs.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/value.hpp"
+
+namespace slices::telemetry::trace {
+
+/// One completed scope, recorded at exit.
+struct Span {
+  const char* name = nullptr;     // static string from TRACE_SCOPE
+  std::int64_t sim_us = 0;        // sim clock at scope entry
+  std::int64_t wall_start_ns = -1;  // wall-clock entry, -1 when wall off
+  std::int64_t wall_dur_ns = -1;    // wall-clock duration, -1 when wall off
+  std::uint64_t seq = 0;          // per-lane sequence number
+  std::uint32_t depth = 0;        // nesting depth at entry (0 = top level)
+};
+
+/// Process-wide tracer: one ring-buffer lane per participating thread.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultLaneCapacity = 8192;
+
+  static Tracer& instance();
+
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Opt into wall-clock span durations. Off by default: wall values are
+  /// nondeterministic and must stay out of anything determinism_test
+  /// compares.
+  void set_wall_clock(bool on) noexcept { wall_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool wall_clock() const noexcept {
+    return wall_.load(std::memory_order_relaxed);
+  }
+
+  /// Publish the sim clock (µs); called by the epoch loop before tracing.
+  void set_sim_now(std::int64_t us) noexcept { sim_now_us_.store(us, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t sim_now() const noexcept {
+    return sim_now_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity for lanes created *after* this call (existing lanes
+  /// keep theirs); configure once at startup.
+  void set_lane_capacity(std::size_t spans) noexcept {
+    lane_capacity_.store(spans == 0 ? 1 : spans, std::memory_order_relaxed);
+  }
+
+  /// Record a completed span into the calling thread's lane.
+  void record(const char* name, std::int64_t sim_us, std::int64_t wall_start_ns,
+              std::int64_t wall_dur_ns, std::uint32_t depth) noexcept;
+
+  /// Nesting depth bookkeeping for the calling thread.
+  std::uint32_t enter_depth() noexcept;
+  void exit_depth() noexcept;
+
+  // -- quiescent-point operations ------------------------------------
+  /// Total retained spans across lanes.
+  [[nodiscard]] std::size_t span_count() const;
+  /// Spans overwritten because a lane ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Drop all retained spans (rings keep their capacity).
+  void clear();
+  /// {"enabled","wall_clock","spans","dropped","lanes"}.
+  [[nodiscard]] json::Value status_json() const;
+  /// Chrome trace-event JSON ("traceEvents" array of "X" phases),
+  /// loadable in Perfetto / chrome://tracing. Lanes emit in registration
+  /// order, spans oldest-first; with wall clock off, ts is the sim clock
+  /// and the output is deterministic.
+  void export_chrome_json(std::string& out) const;
+
+ private:
+  struct Lane {
+    std::vector<Span> ring;
+    std::size_t next = 0;       // write cursor
+    std::size_t size = 0;       // retained spans (<= ring.size())
+    std::uint64_t seq = 0;      // per-lane span sequence
+    std::uint64_t dropped = 0;  // overwritten spans
+    std::uint32_t depth = 0;    // live nesting depth
+    int tid = 0;                // stable lane id for the exporter
+  };
+
+  Lane& local_lane();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> wall_{false};
+  std::atomic<std::int64_t> sim_now_us_{0};
+  std::atomic<std::size_t> lane_capacity_{kDefaultLaneCapacity};
+
+  mutable std::mutex lanes_mutex_;  // guards lanes_ growth only
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+/// RAII scope: snapshots the sim clock (and wall clock when enabled) at
+/// entry, records the span at exit. No-op while tracing is disabled.
+class Scope {
+ public:
+  explicit Scope(const char* name) noexcept {
+    Tracer& t = Tracer::instance();
+    if (!t.enabled()) return;
+    name_ = name;
+    sim_us_ = t.sim_now();
+    depth_ = t.enter_depth();
+    if (t.wall_clock()) {
+      wall_start_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
+    }
+  }
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  ~Scope() {
+    if (name_ == nullptr) return;
+    Tracer& t = Tracer::instance();
+    std::int64_t wall_dur_ns = -1;
+    if (wall_start_ns_ >= 0) {
+      const std::int64_t end_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                      std::chrono::steady_clock::now().time_since_epoch())
+                                      .count();
+      wall_dur_ns = end_ns - wall_start_ns_;
+    }
+    t.record(name_, sim_us_, wall_start_ns_, wall_dur_ns, depth_);
+    t.exit_depth();
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t sim_us_ = 0;
+  std::int64_t wall_start_ns_ = -1;
+  std::uint32_t depth_ = 0;
+};
+
+// Convenience forwarders onto the singleton.
+inline void set_enabled(bool on) noexcept { Tracer::instance().set_enabled(on); }
+[[nodiscard]] inline bool enabled() noexcept { return Tracer::instance().enabled(); }
+inline void set_wall_clock(bool on) noexcept { Tracer::instance().set_wall_clock(on); }
+[[nodiscard]] inline bool wall_clock() noexcept { return Tracer::instance().wall_clock(); }
+inline void set_sim_now(std::int64_t us) noexcept { Tracer::instance().set_sim_now(us); }
+inline void clear() { Tracer::instance().clear(); }
+
+}  // namespace slices::telemetry::trace
+
+#define SLICES_TRACE_CONCAT_INNER(a, b) a##b
+#define SLICES_TRACE_CONCAT(a, b) SLICES_TRACE_CONCAT_INNER(a, b)
+/// Record the enclosing scope as a span named `name` (a string literal).
+#define TRACE_SCOPE(name) \
+  ::slices::telemetry::trace::Scope SLICES_TRACE_CONCAT(slices_trace_scope_, __COUNTER__) { name }

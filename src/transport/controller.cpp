@@ -5,6 +5,8 @@
 
 #include "json/value.hpp"
 
+#include "telemetry/trace.hpp"
+
 namespace slices::transport {
 
 TransportController::TransportController(Topology topology, Rng rng,
@@ -250,6 +252,7 @@ void TransportController::try_reroute(PathReservation& reservation) {
 
 std::vector<PathServeReport> TransportController::serve_epoch(
     std::span<const std::pair<PathId, DataRate>> demands, SimTime now) {
+  TRACE_SCOPE("transport.serve_epoch");
   fading_.step();
 
   // Effective per-link scale: when fading pushes capacity below the

@@ -1,11 +1,15 @@
-// Unit tests for src/common: ids, units, result, rng.
+// Unit tests for src/common: ids, units, result, rng, logging.
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
+#include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "common/ids.hpp"
+#include "common/log.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -255,6 +259,82 @@ TEST(Rng, UniformIntCoversRangeInclusive) {
 TEST(Rng, ParetoRespectsMinimum) {
   Rng rng(37);
   for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 1.5);
+}
+
+// --- Logger ----------------------------------------------------------------------
+
+/// Restores the global log level and sink after each test.
+class LoggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = LogConfig::level(); }
+  void TearDown() override {
+    LogConfig::set_stream(&std::clog);
+    LogConfig::set_level(saved_level_);
+  }
+  LogLevel saved_level_ = LogLevel::warn;
+};
+
+TEST_F(LoggerTest, FiltersBelowConfiguredLevel) {
+  std::ostringstream sink;
+  LogConfig::set_stream(&sink);
+  LogConfig::set_level(LogLevel::warn);
+  Logger log("test");
+  log.info("dropped");
+  log.warn("kept");
+  LogConfig::set_stream(&std::clog);
+  EXPECT_EQ(sink.str(), "[WARN] test: kept\n");
+}
+
+TEST_F(LoggerTest, OffSilencesEverything) {
+  std::ostringstream sink;
+  LogConfig::set_stream(&sink);
+  LogConfig::set_level(LogLevel::off);
+  Logger log("test");
+  log.error("still dropped");
+  LogConfig::set_stream(&std::clog);
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST_F(LoggerTest, ConcurrentLoggingNeverTearsLines) {
+  // Hammer one sink from several threads while another thread flips the
+  // level. Run under TSan in CI; the assertion here is that every line
+  // arrives whole (single locked insertion per line).
+  std::ostringstream sink;
+  LogConfig::set_stream(&sink);
+  LogConfig::set_level(LogLevel::info);
+
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      Logger log("worker" + std::to_string(t));
+      for (int i = 0; i < kLines; ++i) log.info("line " + std::to_string(i));
+    });
+  }
+  std::thread toggler([] {
+    for (int i = 0; i < 50; ++i) {
+      LogConfig::set_level(i % 2 == 0 ? LogLevel::info : LogLevel::error);
+    }
+    LogConfig::set_level(LogLevel::info);
+  });
+  for (std::thread& w : workers) w.join();
+  toggler.join();
+  LogConfig::set_stream(&std::clog);
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.rfind("[INFO] worker", 0), 0u) << "torn line: " << line;
+    EXPECT_NE(line.find(": line "), std::string::npos) << "torn line: " << line;
+  }
+  // The toggler may legitimately swallow lines while at `error`; whole
+  // lines are the invariant, not the count.
+  EXPECT_LE(count, static_cast<std::size_t>(kThreads * kLines));
+  EXPECT_GT(count, 0u);
 }
 
 // --- Result -----------------------------------------------------------------------

@@ -15,6 +15,7 @@
 #include "core/testbed.hpp"
 #include "json/value.hpp"
 #include "store/store.hpp"
+#include "telemetry/trace.hpp"
 #include "traffic/verticals.hpp"
 
 namespace slices::core {
@@ -40,6 +41,7 @@ struct RunResult {
   std::string state_json;      ///< serialized orchestrator state
   std::string telemetry_json;  ///< serialized full registry snapshot
   std::string journal_bytes;   ///< raw journal.wal contents
+  std::string trace_json;      ///< Chrome trace export (sim-clock spans)
 };
 
 /// One full scenario: admission of three verticals, activation, several
@@ -47,6 +49,13 @@ struct RunResult {
 /// and one natural expiry — enough to touch every journaled op and both
 /// active and inactive cell branches.
 RunResult run_scenario(std::size_t epoch_threads) {
+  // Tracing stays *enabled* for the whole scenario: spans carry
+  // sim-clock timestamps (wall clock off), so the exported trace must
+  // be as bit-stable as the journal.
+  telemetry::trace::set_enabled(true);
+  telemetry::trace::set_wall_clock(false);
+  telemetry::trace::clear();
+
   const fs::path dir = fresh_dir("threads_" + std::to_string(epoch_threads));
   store::StateStore store(store::StoreConfig{.directory = dir.string()});
   EXPECT_TRUE(store.open().ok());
@@ -79,6 +88,9 @@ RunResult run_scenario(std::size_t epoch_threads) {
   out.summary = tb->orchestrator->summary();
   out.state_json = json::serialize(tb->orchestrator->state_json());
   out.telemetry_json = json::serialize(tb->registry.snapshot());
+  telemetry::trace::Tracer::instance().export_chrome_json(out.trace_json);
+  EXPECT_GT(telemetry::trace::Tracer::instance().span_count(), 0u);
+  telemetry::trace::set_enabled(false);
   tb.reset();  // orchestrator released before its store
   out.journal_bytes = read_file(dir / "journal.wal");
   EXPECT_FALSE(out.journal_bytes.empty());
@@ -104,6 +116,7 @@ void expect_identical(const RunResult& base, const RunResult& other) {
   EXPECT_EQ(base.state_json, other.state_json);
   EXPECT_EQ(base.telemetry_json, other.telemetry_json);
   EXPECT_EQ(base.journal_bytes, other.journal_bytes);
+  EXPECT_EQ(base.trace_json, other.trace_json);
 }
 
 TEST(Determinism, PoolOfFourMatchesSingleThread) {

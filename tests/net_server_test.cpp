@@ -4,7 +4,10 @@
 
 #include <thread>
 
+#include "core/testbed.hpp"
+#include "json/value.hpp"
 #include "net/http_server.hpp"
+#include "telemetry/trace.hpp"
 
 namespace slices::net {
 namespace {
@@ -143,6 +146,99 @@ TEST(HttpServer, StopUnblocksRun) {
   server.stop();
   runner.join();
   EXPECT_GE(server.connections_served(), 1u);
+}
+
+// --- orchestrator observability endpoints over real sockets ----------------------
+
+/// Orchestrator testbed served over loopback for `n` connections.
+struct OrchestratorServerFixture {
+  explicit OrchestratorServerFixture(int n) : tb(core::make_testbed(11)) {
+    Result<std::unique_ptr<HttpServer>> bound = HttpServer::bind(tb->orchestrator->make_router(), 0);
+    EXPECT_TRUE(bound.ok()) << bound.error().message;
+    server = std::move(bound).value();
+    port = server->port();
+    thread = std::thread([this, n] {
+      for (int i = 0; i < n; ++i) {
+        if (!server->serve_one().ok()) break;
+      }
+    });
+  }
+  ~OrchestratorServerFixture() {
+    server->stop();
+    if (thread.joinable()) thread.join();
+  }
+
+  std::unique_ptr<core::Testbed> tb;
+  std::unique_ptr<HttpServer> server;
+  std::uint16_t port = 0;
+  std::thread thread;
+};
+
+TEST(HttpServer, HealthzReportsLivenessOverTheWire) {
+  OrchestratorServerFixture fixture(1);
+  fixture.tb->simulator.run_for(Duration::seconds(30.0));
+  const Result<Response> resp = http_request(fixture.port, get("/healthz"));
+  ASSERT_TRUE(resp.ok()) << resp.error().message;
+  EXPECT_EQ(resp.value().status, Status::ok);
+
+  const Result<json::Value> doc = json::parse(resp.value().body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().find("status")->as_string(), "ok");
+  const json::Value* components = doc.value().find("components");
+  ASSERT_NE(components, nullptr);
+  EXPECT_TRUE(components->find("ran")->as_bool());
+  EXPECT_TRUE(components->find("transport")->as_bool());
+  EXPECT_TRUE(components->find("cloud")->as_bool());
+  EXPECT_FALSE(doc.value().find("last_epoch")->find("stale")->as_bool());
+  ASSERT_NE(doc.value().find("trace"), nullptr);
+}
+
+TEST(HttpServer, TraceDumpAndClearOverTheWire) {
+  telemetry::trace::set_enabled(true);
+  telemetry::trace::set_wall_clock(false);
+  telemetry::trace::clear();
+
+  OrchestratorServerFixture fixture(3);
+  // Run past a couple of 15-minute monitoring periods so the control
+  // thread records epoch spans.
+  fixture.tb->simulator.run_for(Duration::minutes(35.0));
+  ASSERT_GT(telemetry::trace::Tracer::instance().span_count(), 0u);
+
+  // Dump with ?clear=1: returns the spans, then empties the buffer.
+  const Result<Response> dump = http_request(fixture.port, get("/trace?clear=1"));
+  ASSERT_TRUE(dump.ok()) << dump.error().message;
+  EXPECT_EQ(dump.value().status, Status::ok);
+  const Result<json::Value> doc = json::parse(dump.value().body);
+  ASSERT_TRUE(doc.ok());
+  const json::Value* events = doc.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->as_array().empty());
+  bool saw_epoch = false;
+  for (const json::Value& event : events->as_array()) {
+    if (event.find("name")->as_string() == "orch.serve_epoch") saw_epoch = true;
+  }
+  EXPECT_TRUE(saw_epoch);
+  EXPECT_EQ(telemetry::trace::Tracer::instance().span_count(), 0u);
+
+  // Plain dump after the clear: well-formed but empty.
+  const Result<Response> empty = http_request(fixture.port, get("/trace"));
+  ASSERT_TRUE(empty.ok());
+  const Result<json::Value> empty_doc = json::parse(empty.value().body);
+  ASSERT_TRUE(empty_doc.ok());
+  EXPECT_TRUE(empty_doc.value().find("traceEvents")->as_array().empty());
+
+  // DELETE reports how many spans it dropped (none left by now).
+  Request del;
+  del.method = Method::del;
+  del.target = "/trace";
+  const Result<Response> deleted = http_request(fixture.port, del);
+  ASSERT_TRUE(deleted.ok());
+  const Result<json::Value> del_doc = json::parse(deleted.value().body);
+  ASSERT_TRUE(del_doc.ok());
+  EXPECT_DOUBLE_EQ(del_doc.value().find("cleared_spans")->as_number(), 0.0);
+
+  telemetry::trace::set_enabled(false);
+  telemetry::trace::clear();
 }
 
 TEST(TcpListener, PortZeroGivesDistinctPorts) {

@@ -10,6 +10,7 @@
 
 #include "core/testbed.hpp"
 #include "store/store.hpp"
+#include "telemetry/trace.hpp"
 #include "traffic/model.hpp"
 #include "transport/generators.hpp"
 
@@ -231,6 +232,59 @@ TEST(ResizeSlice, WorksOverRestPatch) {
                   .ok());
   const core::SliceRecord* record = tb->orchestrator->find_slice(SliceId{id});
   EXPECT_DOUBLE_EQ(record->spec.expected_throughput.as_mbps(), 5.0);
+}
+
+// --- operator health / trace surface --------------------------------------------
+
+// The slicectl `health` and `trace dump` subcommands are thin wrappers
+// over GET /healthz and GET /trace; drive the same routes over the bus
+// and check they reflect injected failures.
+TEST(HealthSurface, HealthzAndTraceDumpReflectOrchestratorState) {
+  telemetry::trace::set_enabled(true);
+  telemetry::trace::set_wall_clock(false);
+  telemetry::trace::clear();
+
+  auto tb = core::make_testbed(54);
+  json::Value body;
+  body["vertical"] = "embb_video";
+  body["duration_hours"] = 2.0;
+  ASSERT_TRUE(tb->bus.call_json("orchestrator", net::Method::post, "/slices", body).ok());
+  tb->simulator.run_for(Duration::minutes(35.0));  // past two monitoring periods
+
+  // slicectl health: everything up, epochs fresh.
+  const Result<json::Value> health = tb->bus.get_json("orchestrator", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().find("status")->as_string(), "ok");
+  EXPECT_TRUE(health.value().find("components")->find("ran")->as_bool());
+  EXPECT_TRUE(health.value().find("last_epoch")->find("ran")->as_bool());
+  EXPECT_FALSE(health.value().find("journal")->find("attached")->as_bool());
+  EXPECT_TRUE(health.value().find("trace")->find("enabled")->as_bool());
+  EXPECT_GT(health.value().find("trace")->find("spans")->as_number(), 0.0);
+
+  // slicectl trace dump: spans from the epoch loop and the admission.
+  const Result<json::Value> dump = tb->bus.get_json("orchestrator", "/trace");
+  ASSERT_TRUE(dump.ok());
+  bool saw_epoch = false;
+  bool saw_admit = false;
+  for (const json::Value& event : dump.value().find("traceEvents")->as_array()) {
+    const std::string& name = event.find("name")->as_string();
+    saw_epoch = saw_epoch || name == "orch.serve_epoch";
+    saw_admit = saw_admit || name == "orch.admit.decide";
+  }
+  EXPECT_TRUE(saw_epoch);
+  EXPECT_TRUE(saw_admit);
+
+  // An attached-but-unopened store is a journal failure: degraded.
+  store::StateStore store(store::StoreConfig{.directory = ""}, &tb->registry);
+  tb->orchestrator->attach_store(&store);
+  const Result<json::Value> degraded = tb->bus.get_json("orchestrator", "/healthz");
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded.value().find("status")->as_string(), "degraded");
+  EXPECT_TRUE(degraded.value().find("journal")->find("attached")->as_bool());
+  EXPECT_FALSE(degraded.value().find("journal")->find("open")->as_bool());
+
+  telemetry::trace::set_enabled(false);
+  telemetry::trace::clear();
 }
 
 // --- orchestrator kill-and-recover ----------------------------------------------

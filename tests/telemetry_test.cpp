@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "json/value.hpp"
 #include "telemetry/csv.hpp"
+#include "telemetry/histogram.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/stats.hpp"
 #include "telemetry/timeseries.hpp"
+#include "telemetry/trace.hpp"
 
 namespace slices::telemetry {
 namespace {
@@ -108,6 +112,167 @@ TEST(Quantile, SingleElement) {
   EXPECT_DOUBLE_EQ(quantile({7.0}, 0.99), 7.0);
 }
 
+TEST(Quantile, InplaceMatchesSortingVariant) {
+  // quantile() is now a thin wrapper over quantile_inplace; pin that the
+  // nth_element fast path agrees with the documented interpolation on
+  // unsorted input, including the pinned 0.1 -> 1.4 case above.
+  std::vector<double> v{5.0, 1.0, 4.0, 2.0, 3.0};
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    std::vector<double> scratch = v;
+    EXPECT_DOUBLE_EQ(quantile_inplace(scratch, q), quantile(v, q)) << "q=" << q;
+  }
+  std::vector<double> scratch = v;
+  EXPECT_DOUBLE_EQ(quantile_inplace(scratch, 0.1), 1.4);
+}
+
+TEST(Quantile, InplacePermutesButKeepsElements) {
+  std::vector<double> v{9.0, 7.0, 8.0, 1.0, 3.0};
+  (void)quantile_inplace(v, 0.5);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<double>{1.0, 3.0, 7.0, 8.0, 9.0}));
+}
+
+// --- Histogram --------------------------------------------------------------------
+
+TEST(Histogram, ExactBelowSubBucketRange) {
+  // Values below kSubBuckets map to identity buckets: no resolution loss.
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lower(v), v);
+    EXPECT_EQ(Histogram::bucket_upper(v), v);
+  }
+}
+
+TEST(Histogram, BucketBoundariesAreContinuous) {
+  // lower(i+1) == upper(i) + 1 for a long prefix, and every value maps
+  // into a bucket whose [lower, upper] range contains it.
+  for (std::size_t i = 0; i < 512; ++i) {
+    EXPECT_EQ(Histogram::bucket_lower(i + 1), Histogram::bucket_upper(i) + 1) << "i=" << i;
+  }
+  for (const std::uint64_t v :
+       {std::uint64_t{15}, std::uint64_t{16}, std::uint64_t{17}, std::uint64_t{31},
+        std::uint64_t{32}, std::uint64_t{1023}, std::uint64_t{1024}, std::uint64_t{1025},
+        std::uint64_t{1} << 40, (std::uint64_t{1} << 40) + 12345}) {
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_LE(Histogram::bucket_lower(i), v) << "v=" << v;
+    EXPECT_GE(Histogram::bucket_upper(i), v) << "v=" << v;
+  }
+}
+
+TEST(Histogram, BucketRelativeErrorBound) {
+  // Bucket width over bucket lower bound is the worst-case relative
+  // quantile error: bounded by 1/kSubBuckets.
+  for (std::size_t i = Histogram::kSubBuckets; i < 512; ++i) {
+    const double lo = static_cast<double>(Histogram::bucket_lower(i));
+    const double width = static_cast<double>(Histogram::bucket_upper(i)) - lo + 1.0;
+    EXPECT_LE(width / lo, 1.0 / static_cast<double>(Histogram::kSubBuckets) + 1e-12)
+        << "i=" << i;
+  }
+}
+
+TEST(Histogram, QuantilesOnSmallExactValues) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 5; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 15u);
+  EXPECT_EQ(h.minimum(), 1u);
+  EXPECT_EQ(h.maximum(), 5u);
+  // Values 1..5 sit in exact buckets; quantiles interpolate like the
+  // order-statistics quantile() above.
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantileClampedToObservedRange) {
+  Histogram h;
+  h.record(1000);  // one sample: every quantile is that sample
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.999), 1000.0);
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, QuantileWithinRelativeErrorOfExact) {
+  Histogram h;
+  std::vector<double> exact;
+  std::uint64_t x = 88172645463325252ull;  // xorshift, deterministic
+  for (int i = 0; i < 2000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::uint64_t v = x % 1000000;  // up to 1s in µs
+    h.record(v);
+    exact.push_back(static_cast<double>(v));
+  }
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double approx = h.value_at_quantile(q);
+    const double truth = quantile(exact, q);
+    EXPECT_NEAR(approx, truth, truth / static_cast<double>(Histogram::kSubBuckets) + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeIsAssociativeAndOrderInsensitive) {
+  const auto fill = [](Histogram& h, std::uint64_t seed, int n) {
+    std::uint64_t x = seed;
+    for (int i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      h.record(x % 100000);
+    }
+  };
+  Histogram a, b, c;
+  fill(a, 1, 300);
+  fill(b, 2, 500);
+  fill(c, 3, 700);
+
+  Histogram ab_c;  // (a + b) + c
+  ab_c.merge(a);
+  ab_c.merge(b);
+  ab_c.merge(c);
+  Histogram bc;  // a + (b + c), built in a different order
+  bc.merge(c);
+  bc.merge(b);
+  Histogram a_bc;
+  a_bc.merge(bc);
+  a_bc.merge(a);
+
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_EQ(ab_c.sum(), a_bc.sum());
+  EXPECT_EQ(ab_c.minimum(), a_bc.minimum());
+  EXPECT_EQ(ab_c.maximum(), a_bc.maximum());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(ab_c.value_at_quantile(q), a_bc.value_at_quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.record(5);
+  a.record(500);
+  const std::uint64_t count = a.count();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), count);
+  EXPECT_EQ(a.minimum(), 5u);
+  EXPECT_EQ(a.maximum(), 500u);
+
+  Histogram b;
+  b.merge(a);  // merge into a fresh histogram adopts min/max
+  EXPECT_EQ(b.minimum(), 5u);
+  EXPECT_EQ(b.maximum(), 500u);
+  EXPECT_EQ(b.count(), count);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.5), 0.0);
+}
+
 TEST(ErrorMetrics, MaeAndRmse) {
   const std::vector<double> a{1.0, 2.0, 3.0};
   const std::vector<double> b{2.0, 2.0, 1.0};
@@ -203,6 +368,54 @@ TEST(MonitorRegistry, MetricsBodyMatchesDomSerialization) {
   EXPECT_EQ(direct, once);
 }
 
+TEST(MonitorRegistry, HistogramSnapshotShape) {
+  MonitorRegistry reg;
+  Histogram& h = reg.histogram("orch.epoch_us");
+  (void)reg.histogram("orch.empty");  // registered but never recorded
+  for (std::uint64_t v = 1; v <= 5; ++v) h.record(v * 100);
+
+  const json::Value snap = reg.snapshot();
+  const json::Value* hist = snap.find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const json::Value* full = hist->find("orch.epoch_us");
+  ASSERT_NE(full, nullptr);
+  EXPECT_DOUBLE_EQ(full->find("count")->as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(full->find("sum")->as_number(), 1500.0);
+  EXPECT_DOUBLE_EQ(full->find("min")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(full->find("max")->as_number(), 500.0);
+  EXPECT_NE(full->find("p50"), nullptr);
+  EXPECT_NE(full->find("p999"), nullptr);
+
+  // Empty histograms serialize as {"count":0} so the instrument set is
+  // visible without implying fake quantiles.
+  const json::Value* empty = hist->find("orch.empty");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_DOUBLE_EQ(empty->find("count")->as_number(), 0.0);
+  EXPECT_EQ(empty->find("p50"), nullptr);
+
+  EXPECT_EQ(reg.find_histogram("ghost"), nullptr);
+  EXPECT_EQ(reg.find_histogram("orch.epoch_us"), &h);
+}
+
+TEST(MonitorRegistry, MetricsBodyMatchesDomWithHistograms) {
+  // Byte-identity of the DOM-free serializer must hold with histogram
+  // data present (populated, empty, and prefix-filtered).
+  MonitorRegistry reg;
+  reg.counter("ran.attach").increment(3);
+  reg.gauge("ran.util").set(0.25);
+  reg.observe("ran.cell.1.prb", at(1.0), 10.0);
+  Histogram& h = reg.histogram("orch.epoch_us");
+  for (std::uint64_t v : {7u, 19u, 23u, 101u, 4099u}) h.record(v);
+  (void)reg.histogram("ran.empty_hist");
+
+  std::string direct;
+  for (const std::string prefix : {"", "orch.", "ran.", "ghost."}) {
+    reg.metrics_body(direct, prefix);
+    EXPECT_EQ(direct, json::serialize(reg.snapshot(prefix))) << "prefix=" << prefix;
+    EXPECT_TRUE(json::parse(direct).ok()) << "prefix=" << prefix;
+  }
+}
+
 TEST(MonitorRegistry, SeriesWindowReturnsRecentPoints) {
   MonitorRegistry reg;
   for (int i = 0; i < 10; ++i) reg.observe("x", at(i), static_cast<double>(i));
@@ -260,6 +473,129 @@ TEST(CsvExport, WideFormatAlignsByTimestamp) {
 TEST(CsvExport, WideFormatEmptyRegistry) {
   MonitorRegistry reg;
   EXPECT_EQ(export_wide_csv(reg, {"none"}), "t_seconds,none\n");
+}
+
+// --- Trace ------------------------------------------------------------------------
+
+// The tracer is a process-wide singleton; each test starts from a clean,
+// disabled state and restores it.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::set_enabled(false);
+    trace::set_wall_clock(false);
+    trace::clear();
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::set_wall_clock(false);
+    trace::clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  { TRACE_SCOPE("noop"); }
+  EXPECT_EQ(trace::Tracer::instance().span_count(), 0u);
+}
+
+TEST_F(TraceTest, ScopesRecordNestedSpans) {
+  trace::set_enabled(true);
+  trace::set_sim_now(1500);
+  {
+    TRACE_SCOPE("outer");
+    TRACE_SCOPE("inner");
+  }
+  EXPECT_EQ(trace::Tracer::instance().span_count(), 2u);
+
+  std::string out;
+  trace::Tracer::instance().export_chrome_json(out);
+  const Result<json::Value> doc = json::parse(out);
+  ASSERT_TRUE(doc.ok());
+  const json::Value* events = doc.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->as_array().size(), 2u);
+  // Scopes record at exit, so the inner span lands first and carries
+  // depth 1; both stamp the published sim clock.
+  const json::Value& inner = events->as_array()[0];
+  const json::Value& outer = events->as_array()[1];
+  EXPECT_EQ(inner.find("name")->as_string(), "inner");
+  EXPECT_DOUBLE_EQ(inner.find("args")->find("depth")->as_number(), 1.0);
+  EXPECT_EQ(outer.find("name")->as_string(), "outer");
+  EXPECT_DOUBLE_EQ(outer.find("args")->find("depth")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(outer.find("ts")->as_number(), 1500.0);
+  EXPECT_DOUBLE_EQ(outer.find("dur")->as_number(), 0.0);  // wall clock off
+}
+
+TEST_F(TraceTest, ExportIsDeterministicWithWallClockOff) {
+  trace::set_enabled(true);
+  const auto run = [] {
+    trace::clear();
+    trace::set_sim_now(10);
+    { TRACE_SCOPE("a"); }
+    trace::set_sim_now(20);
+    { TRACE_SCOPE("b"); }
+    std::string out;
+    trace::Tracer::instance().export_chrome_json(out);
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(TraceTest, WallClockAddsDurations) {
+  trace::set_enabled(true);
+  trace::set_wall_clock(true);
+  { TRACE_SCOPE("timed"); }
+  std::string out;
+  trace::Tracer::instance().export_chrome_json(out);
+  const Result<json::Value> doc = json::parse(out);
+  ASSERT_TRUE(doc.ok());
+  bool found = false;
+  for (const json::Value& event : doc.value().find("traceEvents")->as_array()) {
+    if (event.find("name")->as_string() != "timed") continue;
+    found = true;
+    EXPECT_GE(event.find("dur")->as_number(), 0.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, FullLaneOverwritesOldestAndCountsDrops) {
+  trace::Tracer& tracer = trace::Tracer::instance();
+  trace::set_enabled(true);
+  tracer.set_lane_capacity(4);
+  // Lane capacity applies to lanes created after the call, so record
+  // from a fresh thread (which gets a fresh lane).
+  std::thread worker([] {
+    for (int i = 0; i < 10; ++i) {
+      TRACE_SCOPE("spin");
+    }
+  });
+  worker.join();
+  tracer.set_lane_capacity(trace::Tracer::kDefaultLaneCapacity);
+  EXPECT_EQ(tracer.span_count(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+
+  std::string out;
+  tracer.export_chrome_json(out);
+  const Result<json::Value> doc = json::parse(out);
+  ASSERT_TRUE(doc.ok());
+  // Oldest-first: the retained spans are the last four recorded.
+  const auto& events = doc.value().find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events.front().find("args")->find("seq")->as_number(), 6.0);
+  EXPECT_DOUBLE_EQ(events.back().find("args")->find("seq")->as_number(), 9.0);
+}
+
+TEST_F(TraceTest, ClearResetsSpansAndTimeline) {
+  trace::set_enabled(true);
+  trace::set_sim_now(999);
+  { TRACE_SCOPE("x"); }
+  trace::clear();
+  EXPECT_EQ(trace::Tracer::instance().span_count(), 0u);
+  EXPECT_EQ(trace::Tracer::instance().sim_now(), 0);
+
+  const json::Value status = trace::Tracer::instance().status_json();
+  EXPECT_TRUE(status.find("enabled")->as_bool());
+  EXPECT_DOUBLE_EQ(status.find("spans")->as_number(), 0.0);
 }
 
 }  // namespace
