@@ -1,0 +1,199 @@
+// scenario_runner — drive declarative scenarios against the Fig. 2 testbed.
+//
+//   scenario_runner list [dir]
+//       Show every scenario in `dir` (default: scenarios/) with its
+//       horizon and targets.
+//   scenario_runner validate <file>...
+//       Parse each file and report the first error (with line/column and
+//       field path). Exit 1 if any file is invalid.
+//   scenario_runner run <file> [--threads N] [--seed N] [--record path]
+//                       [--out path] [--wall-profile] [--quiet]
+//       Execute the scenario and print the scorecard JSON. Exit 1 when
+//       the scenario declares targets and the run misses any of them.
+//   scenario_runner record <file> <journal> [run flags]
+//       Shorthand for `run <file> --record <journal>`.
+//   scenario_runner replay <journal> [run flags]
+//       Re-run a recorded request/event stream; the scorecard is
+//       byte-identical to the recorded run's.
+//
+// Scorecards are deterministic: same scenario + seed => same bytes, at
+// any --threads setting (wall_profile is the one opt-in exception).
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/recorder.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace slices;
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "scenario_runner: " << message << "\n";
+  return 2;
+}
+
+int usage() {
+  std::cerr << "usage: scenario_runner <list|validate|run|record|replay> ...\n"
+               "       (see the header comment in examples/scenario_runner.cpp)\n";
+  return 2;
+}
+
+struct RunFlags {
+  scenario::RunOptions options;
+  std::optional<std::uint64_t> seed_override;
+  std::string out_path;
+  bool quiet = false;
+};
+
+/// Parses trailing --flags shared by run/record/replay. Returns false
+/// (after printing) on a malformed flag.
+bool parse_run_flags(int argc, char** argv, int first, RunFlags& flags) {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        fail(arg + " needs a " + what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      const char* v = value("count");
+      if (v == nullptr) return false;
+      flags.options.epoch_threads = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = value("seed");
+      if (v == nullptr) return false;
+      flags.seed_override = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--record") {
+      const char* v = value("path");
+      if (v == nullptr) return false;
+      flags.options.record_path = v;
+    } else if (arg == "--out") {
+      const char* v = value("path");
+      if (v == nullptr) return false;
+      flags.out_path = v;
+    } else if (arg == "--wall-profile") {
+      flags.options.wall_profile = true;
+    } else if (arg == "--quiet") {
+      flags.quiet = true;
+    } else {
+      fail("unknown flag '" + arg + "'");
+      return false;
+    }
+  }
+  return true;
+}
+
+int execute(scenario::Scenario loaded, const RunFlags& flags) {
+  if (flags.seed_override) loaded.seed = *flags.seed_override;
+  scenario::ScenarioRunner runner(std::move(loaded), flags.options);
+  const Result<scenario::Scorecard> card = runner.run();
+  if (!card.ok()) return fail(card.error().message);
+
+  const std::string serialized = card.value().serialize();
+  if (!flags.out_path.empty()) {
+    std::ofstream out(flags.out_path, std::ios::binary | std::ios::trunc);
+    out << serialized;
+    if (!out) return fail("cannot write scorecard to " + flags.out_path);
+  }
+  if (!flags.quiet) std::cout << serialized;
+
+  if (!card.value().targets_met) {
+    for (const std::string& miss : card.value().target_failures)
+      std::cerr << "scenario_runner: target missed: " << miss << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_list(int argc, char** argv) {
+  const std::filesystem::path dir = argc >= 3 ? argv[2] : "scenarios";
+  std::error_code ec;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  if (ec) return fail("cannot list " + dir.string() + ": " + ec.message());
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    const Result<scenario::Scenario> loaded = scenario::load_scenario_file(file.string());
+    if (!loaded.ok()) {
+      std::cout << file.string() << "\n    INVALID: " << loaded.error().message << "\n";
+      continue;
+    }
+    const scenario::Scenario& s = loaded.value();
+    std::cout << s.name << "  (" << file.string() << ")\n    " << s.duration.as_hours()
+              << "h, seed " << s.seed << ", " << s.phases.size() << " phases, "
+              << s.events.size() << " events, " << s.requests.size()
+              << " explicit requests" << (s.targets.any() ? ", scored" : "") << "\n    "
+              << s.description << "\n";
+  }
+  return 0;
+}
+
+int cmd_validate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  int rc = 0;
+  for (int i = 2; i < argc; ++i) {
+    const Result<scenario::Scenario> loaded = scenario::load_scenario_file(argv[i]);
+    if (loaded.ok()) {
+      std::cout << argv[i] << ": ok (" << loaded.value().name << ")\n";
+    } else {
+      std::cout << argv[i] << ": " << loaded.error().message << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return usage();
+  RunFlags flags;
+  if (!parse_run_flags(argc, argv, 3, flags)) return 2;
+  Result<scenario::Scenario> loaded = scenario::load_scenario_file(argv[2]);
+  if (!loaded.ok()) return fail(loaded.error().message);
+  return execute(std::move(loaded.value()), flags);
+}
+
+int cmd_record(int argc, char** argv) {
+  if (argc < 4) return usage();
+  RunFlags flags;
+  flags.options.record_path = argv[3];
+  if (!parse_run_flags(argc, argv, 4, flags)) return 2;
+  Result<scenario::Scenario> loaded = scenario::load_scenario_file(argv[2]);
+  if (!loaded.ok()) return fail(loaded.error().message);
+  return execute(std::move(loaded.value()), flags);
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 3) return usage();
+  RunFlags flags;
+  if (!parse_run_flags(argc, argv, 3, flags)) return 2;
+  Result<scenario::Scenario> loaded = scenario::load_recording(argv[2]);
+  if (!loaded.ok()) return fail(loaded.error().message);
+  return execute(std::move(loaded.value()), flags);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list(argc, argv);
+  if (cmd == "validate") return cmd_validate(argc, argv);
+  if (cmd == "run") return cmd_run(argc, argv);
+  if (cmd == "record") return cmd_record(argc, argv);
+  if (cmd == "replay") return cmd_replay(argc, argv);
+  return usage();
+}

@@ -18,6 +18,14 @@
 //   slicectl <port> trace dump [--clear]
 //   slicectl <port> trace clear
 //
+// Offline (no server required):
+//
+//   slicectl scenario validate <file>...
+//   slicectl scenario run <file> [--threads N]
+//
+// (a thin front for the full scenario_runner tool — see
+// examples/scenario_runner.cpp for record/replay and flags).
+//
 // With no arguments it runs a scripted self-contained session: spins up
 // an embedded testbed + HTTP server, then walks through request/list/
 // resize/delete like an operator at the demo booth.
@@ -29,6 +37,8 @@
 
 #include "core/testbed.hpp"
 #include "net/http_server.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "traffic/verticals.hpp"
 
 using namespace slices;
@@ -121,6 +131,42 @@ int run_command(std::uint16_t port, int argc, char** argv) {
   return fail("unknown command or missing arguments (see header comment for usage)");
 }
 
+int scenario_command(int argc, char** argv) {
+  if (argc < 4) return fail("usage: slicectl scenario <validate|run> <file>...");
+  const std::string sub = argv[2];
+  if (sub == "validate") {
+    int rc = 0;
+    for (int i = 3; i < argc; ++i) {
+      const Result<scenario::Scenario> loaded = scenario::load_scenario_file(argv[i]);
+      if (loaded.ok()) {
+        std::cout << argv[i] << ": ok (" << loaded.value().name << ")\n";
+      } else {
+        std::cout << argv[i] << ": " << loaded.error().message << "\n";
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+  if (sub == "run") {
+    scenario::RunOptions options;
+    if (argc >= 6 && std::strcmp(argv[4], "--threads") == 0)
+      options.epoch_threads = static_cast<std::size_t>(std::atoi(argv[5]));
+    Result<scenario::Scenario> loaded = scenario::load_scenario_file(argv[3]);
+    if (!loaded.ok()) return fail(loaded.error().message);
+    scenario::ScenarioRunner runner(std::move(loaded.value()), options);
+    const Result<scenario::Scorecard> card = runner.run();
+    if (!card.ok()) return fail(card.error().message);
+    std::cout << card.value().serialize();
+    if (!card.value().targets_met) {
+      for (const std::string& miss : card.value().target_failures)
+        std::cerr << "slicectl: target missed: " << miss << "\n";
+      return 1;
+    }
+    return 0;
+  }
+  return fail("unknown scenario subcommand '" + sub + "'");
+}
+
 int scripted_session() {
   auto tb = core::make_testbed(7);
   Result<std::unique_ptr<net::HttpServer>> bound =
@@ -161,6 +207,7 @@ int scripted_session() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "scenario") == 0) return scenario_command(argc, argv);
   if (argc < 3) return scripted_session();
   const int port = std::atoi(argv[1]);
   if (port <= 0 || port > 65535) return fail("bad port");

@@ -61,7 +61,9 @@ std::optional<DatacenterId> CloudController::choose_datacenter(
   // fall back to the other kind.
   const auto pick = [&](DatacenterKind kind) -> std::optional<DatacenterId> {
     for (const auto& d : datacenters_) {
-      if (d->kind() == kind && d->can_fit(footprint)) return d->id();
+      if (d->kind() == kind && datacenter_available(d->id()) && d->can_fit(footprint)) {
+        return d->id();
+      }
     }
     return std::nullopt;
   };
@@ -70,8 +72,24 @@ std::optional<DatacenterId> CloudController::choose_datacenter(
   return pick(DatacenterKind::edge);
 }
 
+Result<void> CloudController::set_datacenter_available(DatacenterId dc, bool available) {
+  if (find_datacenter(dc) == nullptr) {
+    return make_error(Errc::not_found, "unknown datacenter " + std::to_string(dc.value()));
+  }
+  if (available) {
+    failed_dcs_.erase(dc.value());
+  } else {
+    failed_dcs_.insert(dc.value());
+  }
+  return {};
+}
+
 Result<StackId> CloudController::create_stack(DatacenterId dc, const StackTemplate& tmpl) {
   assert(finalized());
+  if (!datacenter_available(dc)) {
+    return make_error(Errc::unavailable,
+                      "datacenter " + std::to_string(dc.value()) + " is failed");
+  }
   return engine_->create_stack(dc, tmpl);
 }
 

@@ -5,8 +5,10 @@
 // queries, Heat stack create/delete, datacenter selection for a slice's
 // compute footprint, utilization telemetry and the REST facade.
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -45,10 +47,24 @@ class CloudController {
 
   /// Pick a datacenter able to host `footprint`. When `require_edge` is
   /// set only edge DCs qualify (latency-bound verticals); otherwise
-  /// core DCs are preferred (keep scarce edge capacity free). Returns
-  /// nullopt when nothing fits.
+  /// core DCs are preferred (keep scarce edge capacity free). Failed
+  /// (unavailable) datacenters never qualify. Returns nullopt when
+  /// nothing fits.
   [[nodiscard]] std::optional<DatacenterId> choose_datacenter(const ComputeCapacity& footprint,
                                                               bool require_edge) const;
+
+  // --- Failure injection -----------------------------------------------------
+
+  /// Mark a datacenter failed/recovered (site outage). A failed DC takes
+  /// no new placements — choose_datacenter skips it and create_stack
+  /// returns unavailable. Stacks already running there are the caller's
+  /// responsibility to tear down (the orchestrator terminates the
+  /// affected slices). Errors: not_found.
+  [[nodiscard]] Result<void> set_datacenter_available(DatacenterId dc, bool available);
+
+  [[nodiscard]] bool datacenter_available(DatacenterId dc) const noexcept {
+    return !failed_dcs_.contains(dc.value());
+  }
 
   /// Create a stack; forwards to the engine. Also records telemetry.
   [[nodiscard]] Result<StackId> create_stack(DatacenterId dc, const StackTemplate& tmpl);
@@ -72,6 +88,7 @@ class CloudController {
   // finalize(); unique_ptr keeps addresses stable for the engine.
   std::vector<std::unique_ptr<Datacenter>> datacenters_;
   std::unique_ptr<StackEngine> engine_;
+  std::set<std::uint64_t> failed_dcs_;  ///< DatacenterId values currently failed
   IdAllocator<DatacenterTag> dc_ids_;
   telemetry::MonitorRegistry* registry_;
   std::string metrics_buffer_;  ///< reused /metrics serialization buffer

@@ -28,6 +28,8 @@ enum class EventKind {
   slice_expired,
   slice_terminated,
   state_recovered,
+  fault_injected,
+  fault_cleared,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(EventKind k) noexcept {
@@ -42,6 +44,8 @@ enum class EventKind {
     case EventKind::slice_expired: return "slice_expired";
     case EventKind::slice_terminated: return "slice_terminated";
     case EventKind::state_recovered: return "state_recovered";
+    case EventKind::fault_injected: return "fault_injected";
+    case EventKind::fault_cleared: return "fault_cleared";
   }
   return "?";
 }

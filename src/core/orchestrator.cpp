@@ -284,10 +284,33 @@ RequestId Orchestrator::submit(const SliceSpec& spec,
   }
   if (config_.admission_window > Duration::zero()) {
     // Batched mode: decided at the next auction.
+    if (submit_observer_) submit_observer_(it->second);
     return request;
   }
   decide(it->second);
+  if (submit_observer_) submit_observer_(it->second);
   return request;
+}
+
+void Orchestrator::set_suspended(bool suspended) {
+  if (suspended_ == suspended) return;
+  suspended_ = suspended;
+  note_fault("orchestrator", suspended,
+             suspended ? "control plane suspended (restart in progress)"
+                       : "control plane resumed");
+}
+
+void Orchestrator::note_fault(const std::string& component, bool active, std::string detail,
+                              json::Object fields) {
+  if (active) {
+    active_faults_[component] = detail;
+  } else if (active_faults_.erase(component) == 0) {
+    return;  // clearing a fault that was never injected: no-op
+  }
+  fields.emplace("component", component);
+  events_.record(simulator_->now(),
+                 active ? EventKind::fault_injected : EventKind::fault_cleared, SliceId{},
+                 component + ": " + detail, std::move(fields));
 }
 
 DataRate Orchestrator::sellable_capacity() const {
@@ -741,6 +764,7 @@ DataRate Orchestrator::apply_overbooking(SimTime now) {
 }
 
 void Orchestrator::run_epoch(SimTime now) {
+  if (suspended_) return;  // control-plane blackout: the epoch is simply missed
   telemetry::trace::set_sim_now(now.as_micros());
   TRACE_SCOPE("orch.serve_epoch");
   WallPhaseTimer epoch_timer(hist_.epoch_us);
@@ -1285,9 +1309,15 @@ json::Value Orchestrator::health_json() const {
   }
   last_epoch.emplace("stale", epoch_stale);
 
+  json::Object faults;
+  for (const auto& [component, detail] : active_faults_) faults.emplace(component, detail);
+
   json::Object out;
-  out.emplace("status", epoch_stale || store_degraded ? std::string("degraded")
-                                                      : std::string("ok"));
+  out.emplace("status", epoch_stale || store_degraded || !active_faults_.empty()
+                            ? std::string("degraded")
+                            : std::string("ok"));
+  out.emplace("faults", std::move(faults));
+  out.emplace("suspended", suspended_);
   out.emplace("started", started_);
   out.emplace("sim_time_s", now.as_seconds());
   out.emplace("components", std::move(components));

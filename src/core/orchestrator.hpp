@@ -18,6 +18,7 @@
 // configuration uses the controllers' typed APIs so multi-domain
 // transactions can roll back precisely.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -247,9 +248,36 @@ class Orchestrator {
     return last_recovery_;
   }
 
+  // --- Fault injection / scenario hooks (docs/scenarios.md) ----------------
+
+  /// Suspend or resume the monitoring/orchestration loop (a controller
+  /// restart or control-plane blackout): while suspended, run_epoch
+  /// returns immediately — no serving, no accrual, no reconfiguration —
+  /// and /healthz reports the loop as stale once two periods pass.
+  void set_suspended(bool suspended);
+  [[nodiscard]] bool suspended() const noexcept { return suspended_; }
+
+  /// Declare an injected fault active/cleared under a stable component
+  /// name (e.g. "link.mmwave", "dc.edge-dc"). Faults are recorded in the
+  /// event log (audit trail) with the given detail fields and surfaced
+  /// in health_json() under "faults" — /healthz turns "degraded" while
+  /// any fault is active. Clearing an unknown fault is a no-op.
+  void note_fault(const std::string& component, bool active, std::string detail,
+                  json::Object fields = {});
+  [[nodiscard]] const std::map<std::string, std::string>& active_faults() const noexcept {
+    return active_faults_;
+  }
+
+  /// Observer called after every accepted submit() with the new record
+  /// (state pending or already decided). Used by the scenario recorder
+  /// to capture a live run's request stream. Pass nullptr to detach.
+  using SubmitObserver = std::function<void(const SliceRecord&)>;
+  void set_submit_observer(SubmitObserver observer) { submit_observer_ = std::move(observer); }
+
   /// Liveness/health document served at GET /healthz: component
-  /// reachability over the bus, journal lag, last-epoch freshness and
-  /// tracer status. Pure read — safe to call from tests and dashboards.
+  /// reachability over the bus, journal lag, last-epoch freshness,
+  /// active injected faults and tracer status. Pure read — safe to call
+  /// from tests and dashboards.
   [[nodiscard]] json::Value health_json() const;
 
   /// REST facade — the dashboard API of the demo (slice CRUD + report).
@@ -393,6 +421,9 @@ class Orchestrator {
   std::uint64_t reconfigurations_ = 0;
   InstallTimeline last_timeline_;
   bool started_ = false;
+  bool suspended_ = false;
+  std::map<std::string, std::string> active_faults_;  ///< component -> detail
+  SubmitObserver submit_observer_;
   store::StateStore* store_ = nullptr;
   std::optional<RecoveryStats> last_recovery_;
 };

@@ -105,7 +105,7 @@ constexpr int kMaxDepth = 256;
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const ParseOptions& options) : text_(text), options_(options) {}
 
   Result<Value> run() {
     skip_ws();
@@ -118,6 +118,7 @@ class Parser {
 
  private:
   Error fail(std::string why) const {
+    if (options_.error_offset != nullptr) *options_.error_offset = pos_;
     return make_error(Errc::protocol_error,
                       "json parse error at byte " + std::to_string(pos_) + ": " + std::move(why));
   }
@@ -280,6 +281,9 @@ class Parser {
       skip_ws();
       Result<Value> item = parse_value(depth + 1);
       if (!item.ok()) return item;
+      if (options_.reject_duplicate_keys && obj.contains(key.value())) {
+        return fail("duplicate object key '" + key.value() + "'");
+      }
       obj.insert_or_assign(std::move(key).value(), std::move(item).value());
       skip_ws();
       if (eof()) return fail("unterminated object");
@@ -290,6 +294,7 @@ class Parser {
   }
 
   std::string_view text_;
+  ParseOptions options_;
   std::size_t pos_ = 0;
 };
 
@@ -316,6 +321,10 @@ void append_escaped(std::string& out, std::string_view s) { escape_into(out, s);
 
 void append_number(std::string& out, double d) { number_into(out, d); }
 
-Result<Value> parse(std::string_view text) { return Parser(text).run(); }
+Result<Value> parse(std::string_view text) { return Parser(text, ParseOptions{}).run(); }
+
+Result<Value> parse(std::string_view text, const ParseOptions& options) {
+  return Parser(text, options).run();
+}
 
 }  // namespace slices::json

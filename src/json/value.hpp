@@ -143,4 +143,21 @@ void append_number(std::string& out, double d);
 /// numbers, returning Errc::protocol_error with a byte offset.
 [[nodiscard]] Result<Value> parse(std::string_view text);
 
+/// Knobs for untrusted configuration documents (scenario/config files)
+/// where silent data loss is worse than a parse failure.
+struct ParseOptions {
+  /// Reject objects with repeated keys instead of last-wins overwrite —
+  /// a duplicated key in a hand-edited config is almost always a typo'd
+  /// intent, not an intentional override.
+  bool reject_duplicate_keys = false;
+  /// When non-null, receives the byte offset of the failure (unchanged
+  /// on success). Callers with the original text can turn it into a
+  /// line:column position.
+  std::size_t* error_offset = nullptr;
+};
+
+/// parse() with explicit options; the plain overload forwards to this
+/// with defaults (wire traffic keeps the permissive behaviour).
+[[nodiscard]] Result<Value> parse(std::string_view text, const ParseOptions& options);
+
 }  // namespace slices::json

@@ -1,0 +1,72 @@
+#pragma once
+// Scenario flight recorder (docs/scenarios.md).
+//
+// Captures the externally-visible input stream of a run — every
+// submitted request (with the seed of its demand model) and every
+// concrete injected failure action — into an append-only journal using
+// the store::Journal CRC-framed record format. A recording loads back
+// as a Scenario with generate_arrivals=false whose explicit requests
+// and events replay the run bit-identically: the runner schedules the
+// recorded stream instead of re-drawing arrivals, and every epoch
+// decision follows deterministically.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "core/orchestrator.hpp"
+#include "core/slice.hpp"
+#include "scenario/scenario.hpp"
+#include "store/journal.hpp"
+
+namespace slices::scenario {
+
+/// Writing side. One recorder per run; records must be appended in
+/// simulation order (the runner's event callbacks guarantee it).
+class ScenarioRecorder {
+ public:
+  /// Create/truncate the journal at `path` and write the scenario
+  /// header (the scenario stripped of its generated stream: requests
+  /// and events cleared, generate_arrivals forced off).
+  [[nodiscard]] static Result<std::unique_ptr<ScenarioRecorder>> create(
+      const std::string& path, const Scenario& scenario);
+
+  ~ScenarioRecorder() { close(); }
+  ScenarioRecorder(const ScenarioRecorder&) = delete;
+  ScenarioRecorder& operator=(const ScenarioRecorder&) = delete;
+
+  /// Append one submitted request at its submission time.
+  [[nodiscard]] Result<void> record_request(SimTime at, const core::SliceSpec& spec,
+                                            std::uint64_t workload_seed);
+
+  /// Append one concrete injected action (flaps and auto-restores are
+  /// recorded as the individual down/up actions they expand to).
+  [[nodiscard]] Result<void> record_event(const ScenarioEvent& event);
+
+  /// Write the end-of-run marker and close the journal.
+  [[nodiscard]] Result<void> finish(SimTime end);
+
+  /// Live-capture convenience: record every accepted submit() of a
+  /// running orchestrator (dashboard/REST-driven runs). Workload seeds
+  /// are unknown on this path and recorded as 0 — replay reattaches
+  /// the default demand model of each vertical.
+  void attach(core::Orchestrator* orchestrator);
+
+  void close() { journal_.close(); }
+
+ private:
+  ScenarioRecorder() = default;
+
+  [[nodiscard]] Result<void> append(json::Object record);
+
+  store::Journal journal_;
+};
+
+/// Load a recording back into a replayable Scenario. Errors:
+/// unavailable (I/O), protocol_error (not a scenario recording),
+/// invalid_argument (corrupt entries).
+[[nodiscard]] Result<Scenario> load_recording(const std::string& path);
+
+}  // namespace slices::scenario

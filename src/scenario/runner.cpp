@@ -1,0 +1,427 @@
+#include "scenario/runner.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "telemetry/trace.hpp"
+#include "traffic/verticals.hpp"
+
+namespace slices::scenario {
+namespace {
+
+// Decouples the request-generator stream from the testbed's fading
+// stream (both derive from the scenario seed).
+constexpr std::uint64_t kWorkloadSalt = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kStormSalt = 0xbf58476d1ce4e5b9ull;
+
+std::string format_rate(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.4f", v);
+  return buffer;
+}
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(Scenario scenario, RunOptions options)
+    : scenario_(std::move(scenario)), options_(std::move(options)) {}
+
+std::vector<core::RatePoint> ScenarioRunner::build_rate_schedule() const {
+  const double base = scenario_.workload.arrivals_per_hour;
+  std::vector<const Phase*> rated;
+  for (const Phase& phase : scenario_.phases) {
+    if (phase.arrivals_per_hour >= 0.0) rated.push_back(&phase);
+  }
+  std::vector<core::RatePoint> schedule;
+  for (std::size_t i = 0; i < rated.size(); ++i) {
+    schedule.push_back({rated[i]->start, rated[i]->arrivals_per_hour});
+    // Reset to the base rate at the phase end unless the next rated
+    // phase begins exactly there (phases are sorted and disjoint).
+    if (i + 1 == rated.size() || rated[i + 1]->start > rated[i]->end) {
+      schedule.push_back({rated[i]->end, base});
+    }
+  }
+  return schedule;
+}
+
+Result<Scorecard> ScenarioRunner::run() {
+  if (ran_) return make_error(Errc::conflict, "scenario runner is single-use");
+  ran_ = true;
+
+  core::OrchestratorConfig config = scenario_.orchestrator;
+  config.epoch_threads = options_.epoch_threads == 0 ? 1 : options_.epoch_threads;
+  const bool previous_wall = telemetry::trace::wall_clock();
+  if (options_.wall_profile) telemetry::trace::set_wall_clock(true);
+
+  testbed_ = core::make_testbed(scenario_.seed, config);
+  end_ = SimTime::origin() + scenario_.duration;
+
+  std::vector<traffic::PiecewiseEnvelope::Segment> segments;
+  for (const Phase& phase : scenario_.phases) {
+    if (phase.demand_scale != 1.0) {
+      segments.push_back({SimTime::origin() + phase.start, SimTime::origin() + phase.end,
+                          phase.demand_scale});
+    }
+  }
+  if (!segments.empty()) {
+    envelope_ = std::make_shared<const traffic::PiecewiseEnvelope>(std::move(segments));
+  }
+
+  if (!options_.record_path.empty()) {
+    Result<std::unique_ptr<ScenarioRecorder>> recorder =
+        ScenarioRecorder::create(options_.record_path, scenario_);
+    if (!recorder.ok()) return recorder.error();
+    recorder_ = std::move(recorder.value());
+  }
+
+  if (scenario_.generate_arrivals) {
+    core::RequestGeneratorConfig workload = scenario_.workload;
+    workload.rate_schedule = build_rate_schedule();
+    const bool has_rate = workload.arrivals_per_hour > 0.0 || !workload.rate_schedule.empty();
+    if (has_rate) {
+      generator_ = std::make_unique<core::RequestGenerator>(std::move(workload),
+                                                            Rng(scenario_.seed ^ kWorkloadSalt));
+      schedule_arrival();
+    }
+  }
+
+  // Events before requests: in a live run every arrival is scheduled
+  // dynamically (after the pre-scheduled injections), so a replayed
+  // request that shares a timestamp with an injection must also fire
+  // after it to reproduce the original execution order.
+  for (const ScenarioEvent& event : scenario_.events) schedule_event(event);
+
+  for (const ScenarioRequest& request : scenario_.requests) {
+    testbed_->simulator.schedule_at(SimTime::origin() + request.at, [this, &request] {
+      submit_request(request.spec, request.workload_seed);
+    });
+  }
+
+  // Registered after make_testbed() started the orchestrator's epoch
+  // periodic with the same period and offset, so at every shared
+  // timestamp the epoch runs first and this sampler observes its
+  // result (FIFO tiebreak among same-time events).
+  testbed_->simulator.add_periodic(
+      config.monitoring_period, [this](SimTime now) { sample(now); },
+      config.monitoring_period);
+
+  testbed_->simulator.run_until(end_);
+
+  stop_storms();
+  Scorecard card = finalize();
+  evaluate_targets(card);
+
+  if (options_.wall_profile) {
+    if (const telemetry::Histogram* wall =
+            testbed_->registry.find_histogram("orchestrator.epoch_us");
+        wall != nullptr && !wall->empty()) {
+      card.epoch_wall_us = Percentiles::of(*wall);
+    }
+  }
+  telemetry::trace::set_wall_clock(previous_wall);
+
+  if (recorder_) {
+    if (Result<void> r = recorder_->finish(end_); !r.ok()) return r.error();
+  }
+  return card;
+}
+
+void ScenarioRunner::schedule_arrival() {
+  const SimTime now = testbed_->simulator.now();
+  const Duration gap = generator_->next_interarrival(now);
+  const SimTime at = now + gap;
+  if (at > end_) return;
+  testbed_->simulator.schedule_at(at, [this] {
+    core::GeneratedRequest request = generator_->next_request();
+    submit_request(request.spec, request.workload_seed);
+    schedule_arrival();
+  });
+}
+
+void ScenarioRunner::submit_request(const core::SliceSpec& spec, std::uint64_t workload_seed) {
+  core::Orchestrator* orchestrator = testbed_->orchestrator.get();
+  if (orchestrator->suspended()) {
+    // Control plane down: the request queues at the northbound API and
+    // lands the moment the loop resumes.
+    deferred_.push_back({spec, workload_seed});
+    return;
+  }
+  if (recorder_) {
+    (void)recorder_->record_request(testbed_->simulator.now(), spec, workload_seed);
+  }
+  std::unique_ptr<traffic::TrafficModel> workload =
+      traffic::make_traffic(spec.vertical, Rng(workload_seed));
+  if (envelope_) {
+    workload = std::make_unique<traffic::ModulatedTraffic>(std::move(workload), envelope_);
+  }
+  ++submitted_;
+  orchestrator->submit(spec, std::move(workload));
+}
+
+void ScenarioRunner::flush_deferred() {
+  std::vector<Deferred> pending;
+  pending.swap(deferred_);
+  for (const Deferred& d : pending) submit_request(d.spec, d.workload_seed);
+}
+
+void ScenarioRunner::record_action(const ScenarioEvent& event) {
+  ++events_injected_;
+  if (recorder_) (void)recorder_->record_event(event);
+}
+
+void ScenarioRunner::schedule_event(const ScenarioEvent& event) {
+  sim::Simulator& sim = testbed_->simulator;
+  const SimTime base = SimTime::origin() + event.at;
+  switch (event.kind) {
+    case EventKind::link_down:
+      sim.schedule_at(base, [this, target = event.target] { apply_link(target, false); });
+      if (event.duration > Duration::zero()) {
+        sim.schedule_at(base + event.duration,
+                        [this, target = event.target] { apply_link(target, true); });
+      }
+      break;
+    case EventKind::link_up:
+      sim.schedule_at(base, [this, target = event.target] { apply_link(target, true); });
+      break;
+    case EventKind::link_flap:
+      for (int k = 0; k < event.flap_count; ++k) {
+        const SimTime down_at = base + event.flap_period * static_cast<double>(k);
+        sim.schedule_at(down_at, [this, target = event.target] { apply_link(target, false); });
+        sim.schedule_at(down_at + event.flap_down,
+                        [this, target = event.target] { apply_link(target, true); });
+      }
+      break;
+    case EventKind::cell_down:
+      sim.schedule_at(base, [this, target = event.target] { apply_cell(target, false); });
+      if (event.duration > Duration::zero()) {
+        sim.schedule_at(base + event.duration,
+                        [this, target = event.target] { apply_cell(target, true); });
+      }
+      break;
+    case EventKind::cell_up:
+      sim.schedule_at(base, [this, target = event.target] { apply_cell(target, true); });
+      break;
+    case EventKind::dc_down:
+      sim.schedule_at(base, [this, target = event.target] { apply_dc(target, false); });
+      if (event.duration > Duration::zero()) {
+        sim.schedule_at(base + event.duration,
+                        [this, target = event.target] { apply_dc(target, true); });
+      }
+      break;
+    case EventKind::dc_up:
+      sim.schedule_at(base, [this, target = event.target] { apply_dc(target, true); });
+      break;
+    case EventKind::controller_restart:
+      sim.schedule_at(base, [this, duration = event.duration] { apply_restart(duration); });
+      break;
+    case EventKind::churn_storm:
+      sim.schedule_at(base, [this, event] { start_storm(event); });
+      sim.schedule_at(base + event.duration, [this] { stop_storms(); });
+      break;
+  }
+}
+
+void ScenarioRunner::apply_link(const std::string& name, bool up) {
+  const LinkId link = name == "mmwave" ? testbed_->mmwave_uplink : testbed_->uwave_uplink;
+  (void)testbed_->transport->set_link_up(link, up);
+  testbed_->orchestrator->note_fault("link." + name, !up,
+                                     up ? "link restored" : "link down",
+                                     {{"link", json::Value(name)}});
+  ScenarioEvent action;
+  action.at = testbed_->simulator.now() - SimTime::origin();
+  action.kind = up ? EventKind::link_up : EventKind::link_down;
+  action.target = name;
+  record_action(action);
+}
+
+void ScenarioRunner::apply_cell(const std::string& name, bool up) {
+  const CellId cell = name == "a" ? testbed_->cell_a : testbed_->cell_b;
+  (void)testbed_->ran.set_cell_active(cell, up);
+  testbed_->orchestrator->note_fault("cell." + name, !up,
+                                     up ? "cell reactivated" : "cell outage",
+                                     {{"cell", json::Value(name)}});
+  ScenarioEvent action;
+  action.at = testbed_->simulator.now() - SimTime::origin();
+  action.kind = up ? EventKind::cell_up : EventKind::cell_down;
+  action.target = name;
+  record_action(action);
+}
+
+void ScenarioRunner::apply_dc(const std::string& name, bool up) {
+  const DatacenterId dc = name == "edge" ? testbed_->edge_dc : testbed_->core_dc;
+  (void)testbed_->cloud.set_datacenter_available(dc, up);
+  core::Orchestrator* orchestrator = testbed_->orchestrator.get();
+  if (!up) {
+    // A failed site loses its VNFs: every live slice embedded there is
+    // torn down (tenants must re-request; the broker keeps the revenue
+    // already accrued).
+    for (const core::SliceRecord* record : orchestrator->all_slices()) {
+      if (record->is_live() && record->embedding.datacenter == dc) {
+        (void)orchestrator->terminate(record->id);
+      }
+    }
+  }
+  orchestrator->note_fault("dc." + name, !up, up ? "datacenter recovered" : "datacenter failed",
+                           {{"dc", json::Value(name)}});
+  ScenarioEvent action;
+  action.at = testbed_->simulator.now() - SimTime::origin();
+  action.kind = up ? EventKind::dc_up : EventKind::dc_down;
+  action.target = name;
+  record_action(action);
+}
+
+void ScenarioRunner::apply_restart(Duration duration) {
+  core::Orchestrator* orchestrator = testbed_->orchestrator.get();
+  orchestrator->set_suspended(true);
+  orchestrator->note_fault("controller", true, "control plane restarting");
+  ScenarioEvent action;
+  action.at = testbed_->simulator.now() - SimTime::origin();
+  action.kind = EventKind::controller_restart;
+  action.duration = duration;
+  record_action(action);
+  testbed_->simulator.schedule_after(duration, [this] {
+    testbed_->orchestrator->set_suspended(false);
+    testbed_->orchestrator->note_fault("controller", false, "control plane back");
+    flush_deferred();
+  });
+}
+
+void ScenarioRunner::start_storm(const ScenarioEvent& event) {
+  core::Orchestrator* orchestrator = testbed_->orchestrator.get();
+  core::UePopulationConfig config;
+  config.arrivals_per_hour = event.storm_ues_per_hour;
+  config.mean_holding = event.storm_mean_holding;
+  ++storm_seq_;
+  for (const core::SliceRecord* record : orchestrator->all_slices()) {
+    if (record->state != core::SliceState::active) continue;
+    const std::uint64_t seed =
+        scenario_.seed ^ (kWorkloadSalt * storm_seq_) ^ (kStormSalt * record->id.value());
+    auto population = std::make_unique<core::UePopulation>(
+        &testbed_->simulator, &testbed_->ran, testbed_->epc.get(), record->id,
+        record->embedding.plmn, config, Rng(seed));
+    population->start();
+    storm_populations_.push_back(std::move(population));
+  }
+  orchestrator->note_fault("churn", true,
+                           "UE churn storm (" + format_rate(event.storm_ues_per_hour) +
+                               " UEs/h per slice)");
+  ScenarioEvent action = event;
+  action.at = testbed_->simulator.now() - SimTime::origin();
+  record_action(action);
+}
+
+void ScenarioRunner::stop_storms() {
+  if (storm_populations_.empty()) return;
+  for (const std::unique_ptr<core::UePopulation>& population : storm_populations_) {
+    population->stop();
+    ue_arrivals_ += population->total_arrivals();
+    ue_blocked_ += population->total_blocked();
+  }
+  storm_populations_.clear();
+  testbed_->orchestrator->note_fault("churn", false, "storm over");
+}
+
+void ScenarioRunner::sample(SimTime now) {
+  core::Orchestrator* orchestrator = testbed_->orchestrator.get();
+  for (const core::Event& event : orchestrator->events().since(last_event_seq_)) {
+    last_event_seq_ = event.sequence;
+    if (event.kind == core::EventKind::slice_admitted) {
+      const auto it = event.fields.find("install_s");
+      if (it != event.fields.end() && it->second.is_number()) {
+        install_hist_.record(
+            static_cast<std::uint64_t>(std::llround(it->second.as_number() * 1e6)));
+      }
+    }
+  }
+  if (orchestrator->suspended()) return;  // no epoch ran at this tick
+  ++epochs_;
+  const core::OrchestratorSummary summary = orchestrator->summary();
+  active_hist_.record(summary.active_slices);
+  const double reserved = summary.reserved_total.as_mbps();
+  reserved_hist_.record(
+      static_cast<std::uint64_t>(std::llround(reserved < 0.0 ? 0.0 : reserved)));
+  gain_sum_ += summary.multiplexing_gain;
+  ++gain_samples_;
+  if (summary.multiplexing_gain > gain_peak_) gain_peak_ = summary.multiplexing_gain;
+}
+
+Scorecard ScenarioRunner::finalize() {
+  Scorecard card;
+  card.scenario = scenario_.name;
+  card.seed = scenario_.seed;
+  card.duration_hours = scenario_.duration.as_hours();
+
+  core::Orchestrator* orchestrator = testbed_->orchestrator.get();
+  const core::OrchestratorSummary summary = orchestrator->summary();
+  card.submitted = submitted_;
+  card.admitted = summary.admitted_total;
+  card.rejected = summary.rejected_total;
+  const std::uint64_t decided = card.admitted + card.rejected;
+  card.admission_rate =
+      decided == 0 ? 0.0 : static_cast<double>(card.admitted) / static_cast<double>(decided);
+
+  for (const core::SliceRecord* record : orchestrator->all_slices()) {
+    card.served_epochs += record->served_epochs;
+    card.violation_epochs += record->violation_epochs;
+    switch (record->state) {
+      case core::SliceState::installing:
+      case core::SliceState::active: ++card.active_at_end; break;
+      case core::SliceState::expired: ++card.expired; break;
+      case core::SliceState::terminated: ++card.terminated; break;
+      case core::SliceState::pending:
+      case core::SliceState::rejected: break;
+    }
+  }
+  card.violation_rate = card.served_epochs == 0
+                            ? 0.0
+                            : static_cast<double>(card.violation_epochs) /
+                                  static_cast<double>(card.served_epochs);
+
+  card.earned_cents = summary.earned.as_cents();
+  card.penalty_cents = summary.penalties.as_cents();
+  card.net_cents = summary.net.as_cents();
+
+  card.multiplexing_gain_mean =
+      gain_samples_ == 0 ? 1.0 : gain_sum_ / static_cast<double>(gain_samples_);
+  card.multiplexing_gain_peak = gain_peak_;
+  card.reconfigurations = summary.reconfigurations;
+
+  card.epochs = epochs_;
+  card.events_injected = events_injected_;
+  card.ue_arrivals = ue_arrivals_;
+  card.ue_blocked = ue_blocked_;
+
+  card.install_ms = Percentiles::of(install_hist_, 1e-3);
+  card.active_slices = Percentiles::of(active_hist_);
+  card.reserved_mbps = Percentiles::of(reserved_hist_);
+  return card;
+}
+
+void ScenarioRunner::evaluate_targets(Scorecard& card) const {
+  const ScenarioTargets& targets = scenario_.targets;
+  const auto fail = [&card](std::string why) {
+    card.targets_met = false;
+    card.target_failures.push_back(std::move(why));
+  };
+  if (targets.min_admission_rate && card.admission_rate < *targets.min_admission_rate) {
+    fail("admission rate " + format_rate(card.admission_rate) + " < target " +
+         format_rate(*targets.min_admission_rate));
+  }
+  if (targets.max_violation_rate && card.violation_rate > *targets.max_violation_rate) {
+    fail("violation rate " + format_rate(card.violation_rate) + " > target " +
+         format_rate(*targets.max_violation_rate));
+  }
+  if (targets.min_net_revenue &&
+      static_cast<double>(card.net_cents) / 100.0 < *targets.min_net_revenue) {
+    fail("net revenue " + format_rate(static_cast<double>(card.net_cents) / 100.0) +
+         " < target " + format_rate(*targets.min_net_revenue));
+  }
+  if (targets.min_multiplexing_gain &&
+      card.multiplexing_gain_mean < *targets.min_multiplexing_gain) {
+    fail("multiplexing gain " + format_rate(card.multiplexing_gain_mean) + " < target " +
+         format_rate(*targets.min_multiplexing_gain));
+  }
+}
+
+}  // namespace slices::scenario

@@ -1,0 +1,119 @@
+#pragma once
+// Scenario runner (docs/scenarios.md).
+//
+// Drives one Scenario end-to-end on the Fig. 2 testbed: builds the
+// deployment, compiles phases into the request generator's rate
+// schedule and the demand-surge envelope, schedules explicit requests
+// and the failure timeline on the simulation clock, samples the
+// orchestrator after every monitoring epoch, and distills the run into
+// a Scorecard. Runs are deterministic: the same scenario + seed yields
+// a byte-identical scorecard at any epoch_threads setting, and a
+// recorded run replays to the same scorecard (scenario_test pins both).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "core/request_generator.hpp"
+#include "core/testbed.hpp"
+#include "core/ue_population.hpp"
+#include "scenario/recorder.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/scorecard.hpp"
+#include "telemetry/histogram.hpp"
+#include "traffic/model.hpp"
+
+namespace slices::scenario {
+
+/// Runner knobs that are NOT part of the scenario: anything here must
+/// leave the scorecard unchanged (threads) or be explicitly excluded
+/// from parity checks (wall profiling, recording).
+struct RunOptions {
+  /// Epoch-serving worker threads; every value produces the same
+  /// scorecard (the determinism contract of the epoch pipeline).
+  std::size_t epoch_threads = 1;
+  /// Record wall-clock epoch latency into the scorecard's
+  /// "wall_profile" section (nondeterministic; off by default).
+  bool wall_profile = false;
+  /// When non-empty, record the run's request/event stream into this
+  /// journal for later replay.
+  std::string record_path;
+};
+
+/// Runs one scenario. Single-use: construct, run(), read the scorecard
+/// (and optionally poke at testbed() afterwards — it stays alive until
+/// the runner is destroyed).
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(Scenario scenario, RunOptions options = {});
+
+  /// Execute the scenario to its horizon and score it. Errors:
+  /// conflict (already ran), unavailable (recording I/O).
+  [[nodiscard]] Result<Scorecard> run();
+
+  /// The live deployment (valid after run(), for tests/inspection).
+  [[nodiscard]] const core::Testbed* testbed() const noexcept { return testbed_.get(); }
+
+  [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+
+ private:
+  /// Compile phases into the generator's piecewise rate schedule.
+  [[nodiscard]] std::vector<core::RatePoint> build_rate_schedule() const;
+
+  void schedule_arrival();
+  void submit_request(const core::SliceSpec& spec, std::uint64_t workload_seed);
+  void flush_deferred();
+
+  void schedule_event(const ScenarioEvent& event);
+  void apply_link(const std::string& name, bool up);
+  void apply_cell(const std::string& name, bool up);
+  void apply_dc(const std::string& name, bool up);
+  void apply_restart(Duration duration);
+  void start_storm(const ScenarioEvent& event);
+  void stop_storms();
+  void record_action(const ScenarioEvent& event);
+
+  void sample(SimTime now);
+  [[nodiscard]] Scorecard finalize();
+  void evaluate_targets(Scorecard& card) const;
+
+  Scenario scenario_;
+  RunOptions options_;
+  // Declared before every member that schedules into it or holds
+  // controller pointers (storm populations), so teardown is safe.
+  std::unique_ptr<core::Testbed> testbed_;
+  std::unique_ptr<core::RequestGenerator> generator_;
+  std::shared_ptr<const traffic::PiecewiseEnvelope> envelope_;
+  std::unique_ptr<ScenarioRecorder> recorder_;
+  std::vector<std::unique_ptr<core::UePopulation>> storm_populations_;
+  SimTime end_;
+  bool ran_ = false;
+
+  /// Requests arriving while the controller is "restarting" queue here
+  /// and are submitted, in order, the moment the loop resumes.
+  struct Deferred {
+    core::SliceSpec spec;
+    std::uint64_t workload_seed = 0;
+  };
+  std::vector<Deferred> deferred_;
+
+  // Sampled statistics (all sim-derived — deterministic).
+  std::uint64_t submitted_ = 0;
+  std::uint64_t last_event_seq_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t events_injected_ = 0;
+  std::uint64_t storm_seq_ = 0;
+  std::uint64_t ue_arrivals_ = 0;
+  std::uint64_t ue_blocked_ = 0;
+  double gain_sum_ = 0.0;
+  std::uint64_t gain_samples_ = 0;
+  double gain_peak_ = 1.0;
+  telemetry::Histogram install_hist_;   ///< install latency, µs (sim)
+  telemetry::Histogram active_hist_;    ///< per-epoch active slices
+  telemetry::Histogram reserved_hist_;  ///< per-epoch reserved Mb/s
+};
+
+}  // namespace slices::scenario

@@ -1,0 +1,807 @@
+#include "scenario/scenario.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/config_io.hpp"
+#include "traffic/verticals.hpp"
+
+namespace slices::scenario {
+namespace {
+
+using json::Object;
+using json::Value;
+
+// Sanity bounds: generous enough for any plausible experiment, tight
+// enough that a mistyped exponent fails loudly instead of hanging the
+// simulator in a billion-arrival loop.
+constexpr double kMaxArrivalRate = 1.0e5;     // per hour
+constexpr double kMaxDurationHours = 8784.0;  // one leap year
+constexpr double kMaxDemandScale = 1.0e3;
+
+Error bad(std::string why) { return make_error(Errc::invalid_argument, std::move(why)); }
+
+std::string path_key(const std::string& path, std::string_view key) {
+  return path.empty() ? std::string(key) : path + "." + std::string(key);
+}
+
+Result<void> check_keys(const Object& obj, const std::string& path,
+                        std::set<std::string_view> allowed) {
+  for (const auto& [key, value] : obj) {
+    if (!allowed.contains(key)) return bad(path_key(path, key) + ": unknown key");
+  }
+  return {};
+}
+
+// Duration fields are authored as human-friendly doubles. llround (not
+// truncation) makes serialize -> parse recover the exact microsecond
+// count, which the canonical round-trip contract needs.
+Duration hours_dur(double v) { return Duration::micros(std::llround(v * 3.6e9)); }
+Duration minutes_dur(double v) { return Duration::micros(std::llround(v * 6.0e7)); }
+Duration millis_dur(double v) { return Duration::micros(std::llround(v * 1.0e3)); }
+
+/// Optional finite number in [lo, hi]; `fallback` when the key is absent.
+Result<double> number_in(const Object& obj, const std::string& path, std::string_view key,
+                         double fallback, double lo, double hi, const char* domain) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return fallback;
+  if (!it->second.is_number()) return bad(path_key(path, key) + ": must be a number");
+  const double v = it->second.as_number();
+  if (!std::isfinite(v) || v < lo || v > hi)
+    return bad(path_key(path, key) + ": must be " + domain);
+  return v;
+}
+
+Result<double> require_number(const Object& obj, const std::string& path, std::string_view key,
+                              double lo, double hi, const char* domain) {
+  if (!obj.contains(key)) return bad(path_key(path, key) + ": required");
+  return number_in(obj, path, key, 0.0, lo, hi, domain);
+}
+
+Result<std::string> string_in(const Object& obj, const std::string& path, std::string_view key,
+                              std::string fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return fallback;
+  if (!it->second.is_string()) return bad(path_key(path, key) + ": must be a string");
+  return it->second.as_string();
+}
+
+Result<bool> bool_in(const Object& obj, const std::string& path, std::string_view key,
+                     bool fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return fallback;
+  if (!it->second.is_bool()) return bad(path_key(path, key) + ": must be a boolean");
+  return it->second.as_bool();
+}
+
+/// u64 field accepting a non-negative integer number (exact up to 2^53)
+/// or a decimal string (full 64-bit range — workload seeds are raw RNG
+/// words that do not fit a JSON double).
+Result<std::uint64_t> u64_in(const Object& obj, const std::string& path, std::string_view key,
+                             std::uint64_t fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return fallback;
+  const Value& v = it->second;
+  if (v.is_number()) {
+    const double d = v.as_number();
+    if (!std::isfinite(d) || d < 0.0 || d != std::floor(d) || d > 9.007199254740992e15)
+      return bad(path_key(path, key) + ": must be a non-negative integer (use a string above 2^53)");
+    return static_cast<std::uint64_t>(d);
+  }
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+      return bad(path_key(path, key) + ": must be a decimal integer string");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+      return bad(path_key(path, key) + ": out of 64-bit range");
+    return static_cast<std::uint64_t>(parsed);
+  }
+  return bad(path_key(path, key) + ": must be an integer or decimal string");
+}
+
+/// Seeds below 2^53 serialize as plain numbers (readable); larger ones
+/// as decimal strings (exact).
+Value u64_to_json(std::uint64_t v) {
+  if (v <= (1ull << 53)) return Value(static_cast<double>(v));
+  return Value(std::to_string(v));
+}
+
+Result<traffic::Vertical> vertical_in(const Object& obj, const std::string& path,
+                                      std::string_view key) {
+  const Result<std::string> name = string_in(obj, path, key, "");
+  if (!name.ok()) return name.error();
+  if (name.value().empty()) return bad(path_key(path, key) + ": required");
+  for (const traffic::Vertical v : traffic::all_verticals()) {
+    if (traffic::to_string(v) == name.value()) return v;
+  }
+  return bad(path_key(path, key) + ": unknown vertical '" + name.value() + "'");
+}
+
+EventKind kAllKinds[] = {EventKind::link_down, EventKind::link_up,     EventKind::link_flap,
+                         EventKind::cell_down, EventKind::cell_up,     EventKind::dc_down,
+                         EventKind::dc_up,     EventKind::controller_restart,
+                         EventKind::churn_storm};
+
+Result<std::string> target_in(const Object& obj, const std::string& path, std::string_view key,
+                              std::set<std::string_view> allowed) {
+  const Result<std::string> name = string_in(obj, path, key, "");
+  if (!name.ok()) return name.error();
+  if (name.value().empty()) return bad(path_key(path, key) + ": required");
+  if (!allowed.contains(name.value())) {
+    std::string options;
+    for (const std::string_view a : allowed) {
+      if (!options.empty()) options += ", ";
+      options += a;
+    }
+    return bad(path_key(path, key) + ": unknown name '" + name.value() + "' (expected one of " +
+               options + ")");
+  }
+  return name.value();
+}
+
+Result<ScenarioEvent> event_from_json_at(const Value& doc, const std::string& path) {
+  if (!doc.is_object()) return bad(path + ": must be an object");
+  const Object& obj = doc.as_object();
+
+  ScenarioEvent event;
+  const Result<std::string> kind_name = string_in(obj, path, "kind", "");
+  if (!kind_name.ok()) return kind_name.error();
+  bool matched = false;
+  for (const EventKind k : kAllKinds) {
+    if (to_string(k) == kind_name.value()) {
+      event.kind = k;
+      matched = true;
+    }
+  }
+  if (!matched) return bad(path_key(path, "kind") + ": unknown event kind '" + kind_name.value() + "'");
+
+  const Result<double> at = require_number(obj, path, "at_hours", 0.0, kMaxDurationHours,
+                                           "in [0, 8784] hours");
+  if (!at.ok()) return at.error();
+  event.at = hours_dur(at.value());
+
+  std::set<std::string_view> allowed = {"kind", "at_hours"};
+  switch (event.kind) {
+    case EventKind::link_down:
+    case EventKind::link_up:
+    case EventKind::link_flap: {
+      allowed.insert("link");
+      const Result<std::string> link = target_in(obj, path, "link", {"mmwave", "uwave"});
+      if (!link.ok()) return link.error();
+      event.target = link.value();
+      break;
+    }
+    case EventKind::cell_down:
+    case EventKind::cell_up: {
+      allowed.insert("cell");
+      const Result<std::string> cell = target_in(obj, path, "cell", {"a", "b"});
+      if (!cell.ok()) return cell.error();
+      event.target = cell.value();
+      break;
+    }
+    case EventKind::dc_down:
+    case EventKind::dc_up: {
+      allowed.insert("dc");
+      const Result<std::string> dc = target_in(obj, path, "dc", {"edge", "core"});
+      if (!dc.ok()) return dc.error();
+      event.target = dc.value();
+      break;
+    }
+    case EventKind::controller_restart:
+    case EventKind::churn_storm:
+      break;
+  }
+
+  switch (event.kind) {
+    case EventKind::link_down:
+    case EventKind::cell_down:
+    case EventKind::dc_down: {
+      allowed.insert("duration_hours");
+      const Result<double> d = number_in(obj, path, "duration_hours", 0.0, 0.0,
+                                         kMaxDurationHours, "in [0, 8784] hours");
+      if (!d.ok()) return d.error();
+      event.duration = hours_dur(d.value());
+      break;
+    }
+    case EventKind::link_flap: {
+      allowed.insert("count");
+      allowed.insert("period_minutes");
+      allowed.insert("down_minutes");
+      const Result<double> count = require_number(obj, path, "count", 1.0, 1.0e4,
+                                                  "an integer in [1, 10000]");
+      if (!count.ok()) return count.error();
+      if (count.value() != std::floor(count.value()))
+        return bad(path_key(path, "count") + ": must be an integer");
+      event.flap_count = static_cast<int>(count.value());
+      const Result<double> period = require_number(obj, path, "period_minutes", 1.0e-3, 1.0e6,
+                                                   "> 0 minutes");
+      if (!period.ok()) return period.error();
+      event.flap_period = minutes_dur(period.value());
+      const Result<double> down = require_number(obj, path, "down_minutes", 1.0e-3, 1.0e6,
+                                                 "> 0 minutes");
+      if (!down.ok()) return down.error();
+      event.flap_down = minutes_dur(down.value());
+      if (event.flap_down >= event.flap_period)
+        return bad(path_key(path, "down_minutes") + ": must be smaller than period_minutes");
+      break;
+    }
+    case EventKind::controller_restart: {
+      allowed.insert("duration_minutes");
+      const Result<double> d = require_number(obj, path, "duration_minutes", 1.0e-3, 1.0e6,
+                                              "> 0 minutes");
+      if (!d.ok()) return d.error();
+      event.duration = minutes_dur(d.value());
+      break;
+    }
+    case EventKind::churn_storm: {
+      allowed.insert("duration_minutes");
+      allowed.insert("ues_per_hour");
+      allowed.insert("mean_holding_minutes");
+      const Result<double> d = require_number(obj, path, "duration_minutes", 1.0e-3, 1.0e6,
+                                              "> 0 minutes");
+      if (!d.ok()) return d.error();
+      event.duration = minutes_dur(d.value());
+      const Result<double> rate = require_number(obj, path, "ues_per_hour", 1.0e-3, 1.0e6,
+                                                 "in (0, 1e6] per hour");
+      if (!rate.ok()) return rate.error();
+      event.storm_ues_per_hour = rate.value();
+      const Result<double> hold = require_number(obj, path, "mean_holding_minutes", 1.0e-3,
+                                                 1.0e6, "> 0 minutes");
+      if (!hold.ok()) return hold.error();
+      event.storm_mean_holding = minutes_dur(hold.value());
+      break;
+    }
+    case EventKind::link_up:
+    case EventKind::cell_up:
+    case EventKind::dc_up:
+      break;
+  }
+
+  if (Result<void> r = check_keys(obj, path, allowed); !r.ok()) return r.error();
+  return event;
+}
+
+Result<ScenarioRequest> request_from_json_at(const Value& doc, const std::string& path) {
+  if (!doc.is_object()) return bad(path + ": must be an object");
+  const Object& obj = doc.as_object();
+  if (Result<void> r = check_keys(
+          obj, path,
+          {"at_hours", "vertical", "tenant", "duration_hours", "max_latency_ms",
+           "throughput_mbps", "vcpus", "memory_mb", "disk_gb", "price_per_hour",
+           "penalty_per_violation", "needs_edge", "workload_seed"});
+      !r.ok()) {
+    return r.error();
+  }
+
+  const Result<double> at = require_number(obj, path, "at_hours", 0.0, kMaxDurationHours,
+                                           "in [0, 8784] hours");
+  if (!at.ok()) return at.error();
+  const Result<traffic::Vertical> vertical = vertical_in(obj, path, "vertical");
+  if (!vertical.ok()) return vertical.error();
+  const Result<double> duration = require_number(obj, path, "duration_hours", 1.0e-6,
+                                                 kMaxDurationHours, "in (0, 8784] hours");
+  if (!duration.ok()) return duration.error();
+
+  ScenarioRequest request;
+  request.at = hours_dur(at.value());
+  const traffic::VerticalProfile profile = traffic::profile_for(vertical.value());
+  request.spec = core::SliceSpec::from_profile(profile, hours_dur(duration.value()));
+
+  const Result<std::string> tenant = string_in(obj, path, "tenant", request.spec.tenant_name);
+  if (!tenant.ok()) return tenant.error();
+  request.spec.tenant_name = tenant.value();
+
+  const Result<double> latency = number_in(obj, path, "max_latency_ms",
+                                           request.spec.max_latency.as_millis(), 1.0e-3, 1.0e6,
+                                           "> 0 ms");
+  if (!latency.ok()) return latency.error();
+  request.spec.max_latency = millis_dur(latency.value());
+
+  const Result<double> throughput = number_in(obj, path, "throughput_mbps",
+                                              request.spec.expected_throughput.as_mbps(), 0.0,
+                                              1.0e5, "in [0, 1e5] Mb/s");
+  if (!throughput.ok()) return throughput.error();
+  request.spec.expected_throughput = DataRate::mbps(throughput.value());
+
+  const Result<double> vcpus = number_in(obj, path, "vcpus", request.spec.edge_compute.vcpus,
+                                         0.0, 1.0e4, "in [0, 1e4]");
+  if (!vcpus.ok()) return vcpus.error();
+  request.spec.edge_compute.vcpus = vcpus.value();
+  const Result<double> memory = number_in(obj, path, "memory_mb",
+                                          request.spec.edge_compute.memory_mb, 0.0, 1.0e8,
+                                          "in [0, 1e8] MB");
+  if (!memory.ok()) return memory.error();
+  request.spec.edge_compute.memory_mb = memory.value();
+  const Result<double> disk = number_in(obj, path, "disk_gb", request.spec.edge_compute.disk_gb,
+                                        0.0, 1.0e6, "in [0, 1e6] GB");
+  if (!disk.ok()) return disk.error();
+  request.spec.edge_compute.disk_gb = disk.value();
+
+  const Result<double> price = number_in(obj, path, "price_per_hour",
+                                         request.spec.price_per_hour.as_units(), 0.0, 1.0e9,
+                                         "in [0, 1e9]");
+  if (!price.ok()) return price.error();
+  request.spec.price_per_hour = Money::units(price.value());
+  const Result<double> penalty = number_in(obj, path, "penalty_per_violation",
+                                           request.spec.penalty_per_violation.as_units(), 0.0,
+                                           1.0e9, "in [0, 1e9]");
+  if (!penalty.ok()) return penalty.error();
+  request.spec.penalty_per_violation = Money::units(penalty.value());
+
+  const Result<bool> needs_edge = bool_in(obj, path, "needs_edge", request.spec.needs_edge);
+  if (!needs_edge.ok()) return needs_edge.error();
+  request.spec.needs_edge = needs_edge.value();
+
+  const Result<std::uint64_t> seed = u64_in(obj, path, "workload_seed", 0);
+  if (!seed.ok()) return seed.error();
+  request.workload_seed = seed.value();
+  return request;
+}
+
+Result<void> parse_workload(const Object& obj, core::RequestGeneratorConfig& workload) {
+  const std::string path = "workload";
+  if (Result<void> r = check_keys(obj, path,
+                                  {"arrivals_per_hour", "diurnal_depth", "diurnal_period_hours",
+                                   "min_duration_hours", "max_duration_hours",
+                                   "price_dispersion", "verticals"});
+      !r.ok()) {
+    return r.error();
+  }
+
+  const Result<double> rate = number_in(obj, path, "arrivals_per_hour",
+                                        workload.arrivals_per_hour, 0.0, kMaxArrivalRate,
+                                        "in [0, 1e5] per hour");
+  if (!rate.ok()) return rate.error();
+  workload.arrivals_per_hour = rate.value();
+
+  const Result<double> depth = number_in(obj, path, "diurnal_depth", workload.diurnal_depth,
+                                         0.0, 0.999, "in [0, 1)");
+  if (!depth.ok()) return depth.error();
+  workload.diurnal_depth = depth.value();
+
+  const Result<double> period = number_in(obj, path, "diurnal_period_hours",
+                                          workload.diurnal_period.as_hours(), 1.0e-3, 1.0e4,
+                                          "in (0, 1e4] hours");
+  if (!period.ok()) return period.error();
+  workload.diurnal_period = hours_dur(period.value());
+
+  const Result<double> min_d = number_in(obj, path, "min_duration_hours",
+                                         workload.min_duration.as_hours(), 1.0e-6, 1.0e4,
+                                         "in (0, 1e4] hours");
+  if (!min_d.ok()) return min_d.error();
+  workload.min_duration = hours_dur(min_d.value());
+  const Result<double> max_d = number_in(obj, path, "max_duration_hours",
+                                         workload.max_duration.as_hours(), 1.0e-6, 1.0e4,
+                                         "in (0, 1e4] hours");
+  if (!max_d.ok()) return max_d.error();
+  workload.max_duration = hours_dur(max_d.value());
+  if (workload.max_duration < workload.min_duration)
+    return bad("workload.max_duration_hours: must be >= min_duration_hours");
+
+  const Result<double> dispersion = number_in(obj, path, "price_dispersion",
+                                              workload.price_dispersion, 0.0, 0.999,
+                                              "in [0, 1)");
+  if (!dispersion.ok()) return dispersion.error();
+  workload.price_dispersion = dispersion.value();
+
+  if (const Value* verticals = obj.contains("verticals") ? &obj.at("verticals") : nullptr;
+      verticals != nullptr) {
+    if (!verticals->is_array()) return bad("workload.verticals: must be an array");
+    workload.verticals.clear();
+    std::size_t index = 0;
+    for (const Value& entry : verticals->as_array()) {
+      const std::string entry_path = "workload.verticals[" + std::to_string(index++) + "]";
+      if (!entry.is_string()) return bad(entry_path + ": must be a string");
+      Object probe;
+      probe.emplace("vertical", entry);
+      const Result<traffic::Vertical> v = vertical_in(probe, entry_path, "vertical");
+      if (!v.ok()) return bad(entry_path + ": unknown vertical '" + entry.as_string() + "'");
+      workload.verticals.push_back(v.value());
+    }
+  }
+  return {};
+}
+
+Result<void> parse_targets(const Object& obj, ScenarioTargets& targets) {
+  const std::string path = "targets";
+  if (Result<void> r = check_keys(obj, path,
+                                  {"min_admission_rate", "max_violation_rate",
+                                   "min_net_revenue", "min_multiplexing_gain"});
+      !r.ok()) {
+    return r.error();
+  }
+  const auto optional_number = [&](std::string_view key, double lo, double hi,
+                                   const char* domain,
+                                   std::optional<double>& out) -> Result<void> {
+    if (!obj.contains(key)) return {};
+    const Result<double> v = number_in(obj, path, key, 0.0, lo, hi, domain);
+    if (!v.ok()) return v.error();
+    out = v.value();
+    return {};
+  };
+  if (Result<void> r = optional_number("min_admission_rate", 0.0, 1.0, "in [0, 1]",
+                                       targets.min_admission_rate);
+      !r.ok()) {
+    return r;
+  }
+  if (Result<void> r = optional_number("max_violation_rate", 0.0, 1.0, "in [0, 1]",
+                                       targets.max_violation_rate);
+      !r.ok()) {
+    return r;
+  }
+  if (Result<void> r = optional_number("min_net_revenue", -1.0e12, 1.0e12,
+                                       "in [-1e12, 1e12]", targets.min_net_revenue);
+      !r.ok()) {
+    return r;
+  }
+  if (Result<void> r = optional_number("min_multiplexing_gain", 0.0, 1.0e3, "in [0, 1e3]",
+                                       targets.min_multiplexing_gain);
+      !r.ok()) {
+    return r;
+  }
+  return {};
+}
+
+json::Value orchestrator_config_to_json(const core::OrchestratorConfig& config) {
+  Object overbooking;
+  overbooking.emplace("enabled", config.overbooking.enabled);
+  overbooking.emplace("risk_quantile", config.overbooking.risk_quantile);
+  overbooking.emplace("horizon", static_cast<double>(config.overbooking.horizon));
+  overbooking.emplace("floor_fraction", config.overbooking.floor_fraction);
+  overbooking.emplace("headroom", config.overbooking.headroom);
+  overbooking.emplace("warmup_observations",
+                      static_cast<double>(config.overbooking.warmup_observations));
+  overbooking.emplace("season_length", static_cast<double>(config.overbooking.season_length));
+  overbooking.emplace("estimator", std::string(core::to_string(config.overbooking.estimator)));
+
+  Object out;
+  out.emplace("monitoring_period_minutes", config.monitoring_period.as_seconds() / 60.0);
+  out.emplace("admission_policy", config.admission_policy);
+  out.emplace("admission_window_hours", config.admission_window.as_hours());
+  out.emplace("admission_patience_hours", config.admission_patience.as_hours());
+  out.emplace("sla_tolerance", config.sla_tolerance);
+  out.emplace("reconfigure_threshold", config.reconfigure_threshold);
+  out.emplace("edge_breakout_fraction", config.edge_breakout_fraction);
+  out.emplace("overbooking", std::move(overbooking));
+  return Value(std::move(out));
+}
+
+std::string line_col(std::string_view text, std::size_t offset) {
+  std::size_t line = 1;
+  std::size_t column = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return "line " + std::to_string(line) + ", column " + std::to_string(column);
+}
+
+}  // namespace
+
+std::string_view to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::link_down: return "link_down";
+    case EventKind::link_up: return "link_up";
+    case EventKind::link_flap: return "link_flap";
+    case EventKind::cell_down: return "cell_down";
+    case EventKind::cell_up: return "cell_up";
+    case EventKind::dc_down: return "dc_down";
+    case EventKind::dc_up: return "dc_up";
+    case EventKind::controller_restart: return "controller_restart";
+    case EventKind::churn_storm: return "churn_storm";
+  }
+  return "?";
+}
+
+Result<ScenarioEvent> event_from_json(const json::Value& doc) {
+  return event_from_json_at(doc, "event");
+}
+
+Result<ScenarioRequest> request_from_json(const json::Value& doc) {
+  return request_from_json_at(doc, "request");
+}
+
+json::Value event_to_json(const ScenarioEvent& event) {
+  Object out;
+  out.emplace("kind", std::string(to_string(event.kind)));
+  out.emplace("at_hours", event.at.as_hours());
+  switch (event.kind) {
+    case EventKind::link_down:
+      out.emplace("link", event.target);
+      out.emplace("duration_hours", event.duration.as_hours());
+      break;
+    case EventKind::link_up:
+      out.emplace("link", event.target);
+      break;
+    case EventKind::link_flap:
+      out.emplace("link", event.target);
+      out.emplace("count", static_cast<double>(event.flap_count));
+      out.emplace("period_minutes", event.flap_period.as_seconds() / 60.0);
+      out.emplace("down_minutes", event.flap_down.as_seconds() / 60.0);
+      break;
+    case EventKind::cell_down:
+      out.emplace("cell", event.target);
+      out.emplace("duration_hours", event.duration.as_hours());
+      break;
+    case EventKind::cell_up:
+      out.emplace("cell", event.target);
+      break;
+    case EventKind::dc_down:
+      out.emplace("dc", event.target);
+      out.emplace("duration_hours", event.duration.as_hours());
+      break;
+    case EventKind::dc_up:
+      out.emplace("dc", event.target);
+      break;
+    case EventKind::controller_restart:
+      out.emplace("duration_minutes", event.duration.as_seconds() / 60.0);
+      break;
+    case EventKind::churn_storm:
+      out.emplace("duration_minutes", event.duration.as_seconds() / 60.0);
+      out.emplace("ues_per_hour", event.storm_ues_per_hour);
+      out.emplace("mean_holding_minutes", event.storm_mean_holding.as_seconds() / 60.0);
+      break;
+  }
+  return Value(std::move(out));
+}
+
+json::Value request_to_json(const ScenarioRequest& request) {
+  Object out;
+  out.emplace("at_hours", request.at.as_hours());
+  out.emplace("vertical", std::string(traffic::to_string(request.spec.vertical)));
+  out.emplace("tenant", request.spec.tenant_name);
+  out.emplace("duration_hours", request.spec.duration.as_hours());
+  out.emplace("max_latency_ms", request.spec.max_latency.as_millis());
+  out.emplace("throughput_mbps", request.spec.expected_throughput.as_mbps());
+  out.emplace("vcpus", request.spec.edge_compute.vcpus);
+  out.emplace("memory_mb", request.spec.edge_compute.memory_mb);
+  out.emplace("disk_gb", request.spec.edge_compute.disk_gb);
+  out.emplace("price_per_hour", request.spec.price_per_hour.as_units());
+  out.emplace("penalty_per_violation", request.spec.penalty_per_violation.as_units());
+  out.emplace("needs_edge", request.spec.needs_edge);
+  out.emplace("workload_seed", Value(std::to_string(request.workload_seed)));
+  return Value(std::move(out));
+}
+
+Result<Scenario> scenario_from_json(const json::Value& doc) {
+  if (!doc.is_object()) return bad("scenario must be an object");
+  const Object& root = doc.as_object();
+  if (Result<void> r = check_keys(root, "",
+                                  {"name", "description", "seed", "duration_hours", "topology",
+                                   "orchestrator", "workload", "generate_arrivals", "phases",
+                                   "events", "requests", "targets"});
+      !r.ok()) {
+    return r.error();
+  }
+
+  Scenario scenario;
+  const Result<std::string> name = string_in(root, "", "name", "");
+  if (!name.ok()) return name.error();
+  if (name.value().empty()) return bad("name: required (non-empty string)");
+  scenario.name = name.value();
+
+  const Result<std::string> description = string_in(root, "", "description", "");
+  if (!description.ok()) return description.error();
+  scenario.description = description.value();
+
+  const Result<std::uint64_t> seed = u64_in(root, "", "seed", scenario.seed);
+  if (!seed.ok()) return seed.error();
+  scenario.seed = seed.value();
+
+  const Result<double> duration = number_in(root, "", "duration_hours",
+                                            scenario.duration.as_hours(), 1.0e-3,
+                                            kMaxDurationHours, "in (0, 8784] hours");
+  if (!duration.ok()) return duration.error();
+  scenario.duration = hours_dur(duration.value());
+
+  const Result<std::string> topology = string_in(root, "", "topology", scenario.topology);
+  if (!topology.ok()) return topology.error();
+  if (topology.value() != "fig2")
+    return bad("topology: unknown preset '" + topology.value() + "' (only \"fig2\")");
+  scenario.topology = topology.value();
+
+  if (const Value* orch = root.contains("orchestrator") ? &root.at("orchestrator") : nullptr;
+      orch != nullptr) {
+    if (!orch->is_object()) return bad("orchestrator: must be an object");
+    Result<core::OrchestratorConfig> config = core::config_from_json(json::serialize(*orch));
+    if (!config.ok())
+      return bad("orchestrator: " + std::string(config.error().message));
+    scenario.orchestrator = config.value();
+  }
+
+  if (const Value* workload = root.contains("workload") ? &root.at("workload") : nullptr;
+      workload != nullptr) {
+    if (!workload->is_object()) return bad("workload: must be an object");
+    if (Result<void> r = parse_workload(workload->as_object(), scenario.workload); !r.ok())
+      return r.error();
+  }
+
+  const Result<bool> generate = bool_in(root, "", "generate_arrivals", true);
+  if (!generate.ok()) return generate.error();
+  scenario.generate_arrivals = generate.value();
+
+  if (const Value* phases = root.contains("phases") ? &root.at("phases") : nullptr;
+      phases != nullptr) {
+    if (!phases->is_array()) return bad("phases: must be an array");
+    std::size_t index = 0;
+    for (const Value& entry : phases->as_array()) {
+      const std::string path = "phases[" + std::to_string(index) + "]";
+      if (!entry.is_object()) return bad(path + ": must be an object");
+      const Object& obj = entry.as_object();
+      if (Result<void> r = check_keys(obj, path,
+                                      {"name", "start_hours", "end_hours", "arrivals_per_hour",
+                                       "demand_scale"});
+          !r.ok()) {
+        return r.error();
+      }
+      Phase phase;
+      const Result<std::string> phase_name = string_in(obj, path, "name",
+                                                       "phase-" + std::to_string(index));
+      if (!phase_name.ok()) return phase_name.error();
+      phase.name = phase_name.value();
+      const Result<double> start = require_number(obj, path, "start_hours", 0.0,
+                                                  kMaxDurationHours, "in [0, 8784] hours");
+      if (!start.ok()) return start.error();
+      phase.start = hours_dur(start.value());
+      const Result<double> end = require_number(obj, path, "end_hours", 0.0, kMaxDurationHours,
+                                                "in [0, 8784] hours");
+      if (!end.ok()) return end.error();
+      phase.end = hours_dur(end.value());
+      if (phase.end <= phase.start)
+        return bad(path + ".end_hours: must be after start_hours");
+      if (phase.end > scenario.duration)
+        return bad(path + ".end_hours: extends past the scenario duration");
+      const Result<double> rate = number_in(obj, path, "arrivals_per_hour", -1.0, 0.0,
+                                            kMaxArrivalRate, "in [0, 1e5] per hour");
+      if (!rate.ok()) return rate.error();
+      phase.arrivals_per_hour = rate.value();
+      const Result<double> scale = number_in(obj, path, "demand_scale", 1.0, 1.0e-3,
+                                             kMaxDemandScale, "in (0, 1e3]");
+      if (!scale.ok()) return scale.error();
+      phase.demand_scale = scale.value();
+      if (!scenario.phases.empty() && phase.start < scenario.phases.back().end)
+        return bad(path + ": overlaps phases[" + std::to_string(index - 1) +
+                   "] (phases must be sorted and disjoint)");
+      scenario.phases.push_back(std::move(phase));
+      ++index;
+    }
+  }
+
+  if (const Value* events = root.contains("events") ? &root.at("events") : nullptr;
+      events != nullptr) {
+    if (!events->is_array()) return bad("events: must be an array");
+    std::size_t index = 0;
+    for (const Value& entry : events->as_array()) {
+      const std::string path = "events[" + std::to_string(index++) + "]";
+      Result<ScenarioEvent> event = event_from_json_at(entry, path);
+      if (!event.ok()) return event.error();
+      if (event.value().at > scenario.duration)
+        return bad(path + ".at_hours: past the scenario duration");
+      scenario.events.push_back(std::move(event.value()));
+    }
+  }
+
+  if (const Value* requests = root.contains("requests") ? &root.at("requests") : nullptr;
+      requests != nullptr) {
+    if (!requests->is_array()) return bad("requests: must be an array");
+    std::size_t index = 0;
+    for (const Value& entry : requests->as_array()) {
+      const std::string path = "requests[" + std::to_string(index++) + "]";
+      Result<ScenarioRequest> request = request_from_json_at(entry, path);
+      if (!request.ok()) return request.error();
+      if (request.value().at > scenario.duration)
+        return bad(path + ".at_hours: past the scenario duration");
+      scenario.requests.push_back(std::move(request.value()));
+    }
+  }
+
+  if (const Value* targets = root.contains("targets") ? &root.at("targets") : nullptr;
+      targets != nullptr) {
+    if (!targets->is_object()) return bad("targets: must be an object");
+    if (Result<void> r = parse_targets(targets->as_object(), scenario.targets); !r.ok())
+      return r.error();
+  }
+
+  return scenario;
+}
+
+Result<Scenario> parse_scenario(std::string_view text) {
+  std::size_t offset = 0;
+  json::ParseOptions options;
+  options.reject_duplicate_keys = true;
+  options.error_offset = &offset;
+  Result<json::Value> doc = json::parse(text, options);
+  if (!doc.ok()) {
+    return make_error(doc.error().code, line_col(text, offset) + ": " +
+                                            std::string(doc.error().message));
+  }
+  return scenario_from_json(doc.value());
+}
+
+json::Value scenario_to_json(const Scenario& scenario) {
+  Object workload;
+  workload.emplace("arrivals_per_hour", scenario.workload.arrivals_per_hour);
+  workload.emplace("diurnal_depth", scenario.workload.diurnal_depth);
+  workload.emplace("diurnal_period_hours", scenario.workload.diurnal_period.as_hours());
+  workload.emplace("min_duration_hours", scenario.workload.min_duration.as_hours());
+  workload.emplace("max_duration_hours", scenario.workload.max_duration.as_hours());
+  workload.emplace("price_dispersion", scenario.workload.price_dispersion);
+  json::Array verticals;
+  for (const traffic::Vertical v : scenario.workload.verticals) {
+    verticals.push_back(Value(std::string(traffic::to_string(v))));
+  }
+  workload.emplace("verticals", std::move(verticals));
+
+  json::Array phases;
+  for (const Phase& phase : scenario.phases) {
+    Object entry;
+    entry.emplace("name", phase.name);
+    entry.emplace("start_hours", phase.start.as_hours());
+    entry.emplace("end_hours", phase.end.as_hours());
+    if (phase.arrivals_per_hour >= 0.0)
+      entry.emplace("arrivals_per_hour", phase.arrivals_per_hour);
+    entry.emplace("demand_scale", phase.demand_scale);
+    phases.push_back(Value(std::move(entry)));
+  }
+
+  json::Array events;
+  for (const ScenarioEvent& event : scenario.events) events.push_back(event_to_json(event));
+  json::Array requests;
+  for (const ScenarioRequest& request : scenario.requests)
+    requests.push_back(request_to_json(request));
+
+  Object targets;
+  if (scenario.targets.min_admission_rate)
+    targets.emplace("min_admission_rate", *scenario.targets.min_admission_rate);
+  if (scenario.targets.max_violation_rate)
+    targets.emplace("max_violation_rate", *scenario.targets.max_violation_rate);
+  if (scenario.targets.min_net_revenue)
+    targets.emplace("min_net_revenue", *scenario.targets.min_net_revenue);
+  if (scenario.targets.min_multiplexing_gain)
+    targets.emplace("min_multiplexing_gain", *scenario.targets.min_multiplexing_gain);
+
+  Object out;
+  out.emplace("name", scenario.name);
+  out.emplace("description", scenario.description);
+  out.emplace("seed", u64_to_json(scenario.seed));
+  out.emplace("duration_hours", scenario.duration.as_hours());
+  out.emplace("topology", scenario.topology);
+  out.emplace("orchestrator", orchestrator_config_to_json(scenario.orchestrator));
+  out.emplace("workload", std::move(workload));
+  out.emplace("generate_arrivals", scenario.generate_arrivals);
+  out.emplace("phases", std::move(phases));
+  out.emplace("events", std::move(events));
+  out.emplace("requests", std::move(requests));
+  out.emplace("targets", std::move(targets));
+  return Value(std::move(out));
+}
+
+std::string serialize_scenario(const Scenario& scenario) {
+  return json::serialize_pretty(scenario_to_json(scenario)) + "\n";
+}
+
+Result<Scenario> load_scenario_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return make_error(Errc::unavailable, "cannot open scenario file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return make_error(Errc::unavailable, "failed reading '" + path + "'");
+  Result<Scenario> scenario = parse_scenario(buffer.str());
+  if (!scenario.ok())
+    return make_error(scenario.error().code,
+                      path + ": " + std::string(scenario.error().message));
+  return scenario;
+}
+
+}  // namespace slices::scenario

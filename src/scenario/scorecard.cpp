@@ -1,0 +1,94 @@
+#include "scenario/scorecard.hpp"
+
+namespace slices::scenario {
+
+Percentiles Percentiles::of(const telemetry::Histogram& hist, double scale) {
+  Percentiles out;
+  out.count = hist.count();
+  if (hist.empty()) return out;
+  out.mean = static_cast<double>(hist.sum()) / static_cast<double>(hist.count()) * scale;
+  out.p50 = hist.value_at_quantile(0.50) * scale;
+  out.p90 = hist.value_at_quantile(0.90) * scale;
+  out.p99 = hist.value_at_quantile(0.99) * scale;
+  out.min = static_cast<double>(hist.minimum()) * scale;
+  out.max = static_cast<double>(hist.maximum()) * scale;
+  return out;
+}
+
+json::Value Percentiles::to_json() const {
+  json::Object out;
+  out.emplace("count", static_cast<double>(count));
+  out.emplace("mean", mean);
+  out.emplace("p50", p50);
+  out.emplace("p90", p90);
+  out.emplace("p99", p99);
+  out.emplace("min", min);
+  out.emplace("max", max);
+  return json::Value(std::move(out));
+}
+
+json::Value Scorecard::to_json() const {
+  json::Object admission;
+  admission.emplace("submitted", static_cast<double>(submitted));
+  admission.emplace("admitted", static_cast<double>(admitted));
+  admission.emplace("rejected", static_cast<double>(rejected));
+  admission.emplace("rate", admission_rate);
+
+  json::Object lifecycle;
+  lifecycle.emplace("active_at_end", static_cast<double>(active_at_end));
+  lifecycle.emplace("expired", static_cast<double>(expired));
+  lifecycle.emplace("terminated", static_cast<double>(terminated));
+
+  json::Object sla;
+  sla.emplace("served_epochs", static_cast<double>(served_epochs));
+  sla.emplace("violation_epochs", static_cast<double>(violation_epochs));
+  sla.emplace("violation_rate", violation_rate);
+
+  json::Object revenue;
+  revenue.emplace("earned_cents", static_cast<double>(earned_cents));
+  revenue.emplace("penalty_cents", static_cast<double>(penalty_cents));
+  revenue.emplace("net_cents", static_cast<double>(net_cents));
+
+  json::Object overbooking;
+  overbooking.emplace("multiplexing_gain_mean", multiplexing_gain_mean);
+  overbooking.emplace("multiplexing_gain_peak", multiplexing_gain_peak);
+  overbooking.emplace("reconfigurations", static_cast<double>(reconfigurations));
+
+  json::Object ops;
+  ops.emplace("epochs", static_cast<double>(epochs));
+  ops.emplace("events_injected", static_cast<double>(events_injected));
+  ops.emplace("ue_arrivals", static_cast<double>(ue_arrivals));
+  ops.emplace("ue_blocked", static_cast<double>(ue_blocked));
+
+  json::Object latency;
+  latency.emplace("install_ms", install_ms.to_json());
+  latency.emplace("active_slices", active_slices.to_json());
+  latency.emplace("reserved_mbps", reserved_mbps.to_json());
+
+  json::Object targets;
+  targets.emplace("met", targets_met);
+  json::Array failures;
+  for (const std::string& f : target_failures) failures.push_back(json::Value(f));
+  targets.emplace("failures", std::move(failures));
+
+  json::Object out;
+  out.emplace("scenario", scenario);
+  out.emplace("seed", static_cast<double>(seed));
+  out.emplace("duration_hours", duration_hours);
+  out.emplace("admission", std::move(admission));
+  out.emplace("lifecycle", std::move(lifecycle));
+  out.emplace("sla", std::move(sla));
+  out.emplace("revenue", std::move(revenue));
+  out.emplace("overbooking", std::move(overbooking));
+  out.emplace("ops", std::move(ops));
+  out.emplace("distributions", std::move(latency));
+  out.emplace("targets", std::move(targets));
+  if (epoch_wall_us) out.emplace("wall_profile", json::Object{{"epoch_us", epoch_wall_us->to_json()}});
+  return json::Value(std::move(out));
+}
+
+std::string Scorecard::serialize() const {
+  return json::serialize_pretty(to_json()) + "\n";
+}
+
+}  // namespace slices::scenario

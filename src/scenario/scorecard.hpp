@@ -1,0 +1,90 @@
+#pragma once
+// Machine-readable outcome of one scenario run (docs/scenarios.md).
+//
+// Every number in the default scorecard is derived from simulated time
+// and deterministic state, so the same scenario + seed serializes to
+// byte-identical JSON regardless of epoch_threads or host speed — the
+// property scenario_test pins. Wall-clock profiling is opt-in and lands
+// in a separate, explicitly nondeterministic section.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/value.hpp"
+#include "telemetry/histogram.hpp"
+
+namespace slices::scenario {
+
+/// Summary of a telemetry::Histogram, scaled into reporting units.
+struct Percentiles {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] static Percentiles of(const telemetry::Histogram& hist, double scale = 1.0);
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// The scored outcome of one run.
+struct Scorecard {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  double duration_hours = 0.0;
+
+  // Admission funnel.
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  double admission_rate = 0.0;  ///< admitted / max(1, admitted + rejected)
+
+  // Lifecycle census at the end of the run.
+  std::uint64_t active_at_end = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t terminated = 0;
+
+  // SLA ledger.
+  std::uint64_t served_epochs = 0;
+  std::uint64_t violation_epochs = 0;
+  double violation_rate = 0.0;  ///< violation / max(1, served)
+
+  // Revenue (integer cents — exact).
+  std::int64_t earned_cents = 0;
+  std::int64_t penalty_cents = 0;
+  std::int64_t net_cents = 0;
+
+  // Overbooking.
+  double multiplexing_gain_mean = 1.0;
+  double multiplexing_gain_peak = 1.0;
+  std::uint64_t reconfigurations = 0;
+
+  // Operations.
+  std::uint64_t epochs = 0;           ///< monitoring epochs the loop actually ran
+  std::uint64_t events_injected = 0;  ///< concrete failure/chaos actions fired
+  std::uint64_t ue_arrivals = 0;      ///< churn-storm UE attach attempts
+  std::uint64_t ue_blocked = 0;
+
+  Percentiles install_ms;      ///< end-to-end install latency (simulated, ms)
+  Percentiles active_slices;   ///< per-epoch active-slice count
+  Percentiles reserved_mbps;   ///< per-epoch total reservation
+
+  // Target evaluation (empty failures + true when no targets set).
+  bool targets_met = true;
+  std::vector<std::string> target_failures;
+
+  /// Wall-clock epoch latency (µs); only with RunOptions::wall_profile.
+  /// Nondeterministic — excluded from determinism/parity comparisons by
+  /// keeping it out of to_json() unless present.
+  std::optional<Percentiles> epoch_wall_us;
+
+  [[nodiscard]] json::Value to_json() const;
+  /// Pretty JSON with a trailing newline.
+  [[nodiscard]] std::string serialize() const;
+};
+
+}  // namespace slices::scenario

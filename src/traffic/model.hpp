@@ -16,6 +16,7 @@
 #include <numbers>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -188,6 +189,67 @@ class OnOffTraffic final : public TrafficModel {
   double p_off_to_on_;
   Rng rng_;
   bool on_ = false;
+};
+
+/// Piecewise-constant demand multiplier over simulated time. Built once
+/// (e.g. from a scenario's phase timeline) and shared immutable between
+/// every ModulatedTraffic instance of a run, so a single timeline can
+/// surge the whole tenant population at once.
+class PiecewiseEnvelope {
+ public:
+  struct Segment {
+    SimTime start;
+    SimTime end;     ///< exclusive
+    double scale = 1.0;
+  };
+
+  /// Segments must be pre-validated: sorted, non-overlapping, scale >= 0.
+  explicit PiecewiseEnvelope(std::vector<Segment> segments)
+      : segments_(std::move(segments)) {}
+
+  /// Multiplier in effect at `t` (1.0 outside every segment).
+  [[nodiscard]] double scale_at(SimTime t) const noexcept {
+    for (const Segment& s : segments_) {
+      if (t >= s.start && t < s.end) return s.scale;
+    }
+    return 1.0;
+  }
+
+  /// Largest multiplier any segment applies (>= 1.0).
+  [[nodiscard]] double peak_scale() const noexcept {
+    double peak = 1.0;
+    for (const Segment& s : segments_) peak = std::max(peak, s.scale);
+    return peak;
+  }
+
+  [[nodiscard]] const std::vector<Segment>& segments() const noexcept { return segments_; }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+/// Wraps a demand process with a shared time-varying envelope — the
+/// flash-crowd/demand-surge primitive: d'(t) = envelope(t) * d(t).
+class ModulatedTraffic final : public TrafficModel {
+ public:
+  ModulatedTraffic(std::unique_ptr<TrafficModel> base,
+                   std::shared_ptr<const PiecewiseEnvelope> envelope)
+      : base_(std::move(base)), envelope_(std::move(envelope)) {
+    assert(base_ != nullptr && envelope_ != nullptr);
+  }
+
+  [[nodiscard]] double sample(SimTime t) override {
+    return envelope_->scale_at(t) * base_->sample(t);
+  }
+  [[nodiscard]] double mean_rate() const noexcept override { return base_->mean_rate(); }
+  [[nodiscard]] double peak_rate() const noexcept override {
+    return envelope_->peak_scale() * base_->peak_rate();
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "modulated"; }
+
+ private:
+  std::unique_ptr<TrafficModel> base_;
+  std::shared_ptr<const PiecewiseEnvelope> envelope_;
 };
 
 /// Composite: sum of two component processes (e.g. diurnal + bursts).

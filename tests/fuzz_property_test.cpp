@@ -11,6 +11,7 @@
 #include "json/value.hpp"
 #include "net/http.hpp"
 #include "net/url.hpp"
+#include "scenario/scenario.hpp"
 #include "traffic/trace.hpp"
 
 namespace slices {
@@ -94,6 +95,41 @@ TEST_P(ParserFuzz, UrlAndTraceNeverCrash) {
     (void)net::parse_target("/" + random_printable(rng, 32));
     (void)net::percent_decode(random_printable(rng, 32));
     (void)traffic::parse_trace_csv(random_printable(rng, 48));
+  }
+}
+
+TEST_P(ParserFuzz, ScenarioParserNeverCrashes) {
+  Rng rng(GetParam() * 131 + 17);
+  for (int i = 0; i < 500; ++i) {
+    // Arbitrary bytes and JSON-ish soup: typed error with a message.
+    const Result<scenario::Scenario> raw = scenario::parse_scenario(random_bytes(rng, 96));
+    if (!raw.ok()) EXPECT_FALSE(raw.error().message.empty());
+    (void)scenario::parse_scenario(random_printable(rng, 96));
+  }
+}
+
+TEST_P(ParserFuzz, MutatedValidScenarioErrorsAreActionable) {
+  Rng rng(GetParam() * 211 + 5);
+  const std::string base = R"({"name":"fuzz","seed":4,"duration_hours":6,
+    "workload":{"arrivals_per_hour":2.0},
+    "phases":[{"start_hours":0,"end_hours":3,"arrivals_per_hour":4.0}],
+    "events":[{"kind":"link_down","at_hours":1,"link":"mmwave","duration_hours":1}],
+    "targets":{"min_admission_rate":0.1}})";
+  ASSERT_TRUE(scenario::parse_scenario(base).ok());
+  for (int i = 0; i < 1000; ++i) {
+    std::string mutated = base;
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(base.size() - 1)));
+    mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    const Result<scenario::Scenario> r = scenario::parse_scenario(mutated);
+    // Must not crash; a rejection must say what and where went wrong.
+    if (!r.ok()) EXPECT_FALSE(r.error().message.empty());
+  }
+  // Truncations of a valid scenario always error (with line/column).
+  for (std::size_t len = 0; len < base.size(); ++len) {
+    const Result<scenario::Scenario> r = scenario::parse_scenario(base.substr(0, len));
+    ASSERT_FALSE(r.ok()) << "accepted a " << len << "-byte prefix";
+    EXPECT_FALSE(r.error().message.empty());
   }
 }
 
