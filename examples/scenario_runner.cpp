@@ -15,11 +15,23 @@
 //   scenario_runner replay <journal> [run flags]
 //       Re-run a recorded request/event stream; the scorecard is
 //       byte-identical to the recorded run's.
+//   scenario_runner edge <file> --region rX [--port N] [--threads N]
+//       Serve one region of a "metro" scenario as its own OS process
+//       (prints "PORT <n>" once listening). A broker process started
+//       with `run <file> --edge rX=PORT ...` drives it over loopback.
+//
+// A "metro" scenario (topology: "metro") is dispatched to the
+// federation runner; --transport socket serves every region over a
+// loopback socket in-process, and --edge rX=PORT connects region rX to
+// an already-running `scenario_runner edge` process instead.
+// --broker-port exposes the broker's REST facade for slicectl.
 //
 // Scorecards are deterministic: same scenario + seed => same bytes, at
-// any --threads setting (wall_profile is the one opt-in exception).
+// any --threads setting and over any --transport/--edge combination
+// (wall_profile is the one opt-in exception).
 
 #include <algorithm>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -29,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "federation/runner.hpp"
 #include "scenario/recorder.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
@@ -43,13 +56,14 @@ int fail(const std::string& message) {
 }
 
 int usage() {
-  std::cerr << "usage: scenario_runner <list|validate|run|record|replay> ...\n"
+  std::cerr << "usage: scenario_runner <list|validate|run|record|replay|edge> ...\n"
                "       (see the header comment in examples/scenario_runner.cpp)\n";
   return 2;
 }
 
 struct RunFlags {
   scenario::RunOptions options;
+  federation::FederatedRunOptions federated;
   std::optional<std::uint64_t> seed_override;
   std::string out_path;
   bool quiet = false;
@@ -71,6 +85,31 @@ bool parse_run_flags(int argc, char** argv, int first, RunFlags& flags) {
       const char* v = value("count");
       if (v == nullptr) return false;
       flags.options.epoch_threads = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+      flags.federated.epoch_threads = flags.options.epoch_threads;
+    } else if (arg == "--transport") {
+      const char* v = value("kind (inproc|socket)");
+      if (v == nullptr) return false;
+      const std::string kind = v;
+      if (kind != "inproc" && kind != "socket") {
+        fail("--transport must be inproc or socket, got '" + kind + "'");
+        return false;
+      }
+      flags.federated.socket_transport = kind == "socket";
+    } else if (arg == "--edge") {
+      const char* v = value("region=port mapping");
+      if (v == nullptr) return false;
+      const std::string mapping = v;
+      const std::size_t eq = mapping.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= mapping.size()) {
+        fail("--edge wants rX=PORT, got '" + mapping + "'");
+        return false;
+      }
+      flags.federated.remote_edges[mapping.substr(0, eq)] =
+          static_cast<std::uint16_t>(std::strtoul(mapping.c_str() + eq + 1, nullptr, 10));
+    } else if (arg == "--broker-port") {
+      const char* v = value("port");
+      if (v == nullptr) return false;
+      flags.federated.broker_port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--seed") {
       const char* v = value("seed");
       if (v == nullptr) return false;
@@ -95,13 +134,10 @@ bool parse_run_flags(int argc, char** argv, int first, RunFlags& flags) {
   return true;
 }
 
-int execute(scenario::Scenario loaded, const RunFlags& flags) {
-  if (flags.seed_override) loaded.seed = *flags.seed_override;
-  scenario::ScenarioRunner runner(std::move(loaded), flags.options);
-  const Result<scenario::Scorecard> card = runner.run();
-  if (!card.ok()) return fail(card.error().message);
-
-  const std::string serialized = card.value().serialize();
+/// Shared tail of both runner paths: write/print the serialized card
+/// and surface target misses on the exit code.
+int report(const std::string& serialized, bool targets_met,
+           const std::vector<std::string>& target_failures, const RunFlags& flags) {
   if (!flags.out_path.empty()) {
     std::ofstream out(flags.out_path, std::ios::binary | std::ios::trunc);
     out << serialized;
@@ -109,12 +145,35 @@ int execute(scenario::Scenario loaded, const RunFlags& flags) {
   }
   if (!flags.quiet) std::cout << serialized;
 
-  if (!card.value().targets_met) {
-    for (const std::string& miss : card.value().target_failures)
+  if (!targets_met) {
+    for (const std::string& miss : target_failures)
       std::cerr << "scenario_runner: target missed: " << miss << "\n";
     return 1;
   }
   return 0;
+}
+
+int execute_federated(scenario::Scenario loaded, const RunFlags& flags) {
+  if (!flags.options.record_path.empty())
+    return fail("--record is not supported for metro scenarios");
+  if (flags.options.wall_profile)
+    return fail("--wall-profile is not supported for metro scenarios");
+  federation::FederatedRunner runner(std::move(loaded), flags.federated);
+  const Result<federation::FederatedScorecard> card = runner.run();
+  if (!card.ok()) return fail(card.error().message);
+  return report(card.value().serialize(), card.value().targets_met,
+                card.value().target_failures, flags);
+}
+
+int execute(scenario::Scenario loaded, const RunFlags& flags) {
+  if (flags.seed_override) loaded.seed = *flags.seed_override;
+  if (loaded.topology == "metro") return execute_federated(std::move(loaded), flags);
+  scenario::ScenarioRunner runner(std::move(loaded), flags.options);
+  const Result<scenario::Scorecard> card = runner.run();
+  if (!card.ok()) return fail(card.error().message);
+
+  return report(card.value().serialize(), card.value().targets_met,
+                card.value().target_failures, flags);
 }
 
 int cmd_list(int argc, char** argv) {
@@ -176,6 +235,75 @@ int cmd_record(int argc, char** argv) {
   return execute(std::move(loaded.value()), flags);
 }
 
+net::HttpServer* g_edge_server = nullptr;
+
+void stop_edge_server(int) {
+  if (g_edge_server != nullptr) g_edge_server->stop();
+}
+
+/// Serve one region of a metro scenario as a standalone process. The
+/// broker process (`run ... --edge rX=PORT`) drives the region's clock
+/// and admission over loopback; this process only answers.
+int cmd_edge(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string region;
+  std::uint16_t port = 0;
+  std::size_t threads = 1;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        fail(arg + " needs a value");
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--region") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      region = v;
+    } else if (arg == "--port") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      threads = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else {
+      return fail("unknown flag '" + arg + "'");
+    }
+  }
+  if (region.empty()) return fail("edge needs --region rX");
+
+  Result<scenario::Scenario> loaded = scenario::load_scenario_file(argv[2]);
+  if (!loaded.ok()) return fail(loaded.error().message);
+  if (loaded.value().topology != "metro")
+    return fail("edge serves metro scenarios only (topology is '" +
+                loaded.value().topology + "')");
+
+  Result<federation::MetroFabric> fabric =
+      federation::make_metro_fabric(loaded.value().federation, loaded.value().seed);
+  if (!fabric.ok()) return fail(fabric.error().message);
+  const federation::RegionPlan* plan = nullptr;
+  for (const federation::RegionPlan& p : fabric.value().regions) {
+    if (p.name == region) plan = &p;
+  }
+  if (plan == nullptr) return fail("'" + region + "' is not a region of this scenario");
+
+  federation::EdgeNode node(*plan, loaded.value(), threads);
+  Result<std::unique_ptr<net::HttpServer>> server =
+      net::HttpServer::bind(node.make_router(), port);
+  if (!server.ok()) return fail(server.error().message);
+
+  g_edge_server = server.value().get();
+  std::signal(SIGINT, stop_edge_server);
+  std::signal(SIGTERM, stop_edge_server);
+  std::cout << "PORT " << server.value()->port() << "\n" << std::flush;
+  (void)server.value()->run();
+  return 0;
+}
+
 int cmd_replay(int argc, char** argv) {
   if (argc < 3) return usage();
   RunFlags flags;
@@ -195,5 +323,6 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(argc, argv);
   if (cmd == "record") return cmd_record(argc, argv);
   if (cmd == "replay") return cmd_replay(argc, argv);
+  if (cmd == "edge") return cmd_edge(argc, argv);
   return usage();
 }

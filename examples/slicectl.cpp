@@ -18,6 +18,12 @@
 //   slicectl <port> trace dump [--clear]
 //   slicectl <port> trace clear
 //
+// Against a federation broker facade (scenario_runner run --broker-port):
+//
+//   slicectl <port> federation regions      per-region health/occupancy
+//   slicectl <port> federation placements   the broker's decision log
+//   slicectl <port> federation health       broker liveness
+//
 // Offline (no server required):
 //
 //   slicectl scenario validate <file>...
@@ -36,6 +42,7 @@
 #include <thread>
 
 #include "core/testbed.hpp"
+#include "federation/runner.hpp"
 #include "net/http_server.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
@@ -117,6 +124,18 @@ int run_command(std::uint16_t port, int argc, char** argv) {
     return print_response(
         call(port, net::Method::get, std::string("/slices/") + argv[3] + "/audit"));
   }
+  if (cmd == "federation" && argc >= 4) {
+    const std::string sub = argv[3];
+    if (sub == "regions") {
+      return print_response(call(port, net::Method::get, "/federation/regions"));
+    }
+    if (sub == "placements") {
+      return print_response(call(port, net::Method::get, "/federation/placements"));
+    }
+    if (sub == "health") {
+      return print_response(call(port, net::Method::get, "/federation/healthz"));
+    }
+  }
   if (cmd == "trace" && argc >= 4) {
     const std::string sub = argv[3];
     if (sub == "dump") {
@@ -153,6 +172,20 @@ int scenario_command(int argc, char** argv) {
       options.epoch_threads = static_cast<std::size_t>(std::atoi(argv[5]));
     Result<scenario::Scenario> loaded = scenario::load_scenario_file(argv[3]);
     if (!loaded.ok()) return fail(loaded.error().message);
+    if (loaded.value().topology == "metro") {
+      federation::FederatedRunOptions federated;
+      federated.epoch_threads = options.epoch_threads;
+      federation::FederatedRunner runner(std::move(loaded.value()), federated);
+      const Result<federation::FederatedScorecard> card = runner.run();
+      if (!card.ok()) return fail(card.error().message);
+      std::cout << card.value().serialize();
+      if (!card.value().targets_met) {
+        for (const std::string& miss : card.value().target_failures)
+          std::cerr << "slicectl: target missed: " << miss << "\n";
+        return 1;
+      }
+      return 0;
+    }
     scenario::ScenarioRunner runner(std::move(loaded.value()), options);
     const Result<scenario::Scorecard> card = runner.run();
     if (!card.ok()) return fail(card.error().message);

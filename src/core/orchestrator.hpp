@@ -287,6 +287,12 @@ class Orchestrator {
   /// loop calls this; tests/benches may call it directly).
   void run_epoch(SimTime now);
 
+  /// Capacity this orchestrator believes it can still sell: physical
+  /// radio headroom plus what the overbooking engine can reclaim from
+  /// live slices. This is the forecast-headroom signal a federation
+  /// broker uses for delegated cross-region admission.
+  [[nodiscard]] DataRate sellable_capacity() const;
+
  private:
   struct Workload {
     std::unique_ptr<traffic::TrafficModel> model;
@@ -298,10 +304,6 @@ class Orchestrator {
 
   /// Batch auction of all pending requests (admission_window mode).
   void decide_pending_batch();
-
-  /// Capacity the broker believes it can sell: physical radio headroom
-  /// plus what the overbooking engine can reclaim from live slices.
-  [[nodiscard]] DataRate sellable_capacity() const;
 
   /// Shared admit path: reclaim, embed, transition, schedule activation.
   /// Returns false (and rejects) on embedding failure.

@@ -1,0 +1,328 @@
+#include "federation/broker.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "transport/cspf.hpp"
+
+namespace slices::federation {
+namespace {
+
+// Backbone leases outlive their slice by this margin so a route is
+// never torn down under an expiring-but-still-billed slice.
+constexpr std::int64_t kLeaseMarginUs = 3'600'000'000;
+
+double number_or(const json::Value& body, std::string_view key, double fallback) {
+  const json::Value* v = body.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+bool bool_or(const json::Value& body, std::string_view key, bool fallback) {
+  const json::Value* v = body.find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+std::string string_or(const json::Value& body, std::string_view key, std::string fallback) {
+  const json::Value* v = body.find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : fallback;
+}
+
+json::Value decision_to_json(const PlacementDecision& d) {
+  json::Object out;
+  out.emplace("seq", static_cast<double>(d.seq));
+  out.emplace("t_us", static_cast<double>(d.t_us));
+  out.emplace("tenant", d.tenant);
+  out.emplace("throughput_mbps", d.throughput_mbps);
+  out.emplace("home", d.home_region);
+  out.emplace("placed", d.placed_region);
+  out.emplace("outcome", d.outcome);
+  out.emplace("score", d.score);
+  out.emplace("cross_region", !d.placed_region.empty() && d.placed_region != d.home_region);
+  return json::Value(std::move(out));
+}
+
+}  // namespace
+
+Broker::Broker(net::RestBus* bus, const MetroFabric& fabric)
+    : bus_(bus), backbone_(fabric.backbone) {
+  for (const RegionPlan& plan : fabric.regions) {
+    regions_.push_back(plan.name);
+    region_price_.emplace(plan.name, plan.price_factor);
+  }
+  std::sort(regions_.begin(), regions_.end());
+  // Region names are "r<i>" so sorted order == plan order for < 10
+  // regions; the index map keeps larger cities honest.
+  for (const RegionPlan& plan : fabric.regions) {
+    auto it = std::find(regions_.begin(), regions_.end(), plan.name);
+    region_index_.emplace(plan.name, static_cast<std::size_t>(it - regions_.begin()));
+  }
+  border_nodes_.resize(regions_.size());
+  for (std::size_t i = 0; i < fabric.regions.size(); ++i) {
+    border_nodes_[region_index_.at(fabric.regions[i].name)] = fabric.border_nodes[i];
+  }
+}
+
+void Broker::advance_all(std::int64_t t_us) {
+  // Release due backbone leases before the epoch work at t.
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->release_us <= t_us) {
+      for (LinkId link : it->links) backbone_reserved_[link] -= it->rate;
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  json::Object body;
+  body.emplace("t_us", static_cast<double>(t_us));
+  const json::Value doc{std::move(body)};
+  for (const std::string& region : regions_) {
+    // A dead edge is the edge process's problem; the run loop treats
+    // advance as best-effort and admission-level calls surface errors.
+    (void)bus_->call_json(service_name(region), net::Method::post, "/federation/advance", doc);
+  }
+}
+
+std::vector<Broker::Candidate> Broker::collect_candidates(double throughput_mbps,
+                                                          bool needs_edge,
+                                                          bool* any_suspended) {
+  std::vector<Candidate> out;
+  *any_suspended = false;
+  for (const std::string& region : regions_) {
+    Result<json::Value> doc = bus_->get_json(service_name(region), "/federation/headroom");
+    if (!doc.ok()) continue;  // unreachable edge == not a candidate
+    const json::Value& h = doc.value();
+    if (bool_or(h, "suspended", false)) {
+      *any_suspended = true;
+      continue;
+    }
+    const bool core_up = bool_or(h, "core_dc_up", true);
+    const double edge_up = number_or(h, "edge_dcs_up", 0.0);
+    const bool placeable = needs_edge ? edge_up > 0.0 : (core_up || edge_up > 0.0);
+    if (!placeable) continue;
+    const double headroom = number_or(h, "headroom_mbps", 0.0);
+    if (headroom < throughput_mbps) continue;
+    Candidate c;
+    c.region = region;
+    c.headroom_mbps = headroom;
+    c.price = region_price_.at(region);
+    c.score = headroom / c.price;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+bool Broker::reserve_backbone(const std::string& home, const std::string& placed,
+                              DataRate demand, std::int64_t release_us) {
+  const NodeId src = border_nodes_[region_index_.at(home)];
+  const NodeId dst = border_nodes_[region_index_.at(placed)];
+  auto residual = [this](const transport::Link& link) {
+    auto it = backbone_reserved_.find(link.id);
+    const DataRate reserved = it == backbone_reserved_.end() ? DataRate::zero() : it->second;
+    return clamp_non_negative(link.nominal_capacity - reserved);
+  };
+  std::optional<transport::Route> route =
+      transport::find_route(backbone_, src, dst, demand, residual);
+  if (!route.has_value()) return false;
+  for (LinkId link : route->links) backbone_reserved_[link] += demand;
+  leases_.push_back(BackboneLease{release_us, std::move(route->links), demand});
+  ++counters_.backbone_reservations;
+  double reserved_peak = 0.0;
+  for (const auto& [link, rate] : backbone_reserved_)
+    reserved_peak = std::max(reserved_peak, rate.as_mbps());
+  counters_.backbone_reserved_mbps_peak =
+      std::max(counters_.backbone_reserved_mbps_peak, reserved_peak);
+  return true;
+}
+
+PlacementDecision Broker::submit(const json::Value& body, const std::string& home_region,
+                                 std::int64_t now_us) {
+  ++counters_.submitted;
+  PlacementDecision decision;
+  decision.seq = next_seq_++;
+  decision.t_us = now_us;
+  decision.tenant = string_or(body, "tenant", "");
+  decision.throughput_mbps = number_or(body, "throughput_mbps", 0.0);
+  decision.home_region = home_region;
+
+  const bool needs_edge = bool_or(body, "needs_edge", false);
+  const double duration_hours = number_or(body, "duration_hours", 0.0);
+
+  // The edge speaks the fig2 request grammar; "region" is broker-level.
+  json::Value edge_body = body;
+  if (edge_body.is_object()) edge_body.as_object().erase("region");
+
+  bool any_suspended = false;
+  std::vector<Candidate> candidates =
+      collect_candidates(decision.throughput_mbps, needs_edge, &any_suspended);
+
+  // Best score wins; ties go to the lexicographically smaller region so
+  // the choice is independent of poll order.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
+
+  bool any_edge_rejected = false;
+  for (const Candidate& c : candidates) {
+    const bool cross_region = c.region != home_region;
+    if (cross_region) {
+      const std::int64_t release_us =
+          now_us + static_cast<std::int64_t>(duration_hours * 3'600'000'000.0) + kLeaseMarginUs;
+      if (!reserve_backbone(home_region, c.region, DataRate::mbps(decision.throughput_mbps),
+                            release_us)) {
+        continue;  // no backbone capacity towards this region
+      }
+    }
+    Result<json::Value> placed =
+        bus_->call_json(service_name(c.region), net::Method::post, "/federation/slices",
+                        edge_body);
+    const bool accepted =
+        placed.ok() && string_or(placed.value(), "state", "rejected") != "rejected";
+    if (accepted) {
+      decision.placed_region = c.region;
+      decision.outcome = cross_region ? "remote" : "local";
+      decision.score = c.score;
+      decision.request = static_cast<std::uint64_t>(number_or(placed.value(), "request", 0.0));
+      if (cross_region)
+        ++counters_.placed_remote;
+      else
+        ++counters_.placed_local;
+      std::lock_guard<std::mutex> lock(mutex_);
+      placements_.push_back(decision);
+      return decision;
+    }
+    // The edge itself said no (its admission control saw risk — or a
+    // hard cap like the broadcast-PLMN budget — that the headroom
+    // forecast did not). Roll back the lease we just took and shop the
+    // next-best region; the request is edge_rejected only when every
+    // candidate refuses it.
+    if (cross_region && !leases_.empty()) {
+      BackboneLease lease = std::move(leases_.back());
+      leases_.pop_back();
+      for (LinkId link : lease.links) backbone_reserved_[link] -= lease.rate;
+      --counters_.backbone_reservations;
+    }
+    if (!any_edge_rejected) decision.score = c.score;  // best refusing region
+    any_edge_rejected = true;
+  }
+
+  if (any_edge_rejected) {
+    decision.placed_region.clear();
+    decision.outcome = "edge_rejected";
+    ++counters_.edge_rejected;
+    std::lock_guard<std::mutex> lock(mutex_);
+    placements_.push_back(decision);
+    return decision;
+  }
+
+  if (candidates.empty() && any_suspended) {
+    // Nothing can take it now, but a region is mid-restart: hold the
+    // request in the deferred lane and retry at the next epoch tick.
+    decision.outcome = "deferred";
+    ++counters_.deferred_total;
+    deferred_.push_back(DeferredRequest{body, home_region, decision.seq});
+  } else {
+    decision.outcome = "no_region";
+    ++counters_.rejected_no_region;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  placements_.push_back(decision);
+  return decision;
+}
+
+std::size_t Broker::retry_deferred(std::int64_t now_us) {
+  if (deferred_.empty()) return 0;
+  std::vector<DeferredRequest> pending = std::move(deferred_);
+  deferred_.clear();
+  std::size_t placed = 0;
+  for (DeferredRequest& req : pending) {
+    PlacementDecision d = submit(req.body, req.home_region, now_us);
+    // submit() counts the retry as a fresh submission; undo the double
+    // count so `submitted` means distinct requests.
+    --counters_.submitted;
+    if (d.outcome == "local" || d.outcome == "remote") ++placed;
+  }
+  return placed;
+}
+
+json::Value Broker::regions_json() {
+  json::Array list;
+  for (const std::string& region : regions_) {
+    Result<json::Value> doc = bus_->get_json(service_name(region), "/federation/headroom");
+    json::Object entry;
+    entry.emplace("region", region);
+    entry.emplace("price_factor", region_price_.at(region));
+    if (doc.ok() && doc.value().is_object()) {
+      for (const auto& [key, value] : doc.value().as_object()) {
+        if (key != "region") entry.insert_or_assign(key, value);
+      }
+      entry.emplace("reachable", true);
+    } else {
+      entry.emplace("reachable", false);
+    }
+    list.push_back(json::Value(std::move(entry)));
+  }
+  json::Object out;
+  out.emplace("regions", json::Value(std::move(list)));
+  out.emplace("deferred_pending", static_cast<double>(deferred_.size()));
+  json::Object counters;
+  counters.emplace("submitted", static_cast<double>(counters_.submitted));
+  counters.emplace("placed_local", static_cast<double>(counters_.placed_local));
+  counters.emplace("placed_remote", static_cast<double>(counters_.placed_remote));
+  counters.emplace("edge_rejected", static_cast<double>(counters_.edge_rejected));
+  counters.emplace("rejected_no_region", static_cast<double>(counters_.rejected_no_region));
+  counters.emplace("deferred_total", static_cast<double>(counters_.deferred_total));
+  counters.emplace("backbone_reservations",
+                   static_cast<double>(counters_.backbone_reservations));
+  counters.emplace("backbone_reserved_mbps_peak", counters_.backbone_reserved_mbps_peak);
+  out.emplace("counters", json::Value(std::move(counters)));
+  return json::Value(std::move(out));
+}
+
+void Broker::refresh_snapshot(std::int64_t t_us) {
+  json::Value snapshot = regions_json();
+  snapshot.as_object().emplace("t_us", static_cast<double>(t_us));
+  std::lock_guard<std::mutex> lock(mutex_);
+  regions_snapshot_ = std::move(snapshot);
+}
+
+json::Value Broker::placements_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Array list;
+  for (const PlacementDecision& d : placements_) list.push_back(decision_to_json(d));
+  json::Object out;
+  out.emplace("placements", json::Value(std::move(list)));
+  return json::Value(std::move(out));
+}
+
+std::shared_ptr<net::Router> Broker::make_router() {
+  auto router = std::make_shared<net::Router>();
+  auto ok_json = [](const json::Value& doc) {
+    return net::Response::json(net::Status::ok, json::serialize(doc));
+  };
+  router->add(net::Method::get, "/federation/regions",
+              [this, ok_json](const net::RouteContext&) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (regions_snapshot_.is_null()) {
+                  return net::Response::json(net::Status::ok, "{\"regions\":[]}");
+                }
+                return net::Response::json(net::Status::ok,
+                                           json::serialize(regions_snapshot_));
+              });
+  router->add(net::Method::get, "/federation/placements",
+              [this, ok_json](const net::RouteContext&) {
+                return ok_json(placements_json());
+              });
+  router->add(net::Method::get, "/federation/healthz",
+              [this, ok_json](const net::RouteContext&) {
+                json::Object doc;
+                doc.emplace("regions", static_cast<double>(regions_.size()));
+                {
+                  std::lock_guard<std::mutex> lock(mutex_);
+                  doc.emplace("placements", static_cast<double>(placements_.size()));
+                }
+                doc.emplace("status", "ok");
+                return ok_json(json::Value(std::move(doc)));
+              });
+  return router;
+}
+
+}  // namespace slices::federation

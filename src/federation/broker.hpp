@@ -1,0 +1,156 @@
+#pragma once
+// Global federation broker (docs/federation.md).
+//
+// The top tier of the hierarchy: receives every slice request, polls
+// each region's forecast headroom over the RestBus, and places the
+// slice in the region with the best headroom/price score. A slice
+// placed away from its tenant's home region additionally reserves
+// transport on the inter-region backbone (CSPF over the metro ring or
+// mesh, with broker-held residual accounting); requests no region can
+// take while an edge is restarting queue in the deferred-admission
+// lane and are retried at the next epoch tick.
+//
+// Every edge interaction goes through the bus, so the broker computes
+// identically whether the edges are routers in this process, HTTP
+// servers in other threads, or other OS processes.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "federation/fabric.hpp"
+#include "json/value.hpp"
+#include "net/rest_bus.hpp"
+#include "net/router.hpp"
+
+namespace slices::federation {
+
+/// One placement decision, kept for the audit surface
+/// (`slicectl <port> federation placements`).
+struct PlacementDecision {
+  std::uint64_t seq = 0;
+  std::int64_t t_us = 0;
+  std::string tenant;
+  double throughput_mbps = 0.0;
+  std::string home_region;
+  std::string placed_region;  ///< empty when nothing was placed
+  /// "local" | "remote" | "deferred" | "no_region" | "edge_rejected"
+  std::string outcome;
+  double score = 0.0;         ///< headroom/price of the chosen region
+  std::uint64_t request = 0;  ///< edge-side request id (placed outcomes)
+};
+
+/// Aggregate broker counters (also summed into the scorecard).
+struct BrokerCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t placed_local = 0;
+  std::uint64_t placed_remote = 0;
+  std::uint64_t edge_rejected = 0;
+  std::uint64_t rejected_no_region = 0;
+  std::uint64_t deferred_total = 0;   ///< entries into the deferred lane
+  std::uint64_t backbone_reservations = 0;
+  double backbone_reserved_mbps_peak = 0.0;
+};
+
+class Broker {
+ public:
+  /// `bus` must outlive the broker and have one service per region
+  /// registered under service_name(region). The fabric supplies region
+  /// order (sorted), prices and the backbone.
+  Broker(net::RestBus* bus, const MetroFabric& fabric);
+
+  /// Bus service name of a region's edge node: "edge.<region>".
+  [[nodiscard]] static std::string service_name(const std::string& region) {
+    return "edge." + region;
+  }
+
+  /// Drive every region's clock to `t_us` (sorted region order) and
+  /// release backbone reservations whose slices have expired.
+  void advance_all(std::int64_t t_us);
+
+  /// Place one request. `body` is the scenario request JSON (the
+  /// "region" key, if present, is stripped before the edge sees it).
+  /// Returns the recorded decision.
+  PlacementDecision submit(const json::Value& body, const std::string& home_region,
+                           std::int64_t now_us);
+
+  /// Retry the deferred lane (epoch ticks); returns how many placed.
+  std::size_t retry_deferred(std::int64_t now_us);
+
+  /// Live per-region roll-up (headroom poll over the bus). Single-
+  /// threaded with the run loop; the REST facade serves the snapshot
+  /// taken by the latest refresh_snapshot() instead.
+  [[nodiscard]] json::Value regions_json();
+  void refresh_snapshot(std::int64_t t_us);
+
+  [[nodiscard]] json::Value placements_json() const;
+  [[nodiscard]] const BrokerCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] std::size_t deferred_pending() const noexcept { return deferred_.size(); }
+  [[nodiscard]] const std::vector<std::string>& regions() const noexcept { return regions_; }
+
+  /// REST facade for slicectl: GET /federation/regions (latest
+  /// snapshot), GET /federation/placements, GET /federation/healthz.
+  /// Handlers only read mutex-guarded snapshots — safe to serve from an
+  /// HttpServer thread while the run loop mutates the broker.
+  [[nodiscard]] std::shared_ptr<net::Router> make_router();
+
+ private:
+  struct Candidate {
+    std::string region;
+    double headroom_mbps = 0.0;
+    double price = 1.0;
+    double score = 0.0;
+  };
+
+  /// Poll headroom of every region and keep those that can take the
+  /// request (not suspended, DC gate, enough headroom). Sorted by
+  /// region name; `any_suspended` reports whether a region was skipped
+  /// for being suspended (the deferral trigger).
+  [[nodiscard]] std::vector<Candidate> collect_candidates(double throughput_mbps,
+                                                          bool needs_edge,
+                                                          bool* any_suspended);
+
+  /// Reserve backbone transport home -> placed. False when no feasible
+  /// route exists at the demand.
+  bool reserve_backbone(const std::string& home, const std::string& placed,
+                        DataRate demand, std::int64_t release_us);
+
+  net::RestBus* bus_;
+  std::vector<std::string> regions_;             ///< sorted names
+  std::map<std::string, std::size_t> region_index_;
+  std::map<std::string, double> region_price_;
+  transport::Topology backbone_;
+  std::vector<NodeId> border_nodes_;             ///< index-aligned with regions_
+
+  std::map<LinkId, DataRate> backbone_reserved_;
+  struct BackboneLease {
+    std::int64_t release_us = 0;
+    std::vector<LinkId> links;
+    DataRate rate;
+  };
+  std::vector<BackboneLease> leases_;
+
+  struct DeferredRequest {
+    json::Value body;
+    std::string home_region;
+    std::uint64_t seq = 0;
+  };
+  std::vector<DeferredRequest> deferred_;
+
+  BrokerCounters counters_;
+  std::uint64_t next_seq_ = 1;
+
+  // REST-facade state: the run loop writes under the mutex, HttpServer
+  // handler threads read under it.
+  mutable std::mutex mutex_;
+  std::vector<PlacementDecision> placements_;
+  json::Value regions_snapshot_{nullptr};
+};
+
+}  // namespace slices::federation

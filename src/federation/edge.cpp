@@ -1,0 +1,355 @@
+#include "federation/edge.hpp"
+
+#include <cstdlib>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "traffic/verticals.hpp"
+#include "transport/generators.hpp"
+
+namespace slices::federation {
+namespace {
+
+using json::Object;
+using json::Value;
+
+Error bad(std::string why) { return make_error(Errc::invalid_argument, std::move(why)); }
+
+/// "edge<k>" -> k; nullopt when the name is not of that shape.
+std::optional<std::size_t> edge_dc_index(const std::string& target, std::size_t limit) {
+  if (target.size() <= 4 || target.substr(0, 4) != "edge") return std::nullopt;
+  const std::string digits = target.substr(4);
+  if (digits.find_first_not_of("0123456789") != std::string::npos) return std::nullopt;
+  const std::size_t k = static_cast<std::size_t>(std::strtoull(digits.c_str(), nullptr, 10));
+  if (k >= limit) return std::nullopt;
+  return k;
+}
+
+}  // namespace
+
+EdgeNode::EdgeNode(const RegionPlan& plan, const scenario::Scenario& scenario,
+                   std::size_t epoch_threads)
+    : plan_(plan) {
+  core::OrchestratorConfig config = scenario.orchestrator;
+  config.epoch_threads = epoch_threads == 0 ? 1 : epoch_threads;
+  if (config.epoch_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config.epoch_threads);
+    ran_.set_thread_pool(pool_.get());
+  }
+
+  for (std::size_t c = 0; c < plan_.cells; ++c) {
+    const CellId id{c + 1};
+    cells_.push_back(id);
+    ran_.add_cell(ran::Cell(id, plan_.name + "-c" + std::to_string(c), ran::Bandwidth::mhz20,
+                            ran::SharingPolicy::pooled));
+  }
+
+  transport::GeneratedTopology tree = transport::make_aggregation_tree(
+      /*leaves=*/std::max<std::size_t>(plan_.cells / 4, 1), /*leaves_per_switch=*/4);
+  const NodeId ran_gateway = tree.ran_gateways.front();
+  const NodeId core_gateway = tree.core_gateway;
+  const std::vector<NodeId> edge_gateways = tree.edge_gateways;
+  // Same fading-stream salt as core::make_testbed, keyed by the
+  // region's own seed so regions fade independently.
+  transport_ = std::make_unique<transport::TransportController>(
+      std::move(tree.topology), Rng(plan_.seed ^ 0x7261696eULL), &registry_);
+  if (pool_ != nullptr) transport_->set_thread_pool(pool_.get());
+
+  std::map<DatacenterId, NodeId> dc_gateways;
+  core_dc_ = cloud_.add_datacenter("core", cloud::DatacenterKind::core,
+                                   /*cpu_allocation_ratio=*/2.0);
+  for (std::size_t h = 0; h < plan_.hosts_per_dc; ++h) {
+    cloud_.add_host(core_dc_, "core-host-" + std::to_string(h),
+                    ComputeCapacity{64.0, 262144.0, 4000.0});
+  }
+  dc_gateways.emplace(core_dc_, core_gateway);
+  for (std::size_t k = 0; k < plan_.edge_dcs; ++k) {
+    const DatacenterId dc = cloud_.add_datacenter("edge" + std::to_string(k),
+                                                  cloud::DatacenterKind::edge,
+                                                  /*cpu_allocation_ratio=*/1.0);
+    for (std::size_t h = 0; h < plan_.hosts_per_dc; ++h) {
+      cloud_.add_host(dc, "edge" + std::to_string(k) + "-host-" + std::to_string(h),
+                      ComputeCapacity{32.0, 131072.0, 1000.0});
+    }
+    dc_gateways.emplace(dc, edge_gateways[k % edge_gateways.size()]);
+    edge_dcs_.push_back(dc);
+    edge_dc_up_.push_back(true);
+  }
+  cloud_.finalize(cloud::PlacementPolicy::first_fit);
+  epc_ = std::make_unique<epc::EpcManager>(&cloud_);
+
+  bus_.register_service("ran", ran_.make_router());
+  bus_.register_service("transport", transport_->make_router());
+  bus_.register_service("cloud", cloud_.make_router());
+
+  orchestrator_ = std::make_unique<core::Orchestrator>(&simulator_, &ran_, transport_.get(),
+                                                       &cloud_, epc_.get(), &bus_, &registry_,
+                                                       config);
+  orchestrator_->set_attachment_points(ran_gateway, std::move(dc_gateways));
+  bus_.register_service("orchestrator", orchestrator_->make_router());
+  orchestrator_->start();
+
+  std::vector<traffic::PiecewiseEnvelope::Segment> segments;
+  for (const scenario::Phase& phase : scenario.phases) {
+    if (phase.demand_scale != 1.0) {
+      segments.push_back({SimTime::origin() + phase.start, SimTime::origin() + phase.end,
+                          phase.demand_scale});
+    }
+  }
+  if (!segments.empty()) {
+    envelope_ = std::make_shared<const traffic::PiecewiseEnvelope>(std::move(segments));
+  }
+}
+
+void EdgeNode::advance_to(std::int64_t t_us) {
+  if (t_us > simulator_.now().as_micros()) {
+    (void)simulator_.run_until(SimTime::from_micros(t_us));
+  }
+}
+
+Result<json::Value> EdgeNode::submit(const json::Value& body) {
+  if (orchestrator_->suspended()) {
+    return make_error(Errc::unavailable,
+                      "region " + plan_.name + " is restarting; defer admission");
+  }
+  Result<scenario::ScenarioRequest> request = scenario::request_from_json(body);
+  if (!request.ok()) return request.error();
+
+  std::unique_ptr<traffic::TrafficModel> workload =
+      traffic::make_traffic(request.value().spec.vertical, Rng(request.value().workload_seed));
+  if (envelope_) {
+    workload = std::make_unique<traffic::ModulatedTraffic>(std::move(workload), envelope_);
+  }
+  const RequestId id = orchestrator_->submit(request.value().spec, std::move(workload));
+  const core::SliceRecord* record = orchestrator_->find_by_request(id);
+
+  Object out;
+  out.emplace("region", plan_.name);
+  out.emplace("request", static_cast<double>(id.value()));
+  out.emplace("slice", record == nullptr ? 0.0 : static_cast<double>(record->id.value()));
+  out.emplace("state",
+              record == nullptr ? "pending" : std::string(core::to_string(record->state)));
+  return Value(std::move(out));
+}
+
+Result<void> EdgeNode::apply_dc_fault(const std::string& target, bool up) {
+  DatacenterId dc;
+  if (target == "core") {
+    dc = core_dc_;
+    core_dc_up_ = up;
+  } else if (const std::optional<std::size_t> k = edge_dc_index(target, edge_dcs_.size()); k) {
+    dc = edge_dcs_[*k];
+    edge_dc_up_[*k] = up;
+  } else {
+    return bad("unknown dc '" + target + "' in region " + plan_.name);
+  }
+  (void)cloud_.set_datacenter_available(dc, up);
+  if (!up) {
+    // A failed site loses its VNFs: live slices embedded there are torn
+    // down (same semantics as the fig2 runner's dc_down).
+    for (const core::SliceRecord* record : orchestrator_->all_slices()) {
+      if (record->is_live() && record->embedding.datacenter == dc) {
+        (void)orchestrator_->terminate(record->id);
+      }
+    }
+  }
+  orchestrator_->note_fault("dc." + target, !up,
+                            up ? "datacenter recovered" : "datacenter failed",
+                            {{"dc", Value(target)}, {"region", Value(plan_.name)}});
+  return {};
+}
+
+Result<void> EdgeNode::apply_cell_fault(const std::string& target, bool up) {
+  if (target.size() <= 1 || target[0] != 'c' ||
+      target.find_first_not_of("0123456789", 1) != std::string::npos) {
+    return bad("unknown cell '" + target + "' in region " + plan_.name);
+  }
+  const std::size_t index =
+      static_cast<std::size_t>(std::strtoull(target.c_str() + 1, nullptr, 10));
+  if (index >= cells_.size())
+    return bad("unknown cell '" + target + "' in region " + plan_.name);
+  (void)ran_.set_cell_active(cells_[index], up);
+  orchestrator_->note_fault("cell." + target, !up, up ? "cell reactivated" : "cell outage",
+                            {{"cell", Value(target)}, {"region", Value(plan_.name)}});
+  return {};
+}
+
+void EdgeNode::apply_restart(Duration duration) {
+  orchestrator_->set_suspended(true);
+  orchestrator_->note_fault("controller", true, "control plane restarting");
+  simulator_.schedule_after(duration, [this] {
+    orchestrator_->set_suspended(false);
+    orchestrator_->note_fault("controller", false, "control plane back");
+  });
+}
+
+Result<void> EdgeNode::apply_fault(const json::Value& body) {
+  if (!body.is_object()) return bad("fault body must be an object");
+  const Object& obj = body.as_object();
+  const auto field = [&](std::string_view key) -> std::string {
+    const auto it = obj.find(key);
+    return it != obj.end() && it->second.is_string() ? it->second.as_string() : std::string();
+  };
+  const std::string kind = field("kind");
+  const std::string target = field("target");
+  Duration duration;
+  if (const auto it = obj.find("duration_us"); it != obj.end() && it->second.is_number()) {
+    duration = Duration::micros(static_cast<std::int64_t>(it->second.as_number()));
+  }
+
+  if (kind == "dc_down" || kind == "dc_up") {
+    const bool up = kind == "dc_up";
+    if (Result<void> r = apply_dc_fault(target, up); !r.ok()) return r;
+    if (!up && duration > Duration::zero()) {
+      simulator_.schedule_after(duration, [this, target] { (void)apply_dc_fault(target, true); });
+    }
+    return {};
+  }
+  if (kind == "cell_down" || kind == "cell_up") {
+    const bool up = kind == "cell_up";
+    if (Result<void> r = apply_cell_fault(target, up); !r.ok()) return r;
+    if (!up && duration > Duration::zero()) {
+      simulator_.schedule_after(duration,
+                                [this, target] { (void)apply_cell_fault(target, true); });
+    }
+    return {};
+  }
+  if (kind == "controller_restart") {
+    if (duration <= Duration::zero()) return bad("controller_restart needs duration_us > 0");
+    apply_restart(duration);
+    return {};
+  }
+  return bad("unknown fault kind '" + kind + "'");
+}
+
+json::Value EdgeNode::info_json() const {
+  Object out;
+  out.emplace("region", plan_.name);
+  out.emplace("cells", static_cast<double>(plan_.cells));
+  out.emplace("edge_dcs", static_cast<double>(plan_.edge_dcs));
+  out.emplace("hosts_per_dc", static_cast<double>(plan_.hosts_per_dc));
+  out.emplace("price_factor", plan_.price_factor);
+  return Value(std::move(out));
+}
+
+json::Value EdgeNode::headroom_json() const {
+  const core::OrchestratorSummary summary = orchestrator_->summary();
+  std::size_t edge_dcs_up = 0;
+  for (const bool up : edge_dc_up_) edge_dcs_up += up ? 1 : 0;
+
+  Object out;
+  out.emplace("region", plan_.name);
+  out.emplace("t_us", static_cast<double>(simulator_.now().as_micros()));
+  out.emplace("headroom_mbps", orchestrator_->sellable_capacity().as_mbps());
+  out.emplace("price_factor", plan_.price_factor);
+  out.emplace("suspended", orchestrator_->suspended());
+  out.emplace("core_dc_up", core_dc_up_);
+  out.emplace("edge_dcs_up", static_cast<double>(edge_dcs_up));
+  out.emplace("active", static_cast<double>(summary.active_slices));
+  out.emplace("installing", static_cast<double>(summary.installing_slices));
+  out.emplace("contracted_mbps", summary.contracted_total.as_mbps());
+  out.emplace("reserved_mbps", summary.reserved_total.as_mbps());
+  return Value(std::move(out));
+}
+
+json::Value EdgeNode::summary_json() const {
+  const core::OrchestratorSummary summary = orchestrator_->summary();
+  std::uint64_t served = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t active_at_end = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t terminated = 0;
+  for (const core::SliceRecord* record : orchestrator_->all_slices()) {
+    served += record->served_epochs;
+    violations += record->violation_epochs;
+    switch (record->state) {
+      case core::SliceState::installing:
+      case core::SliceState::active: ++active_at_end; break;
+      case core::SliceState::expired: ++expired; break;
+      case core::SliceState::terminated: ++terminated; break;
+      case core::SliceState::pending:
+      case core::SliceState::rejected: break;
+    }
+  }
+
+  Object out;
+  out.emplace("region", plan_.name);
+  out.emplace("t_us", static_cast<double>(simulator_.now().as_micros()));
+  out.emplace("cells", static_cast<double>(plan_.cells));
+  out.emplace("suspended", orchestrator_->suspended());
+  out.emplace("admitted", static_cast<double>(summary.admitted_total));
+  out.emplace("rejected", static_cast<double>(summary.rejected_total));
+  out.emplace("active_at_end", static_cast<double>(active_at_end));
+  out.emplace("expired", static_cast<double>(expired));
+  out.emplace("terminated", static_cast<double>(terminated));
+  out.emplace("served_epochs", static_cast<double>(served));
+  out.emplace("violation_epochs", static_cast<double>(violations));
+  out.emplace("earned_cents", static_cast<double>(summary.earned.as_cents()));
+  out.emplace("penalty_cents", static_cast<double>(summary.penalties.as_cents()));
+  out.emplace("net_cents", static_cast<double>(summary.net.as_cents()));
+  out.emplace("reconfigurations", static_cast<double>(summary.reconfigurations));
+  out.emplace("contracted_mbps", summary.contracted_total.as_mbps());
+  out.emplace("reserved_mbps", summary.reserved_total.as_mbps());
+  out.emplace("multiplexing_gain", summary.multiplexing_gain);
+  return Value(std::move(out));
+}
+
+std::shared_ptr<net::Router> EdgeNode::make_router() {
+  auto router = std::make_shared<net::Router>();
+  const auto ok_json = [](const json::Value& doc) {
+    return net::Response::json(net::Status::ok, json::serialize(doc));
+  };
+
+  router->add(net::Method::get, "/federation/info",
+              [this, ok_json](const net::RouteContext&) { return ok_json(info_json()); });
+  router->add(net::Method::get, "/federation/headroom",
+              [this, ok_json](const net::RouteContext&) { return ok_json(headroom_json()); });
+  router->add(net::Method::get, "/federation/summary",
+              [this, ok_json](const net::RouteContext&) { return ok_json(summary_json()); });
+  router->add(net::Method::get, "/federation/healthz",
+              [this, ok_json](const net::RouteContext&) {
+                return ok_json(orchestrator_->health_json());
+              });
+
+  router->add(net::Method::post, "/federation/advance",
+              [this, ok_json](const net::RouteContext& ctx) {
+                Result<json::Value> body = json::parse(ctx.request->body);
+                if (!body.ok()) return net::Response::from_error(body.error());
+                if (!body.value().is_object() ||
+                    !body.value().as_object().contains("t_us") ||
+                    !body.value().as_object().at("t_us").is_number()) {
+                  return net::Response::from_error(bad("advance body needs numeric t_us"));
+                }
+                advance_to(
+                    static_cast<std::int64_t>(body.value().as_object().at("t_us").as_number()));
+                Object out;
+                out.emplace("region", plan_.name);
+                out.emplace("t_us", static_cast<double>(simulator_.now().as_micros()));
+                return ok_json(Value(std::move(out)));
+              });
+
+  router->add(net::Method::post, "/federation/slices",
+              [this, ok_json](const net::RouteContext& ctx) {
+                Result<json::Value> body = json::parse(ctx.request->body);
+                if (!body.ok()) return net::Response::from_error(body.error());
+                Result<json::Value> outcome = submit(body.value());
+                if (!outcome.ok()) return net::Response::from_error(outcome.error());
+                return ok_json(outcome.value());
+              });
+
+  router->add(net::Method::post, "/federation/fault",
+              [this, ok_json](const net::RouteContext& ctx) {
+                Result<json::Value> body = json::parse(ctx.request->body);
+                if (!body.ok()) return net::Response::from_error(body.error());
+                if (Result<void> r = apply_fault(body.value()); !r.ok()) {
+                  return net::Response::from_error(r.error());
+                }
+                Object out;
+                out.emplace("region", plan_.name);
+                out.emplace("applied", true);
+                return ok_json(Value(std::move(out)));
+              });
+  return router;
+}
+
+}  // namespace slices::federation

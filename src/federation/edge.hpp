@@ -1,0 +1,111 @@
+#pragma once
+// Edge orchestrator node: one region of the federated city
+// (docs/federation.md).
+//
+// Wraps an unmodified core::Orchestrator — with its own simulator,
+// domain controllers and intra-region REST bus — behind a small
+// northbound REST surface the global broker drives:
+//
+//   GET  /federation/info      static region facts (cells, DCs, price)
+//   GET  /federation/headroom  forecast headroom + placement gates
+//   GET  /federation/summary   full census for the federated scorecard
+//   GET  /federation/healthz   the orchestrator's health document
+//   POST /federation/advance   lock-step clock: run_until(t_us)
+//   POST /federation/slices    delegated admission (503 while suspended)
+//   POST /federation/fault     region-scoped fault injection
+//
+// Because every interaction crosses this router, an EdgeNode behaves
+// identically whether the router is dispatched in-process, over a
+// loopback socket in another thread, or in another OS process — the
+// transport-parity half of the federation determinism bar.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/controller.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/thread_pool.hpp"
+#include "core/orchestrator.hpp"
+#include "epc/epc.hpp"
+#include "federation/fabric.hpp"
+#include "json/value.hpp"
+#include "net/rest_bus.hpp"
+#include "net/router.hpp"
+#include "ran/controller.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/registry.hpp"
+#include "traffic/model.hpp"
+#include "transport/controller.hpp"
+
+namespace slices::federation {
+
+/// One region's full stack. Construction mirrors core::make_testbed at
+/// the plan's scale: cells behind an aggregation tree, one core DC and
+/// `plan.edge_dcs` edge DCs, the orchestrator started on the region's
+/// own simulator.
+class EdgeNode {
+ public:
+  /// `scenario` supplies the orchestrator config and demand-surge
+  /// phases; `epoch_threads` overrides the config's worker count.
+  EdgeNode(const RegionPlan& plan, const scenario::Scenario& scenario,
+           std::size_t epoch_threads);
+
+  [[nodiscard]] const std::string& name() const noexcept { return plan_.name; }
+  [[nodiscard]] const RegionPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] core::Orchestrator& orchestrator() noexcept { return *orchestrator_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] ran::RanController& ran() noexcept { return ran_; }
+
+  /// Run the region's clock forward to absolute time `t_us` (µs since
+  /// origin). Monotonic: earlier times are a no-op.
+  void advance_to(std::int64_t t_us);
+
+  /// Delegated admission. Body: the scenario request JSON shape
+  /// (vertical, throughput_mbps, workload_seed, ...). Errors:
+  /// unavailable (suspended — the deferred-admission path),
+  /// invalid_argument (malformed body).
+  [[nodiscard]] Result<json::Value> submit(const json::Value& body);
+
+  /// Region-scoped fault. Body: {"kind": "cell_down"|"cell_up"|
+  /// "dc_down"|"dc_up"|"controller_restart", "target": "c3"|"core"|
+  /// "edge0", "duration_us": n}. Down events with duration_us > 0
+  /// auto-restore on the region clock; restarts always resume after
+  /// duration_us.
+  [[nodiscard]] Result<void> apply_fault(const json::Value& body);
+
+  [[nodiscard]] json::Value info_json() const;
+  [[nodiscard]] json::Value headroom_json() const;
+  [[nodiscard]] json::Value summary_json() const;
+
+  /// The northbound REST surface (routes above). Handlers capture
+  /// `this`; the node must outlive the router.
+  [[nodiscard]] std::shared_ptr<net::Router> make_router();
+
+ private:
+  [[nodiscard]] Result<void> apply_dc_fault(const std::string& target, bool up);
+  [[nodiscard]] Result<void> apply_cell_fault(const std::string& target, bool up);
+  void apply_restart(Duration duration);
+
+  RegionPlan plan_;
+  sim::Simulator simulator_;
+  telemetry::MonitorRegistry registry_;
+  std::unique_ptr<ThreadPool> pool_;
+  net::RestBus bus_;  ///< intra-region: controllers <-> orchestrator
+  ran::RanController ran_{&registry_};
+  cloud::CloudController cloud_{&registry_};
+  std::unique_ptr<transport::TransportController> transport_;
+  std::unique_ptr<epc::EpcManager> epc_;
+  std::unique_ptr<core::Orchestrator> orchestrator_;
+  std::shared_ptr<const traffic::PiecewiseEnvelope> envelope_;
+
+  std::vector<CellId> cells_;
+  DatacenterId core_dc_;
+  std::vector<DatacenterId> edge_dcs_;
+  bool core_dc_up_ = true;
+  std::vector<bool> edge_dc_up_;
+};
+
+}  // namespace slices::federation

@@ -1,0 +1,72 @@
+#include "federation/fabric.hpp"
+
+#include "common/rng.hpp"
+
+namespace slices::federation {
+namespace {
+
+// Decouples the price stream from the per-region workload/fading seeds.
+constexpr std::uint64_t kPriceSalt = 0x70726963655f73ull;  // "price_s"
+constexpr std::uint64_t kRegionSeedStride = 0x9e3779b97f4a7c15ull;
+
+}  // namespace
+
+std::string region_name(std::size_t index) { return "r" + std::to_string(index); }
+
+Result<MetroFabric> make_metro_fabric(const scenario::FederationSpec& spec,
+                                      std::uint64_t seed) {
+  if (spec.regions == 0)
+    return make_error(Errc::invalid_argument, "metro fabric needs at least one region");
+  if (spec.backbone != "ring" && spec.backbone != "mesh")
+    return make_error(Errc::invalid_argument,
+                      "unknown backbone kind '" + spec.backbone + "'");
+
+  MetroFabric fabric;
+  fabric.spec = spec;
+
+  // Regions draw their price factors from one stream in index order, so
+  // adding region N+1 never reshuffles prices of regions 0..N.
+  Rng price_rng(seed ^ kPriceSalt);
+  for (std::size_t i = 0; i < spec.regions; ++i) {
+    RegionPlan plan;
+    plan.name = region_name(i);
+    plan.index = i;
+    plan.cells = spec.cells_per_region;
+    plan.edge_dcs = spec.edge_dcs_per_region;
+    plan.hosts_per_dc = spec.hosts_per_dc;
+    plan.price_factor = 0.85 + 0.05 * static_cast<double>(price_rng.uniform_int(0, 6));
+    plan.seed = seed ^ (kRegionSeedStride * (static_cast<std::uint64_t>(i) + 1));
+    fabric.regions.push_back(std::move(plan));
+  }
+
+  const DataRate leg_capacity = DataRate::mbps(spec.backbone_gbps * 1000.0);
+  const Duration leg_delay = Duration::millis(2.0);
+  for (std::size_t i = 0; i < spec.regions; ++i) {
+    fabric.border_nodes.push_back(fabric.backbone.add_node(
+        region_name(i) + "-border", transport::NodeKind::openflow_switch));
+  }
+  if (spec.regions >= 2) {
+    if (spec.backbone == "mesh") {
+      for (std::size_t i = 0; i < spec.regions; ++i) {
+        for (std::size_t j = i + 1; j < spec.regions; ++j) {
+          fabric.backbone.add_bidirectional(fabric.border_nodes[i], fabric.border_nodes[j],
+                                            transport::LinkTechnology::fiber, leg_capacity,
+                                            leg_delay);
+        }
+      }
+    } else {
+      // Ring; a 2-region "ring" degenerates to a single bidirectional
+      // pair (both ring directions would duplicate the same leg).
+      const std::size_t legs = spec.regions == 2 ? 1 : spec.regions;
+      for (std::size_t i = 0; i < legs; ++i) {
+        fabric.backbone.add_bidirectional(fabric.border_nodes[i],
+                                          fabric.border_nodes[(i + 1) % spec.regions],
+                                          transport::LinkTechnology::fiber, leg_capacity,
+                                          leg_delay);
+      }
+    }
+  }
+  return fabric;
+}
+
+}  // namespace slices::federation

@@ -1,0 +1,62 @@
+#pragma once
+// Metro fabric generator (docs/federation.md).
+//
+// Expands a scenario::FederationSpec into the concrete city-scale
+// deployment a federated run instantiates: one RegionPlan per edge
+// orchestrator (cells, DCs, a deterministic price signal and RNG seed)
+// plus the inter-region backbone topology (ring or full mesh of border
+// switches) the broker reserves cross-region transport on. Everything
+// derives from the scenario seed, so the same document always produces
+// the same city.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "scenario/scenario.hpp"
+#include "transport/topology.hpp"
+
+namespace slices::federation {
+
+/// Everything one edge orchestrator needs to build its region.
+struct RegionPlan {
+  std::string name;                   ///< "r0".."rN-1" (sorted == index order)
+  std::size_t index = 0;
+  std::size_t cells = 0;
+  std::size_t edge_dcs = 0;           ///< plus one core DC, always
+  std::size_t hosts_per_dc = 0;
+  /// Relative price of capacity in this region; the broker prefers
+  /// cheap regions at equal headroom (score = headroom / price).
+  double price_factor = 1.0;
+  std::uint64_t seed = 0;             ///< region-local stochastic streams
+};
+
+/// The generated city: region plans + the backbone between them.
+struct MetroFabric {
+  scenario::FederationSpec spec;
+  std::vector<RegionPlan> regions;
+  /// Inter-region fabric; nodes are one border switch per region.
+  transport::Topology backbone;
+  /// Border node of regions[i] (index-aligned with `regions`).
+  std::vector<NodeId> border_nodes;
+
+  [[nodiscard]] std::size_t total_cells() const noexcept {
+    std::size_t n = 0;
+    for (const RegionPlan& r : regions) n += r.cells;
+    return n;
+  }
+};
+
+/// Canonical region name of index `i`: "r<i>".
+[[nodiscard]] std::string region_name(std::size_t index);
+
+/// Generate the fabric. Deterministic in (spec, seed). Errors:
+/// invalid_argument (zero regions / unknown backbone kind — normally
+/// impossible for a parsed scenario).
+[[nodiscard]] Result<MetroFabric> make_metro_fabric(const scenario::FederationSpec& spec,
+                                                    std::uint64_t seed);
+
+}  // namespace slices::federation

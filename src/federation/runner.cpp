@@ -1,0 +1,458 @@
+#include "federation/runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "core/request_generator.hpp"
+
+namespace slices::federation {
+namespace {
+
+// Same workload salt as the fig2 runner: a metro scenario draws the
+// same request stream a fig2 scenario with this seed would.
+constexpr std::uint64_t kWorkloadSalt = 0x9e3779b97f4a7c15ull;
+// Home-region assignment for requests that do not pin one.
+constexpr std::uint64_t kHomeSalt = 0x94d049bb133111ebull;
+
+std::string format_rate(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.4f", v);
+  return buffer;
+}
+
+std::uint64_t u64_field(const json::Value& doc, std::string_view key) {
+  const json::Value* v = doc.find(key);
+  return (v != nullptr && v->is_number()) ? static_cast<std::uint64_t>(v->as_number()) : 0;
+}
+
+std::int64_t i64_field(const json::Value& doc, std::string_view key) {
+  const json::Value* v = doc.find(key);
+  return (v != nullptr && v->is_number()) ? static_cast<std::int64_t>(v->as_number()) : 0;
+}
+
+double double_field(const json::Value& doc, std::string_view key, double fallback = 0.0) {
+  const json::Value* v = doc.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+}  // namespace
+
+json::Value RegionScore::to_json() const {
+  json::Object out;
+  out.emplace("name", name);
+  out.emplace("cells", static_cast<double>(cells));
+  out.emplace("price_factor", price_factor);
+  out.emplace("admitted", static_cast<double>(admitted));
+  out.emplace("rejected", static_cast<double>(rejected));
+  out.emplace("active_at_end", static_cast<double>(active_at_end));
+  out.emplace("expired", static_cast<double>(expired));
+  out.emplace("terminated", static_cast<double>(terminated));
+  out.emplace("served_epochs", static_cast<double>(served_epochs));
+  out.emplace("violation_epochs", static_cast<double>(violation_epochs));
+  out.emplace("earned_cents", static_cast<double>(earned_cents));
+  out.emplace("penalty_cents", static_cast<double>(penalty_cents));
+  out.emplace("net_cents", static_cast<double>(net_cents));
+  out.emplace("reconfigurations", static_cast<double>(reconfigurations));
+  out.emplace("contracted_mbps", contracted_mbps);
+  out.emplace("reserved_mbps", reserved_mbps);
+  out.emplace("multiplexing_gain", multiplexing_gain);
+  return json::Value(std::move(out));
+}
+
+json::Value FederatedScorecard::to_json() const {
+  json::Object admission;
+  admission.emplace("submitted", static_cast<double>(submitted));
+  admission.emplace("admitted", static_cast<double>(admitted));
+  admission.emplace("rejected", static_cast<double>(rejected));
+  admission.emplace("rate", admission_rate);
+
+  json::Object placement;
+  placement.emplace("local", static_cast<double>(placed_local));
+  placement.emplace("remote", static_cast<double>(placed_remote));
+  placement.emplace("edge_rejected", static_cast<double>(edge_rejected));
+  placement.emplace("no_region", static_cast<double>(rejected_no_region));
+  placement.emplace("deferred_total", static_cast<double>(deferred_total));
+  placement.emplace("deferred_unplaced", static_cast<double>(deferred_unplaced));
+  placement.emplace("backbone_reservations", static_cast<double>(backbone_reservations));
+  placement.emplace("backbone_reserved_mbps_peak", backbone_reserved_mbps_peak);
+
+  json::Object sla;
+  sla.emplace("served_epochs", static_cast<double>(served_epochs));
+  sla.emplace("violation_epochs", static_cast<double>(violation_epochs));
+  sla.emplace("violation_rate", violation_rate);
+
+  json::Object revenue;
+  revenue.emplace("earned_cents", static_cast<double>(earned_cents));
+  revenue.emplace("penalty_cents", static_cast<double>(penalty_cents));
+  revenue.emplace("net_cents", static_cast<double>(net_cents));
+
+  json::Object overbooking;
+  overbooking.emplace("multiplexing_gain_mean", multiplexing_gain_mean);
+  overbooking.emplace("multiplexing_gain_peak", multiplexing_gain_peak);
+  overbooking.emplace("reconfigurations", static_cast<double>(reconfigurations));
+
+  json::Object ops;
+  ops.emplace("epochs", static_cast<double>(epochs));
+  ops.emplace("events_injected", static_cast<double>(events_injected));
+
+  json::Array region_list;
+  for (const RegionScore& r : regions) region_list.push_back(r.to_json());
+
+  json::Object targets;
+  targets.emplace("met", targets_met);
+  json::Array failures;
+  for (const std::string& f : target_failures) failures.push_back(json::Value(f));
+  targets.emplace("failures", std::move(failures));
+
+  json::Object out;
+  out.emplace("scenario", scenario);
+  out.emplace("seed", static_cast<double>(seed));
+  out.emplace("duration_hours", duration_hours);
+  out.emplace("total_cells", static_cast<double>(total_cells));
+  out.emplace("admission", std::move(admission));
+  out.emplace("placement", std::move(placement));
+  out.emplace("sla", std::move(sla));
+  out.emplace("revenue", std::move(revenue));
+  out.emplace("overbooking", std::move(overbooking));
+  out.emplace("ops", std::move(ops));
+  out.emplace("regions", std::move(region_list));
+  out.emplace("targets", std::move(targets));
+  return json::Value(std::move(out));
+}
+
+std::string FederatedScorecard::serialize() const {
+  return json::serialize_pretty(to_json()) + "\n";
+}
+
+FederatedRunner::FederatedRunner(scenario::Scenario scenario, FederatedRunOptions options)
+    : scenario_(std::move(scenario)), options_(std::move(options)) {}
+
+FederatedRunner::~FederatedRunner() {
+  for (auto& server : servers_) server->stop();
+  for (std::thread& t : server_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+EdgeNode* FederatedRunner::edge(const std::string& region) noexcept {
+  for (auto& e : edges_) {
+    if (e->name() == region) return e.get();
+  }
+  return nullptr;
+}
+
+Result<void> FederatedRunner::build_edges() {
+  for (const RegionPlan& plan : fabric_.regions) {
+    if (auto it = options_.remote_edges.find(plan.name); it != options_.remote_edges.end()) {
+      bus_.register_remote(Broker::service_name(plan.name), it->second);
+      continue;
+    }
+    auto node = std::make_unique<EdgeNode>(plan, scenario_, options_.epoch_threads);
+    if (options_.socket_transport) {
+      Result<std::unique_ptr<net::HttpServer>> server = net::HttpServer::bind(node->make_router());
+      if (!server.ok()) return server.error();
+      bus_.register_remote(Broker::service_name(plan.name), server.value()->port());
+      net::HttpServer* raw = server.value().get();
+      servers_.push_back(std::move(server.value()));
+      server_threads_.emplace_back([raw] { raw->run(); });
+    } else {
+      bus_.register_service(Broker::service_name(plan.name), node->make_router());
+    }
+    edges_.push_back(std::move(node));
+  }
+  for (const auto& [region, port] : options_.remote_edges) {
+    if (edge(region) == nullptr && !bus_.has_service(Broker::service_name(region))) {
+      return make_error(Errc::invalid_argument,
+                        "remote edge '" + region + "' is not a region of this scenario");
+    }
+  }
+  return {};
+}
+
+std::vector<core::RatePoint> FederatedRunner::build_rate_schedule() const {
+  // Identical compilation to ScenarioRunner::build_rate_schedule so a
+  // metro workload with phases draws the same arrival process.
+  const double base = scenario_.workload.arrivals_per_hour;
+  std::vector<const scenario::Phase*> rated;
+  for (const scenario::Phase& phase : scenario_.phases) {
+    if (phase.arrivals_per_hour >= 0.0) rated.push_back(&phase);
+  }
+  std::vector<core::RatePoint> schedule;
+  for (std::size_t i = 0; i < rated.size(); ++i) {
+    schedule.push_back({rated[i]->start, rated[i]->arrivals_per_hour});
+    if (i + 1 == rated.size() || rated[i + 1]->start > rated[i]->end) {
+      schedule.push_back({rated[i]->end, base});
+    }
+  }
+  return schedule;
+}
+
+void FederatedRunner::inject_event(const scenario::ScenarioEvent& event) {
+  json::Object body;
+  body.emplace("kind", std::string(scenario::to_string(event.kind)));
+  body.emplace("target", event.target);
+  body.emplace("duration_us", static_cast<double>(event.duration.as_micros()));
+  Result<json::Value> applied =
+      bus_.call_json(Broker::service_name(event.region), net::Method::post,
+                     "/federation/fault", json::Value(std::move(body)));
+  if (applied.ok()) ++events_injected_;
+}
+
+void FederatedRunner::submit_scenario_request(const scenario::ScenarioRequest& request,
+                                              std::int64_t t_us) {
+  (void)broker_->submit(scenario::request_to_json(request), request.region, t_us);
+}
+
+void FederatedRunner::sample_gain() {
+  double contracted = 0.0;
+  double reserved = 0.0;
+  for (const std::string& region : broker_->regions()) {
+    Result<json::Value> doc =
+        bus_.get_json(Broker::service_name(region), "/federation/headroom");
+    if (!doc.ok()) continue;
+    const json::Value* suspended = doc.value().find("suspended");
+    if (suspended != nullptr && suspended->is_bool() && suspended->as_bool()) continue;
+    contracted += double_field(doc.value(), "contracted_mbps");
+    reserved += double_field(doc.value(), "reserved_mbps");
+  }
+  const double gain = reserved > 0.0 ? contracted / reserved : 1.0;
+  gain_sum_ += gain;
+  ++gain_samples_;
+  gain_peak_ = std::max(gain_peak_, gain);
+}
+
+Result<FederatedScorecard> FederatedRunner::run() {
+  if (ran_) return make_error(Errc::conflict, "federated runner is single-use");
+  if (scenario_.topology != "metro") {
+    return make_error(Errc::invalid_argument,
+                      "topology '" + scenario_.topology +
+                          "' is single-region — drive it with scenario::ScenarioRunner");
+  }
+  ran_ = true;
+
+  Result<MetroFabric> fabric = make_metro_fabric(scenario_.federation, scenario_.seed);
+  if (!fabric.ok()) return fabric.error();
+  fabric_ = std::move(fabric.value());
+
+  if (Result<void> built = build_edges(); !built.ok()) return built.error();
+  broker_ = std::make_unique<Broker>(&bus_, fabric_);
+
+  std::unique_ptr<net::HttpServer> facade;
+  std::thread facade_thread;
+  std::shared_ptr<net::Router> facade_router;
+  if (options_.broker_port != 0) {
+    facade_router = broker_->make_router();
+    Result<std::unique_ptr<net::HttpServer>> server =
+        net::HttpServer::bind(facade_router, options_.broker_port);
+    if (!server.ok()) return server.error();
+    facade = std::move(server.value());
+    net::HttpServer* raw = facade.get();
+    facade_thread = std::thread([raw] { raw->run(); });
+  }
+
+  // --- The lock-step timeline -------------------------------------
+  // At every timestamp t, in this order: advance every region to t,
+  // epoch-tick bookkeeping (deferred retries, gain sample, snapshot),
+  // failure events, explicit requests, generated arrivals. Regions in
+  // sorted-name order throughout. This total order — not wall clocks,
+  // not transport latency — is what makes the scorecard byte-identical
+  // across thread counts and transports.
+  const std::int64_t end_us = (SimTime::origin() + scenario_.duration).as_micros();
+  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+  std::vector<scenario::ScenarioEvent> events = scenario_.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const auto& a, const auto& b) { return a.at < b.at; });
+  std::vector<scenario::ScenarioRequest> requests = scenario_.requests;
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const auto& a, const auto& b) { return a.at < b.at; });
+  std::size_t next_event = 0;
+  std::size_t next_request = 0;
+
+  const std::int64_t period_us = scenario_.orchestrator.monitoring_period.as_micros();
+  std::int64_t next_tick_us = period_us > 0 ? period_us : kNever;
+
+  std::unique_ptr<core::RequestGenerator> generator;
+  std::int64_t next_arrival_us = kNever;
+  if (scenario_.generate_arrivals) {
+    core::RequestGeneratorConfig workload = scenario_.workload;
+    workload.rate_schedule = build_rate_schedule();
+    if (workload.arrivals_per_hour > 0.0 || !workload.rate_schedule.empty()) {
+      generator = std::make_unique<core::RequestGenerator>(std::move(workload),
+                                                           Rng(scenario_.seed ^ kWorkloadSalt));
+      const SimTime first = SimTime::origin() + generator->next_interarrival(SimTime::origin());
+      next_arrival_us = first.as_micros();
+    }
+  }
+  Rng home_rng(scenario_.seed ^ kHomeSalt);
+  const auto draw_home = [&]() -> std::string {
+    const std::size_t n = broker_->regions().size();
+    return broker_->regions()[home_rng.uniform_int(0, static_cast<int>(n) - 1)];
+  };
+
+  const auto event_at = [&]() -> std::int64_t {
+    return next_event < events.size()
+               ? (SimTime::origin() + events[next_event].at).as_micros()
+               : kNever;
+  };
+  const auto request_at = [&]() -> std::int64_t {
+    return next_request < requests.size()
+               ? (SimTime::origin() + requests[next_request].at).as_micros()
+               : kNever;
+  };
+
+  while (true) {
+    std::int64_t t = kNever;
+    if (next_tick_us <= end_us) t = std::min(t, next_tick_us);
+    if (event_at() <= end_us) t = std::min(t, event_at());
+    if (request_at() <= end_us) t = std::min(t, request_at());
+    if (next_arrival_us <= end_us) t = std::min(t, next_arrival_us);
+    if (t == kNever) break;
+
+    broker_->advance_all(t);
+
+    if (t == next_tick_us) {
+      (void)broker_->retry_deferred(t);
+      sample_gain();
+      broker_->refresh_snapshot(t);
+      ++epochs_;
+      next_tick_us += period_us;
+    }
+    while (event_at() == t) inject_event(events[next_event++]);
+    while (request_at() == t) {
+      scenario::ScenarioRequest& request = requests[next_request++];
+      if (request.region.empty()) request.region = draw_home();
+      submit_scenario_request(request, t);
+    }
+    while (next_arrival_us == t) {
+      core::GeneratedRequest generated = generator->next_request();
+      scenario::ScenarioRequest request;
+      request.at = SimTime::from_micros(t) - SimTime::origin();
+      request.spec = generated.spec;
+      request.workload_seed = generated.workload_seed;
+      request.region = draw_home();
+      submit_scenario_request(request, t);
+      const SimTime now = SimTime::from_micros(t);
+      const SimTime next = now + generator->next_interarrival(now);
+      next_arrival_us = next.as_micros();
+    }
+  }
+  broker_->advance_all(end_us);
+
+  FederatedScorecard card = finalize();
+  evaluate_targets(card);
+
+  if (facade != nullptr) {
+    facade->stop();
+    facade_thread.join();
+  }
+  return card;
+}
+
+FederatedScorecard FederatedRunner::finalize() {
+  FederatedScorecard card;
+  card.scenario = scenario_.name;
+  card.seed = scenario_.seed;
+  card.duration_hours = scenario_.duration.as_micros() / 3.6e9;
+  card.total_cells = fabric_.total_cells();
+
+  std::map<std::string, double> price;
+  std::map<std::string, std::size_t> cells;
+  for (const RegionPlan& plan : fabric_.regions) {
+    price.emplace(plan.name, plan.price_factor);
+    cells.emplace(plan.name, plan.cells);
+  }
+
+  for (const std::string& region : broker_->regions()) {
+    RegionScore score;
+    score.name = region;
+    score.cells = cells.at(region);
+    score.price_factor = price.at(region);
+    Result<json::Value> doc = bus_.get_json(Broker::service_name(region), "/federation/summary");
+    if (doc.ok()) {
+      const json::Value& s = doc.value();
+      score.admitted = u64_field(s, "admitted");
+      score.rejected = u64_field(s, "rejected");
+      score.active_at_end = u64_field(s, "active_at_end");
+      score.expired = u64_field(s, "expired");
+      score.terminated = u64_field(s, "terminated");
+      score.served_epochs = u64_field(s, "served_epochs");
+      score.violation_epochs = u64_field(s, "violation_epochs");
+      score.earned_cents = i64_field(s, "earned_cents");
+      score.penalty_cents = i64_field(s, "penalty_cents");
+      score.net_cents = i64_field(s, "net_cents");
+      score.reconfigurations = u64_field(s, "reconfigurations");
+      score.contracted_mbps = double_field(s, "contracted_mbps");
+      score.reserved_mbps = double_field(s, "reserved_mbps");
+      score.multiplexing_gain = double_field(s, "multiplexing_gain", 1.0);
+    }
+    card.admitted += score.admitted;
+    card.served_epochs += score.served_epochs;
+    card.violation_epochs += score.violation_epochs;
+    card.earned_cents += score.earned_cents;
+    card.penalty_cents += score.penalty_cents;
+    card.net_cents += score.net_cents;
+    card.reconfigurations += score.reconfigurations;
+    card.regions.push_back(std::move(score));
+  }
+
+  const BrokerCounters& counters = broker_->counters();
+  card.submitted = counters.submitted;
+  card.placed_local = counters.placed_local;
+  card.placed_remote = counters.placed_remote;
+  card.edge_rejected = counters.edge_rejected;
+  card.rejected_no_region = counters.rejected_no_region;
+  card.deferred_total = counters.deferred_total;
+  card.deferred_unplaced = broker_->deferred_pending();
+  card.backbone_reservations = counters.backbone_reservations;
+  card.backbone_reserved_mbps_peak = counters.backbone_reserved_mbps_peak;
+
+  // City-level rejections are the broker's, not the sum of per-region
+  // orchestrator refusals: shopping a request to a second region after
+  // the first says no must not count it twice.
+  card.rejected = counters.edge_rejected + counters.rejected_no_region;
+  const std::uint64_t decided = card.admitted + card.rejected;
+  card.admission_rate =
+      decided == 0 ? 0.0 : static_cast<double>(card.admitted) / static_cast<double>(decided);
+  card.violation_rate = card.served_epochs == 0
+                            ? 0.0
+                            : static_cast<double>(card.violation_epochs) /
+                                  static_cast<double>(card.served_epochs);
+  card.multiplexing_gain_mean =
+      gain_samples_ == 0 ? 1.0 : gain_sum_ / static_cast<double>(gain_samples_);
+  card.multiplexing_gain_peak = gain_peak_;
+  card.epochs = epochs_;
+  card.events_injected = events_injected_;
+  return card;
+}
+
+void FederatedRunner::evaluate_targets(FederatedScorecard& card) const {
+  const scenario::ScenarioTargets& targets = scenario_.targets;
+  const auto fail = [&card](std::string why) {
+    card.targets_met = false;
+    card.target_failures.push_back(std::move(why));
+  };
+  if (targets.min_admission_rate && card.admission_rate < *targets.min_admission_rate) {
+    fail("admission rate " + format_rate(card.admission_rate) + " < target " +
+         format_rate(*targets.min_admission_rate));
+  }
+  if (targets.max_violation_rate && card.violation_rate > *targets.max_violation_rate) {
+    fail("violation rate " + format_rate(card.violation_rate) + " > target " +
+         format_rate(*targets.max_violation_rate));
+  }
+  if (targets.min_net_revenue &&
+      static_cast<double>(card.net_cents) / 100.0 < *targets.min_net_revenue) {
+    fail("net revenue " + format_rate(static_cast<double>(card.net_cents) / 100.0) +
+         " < target " + format_rate(*targets.min_net_revenue));
+  }
+  if (targets.min_multiplexing_gain &&
+      card.multiplexing_gain_mean < *targets.min_multiplexing_gain) {
+    fail("multiplexing gain " + format_rate(card.multiplexing_gain_mean) + " < target " +
+         format_rate(*targets.min_multiplexing_gain));
+  }
+}
+
+}  // namespace slices::federation

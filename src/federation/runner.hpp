@@ -1,0 +1,178 @@
+#pragma once
+// Federated scenario runner (docs/federation.md).
+//
+// Drives one "metro" scenario across the whole hierarchy: generates
+// the fabric, instantiates (or connects to) one EdgeNode per region,
+// and runs the broker's lock-step timeline — at every timestamp the
+// order is fixed (advance clocks, epoch-tick bookkeeping, failure
+// events, explicit requests, generated arrivals), so the same scenario
+// + seed yields a byte-identical FederatedScorecard at any
+// epoch_threads setting and over any transport (in-process dispatch,
+// loopback sockets in this process, or edges in other OS processes).
+//
+// Note the determinism contract is the runner's own total order, not
+// the fig2 runner's event interleaving: a federated run advances every
+// region to `t` before injecting the work of `t`, where the fig2
+// runner interleaves on one simulator heap.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "federation/broker.hpp"
+#include "federation/edge.hpp"
+#include "federation/fabric.hpp"
+#include "json/value.hpp"
+#include "net/http_server.hpp"
+#include "net/rest_bus.hpp"
+#include "scenario/scenario.hpp"
+
+namespace slices::federation {
+
+/// Runner knobs that are NOT part of the scenario; every combination
+/// must produce the same scorecard (the federation determinism bar).
+struct FederatedRunOptions {
+  /// Epoch-serving worker threads inside every edge orchestrator.
+  std::size_t epoch_threads = 1;
+  /// Serve every in-process edge over a real loopback socket (one
+  /// HttpServer thread per region) instead of direct dispatch.
+  bool socket_transport = false;
+  /// Regions served by other OS processes (`scenario_runner edge`):
+  /// region name -> loopback port. These regions get no in-process
+  /// EdgeNode; missing regions are built locally.
+  std::map<std::string, std::uint16_t> remote_edges;
+  /// When non-zero, serve the broker's REST facade (for slicectl) on
+  /// this loopback port for the duration of the run.
+  std::uint16_t broker_port = 0;
+};
+
+/// Per-region slice of the federated scorecard (from the region's
+/// /federation/summary at the end of the run).
+struct RegionScore {
+  std::string name;
+  std::size_t cells = 0;
+  double price_factor = 1.0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t active_at_end = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t terminated = 0;
+  std::uint64_t served_epochs = 0;
+  std::uint64_t violation_epochs = 0;
+  std::int64_t earned_cents = 0;
+  std::int64_t penalty_cents = 0;
+  std::int64_t net_cents = 0;
+  std::uint64_t reconfigurations = 0;
+  double contracted_mbps = 0.0;
+  double reserved_mbps = 0.0;
+  double multiplexing_gain = 1.0;
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// The scored outcome of one federated run. Deterministic: derived
+/// only from response bodies that crossed the bus, never from wall
+/// clocks or transport byte counters.
+struct FederatedScorecard {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  double duration_hours = 0.0;
+  std::size_t total_cells = 0;
+
+  // Global admission funnel (broker view + region verdicts).
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;  ///< region rejections + broker no_region
+  double admission_rate = 0.0;
+
+  // Broker placement breakdown.
+  std::uint64_t placed_local = 0;
+  std::uint64_t placed_remote = 0;
+  std::uint64_t edge_rejected = 0;
+  std::uint64_t rejected_no_region = 0;
+  std::uint64_t deferred_total = 0;
+  std::uint64_t deferred_unplaced = 0;  ///< still queued at the horizon
+  std::uint64_t backbone_reservations = 0;
+  double backbone_reserved_mbps_peak = 0.0;
+
+  // Global SLA ledger and revenue (sums over regions).
+  std::uint64_t served_epochs = 0;
+  std::uint64_t violation_epochs = 0;
+  double violation_rate = 0.0;
+  std::int64_t earned_cents = 0;
+  std::int64_t penalty_cents = 0;
+  std::int64_t net_cents = 0;
+
+  // Overbooking, sampled across regions at every epoch tick.
+  double multiplexing_gain_mean = 1.0;
+  double multiplexing_gain_peak = 1.0;
+  std::uint64_t reconfigurations = 0;
+
+  // Operations.
+  std::uint64_t epochs = 0;           ///< broker epoch ticks
+  std::uint64_t events_injected = 0;  ///< region faults delivered
+
+  std::vector<RegionScore> regions;
+
+  // Target evaluation (scenario targets against the global numbers).
+  bool targets_met = true;
+  std::vector<std::string> target_failures;
+
+  [[nodiscard]] json::Value to_json() const;
+  /// Pretty JSON with a trailing newline (byte-comparable).
+  [[nodiscard]] std::string serialize() const;
+};
+
+/// Runs one metro scenario. Single-use, like scenario::ScenarioRunner.
+class FederatedRunner {
+ public:
+  explicit FederatedRunner(scenario::Scenario scenario, FederatedRunOptions options = {});
+  ~FederatedRunner();
+
+  FederatedRunner(const FederatedRunner&) = delete;
+  FederatedRunner& operator=(const FederatedRunner&) = delete;
+
+  /// Execute to the horizon and score. Errors: invalid_argument (not a
+  /// metro scenario / bad fabric / unknown remote region), conflict
+  /// (already ran), unavailable (socket bind failure).
+  [[nodiscard]] Result<FederatedScorecard> run();
+
+  [[nodiscard]] const scenario::Scenario& scenario() const noexcept { return scenario_; }
+  [[nodiscard]] const MetroFabric& fabric() const noexcept { return fabric_; }
+  /// Valid after run(); nullptr before. Locally-built edges only.
+  [[nodiscard]] EdgeNode* edge(const std::string& region) noexcept;
+  [[nodiscard]] Broker* broker() noexcept { return broker_.get(); }
+
+ private:
+  [[nodiscard]] Result<void> build_edges();
+  [[nodiscard]] std::vector<core::RatePoint> build_rate_schedule() const;
+  void inject_event(const scenario::ScenarioEvent& event);
+  void submit_scenario_request(const scenario::ScenarioRequest& request, std::int64_t t_us);
+  void sample_gain();
+  [[nodiscard]] FederatedScorecard finalize();
+  void evaluate_targets(FederatedScorecard& card) const;
+
+  scenario::Scenario scenario_;
+  FederatedRunOptions options_;
+  MetroFabric fabric_;
+  net::RestBus bus_;  ///< broker <-> edges (direct, socket or remote)
+  std::vector<std::unique_ptr<EdgeNode>> edges_;  ///< local regions only
+  std::vector<std::unique_ptr<net::HttpServer>> servers_;
+  std::vector<std::thread> server_threads_;
+  std::unique_ptr<Broker> broker_;
+  bool ran_ = false;
+
+  // Sampled at epoch ticks (from headroom bodies — deterministic).
+  double gain_sum_ = 0.0;
+  std::uint64_t gain_samples_ = 0;
+  double gain_peak_ = 1.0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t events_injected_ = 0;
+};
+
+}  // namespace slices::federation

@@ -1,30 +1,64 @@
 #include "net/rest_bus.hpp"
 
+#include "net/http_server.hpp"
 #include "telemetry/trace.hpp"
 
 namespace slices::net {
 
 void RestBus::register_service(std::string name, std::shared_ptr<Router> router) {
-  services_[std::move(name)].router = std::move(router);
+  ServiceEntry& entry = services_[std::move(name)];
+  entry.router = std::move(router);
+  entry.remote_port = 0;
+}
+
+void RestBus::register_remote(std::string name, std::uint16_t port) {
+  ServiceEntry& entry = services_[std::move(name)];
+  entry.router = nullptr;
+  entry.remote_port = port;
 }
 
 void RestBus::unregister_service(const std::string& name) {
   const auto it = services_.find(name);
-  if (it != services_.end()) it->second.router = nullptr;
+  if (it != services_.end()) {
+    it->second.router = nullptr;
+    it->second.remote_port = 0;
+  }
 }
 
 bool RestBus::has_service(const std::string& name) const noexcept {
   const auto it = services_.find(name);
-  return it != services_.end() && it->second.router != nullptr;
+  return it != services_.end() &&
+         (it->second.router != nullptr || it->second.remote_port != 0);
 }
 
 Result<Response> RestBus::call(const std::string& name, const Request& request) {
   TRACE_SCOPE("bus.call");
   const auto it = services_.find(name);
-  if (it == services_.end() || it->second.router == nullptr)
+  if (it == services_.end() ||
+      (it->second.router == nullptr && it->second.remote_port == 0))
     return make_error(Errc::unavailable, "no service registered as '" + name + "'");
   BusStats& stats = it->second.stats;
   ++stats.requests;
+
+  // Remote backend: the exchange crosses a real loopback socket (the
+  // server encodes/parses on its side), so every call pays the full
+  // wire codec by construction.
+  if (it->second.router == nullptr) {
+    stats.bytes_tx += request.encoded_size();
+    Result<Response> resp = http_request(it->second.remote_port, request);
+    if (!resp.ok()) {
+      ++stats.responses_error;
+      return resp;
+    }
+    stats.bytes_rx += resp.value().encoded_size();
+    const int code = static_cast<int>(resp.value().status);
+    if (code >= 200 && code < 300) {
+      ++stats.responses_ok;
+    } else {
+      ++stats.responses_error;
+    }
+    return resp;
+  }
 
   // Sampled wire check (and the first call of every service): the
   // request crosses the codec exactly as it would cross a TCP

@@ -45,6 +45,14 @@ class RestBus {
   /// Traffic counters of a previously registered `name` are kept.
   void register_service(std::string name, std::shared_ptr<Router> router);
 
+  /// Register a remote service reachable over a real loopback socket
+  /// (an HttpServer in another thread or another OS process). Calls to
+  /// `name` issue one blocking HTTP/1.1 request per exchange; byte
+  /// counters stay exact. Replaces any in-process router under `name`
+  /// (and vice versa — register_service switches the entry back to
+  /// direct dispatch).
+  void register_remote(std::string name, std::uint16_t port);
+
   /// Remove a service (subsequent calls see Errc::unavailable). Its
   /// traffic counters remain visible in stats().
   void unregister_service(const std::string& name);
@@ -84,7 +92,8 @@ class RestBus {
   /// Router + counters in one map node: call() resolves a service with
   /// a single string lookup.
   struct ServiceEntry {
-    std::shared_ptr<Router> router;  ///< nullptr once unregistered
+    std::shared_ptr<Router> router;  ///< nullptr once unregistered/remote
+    std::uint16_t remote_port = 0;   ///< != 0: reach over a loopback socket
     BusStats stats;
   };
 

@@ -47,6 +47,11 @@ std::vector<core::RatePoint> ScenarioRunner::build_rate_schedule() const {
 
 Result<Scorecard> ScenarioRunner::run() {
   if (ran_) return make_error(Errc::conflict, "scenario runner is single-use");
+  if (scenario_.topology != "fig2") {
+    return make_error(Errc::invalid_argument,
+                      "topology '" + scenario_.topology +
+                          "' is federated — drive it with federation::FederatedRunner");
+  }
   ran_ = true;
 
   core::OrchestratorConfig config = scenario_.orchestrator;

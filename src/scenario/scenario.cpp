@@ -146,7 +146,170 @@ Result<std::string> target_in(const Object& obj, const std::string& path, std::s
   return name.value();
 }
 
-Result<ScenarioEvent> event_from_json_at(const Value& doc, const std::string& path) {
+/// Parses "<prefix><index>" with index < limit; returns the index.
+Result<std::size_t> indexed_name(const std::string& path, std::string_view key,
+                                 const std::string& name, std::string_view prefix,
+                                 std::size_t limit) {
+  const std::string where = path_key(path, key);
+  if (name.size() <= prefix.size() || name.substr(0, prefix.size()) != prefix)
+    return bad(where + ": expected \"" + std::string(prefix) + "<index>\", got '" + name + "'");
+  const std::string digits = name.substr(prefix.size());
+  if (digits.find_first_not_of("0123456789") != std::string::npos)
+    return bad(where + ": expected \"" + std::string(prefix) + "<index>\", got '" + name + "'");
+  const std::size_t index = static_cast<std::size_t>(std::strtoull(digits.c_str(), nullptr, 10));
+  if (index >= limit)
+    return bad(where + ": '" + name + "' out of range (" + std::string(prefix) + "0.." +
+               std::string(prefix) + std::to_string(limit - 1) + ")");
+  return index;
+}
+
+/// Required "region" key of a metro event/request: "r<i>", i < regions.
+Result<std::string> region_in(const Object& obj, const std::string& path,
+                              const FederationSpec& fed, bool required) {
+  const Result<std::string> name = string_in(obj, path, "region", "");
+  if (!name.ok()) return name.error();
+  if (name.value().empty()) {
+    if (required)
+      return bad(path_key(path, "region") + ": required on a metro topology");
+    return std::string();
+  }
+  if (Result<std::size_t> index =
+          indexed_name(path, "region", name.value(), "r", fed.regions);
+      !index.ok()) {
+    return index.error();
+  }
+  return name.value();
+}
+
+/// Metro variant of an event: region-scoped cell/dc faults and
+/// controller restarts. Link and churn events have no metro mapping
+/// (the fabric generator names no individual backbone links) and are
+/// rejected at parse time.
+Result<ScenarioEvent> metro_event_from_json_at(const Object& obj, const std::string& path,
+                                               ScenarioEvent event, const FederationSpec& fed) {
+  std::set<std::string_view> allowed = {"kind", "at_hours", "region"};
+  const Result<std::string> region = region_in(obj, path, fed, /*required=*/true);
+  if (!region.ok()) return region.error();
+  event.region = region.value();
+
+  switch (event.kind) {
+    case EventKind::cell_down:
+    case EventKind::cell_up: {
+      allowed.insert("cell");
+      const Result<std::string> cell = string_in(obj, path, "cell", "");
+      if (!cell.ok()) return cell.error();
+      if (Result<std::size_t> index =
+              indexed_name(path, "cell", cell.value(), "c", fed.cells_per_region);
+          !index.ok()) {
+        return index.error();
+      }
+      event.target = cell.value();
+      break;
+    }
+    case EventKind::dc_down:
+    case EventKind::dc_up: {
+      allowed.insert("dc");
+      const Result<std::string> dc = string_in(obj, path, "dc", "");
+      if (!dc.ok()) return dc.error();
+      if (dc.value() != "core") {
+        if (Result<std::size_t> index =
+                indexed_name(path, "dc", dc.value(), "edge", fed.edge_dcs_per_region);
+            !index.ok()) {
+          return bad(path_key(path, "dc") + ": expected \"core\" or \"edge<k>\", got '" +
+                     dc.value() + "'");
+        }
+      }
+      event.target = dc.value();
+      break;
+    }
+    case EventKind::controller_restart:
+      break;
+    default:
+      return bad(path_key(path, "kind") + ": '" + std::string(to_string(event.kind)) +
+                 "' is not supported on the metro topology (cell_*, dc_* and "
+                 "controller_restart only)");
+  }
+
+  switch (event.kind) {
+    case EventKind::cell_down:
+    case EventKind::dc_down: {
+      allowed.insert("duration_hours");
+      const Result<double> d = number_in(obj, path, "duration_hours", 0.0, 0.0,
+                                         kMaxDurationHours, "in [0, 8784] hours");
+      if (!d.ok()) return d.error();
+      event.duration = hours_dur(d.value());
+      break;
+    }
+    case EventKind::controller_restart: {
+      allowed.insert("duration_minutes");
+      const Result<double> d = require_number(obj, path, "duration_minutes", 1.0e-3, 1.0e6,
+                                              "> 0 minutes");
+      if (!d.ok()) return d.error();
+      event.duration = minutes_dur(d.value());
+      break;
+    }
+    default:
+      break;
+  }
+
+  if (Result<void> r = check_keys(obj, path, allowed); !r.ok()) return r.error();
+  return event;
+}
+
+Result<void> parse_federation(const Object& obj, FederationSpec& fed) {
+  const std::string path = "federation";
+  if (Result<void> r = check_keys(obj, path,
+                                  {"regions", "cells_per_region", "edge_dcs_per_region",
+                                   "hosts_per_dc", "backbone", "backbone_gbps"});
+      !r.ok()) {
+    return r.error();
+  }
+  const auto integer_in = [&](std::string_view key, std::size_t fallback, double lo, double hi,
+                              const char* domain, std::size_t& out) -> Result<void> {
+    const Result<double> v = number_in(obj, path, key, static_cast<double>(fallback), lo, hi,
+                                       domain);
+    if (!v.ok()) return v.error();
+    if (v.value() != std::floor(v.value()))
+      return bad(path_key(path, key) + ": must be an integer");
+    out = static_cast<std::size_t>(v.value());
+    return {};
+  };
+  if (Result<void> r = integer_in("regions", fed.regions, 1.0, 64.0, "an integer in [1, 64]",
+                                  fed.regions);
+      !r.ok()) {
+    return r;
+  }
+  if (Result<void> r = integer_in("cells_per_region", fed.cells_per_region, 1.0, 4096.0,
+                                  "an integer in [1, 4096]", fed.cells_per_region);
+      !r.ok()) {
+    return r;
+  }
+  if (Result<void> r = integer_in("edge_dcs_per_region", fed.edge_dcs_per_region, 0.0, 16.0,
+                                  "an integer in [0, 16]", fed.edge_dcs_per_region);
+      !r.ok()) {
+    return r;
+  }
+  if (Result<void> r = integer_in("hosts_per_dc", fed.hosts_per_dc, 1.0, 64.0,
+                                  "an integer in [1, 64]", fed.hosts_per_dc);
+      !r.ok()) {
+    return r;
+  }
+  const Result<std::string> backbone = string_in(obj, path, "backbone", fed.backbone);
+  if (!backbone.ok()) return backbone.error();
+  if (backbone.value() != "ring" && backbone.value() != "mesh")
+    return bad("federation.backbone: must be \"ring\" or \"mesh\"");
+  fed.backbone = backbone.value();
+  const Result<double> gbps = number_in(obj, path, "backbone_gbps", fed.backbone_gbps, 1.0e-3,
+                                        1.0e4, "in (0, 1e4] Gb/s");
+  if (!gbps.ok()) return gbps.error();
+  fed.backbone_gbps = gbps.value();
+  return {};
+}
+
+/// `fed` != nullptr parses with metro semantics (region-scoped faults);
+/// nullptr keeps the fig2 single-region grammar untouched.
+Result<ScenarioEvent> event_from_json_at(const Value& doc, const std::string& path,
+                                         const FederationSpec* fed) {
   if (!doc.is_object()) return bad(path + ": must be an object");
   const Object& obj = doc.as_object();
 
@@ -166,6 +329,8 @@ Result<ScenarioEvent> event_from_json_at(const Value& doc, const std::string& pa
                                            "in [0, 8784] hours");
   if (!at.ok()) return at.error();
   event.at = hours_dur(at.value());
+
+  if (fed != nullptr) return metro_event_from_json_at(obj, path, event, *fed);
 
   std::set<std::string_view> allowed = {"kind", "at_hours"};
   switch (event.kind) {
@@ -268,15 +433,18 @@ Result<ScenarioEvent> event_from_json_at(const Value& doc, const std::string& pa
   return event;
 }
 
-Result<ScenarioRequest> request_from_json_at(const Value& doc, const std::string& path) {
+/// `fed` != nullptr additionally accepts an optional "region" home
+/// assignment (metro); on fig2 the key stays unknown and is rejected.
+Result<ScenarioRequest> request_from_json_at(const Value& doc, const std::string& path,
+                                             const FederationSpec* fed) {
   if (!doc.is_object()) return bad(path + ": must be an object");
   const Object& obj = doc.as_object();
-  if (Result<void> r = check_keys(
-          obj, path,
-          {"at_hours", "vertical", "tenant", "duration_hours", "max_latency_ms",
-           "throughput_mbps", "vcpus", "memory_mb", "disk_gb", "price_per_hour",
-           "penalty_per_violation", "needs_edge", "workload_seed"});
-      !r.ok()) {
+  std::set<std::string_view> allowed = {
+      "at_hours", "vertical", "tenant", "duration_hours", "max_latency_ms",
+      "throughput_mbps", "vcpus", "memory_mb", "disk_gb", "price_per_hour",
+      "penalty_per_violation", "needs_edge", "workload_seed"};
+  if (fed != nullptr) allowed.insert("region");
+  if (Result<void> r = check_keys(obj, path, allowed); !r.ok()) {
     return r.error();
   }
 
@@ -342,6 +510,12 @@ Result<ScenarioRequest> request_from_json_at(const Value& doc, const std::string
   const Result<std::uint64_t> seed = u64_in(obj, path, "workload_seed", 0);
   if (!seed.ok()) return seed.error();
   request.workload_seed = seed.value();
+
+  if (fed != nullptr) {
+    const Result<std::string> region = region_in(obj, path, *fed, /*required=*/false);
+    if (!region.ok()) return region.error();
+    request.region = region.value();
+  }
   return request;
 }
 
@@ -505,17 +679,20 @@ std::string_view to_string(EventKind k) noexcept {
 }
 
 Result<ScenarioEvent> event_from_json(const json::Value& doc) {
-  return event_from_json_at(doc, "event");
+  return event_from_json_at(doc, "event", nullptr);
 }
 
 Result<ScenarioRequest> request_from_json(const json::Value& doc) {
-  return request_from_json_at(doc, "request");
+  return request_from_json_at(doc, "request", nullptr);
 }
 
 json::Value event_to_json(const ScenarioEvent& event) {
   Object out;
   out.emplace("kind", std::string(to_string(event.kind)));
   out.emplace("at_hours", event.at.as_hours());
+  // Only metro events carry a region; fig2 documents keep their exact
+  // pre-federation byte layout.
+  if (!event.region.empty()) out.emplace("region", event.region);
   switch (event.kind) {
     case EventKind::link_down:
       out.emplace("link", event.target);
@@ -571,6 +748,7 @@ json::Value request_to_json(const ScenarioRequest& request) {
   out.emplace("penalty_per_violation", request.spec.penalty_per_violation.as_units());
   out.emplace("needs_edge", request.spec.needs_edge);
   out.emplace("workload_seed", Value(std::to_string(request.workload_seed)));
+  if (!request.region.empty()) out.emplace("region", request.region);
   return Value(std::move(out));
 }
 
@@ -579,8 +757,9 @@ Result<Scenario> scenario_from_json(const json::Value& doc) {
   const Object& root = doc.as_object();
   if (Result<void> r = check_keys(root, "",
                                   {"name", "description", "seed", "duration_hours", "topology",
-                                   "orchestrator", "workload", "generate_arrivals", "phases",
-                                   "events", "requests", "targets"});
+                                   "federation", "orchestrator", "workload",
+                                   "generate_arrivals", "phases", "events", "requests",
+                                   "targets"});
       !r.ok()) {
     return r.error();
   }
@@ -607,9 +786,19 @@ Result<Scenario> scenario_from_json(const json::Value& doc) {
 
   const Result<std::string> topology = string_in(root, "", "topology", scenario.topology);
   if (!topology.ok()) return topology.error();
-  if (topology.value() != "fig2")
-    return bad("topology: unknown preset '" + topology.value() + "' (only \"fig2\")");
+  if (topology.value() != "fig2" && topology.value() != "metro")
+    return bad("topology: unknown preset '" + topology.value() +
+               "' (\"fig2\" or \"metro\")");
   scenario.topology = topology.value();
+  const bool metro = scenario.topology == "metro";
+
+  if (const Value* fed = root.contains("federation") ? &root.at("federation") : nullptr;
+      fed != nullptr) {
+    if (!metro) return bad("federation: only valid with topology \"metro\"");
+    if (!fed->is_object()) return bad("federation: must be an object");
+    if (Result<void> r = parse_federation(fed->as_object(), scenario.federation); !r.ok())
+      return r.error();
+  }
 
   if (const Value* orch = root.contains("orchestrator") ? &root.at("orchestrator") : nullptr;
       orch != nullptr) {
@@ -684,7 +873,8 @@ Result<Scenario> scenario_from_json(const json::Value& doc) {
     std::size_t index = 0;
     for (const Value& entry : events->as_array()) {
       const std::string path = "events[" + std::to_string(index++) + "]";
-      Result<ScenarioEvent> event = event_from_json_at(entry, path);
+      Result<ScenarioEvent> event =
+          event_from_json_at(entry, path, metro ? &scenario.federation : nullptr);
       if (!event.ok()) return event.error();
       if (event.value().at > scenario.duration)
         return bad(path + ".at_hours: past the scenario duration");
@@ -698,7 +888,8 @@ Result<Scenario> scenario_from_json(const json::Value& doc) {
     std::size_t index = 0;
     for (const Value& entry : requests->as_array()) {
       const std::string path = "requests[" + std::to_string(index++) + "]";
-      Result<ScenarioRequest> request = request_from_json_at(entry, path);
+      Result<ScenarioRequest> request =
+          request_from_json_at(entry, path, metro ? &scenario.federation : nullptr);
       if (!request.ok()) return request.error();
       if (request.value().at > scenario.duration)
         return bad(path + ".at_hours: past the scenario duration");
@@ -777,6 +968,17 @@ json::Value scenario_to_json(const Scenario& scenario) {
   out.emplace("seed", u64_to_json(scenario.seed));
   out.emplace("duration_hours", scenario.duration.as_hours());
   out.emplace("topology", scenario.topology);
+  if (scenario.topology == "metro") {
+    Object fed;
+    fed.emplace("regions", static_cast<double>(scenario.federation.regions));
+    fed.emplace("cells_per_region", static_cast<double>(scenario.federation.cells_per_region));
+    fed.emplace("edge_dcs_per_region",
+                static_cast<double>(scenario.federation.edge_dcs_per_region));
+    fed.emplace("hosts_per_dc", static_cast<double>(scenario.federation.hosts_per_dc));
+    fed.emplace("backbone", scenario.federation.backbone);
+    fed.emplace("backbone_gbps", scenario.federation.backbone_gbps);
+    out.emplace("federation", std::move(fed));
+  }
   out.emplace("orchestrator", orchestrator_config_to_json(scenario.orchestrator));
   out.emplace("workload", std::move(workload));
   out.emplace("generate_arrivals", scenario.generate_arrivals);

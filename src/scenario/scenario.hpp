@@ -56,6 +56,10 @@ struct ScenarioEvent {
   Duration flap_down;                ///< link_flap: down time per cycle (< period)
   double storm_ues_per_hour = 0.0;   ///< churn_storm: per-slice arrival rate
   Duration storm_mean_holding;       ///< churn_storm: mean UE holding time
+  /// Metro topologies only: the region ("r0".."rN-1") the fault hits.
+  /// Empty on "fig2" scenarios — single-region semantics are unchanged
+  /// and fig2 documents serialize byte-identically to before.
+  std::string region;
 };
 
 /// A workload phase: a time window that overrides the Poisson arrival
@@ -76,6 +80,21 @@ struct ScenarioRequest {
   Duration at;                        ///< submission time from scenario start
   core::SliceSpec spec;
   std::uint64_t workload_seed = 0;    ///< seeds the demand model (traffic::make_traffic)
+  /// Metro topologies only: home region of the tenant ("r0".."rN-1");
+  /// empty lets the federation broker draw one deterministically.
+  std::string region;
+};
+
+/// Federated (metro) deployment shape; meaningful only when
+/// Scenario::topology == "metro". Defaults describe a small 4-region
+/// city; bench_s1 scales the same generator to 1024+ cells.
+struct FederationSpec {
+  std::size_t regions = 4;
+  std::size_t cells_per_region = 16;
+  std::size_t edge_dcs_per_region = 1;  ///< plus one core DC per region
+  std::size_t hosts_per_dc = 2;
+  std::string backbone = "ring";        ///< inter-region fabric: "ring" | "mesh"
+  double backbone_gbps = 40.0;          ///< capacity of each backbone leg
 };
 
 /// Pass/fail thresholds evaluated against the final scorecard. Any
@@ -98,7 +117,10 @@ struct Scenario {
   std::string description;
   std::uint64_t seed = 1;
   Duration duration = Duration::hours(24.0);
-  std::string topology = "fig2";        ///< only preset currently supported
+  std::string topology = "fig2";        ///< "fig2" (testbed) or "metro" (federated)
+  /// Metro shape; defaults apply when topology == "metro" and the
+  /// document has no "federation" object. Ignored on "fig2".
+  FederationSpec federation;
   core::OrchestratorConfig orchestrator;
   /// Stochastic workload; `rate_schedule` stays empty here — phases are
   /// compiled into a schedule by the runner.

@@ -1,0 +1,314 @@
+// Federation subsystem tests: fabric generation invariants, the metro
+// scenario grammar, the remote RestBus backend, and the determinism
+// bar — byte-identical federated scorecards across thread counts and
+// across transports — plus broker failover semantics (re-placement
+// away from a failed region, deferred admission during a restart).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+
+#include "federation/broker.hpp"
+#include "federation/edge.hpp"
+#include "federation/fabric.hpp"
+#include "federation/runner.hpp"
+#include "net/http_server.hpp"
+#include "net/rest_bus.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace slices {
+namespace {
+
+using federation::FederatedRunner;
+using federation::FederatedRunOptions;
+using federation::FederatedScorecard;
+using federation::make_metro_fabric;
+using federation::MetroFabric;
+
+// ---------------------------------------------------------------- fabric
+
+TEST(MetroFabric, GeneratesRegionsPricesAndBackbone) {
+  scenario::FederationSpec spec;
+  spec.regions = 4;
+  spec.cells_per_region = 8;
+  spec.backbone = "ring";
+  const Result<MetroFabric> fabric = make_metro_fabric(spec, 42);
+  ASSERT_TRUE(fabric.ok());
+
+  ASSERT_EQ(fabric.value().regions.size(), 4u);
+  ASSERT_EQ(fabric.value().border_nodes.size(), 4u);
+  EXPECT_EQ(fabric.value().total_cells(), 32u);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const federation::RegionPlan& plan = fabric.value().regions[i];
+    EXPECT_EQ(plan.name, "r" + std::to_string(i));
+    EXPECT_EQ(plan.index, i);
+    EXPECT_GE(plan.price_factor, 0.85);
+    EXPECT_LE(plan.price_factor, 1.15);
+    seeds.insert(plan.seed);
+  }
+  EXPECT_EQ(seeds.size(), 4u) << "regions must draw distinct RNG streams";
+  // A 4-region ring: 4 legs, each a bidirectional pair.
+  EXPECT_EQ(fabric.value().backbone.links().size(), 8u);
+}
+
+TEST(MetroFabric, MeshAndDegenerateRingShapes) {
+  scenario::FederationSpec spec;
+  spec.regions = 4;
+  spec.backbone = "mesh";
+  const Result<MetroFabric> mesh = make_metro_fabric(spec, 1);
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_EQ(mesh.value().backbone.links().size(), 12u);  // C(4,2) pairs
+
+  spec.regions = 2;
+  spec.backbone = "ring";
+  const Result<MetroFabric> pair = make_metro_fabric(spec, 1);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair.value().backbone.links().size(), 2u) << "2-ring is one bidirectional pair";
+
+  spec.regions = 1;
+  const Result<MetroFabric> single = make_metro_fabric(spec, 1);
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(single.value().backbone.links().empty());
+}
+
+TEST(MetroFabric, DeterministicInSeed) {
+  scenario::FederationSpec spec;
+  const Result<MetroFabric> a = make_metro_fabric(spec, 7);
+  const Result<MetroFabric> b = make_metro_fabric(spec, 7);
+  const Result<MetroFabric> c = make_metro_fabric(spec, 8);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  for (std::size_t i = 0; i < spec.regions; ++i) {
+    EXPECT_EQ(a.value().regions[i].price_factor, b.value().regions[i].price_factor);
+    EXPECT_EQ(a.value().regions[i].seed, b.value().regions[i].seed);
+    EXPECT_NE(a.value().regions[i].seed, c.value().regions[i].seed);
+  }
+}
+
+// ----------------------------------------------------------- metro DSL
+
+constexpr const char* kMetroDoc = R"({
+  "name": "metro_mini",
+  "seed": 5,
+  "duration_hours": 6,
+  "topology": "metro",
+  "federation": {"regions": 2, "cells_per_region": 4, "hosts_per_dc": 1},
+  "orchestrator": {"monitoring_period_minutes": 5},
+  "workload": {"arrivals_per_hour": 3, "min_duration_hours": 1, "max_duration_hours": 3},
+  "events": [
+    {"kind": "cell_down", "at_hours": 1, "region": "r0", "cell": "c2", "duration_hours": 1},
+    {"kind": "controller_restart", "at_hours": 2, "region": "r1", "duration_minutes": 10}
+  ]
+})";
+
+TEST(MetroScenarioDsl, ParsesRegionScopedEvents) {
+  const Result<scenario::Scenario> parsed = scenario::parse_scenario(kMetroDoc);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const scenario::Scenario& s = parsed.value();
+  EXPECT_EQ(s.topology, "metro");
+  EXPECT_EQ(s.federation.regions, 2u);
+  EXPECT_EQ(s.federation.cells_per_region, 4u);
+  ASSERT_EQ(s.events.size(), 2u);
+  EXPECT_EQ(s.events[0].region, "r0");
+  EXPECT_EQ(s.events[0].target, "c2");
+  EXPECT_EQ(s.events[1].region, "r1");
+}
+
+TEST(MetroScenarioDsl, RoundTripsThroughCanonicalJson) {
+  const Result<scenario::Scenario> parsed = scenario::parse_scenario(kMetroDoc);
+  ASSERT_TRUE(parsed.ok());
+  const std::string canonical = scenario::serialize_scenario(parsed.value());
+  const Result<scenario::Scenario> reparsed = scenario::parse_scenario(canonical);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+  EXPECT_EQ(scenario::serialize_scenario(reparsed.value()), canonical);
+  EXPECT_NE(canonical.find("\"federation\""), std::string::npos);
+}
+
+TEST(MetroScenarioDsl, RejectsBadMetroDocuments) {
+  const auto rejects = [](const std::string& doc, const std::string& needle) {
+    const Result<scenario::Scenario> parsed = scenario::parse_scenario(doc);
+    ASSERT_FALSE(parsed.ok()) << "should reject: " << doc;
+    EXPECT_NE(parsed.error().message.find(needle), std::string::npos)
+        << parsed.error().message;
+  };
+  // Events must name a region.
+  rejects(R"({"name":"x","topology":"metro","workload":{"arrivals_per_hour":1,
+    "min_duration_hours":1,"max_duration_hours":2},
+    "events":[{"kind":"cell_down","at_hours":1,"cell":"c0"}]})",
+          "region");
+  // link faults are a fig2 concept.
+  rejects(R"({"name":"x","topology":"metro","workload":{"arrivals_per_hour":1,
+    "min_duration_hours":1,"max_duration_hours":2},
+    "events":[{"kind":"link_down","at_hours":1,"region":"r0","link":"mmwave"}]})",
+          "not supported on the metro topology");
+  // Region must exist in the federation.
+  rejects(R"({"name":"x","topology":"metro","federation":{"regions":2},
+    "workload":{"arrivals_per_hour":1,"min_duration_hours":1,"max_duration_hours":2},
+    "events":[{"kind":"cell_down","at_hours":1,"region":"r7","cell":"c0"}]})",
+          "r7");
+  // "federation" is metro-only.
+  rejects(R"({"name":"x","topology":"fig2","federation":{"regions":2},
+    "workload":{"arrivals_per_hour":1,"min_duration_hours":1,"max_duration_hours":2}})",
+          "federation");
+}
+
+TEST(MetroScenarioDsl, Fig2DocumentsKeepTheirByteLayout) {
+  // A fig2 scenario must serialize without any federation/region keys,
+  // so pre-federation golden files stay byte-identical.
+  scenario::Scenario s;
+  s.name = "plain";
+  s.workload.arrivals_per_hour = 1.0;
+  s.workload.min_duration = Duration::hours(1.0);
+  s.workload.max_duration = Duration::hours(2.0);
+  scenario::ScenarioEvent event;
+  event.kind = scenario::EventKind::cell_down;
+  event.at = Duration::hours(1.0);
+  event.target = "a";
+  s.events.push_back(event);
+  const std::string serialized = scenario::serialize_scenario(s);
+  EXPECT_EQ(serialized.find("federation"), std::string::npos);
+  EXPECT_EQ(serialized.find("region"), std::string::npos);
+}
+
+TEST(MetroScenarioDsl, Fig2RunnerRefusesMetroScenarios) {
+  Result<scenario::Scenario> parsed = scenario::parse_scenario(kMetroDoc);
+  ASSERT_TRUE(parsed.ok());
+  scenario::ScenarioRunner runner(std::move(parsed.value()));
+  const auto card = runner.run();
+  ASSERT_FALSE(card.ok());
+  EXPECT_NE(card.error().message.find("FederatedRunner"), std::string::npos);
+}
+
+// ----------------------------------------------------------- remote bus
+
+TEST(RestBusRemote, RoutesCallsOverALoopbackSocket) {
+  auto router = std::make_shared<net::Router>();
+  router->add(net::Method::get, "/ping", [](const net::RouteContext&) {
+    return net::Response::json(net::Status::ok, R"({"pong":true})");
+  });
+  Result<std::unique_ptr<net::HttpServer>> server = net::HttpServer::bind(router);
+  ASSERT_TRUE(server.ok());
+  std::thread serving([&server] { server.value()->run(); });
+
+  net::RestBus bus;
+  bus.register_remote("echo", server.value()->port());
+  EXPECT_TRUE(bus.has_service("echo"));
+
+  const Result<json::Value> doc = bus.get_json("echo", "/ping");
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_TRUE(doc.value().find("pong")->as_bool());
+
+  const auto stats = bus.stats();
+  EXPECT_EQ(stats.at("echo").responses_ok, 1u);
+  EXPECT_GT(stats.at("echo").bytes_rx, 0u);
+
+  bus.unregister_service("echo");
+  EXPECT_FALSE(bus.has_service("echo"));
+
+  server.value()->stop();
+  serving.join();
+}
+
+// -------------------------------------------------------- determinism
+
+scenario::Scenario metro_scenario() {
+  const Result<scenario::Scenario> parsed = scenario::parse_scenario(kMetroDoc);
+  EXPECT_TRUE(parsed.ok());
+  return parsed.value();
+}
+
+std::string run_federated(FederatedRunOptions options) {
+  FederatedRunner runner(metro_scenario(), options);
+  const Result<FederatedScorecard> card = runner.run();
+  EXPECT_TRUE(card.ok()) << (card.ok() ? "" : card.error().message);
+  return card.ok() ? card.value().serialize() : std::string();
+}
+
+TEST(FederationDeterminism, ThreadCountDoesNotChangeTheScorecard) {
+  FederatedRunOptions one;
+  one.epoch_threads = 1;
+  FederatedRunOptions four;
+  four.epoch_threads = 4;
+  EXPECT_EQ(run_federated(one), run_federated(four));
+}
+
+TEST(FederationDeterminism, SocketTransportMatchesInProcessDispatch) {
+  FederatedRunOptions inproc;
+  FederatedRunOptions socket;
+  socket.socket_transport = true;
+  EXPECT_EQ(run_federated(inproc), run_federated(socket));
+}
+
+TEST(FederationDeterminism, RepeatedRunIsBitStable) {
+  EXPECT_EQ(run_federated({}), run_federated({}));
+}
+
+// ------------------------------------------------------------ failover
+
+TEST(BrokerFailover, RegionOutageRePlacesIntoSurvivingRegions) {
+  scenario::Scenario s = metro_scenario();
+  // Kill both of r0's datacenters for the whole back half of the run:
+  // every later arrival must land in r1.
+  s.events.clear();
+  scenario::ScenarioEvent down;
+  down.kind = scenario::EventKind::dc_down;
+  down.at = Duration::hours(3.0);
+  down.region = "r0";
+  down.target = "core";
+  s.events.push_back(down);
+  down.target = "edge0";
+  s.events.push_back(down);
+
+  FederatedRunner runner(std::move(s), {});
+  const Result<FederatedScorecard> card = runner.run();
+  ASSERT_TRUE(card.ok()) << card.error().message;
+
+  const json::Value placements = runner.broker()->placements_json();
+  const std::int64_t outage_us = Duration::hours(3.0).as_micros();
+  bool placed_after_outage = false;
+  for (const json::Value& p : placements.find("placements")->as_array()) {
+    const std::string outcome = p.find("outcome")->as_string();
+    if (outcome != "local" && outcome != "remote") continue;
+    if (static_cast<std::int64_t>(p.find("t_us")->as_number()) < outage_us) continue;
+    placed_after_outage = true;
+    EXPECT_EQ(p.find("placed")->as_string(), "r1")
+        << "placement into a region with no datacenters";
+  }
+  EXPECT_TRUE(placed_after_outage) << "outage window saw no placements at all";
+}
+
+TEST(BrokerFailover, RestartingLoneRegionDefersAdmissionUntilResume) {
+  // One region, so a controller restart leaves the broker no candidate:
+  // requests queue in the deferred lane and land when the edge resumes.
+  const Result<scenario::Scenario> parsed = scenario::parse_scenario(R"({
+    "name": "defer",
+    "seed": 9,
+    "duration_hours": 4,
+    "topology": "metro",
+    "federation": {"regions": 1, "cells_per_region": 4, "hosts_per_dc": 1},
+    "orchestrator": {"monitoring_period_minutes": 5},
+    "workload": {"arrivals_per_hour": 0, "min_duration_hours": 1, "max_duration_hours": 2},
+    "events": [
+      {"kind": "controller_restart", "at_hours": 1, "region": "r0", "duration_minutes": 12}
+    ],
+    "requests": [
+      {"at_hours": 1.05, "vertical": "automotive", "duration_hours": 1, "region": "r0"}
+    ]
+  })");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+
+  FederatedRunner runner(parsed.value(), {});
+  const Result<FederatedScorecard> card = runner.run();
+  ASSERT_TRUE(card.ok()) << card.error().message;
+
+  EXPECT_GE(card.value().deferred_total, 1u) << "request during restart must defer";
+  EXPECT_EQ(card.value().deferred_unplaced, 0u) << "deferred request never landed";
+  EXPECT_EQ(card.value().admitted, 1u);
+  EXPECT_EQ(card.value().placed_local, 1u);
+}
+
+}  // namespace
+}  // namespace slices
