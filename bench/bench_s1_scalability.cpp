@@ -200,6 +200,11 @@ void print_federated_table() {
   for (const auto& shape : shapes) {
     auto city = make_city(shape[0], shape[1]);
     std::vector<double> epoch_ms;
+    // Per-edge epoch-serve samples, keyed by the broker's region order
+    // (stable across epochs) — the CI artifact reports each edge's
+    // median so a lopsided region stands out instead of averaging away.
+    const std::vector<std::string> regions = city->broker->regions();
+    std::vector<std::vector<double>> edge_ms(regions.size());
     double region_sum_ms = 0.0;
     double region_max_ms = 0.0;
     std::size_t region_samples = 0;
@@ -208,13 +213,14 @@ void print_federated_table() {
       json::Value tick;
       tick["t_us"] = static_cast<double>(city->now_us);
       double total_ms = 0.0;
-      for (const std::string& region : city->broker->regions()) {
+      for (std::size_t r = 0; r < regions.size(); ++r) {
         const auto start = std::chrono::steady_clock::now();
-        (void)city->bus.call_json(federation::Broker::service_name(region),
+        (void)city->bus.call_json(federation::Broker::service_name(regions[r]),
                                   net::Method::post, "/federation/advance", tick);
         const std::chrono::duration<double, std::milli> took =
             std::chrono::steady_clock::now() - start;
         total_ms += took.count();
+        edge_ms[r].push_back(took.count());
         region_sum_ms += took.count();
         region_max_ms = std::max(region_max_ms, took.count());
         ++region_samples;
@@ -228,6 +234,11 @@ void print_federated_table() {
                 static_cast<unsigned long long>(counters.placed_local + counters.placed_remote),
                 p[0], region_sum_ms / static_cast<double>(std::max<std::size_t>(region_samples, 1)),
                 region_max_ms);
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      const std::vector<double> edge_p = percentiles(edge_ms[r], {0.5});
+      std::printf("%8s   edge %-12s epoch-serve p50 %8.3f ms\n", "", regions[r].c_str(),
+                  edge_p[0]);
+    }
   }
   rule();
   std::printf("\n");

@@ -11,19 +11,30 @@
 //                          UEs and attaches the same number, keeping
 //                          the population stationary. items/s = UE
 //                          attach+detach pairs per second.
-// BM_EpochServe/<ues>    — one epoch of CQI wander + demand serving
-//                          over `ues` attached UEs across 128 cells.
+// BM_EpochServe/<ues>/<threads>
+//                        — one epoch of CQI wander + demand serving
+//                          over `ues` attached UEs across 128 cells,
+//                          through the SoA epoch kernel (arena scratch,
+//                          per-cell task pipeline on a `threads`-wide
+//                          pool; 1 = serial). The 1M row is the
+//                          ROADMAP's million-UE control-loop target.
+// BM_EpochServeLegacy/<ues>
+//                        — same epoch on the pre-SoA reference path
+//                          (per-cell vectors, std::map reduction), for
+//                          the kernel-vs-legacy speedup column.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "ran/cell.hpp"
 #include "ran/controller.hpp"
@@ -81,9 +92,11 @@ struct ChurnSystem {
 void print_experiment() {
   std::printf("\nS2: UE-churn scalability — dense slot-indexed UE/flow data plane\n");
   std::printf("(128 cells, 6 PLMNs; population held stationary under Poisson churn)\n");
-  std::printf("see the google-benchmark tables: BM_UeChurn/<ues>, BM_EpochServe/<ues>\n");
+  std::printf("see the google-benchmark tables: BM_UeChurn/<ues>, BM_EpochServe/<ues>/<threads>\n");
   std::printf("expected shape: churn cost is O(1) per attach/detach pair and flat in the\n"
-              "population; epoch serving grows linearly in attached UEs (the CQI walk).\n\n");
+              "population; epoch serving grows linearly in attached UEs (the CQI walk)\n"
+              "and shards across the pool per cell. BM_EpochServeLegacy is the pre-SoA\n"
+              "reference path for the speedup column.\n\n");
 }
 
 void BM_UeChurn(benchmark::State& state) {
@@ -112,21 +125,54 @@ BENCHMARK(BM_UeChurn)
 
 void BM_EpochServe(benchmark::State& state) {
   ChurnSystem sys(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    sys.ran.set_thread_pool(pool.get());
+  }
   std::vector<std::pair<PlmnId, DataRate>> demands;
   for (const PlmnId plmn : sys.plmns) demands.emplace_back(plmn, DataRate::mbps(150.0));
+  std::vector<ran::RanServeReport> reports;
   SimTime now = SimTime::origin();
   for (auto _ : state) {
     now = now + Duration::minutes(15.0);
     sys.ran.wander_cqis(sys.rng);
-    benchmark::DoNotOptimize(sys.ran.serve_epoch(demands, now));
+    sys.ran.serve_epoch_into(demands, now, reports);
+    benchmark::DoNotOptimize(reports.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["active_ues"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_EpochServe)
+    ->Args({10000, 1})
+    ->Args({100000, 1})
+    ->Args({500000, 1})
+    ->Args({1000000, 1})
+    ->Args({1000000, 4})
+    ->Args({1000000, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EpochServeLegacy(benchmark::State& state) {
+  ChurnSystem sys(static_cast<std::size_t>(state.range(0)));
+  sys.ran.set_legacy_epoch_path(true);
+  std::vector<std::pair<PlmnId, DataRate>> demands;
+  for (const PlmnId plmn : sys.plmns) demands.emplace_back(plmn, DataRate::mbps(150.0));
+  std::vector<ran::RanServeReport> reports;
+  SimTime now = SimTime::origin();
+  for (auto _ : state) {
+    now = now + Duration::minutes(15.0);
+    sys.ran.wander_cqis(sys.rng);
+    sys.ran.serve_epoch_into(demands, now, reports);
+    benchmark::DoNotOptimize(reports.data());
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["active_ues"] = static_cast<double>(state.range(0));
 }
-BENCHMARK(BM_EpochServe)
-    ->Arg(10000)
+BENCHMARK(BM_EpochServeLegacy)
     ->Arg(100000)
-    ->Arg(500000)
+    ->Arg(1000000)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

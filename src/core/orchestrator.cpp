@@ -769,8 +769,10 @@ void Orchestrator::run_epoch(SimTime now) {
   TRACE_SCOPE("orch.serve_epoch");
   WallPhaseTimer epoch_timer(hist_.epoch_us);
 
-  // 1. Sample offered demand of every active slice.
-  std::vector<std::pair<PlmnId, DataRate>> ran_demands;
+  // 1. Sample offered demand of every active slice. The demand and
+  // report vectors are members reused across epochs (capacity sticks).
+  std::vector<std::pair<PlmnId, DataRate>>& ran_demands = epoch_ran_demands_;
+  ran_demands.clear();
   std::map<SliceId, DataRate> demand_of;
   {
     TRACE_SCOPE("orch.epoch.sample_demand");
@@ -786,12 +788,12 @@ void Orchestrator::run_epoch(SimTime now) {
     }
   }
 
-  // 2. Radio serves.
-  std::vector<ran::RanServeReport> radio_reports;
+  // 2. Radio serves (allocation-free epoch kernel; see ran/controller.hpp).
+  std::vector<ran::RanServeReport>& radio_reports = epoch_radio_reports_;
   {
     TRACE_SCOPE("orch.epoch.ran_serve");
     WallPhaseTimer timer(hist_.ran_us);
-    radio_reports = ran_->serve_epoch(ran_demands, now);
+    ran_->serve_epoch_into(ran_demands, now, radio_reports);
   }
   std::map<PlmnId, DataRate> radio_served;
   for (const ran::RanServeReport& r : radio_reports) radio_served.emplace(r.plmn, r.served);

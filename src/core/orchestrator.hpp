@@ -405,6 +405,11 @@ class Orchestrator {
   };
   EpochHistograms hist_;
 
+  // Per-epoch scratch, reused so the steady-state epoch loop does not
+  // reallocate the demand/report vectors it hands to the RAN kernel.
+  std::vector<std::pair<PlmnId, DataRate>> epoch_ran_demands_;
+  std::vector<ran::RanServeReport> epoch_radio_reports_;
+
   // Freshness facts for /healthz (wall duration is -1 while wall-clock
   // profiling is off).
   SimTime last_epoch_at_;

@@ -24,6 +24,12 @@ UePopulation::UePopulation(sim::Simulator* simulator, ran::RanController* ran,
 void UePopulation::start() {
   if (running_) return;
   running_ = true;
+  // Little's law: steady-state population ~= arrival rate x mean holding
+  // time. Pre-size the departure map so session churn does not rehash
+  // and reallocate while the population ramps to its stationary size.
+  const double expected =
+      config_.arrivals_per_hour * config_.mean_holding.as_hours();
+  active_.reserve(static_cast<std::size_t>(expected) + 16);
   schedule_next_arrival();
 }
 

@@ -1,6 +1,7 @@
 #include "ran/cell.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 namespace slices::ran {
@@ -42,6 +43,15 @@ Result<void> Cell::withdraw_plmn(PlmnId plmn) {
     return make_error(Errc::conflict, "UEs still attached under this PLMN");
   broadcast_.erase(broadcast_.begin() + static_cast<std::ptrdiff_t>(i));
   plmn_stats_.erase(plmn_stats_.begin() + static_cast<std::ptrdiff_t>(i));
+  // The UE columns store broadcast positions; every position above the
+  // withdrawn one shifted down by one. Cold path (withdrawal requires
+  // an empty PLMN), so the full-column sweep is acceptable.
+  for (std::uint32_t row = 0; row < ues_.row_count(); ++row) {
+    if (!ues_.live(row)) continue;
+    const std::uint8_t p = ues_.plmn_index_at(row);
+    assert(p != i);
+    if (p > i) ues_.set_plmn_index(row, static_cast<std::uint8_t>(p - 1));
+  }
   return {};
 }
 
@@ -80,7 +90,7 @@ Result<void> Cell::attach_ue(UeId ue, PlmnId plmn, Cqi cqi) {
   if (i == broadcast_.size())
     return make_error(Errc::not_found,
                       "PLMN not on the air on cell " + name_ + "; UE cannot attach");
-  if (ues_.insert(ue, AttachedUe{ue, plmn, cqi}) == nullptr)
+  if (ues_.insert(ue, static_cast<std::uint8_t>(i), cqi) == UeSoa::kNoRow)
     return make_error(Errc::conflict, "UE already attached");
   ++plmn_stats_[i].count;
   plmn_stats_[i].cqi_sum += cqi.index();
@@ -88,39 +98,53 @@ Result<void> Cell::attach_ue(UeId ue, PlmnId plmn, Cqi cqi) {
 }
 
 Result<void> Cell::update_ue_cqi(UeId ue, Cqi cqi) {
-  AttachedUe* attached = ues_.find(ue);
-  if (attached == nullptr) return make_error(Errc::not_found, "UE not attached");
-  PlmnUeStats& stats = plmn_stats_[plmn_index(attached->plmn)];
-  stats.cqi_sum += cqi.index() - attached->cqi.index();
-  attached->cqi = cqi;
+  const std::uint32_t row = ues_.row_of(ue);
+  if (row == UeSoa::kNoRow) return make_error(Errc::not_found, "UE not attached");
+  PlmnUeStats& stats = plmn_stats_[ues_.plmn_index_at(row)];
+  stats.cqi_sum += cqi.index() - ues_.cqi_at(row).index();
+  ues_.set_cqi(row, cqi);
   return {};
 }
 
 std::optional<Cqi> Cell::ue_cqi(UeId ue) const noexcept {
-  const AttachedUe* attached = ues_.find(ue);
-  if (attached == nullptr) return std::nullopt;
-  return attached->cqi;
+  const std::uint32_t row = ues_.row_of(ue);
+  if (row == UeSoa::kNoRow) return std::nullopt;
+  return ues_.cqi_at(row);
+}
+
+std::optional<PlmnId> Cell::ue_plmn(UeId ue) const noexcept {
+  const std::uint32_t row = ues_.row_of(ue);
+  if (row == UeSoa::kNoRow) return std::nullopt;
+  return broadcast_[ues_.plmn_index_at(row)];
 }
 
 void Cell::wander_cqis(Rng& rng, double step_probability) {
-  for (auto& [ue, attached] : ues_) {
+  // Streams the CQI byte column in row order; per-PLMN aggregate deltas
+  // are accumulated locally and folded in once at the end, so the inner
+  // loop touches only the two UE columns and the RNG.
+  std::uint8_t* cqi = ues_.cqi_column();
+  const std::uint8_t* plmn = ues_.plmn_column();
+  std::array<std::int64_t, kMaxBroadcastPlmns> delta{};
+  const std::size_t rows = ues_.row_count();
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    if (!ues_.live(row)) continue;
     if (!rng.bernoulli(step_probability)) continue;
-    const int delta = rng.bernoulli(0.5) ? 1 : -1;
-    const int next = attached.cqi.index() + delta;
-    const Cqi clamped{next < 1 ? 1 : (next > 15 ? 15 : next)};
-    plmn_stats_[plmn_index(attached.plmn)].cqi_sum +=
-        clamped.index() - attached.cqi.index();
-    attached.cqi = clamped;
+    const int step = rng.bernoulli(0.5) ? 1 : -1;
+    const int next = static_cast<int>(cqi[row]) + step;
+    const int clamped = next < 1 ? 1 : (next > 15 ? 15 : next);
+    delta[plmn[row]] += clamped - static_cast<int>(cqi[row]);
+    cqi[row] = static_cast<std::uint8_t>(clamped);
   }
+  for (std::size_t i = 0; i < broadcast_.size(); ++i) plmn_stats_[i].cqi_sum += delta[i];
 }
 
 Result<void> Cell::detach_ue(UeId ue) {
-  const AttachedUe* attached = ues_.find(ue);
-  if (attached == nullptr) return make_error(Errc::not_found, "UE not attached");
-  PlmnUeStats& stats = plmn_stats_[plmn_index(attached->plmn)];
+  const std::uint32_t row = ues_.row_of(ue);
+  if (row == UeSoa::kNoRow) return make_error(Errc::not_found, "UE not attached");
+  PlmnUeStats& stats = plmn_stats_[ues_.plmn_index_at(row)];
   assert(stats.count > 0);
   --stats.count;
-  stats.cqi_sum -= attached->cqi.index();
+  stats.cqi_sum -= ues_.cqi_at(row).index();
   ues_.erase(ue);
   return {};
 }
@@ -132,24 +156,46 @@ std::size_t Cell::attached_count(PlmnId plmn) const noexcept {
 
 Cqi Cell::mean_cqi(PlmnId plmn, Cqi fallback) const noexcept {
   const std::size_t i = plmn_index(plmn);
-  if (i == broadcast_.size() || plmn_stats_[i].count == 0) return fallback;
-  const int mean = static_cast<int>(plmn_stats_[i].cqi_sum /
-                                    static_cast<std::int64_t>(plmn_stats_[i].count));
+  if (i == broadcast_.size()) return fallback;
+  return mean_cqi_at(i, fallback);
+}
+
+Cqi Cell::mean_cqi_at(std::size_t index, Cqi fallback) const noexcept {
+  if (plmn_stats_[index].count == 0) return fallback;
+  const int mean = static_cast<int>(plmn_stats_[index].cqi_sum /
+                                    static_cast<std::int64_t>(plmn_stats_[index].count));
   return Cqi{mean < 1 ? 1 : (mean > 15 ? 15 : mean)};
 }
 
 std::vector<PlmnGrant> Cell::serve_epoch(
     std::span<const std::pair<PlmnId, DataRate>> demands, Cqi fallback_cqi) const {
-  std::vector<PlmnLoad> loads;
-  loads.reserve(broadcast_.size());
-  for (const PlmnId plmn : broadcast_) {
-    DataRate demand = DataRate::zero();
-    for (const auto& [p, d] : demands) {
-      if (p == plmn) demand += d;
-    }
-    loads.push_back(PlmnLoad{plmn, reservation_of(plmn), demand, mean_cqi(plmn, fallback_cqi)});
+  // Aggregate the (plmn, rate) pairs into broadcast order and reuse the
+  // batched core; outputs pre-sized from the broadcast count.
+  std::array<DataRate, kMaxBroadcastPlmns> demand_by_index{};
+  for (const auto& [p, d] : demands) {
+    const std::size_t i = plmn_index(p);
+    if (i < broadcast_.size()) demand_by_index[i] += d;
   }
-  return schedule_epoch(total_, loads, policy_);
+  std::vector<PlmnGrant> grants(broadcast_.size());
+  serve_epoch_into(std::span<const DataRate>(demand_by_index.data(), broadcast_.size()),
+                   fallback_cqi, grants);
+  return grants;
+}
+
+std::size_t Cell::serve_epoch_into(std::span<const DataRate> demand_by_index,
+                                   Cqi fallback_cqi,
+                                   std::span<PlmnGrant> grants) const noexcept {
+  assert(demand_by_index.size() >= broadcast_.size());
+  assert(grants.size() >= broadcast_.size());
+  std::array<PlmnLoad, kMaxBroadcastPlmns> loads;
+  std::array<int, kMaxBroadcastPlmns> want;
+  for (std::size_t i = 0; i < broadcast_.size(); ++i) {
+    loads[i] = PlmnLoad{broadcast_[i], reservation_of(broadcast_[i]), demand_by_index[i],
+                        mean_cqi_at(i, fallback_cqi)};
+  }
+  schedule_epoch_into(total_, std::span<const PlmnLoad>(loads.data(), broadcast_.size()),
+                      policy_, grants, want);
+  return broadcast_.size();
 }
 
 }  // namespace slices::ran

@@ -8,11 +8,14 @@
 // dedicated PRB reservation per PLMN, the attached UE population, and
 // serves offered demand each monitoring epoch via the MOCN scheduler.
 //
-// UE state lives in a DenseIdMap (contiguous slots, O(1) attach/detach,
-// deterministic slot-order iteration) and each broadcast PLMN keeps a
-// running (count, cqi_sum) aggregate, so attached_count / mean_cqi —
-// the per-epoch scheduling inputs — are O(1) instead of full-population
-// scans.
+// UE state is a structure-of-arrays column store (ran/ue_soa.hpp): the
+// id / PLMN-index / CQI attributes live in parallel dense columns with
+// O(1) attach/detach and deterministic row-order iteration (row
+// discipline bit-compatible with the old DenseIdMap slots), so the
+// per-epoch CQI walk streams a byte column instead of chasing 32-byte
+// AoS slots. Each broadcast PLMN keeps a running (count, cqi_sum)
+// aggregate, so attached_count / mean_cqi — the per-epoch scheduling
+// inputs — stay O(1).
 
 #include <cstdint>
 #include <optional>
@@ -28,13 +31,15 @@
 #include "common/units.hpp"
 #include "ran/phy.hpp"
 #include "ran/scheduler.hpp"
+#include "ran/ue_soa.hpp"
 
 namespace slices::ran {
 
 /// Maximum PLMN ids one cell may broadcast (SIB1 PLMN-IdentityList).
 inline constexpr std::size_t kMaxBroadcastPlmns = 6;
 
-/// A UE attached to a cell under some PLMN.
+/// A UE attached to a cell under some PLMN (lookup-result view; the
+/// stored representation is columnar).
 struct AttachedUe {
   UeId ue;
   PlmnId plmn;
@@ -71,6 +76,18 @@ class Cell {
   [[nodiscard]] bool broadcasts(PlmnId plmn) const noexcept;
   [[nodiscard]] std::vector<PlmnId> broadcast_list() const;
 
+  /// Number of PLMNs currently broadcast (<= kMaxBroadcastPlmns).
+  [[nodiscard]] std::size_t broadcast_count() const noexcept { return broadcast_.size(); }
+  /// Position of `plmn` in the broadcast list, or broadcast_count()
+  /// when not broadcast. Positions are dense and stable until a
+  /// withdraw; the epoch kernel uses them to index per-cell scratch.
+  [[nodiscard]] std::size_t broadcast_index(PlmnId plmn) const noexcept {
+    return plmn_index(plmn);
+  }
+  [[nodiscard]] PlmnId broadcast_at(std::size_t index) const noexcept {
+    return broadcast_[index];
+  }
+
   // --- PRB reservations --------------------------------------------------
 
   /// Set the dedicated reservation of `plmn` to `prbs` (PUT semantics;
@@ -102,17 +119,30 @@ class Cell {
   /// Current reported CQI of a UE; nullopt when not attached here.
   [[nodiscard]] std::optional<Cqi> ue_cqi(UeId ue) const noexcept;
 
+  /// PLMN a UE is attached under; nullopt when not attached here.
+  [[nodiscard]] std::optional<PlmnId> ue_plmn(UeId ue) const noexcept;
+
   /// Random-walk every attached UE's CQI by ±1 (clamped to [1,15]) with
-  /// probability `step_probability` each. Iterates UEs in slot order —
+  /// probability `step_probability` each. Iterates UEs in row order —
   /// deterministic for a given attach/detach history, which keeps the
-  /// RNG consumption order reproducible.
+  /// RNG consumption order reproducible (and identical to the legacy
+  /// AoS iteration order).
   void wander_cqis(Rng& rng, double step_probability);
 
   [[nodiscard]] std::size_t attached_count(PlmnId plmn) const noexcept;
+  /// Same by broadcast position (no PLMN scan); `index` < broadcast_count().
+  [[nodiscard]] std::size_t attached_count_at(std::size_t index) const noexcept {
+    return plmn_stats_[index].count;
+  }
   [[nodiscard]] std::size_t attached_total() const noexcept { return ues_.size(); }
 
   /// Mean CQI of `plmn`'s attached UEs, or `fallback` when none.
   [[nodiscard]] Cqi mean_cqi(PlmnId plmn, Cqi fallback) const noexcept;
+  /// Same by broadcast position (no PLMN scan); `index` < broadcast_count().
+  [[nodiscard]] Cqi mean_cqi_at(std::size_t index, Cqi fallback) const noexcept;
+
+  /// Pre-size the UE columns for an expected population.
+  void reserve_ues(std::size_t n) { ues_.reserve(n); }
 
   // --- Serving -----------------------------------------------------------
 
@@ -122,6 +152,14 @@ class Cell {
   [[nodiscard]] std::vector<PlmnGrant> serve_epoch(
       std::span<const std::pair<PlmnId, DataRate>> demands,
       Cqi fallback_cqi = Cqi{10}) const;
+
+  /// Batched allocation-free serve used by the epoch kernel:
+  /// `demand_by_index[i]` is the offered demand of broadcast PLMN i
+  /// (size >= broadcast_count(), caller-aggregated), `grants` receives
+  /// broadcast_count() grants in broadcast order. Identical outcomes to
+  /// serve_epoch for the same per-PLMN demand totals.
+  std::size_t serve_epoch_into(std::span<const DataRate> demand_by_index,
+                               Cqi fallback_cqi, std::span<PlmnGrant> grants) const noexcept;
 
  private:
   /// Running UE aggregate of one broadcast PLMN; index-aligned with
@@ -141,7 +179,7 @@ class Cell {
   std::vector<PlmnId> broadcast_;               // ordered: deterministic scheduling
   std::vector<PlmnUeStats> plmn_stats_;         // index-aligned with broadcast_
   DenseIdMap<PlmnId, PrbCount> reservations_;
-  DenseIdMap<UeId, AttachedUe> ues_;
+  UeSoa ues_;                                   // columnar attached-UE store
 };
 
 }  // namespace slices::ran

@@ -1,6 +1,7 @@
 #include "ran/controller.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "json/value.hpp"
@@ -185,7 +186,26 @@ Result<void> RanController::detach_ue(UeId ue) {
 }
 
 void RanController::wander_cqis(Rng& rng, double step_probability) {
-  for (Cell& cell : cells_) cell.wander_cqis(rng, step_probability);
+  TRACE_SCOPE("ran.epoch.wander");
+  // One independent stream per cell, seeds drawn from the caller's RNG
+  // on the calling thread: the per-UE CQI walks — the dominant per-UE
+  // epoch cost at city scale — shard across the worker pool as per-cell
+  // tasks while staying deterministic at any pool size.
+  wander_seeds_.resize(cells_.size());
+  for (std::uint64_t& seed : wander_seeds_) seed = rng.next_u64();
+  struct WanderCtx {
+    RanController* self;
+    double p;
+  } ctx{this, step_probability};
+  const auto wander_cell = [&ctx](std::size_t i) {
+    Rng local(ctx.self->wander_seeds_[i]);
+    ctx.self->cells_[i].wander_cqis(local, ctx.p);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(cells_.size(), wander_cell);
+  } else {
+    for (std::size_t i = 0; i < cells_.size(); ++i) wander_cell(i);
+  }
 }
 
 Result<void> RanController::handover_ue(UeId ue, CellId target) {
@@ -259,25 +279,261 @@ std::size_t RanController::attached_ues(PlmnId plmn) const noexcept {
 
 std::vector<RanServeReport> RanController::serve_epoch(
     std::span<const std::pair<PlmnId, DataRate>> demands, SimTime now) {
+  std::vector<RanServeReport> out;
+  serve_epoch_into(demands, now, out);
+  return out;
+}
+
+void RanController::serve_epoch_into(std::span<const std::pair<PlmnId, DataRate>> demands,
+                                     SimTime now, std::vector<RanServeReport>& out) {
+  if (legacy_epoch_path_) {
+    serve_epoch_legacy(demands, now, out);
+  } else {
+    serve_epoch_batched(demands, now, out);
+  }
+}
+
+void RanController::observe_cell_telemetry(std::size_t cell_index, SimTime now,
+                                           PrbCount used, bool active) {
+  if (registry_ == nullptr) return;
+  const Cell& cell = cells_[cell_index];
+  CellHandles& h = cell_handles_[cell_index];
+  if (!active) {
+    if (!h.prb_used.valid()) {
+      const std::string prefix = "ran.cell." + std::to_string(cell.id().value());
+      h.prb_used = registry_->handle(prefix + ".prb_used");
+      h.utilization = registry_->handle(prefix + ".utilization");
+    }
+    h.prb_used.observe(now, 0.0);
+    h.utilization.observe(now, 0.0);
+    return;
+  }
+  if (!h.prb_used.valid() || !h.prb_reserved.valid()) {
+    const std::string prefix = "ran.cell." + std::to_string(cell.id().value());
+    if (!h.prb_used.valid()) {
+      h.prb_used = registry_->handle(prefix + ".prb_used");
+      h.utilization = registry_->handle(prefix + ".utilization");
+    }
+    if (!h.prb_reserved.valid()) h.prb_reserved = registry_->handle(prefix + ".prb_reserved");
+  }
+  h.prb_used.observe(now, static_cast<double>(used.value));
+  h.prb_reserved.observe(now, static_cast<double>(cell.reserved_prbs().value));
+  h.utilization.observe(now, static_cast<double>(used.value) /
+                                 static_cast<double>(cell.total_prbs().value));
+}
+
+// The SoA epoch kernel. Shape: prepare flat per-demand indices ->
+// per-cell tasks write grants into arena slabs -> sequential slot-order
+// reduction. All scratch is arena storage rewound between epochs;
+// per-cell working sets are fixed-size stack arrays — the steady-state
+// loop performs no heap allocation at any pool size.
+void RanController::serve_epoch_batched(
+    std::span<const std::pair<PlmnId, DataRate>> demands, SimTime now,
+    std::vector<RanServeReport>& out) {
+  TRACE_SCOPE("ran.serve_epoch");
+  const std::size_t n_demands = demands.size();
+  const std::size_t n_cells = cells_.size();
+  const std::size_t n_grants = n_cells * kMaxBroadcastPlmns;
+
+  // Reserve the arena's worst case up front: alloc_array must never
+  // grow the block after the first span is handed out (growth would
+  // dangle the earlier spans).
+  epoch_arena_.reset();
+  epoch_arena_.reserve(n_demands * (sizeof(RanServeReport) + 2 * sizeof(std::uint64_t) +
+                                    sizeof(std::uint32_t)) +
+                       n_grants * (sizeof(PlmnGrant) + sizeof(std::int32_t)) +
+                       n_cells * (sizeof(std::uint32_t) + sizeof(int) + 1) + 256);
+  const std::span<RanServeReport> totals = epoch_arena_.alloc_array<RanServeReport>(n_demands);
+  const std::span<std::uint32_t> order = epoch_arena_.alloc_array<std::uint32_t>(n_demands);
+  const std::span<std::uint64_t> everywhere = epoch_arena_.alloc_array<std::uint64_t>(n_demands);
+  const std::span<std::uint64_t> broadcasting =
+      epoch_arena_.alloc_array<std::uint64_t>(n_demands);
+  const std::span<PlmnGrant> grants = epoch_arena_.alloc_array<PlmnGrant>(n_grants);
+  const std::span<std::int32_t> grant_demand = epoch_arena_.alloc_array<std::int32_t>(n_grants);
+  const std::span<std::uint32_t> grant_count = epoch_arena_.alloc_array<std::uint32_t>(n_cells);
+  const std::span<int> used = epoch_arena_.alloc_array<int>(n_cells);
+  const std::span<std::uint8_t> active = epoch_arena_.alloc_array<std::uint8_t>(n_cells);
+
+  // Phase 0 — per-demand indices shared read-only by every cell task.
+  {
+    TRACE_SCOPE("ran.epoch.prepare");
+    for (std::size_t d = 0; d < n_demands; ++d) {
+      const auto& [plmn, demand] = demands[d];
+      totals[d] = RanServeReport{plmn, demand, DataRate::zero(), DataRate::zero()};
+      order[d] = static_cast<std::uint32_t>(d);
+      const std::size_t* count = attached_by_plmn_.find(plmn);
+      everywhere[d] = count == nullptr ? 0 : *count;
+      std::uint64_t b = 0;
+      for (const Cell& c : cells_) {
+        if (c.broadcasts(plmn)) ++b;
+      }
+      broadcasting[d] = b;
+    }
+    // Reports (and their telemetry) are published in ascending PLMN
+    // order — the same order the legacy std::map reduction produced.
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return demands[a].first < demands[b].first;
+    });
+  }
+
+  // Phase 1 — per-cell tasks: every cell reads itself plus the shared
+  // indices and writes only its own grant-slab row, so execution order
+  // cannot affect the result.
+  struct ServeCtx {
+    RanController* self;
+    const std::pair<PlmnId, DataRate>* demands;
+    std::size_t n_demands;
+    const std::uint64_t* everywhere;
+    const std::uint64_t* broadcasting;
+    PlmnGrant* grants;
+    std::int32_t* grant_demand;
+    std::uint32_t* grant_count;
+    int* used;
+    std::uint8_t* active;
+  } ctx{this,          demands.data(),     n_demands,          everywhere.data(),
+        broadcasting.data(), grants.data(), grant_demand.data(), grant_count.data(),
+        used.data(),   active.data()};
+  // Captures one pointer so the std::function at the parallel_for call
+  // site stays within the small-buffer optimization (no allocation).
+  const auto serve_cell = [&ctx](std::size_t i) {
+    const Cell& cell = ctx.self->cells_[i];
+    ctx.grant_count[i] = 0;
+    ctx.used[i] = 0;
+    const bool is_active = ctx.self->cell_active(cell.id());
+    ctx.active[i] = is_active ? 1 : 0;
+    if (!is_active) return;
+
+    const std::size_t b = cell.broadcast_count();
+    std::array<DataRate, kMaxBroadcastPlmns> dem{};
+    std::int32_t* gd = ctx.grant_demand + i * kMaxBroadcastPlmns;
+    for (std::size_t j = 0; j < b; ++j) gd[j] = -1;
+    // Split each PLMN's demand across cells: weight by attached UEs,
+    // equal split over broadcasting cells when the PLMN has none.
+    for (std::size_t d = 0; d < ctx.n_demands; ++d) {
+      const std::size_t idx = cell.broadcast_index(ctx.demands[d].first);
+      if (idx == b) continue;
+      double share = 0.0;
+      if (ctx.everywhere[d] > 0) {
+        share = static_cast<double>(cell.attached_count_at(idx)) /
+                static_cast<double>(ctx.everywhere[d]);
+      } else if (ctx.broadcasting[d] > 0) {
+        share = 1.0 / static_cast<double>(ctx.broadcasting[d]);
+      }
+      dem[idx] += ctx.demands[d].second * share;
+      if (gd[idx] < 0) gd[idx] = static_cast<std::int32_t>(d);
+    }
+
+    PlmnGrant* g = ctx.grants + i * kMaxBroadcastPlmns;
+    const std::size_t count = cell.serve_epoch_into(
+        std::span<const DataRate>(dem.data(), b), Cqi{10},
+        std::span<PlmnGrant>(g, kMaxBroadcastPlmns));
+    ctx.grant_count[i] = static_cast<std::uint32_t>(count);
+    int prbs = 0;
+    for (std::size_t j = 0; j < count; ++j) prbs += g[j].granted.value;
+    ctx.used[i] = prbs;
+  };
+  {
+    TRACE_SCOPE("ran.epoch.cells");
+    if (pool_ != nullptr) {
+      pool_->parallel_for(n_cells, serve_cell);
+    } else {
+      for (std::size_t i = 0; i < n_cells; ++i) serve_cell(i);
+    }
+  }
+
+  // Phase 2 — sequential reduction in cell order on the calling thread;
+  // this fixed order is what keeps reports and telemetry bit-for-bit
+  // identical at any pool size.
+  {
+    TRACE_SCOPE("ran.epoch.reduce");
+    if (registry_ != nullptr && cell_handles_.size() < n_cells) {
+      cell_handles_.resize(n_cells);
+    }
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      if (active[i] == 0) {
+        // Cell outage: its share of every PLMN's demand goes unserved.
+        // Shares are recomputed here with the exact expression the live
+        // path uses, in the same demand order.
+        const Cell& cell = cells_[i];
+        const std::size_t b = cell.broadcast_count();
+        for (std::size_t d = 0; d < n_demands; ++d) {
+          const std::size_t idx = cell.broadcast_index(demands[d].first);
+          if (idx == b) continue;
+          double share = 0.0;
+          if (everywhere[d] > 0) {
+            share = static_cast<double>(cell.attached_count_at(idx)) /
+                    static_cast<double>(everywhere[d]);
+          } else if (broadcasting[d] > 0) {
+            share = 1.0 / static_cast<double>(broadcasting[d]);
+          }
+          totals[d].unserved += demands[d].second * share;
+        }
+        observe_cell_telemetry(i, now, PrbCount{0}, /*active=*/false);
+        continue;
+      }
+      const PlmnGrant* g = grants.data() + i * kMaxBroadcastPlmns;
+      const std::int32_t* gd = grant_demand.data() + i * kMaxBroadcastPlmns;
+      for (std::size_t j = 0; j < grant_count[i]; ++j) {
+        if (gd[j] < 0) continue;  // broadcast PLMN with zero offered demand
+        RanServeReport& total = totals[static_cast<std::size_t>(gd[j])];
+        total.served += g[j].served;
+        total.unserved += g[j].unserved;
+      }
+      observe_cell_telemetry(i, now, PrbCount{used[i]}, /*active=*/true);
+    }
+  }
+
+  out.clear();
+  out.reserve(n_demands);
+  for (std::size_t k = 0; k < n_demands; ++k) {
+    const RanServeReport& report = totals[order[k]];
+    if (registry_ != nullptr) {
+      PlmnHandles* handles = plmn_handles_.find(report.plmn);
+      if (handles == nullptr) {
+        const std::string prefix = "ran.plmn." + std::to_string(report.plmn.value());
+        handles = &plmn_handles_.insert_or_assign(
+            report.plmn, PlmnHandles{registry_->handle(prefix + ".demand_mbps"),
+                                     registry_->handle(prefix + ".served_mbps"),
+                                     registry_->handle(prefix + ".unserved_mbps")});
+      }
+      handles->demand.observe(now, report.demand.as_mbps());
+      handles->served.observe(now, report.served.as_mbps());
+      handles->unserved.observe(now, report.unserved.as_mbps());
+    }
+    out.push_back(report);
+  }
+}
+
+// Pre-SoA reference implementation, kept verbatim as the byte-level
+// oracle for the parity suite in determinism_test.
+void RanController::serve_epoch_legacy(
+    std::span<const std::pair<PlmnId, DataRate>> demands, SimTime now,
+    std::vector<RanServeReport>& out) {
   TRACE_SCOPE("ran.serve_epoch");
   // Split each PLMN's demand across cells: weight by attached UEs,
   // equal split when the PLMN has none anywhere.
+  //
+  // Phase spans mirror the batched kernel's exactly (same labels, same
+  // boundaries) so the two paths export byte-identical traces.
   std::map<PlmnId, RanServeReport> totals;
-  for (const auto& [plmn, demand] : demands) {
-    totals[plmn] = RanServeReport{plmn, demand, DataRate::zero(), DataRate::zero()};
-  }
-
-  // Per-PLMN broadcasting-cell counts, built once per epoch. Attached
-  // counts need no scan at all: attached_by_plmn_ is maintained
-  // incrementally on attach/detach, so the epoch cost is independent of
-  // the UE population size.
   std::map<PlmnId, std::size_t> broadcasting_by_plmn;
-  for (const auto& [plmn, demand] : demands) {
-    std::size_t broadcasting = 0;
-    for (const Cell& c : cells_) {
-      if (c.broadcasts(plmn)) ++broadcasting;
+  {
+    TRACE_SCOPE("ran.epoch.prepare");
+    for (const auto& [plmn, demand] : demands) {
+      totals[plmn] = RanServeReport{plmn, demand, DataRate::zero(), DataRate::zero()};
     }
-    broadcasting_by_plmn.emplace(plmn, broadcasting);
+
+    // Per-PLMN broadcasting-cell counts, built once per epoch. Attached
+    // counts need no scan at all: attached_by_plmn_ is maintained
+    // incrementally on attach/detach, so the epoch cost is independent
+    // of the UE population size.
+    for (const auto& [plmn, demand] : demands) {
+      std::size_t broadcasting = 0;
+      for (const Cell& c : cells_) {
+        if (c.broadcasts(plmn)) ++broadcasting;
+      }
+      broadcasting_by_plmn.emplace(plmn, broadcasting);
+    }
   }
 
   // Phase 1 — per-cell serving, shardable across the pool: every cell
@@ -293,8 +549,8 @@ std::vector<RanServeReport> RanController::serve_epoch(
 
   const auto serve_cell = [&](std::size_t i) {
     const Cell& cell = cells_[i];
-    CellOutcome& out = outcomes[i];
-    out.active = cell_active(cell.id());
+    CellOutcome& slot = outcomes[i];
+    slot.active = cell_active(cell.id());
 
     std::vector<std::pair<PlmnId, DataRate>> cell_demand;
     for (const auto& [plmn, demand] : demands) {
@@ -312,72 +568,54 @@ std::vector<RanServeReport> RanController::serve_epoch(
       cell_demand.emplace_back(plmn, demand * share);
     }
 
-    if (!out.active) {
-      out.lost = std::move(cell_demand);
+    if (!slot.active) {
+      slot.lost = std::move(cell_demand);
       return;
     }
-    out.grants = cell.serve_epoch(cell_demand);
-    for (const PlmnGrant& g : out.grants) out.used += g.granted;
+    slot.grants = cell.serve_epoch(cell_demand);
+    for (const PlmnGrant& g : slot.grants) slot.used += g.granted;
   };
-  if (pool_ != nullptr) {
-    pool_->parallel_for(cells_.size(), serve_cell);
-  } else {
-    for (std::size_t i = 0; i < cells_.size(); ++i) serve_cell(i);
+  {
+    TRACE_SCOPE("ran.epoch.cells");
+    if (pool_ != nullptr) {
+      pool_->parallel_for(cells_.size(), serve_cell);
+    } else {
+      for (std::size_t i = 0; i < cells_.size(); ++i) serve_cell(i);
+    }
   }
 
   // Phase 2 — sequential reduction in cell order on the calling thread;
   // this fixed order is what keeps reports and telemetry bit-for-bit
   // identical at any pool size.
-  if (registry_ != nullptr && cell_handles_.size() < cells_.size()) {
-    cell_handles_.resize(cells_.size());
-  }
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    const Cell& cell = cells_[i];
-    CellOutcome& outcome = outcomes[i];
-
-    if (!outcome.active) {
-      // Cell outage: its share of every PLMN's demand goes unserved.
-      for (const auto& [plmn, share_demand] : outcome.lost) {
-        const auto it = totals.find(plmn);
-        if (it != totals.end()) it->second.unserved += share_demand;
-      }
-      if (registry_ != nullptr) {
-        CellHandles& h = cell_handles_[i];
-        if (!h.prb_used.valid()) {
-          const std::string prefix = "ran.cell." + std::to_string(cell.id().value());
-          h.prb_used = registry_->handle(prefix + ".prb_used");
-          h.utilization = registry_->handle(prefix + ".utilization");
-        }
-        h.prb_used.observe(now, 0.0);
-        h.utilization.observe(now, 0.0);
-      }
-      continue;
+  {
+    TRACE_SCOPE("ran.epoch.reduce");
+    if (registry_ != nullptr && cell_handles_.size() < cells_.size()) {
+      cell_handles_.resize(cells_.size());
     }
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      CellOutcome& outcome = outcomes[i];
 
-    for (const PlmnGrant& g : outcome.grants) {
-      auto it = totals.find(g.plmn);
-      if (it == totals.end()) continue;  // PLMN with zero offered demand
-      it->second.served += g.served;
-      it->second.unserved += g.unserved;
-    }
-    if (registry_ != nullptr) {
-      CellHandles& h = cell_handles_[i];
-      if (!h.prb_used.valid() || !h.prb_reserved.valid()) {
-        const std::string prefix = "ran.cell." + std::to_string(cell.id().value());
-        if (!h.prb_used.valid()) {
-          h.prb_used = registry_->handle(prefix + ".prb_used");
-          h.utilization = registry_->handle(prefix + ".utilization");
+      if (!outcome.active) {
+        // Cell outage: its share of every PLMN's demand goes unserved.
+        for (const auto& [plmn, share_demand] : outcome.lost) {
+          const auto it = totals.find(plmn);
+          if (it != totals.end()) it->second.unserved += share_demand;
         }
-        if (!h.prb_reserved.valid()) h.prb_reserved = registry_->handle(prefix + ".prb_reserved");
+        observe_cell_telemetry(i, now, PrbCount{0}, /*active=*/false);
+        continue;
       }
-      h.prb_used.observe(now, static_cast<double>(outcome.used.value));
-      h.prb_reserved.observe(now, static_cast<double>(cell.reserved_prbs().value));
-      h.utilization.observe(now, static_cast<double>(outcome.used.value) /
-                                     static_cast<double>(cell.total_prbs().value));
+
+      for (const PlmnGrant& g : outcome.grants) {
+        auto it = totals.find(g.plmn);
+        if (it == totals.end()) continue;  // PLMN with zero offered demand
+        it->second.served += g.served;
+        it->second.unserved += g.unserved;
+      }
+      observe_cell_telemetry(i, now, outcome.used, /*active=*/true);
     }
   }
 
-  std::vector<RanServeReport> out;
+  out.clear();
   out.reserve(totals.size());
   for (const auto& [plmn, report] : totals) {
     if (registry_ != nullptr) {
@@ -395,7 +633,6 @@ std::vector<RanServeReport> RanController::serve_epoch(
     }
     out.push_back(report);
   }
-  return out;
 }
 
 std::shared_ptr<net::Router> RanController::make_router() {

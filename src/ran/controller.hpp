@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/dense_map.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
@@ -141,13 +142,29 @@ class RanController {
   /// Serve one epoch of offered demand (Mb/s per PLMN). Demand of a
   /// PLMN is split across cells proportionally to its attached UEs
   /// (equally when none). Publishes telemetry when a registry is set.
+  /// Reports are returned in ascending PLMN order, one per demanded
+  /// PLMN. Precondition: PLMN ids in `demands` are unique.
   ///
   /// When a thread pool is attached, per-cell serving is sharded across
-  /// it. Results are written to per-cell slots and reduced on the
-  /// calling thread in cell order, so the reports and telemetry are
-  /// bit-for-bit identical at any pool size.
+  /// it as one task per cell. Results are written to per-cell slots and
+  /// reduced on the calling thread in cell order, so the reports and
+  /// telemetry are bit-for-bit identical at any pool size.
   std::vector<RanServeReport> serve_epoch(
       std::span<const std::pair<PlmnId, DataRate>> demands, SimTime now);
+
+  /// Allocation-free variant: writes the reports into `out` (cleared
+  /// first; capacity is reused). All per-epoch scratch comes from a
+  /// per-controller arena that is rewound, not freed, between epochs —
+  /// after a warm-up epoch the steady-state serve loop performs no heap
+  /// allocation (pinned by epoch_alloc_test).
+  void serve_epoch_into(std::span<const std::pair<PlmnId, DataRate>> demands, SimTime now,
+                        std::vector<RanServeReport>& out);
+
+  /// Route epochs through the pre-SoA reference implementation (per-cell
+  /// std::vector scratch, std::map reductions). Same results, byte for
+  /// byte — kept as the oracle for the SoA-vs-legacy parity suite in
+  /// determinism_test; the batched kernel is the default.
+  void set_legacy_epoch_path(bool legacy) noexcept { legacy_epoch_path_ = legacy; }
 
   /// Attach a worker pool (non-owning; may be nullptr to detach).
   void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
@@ -161,6 +178,13 @@ class RanController {
     CellId cell;
     PlmnId plmn;
   };
+
+  void serve_epoch_batched(std::span<const std::pair<PlmnId, DataRate>> demands, SimTime now,
+                           std::vector<RanServeReport>& out);
+  void serve_epoch_legacy(std::span<const std::pair<PlmnId, DataRate>> demands, SimTime now,
+                          std::vector<RanServeReport>& out);
+  void observe_cell_telemetry(std::size_t cell_index, SimTime now, PrbCount used,
+                              bool active);
 
   // Telemetry handles interned on first use so the epoch loop never
   // rebuilds "ran.cell.N.*" / "ran.plmn.N.*" key strings.
@@ -190,6 +214,12 @@ class RanController {
   IdAllocator<UeTag> ue_ids_;
   telemetry::MonitorRegistry* registry_;
   ThreadPool* pool_ = nullptr;
+  bool legacy_epoch_path_ = false;
+  /// Per-epoch scratch, reused so steady-state epochs never allocate:
+  /// the arena carries all flat per-cell/per-demand arrays of the
+  /// batched kernel; wander_seeds carries the per-cell RNG streams.
+  Arena epoch_arena_;
+  std::vector<std::uint64_t> wander_seeds_;
   std::vector<CellHandles> cell_handles_;  // index-aligned with cells_
   DenseIdMap<PlmnId, PlmnHandles> plmn_handles_;
   std::string metrics_buffer_;  ///< reused /metrics serialization buffer

@@ -77,11 +77,45 @@ inline constexpr double kDataFraction = 0.75;
   return prb_throughput(cqi) * static_cast<double>(prbs.value);
 }
 
+/// Precomputed per-CQI lookup tables for the batched epoch kernels.
+/// Index is the raw CQI index (1..15; entry 0 unused) so the kernels
+/// read straight from a UeSoa cqi column without constructing Cqi
+/// values. Same numbers `prb_throughput` computes — the tables are the
+/// one shared source for both the scalar and the batched paths.
+struct PhyTables {
+  double prb_bps[16];      ///< bits/s one PRB carries at each CQI
+  double inv_prb_bps[16];  ///< 1 / prb_bps (division-free prbs_needed)
+};
+
+[[nodiscard]] constexpr PhyTables make_phy_tables() noexcept {
+  PhyTables t{};
+  for (int i = 1; i <= 15; ++i) {
+    t.prb_bps[i] = prb_throughput(Cqi{i}).bits_per_second();
+    t.inv_prb_bps[i] = 1.0 / t.prb_bps[i];
+  }
+  return t;
+}
+
+inline constexpr PhyTables kPhyTables = make_phy_tables();
+
+/// Relative slack when converting a rate into a PRB count: quotients
+/// within this fraction of an integer count as that integer, absorbing
+/// the FP representation error of rate / per-PRB-throughput.
+inline constexpr double kPrbRoundingSlack = 1e-9;
+
+/// Ceiling of `quotient` PRBs with the FP guard: a plain std::ceil
+/// returns n+1 when an exactly-integral division lands one ulp above n.
+[[nodiscard]] constexpr int prb_ceil(double quotient) noexcept {
+  const int whole = static_cast<int>(quotient);
+  const double frac = quotient - static_cast<double>(whole);
+  return frac <= kPrbRoundingSlack * (quotient + 1.0) ? whole : whole + 1;
+}
+
 /// Minimum PRBs needed to carry `rate` at quality `cqi` (ceiling).
 [[nodiscard]] inline PrbCount prbs_needed(DataRate rate, Cqi cqi) noexcept {
   if (rate <= DataRate::zero()) return {0};
-  const double per_prb = prb_throughput(cqi).bits_per_second();
-  return {static_cast<int>(std::ceil(rate.bits_per_second() / per_prb))};
+  return {prb_ceil(rate.bits_per_second() *
+                   kPhyTables.inv_prb_bps[static_cast<std::size_t>(cqi.index())])};
 }
 
 }  // namespace slices::ran

@@ -44,30 +44,29 @@ struct PlmnGrant {
   DataRate unserved;    ///< demand left unserved (SLA-relevant)
 };
 
-/// Schedule one epoch. Preconditions: sum of reservations <= total;
+/// Allocation-free scheduling core: writes one grant per load into
+/// `grants` and uses `want` as residual-need scratch (both sized >=
+/// loads.size(), caller-provided — the epoch kernel passes stack or
+/// arena storage). Preconditions: sum of reservations <= total;
 /// reservations and demands non-negative. Deterministic: pool
 /// distribution iterates PLMNs in input order, one PRB at a time
 /// (round-robin water-filling), so equal claims split fairly.
-[[nodiscard]] inline std::vector<PlmnGrant> schedule_epoch(PrbCount total,
-                                                           std::span<const PlmnLoad> loads,
-                                                           SharingPolicy policy) {
-  std::vector<PlmnGrant> grants;
-  grants.reserve(loads.size());
-
+inline void schedule_epoch_into(PrbCount total, std::span<const PlmnLoad> loads,
+                                SharingPolicy policy, std::span<PlmnGrant> grants,
+                                std::span<int> want) noexcept {
   int reserved_sum = 0;
   for (const PlmnLoad& load : loads) reserved_sum += load.reserved.value;
 
   // Phase 1: serve from dedicated reservations.
-  std::vector<int> want;  // residual PRB need per PLMN
-  want.reserve(loads.size());
   int pool = total.value - reserved_sum;
-  for (const PlmnLoad& load : loads) {
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const PlmnLoad& load = loads[i];
     const PrbCount needed = prbs_needed(load.demand, load.cqi);
     const int from_reservation =
         needed.value < load.reserved.value ? needed.value : load.reserved.value;
-    grants.push_back(PlmnGrant{load.plmn, PrbCount{from_reservation}, DataRate::zero(),
-                               DataRate::zero()});
-    want.push_back(needed.value - from_reservation);
+    grants[i] = PlmnGrant{load.plmn, PrbCount{from_reservation}, DataRate::zero(),
+                          DataRate::zero()};
+    want[i] = needed.value - from_reservation;
     if (policy == SharingPolicy::pooled) {
       pool += load.reserved.value - from_reservation;
     }
@@ -96,6 +95,15 @@ struct PlmnGrant {
     grants[i].served = min(loads[i].demand, capacity);
     grants[i].unserved = clamp_non_negative(loads[i].demand - grants[i].served);
   }
+}
+
+/// Vector-returning convenience wrapper over schedule_epoch_into.
+[[nodiscard]] inline std::vector<PlmnGrant> schedule_epoch(PrbCount total,
+                                                           std::span<const PlmnLoad> loads,
+                                                           SharingPolicy policy) {
+  std::vector<PlmnGrant> grants(loads.size());
+  std::vector<int> want(loads.size());
+  schedule_epoch_into(total, loads, policy, grants, want);
   return grants;
 }
 

@@ -1,0 +1,133 @@
+#pragma once
+// Structure-of-arrays store for the per-cell attached-UE population.
+//
+// The epoch hot loops touch exactly three UE attributes — identity,
+// broadcast-PLMN membership and reported CQI — and they touch them for
+// every attached UE, every epoch (the CQI random walk). The AoS layout
+// (`AttachedUe` structs inside a DenseIdMap arena) pulls 32+ bytes per
+// UE through the cache for a 2-byte working set; this store keeps each
+// attribute in its own contiguous column instead, so the wander loop
+// streams a byte array and the batched serve loops index dense rows.
+//
+// Row discipline is bit-compatible with DenseIdMap's slot discipline:
+// rows are assigned in insertion order with erased rows reused LIFO,
+// and iteration is ascending row order skipping holes. A given
+// attach/detach history therefore yields the *same* visit order as the
+// legacy AoS map — the property that keeps RNG consumption (and with it
+// every scorecard) byte-identical between the SoA and legacy paths
+// (pinned by the parity suite in determinism_test and the randomized
+// diff test in dense_map_test).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dense_map.hpp"
+#include "common/ids.hpp"
+#include "ran/phy.hpp"
+
+namespace slices::ran {
+
+class UeSoa {
+ public:
+  static constexpr std::uint32_t kNoRow = ~std::uint32_t{0};
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Total rows (live + holes); the bound for row iteration.
+  [[nodiscard]] std::size_t row_count() const noexcept { return ue_.size(); }
+
+  /// Row of `ue`, or kNoRow.
+  [[nodiscard]] std::uint32_t row_of(UeId ue) const noexcept {
+    const std::uint32_t* row = index_.find(ue);
+    return row == nullptr ? kNoRow : *row;
+  }
+
+  [[nodiscard]] bool contains(UeId ue) const noexcept { return index_.contains(ue); }
+
+  /// Insert a row; returns kNoRow when the UE is already present.
+  /// `plmn_index` is the position of the UE's PLMN in the cell's
+  /// broadcast list (kept index-coded so serve loops never hash).
+  std::uint32_t insert(UeId ue, std::uint8_t plmn_index, Cqi cqi) {
+    if (index_.contains(ue)) return kNoRow;
+    std::uint32_t row;
+    if (!free_.empty()) {
+      row = free_.back();
+      free_.pop_back();
+    } else {
+      row = static_cast<std::uint32_t>(ue_.size());
+      ue_.push_back(UeId::invalid());
+      plmn_.push_back(0);
+      cqi_.push_back(0);
+    }
+    ue_[row] = ue;
+    plmn_[row] = plmn_index;
+    cqi_[row] = static_cast<std::uint8_t>(cqi.index());
+    index_.insert(ue, row);
+    ++size_;
+    return row;
+  }
+
+  /// Erase; returns false when absent. The freed row goes on a LIFO
+  /// free list (same reuse order as DenseIdMap slots).
+  bool erase(UeId ue) {
+    const std::uint32_t* row = index_.find(ue);
+    if (row == nullptr) return false;
+    ue_[*row] = UeId::invalid();
+    free_.push_back(*row);
+    index_.erase(ue);
+    --size_;
+    return true;
+  }
+
+  void clear() noexcept {
+    ue_.clear();
+    plmn_.clear();
+    cqi_.clear();
+    free_.clear();
+    index_.clear();
+    size_ = 0;
+  }
+
+  /// Pre-size columns and index for `n` UEs.
+  void reserve(std::size_t n) {
+    ue_.reserve(n);
+    plmn_.reserve(n);
+    cqi_.reserve(n);
+    index_.reserve(n);
+  }
+
+  // --- Column access (row validity: live(row) / ue_at(row).valid()) -------
+
+  [[nodiscard]] bool live(std::uint32_t row) const noexcept { return ue_[row].valid(); }
+  [[nodiscard]] UeId ue_at(std::uint32_t row) const noexcept { return ue_[row]; }
+  [[nodiscard]] std::uint8_t plmn_index_at(std::uint32_t row) const noexcept {
+    return plmn_[row];
+  }
+  [[nodiscard]] Cqi cqi_at(std::uint32_t row) const noexcept { return Cqi{cqi_[row]}; }
+
+  void set_cqi(std::uint32_t row, Cqi cqi) noexcept {
+    cqi_[row] = static_cast<std::uint8_t>(cqi.index());
+  }
+  /// Re-point a row at another broadcast-list position (PLMN withdrawal
+  /// compaction).
+  void set_plmn_index(std::uint32_t row, std::uint8_t plmn_index) noexcept {
+    plmn_[row] = plmn_index;
+  }
+
+  /// Raw columns for the batched kernels. cqi values are the CQI index
+  /// (1..15); rows where live() is false hold stale bytes — consult the
+  /// ue column.
+  [[nodiscard]] const std::uint8_t* cqi_column() const noexcept { return cqi_.data(); }
+  [[nodiscard]] std::uint8_t* cqi_column() noexcept { return cqi_.data(); }
+  [[nodiscard]] const std::uint8_t* plmn_column() const noexcept { return plmn_.data(); }
+
+ private:
+  std::vector<UeId> ue_;            ///< row -> UE id; invalid() marks a hole
+  std::vector<std::uint8_t> plmn_;  ///< row -> index into the broadcast list
+  std::vector<std::uint8_t> cqi_;   ///< row -> CQI index 1..15
+  std::vector<std::uint32_t> free_; ///< LIFO reusable rows
+  DenseIdMap<UeId, std::uint32_t> index_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace slices::ran

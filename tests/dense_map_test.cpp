@@ -12,8 +12,11 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "ran/ue_soa.hpp"
 
 namespace slices {
 namespace {
@@ -243,6 +246,97 @@ TEST(DenseIdMap, ClearResetsEverything) {
   EXPECT_EQ(map.find(UeId{50}), nullptr);
   map.insert(UeId{50}, 2);
   EXPECT_EQ(*map.find(UeId{50}), 2);
+}
+
+// --- UeSoa column store -----------------------------------------------------
+//
+// The epoch kernel's column store must keep the same contents AND the
+// same iteration order as the legacy AoS layout (an AttachedUe record
+// per DenseIdMap slot) under any attach/detach/CQI-wander history —
+// iteration order is what fixes RNG consumption in the CQI walk, so an
+// order divergence would silently fork every downstream scorecard.
+
+TEST(UeSoa, RandomizedDiffAgainstDenseIdMap) {
+  struct LegacyUe {
+    std::uint8_t plmn_index;
+    std::uint8_t cqi;
+  };
+  ran::UeSoa soa;
+  DenseIdMap<UeId, LegacyUe> legacy;
+
+  Rng rng(0xD1FFu);
+  for (int op = 0; op < 20000; ++op) {
+    const UeId ue{static_cast<std::uint64_t>(rng.uniform_int(1, 300))};
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+      case 1: {  // attach (biased: populations grow)
+        const auto plmn = static_cast<std::uint8_t>(rng.uniform_int(0, 5));
+        const auto cqi_value = static_cast<int>(rng.uniform_int(1, 15));
+        const std::uint32_t row = soa.insert(ue, plmn, ran::Cqi{cqi_value});
+        const bool legacy_inserted =
+            legacy.insert(ue, LegacyUe{plmn, static_cast<std::uint8_t>(cqi_value)}) !=
+            nullptr;
+        ASSERT_EQ(row != ran::UeSoa::kNoRow, legacy_inserted);
+        break;
+      }
+      case 2: {  // detach
+        ASSERT_EQ(soa.erase(ue), legacy.erase(ue));
+        break;
+      }
+      default: {  // CQI wander step on one UE
+        const std::uint32_t row = soa.row_of(ue);
+        LegacyUe* ref = legacy.find(ue);
+        ASSERT_EQ(row != ran::UeSoa::kNoRow, ref != nullptr);
+        if (ref == nullptr) break;
+        const int next = std::min(15, std::max(1, static_cast<int>(ref->cqi) +
+                                                      (rng.bernoulli(0.5) ? 1 : -1)));
+        soa.set_cqi(row, ran::Cqi{next});
+        ref->cqi = static_cast<std::uint8_t>(next);
+        break;
+      }
+    }
+    ASSERT_EQ(soa.size(), legacy.size());
+
+    if (op % 500 == 499) {
+      // The live-row walk must visit the same UEs, with the same
+      // attributes, in the same order as DenseIdMap slot iteration.
+      std::vector<UeId> soa_order;
+      for (std::uint32_t row = 0; row < soa.row_count(); ++row) {
+        if (!soa.live(row)) continue;
+        const UeId seen = soa.ue_at(row);
+        soa_order.push_back(seen);
+        const LegacyUe* ref = legacy.find(seen);
+        ASSERT_NE(ref, nullptr);
+        ASSERT_EQ(soa.plmn_index_at(row), ref->plmn_index);
+        ASSERT_EQ(soa.cqi_at(row).index(), static_cast<int>(ref->cqi));
+      }
+      std::vector<UeId> legacy_order;
+      for (const auto& [seen, unused] : legacy) legacy_order.push_back(seen);
+      ASSERT_EQ(soa_order, legacy_order);
+    }
+  }
+}
+
+TEST(UeSoa, RowsReusedLifoAndColumnsStayAligned) {
+  ran::UeSoa soa;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    EXPECT_EQ(soa.insert(UeId{i}, 0, ran::Cqi{7}), i - 1);
+  }
+  EXPECT_TRUE(soa.erase(UeId{2}));
+  EXPECT_TRUE(soa.erase(UeId{5}));
+  EXPECT_FALSE(soa.live(1));
+  EXPECT_FALSE(soa.live(4));
+  // LIFO: the most recently freed row (4) is handed out first.
+  EXPECT_EQ(soa.insert(UeId{7}, 3, ran::Cqi{12}), 4u);
+  EXPECT_EQ(soa.insert(UeId{8}, 1, ran::Cqi{3}), 1u);
+  EXPECT_EQ(soa.insert(UeId{9}, 2, ran::Cqi{9}), 6u);  // free list empty: append
+  EXPECT_EQ(soa.ue_at(4), UeId{7});
+  EXPECT_EQ(soa.plmn_index_at(4), 3);
+  EXPECT_EQ(soa.cqi_at(1).index(), 3);
+  EXPECT_EQ(soa.size(), 7u);
+  // Duplicate insert is rejected without disturbing the row.
+  EXPECT_EQ(soa.insert(UeId{7}, 0, ran::Cqi{1}), ran::UeSoa::kNoRow);
+  EXPECT_EQ(soa.cqi_at(4).index(), 12);
 }
 
 }  // namespace

@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/testbed.hpp"
 #include "json/value.hpp"
@@ -48,7 +52,7 @@ struct RunResult {
 /// monitoring epochs with overbooking adaptation, one early terminate
 /// and one natural expiry — enough to touch every journaled op and both
 /// active and inactive cell branches.
-RunResult run_scenario(std::size_t epoch_threads) {
+RunResult run_scenario(std::size_t epoch_threads, bool legacy_ran_path = false) {
   // Tracing stays *enabled* for the whole scenario: spans carry
   // sim-clock timestamps (wall clock off), so the exported trace must
   // be as bit-stable as the journal.
@@ -63,6 +67,7 @@ RunResult run_scenario(std::size_t epoch_threads) {
   OrchestratorConfig config;
   config.epoch_threads = epoch_threads;
   auto tb = make_testbed(/*seed=*/77, config);
+  tb->ran.set_legacy_epoch_path(legacy_ran_path);
   tb->orchestrator->attach_store(&store);
 
   const auto submit = [&](traffic::Vertical v, double hours, std::uint64_t seed) {
@@ -140,6 +145,118 @@ TEST(Determinism, RepeatedRunIsBitStable) {
   const RunResult a = run_scenario(2);
   const RunResult b = run_scenario(2);
   expect_identical(a, b);
+}
+
+// --- SoA-vs-legacy parity ---------------------------------------------------
+//
+// The batched epoch kernel (arena scratch, flat per-cell slabs) must be
+// byte-for-byte indistinguishable from the pre-SoA reference path — in
+// the full-testbed scorecard, telemetry, journal and trace.
+
+TEST(Determinism, BatchedKernelMatchesLegacyPathSingleThread) {
+  const RunResult batched = run_scenario(1, /*legacy_ran_path=*/false);
+  const RunResult legacy = run_scenario(1, /*legacy_ran_path=*/true);
+  expect_identical(batched, legacy);
+}
+
+TEST(Determinism, BatchedKernelMatchesLegacyPathPooled) {
+  const RunResult batched = run_scenario(4, /*legacy_ran_path=*/false);
+  const RunResult legacy = run_scenario(4, /*legacy_ran_path=*/true);
+  expect_identical(batched, legacy);
+}
+
+// RAN-level parity at population scale: a controller with tens of cells
+// and 10k/100k attached UEs (with detach holes in the columns) must
+// produce bit-identical serve reports and telemetry on the batched and
+// legacy paths, at every pool size. This is the scorecard the 1M-UE
+// bench relies on.
+std::string ran_scorecard(std::size_t n_ues, std::size_t threads, bool legacy) {
+  telemetry::MonitorRegistry registry;
+  ran::RanController ran(&registry);
+  constexpr std::size_t kCells = 24;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    ran.add_cell(ran::Cell(CellId{i + 1}, "cell-" + std::to_string(i),
+                           ran::Bandwidth::mhz20, ran::SharingPolicy::pooled));
+  }
+  constexpr std::size_t kPlmns = 5;
+  std::vector<PlmnId> plmns;
+  for (std::size_t p = 0; p < kPlmns; ++p) {
+    const PlmnId plmn{900 + p};
+    EXPECT_TRUE(ran.install_plmn(plmn).ok());
+    EXPECT_TRUE(ran.set_allocation(plmn, DataRate::mbps(40.0)).ok());
+    plmns.push_back(plmn);
+  }
+
+  Rng rng(2026);
+  std::vector<UeId> attached;
+  attached.reserve(n_ues);
+  for (std::size_t i = 0; i < n_ues; ++i) {
+    const PlmnId plmn = plmns[rng.uniform_int(0, kPlmns - 1)];
+    const ran::Cqi cqi{static_cast<int>(rng.uniform_int(1, 15))};
+    const Result<UeId> ue = ran.attach_ue(plmn, cqi);
+    EXPECT_TRUE(ue.ok());
+    attached.push_back(ue.value());
+  }
+  // Punch holes: detach ~10% so the SoA free-list/row-reuse machinery
+  // is exercised, then attach a fresh batch into the recycled rows.
+  for (std::size_t i = 0; i < n_ues / 10; ++i) {
+    const std::size_t victim = rng.uniform_int(0, attached.size() - 1);
+    (void)ran.detach_ue(attached[victim]);
+    attached[victim] = attached.back();
+    attached.pop_back();
+  }
+  for (std::size_t i = 0; i < n_ues / 20; ++i) {
+    const PlmnId plmn = plmns[rng.uniform_int(0, kPlmns - 1)];
+    (void)ran.attach_ue(plmn, ran::Cqi{static_cast<int>(rng.uniform_int(1, 15))});
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    ran.set_thread_pool(pool.get());
+  }
+  ran.set_legacy_epoch_path(legacy);
+
+  std::string card;
+  Rng wander_rng(7);
+  std::vector<std::pair<PlmnId, DataRate>> demands;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    ran.wander_cqis(wander_rng, 0.3);
+    demands.clear();
+    for (std::size_t p = 0; p < kPlmns; ++p) {
+      demands.emplace_back(plmns[p], DataRate::mbps(20.0 + 13.0 * static_cast<double>(p) +
+                                                    5.0 * epoch));
+    }
+    const auto reports =
+        ran.serve_epoch(demands, SimTime::from_seconds(epoch * 1.0));
+    for (const ran::RanServeReport& r : reports) {
+      card += std::to_string(r.plmn.value()) + ":";
+      // Hex bit patterns — EQ on these is bit-exactness, not almost-equality.
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%a/%a/%a;", r.demand.bits_per_second(),
+                    r.served.bits_per_second(), r.unserved.bits_per_second());
+      card += buf;
+    }
+    card += "\n";
+  }
+  card += json::serialize(registry.snapshot());
+  return card;
+}
+
+TEST(Determinism, RanParity10kUes) {
+  const std::string legacy = ran_scorecard(10'000, 1, /*legacy=*/true);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{4}}) {
+    EXPECT_EQ(ran_scorecard(10'000, threads, /*legacy=*/false), legacy)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, RanParity100kUes) {
+  const std::string legacy = ran_scorecard(100'000, 1, /*legacy=*/true);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    EXPECT_EQ(ran_scorecard(100'000, threads, /*legacy=*/false), legacy)
+        << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -52,6 +52,35 @@ TEST(Phy, ZeroRateNeedsZeroPrbs) {
   EXPECT_EQ(prbs_needed(DataRate::zero(), Cqi{7}).value, 0);
 }
 
+// Regression: demand that is an exact multiple of the per-PRB rate must
+// need exactly n PRBs. The old std::ceil(rate / per_prb) returned n+1
+// whenever the FP quotient landed one ulp above the integer.
+TEST(Phy, PrbsNeededExactMultiplesDoNotRoundUp) {
+  for (int cqi = 1; cqi <= 15; ++cqi) {
+    const DataRate per_prb = prb_throughput(Cqi{cqi});
+    for (const int n : {1, 2, 3, 7, 25, 100, 4096}) {
+      const DataRate rate = per_prb * static_cast<double>(n);
+      EXPECT_EQ(prbs_needed(rate, Cqi{cqi}).value, n)
+          << "cqi=" << cqi << " n=" << n;
+    }
+  }
+}
+
+// A hair above an exact multiple still rounds up to n+1: the slack
+// only absorbs representation error, not real extra demand.
+TEST(Phy, PrbsNeededJustAboveMultipleRoundsUp) {
+  const DataRate per_prb = prb_throughput(Cqi{10});
+  const DataRate rate = per_prb * 10.0 + DataRate::bps(1000.0);
+  EXPECT_EQ(prbs_needed(rate, Cqi{10}).value, 11);
+}
+
+TEST(Phy, PhyTablesMatchScalarPath) {
+  for (int cqi = 1; cqi <= 15; ++cqi) {
+    EXPECT_EQ(kPhyTables.prb_bps[static_cast<std::size_t>(cqi)],
+              prb_throughput(Cqi{cqi}).bits_per_second());
+  }
+}
+
 // --- scheduler --------------------------------------------------------------
 
 TEST(Scheduler, ReservationsServeFirst) {
