@@ -4,11 +4,26 @@
 // delay-SLA violations, degradation epochs and reroutes for a
 // latency-bound slice riding the mmWave uplink.
 
+// BM_TransportEpochServe/<paths>/<threads>
+//                        — one transport epoch over `paths` installed
+//                          paths on an all-fiber chain, through the SoA
+//                          serve kernel (route CSR + dense link columns,
+//                          arena scratch; `threads`-wide pool, 1 =
+//                          serial). Fiber keeps fading and the repair
+//                          loop out of the measurement.
+// BM_TransportEpochServeLegacy/<paths>
+//                        — same epoch on the retained std::map reference
+//                          path, for the speedup column.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common.hpp"
+#include "common/thread_pool.hpp"
 #include "transport/controller.hpp"
 
 namespace {
@@ -95,6 +110,76 @@ void print_experiment() {
               "5 ms mmWave route, violates only around deep fades, and the repair loop\n"
               "reroutes those away (nonzero reroutes, fewer total violations).\n\n");
 }
+
+/// `n_paths` reservations over a 3-hop all-fiber chain, plus the demand
+/// vector the epoch loop replays.
+struct ServeSystem {
+  std::unique_ptr<transport::TransportController> tc;
+  std::vector<std::pair<PathId, DataRate>> demands;
+
+  explicit ServeSystem(std::size_t n_paths) {
+    transport::Topology topo;
+    const NodeId gw = topo.add_node("gw", transport::NodeKind::enb_gateway);
+    const NodeId s1 = topo.add_node("s1", transport::NodeKind::openflow_switch);
+    const NodeId s2 = topo.add_node("s2", transport::NodeKind::openflow_switch);
+    const NodeId core = topo.add_node("core", transport::NodeKind::core_gateway);
+    const DataRate capacity = DataRate::mbps(2.0 * static_cast<double>(n_paths) + 100.0);
+    topo.add_link(gw, s1, transport::LinkTechnology::fiber, capacity, Duration::millis(1.0));
+    topo.add_link(s1, s2, transport::LinkTechnology::fiber, capacity, Duration::millis(1.0));
+    topo.add_link(s2, core, transport::LinkTechnology::fiber, capacity, Duration::millis(1.0));
+    tc = std::make_unique<transport::TransportController>(std::move(topo), Rng(9));
+    demands.reserve(n_paths);
+    for (std::size_t i = 0; i < n_paths; ++i) {
+      const Result<PathId> path = tc->allocate_path(SliceId{i + 1}, gw, core,
+                                                    DataRate::mbps(2.0), Duration::millis(20.0));
+      if (!path.ok()) std::abort();
+      demands.emplace_back(path.value(), DataRate::mbps(1.5));
+    }
+  }
+};
+
+void BM_TransportEpochServe(benchmark::State& state) {
+  ServeSystem sys(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    sys.tc->set_thread_pool(pool.get());
+  }
+  std::vector<transport::PathServeReport> reports;
+  int i = 0;
+  for (auto _ : state) {
+    sys.tc->serve_epoch_into(sys.demands, SimTime::from_seconds(++i * 900.0), reports);
+    benchmark::DoNotOptimize(reports.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["paths"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_TransportEpochServe)
+    ->Args({1000, 1})
+    ->Args({10000, 1})
+    ->Args({100000, 1})
+    ->Args({100000, 4})
+    ->Args({100000, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TransportEpochServeLegacy(benchmark::State& state) {
+  ServeSystem sys(static_cast<std::size_t>(state.range(0)));
+  sys.tc->set_legacy_epoch_path(true);
+  std::vector<transport::PathServeReport> reports;
+  int i = 0;
+  for (auto _ : state) {
+    sys.tc->serve_epoch_into(sys.demands, SimTime::from_seconds(++i * 900.0), reports);
+    benchmark::DoNotOptimize(reports.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["paths"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_TransportEpochServeLegacy)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_ServeEpochWithFading(benchmark::State& state) {
   transport::Topology topo;

@@ -22,6 +22,13 @@
 //                        — same epoch on the pre-SoA reference path
 //                          (per-cell vectors, std::map reduction), for
 //                          the kernel-vs-legacy speedup column.
+// BM_Wander/<ues>        — the CQI wander alone, through the batched
+//                          branchless kernel (one RNG word per four
+//                          rows, a 16-bit lane each; mask-and-clamp
+//                          apply over the SoA byte columns; AVX2 when
+//                          built with SLICES_ENABLE_SIMD).
+// BM_WanderLegacy/<ues>  — the retained per-row bernoulli walk, for the
+//                          wander speedup column.
 
 #include <benchmark/benchmark.h>
 
@@ -171,6 +178,33 @@ void BM_EpochServeLegacy(benchmark::State& state) {
   state.counters["active_ues"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_EpochServeLegacy)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Wander(benchmark::State& state) {
+  ChurnSystem sys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    sys.ran.wander_cqis(sys.rng);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["active_ues"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Wander)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_WanderLegacy(benchmark::State& state) {
+  ChurnSystem sys(static_cast<std::size_t>(state.range(0)));
+  sys.ran.set_legacy_wander_path(true);
+  for (auto _ : state) {
+    sys.ran.wander_cqis(sys.rng);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["active_ues"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_WanderLegacy)
     ->Arg(100000)
     ->Arg(1000000)
     ->Unit(benchmark::kMicrosecond);

@@ -798,8 +798,10 @@ void Orchestrator::run_epoch(SimTime now) {
   std::map<PlmnId, DataRate> radio_served;
   for (const ran::RanServeReport& r : radio_reports) radio_served.emplace(r.plmn, r.served);
 
-  // 3. Transport carries what the radio delivered.
-  std::vector<std::pair<PathId, DataRate>> path_demands;
+  // 3. Transport carries what the radio delivered (allocation-free
+  // epoch kernel over reused buffers; see transport/controller.hpp).
+  std::vector<std::pair<PathId, DataRate>>& path_demands = epoch_path_demands_;
+  path_demands.clear();
   for (auto& [slice, record] : records_) {
     if (record.state != SliceState::active || record.embedding.paths.empty()) continue;
     const auto served = radio_served.find(record.embedding.plmn);
@@ -807,11 +809,11 @@ void Orchestrator::run_epoch(SimTime now) {
         served == radio_served.end() ? DataRate::zero() : min(demand_of[slice], served->second);
     path_demands.emplace_back(record.embedding.paths.front(), offered);
   }
-  std::vector<transport::PathServeReport> path_reports;
+  std::vector<transport::PathServeReport>& path_reports = epoch_path_reports_;
   {
     TRACE_SCOPE("orch.epoch.transport_serve");
     WallPhaseTimer timer(hist_.transport_us);
-    path_reports = transport_->serve_epoch(path_demands, now);
+    transport_->serve_epoch_into(path_demands, now, path_reports);
   }
   std::map<SliceId, const transport::PathServeReport*> path_by_slice;
   for (const transport::PathServeReport& r : path_reports) path_by_slice.emplace(r.slice, &r);

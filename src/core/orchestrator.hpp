@@ -406,9 +406,12 @@ class Orchestrator {
   EpochHistograms hist_;
 
   // Per-epoch scratch, reused so the steady-state epoch loop does not
-  // reallocate the demand/report vectors it hands to the RAN kernel.
+  // reallocate the demand/report vectors it hands to the RAN and
+  // transport kernels.
   std::vector<std::pair<PlmnId, DataRate>> epoch_ran_demands_;
   std::vector<ran::RanServeReport> epoch_radio_reports_;
+  std::vector<std::pair<PathId, DataRate>> epoch_path_demands_;
+  std::vector<transport::PathServeReport> epoch_path_reports_;
 
   // Freshness facts for /healthz (wall duration is -1 while wall-clock
   // profiling is off).

@@ -4,7 +4,115 @@
 #include <array>
 #include <cassert>
 
+#if defined(SLICES_ENABLE_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace slices::ran {
+
+namespace {
+
+/// Rows per wander block: one AVX2 register of CQI bytes.
+constexpr std::size_t kWanderBlock = 32;
+
+#if defined(SLICES_ENABLE_SIMD) && defined(__AVX2__)
+constexpr bool kWanderSimdCompiled = true;
+#else
+constexpr bool kWanderSimdCompiled = false;
+#endif
+
+bool g_wander_simd = kWanderSimdCompiled;
+
+// The fill and apply loops below carry no loop-carried dependence, but
+// GCC only proves that (and vectorizes both) when the column pointers
+// are restrict-qualified *parameters* and the loops are marked ivdep —
+// hence the out-of-line kernel instead of a member-function body.
+#if defined(__GNUC__)
+#define SLICES_WANDER_IVDEP _Pragma("GCC ivdep")
+#else
+#define SLICES_WANDER_IVDEP
+#endif
+
+/// Block-batched CQI walk over the SoA byte columns. Entropy budget:
+/// one xoshiro word per *four* rows — row j of a block reads the 16-bit
+/// lane `(word[j/4] >> ((j%4)*16)) & 0xFFFF`, the lane's low bit is the
+/// step sign and its upper 15 bits gate the step against p·2^15. Words
+/// are drawn for live rows and holes alike, so RNG consumption is a
+/// pure function of the row count. Per-PLMN CQI-sum deltas accumulate
+/// into `delta` (indexed by broadcast position).
+__attribute__((noinline)) void wander_kernel(std::uint8_t* __restrict cqi,
+                                             const std::uint8_t* __restrict plmn,
+                                             const std::uint8_t* __restrict live,
+                                             std::size_t rows, Rng& rng, std::uint32_t thresh,
+                                             std::int64_t* __restrict delta) {
+  alignas(32) std::array<std::int8_t, kWanderBlock> step;
+  alignas(32) std::array<std::int8_t, kWanderBlock> applied;
+  for (std::size_t base = 0; base < rows; base += kWanderBlock) {
+    const std::size_t n = std::min(kWanderBlock, rows - base);
+    // The RNG stream is inherently serial; unpack the block's words
+    // into per-row ±1/0 steps so the apply pass below is pure column
+    // arithmetic (auto-vectorized, or explicitly SIMD when enabled).
+    const std::size_t n_words = (n + 3) / 4;
+    for (std::size_t k = 0; k < n_words; ++k) {
+      // Unpacking rides along inside the (serial, unvectorizable) RNG
+      // loop on purpose: GCC 12's cost model otherwise SSE-widens the
+      // 16-bit lane extraction into a spill-heavy dword unpack that is
+      // ~3x slower than this scalar form.
+      const std::uint64_t w = rng.next_u64();
+      std::int8_t* s = step.data() + 4 * k;
+      for (std::size_t l = 0; l < 4; ++l) {
+        const auto c = static_cast<std::uint32_t>(w >> (l * 16)) & 0xFFFFU;
+        s[l] = static_cast<std::int8_t>(((c >> 1) < thresh ? 1 : 0) * ((c & 1U) != 0 ? 1 : -1));
+      }
+    }
+#if defined(SLICES_ENABLE_SIMD) && defined(__AVX2__)
+    if (g_wander_simd && n == kWanderBlock) {
+      // Vector apply: add the step lanes, clamp to [1,15], keep the old
+      // byte on dead rows. CQI values stay within [0,16] so signed
+      // 8-bit saturation is never in play; the lane arithmetic matches
+      // the scalar core bit for bit.
+      const __m256i vold = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cqi + base));
+      const __m256i vstep = _mm256_load_si256(reinterpret_cast<const __m256i*>(step.data()));
+      const __m256i vlive = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(live + base));
+      __m256i vnext = _mm256_add_epi8(vold, vstep);
+      vnext = _mm256_max_epi8(vnext, _mm256_set1_epi8(1));
+      vnext = _mm256_min_epi8(vnext, _mm256_set1_epi8(15));
+      const __m256i vdead = _mm256_cmpeq_epi8(vlive, _mm256_setzero_si256());
+      vnext = _mm256_blendv_epi8(vnext, vold, vdead);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(applied.data()),
+                         _mm256_sub_epi8(vnext, vold));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(cqi + base), vnext);
+      for (std::size_t j = 0; j < kWanderBlock; ++j) {
+        delta[plmn[base + j]] += applied[j];
+      }
+      continue;
+    }
+#endif
+    SLICES_WANDER_IVDEP
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t row = base + j;
+      const int old = static_cast<int>(cqi[row]);
+      int next = old + step[j];
+      next = next < 1 ? 1 : (next > 15 ? 15 : next);
+      const int d = live[row] != 0 ? next - old : 0;
+      applied[j] = static_cast<std::int8_t>(d);
+      cqi[row] = static_cast<std::uint8_t>(old + d);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      delta[plmn[base + j]] += applied[j];
+    }
+  }
+}
+
+}  // namespace
+
+bool wander_simd_compiled() noexcept { return kWanderSimdCompiled; }
+
+void set_wander_simd_enabled(bool enabled) noexcept {
+  g_wander_simd = enabled && kWanderSimdCompiled;
+}
+
+bool wander_simd_enabled() noexcept { return g_wander_simd; }
 
 Cell::Cell(CellId id, std::string name, Bandwidth bandwidth, SharingPolicy policy)
     : id_(id), name_(std::move(name)), total_(prbs_for(bandwidth)), policy_(policy) {}
@@ -119,9 +227,22 @@ std::optional<PlmnId> Cell::ue_plmn(UeId ue) const noexcept {
 }
 
 void Cell::wander_cqis(Rng& rng, double step_probability) {
-  // Streams the CQI byte column in row order; per-PLMN aggregate deltas
-  // are accumulated locally and folded in once at the end, so the inner
-  // loop touches only the two UE columns and the RNG.
+  // Batched branchless kernel over the SoA byte columns; see
+  // wander_kernel above for the lane scheme and RNG-stream contract.
+  // 15 bits of threshold resolution (p quantized to 1/32768ths) is far
+  // below the sampling noise of any population this walk models.
+  const double p = std::clamp(step_probability, 0.0, 1.0);
+  const auto thresh = static_cast<std::uint32_t>(p * 32768.0);  // p * 2^15
+  std::array<std::int64_t, kMaxBroadcastPlmns> delta{};
+  wander_kernel(ues_.cqi_column(), ues_.plmn_column(), ues_.live_column(), ues_.row_count(),
+                rng, thresh, delta.data());
+  for (std::size_t i = 0; i < broadcast_.size(); ++i) plmn_stats_[i].cqi_sum += delta[i];
+}
+
+void Cell::wander_cqis_legacy(Rng& rng, double step_probability) {
+  // Pre-vectorization reference: per live row, bernoulli(p) gates the
+  // step and a second bernoulli draws the sign. RNG consumption is
+  // data-dependent (live rows only, extra draw when stepping).
   std::uint8_t* cqi = ues_.cqi_column();
   const std::uint8_t* plmn = ues_.plmn_column();
   std::array<std::int64_t, kMaxBroadcastPlmns> delta{};

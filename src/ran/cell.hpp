@@ -123,11 +123,21 @@ class Cell {
   [[nodiscard]] std::optional<PlmnId> ue_plmn(UeId ue) const noexcept;
 
   /// Random-walk every attached UE's CQI by ±1 (clamped to [1,15]) with
-  /// probability `step_probability` each. Iterates UEs in row order —
-  /// deterministic for a given attach/detach history, which keeps the
-  /// RNG consumption order reproducible (and identical to the legacy
-  /// AoS iteration order).
+  /// probability `step_probability` each. Batched branchless kernel over
+  /// the SoA byte columns: one RNG word is drawn per *four rows* (live
+  /// or hole, in row order; each row consumes an independent 16-bit
+  /// lane), so consumption depends only on the row count — never on the
+  /// data — and the optional SIMD apply path (see wander_simd_compiled)
+  /// is bit-identical to the scalar-blocked core. RNG consumption
+  /// differs from wander_cqis_legacy, so the two produce different (but
+  /// identically-distributed) walks.
   void wander_cqis(Rng& rng, double step_probability);
+
+  /// Pre-vectorization reference walk: per live row, one bernoulli draw
+  /// decides stepping and a second draws the sign. Kept as the oracle
+  /// for the distribution-parity suite (ran_test) and reachable via
+  /// RanController::set_legacy_wander_path.
+  void wander_cqis_legacy(Rng& rng, double step_probability);
 
   [[nodiscard]] std::size_t attached_count(PlmnId plmn) const noexcept;
   /// Same by broadcast position (no PLMN scan); `index` < broadcast_count().
@@ -181,5 +191,16 @@ class Cell {
   DenseIdMap<PlmnId, PrbCount> reservations_;
   UeSoa ues_;                                   // columnar attached-UE store
 };
+
+/// True when this binary carries the explicit SIMD wander apply path
+/// (built with SLICES_ENABLE_SIMD on an AVX2 target).
+[[nodiscard]] bool wander_simd_compiled() noexcept;
+
+/// Runtime toggle for the SIMD apply path (defaults to on when
+/// compiled in). The scalar-blocked core is the reference; the parity
+/// suite flips this to prove the two variants are bit-identical.
+/// No-op when the SIMD path is not compiled in.
+void set_wander_simd_enabled(bool enabled) noexcept;
+[[nodiscard]] bool wander_simd_enabled() noexcept;
 
 }  // namespace slices::ran

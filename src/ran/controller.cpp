@@ -196,10 +196,15 @@ void RanController::wander_cqis(Rng& rng, double step_probability) {
   struct WanderCtx {
     RanController* self;
     double p;
-  } ctx{this, step_probability};
+    bool legacy;
+  } ctx{this, step_probability, legacy_wander_path_};
   const auto wander_cell = [&ctx](std::size_t i) {
     Rng local(ctx.self->wander_seeds_[i]);
-    ctx.self->cells_[i].wander_cqis(local, ctx.p);
+    if (ctx.legacy) {
+      ctx.self->cells_[i].wander_cqis_legacy(local, ctx.p);
+    } else {
+      ctx.self->cells_[i].wander_cqis(local, ctx.p);
+    }
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(cells_.size(), wander_cell);

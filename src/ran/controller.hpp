@@ -113,7 +113,17 @@ class RanController {
   /// Channel-quality dynamics: random-walk every attached UE's CQI by
   /// ±1 (clamped to [1,15]) with probability `step_probability` each —
   /// the periodic CQI feedback real eNBs receive. Call once per epoch.
+  /// Dispatches to the vectorized per-cell kernel (Cell::wander_cqis)
+  /// unless set_legacy_wander_path is on.
   void wander_cqis(Rng& rng, double step_probability = 0.3);
+
+  /// Route CQI walks through the pre-vectorization per-row reference
+  /// (Cell::wander_cqis_legacy). The two paths consume the per-cell RNG
+  /// streams differently, so they produce different (identically
+  /// distributed) walks — this switch is separate from
+  /// set_legacy_epoch_path so serve-path parity runs wander identically
+  /// on both sides.
+  void set_legacy_wander_path(bool legacy) noexcept { legacy_wander_path_ = legacy; }
 
   /// X2-style handover: move `ue` to `target`, preserving its PLMN and
   /// reported CQI. Errors: not_found (unknown UE/cell), conflict (UE
@@ -215,6 +225,7 @@ class RanController {
   telemetry::MonitorRegistry* registry_;
   ThreadPool* pool_ = nullptr;
   bool legacy_epoch_path_ = false;
+  bool legacy_wander_path_ = false;
   /// Per-epoch scratch, reused so steady-state epochs never allocate:
   /// the arena carries all flat per-cell/per-demand arrays of the
   /// batched kernel; wander_seeds carries the per-cell RNG streams.

@@ -58,10 +58,12 @@ class UeSoa {
       ue_.push_back(UeId::invalid());
       plmn_.push_back(0);
       cqi_.push_back(0);
+      live_.push_back(0);
     }
     ue_[row] = ue;
     plmn_[row] = plmn_index;
     cqi_[row] = static_cast<std::uint8_t>(cqi.index());
+    live_[row] = 1;
     index_.insert(ue, row);
     ++size_;
     return row;
@@ -73,6 +75,7 @@ class UeSoa {
     const std::uint32_t* row = index_.find(ue);
     if (row == nullptr) return false;
     ue_[*row] = UeId::invalid();
+    live_[*row] = 0;
     free_.push_back(*row);
     index_.erase(ue);
     --size_;
@@ -83,6 +86,7 @@ class UeSoa {
     ue_.clear();
     plmn_.clear();
     cqi_.clear();
+    live_.clear();
     free_.clear();
     index_.clear();
     size_ = 0;
@@ -93,6 +97,7 @@ class UeSoa {
     ue_.reserve(n);
     plmn_.reserve(n);
     cqi_.reserve(n);
+    live_.reserve(n);
     index_.reserve(n);
   }
 
@@ -120,11 +125,15 @@ class UeSoa {
   [[nodiscard]] const std::uint8_t* cqi_column() const noexcept { return cqi_.data(); }
   [[nodiscard]] std::uint8_t* cqi_column() noexcept { return cqi_.data(); }
   [[nodiscard]] const std::uint8_t* plmn_column() const noexcept { return plmn_.data(); }
+  /// 1 for live rows, 0 for holes — the branchless wander kernel masks
+  /// with this byte instead of consulting the 8-byte ue column.
+  [[nodiscard]] const std::uint8_t* live_column() const noexcept { return live_.data(); }
 
  private:
   std::vector<UeId> ue_;            ///< row -> UE id; invalid() marks a hole
   std::vector<std::uint8_t> plmn_;  ///< row -> index into the broadcast list
   std::vector<std::uint8_t> cqi_;   ///< row -> CQI index 1..15
+  std::vector<std::uint8_t> live_;  ///< row -> 1 when live (mask column)
   std::vector<std::uint32_t> free_; ///< LIFO reusable rows
   DenseIdMap<UeId, std::uint32_t> index_;
   std::size_t size_ = 0;

@@ -1,6 +1,7 @@
 #include "transport/controller.hpp"
 
 #include <cassert>
+#include <map>
 #include <string>
 
 #include "json/value.hpp"
@@ -11,11 +12,16 @@ namespace slices::transport {
 
 TransportController::TransportController(Topology topology, Rng rng,
                                          telemetry::MonitorRegistry* registry)
-    : topology_(std::move(topology)), fading_(topology_, rng), registry_(registry) {}
+    : topology_(std::move(topology)), fading_(topology_, rng), registry_(registry) {
+  // The topology is append-only and owned here, so the per-link columns
+  // are sized once for its lifetime.
+  reserved_by_slot_.assign(topology_.link_count(), DataRate::zero());
+  link_down_.assign(topology_.link_count(), 0);
+}
 
 DataRate TransportController::reserved_on(LinkId link) const noexcept {
-  const auto it = reserved_.find(link);
-  return it == reserved_.end() ? DataRate::zero() : it->second;
+  const std::uint32_t slot = topology_.link_slot(link);
+  return slot == Topology::kNoSlot ? DataRate::zero() : reserved_by_slot_[slot];
 }
 
 DataRate TransportController::residual(const Link& link) const noexcept {
@@ -24,13 +30,9 @@ DataRate TransportController::residual(const Link& link) const noexcept {
 }
 
 Result<void> TransportController::set_link_up(LinkId link, bool up) {
-  if (topology_.find_link(link) == nullptr)
-    return make_error(Errc::not_found, "unknown link");
-  if (up) {
-    down_links_.erase(link);
-  } else {
-    down_links_.insert(link);
-  }
+  const std::uint32_t slot = topology_.link_slot(link);
+  if (slot == Topology::kNoSlot) return make_error(Errc::not_found, "unknown link");
+  link_down_[slot] = up ? 0 : 1;
   return {};
 }
 
@@ -69,7 +71,11 @@ Result<PathId> TransportController::allocate_path(SliceId slice, NodeId src, Nod
   reserve_bandwidth(reservation.route, rate);
   install_rules(reservation);
   const PathId id = reservation.id;
-  paths_.emplace(id.value(), std::move(reservation));
+  const PathReservation* stored = paths_.insert(id, std::move(reservation));
+  assert(stored != nullptr);
+  const std::uint32_t slot = paths_.slot_of(id);
+  install_route_columns(slot, stored->route);
+  install_serve_columns(slot, *stored);
   return id;
 }
 
@@ -77,7 +83,7 @@ Result<void> TransportController::restore_path(PathId id, SliceId slice, NodeId 
                                                NodeId dst, DataRate rate, Duration max_delay,
                                                PathObjective objective) {
   if (!id.valid()) return make_error(Errc::invalid_argument, "invalid path id");
-  if (paths_.contains(id.value())) {
+  if (paths_.contains(id)) {
     return make_error(Errc::conflict,
                       "path " + std::to_string(id.value()) + " already installed");
   }
@@ -107,7 +113,32 @@ Result<void> TransportController::restore_path(PathId id, SliceId slice, NodeId 
 
   reserve_bandwidth(reservation.route, rate);
   install_rules(reservation);
-  paths_.emplace(id.value(), std::move(reservation));
+  const PathReservation* stored = paths_.insert(id, std::move(reservation));
+  assert(stored != nullptr);
+  const std::uint32_t slot = paths_.slot_of(id);
+  install_route_columns(slot, stored->route);
+  install_serve_columns(slot, *stored);
+  path_ids_.advance_past(id);
+  return {};
+}
+
+Result<void> TransportController::restore_path_exact(PathReservation reservation) {
+  if (!reservation.id.valid()) return make_error(Errc::invalid_argument, "invalid path id");
+  if (reservation.reserved <= DataRate::zero()) {
+    return make_error(Errc::invalid_argument, "rate must be > 0");
+  }
+  if (paths_.contains(reservation.id)) {
+    return make_error(Errc::conflict, "path " + std::to_string(reservation.id.value()) +
+                                          " already installed");
+  }
+  const PathId id = reservation.id;
+  reserve_bandwidth(reservation.route, reservation.reserved);
+  install_rules(reservation);
+  const PathReservation* stored = paths_.insert(id, std::move(reservation));
+  assert(stored != nullptr);
+  const std::uint32_t slot = paths_.slot_of(id);
+  install_route_columns(slot, stored->route);
+  install_serve_columns(slot, *stored);
   path_ids_.advance_past(id);
   return {};
 }
@@ -115,7 +146,9 @@ Result<void> TransportController::restore_path(PathId id, SliceId slice, NodeId 
 void TransportController::install_rules(PathReservation& reservation) {
   for (const LinkId link_id : reservation.route.links) {
     const Link* link = topology_.find_link(link_id);
-    assert(link != nullptr);
+    // A verbatim-restored route may reference links unknown to the
+    // current topology; they carry nothing and get no rule.
+    if (link == nullptr) continue;
     // One rule per traversed node. A slice can hold several paths (e.g.
     // RAN->edge and edge->core legs) whose node sets overlap; reuse the
     // existing rule in that case.
@@ -129,20 +162,94 @@ void TransportController::install_rules(PathReservation& reservation) {
 
 void TransportController::reserve_bandwidth(const Route& route, DataRate rate) {
   for (const LinkId link : route.links) {
-    reserved_[link] = reserved_on(link) + rate;
+    const std::uint32_t slot = topology_.link_slot(link);
+    if (slot == Topology::kNoSlot) continue;  // unknown link reserves nothing
+    reserved_by_slot_[slot] += rate;
   }
 }
 
 void TransportController::release_bandwidth(const Route& route, DataRate rate) {
   for (const LinkId link : route.links) {
-    reserved_[link] = clamp_non_negative(reserved_on(link) - rate);
+    const std::uint32_t slot = topology_.link_slot(link);
+    if (slot == Topology::kNoSlot) continue;
+    reserved_by_slot_[slot] = clamp_non_negative(reserved_by_slot_[slot] - rate);
   }
 }
 
+void TransportController::install_route_columns(std::uint32_t path_slot, const Route& route) {
+  if (path_slot >= route_offset_.size()) {
+    route_offset_.resize(path_slot + 1, 0);
+    route_len_.resize(path_slot + 1, 0);
+    route_delay_.resize(path_slot + 1, Duration::zero());
+  }
+  route_offset_[path_slot] = static_cast<std::uint32_t>(route_links_.size());
+  route_len_[path_slot] = static_cast<std::uint32_t>(route.links.size());
+  Duration delay = Duration::zero();
+  for (const LinkId link_id : route.links) {
+    const std::uint32_t slot = topology_.link_slot(link_id);
+    route_links_.push_back(slot);
+    // Unknown links (verbatim-restored routes) contribute no delay —
+    // they zero the serve factor instead.
+    if (slot != Topology::kNoSlot) delay += topology_.links()[slot].delay;
+  }
+  route_delay_[path_slot] = delay;
+  route_live_words_ += route.links.size();
+}
+
+void TransportController::clear_route_columns(std::uint32_t path_slot) {
+  route_live_words_ -= route_len_[path_slot];
+  route_len_[path_slot] = 0;
+  route_delay_[path_slot] = Duration::zero();
+  // Repack once dead words outnumber live ones (amortized O(1); cold —
+  // only releases and reroutes abandon spans).
+  if (route_links_.size() >= 64 && route_links_.size() - route_live_words_ > route_live_words_) {
+    compact_route_arena();
+  }
+}
+
+void TransportController::install_serve_columns(std::uint32_t path_slot,
+                                                const PathReservation& reservation) {
+  if (path_slot >= path_reserved_.size()) {
+    path_reserved_.resize(path_slot + 1, DataRate::zero());
+    path_sla_.resize(path_slot + 1, Duration::zero());
+    path_slice_.resize(path_slot + 1, SliceId{});
+  }
+  path_reserved_[path_slot] = reservation.reserved;
+  path_sla_[path_slot] = reservation.max_delay;
+  path_slice_[path_slot] = reservation.slice;
+  const std::uint64_t v = reservation.id.value();
+  if (v < kMaxFlatPathId) {
+    if (v >= path_slot_by_id_.size()) {
+      path_slot_by_id_.resize(v + 1, DenseIdMap<PathId, PathReservation>::kNoSlot);
+    }
+    path_slot_by_id_[v] = path_slot;
+  }
+}
+
+void TransportController::forget_path_slot(PathId id) noexcept {
+  const std::uint64_t v = id.value();
+  if (v < path_slot_by_id_.size()) {
+    path_slot_by_id_[v] = DenseIdMap<PathId, PathReservation>::kNoSlot;
+  }
+}
+
+void TransportController::compact_route_arena() {
+  std::vector<std::uint32_t> packed;
+  packed.reserve(route_live_words_);
+  for (std::uint32_t slot = 0; slot < paths_.slot_count(); ++slot) {
+    if (!(paths_.slot_at(slot).key.valid())) continue;
+    const std::uint32_t off = route_offset_[slot];
+    const std::uint32_t len = route_len_[slot];
+    route_offset_[slot] = static_cast<std::uint32_t>(packed.size());
+    packed.insert(packed.end(), route_links_.begin() + off, route_links_.begin() + off + len);
+  }
+  route_links_ = std::move(packed);
+}
+
 Result<void> TransportController::resize_path(PathId path, DataRate new_rate) {
-  const auto it = paths_.find(path.value());
-  if (it == paths_.end()) return make_error(Errc::not_found, "unknown path");
-  PathReservation& reservation = it->second;
+  PathReservation* found = paths_.find(path);
+  if (found == nullptr) return make_error(Errc::not_found, "unknown path");
+  PathReservation& reservation = *found;
   if (new_rate < DataRate::zero())
     return make_error(Errc::invalid_argument, "negative rate");
 
@@ -150,7 +257,9 @@ Result<void> TransportController::resize_path(PathId path, DataRate new_rate) {
   if (delta > DataRate::zero()) {
     for (const LinkId link_id : reservation.route.links) {
       const Link* link = topology_.find_link(link_id);
-      if (residual(*link) < delta) {
+      // An unknown (verbatim-restored) link carries nothing, so it can
+      // never absorb a grow.
+      if (link == nullptr || residual(*link) < delta) {
         return make_error(Errc::insufficient_capacity,
                           "link " + std::to_string(link_id.value()) +
                               " cannot absorb the increase");
@@ -163,26 +272,33 @@ Result<void> TransportController::resize_path(PathId path, DataRate new_rate) {
     release_bandwidth(reservation.route, clamp_non_negative(reservation.reserved - new_rate));
   }
   reservation.reserved = new_rate;
+  path_reserved_[paths_.slot_of(path)] = new_rate;
   return {};
 }
 
 Result<void> TransportController::release_path(PathId path) {
-  const auto it = paths_.find(path.value());
-  if (it == paths_.end()) return make_error(Errc::not_found, "unknown path");
-  release_bandwidth(it->second.route, it->second.reserved);
+  const std::uint32_t path_slot = paths_.slot_of(path);
+  if (path_slot == DenseIdMap<PathId, PathReservation>::kNoSlot) {
+    return make_error(Errc::not_found, "unknown path");
+  }
+  PathReservation& stored = paths_.slot_at(path_slot).value;
+  release_bandwidth(stored.route, stored.reserved);
   // Remove this path's flow rules unless another path of the same slice
   // still uses the node.
-  const SliceId slice = it->second.slice;
-  const PathReservation removed = it->second;
-  paths_.erase(it);
+  const SliceId slice = stored.slice;
+  const PathReservation removed = std::move(stored);
+  clear_route_columns(path_slot);
+  forget_path_slot(path);
+  paths_.erase(path);
   for (const LinkId link_id : removed.route.links) {
     const Link* link = topology_.find_link(link_id);
+    if (link == nullptr) continue;  // unknown link: no rule was installed
     bool still_used = false;
     for (const auto& [other_id, other] : paths_) {
       if (other.slice != slice) continue;
       for (const LinkId other_link : other.route.links) {
         const Link* ol = topology_.find_link(other_link);
-        if (ol->from == link->from) {
+        if (ol != nullptr && ol->from == link->from) {
           still_used = true;
           break;
         }
@@ -201,8 +317,7 @@ Result<void> TransportController::release_path(PathId path) {
 }
 
 const PathReservation* TransportController::find_path(PathId path) const noexcept {
-  const auto it = paths_.find(path.value());
-  return it == paths_.end() ? nullptr : &it->second;
+  return paths_.find(path);
 }
 
 std::vector<PathId> TransportController::paths_of(SliceId slice) const {
@@ -239,6 +354,10 @@ void TransportController::try_reroute(PathReservation& reservation) {
   release_bandwidth(reservation.route, reservation.reserved);
   flows_.remove_slice(reservation.slice);
   reservation.route = *fresh;
+  const std::uint32_t path_slot = paths_.slot_of(reservation.id);
+  assert((path_slot != DenseIdMap<PathId, PathReservation>::kNoSlot));
+  clear_route_columns(path_slot);
+  install_route_columns(path_slot, reservation.route);
   reserve_bandwidth(reservation.route, reservation.reserved);
   install_rules(reservation);
   // Reinstall rules of the slice's *other* paths dropped by remove_slice.
@@ -252,6 +371,173 @@ void TransportController::try_reroute(PathReservation& reservation) {
 
 std::vector<PathServeReport> TransportController::serve_epoch(
     std::span<const std::pair<PathId, DataRate>> demands, SimTime now) {
+  std::vector<PathServeReport> reports;
+  serve_epoch_into(demands, now, reports);
+  return reports;
+}
+
+void TransportController::publish_path_telemetry(const PathServeReport& report, SimTime now) {
+  PathHandles* handles = path_handles_.find(report.path);
+  if (handles == nullptr) {
+    const std::string prefix = "transport.path." + std::to_string(report.path.value());
+    handles = path_handles_.insert(
+        report.path, PathHandles{registry_->handle(prefix + ".served_mbps"),
+                                 registry_->handle(prefix + ".delay_ms")});
+  }
+  handles->served.observe(now, report.served.as_mbps());
+  handles->delay.observe(now, report.experienced_delay.as_millis());
+}
+
+void TransportController::publish_totals_telemetry(SimTime now) {
+  double reserved_total = 0.0;
+  double capacity_total = 0.0;
+  for (const Link& link : topology_.links()) {
+    reserved_total += reserved_on(link.id).as_mbps();
+    capacity_total += current_capacity(link).as_mbps();
+  }
+  if (!reserved_total_.valid()) {
+    reserved_total_ = registry_->handle("transport.reserved_mbps");
+    capacity_total_ = registry_->handle("transport.capacity_mbps");
+  }
+  reserved_total_.observe(now, reserved_total);
+  capacity_total_.observe(now, capacity_total);
+}
+
+void TransportController::serve_epoch_into(
+    std::span<const std::pair<PathId, DataRate>> demands, SimTime now,
+    std::vector<PathServeReport>& out) {
+  if (legacy_epoch_path_) {
+    serve_epoch_legacy(demands, now, out);
+    return;
+  }
+  TRACE_SCOPE("transport.serve_epoch");
+  fading_.step();
+
+  const std::size_t n_links = topology_.link_count();
+  const std::vector<Link>& links = topology_.links();
+  const std::size_t n = demands.size();
+
+  // All scratch is carved from the epoch arena up front (reserve first:
+  // arena growth mid-epoch would dangle earlier spans), so steady-state
+  // epochs never allocate. Reports are written straight into `out`
+  // (resized, caller-retained capacity) rather than staged and copied.
+  epoch_arena_.reset();
+  epoch_arena_.reserve(n_links * sizeof(double) +
+                       n * (sizeof(PathId) + sizeof(std::uint8_t)) + 128);
+  std::span<double> scale = epoch_arena_.alloc_array<double>(n_links);
+  std::span<PathId> repair = epoch_arena_.alloc_array<PathId>(n);
+  std::span<std::uint8_t> valid = epoch_arena_.alloc_array<std::uint8_t>(n);
+  out.clear();
+  out.resize(n);
+
+  // Per-link scale column by slot: 1.0 unless fading pushed effective
+  // capacity below the total reservation, in which case every
+  // traversing path is scaled by cap/reserved.
+  for (std::size_t slot = 0; slot < n_links; ++slot) {
+    double s = 1.0;
+    const DataRate reserved = reserved_by_slot_[slot];
+    if (reserved > DataRate::zero()) {
+      const DataRate capacity =
+          link_down_[slot] != 0
+              ? DataRate::zero()
+              : links[slot].nominal_capacity * fading_.factor_at_slot(slot);
+      if (!(capacity >= reserved)) s = capacity / reserved;
+    }
+    scale[slot] = s;
+  }
+
+  // Phase 1 — per-path serving, shardable across the pool: each task
+  // reads the serve columns, the route CSR and the scale column and
+  // writes only its own report slot, so execution order cannot affect
+  // the result.
+  struct ServeCtx {
+    const TransportController* self;
+    const std::pair<PathId, DataRate>* demands;
+    const double* scale;
+    PathServeReport* reports;
+    std::uint8_t* valid;
+  } ctx{this, demands.data(), scale.data(), out.data(), valid.data()};
+
+  const auto serve_path = [&ctx](std::size_t i) {
+    const auto& [path_id, demand] = ctx.demands[i];
+    const TransportController& self = *ctx.self;
+    const std::uint32_t path_slot = self.path_slot_fast(path_id);
+    if (path_slot == DenseIdMap<PathId, PathReservation>::kNoSlot) return;
+
+    double factor = 1.0;
+    const std::uint32_t off = self.route_offset_[path_slot];
+    const std::uint32_t len = self.route_len_[path_slot];
+    for (std::uint32_t k = 0; k < len; ++k) {
+      const std::uint32_t link_slot = self.route_links_[off + k];
+      // A route link unknown to the current topology (verbatim-restored
+      // pre-crash route) carries nothing: factor 0, served 0, degraded.
+      const double s = link_slot == Topology::kNoSlot ? 0.0 : ctx.scale[link_slot];
+      if (s < factor) factor = s;
+    }
+    const Duration delay = self.route_delay_[path_slot];
+    const DataRate reserved = self.path_reserved_[path_slot];
+
+    PathServeReport& report = ctx.reports[i];
+    report.path = path_id;
+    report.slice = self.path_slice_[path_slot];
+    report.demand = demand;
+    // The reservation caps the slice; fading scales what the links can
+    // actually carry of that reservation.
+    const DataRate cap = reserved * factor;
+    report.served = min(demand, cap);
+    report.degraded = factor < 0.999;
+    // Congestion adds queueing delay as the path saturates. The guard
+    // is deliberately conservative (0.89 of capacity, with margin for
+    // the epsilon and rounding) so the division — the one expensive op
+    // per path — only runs when the penalty could actually be nonzero;
+    // when it does run, the arithmetic is exactly the reference's.
+    double queue_penalty = 0.0;
+    if (!(report.served <= cap * 0.89)) {
+      const double utilization = reserved <= DataRate::zero()
+                                     ? 0.0
+                                     : report.served / (cap + DataRate::mbps(1e-9));
+      if (utilization > 0.9) queue_penalty = (utilization - 0.9) * 10.0;
+    }
+    report.experienced_delay = delay * (1.0 + queue_penalty);
+    report.delay_violated = report.experienced_delay > self.path_sla_[path_slot];
+    ctx.valid[i] = 1;
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(n, serve_path);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) serve_path(i);
+  }
+
+  // Phase 2 — sequential reduction in demand order: compact away
+  // unknown-path slots (rare), publish telemetry, note degraded paths
+  // for repair.
+  std::size_t n_repair = 0;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (valid[i] == 0) continue;
+    if (w != i) out[w] = out[i];
+    const PathServeReport& report = out[w];
+    ++w;
+    if (report.degraded) repair[n_repair++] = report.path;
+    if (registry_ != nullptr) publish_path_telemetry(report, now);
+  }
+  out.resize(w);
+
+  for (std::size_t i = 0; i < n_repair; ++i) {
+    if (PathReservation* reservation = paths_.find(repair[i])) try_reroute(*reservation);
+  }
+
+  if (registry_ != nullptr) publish_totals_telemetry(now);
+}
+
+void TransportController::serve_epoch_legacy(
+    std::span<const std::pair<PathId, DataRate>> demands, SimTime now,
+    std::vector<PathServeReport>& out) {
+  // Pre-SoA reference implementation, kept byte-compatible with the
+  // kernel: std::map scale, per-epoch vectors, per-link find_link
+  // walks. The parity suite in determinism_test compares the two paths;
+  // the allocation-counter vacuity guard in epoch_alloc_test depends on
+  // this path allocating every epoch.
   TRACE_SCOPE("transport.serve_epoch");
   fading_.step();
 
@@ -265,9 +551,6 @@ std::vector<PathServeReport> TransportController::serve_epoch(
     scale[link.id] = capacity >= reserved ? 1.0 : capacity / reserved;
   }
 
-  // Phase 1 — per-path serving, shardable across the pool: each slot
-  // only reads the installed paths, the topology and the scale map, so
-  // execution order cannot affect the result.
   struct PathOutcome {
     bool valid = false;
     PathServeReport report;
@@ -276,14 +559,19 @@ std::vector<PathServeReport> TransportController::serve_epoch(
 
   const auto serve_path = [&](std::size_t i) {
     const auto& [path_id, demand] = demands[i];
-    const auto it = paths_.find(path_id.value());
-    if (it == paths_.end()) return;
-    const PathReservation& reservation = it->second;
+    const PathReservation* found = paths_.find(path_id);
+    if (found == nullptr) return;
+    const PathReservation& reservation = *found;
 
     double factor = 1.0;
     Duration delay = Duration::zero();
     for (const LinkId link_id : reservation.route.links) {
       const Link* link = topology_.find_link(link_id);
+      if (link == nullptr) {
+        // Stale route link (verbatim-restored route): carries nothing.
+        factor = 0.0;
+        continue;
+      }
       delay += link->delay;
       const auto sc = scale.find(link_id);
       if (sc != scale.end() && sc->second < factor) factor = sc->second;
@@ -293,11 +581,8 @@ std::vector<PathServeReport> TransportController::serve_epoch(
     report.path = reservation.id;
     report.slice = reservation.slice;
     report.demand = demand;
-    // The reservation caps the slice; fading scales what the links can
-    // actually carry of that reservation.
     report.served = min(demand, reservation.reserved * factor);
     report.degraded = factor < 0.999;
-    // Congestion adds queueing delay as the path saturates.
     const double utilization =
         reservation.reserved <= DataRate::zero()
             ? 0.0
@@ -313,52 +598,21 @@ std::vector<PathServeReport> TransportController::serve_epoch(
     for (std::size_t i = 0; i < demands.size(); ++i) serve_path(i);
   }
 
-  // Phase 2 — sequential reduction in demand order: collect reports,
-  // publish telemetry, note degraded paths for repair.
-  std::vector<PathServeReport> reports;
-  reports.reserve(demands.size());
+  out.clear();
   std::vector<PathId> to_repair;
   for (const PathOutcome& outcome : outcomes) {
     if (!outcome.valid) continue;
     const PathServeReport& report = outcome.report;
-    reports.push_back(report);
+    out.push_back(report);
     if (report.degraded) to_repair.push_back(report.path);
-
-    if (registry_ != nullptr) {
-      auto handle_it = path_handles_.find(report.path.value());
-      if (handle_it == path_handles_.end()) {
-        const std::string prefix = "transport.path." + std::to_string(report.path.value());
-        handle_it = path_handles_
-                        .emplace(report.path.value(),
-                                 PathHandles{registry_->handle(prefix + ".served_mbps"),
-                                             registry_->handle(prefix + ".delay_ms")})
-                        .first;
-      }
-      handle_it->second.served.observe(now, report.served.as_mbps());
-      handle_it->second.delay.observe(now, report.experienced_delay.as_millis());
-    }
+    if (registry_ != nullptr) publish_path_telemetry(report, now);
   }
 
   for (const PathId id : to_repair) {
-    const auto it = paths_.find(id.value());
-    if (it != paths_.end()) try_reroute(it->second);
+    if (PathReservation* reservation = paths_.find(id)) try_reroute(*reservation);
   }
 
-  if (registry_ != nullptr) {
-    double reserved_total = 0.0;
-    double capacity_total = 0.0;
-    for (const Link& link : topology_.links()) {
-      reserved_total += reserved_on(link.id).as_mbps();
-      capacity_total += current_capacity(link).as_mbps();
-    }
-    if (!reserved_total_.valid()) {
-      reserved_total_ = registry_->handle("transport.reserved_mbps");
-      capacity_total_ = registry_->handle("transport.capacity_mbps");
-    }
-    reserved_total_.observe(now, reserved_total);
-    capacity_total_.observe(now, capacity_total);
-  }
-  return reports;
+  if (registry_ != nullptr) publish_totals_telemetry(now);
 }
 
 std::shared_ptr<net::Router> TransportController::make_router() {

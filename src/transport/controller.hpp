@@ -8,13 +8,14 @@
 // installed paths, repairs paths broken by deep fades, and publishes
 // telemetry.
 
-#include <map>
+#include <cstdint>
 #include <memory>
-#include <set>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
+#include "common/dense_map.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
@@ -83,6 +84,15 @@ class TransportController {
                                           DataRate rate, Duration max_delay,
                                           PathObjective objective = PathObjective::min_delay);
 
+  /// Verbatim crash-recovery: install `reservation` exactly as given —
+  /// original id *and* original route, no CSPF. Tolerates route links
+  /// unknown to the current topology (a pre-crash route restored onto a
+  /// rebuilt substrate): unknown links reserve nothing, carry nothing
+  /// (the path serves degraded at factor 0 until the repair loop finds
+  /// a live route) and install no flow rules. Errors: invalid_argument
+  /// (invalid id, non-positive rate), conflict (id already installed).
+  [[nodiscard]] Result<void> restore_path_exact(PathReservation reservation);
+
   /// Resize an existing path reservation (grow re-validates capacity on
   /// the current route; it does not reroute). Shrink always succeeds.
   [[nodiscard]] Result<void> resize_path(PathId path, DataRate new_rate);
@@ -108,7 +118,10 @@ class TransportController {
   /// not_found.
   [[nodiscard]] Result<void> set_link_up(LinkId link, bool up);
 
-  [[nodiscard]] bool link_up(LinkId link) const noexcept { return !down_links_.contains(link); }
+  [[nodiscard]] bool link_up(LinkId link) const noexcept {
+    const std::uint32_t slot = topology_.link_slot(link);
+    return slot == Topology::kNoSlot || link_down_[slot] == 0;
+  }
 
   /// Capacity a link can carry right now: nominal x fading, zero when
   /// administratively down.
@@ -124,6 +137,23 @@ class TransportController {
   /// Fig. 1). Publishes telemetry when a registry is set.
   std::vector<PathServeReport> serve_epoch(
       std::span<const std::pair<PathId, DataRate>> demands, SimTime now);
+
+  /// Allocation-free variant: writes the reports into `out` (cleared
+  /// first; capacity is reused). Per-epoch scratch — the per-link scale
+  /// column, outcome slots and the repair list — is carved from a
+  /// per-controller arena that is rewound, not freed, between epochs:
+  /// after a warm-up epoch the steady-state serve loop performs no heap
+  /// allocation (pinned by epoch_alloc_test). Same parallel-for +
+  /// sequential-reduction shape as the RAN kernel; output is
+  /// bit-identical at any pool size and to the legacy path.
+  void serve_epoch_into(std::span<const std::pair<PathId, DataRate>> demands, SimTime now,
+                        std::vector<PathServeReport>& out);
+
+  /// Route epochs through the pre-SoA reference implementation
+  /// (std::map scale, per-epoch vectors, per-link find_link walks).
+  /// Same results, byte for byte — kept as the oracle for the
+  /// SoA-vs-legacy parity suite in determinism_test.
+  void set_legacy_epoch_path(bool legacy) noexcept { legacy_epoch_path_ = legacy; }
 
   /// Attach a worker pool (non-owning; may be nullptr to detach). The
   /// per-path serving computation shards across it; reduction, repair
@@ -142,6 +172,22 @@ class TransportController {
   void reserve_bandwidth(const Route& route, DataRate rate);
   void release_bandwidth(const Route& route, DataRate rate);
   void try_reroute(PathReservation& reservation);
+  void install_route_columns(std::uint32_t path_slot, const Route& route);
+  void clear_route_columns(std::uint32_t path_slot);
+  void install_serve_columns(std::uint32_t path_slot, const PathReservation& reservation);
+  void forget_path_slot(PathId id) noexcept;
+  /// Path slot of `id` in O(1) through the flat id->slot column when the
+  /// id is small enough to have one; hash-probe fallback otherwise.
+  [[nodiscard]] std::uint32_t path_slot_fast(PathId id) const noexcept {
+    const std::uint64_t v = id.value();
+    if (v < path_slot_by_id_.size()) return path_slot_by_id_[v];
+    return paths_.slot_of(id);
+  }
+  void compact_route_arena();
+  void serve_epoch_legacy(std::span<const std::pair<PathId, DataRate>> demands, SimTime now,
+                          std::vector<PathServeReport>& out);
+  void publish_path_telemetry(const PathServeReport& report, SimTime now);
+  void publish_totals_telemetry(SimTime now);
 
   // Telemetry handles interned on first use so the epoch loop never
   // rebuilds "transport.path.N.*" key strings.
@@ -153,16 +199,46 @@ class TransportController {
   Topology topology_;
   FadingField fading_;
   FlowTable flows_;
-  std::map<std::uint64_t, PathReservation> paths_;  // by PathId value
-  std::map<LinkId, DataRate> reserved_;
-  std::set<LinkId> down_links_;
+  /// Reservations in a slot arena (stable value addresses, slot-order
+  /// iteration); the hot per-path/per-link state lives in columns
+  /// aligned with the path slots / link slots below.
+  DenseIdMap<PathId, PathReservation> paths_;
+  // Route CSR: path slot -> (offset, len) into route_links_, a flat
+  // arena of *link slots* (Topology::kNoSlot marks a route link unknown
+  // to the current topology — a verbatim-restored pre-crash route).
+  // route_delay_ is the static propagation delay, summed in route order
+  // at install time so serving never walks Link structs. Reroutes
+  // append a fresh span and abandon the old one; compact_route_arena()
+  // repacks once dead words outnumber live ones.
+  std::vector<std::uint32_t> route_offset_;
+  std::vector<std::uint32_t> route_len_;
+  std::vector<Duration> route_delay_;
+  std::vector<std::uint32_t> route_links_;
+  std::size_t route_live_words_ = 0;
+  // Serve columns by path slot: the fields the epoch kernel reads per
+  // path, peeled off PathReservation so serving never pulls the full
+  // slot (route vector and endpoints included) through the cache.
+  // Stale entries behind freed slots are harmless — the slot is
+  // unreachable until reuse overwrites them.
+  std::vector<DataRate> path_reserved_;
+  std::vector<Duration> path_sla_;
+  std::vector<SliceId> path_slice_;
+  // Flat id -> path slot for ids below kMaxFlatPathId (the IdAllocator
+  // hands them out sequentially from 1, so this stays dense); larger
+  // verbatim-restored ids fall back to the DenseIdMap probe.
+  static constexpr std::uint64_t kMaxFlatPathId = std::uint64_t{1} << 22;
+  std::vector<std::uint32_t> path_slot_by_id_;
+  std::vector<DataRate> reserved_by_slot_;  ///< by link slot
+  std::vector<std::uint8_t> link_down_;     ///< by link slot; 1 = admin down
   IdAllocator<PathTag> path_ids_;
   telemetry::MonitorRegistry* registry_;
   std::uint64_t reroutes_ = 0;
   ThreadPool* pool_ = nullptr;
-  std::map<std::uint64_t, PathHandles> path_handles_;  // by PathId value
+  bool legacy_epoch_path_ = false;
+  DenseIdMap<PathId, PathHandles> path_handles_;
   telemetry::SeriesHandle reserved_total_;
   telemetry::SeriesHandle capacity_total_;
+  Arena epoch_arena_;           ///< per-epoch scratch, rewound not freed
   std::string metrics_buffer_;  ///< reused /metrics serialization buffer
 };
 

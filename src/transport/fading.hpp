@@ -10,7 +10,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <cstdint>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
@@ -42,36 +43,62 @@ struct FadingParams {
 }
 
 /// Tracks the current condition factor of every link in a topology.
+///
+/// State is structure-of-arrays by link *slot* (index into
+/// Topology::links()): a dense factor column the epoch kernel reads by
+/// slot, plus a compact list of the tracked (wireless) processes.
+/// Tracked links are visited in ascending slot order — identical to the
+/// insertion order, which is ascending LinkId order — so the RNG stream
+/// is byte-identical to the original std::map<LinkId, State> walk.
 class FadingField {
  public:
-  /// Initialize processes for all wireless links of `topology`.
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  /// Initialize processes for all wireless links of `topology`. The
+  /// field keeps its own id->slot table, so it never dangles a topology
+  /// reference.
   FadingField(const Topology& topology, Rng rng) : rng_(rng) {
-    for (const Link& link : topology.links()) {
+    const std::vector<Link>& links = topology.links();
+    factor_by_slot_.assign(links.size(), 1.0);
+    for (std::uint32_t slot = 0; slot < links.size(); ++slot) {
+      const Link& link = links[slot];
+      if (link.id.value() >= slot_by_id_.size()) {
+        slot_by_id_.resize(link.id.value() + 1, kNoSlot);
+      }
+      slot_by_id_[link.id.value()] = slot;
       const FadingParams params = default_fading(link.technology);
       if (params.volatility > 0.0 || params.outage_probability > 0.0) {
-        states_.emplace(link.id, State{params, params.mean});
+        tracked_.push_back(Tracked{params, slot});
+        factor_by_slot_[slot] = params.mean;
       }
     }
   }
 
   /// Advance every wireless link by one epoch.
   void step() {
-    for (auto& [link, state] : states_) {
-      const FadingParams& p = state.params;
+    for (const Tracked& t : tracked_) {
+      const FadingParams& p = t.params;
       if (rng_.bernoulli(p.outage_probability)) {
-        state.factor = p.floor;  // deep fade event (rain burst, blockage)
+        factor_by_slot_[t.slot] = p.floor;  // deep fade event (rain burst, blockage)
         continue;
       }
+      double factor = factor_by_slot_[t.slot];
       const double shock = p.volatility * rng_.normal();
-      state.factor += p.reversion * (p.mean - state.factor) + shock;
-      state.factor = std::clamp(state.factor, p.floor, 1.0);
+      factor += p.reversion * (p.mean - factor) + shock;
+      factor_by_slot_[t.slot] = std::clamp(factor, p.floor, 1.0);
     }
   }
 
   /// Condition factor of `link` (1.0 for wired / unknown links).
   [[nodiscard]] double factor(LinkId link) const noexcept {
-    const auto it = states_.find(link);
-    return it == states_.end() ? 1.0 : it->second.factor;
+    const std::uint32_t slot =
+        link.value() < slot_by_id_.size() ? slot_by_id_[link.value()] : kNoSlot;
+    return slot == kNoSlot ? 1.0 : factor_by_slot_[slot];
+  }
+
+  /// Condition factor by link slot (the epoch kernel's accessor).
+  [[nodiscard]] double factor_at_slot(std::uint32_t slot) const noexcept {
+    return factor_by_slot_[slot];
   }
 
   /// Effective capacity of a link right now.
@@ -80,16 +107,18 @@ class FadingField {
   }
 
   /// Number of links with an active fading process.
-  [[nodiscard]] std::size_t tracked_links() const noexcept { return states_.size(); }
+  [[nodiscard]] std::size_t tracked_links() const noexcept { return tracked_.size(); }
 
  private:
-  struct State {
+  struct Tracked {
     FadingParams params;
-    double factor = 1.0;
+    std::uint32_t slot = kNoSlot;
   };
 
   Rng rng_;
-  std::map<LinkId, State> states_;
+  std::vector<Tracked> tracked_;          ///< wireless processes, ascending slot
+  std::vector<double> factor_by_slot_;    ///< dense factor column (1.0 = clear)
+  std::vector<std::uint32_t> slot_by_id_; ///< link id value -> slot
 };
 
 }  // namespace slices::transport

@@ -26,8 +26,13 @@ std::string_view to_string(LinkTechnology t) noexcept {
 NodeId Topology::add_node(std::string name, NodeKind kind) {
   assert(find_node_by_name(name) == nullptr && "duplicate node name");
   const NodeId id = node_ids_.next();
+  const auto slot = static_cast<std::uint32_t>(nodes_.size());
   nodes_.push_back(Node{id, std::move(name), kind});
-  adjacency_.try_emplace(id);
+  adjacency_.emplace_back();
+  if (id.value() >= node_slot_by_id_.size()) {
+    node_slot_by_id_.resize(id.value() + 1, kNoSlot);
+  }
+  node_slot_by_id_[id.value()] = slot;
   return id;
 }
 
@@ -37,8 +42,13 @@ LinkId Topology::add_link(NodeId from, NodeId to, LinkTechnology technology,
   assert(capacity > DataRate::zero());
   assert(delay >= Duration::zero());
   const LinkId id = link_ids_.next();
+  const auto slot = static_cast<std::uint32_t>(links_.size());
   links_.push_back(Link{id, from, to, technology, capacity, delay});
-  adjacency_[from].push_back(id);
+  if (id.value() >= link_slot_by_id_.size()) {
+    link_slot_by_id_.resize(id.value() + 1, kNoSlot);
+  }
+  link_slot_by_id_[id.value()] = slot;
+  adjacency_[node_slot(from)].push_back(id);
   return id;
 }
 
@@ -50,10 +60,8 @@ std::pair<LinkId, LinkId> Topology::add_bidirectional(NodeId a, NodeId b,
 }
 
 const Node* Topology::find_node(NodeId id) const noexcept {
-  for (const Node& n : nodes_) {
-    if (n.id == id) return &n;
-  }
-  return nullptr;
+  const std::uint32_t slot = node_slot(id);
+  return slot == kNoSlot ? nullptr : &nodes_[slot];
 }
 
 const Node* Topology::find_node_by_name(std::string_view name) const noexcept {
@@ -64,16 +72,14 @@ const Node* Topology::find_node_by_name(std::string_view name) const noexcept {
 }
 
 const Link* Topology::find_link(LinkId id) const noexcept {
-  for (const Link& l : links_) {
-    if (l.id == id) return &l;
-  }
-  return nullptr;
+  const std::uint32_t slot = link_slot(id);
+  return slot == kNoSlot ? nullptr : &links_[slot];
 }
 
 const std::vector<LinkId>& Topology::outgoing(NodeId node) const {
   static const std::vector<LinkId> kEmpty;
-  const auto it = adjacency_.find(node);
-  return it == adjacency_.end() ? kEmpty : it->second;
+  const std::uint32_t slot = node_slot(node);
+  return slot == kNoSlot ? kEmpty : adjacency_[slot];
 }
 
 }  // namespace slices::transport

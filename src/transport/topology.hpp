@@ -8,7 +8,7 @@
 // typed links; wireless technologies get a fluctuating capacity process
 // (see fading.hpp), which is what makes transport overbooking risky.
 
-#include <map>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -55,9 +55,15 @@ struct Link {
 };
 
 /// Directed multigraph. Nodes and links are append-only (infrastructure
-/// does not disappear mid-run; degradation is modelled by fading).
+/// does not disappear mid-run; degradation is modelled by fading), so
+/// the position of a node/link in nodes()/links() — its *slot* — is
+/// stable for the topology's lifetime. Id lookups resolve through dense
+/// id->slot tables in O(1); the epoch kernels index per-link columns by
+/// slot directly.
 class Topology {
  public:
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
   /// Add a node; name must be unique (used by builders/tests).
   NodeId add_node(std::string name, NodeKind kind);
 
@@ -77,6 +83,14 @@ class Topology {
   [[nodiscard]] const Node* find_node_by_name(std::string_view name) const noexcept;
   [[nodiscard]] const Link* find_link(LinkId id) const noexcept;
 
+  /// Index of `id` into nodes()/links(), or kNoSlot when unknown.
+  [[nodiscard]] std::uint32_t node_slot(NodeId id) const noexcept {
+    return id.value() < node_slot_by_id_.size() ? node_slot_by_id_[id.value()] : kNoSlot;
+  }
+  [[nodiscard]] std::uint32_t link_slot(LinkId id) const noexcept {
+    return id.value() < link_slot_by_id_.size() ? link_slot_by_id_[id.value()] : kNoSlot;
+  }
+
   /// Links leaving `node` (ids into links()).
   [[nodiscard]] const std::vector<LinkId>& outgoing(NodeId node) const;
 
@@ -86,7 +100,11 @@ class Topology {
  private:
   std::vector<Node> nodes_;
   std::vector<Link> links_;
-  std::map<NodeId, std::vector<LinkId>> adjacency_;
+  std::vector<std::vector<LinkId>> adjacency_;  ///< by node slot
+  // Dense id -> slot tables (ids are allocator-issued and near-dense,
+  // so a flat vector beats hashing and keeps the topology copyable).
+  std::vector<std::uint32_t> node_slot_by_id_;
+  std::vector<std::uint32_t> link_slot_by_id_;
   IdAllocator<NodeTag> node_ids_;
   IdAllocator<LinkTag> link_ids_;
 };

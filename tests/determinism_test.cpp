@@ -6,6 +6,7 @@
 // without invalidating reproducibility of experiments.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -16,11 +17,17 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/testbed.hpp"
 #include "json/value.hpp"
+#include "ran/cell.hpp"
+#include "ran/controller.hpp"
 #include "store/store.hpp"
 #include "telemetry/trace.hpp"
 #include "traffic/verticals.hpp"
+#include "transport/controller.hpp"
+#include "transport/topology.hpp"
 
 namespace slices::core {
 namespace {
@@ -28,7 +35,11 @@ namespace {
 namespace fs = std::filesystem;
 
 fs::path fresh_dir(const std::string& name) {
-  const fs::path dir = fs::temp_directory_path() / ("slices_determinism_" + name);
+  // Keyed by pid: several tests run run_scenario(1), and ctest -j runs
+  // them in parallel processes — a shared path would let one test
+  // remove_all the directory out from under another's open store.
+  const fs::path dir = fs::temp_directory_path() /
+                       ("slices_determinism_" + name + "_" + std::to_string(::getpid()));
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;
@@ -170,7 +181,17 @@ TEST(Determinism, BatchedKernelMatchesLegacyPathPooled) {
 // produce bit-identical serve reports and telemetry on the batched and
 // legacy paths, at every pool size. This is the scorecard the 1M-UE
 // bench relies on.
-std::string ran_scorecard(std::size_t n_ues, std::size_t threads, bool legacy) {
+struct RanScorecardOptions {
+  std::size_t threads = 1;
+  bool legacy_serve = false;
+  bool legacy_wander = false;   ///< pre-SoA per-row CQI walk
+  bool simd = false;            ///< explicit-SIMD wander apply (needs the build flag)
+};
+
+std::string ran_scorecard(std::size_t n_ues, const RanScorecardOptions& opt) {
+  const bool simd_before = ran::wander_simd_enabled();
+  ran::set_wander_simd_enabled(opt.simd);
+  const std::size_t threads = opt.threads;
   telemetry::MonitorRegistry registry;
   ran::RanController ran(&registry);
   constexpr std::size_t kCells = 24;
@@ -215,7 +236,8 @@ std::string ran_scorecard(std::size_t n_ues, std::size_t threads, bool legacy) {
     pool = std::make_unique<ThreadPool>(threads);
     ran.set_thread_pool(pool.get());
   }
-  ran.set_legacy_epoch_path(legacy);
+  ran.set_legacy_epoch_path(opt.legacy_serve);
+  ran.set_legacy_wander_path(opt.legacy_wander);
 
   std::string card;
   Rng wander_rng(7);
@@ -240,7 +262,15 @@ std::string ran_scorecard(std::size_t n_ues, std::size_t threads, bool legacy) {
     card += "\n";
   }
   card += json::serialize(registry.snapshot());
+  ran::set_wander_simd_enabled(simd_before);
   return card;
+}
+
+std::string ran_scorecard(std::size_t n_ues, std::size_t threads, bool legacy) {
+  RanScorecardOptions opt;
+  opt.threads = threads;
+  opt.legacy_serve = legacy;
+  return ran_scorecard(n_ues, opt);
 }
 
 TEST(Determinism, RanParity10kUes) {
@@ -255,6 +285,104 @@ TEST(Determinism, RanParity100kUes) {
   const std::string legacy = ran_scorecard(100'000, 1, /*legacy=*/true);
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
     EXPECT_EQ(ran_scorecard(100'000, threads, /*legacy=*/false), legacy)
+        << "threads=" << threads;
+  }
+}
+
+// --- Wander kernel determinism ----------------------------------------------
+//
+// The batched CQI walk consumes one RNG word per four rows and shards
+// across cells with pre-forked streams, so its output must not depend on
+// the pool size; the explicit-SIMD apply (when compiled in) must be
+// bit-identical to the portable scalar core.
+
+TEST(Determinism, WanderVectorizedPoolInvariance) {
+  RanScorecardOptions opt;
+  const std::string serial = ran_scorecard(20'000, opt);
+  for (const std::size_t threads : {std::size_t{3}, std::size_t{4}}) {
+    opt.threads = threads;
+    EXPECT_EQ(ran_scorecard(20'000, opt), serial) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, WanderSimdMatchesScalar) {
+  if (!ran::wander_simd_compiled()) {
+    GTEST_SKIP() << "built without SLICES_ENABLE_SIMD/AVX2";
+  }
+  RanScorecardOptions scalar;
+  RanScorecardOptions simd;
+  simd.simd = true;
+  EXPECT_EQ(ran_scorecard(20'000, scalar), ran_scorecard(20'000, simd));
+  // And the SIMD apply must stay pool-invariant too.
+  simd.threads = 4;
+  EXPECT_EQ(ran_scorecard(20'000, scalar), ran_scorecard(20'000, simd));
+}
+
+TEST(Determinism, WanderLegacyWalkStillPoolInvariant) {
+  RanScorecardOptions opt;
+  opt.legacy_wander = true;
+  const std::string serial = ran_scorecard(10'000, opt);
+  opt.threads = 4;
+  EXPECT_EQ(ran_scorecard(10'000, opt), serial);
+}
+
+// --- Transport kernel parity ------------------------------------------------
+//
+// Same contract as the RAN scorecard: the SoA transport serve kernel must
+// be byte-identical to the legacy std::map path, at every pool size, over
+// a fading substrate that forces scaling and reroutes.
+
+std::string transport_scorecard(std::size_t threads, bool legacy) {
+  telemetry::MonitorRegistry registry;
+  transport::Topology topo;
+  const NodeId s = topo.add_node("s", transport::NodeKind::enb_gateway);
+  const NodeId m = topo.add_node("m", transport::NodeKind::openflow_switch);
+  const NodeId t = topo.add_node("t", transport::NodeKind::core_gateway);
+  topo.add_link(s, m, transport::LinkTechnology::mmwave, DataRate::mbps(10000.0),
+                Duration::millis(1.0));
+  topo.add_link(m, t, transport::LinkTechnology::uwave, DataRate::mbps(8000.0),
+                Duration::millis(1.0));
+  topo.add_link(s, t, transport::LinkTechnology::fiber, DataRate::mbps(6000.0),
+                Duration::millis(4.0));
+  transport::TransportController tc(std::move(topo), Rng(55), &registry);
+  tc.set_legacy_epoch_path(legacy);
+
+  std::vector<std::pair<PathId, DataRate>> demands;
+  for (std::uint64_t i = 0; i < 160; ++i) {
+    const Result<PathId> path = tc.allocate_path(SliceId{1 + i % 9}, s, t,
+                                                 DataRate::mbps(25.0), Duration::millis(20.0));
+    EXPECT_TRUE(path.ok());
+    demands.emplace_back(path.value(), DataRate::mbps(20.0));
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    tc.set_thread_pool(pool.get());
+  }
+
+  std::string card;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    const auto reports = tc.serve_epoch(demands, SimTime::from_seconds(epoch * 1.0));
+    for (const transport::PathServeReport& r : reports) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%llu:%a/%lld/%d%d;",
+                    static_cast<unsigned long long>(r.path.value()),
+                    r.served.bits_per_second(),
+                    static_cast<long long>(r.experienced_delay.as_micros()),
+                    r.delay_violated ? 1 : 0, r.degraded ? 1 : 0);
+      card += buf;
+    }
+    card += "\n";
+  }
+  card += "reroutes=" + std::to_string(tc.reroutes()) + "\n";
+  card += json::serialize(registry.snapshot());
+  return card;
+}
+
+TEST(Determinism, TransportParityAcrossPoolSizes) {
+  const std::string legacy = transport_scorecard(1, /*legacy=*/true);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{4}}) {
+    EXPECT_EQ(transport_scorecard(threads, /*legacy=*/false), legacy)
         << "threads=" << threads;
   }
 }

@@ -1,13 +1,14 @@
-// Allocation accounting for the epoch kernel: after a warm-up epoch has
-// grown the controller's arena and scratch vectors to their high-water
-// marks, the steady-state serve loop (wander_cqis + serve_epoch_into)
-// must perform ZERO heap allocations — at any pool size. This is the
-// hook the ISSUE's acceptance criterion names: the global operator
-// new/delete overrides below count every allocation on every thread, so
-// a single malloc sneaking back into the hot path fails the test
-// instead of quietly costing a syscall per epoch at 1M UEs.
+// Allocation accounting for the epoch kernels: after a warm-up epoch
+// has grown a controller's arena and scratch vectors to their
+// high-water marks, the steady-state serve loop — RAN wander_cqis +
+// serve_epoch_into, and transport serve_epoch_into — must perform ZERO
+// heap allocations, at any pool size. This is the hook the ISSUE's
+// acceptance criterion names: the global operator new/delete overrides
+// below count every allocation on every thread, so a single malloc
+// sneaking back into a hot path fails the test instead of quietly
+// costing a syscall per epoch at 1M UEs / 100k paths.
 //
-// The controller is built WITHOUT a telemetry registry: series append
+// The controllers are built WITHOUT a telemetry registry: series append
 // may grow telemetry buffers, which is monitored-state growth, not
 // serve-loop scratch, and is outside the zero-allocation contract.
 
@@ -24,6 +25,8 @@
 #include "common/thread_pool.hpp"
 #include "ran/cell.hpp"
 #include "ran/controller.hpp"
+#include "transport/controller.hpp"
+#include "transport/topology.hpp"
 
 namespace {
 
@@ -148,6 +151,75 @@ TEST(EpochAllocations, ArenaRewindsInsteadOfFreeing) {
 TEST(EpochAllocations, CounterSeesLegacyPathAllocations) {
   Fixture fx(1, /*n_ues=*/1'000);
   fx.ran.set_legacy_epoch_path(true);
+  fx.run_epoch(0);
+  AllocationCounter counter;
+  fx.run_epoch(1);
+  EXPECT_GT(counter.count(), 0u);
+}
+
+// Transport serve kernel: same contract as the RAN one. Fiber-only
+// substrate so no fading process runs — steady state must not even hit
+// the repair path (degradation is impossible without fading or admin
+// down events).
+struct TransportFixture {
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<transport::TransportController> tc;  // no registry
+  std::vector<std::pair<PathId, DataRate>> demands;
+  std::vector<transport::PathServeReport> reports;
+
+  explicit TransportFixture(std::size_t threads, std::size_t n_paths) {
+    transport::Topology topology;
+    const NodeId src = topology.add_node("src", transport::NodeKind::enb_gateway);
+    const NodeId mid = topology.add_node("mid", transport::NodeKind::openflow_switch);
+    const NodeId dst = topology.add_node("dst", transport::NodeKind::core_gateway);
+    topology.add_link(src, mid, transport::LinkTechnology::fiber,
+                      DataRate::mbps(1e9), Duration::millis(1.0));
+    topology.add_link(mid, dst, transport::LinkTechnology::fiber,
+                      DataRate::mbps(1e9), Duration::millis(1.0));
+    tc = std::make_unique<transport::TransportController>(std::move(topology), Rng(17));
+    for (std::size_t i = 0; i < n_paths; ++i) {
+      const Result<PathId> path = tc->allocate_path(SliceId{i + 1}, src, dst,
+                                                    DataRate::mbps(2.0), Duration::millis(50.0));
+      EXPECT_TRUE(path.ok());
+      demands.emplace_back(path.value(), DataRate::mbps(1.5));
+    }
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      tc->set_thread_pool(pool.get());
+    }
+  }
+
+  void run_epoch(int epoch) {
+    tc->serve_epoch_into(demands, SimTime::from_seconds(epoch * 1.0), reports);
+    EXPECT_EQ(reports.size(), demands.size());
+  }
+};
+
+void expect_zero_alloc_transport_epochs(std::size_t threads) {
+  TransportFixture fx(threads, /*n_paths=*/512);
+  fx.run_epoch(0);
+  fx.run_epoch(1);
+
+  AllocationCounter counter;
+  for (int epoch = 2; epoch < 8; ++epoch) fx.run_epoch(epoch);
+  EXPECT_EQ(counter.count(), 0u)
+      << "steady-state transport epochs allocated with threads=" << threads;
+}
+
+TEST(EpochAllocations, TransportServeLoopIsAllocationFreeSerial) {
+  expect_zero_alloc_transport_epochs(1);
+}
+
+TEST(EpochAllocations, TransportServeLoopIsAllocationFreePooled) {
+  expect_zero_alloc_transport_epochs(4);
+}
+
+// Vacuity guard for the transport kernel: the retained legacy path
+// rebuilds its std::map scale and outcome vectors every epoch, so the
+// counter must see it allocate.
+TEST(EpochAllocations, CounterSeesLegacyTransportPathAllocations) {
+  TransportFixture fx(1, /*n_paths=*/64);
+  fx.tc->set_legacy_epoch_path(true);
   fx.run_epoch(0);
   AllocationCounter counter;
   fx.run_epoch(1);

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/rest_bus.hpp"
 #include "ran/cell.hpp"
 #include "ran/controller.hpp"
@@ -292,6 +294,95 @@ TEST(Cell, CqiWanderStaysInRange) {
     }
   }
   EXPECT_TRUE(moved);
+}
+
+// Distribution parity between the batched wander kernel and the retained
+// legacy walk: same step probability, symmetric sign, same bounds. The two
+// consume the RNG differently, so this is a statistical check, not a
+// bit-compare.
+TEST(Cell, WanderStepRateMatchesLegacyDistribution) {
+  constexpr std::size_t kUes = 2048;
+  constexpr int kRounds = 20;
+  constexpr double kP = 0.3;
+  const auto step_rate = [&](bool legacy) {
+    Cell cell = make_cell();
+    EXPECT_TRUE(cell.broadcast_plmn(PlmnId{1}).ok());
+    std::vector<UeId> ues;
+    for (std::size_t i = 0; i < kUes; ++i) {
+      const UeId ue{i + 1};
+      EXPECT_TRUE(cell.attach_ue(ue, PlmnId{1}, Cqi{8}).ok());
+      ues.push_back(ue);
+    }
+    Rng rng(19);
+    std::vector<int> before(kUes);
+    std::int64_t moved = 0;
+    std::int64_t trials = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (std::size_t i = 0; i < kUes; ++i) before[i] = cell.ue_cqi(ues[i])->index();
+      if (legacy) {
+        cell.wander_cqis_legacy(rng, kP);
+      } else {
+        cell.wander_cqis(rng, kP);
+      }
+      for (std::size_t i = 0; i < kUes; ++i) {
+        const int after = cell.ue_cqi(ues[i])->index();
+        EXPECT_GE(after, 1);
+        EXPECT_LE(after, 15);
+        if (after != before[i]) ++moved;
+        ++trials;
+      }
+    }
+    return static_cast<double>(moved) / static_cast<double>(trials);
+  };
+  const double vectorized = step_rate(false);
+  const double legacy = step_rate(true);
+  // Clamping at the band edges hides the odd step, so the observed rate
+  // sits a hair below p; both kernels must sit there together.
+  EXPECT_NEAR(vectorized, kP, 0.02);
+  EXPECT_NEAR(legacy, kP, 0.02);
+  EXPECT_NEAR(vectorized, legacy, 0.015);
+}
+
+// The batched kernel masks detached rows with the live column and folds
+// per-PLMN CQI deltas once per block: after wandering across holes, the
+// cached mean must equal a recomputation from the surviving UEs.
+TEST(Cell, WanderSkipsHolesAndKeepsCqiSumsConsistent) {
+  Cell cell = make_cell();
+  ASSERT_TRUE(cell.broadcast_plmn(PlmnId{1}).ok());
+  ASSERT_TRUE(cell.broadcast_plmn(PlmnId{2}).ok());
+  std::vector<UeId> live;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const UeId ue{i + 1};
+    const PlmnId plmn{1 + i % 2};
+    ASSERT_TRUE(cell.attach_ue(ue, plmn, Cqi{static_cast<int>(1 + i % 15)}).ok());
+    live.push_back(ue);
+  }
+  // Punch holes in the middle of the columns.
+  for (std::size_t i = 0; i < 64; i += 3) {
+    ASSERT_TRUE(cell.detach_ue(UeId{i + 1}).ok());
+    live.erase(std::find(live.begin(), live.end(), UeId{i + 1}));
+  }
+  Rng rng(23);
+  for (int round = 0; round < 50; ++round) cell.wander_cqis(rng, 0.5);
+
+  for (const PlmnId plmn : {PlmnId{1}, PlmnId{2}}) {
+    std::int64_t sum = 0;
+    std::int64_t count = 0;
+    for (const UeId ue : live) {
+      // ue_cqi is hole-aware; only UEs of this PLMN contribute.
+      if ((ue.value() - 1) % 2 != plmn.value() - 1) continue;
+      const std::optional<Cqi> cqi = cell.ue_cqi(ue);
+      ASSERT_TRUE(cqi.has_value());
+      sum += cqi->index();
+      ++count;
+    }
+    ASSERT_GT(count, 0);
+    const int expected_mean =
+        std::clamp(static_cast<int>(sum / count), 1, 15);  // mirror of mean_cqi_at
+    EXPECT_EQ(cell.mean_cqi(plmn, Cqi{7}).index(), expected_mean) << "plmn " << plmn.value();
+  }
+  // Detached rows stay detached.
+  EXPECT_EQ(cell.ue_cqi(UeId{1}), std::nullopt);
 }
 
 TEST(Cell, ServeEpochUsesReservations) {

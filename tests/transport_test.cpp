@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "net/rest_bus.hpp"
 #include "transport/controller.hpp"
 #include "transport/cspf.hpp"
@@ -323,6 +327,223 @@ TEST(TransportController, FadingDegradationTriggersReroute) {
     (void)tc.serve_epoch(demands, SimTime::from_seconds(i));
   }
   EXPECT_GT(tc.reroutes(), 0u);
+}
+
+// Randomized differential test: the SoA columns (reserved-per-link-slot,
+// route CSR) must agree with a naive std::map bookkeeping model across an
+// arbitrary interleaving of allocate / resize / release / serve. Fiber-only
+// substrate so routes never move underneath the model.
+TEST(TransportController, SoaStateMatchesMapModelUnderRandomOps) {
+  Topology topo;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i) {
+    nodes.push_back(topo.add_node("n" + std::to_string(i),
+                                  i == 0 ? NodeKind::enb_gateway
+                                         : (i == 5 ? NodeKind::core_gateway
+                                                   : NodeKind::openflow_switch)));
+  }
+  std::vector<LinkId> links;
+  for (int i = 0; i < 5; ++i) {
+    links.push_back(topo.add_link(nodes[i], nodes[i + 1], LinkTechnology::fiber,
+                                  DataRate::mbps(500.0), Duration::millis(1.0)));
+    links.push_back(topo.add_link(nodes[i + 1], nodes[i], LinkTechnology::fiber,
+                                  DataRate::mbps(500.0), Duration::millis(1.0)));
+  }
+  TransportController tc(std::move(topo), Rng(41));
+
+  struct ModelPath {
+    double rate;
+    std::vector<LinkId> route;
+  };
+  std::map<LinkId, double> model_reserved;
+  std::map<PathId, ModelPath> model_paths;
+  std::vector<PathId> live;
+
+  Rng rng(4242);
+  const auto pick_index = [&rng](std::size_t size) {
+    return static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  };
+  for (int op = 0; op < 600; ++op) {
+    const auto roll = rng.uniform_int(0, 9);
+    if (roll < 4 || live.empty()) {  // allocate
+      const NodeId src = nodes[pick_index(nodes.size())];
+      const NodeId dst = nodes[pick_index(nodes.size())];
+      const double rate = static_cast<double>(rng.uniform_int(1, 40));
+      const Result<PathId> path =
+          tc.allocate_path(SliceId{static_cast<std::uint64_t>(1 + op % 7)}, src, dst,
+                           DataRate::mbps(rate), Duration::millis(50.0));
+      if (path.ok()) {
+        const PathReservation* stored = tc.find_path(path.value());
+        ASSERT_NE(stored, nullptr);
+        for (const LinkId link : stored->route.links) model_reserved[link] += rate;
+        model_paths[path.value()] = ModelPath{rate, stored->route.links};
+        live.push_back(path.value());
+      }
+    } else if (roll < 6) {  // resize
+      const PathId path = live[pick_index(live.size())];
+      const double new_rate = static_cast<double>(rng.uniform_int(1, 60));
+      if (tc.resize_path(path, DataRate::mbps(new_rate)).ok()) {
+        ModelPath& mp = model_paths.at(path);
+        for (const LinkId link : mp.route) model_reserved[link] += new_rate - mp.rate;
+        mp.rate = new_rate;
+      }
+    } else if (roll < 8) {  // release
+      const std::size_t pick = pick_index(live.size());
+      const PathId path = live[pick];
+      ASSERT_TRUE(tc.release_path(path).ok());
+      const ModelPath& mp = model_paths.at(path);
+      for (const LinkId link : mp.route) model_reserved[link] -= mp.rate;
+      model_paths.erase(path);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {  // serve: exercises the CSR read path over the current state
+      std::vector<std::pair<PathId, DataRate>> demands;
+      for (const PathId path : live)
+        demands.emplace_back(path, DataRate::mbps(model_paths.at(path).rate * 0.5));
+      const auto reports = tc.serve_epoch(demands, SimTime::from_seconds(op));
+      ASSERT_EQ(reports.size(), demands.size());
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        EXPECT_EQ(reports[i].path, demands[i].first);
+        // Fiber never fades, so every path serves its full (capped) demand.
+        EXPECT_NEAR(reports[i].served.as_mbps(), demands[i].second.as_mbps(), 1e-9);
+        EXPECT_FALSE(reports[i].degraded);
+      }
+    }
+
+    // Full-state diff every few ops (cheap: 10 links).
+    if (op % 20 == 19) {
+      for (const LinkId link : links) {
+        const double want = model_reserved.count(link) != 0 ? model_reserved.at(link) : 0.0;
+        EXPECT_NEAR(tc.reserved_on(link).as_mbps(), want, 1e-9)
+            << "link " << link.value() << " after op " << op;
+      }
+      for (const auto& [path, mp] : model_paths) {
+        const PathReservation* stored = tc.find_path(path);
+        ASSERT_NE(stored, nullptr);
+        EXPECT_NEAR(stored->reserved.as_mbps(), mp.rate, 1e-9);
+        EXPECT_EQ(stored->route.links, mp.route);
+      }
+    }
+  }
+  EXPECT_FALSE(model_paths.empty());  // the walk actually built state
+}
+
+// Satellite regression: a verbatim-restored pre-crash route can name links
+// the rebuilt topology does not have. Serving such a path must yield a
+// degraded zero-served report — never dereference a null find_link() — on
+// both the kernel and the legacy path, and the repair loop must eventually
+// move the path onto a live route.
+void expect_stale_route_served_degraded(bool legacy) {
+  Diamond d;
+  const NodeId src = d.src;
+  const NodeId dst = d.dst;
+  const LinkId live_link = d.fast_a;
+  TransportController tc(std::move(d.topo), Rng(3));
+  tc.set_legacy_epoch_path(legacy);
+
+  PathReservation stale;
+  stale.id = PathId{500};
+  stale.slice = SliceId{7};
+  stale.src = src;
+  stale.dst = dst;
+  stale.reserved = DataRate::mbps(10.0);
+  stale.max_delay = Duration::millis(50.0);
+  stale.route.links = {live_link, LinkId{987654}};  // second hop no longer exists
+  stale.route.total_delay = Duration::millis(2.0);
+  stale.route.bottleneck = DataRate::mbps(10.0);
+  ASSERT_TRUE(tc.restore_path_exact(stale).ok());
+  // Known links of the stale route still hold their reservation.
+  EXPECT_DOUBLE_EQ(tc.reserved_on(live_link).as_mbps(), 10.0);
+
+  const std::vector<std::pair<PathId, DataRate>> demands = {
+      {PathId{500}, DataRate::mbps(8.0)}};
+  const auto reports = tc.serve_epoch(demands, SimTime::from_seconds(1.0));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_DOUBLE_EQ(reports[0].served.as_mbps(), 0.0);
+  EXPECT_TRUE(reports[0].degraded);
+
+  // The repair loop reroutes onto the all-fiber substrate; the next epoch
+  // serves the demand in full.
+  EXPECT_GT(tc.reroutes(), 0u);
+  const auto healed = tc.serve_epoch(demands, SimTime::from_seconds(2.0));
+  ASSERT_EQ(healed.size(), 1u);
+  EXPECT_DOUBLE_EQ(healed[0].served.as_mbps(), 8.0);
+  EXPECT_FALSE(healed[0].degraded);
+}
+
+TEST(TransportController, StaleRouteServesDegradedKernel) {
+  expect_stale_route_served_degraded(/*legacy=*/false);
+}
+
+TEST(TransportController, StaleRouteServesDegradedLegacy) {
+  expect_stale_route_served_degraded(/*legacy=*/true);
+}
+
+TEST(TransportController, RestorePathExactRejectsConflictAndBadArgs) {
+  Diamond d;
+  TransportController tc(std::move(d.topo), Rng(3));
+  PathReservation r;
+  r.id = PathId{9};
+  r.slice = SliceId{1};
+  r.src = d.src;
+  r.dst = d.dst;
+  r.reserved = DataRate::mbps(5.0);
+  r.max_delay = Duration::millis(50.0);
+  r.route.links = {d.fast_a, d.fast_b};
+  ASSERT_TRUE(tc.restore_path_exact(r).ok());
+  EXPECT_EQ(tc.restore_path_exact(r).error().code, Errc::conflict);
+  PathReservation bad = r;
+  bad.id = PathId{10};
+  bad.reserved = DataRate::mbps(0.0);
+  EXPECT_EQ(tc.restore_path_exact(bad).error().code, Errc::invalid_argument);
+  // The id allocator skipped past the restored id.
+  const Result<PathId> fresh = tc.allocate_path(SliceId{2}, d.src, d.dst,
+                                                DataRate::mbps(1.0), Duration::millis(50.0));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh.value().value(), 9u);
+}
+
+// The SoA kernel and the retained legacy path must produce byte-identical
+// report streams over a fading, rerouting substrate.
+TEST(TransportController, KernelMatchesLegacyOverFadingEpochs) {
+  const auto build = [] {
+    Topology topo;
+    const NodeId s = topo.add_node("s", NodeKind::enb_gateway);
+    const NodeId m = topo.add_node("m", NodeKind::openflow_switch);
+    const NodeId t = topo.add_node("t", NodeKind::core_gateway);
+    topo.add_link(s, m, LinkTechnology::mmwave, DataRate::mbps(1000.0), Duration::millis(1.0));
+    topo.add_link(m, t, LinkTechnology::uwave, DataRate::mbps(800.0), Duration::millis(1.0));
+    topo.add_link(s, t, LinkTechnology::fiber, DataRate::mbps(600.0), Duration::millis(4.0));
+    return topo;
+  };
+  TransportController kernel(build(), Rng(77));
+  TransportController legacy(build(), Rng(77));
+  legacy.set_legacy_epoch_path(true);
+
+  std::vector<std::pair<PathId, DataRate>> demands;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const Result<PathId> a = kernel.allocate_path(SliceId{i + 1}, NodeId{1}, NodeId{3},
+                                                  DataRate::mbps(120.0), Duration::millis(20.0));
+    const Result<PathId> b = legacy.allocate_path(SliceId{i + 1}, NodeId{1}, NodeId{3},
+                                                  DataRate::mbps(120.0), Duration::millis(20.0));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.value(), b.value());
+    demands.emplace_back(a.value(), DataRate::mbps(100.0));
+  }
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    const auto ra = kernel.serve_epoch(demands, SimTime::from_seconds(epoch));
+    const auto rb = legacy.serve_epoch(demands, SimTime::from_seconds(epoch));
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].path, rb[i].path);
+      EXPECT_EQ(ra[i].slice, rb[i].slice);
+      EXPECT_EQ(ra[i].served.as_mbps(), rb[i].served.as_mbps()) << "epoch " << epoch;
+      EXPECT_EQ(ra[i].experienced_delay, rb[i].experienced_delay) << "epoch " << epoch;
+      EXPECT_EQ(ra[i].delay_violated, rb[i].delay_violated);
+      EXPECT_EQ(ra[i].degraded, rb[i].degraded);
+    }
+  }
+  EXPECT_EQ(kernel.reroutes(), legacy.reroutes());
 }
 
 TEST(TransportController, RestApiTopologyAndPaths) {
