@@ -25,6 +25,7 @@
 
 #include "common.hpp"
 #include "telemetry/histogram.hpp"
+#include "telemetry/registry.hpp"
 #include "telemetry/trace.hpp"
 
 namespace {
@@ -193,6 +194,37 @@ void BM_TraceExport(benchmark::State& state) {
   telemetry::trace::clear();
 }
 BENCHMARK(BM_TraceExport)->Unit(benchmark::kMicrosecond);
+
+void BM_MetricsBody(benchmark::State& state) {
+  // A /metrics scrape: serialize a registry populated roughly the way
+  // one region's orchestrator populates it (a few dozen counters and
+  // gauges, per-slice series, one busy latency histogram).
+  telemetry::MonitorRegistry registry;
+  std::uint64_t v = 88172645463325252ull;
+  for (int i = 0; i < 48; ++i) {
+    registry.counter("bench.counter." + std::to_string(i)).increment(i);
+    registry.gauge("bench.gauge." + std::to_string(i)).set(i * 1.5);
+    telemetry::SeriesHandle series = registry.handle("bench.series." + std::to_string(i));
+    for (int t = 0; t < 16; ++t) {
+      series.observe(SimTime::origin() + Duration::minutes(15.0 * t), i + t * 0.25);
+    }
+  }
+  telemetry::Histogram& hist = registry.histogram("bench.latency_us");
+  for (int i = 0; i < 4096; ++i) {
+    v ^= v << 13;
+    v ^= v >> 7;
+    v ^= v << 17;
+    hist.record(v % 1000000);
+  }
+  std::string out;
+  for (auto _ : state) {
+    registry.metrics_body(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_MetricsBody)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -7,7 +7,8 @@
 //       Parse each file and report the first error (with line/column and
 //       field path). Exit 1 if any file is invalid.
 //   scenario_runner run <file> [--threads N] [--seed N] [--record path]
-//                       [--out path] [--wall-profile] [--quiet]
+//                       [--out path] [--trace path] [--federation-metrics path]
+//                       [--wall-profile] [--quiet]
 //       Execute the scenario and print the scorecard JSON. Exit 1 when
 //       the scenario declares targets and the run misses any of them.
 //   scenario_runner record <file> <journal> [run flags]
@@ -15,7 +16,7 @@
 //   scenario_runner replay <journal> [run flags]
 //       Re-run a recorded request/event stream; the scorecard is
 //       byte-identical to the recorded run's.
-//   scenario_runner edge <file> --region rX [--port N] [--threads N]
+//   scenario_runner edge <file> --region rX [--port N] [--threads N] [--trace]
 //       Serve one region of a "metro" scenario as its own OS process
 //       (prints "PORT <n>" once listening). A broker process started
 //       with `run <file> --edge rX=PORT ...` drives it over loopback.
@@ -29,6 +30,15 @@
 // Scorecards are deterministic: same scenario + seed => same bytes, at
 // any --threads setting and over any --transport/--edge combination
 // (wall_profile is the one opt-in exception).
+//
+// --trace enables sim-clock span tracing and writes a Chrome trace after
+// the run: for metro scenarios the broker's *merged* federation trace
+// (every region stitched into its own lane), otherwise this process's
+// tracer export. Remote edge processes must be started with `edge
+// --trace` so their spans are available for the merge. --trace output is
+// deterministic too: same bytes at any --threads/--transport/--edge
+// combination. --federation-metrics (metro only) writes the broker's
+// merged federation metrics document after the run.
 
 #include <algorithm>
 #include <csignal>
@@ -45,6 +55,7 @@
 #include "scenario/recorder.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace slices;
 
@@ -66,8 +77,32 @@ struct RunFlags {
   federation::FederatedRunOptions federated;
   std::optional<std::uint64_t> seed_override;
   std::string out_path;
+  std::string trace_path;
+  std::string federation_metrics_path;
   bool quiet = false;
 };
+
+/// Tracing setup shared by `run --trace` and `edge --trace`: sim-clock
+/// timestamps only (wall clock would break byte-parity across runs), a
+/// lane ring big enough that no scenario-scale run overwrites spans, and
+/// a clear() so identity counters start from a known state.
+void enable_deterministic_tracing() {
+  telemetry::trace::Tracer::instance().set_lane_capacity(1u << 20);
+  telemetry::trace::set_wall_clock(false);
+  telemetry::trace::set_enabled(true);
+  telemetry::trace::clear();
+}
+
+/// Write `body` to `path`; false (after printing) on failure.
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << body;
+  if (!out) {
+    fail("cannot write " + path);
+    return false;
+  }
+  return true;
+}
 
 /// Parses trailing --flags shared by run/record/replay. Returns false
 /// (after printing) on a malformed flag.
@@ -122,6 +157,14 @@ bool parse_run_flags(int argc, char** argv, int first, RunFlags& flags) {
       const char* v = value("path");
       if (v == nullptr) return false;
       flags.out_path = v;
+    } else if (arg == "--trace") {
+      const char* v = value("path");
+      if (v == nullptr) return false;
+      flags.trace_path = v;
+    } else if (arg == "--federation-metrics") {
+      const char* v = value("path");
+      if (v == nullptr) return false;
+      flags.federation_metrics_path = v;
     } else if (arg == "--wall-profile") {
       flags.options.wall_profile = true;
     } else if (arg == "--quiet") {
@@ -158,9 +201,32 @@ int execute_federated(scenario::Scenario loaded, const RunFlags& flags) {
     return fail("--record is not supported for metro scenarios");
   if (flags.options.wall_profile)
     return fail("--wall-profile is not supported for metro scenarios");
+  // The facade's live GET /federation/trace is useless without spans,
+  // so a run serving the facade traces even when no --trace file was
+  // asked for. Tracing-on never changes the scorecard (federation_test
+  // pins byte-parity with tracing enabled).
+  if (!flags.trace_path.empty() || flags.federated.broker_port != 0) {
+    enable_deterministic_tracing();
+  }
   federation::FederatedRunner runner(std::move(loaded), flags.federated);
   const Result<federation::FederatedScorecard> card = runner.run();
   if (!card.ok()) return fail(card.error().message);
+  // Export order is part of the determinism contract: the trace first
+  // (so the metrics pulls' bus.call spans stay out of it), then the
+  // merged metrics. Both exports drive the bus from this thread, like
+  // the run loop did.
+  if (!flags.trace_path.empty()) {
+    std::string trace;
+    runner.broker()->export_federated_trace(trace);
+    if (!write_file(flags.trace_path, trace)) return 2;
+  }
+  if (!flags.federation_metrics_path.empty()) {
+    const std::int64_t end_us =
+        (SimTime::origin() + runner.scenario().duration).as_micros();
+    const json::Value doc = runner.broker()->federation_metrics_json(end_us);
+    if (!write_file(flags.federation_metrics_path, json::serialize_pretty(doc) + "\n"))
+      return 2;
+  }
   return report(card.value().serialize(), card.value().targets_met,
                 card.value().target_failures, flags);
 }
@@ -168,10 +234,17 @@ int execute_federated(scenario::Scenario loaded, const RunFlags& flags) {
 int execute(scenario::Scenario loaded, const RunFlags& flags) {
   if (flags.seed_override) loaded.seed = *flags.seed_override;
   if (loaded.topology == "metro") return execute_federated(std::move(loaded), flags);
+  if (!flags.federation_metrics_path.empty())
+    return fail("--federation-metrics needs a metro scenario");
+  if (!flags.trace_path.empty()) enable_deterministic_tracing();
   scenario::ScenarioRunner runner(std::move(loaded), flags.options);
   const Result<scenario::Scorecard> card = runner.run();
   if (!card.ok()) return fail(card.error().message);
-
+  if (!flags.trace_path.empty()) {
+    std::string trace;
+    telemetry::trace::Tracer::instance().export_chrome_json(trace);
+    if (!write_file(flags.trace_path, trace)) return 2;
+  }
   return report(card.value().serialize(), card.value().targets_met,
                 card.value().target_failures, flags);
 }
@@ -249,6 +322,7 @@ int cmd_edge(int argc, char** argv) {
   std::string region;
   std::uint16_t port = 0;
   std::size_t threads = 1;
+  bool trace = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -270,6 +344,8 @@ int cmd_edge(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return 2;
       threads = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--trace") {
+      trace = true;
     } else {
       return fail("unknown flag '" + arg + "'");
     }
@@ -291,6 +367,9 @@ int cmd_edge(int argc, char** argv) {
   }
   if (plan == nullptr) return fail("'" + region + "' is not a region of this scenario");
 
+  // Tracing must be live before the node interns its component so the
+  // region's span ids come out identical to an in-process run's.
+  if (trace) enable_deterministic_tracing();
   federation::EdgeNode node(*plan, loaded.value(), threads);
   Result<std::unique_ptr<net::HttpServer>> server =
       net::HttpServer::bind(node.make_router(), port);

@@ -23,6 +23,16 @@
 //   slicectl <port> federation regions      per-region health/occupancy
 //   slicectl <port> federation placements   the broker's decision log
 //   slicectl <port> federation health       broker liveness
+//   slicectl <port> federation metrics [--region rX]
+//       merged metro-wide metrics (broker SLO registry + per-region
+//       exports + the cross-region merge); --region prints one
+//       region's export only
+//   slicectl <port> federation trace [--region rX]
+//       the merged Chrome trace (load in Perfetto); --region keeps
+//       only that region's lane
+//   slicectl <port> federation dashboard
+//       the text federation pane (broker SLO table + per-region
+//       roll-up) rendered from the same metrics document
 //
 // Offline (no server required):
 //
@@ -42,6 +52,7 @@
 #include <thread>
 
 #include "core/testbed.hpp"
+#include "dashboard/dashboard.hpp"
 #include "federation/runner.hpp"
 #include "net/http_server.hpp"
 #include "scenario/runner.hpp"
@@ -134,6 +145,80 @@ int run_command(std::uint16_t port, int argc, char** argv) {
     }
     if (sub == "health") {
       return print_response(call(port, net::Method::get, "/federation/healthz"));
+    }
+    if (sub == "dashboard") {
+      const Result<net::Response> response =
+          call(port, net::Method::get, "/federation/metrics");
+      if (!response.ok()) return fail(response.error().message);
+      if (static_cast<int>(response.value().status) != 200) return print_response(response);
+      const Result<json::Value> doc = json::parse(response.value().body);
+      if (!doc.ok()) return fail("bad metrics body: " + doc.error().message);
+      std::cout << dashboard::Dashboard::render_federation(doc.value());
+      return 0;
+    }
+    const char* region =
+        (argc >= 6 && std::strcmp(argv[4], "--region") == 0) ? argv[5] : nullptr;
+    if (sub == "metrics") {
+      const Result<net::Response> response =
+          call(port, net::Method::get, "/federation/metrics");
+      if (region == nullptr) return print_response(response);
+      if (!response.ok()) return fail(response.error().message);
+      const Result<json::Value> doc = json::parse(response.value().body);
+      if (!doc.ok()) return fail("bad metrics body: " + doc.error().message);
+      const json::Value* regions = doc.value().find("regions");
+      const json::Value* entry = regions != nullptr ? regions->find(region) : nullptr;
+      if (entry == nullptr)
+        return fail(std::string("no region '") + region + "' in the metrics document");
+      std::cout << json::serialize_pretty(*entry) << "\n";
+      return 0;
+    }
+    if (sub == "trace") {
+      const Result<net::Response> response =
+          call(port, net::Method::get, "/federation/trace");
+      if (!response.ok()) return fail(response.error().message);
+      if (static_cast<int>(response.value().status) != 200) return print_response(response);
+      if (region == nullptr) {
+        // Raw bytes: a Chrome trace is for redirecting into a file and
+        // loading in Perfetto, not for pretty-printing.
+        std::cout << response.value().body << "\n";
+        return 0;
+      }
+      const Result<json::Value> doc = json::parse(response.value().body);
+      if (!doc.ok()) return fail("bad trace body: " + doc.error().message);
+      const json::Value* events = doc.value().find("traceEvents");
+      if (events == nullptr || !events->is_array())
+        return fail("trace body has no traceEvents");
+      // Resolve the region's lane from the thread_name metadata, then
+      // keep only that lane's events (metadata included).
+      const std::string lane = std::string("edge.") + region;
+      double lane_tid = -1.0;
+      for (const json::Value& e : events->as_array()) {
+        const json::Value* ph = e.find("ph");
+        const json::Value* name = e.find("name");
+        const json::Value* args = e.find("args");
+        const json::Value* tid = e.find("tid");
+        if (ph != nullptr && ph->is_string() && ph->as_string() == "M" &&
+            name != nullptr && name->is_string() && name->as_string() == "thread_name" &&
+            args != nullptr && tid != nullptr && tid->is_number()) {
+          const json::Value* lane_name = args->find("name");
+          if (lane_name != nullptr && lane_name->is_string() &&
+              lane_name->as_string() == lane) {
+            lane_tid = tid->as_number();
+          }
+        }
+      }
+      if (lane_tid < 0.0) return fail("no lane named '" + lane + "' in the trace");
+      json::Array kept;
+      for (const json::Value& e : events->as_array()) {
+        const json::Value* tid = e.find("tid");
+        if (tid != nullptr && tid->is_number() && tid->as_number() == lane_tid)
+          kept.push_back(e);
+      }
+      json::Object out;
+      out.emplace("displayTimeUnit", std::string("ms"));
+      out.emplace("traceEvents", std::move(kept));
+      std::cout << json::serialize(json::Value(std::move(out))) << "\n";
+      return 0;
     }
   }
   if (cmd == "trace" && argc >= 4) {

@@ -190,6 +190,12 @@ Orchestrator::Orchestrator(sim::Simulator* simulator, ran::RanController* ran,
     hist_.transport_us = &registry_->histogram("orchestrator.epoch.transport_us");
     hist_.reduce_us = &registry_->histogram("orchestrator.epoch.reduce_us");
     hist_.admission_us = &registry_->histogram("orchestrator.admission_us");
+    slo_.admission_headroom = &registry_->histogram("orchestrator.slo.admission_headroom_mbps");
+    slo_.violation_epochs = &registry_->counter("orchestrator.slo.violation_epochs");
+    slo_.penalty_cents = &registry_->counter("orchestrator.slo.penalty_cents");
+    slo_.headroom_mbps = registry_->handle("orchestrator.slo.headroom_mbps");
+    slo_.demand_mbps = registry_->handle("orchestrator.slo.demand_mbps");
+    slo_.forecast_error_mbps = registry_->handle("orchestrator.slo.forecast_error_mbps");
   }
 }
 
@@ -374,13 +380,21 @@ bool Orchestrator::try_admit(SliceRecord& record) {
   return false;
 }
 
+void Orchestrator::record_admission_headroom(DataRate sellable) {
+  if (registry_ == nullptr) return;
+  const double mbps = sellable.as_mbps();
+  slo_.admission_headroom->record(static_cast<std::uint64_t>(mbps < 0.0 ? 0.0 : mbps + 0.5));
+  slo_.headroom_mbps.observe(simulator_->now(), mbps);
+}
+
 void Orchestrator::decide(SliceRecord& record) {
   assert(record.state == SliceState::pending);
   TRACE_SCOPE("orch.admit.decide");
   WallPhaseTimer timer(hist_.admission_us);
+  const DataRate sellable = sellable_capacity();
+  record_admission_headroom(sellable);
   const CandidateRequest candidate{record.request, record.spec};
-  const std::vector<RequestId> selected =
-      policy_->select({&candidate, 1}, sellable_capacity());
+  const std::vector<RequestId> selected = policy_->select({&candidate, 1}, sellable);
   if (!selected.empty() && selected.front() == record.request) {
     try_admit(record);
     return;
@@ -411,7 +425,9 @@ void Orchestrator::decide_pending_batch() {
   }
   if (candidates.empty()) return;
 
-  const std::vector<RequestId> selected = policy_->select(candidates, sellable_capacity());
+  const DataRate sellable = sellable_capacity();
+  record_admission_headroom(sellable);
+  const std::vector<RequestId> selected = policy_->select(candidates, sellable);
   const std::set<RequestId> chosen(selected.begin(), selected.end());
 
   for (auto& [slice, record] : records_) {
@@ -830,6 +846,8 @@ void Orchestrator::run_epoch(SimTime now) {
   reduce_scope.emplace("orch.epoch.reduce");
   WallPhaseTimer reduce_timer(hist_.reduce_us);
   json::Array epoch_entries;  // journaled so replay re-applies exact accruals
+  double epoch_demand_mbps = 0.0;    // realized demand across active slices
+  double epoch_reserved_mbps = 0.0;  // forecast-driven reservations held
   for (auto& [slice, record] : records_) {
     if (record.state != SliceState::active) continue;
     const DataRate demand = demand_of[slice];
@@ -877,6 +895,8 @@ void Orchestrator::run_epoch(SimTime now) {
     }
 
     engine_.observe(slice, demand.as_mbps());
+    epoch_demand_mbps += demand.as_mbps();
+    epoch_reserved_mbps += record.reserved.as_mbps();
 
     if (registry_ != nullptr) {
       auto handle_it = slice_handles_.find(slice);
@@ -885,13 +905,27 @@ void Orchestrator::run_epoch(SimTime now) {
         handle_it = slice_handles_
                         .emplace(slice, SliceHandles{registry_->handle(prefix + ".demand_mbps"),
                                                      registry_->handle(prefix + ".achieved_mbps"),
-                                                     registry_->handle(prefix + ".reserved_mbps")})
+                                                     registry_->handle(prefix + ".reserved_mbps"),
+                                                     &registry_->counter(prefix + ".violations")})
                         .first;
       }
       handle_it->second.demand.observe(now, demand.as_mbps());
       handle_it->second.achieved.observe(now, achieved.as_mbps());
       handle_it->second.reserved.observe(now, record.reserved.as_mbps());
+      if (violated) {
+        handle_it->second.violations->increment();
+        slo_.violation_epochs->increment();
+        slo_.penalty_cents->increment(
+            static_cast<std::uint64_t>(record.spec.penalty_per_violation.as_cents()));
+      }
     }
+  }
+  // Forecast error is signed: positive = reserved above realized demand
+  // (headroom the overbooking engine could still reclaim), negative =
+  // under-reservation (the precursor of violation epochs).
+  if (registry_ != nullptr) {
+    slo_.demand_mbps.observe(now, epoch_demand_mbps);
+    slo_.forecast_error_mbps.observe(now, epoch_reserved_mbps - epoch_demand_mbps);
   }
 
   if (!epoch_entries.empty()) {
@@ -1515,6 +1549,24 @@ std::shared_ptr<net::Router> Orchestrator::make_router() {
 
   router->add(net::Method::get, "/healthz", [this](const net::RouteContext&) {
     return net::Response::json(net::Status::ok, json::serialize(health_json()));
+  });
+
+  // Same shape as EdgeNode::metrics_body so one scraper handles both:
+  // the registry snapshot plus the tracer status (whose lane_detail
+  // carries the per-lane ring-overwrite drop counters).
+  router->add(net::Method::get, "/metrics", [this](const net::RouteContext&) {
+    std::string body = "{\"metrics\":";
+    if (registry_ != nullptr) {
+      std::string registry_body;
+      registry_->metrics_body(registry_body);
+      body += registry_body;
+    } else {
+      body += "null";
+    }
+    body += ",\"trace\":";
+    body += json::serialize(telemetry::trace::Tracer::instance().status_json());
+    body.push_back('}');
+    return net::Response::json(net::Status::ok, std::move(body));
   });
 
   router->add(net::Method::get, "/trace", [](const net::RouteContext& ctx) {

@@ -305,6 +305,11 @@ class Orchestrator {
   /// Batch auction of all pending requests (admission_window mode).
   void decide_pending_batch();
 
+  /// SLO instrument: the headroom the admission policy saw for this
+  /// decision, recorded as a histogram (distribution over decisions)
+  /// and a series (headroom over time).
+  void record_admission_headroom(DataRate sellable);
+
   /// Shared admit path: reclaim, embed, transition, schedule activation.
   /// Returns false (and rejects) on embedding failure.
   bool try_admit(SliceRecord& record);
@@ -379,6 +384,7 @@ class Orchestrator {
     telemetry::SeriesHandle demand;
     telemetry::SeriesHandle achieved;
     telemetry::SeriesHandle reserved;
+    telemetry::Counter* violations = nullptr;  ///< "slice.N.violations"
   };
   struct SummaryHandles {
     telemetry::SeriesHandle active_slices;
@@ -390,6 +396,21 @@ class Orchestrator {
   };
   std::map<SliceId, SliceHandles> slice_handles_;
   SummaryHandles summary_handles_;
+
+  // Overbooking SLO instruments (docs/observability.md): the headroom
+  // signal at each admission decision, realized demand against the
+  // forecast reservation each epoch, and the SLA-breach ledger as
+  // counters. Everything here is sim-derived, so the contents are
+  // compared by determinism_test like any other registry instrument.
+  struct SloInstruments {
+    telemetry::Histogram* admission_headroom = nullptr;
+    telemetry::Counter* violation_epochs = nullptr;
+    telemetry::Counter* penalty_cents = nullptr;
+    telemetry::SeriesHandle headroom_mbps;
+    telemetry::SeriesHandle demand_mbps;
+    telemetry::SeriesHandle forecast_error_mbps;
+  };
+  SloInstruments slo_;
 
   // Latency histograms, interned eagerly in the constructor so the set
   // of registered instruments (and hence /metrics bytes) never depends

@@ -149,6 +149,57 @@ std::string Dashboard::render_events(std::size_t count) const {
   return "== Recent events ==\n" + table.render();
 }
 
+std::string Dashboard::render_federation(const json::Value& metrics) {
+  const auto num = [](const json::Value* section, const char* key) -> double {
+    if (section == nullptr) return 0.0;
+    const json::Value* v = section->find(key);
+    return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+  };
+
+  std::string out = "== Federation ==\n";
+  if (const json::Value* broker = metrics.find("broker"); broker != nullptr) {
+    const json::Value* gauges = broker->find("gauges");
+    TextTable table({"broker metric", "value"});
+    table.add_row({"submitted", TextTable::num(num(gauges, "federation.submitted"), 0)});
+    table.add_row({"placed local / remote",
+                   TextTable::num(num(gauges, "federation.placed_local"), 0) + " / " +
+                       TextTable::num(num(gauges, "federation.placed_remote"), 0)});
+    table.add_row({"edge rejected", TextTable::num(num(gauges, "federation.edge_rejected"), 0)});
+    table.add_row({"no region", TextTable::num(num(gauges, "federation.rejected_no_region"), 0)});
+    table.add_row({"deferred total / queued",
+                   TextTable::num(num(gauges, "federation.deferred_total"), 0) + " / " +
+                       TextTable::num(num(gauges, "federation.deferred_depth"), 0)});
+    table.add_row({"backbone reserved Mb/s",
+                   TextTable::num(num(gauges, "federation.backbone_reserved_mbps"))});
+    table.add_row({"backbone leases",
+                   TextTable::num(num(gauges, "federation.backbone_leases"), 0)});
+    out += table.render();
+  }
+
+  if (const json::Value* regions = metrics.find("regions");
+      regions != nullptr && regions->is_object()) {
+    TextTable table({"region", "active", "contracted Mb/s", "reserved Mb/s",
+                     "headroom Mb/s", "violations", "penalty cents"});
+    for (const auto& [name, doc] : regions->as_object()) {
+      if (!doc.is_object()) {
+        table.add_row({name, "-", "-", "-", "-", "-", "-"});  // unreachable edge
+        continue;
+      }
+      const json::Value* gauges = doc.find("gauges");
+      const json::Value* counters = doc.find("counters");
+      table.add_row({name,
+                     TextTable::num(num(gauges, "orchestrator.active_slices"), 0),
+                     TextTable::num(num(gauges, "orchestrator.contracted_mbps")),
+                     TextTable::num(num(gauges, "orchestrator.reserved_mbps")),
+                     TextTable::num(num(gauges, "orchestrator.slo.headroom_mbps")),
+                     TextTable::num(num(counters, "orchestrator.slo.violation_epochs"), 0),
+                     TextTable::num(num(counters, "orchestrator.slo.penalty_cents"), 0)});
+    }
+    out += table.render();
+  }
+  return out;
+}
+
 std::string Dashboard::render_all() const {
   return render_headline() + "\n" + render_slices() + "\n" + render_domains() + "\n" +
          render_events() + "\n" + render_bus() + "\n" + render_health();

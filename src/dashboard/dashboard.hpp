@@ -40,6 +40,13 @@ class Dashboard {
   /// The most recent orchestration events (the demo's activity feed).
   [[nodiscard]] std::string render_events(std::size_t count = 12) const;
 
+  /// Federation pane, rendered from a broker /federation/metrics
+  /// document (GET it from the facade or Broker::federation_metrics_json):
+  /// broker placement/SLO instruments plus a per-region roll-up of each
+  /// edge's registry export. Static because the document comes from the
+  /// broker, not from this dashboard's single-region testbed.
+  [[nodiscard]] static std::string render_federation(const json::Value& metrics);
+
   /// All panels concatenated.
   [[nodiscard]] std::string render_all() const;
 

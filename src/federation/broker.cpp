@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/trace.hpp"
 #include "transport/cspf.hpp"
 
 namespace slices::federation {
@@ -25,6 +26,53 @@ bool bool_or(const json::Value& body, std::string_view key, bool fallback) {
 std::string string_or(const json::Value& body, std::string_view key, std::string fallback) {
   const json::Value* v = body.find(key);
   return (v != nullptr && v->is_string()) ? v->as_string() : fallback;
+}
+
+/// Chrome "thread_name" metadata event, naming one lane of the merged
+/// federated trace.
+void append_thread_name(std::string& out, int tid, const std::string& name, bool& first) {
+  if (!first) out.push_back(',');
+  first = false;
+  out += "{\"args\":{\"name\":";
+  json::append_escaped(out, name);
+  out += "},\"cat\":\"__metadata\",\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+  json::append_number(out, static_cast<double>(tid));
+  out.push_back('}');
+}
+
+/// One complete ("X") Chrome event from a pulled span document
+/// ({"name","sim_us","trace","span","parent","depth"} — ids as decimal
+/// strings). Malformed spans are skipped.
+void append_span_event(std::string& out, const json::Value& span, int tid, bool& first) {
+  const json::Value* name = span.find("name");
+  const json::Value* sim_us = span.find("sim_us");
+  const json::Value* depth = span.find("depth");
+  const json::Value* trace = span.find("trace");
+  const json::Value* span_id = span.find("span");
+  const json::Value* parent = span.find("parent");
+  if (name == nullptr || !name->is_string() || sim_us == nullptr || !sim_us->is_number() ||
+      depth == nullptr || !depth->is_number() || trace == nullptr || !trace->is_string() ||
+      span_id == nullptr || !span_id->is_string() || parent == nullptr ||
+      !parent->is_string()) {
+    return;
+  }
+  if (!first) out.push_back(',');
+  first = false;
+  out += "{\"name\":";
+  json::append_escaped(out, name->as_string());
+  out += ",\"cat\":\"slices\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+  json::append_number(out, static_cast<double>(tid));
+  out += ",\"ts\":";
+  json::append_number(out, sim_us->as_number());
+  out += ",\"dur\":0,\"args\":{\"depth\":";
+  json::append_number(out, depth->as_number());
+  out += ",\"parent\":";
+  json::append_escaped(out, parent->as_string());
+  out += ",\"span\":";
+  json::append_escaped(out, span_id->as_string());
+  out += ",\"trace\":";
+  json::append_escaped(out, trace->as_string());
+  out += "}}";
 }
 
 json::Value decision_to_json(const PlacementDecision& d) {
@@ -76,10 +124,16 @@ void Broker::advance_all(std::int64_t t_us) {
   body.emplace("t_us", static_cast<double>(t_us));
   const json::Value doc{std::move(body)};
   for (const std::string& region : regions_) {
+    // In-process edges advance on the *shared* tracer clock and leave it
+    // wherever their epoch loop last published; re-pin it to t before
+    // each call so broker-side spans timestamp identically when edges
+    // are remote processes with clocks of their own.
+    telemetry::trace::set_sim_now(t_us);
     // A dead edge is the edge process's problem; the run loop treats
     // advance as best-effort and admission-level calls surface errors.
     (void)bus_->call_json(service_name(region), net::Method::post, "/federation/advance", doc);
   }
+  telemetry::trace::set_sim_now(t_us);
 }
 
 std::vector<Broker::Candidate> Broker::collect_candidates(double throughput_mbps,
@@ -280,8 +334,116 @@ json::Value Broker::regions_json() {
 void Broker::refresh_snapshot(std::int64_t t_us) {
   json::Value snapshot = regions_json();
   snapshot.as_object().emplace("t_us", static_cast<double>(t_us));
+
+  // Broker-side SLO instruments, sampled on sim time each tick. All
+  // inputs are sim-derived (deferred lane, lease table, the freshly
+  // polled headroom document), so the registry contents are identical
+  // across in-process / socket / multi-process edges.
+  const SimTime t = SimTime::from_micros(t_us);
+  registry_.observe("federation.deferred_depth", t, static_cast<double>(deferred_.size()));
+  double backbone_mbps = 0.0;
+  for (const auto& [link, rate] : backbone_reserved_) backbone_mbps += rate.as_mbps();
+  registry_.observe("federation.backbone_reserved_mbps", t, backbone_mbps);
+  registry_.observe("federation.backbone_leases", t, static_cast<double>(leases_.size()));
+  registry_.gauge("federation.submitted").set(static_cast<double>(counters_.submitted));
+  registry_.gauge("federation.placed_local").set(static_cast<double>(counters_.placed_local));
+  registry_.gauge("federation.placed_remote").set(static_cast<double>(counters_.placed_remote));
+  registry_.gauge("federation.edge_rejected").set(static_cast<double>(counters_.edge_rejected));
+  registry_.gauge("federation.rejected_no_region")
+      .set(static_cast<double>(counters_.rejected_no_region));
+  registry_.gauge("federation.deferred_total")
+      .set(static_cast<double>(counters_.deferred_total));
+  if (const json::Value* list = snapshot.find("regions"); list != nullptr && list->is_array()) {
+    for (const json::Value& entry : list->as_array()) {
+      const json::Value* region = entry.find("region");
+      if (region == nullptr || !region->is_string()) continue;
+      const std::string prefix = "federation." + region->as_string();
+      for (const char* key : {"headroom_mbps", "reserved_mbps", "contracted_mbps", "active"}) {
+        const json::Value* v = entry.find(key);
+        if (v != nullptr && v->is_number()) {
+          registry_.observe(prefix + "." + key, t, v->as_number());
+        }
+      }
+    }
+  }
+
+  if (facade_enabled_) {
+    // The facade bodies need bus pulls, which only the run loop may do;
+    // rebuild them here so HttpServer threads serve plain strings.
+    std::string metrics = json::serialize(federation_metrics_json(t_us));
+    std::string trace;
+    export_federated_trace(trace);
+    std::lock_guard<std::mutex> lock(mutex_);
+    regions_snapshot_ = std::move(snapshot);
+    metrics_snapshot_ = std::move(metrics);
+    trace_snapshot_ = std::move(trace);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   regions_snapshot_ = std::move(snapshot);
+}
+
+json::Value Broker::federation_metrics_json(std::int64_t t_us) {
+  json::Object regions;
+  telemetry::MonitorRegistry merged;
+  for (const std::string& region : regions_) {
+    Result<json::Value> doc = bus_->get_json(service_name(region), "/federation/metrics");
+    const json::Value* metrics =
+        doc.ok() ? doc.value().find("metrics") : nullptr;
+    if (metrics == nullptr || !metrics->is_object()) {
+      regions.emplace(region, json::Value(nullptr));  // unreachable edge
+      continue;
+    }
+    merged.merge_from(*metrics);
+    regions.emplace(region, *metrics);
+  }
+  json::Object out;
+  out.emplace("broker", registry_.snapshot());
+  out.emplace("merged", merged.snapshot());
+  out.emplace("regions", json::Value(std::move(regions)));
+  out.emplace("t_us", static_cast<double>(t_us));
+  return json::Value(std::move(out));
+}
+
+void Broker::export_federated_trace(std::string& out) {
+  // Pull every region's span list *before* reading the broker lane: the
+  // pulls' own bus.call spans then appear in the broker lane on every
+  // transport, keeping in-process and multi-process exports identical.
+  std::vector<json::Value> region_spans(regions_.size(), json::Value(nullptr));
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    Result<json::Value> doc = bus_->get_json(service_name(regions_[i]), "/federation/trace");
+    if (!doc.ok()) continue;
+    if (const json::Value* spans = doc.value().find("spans");
+        spans != nullptr && spans->is_array()) {
+      region_spans[i] = *spans;
+    }
+  }
+  std::string own;
+  telemetry::trace::Tracer::instance().export_component_spans_json(0, own);
+  json::Value own_spans{nullptr};
+  if (Result<json::Value> parsed = json::parse(own); parsed.ok()) {
+    own_spans = std::move(parsed).value();
+  }
+
+  out.clear();
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  append_thread_name(out, 0, "broker", first);
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    append_thread_name(out, static_cast<int>(1 + i), service_name(regions_[i]), first);
+  }
+  if (own_spans.is_array()) {
+    for (const json::Value& span : own_spans.as_array()) {
+      append_span_event(out, span, 0, first);
+    }
+  }
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (!region_spans[i].is_array()) continue;
+    for (const json::Value& span : region_spans[i].as_array()) {
+      append_span_event(out, span, static_cast<int>(1 + i), first);
+    }
+  }
+  out += "]}";
 }
 
 json::Value Broker::placements_json() const {
@@ -310,6 +472,22 @@ std::shared_ptr<net::Router> Broker::make_router() {
   router->add(net::Method::get, "/federation/placements",
               [this, ok_json](const net::RouteContext&) {
                 return ok_json(placements_json());
+              });
+  router->add(net::Method::get, "/federation/metrics",
+              [this](const net::RouteContext&) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                return net::Response::json(
+                    net::Status::ok,
+                    metrics_snapshot_.empty() ? "{\"regions\":{}}" : metrics_snapshot_);
+              });
+  router->add(net::Method::get, "/federation/trace",
+              [this](const net::RouteContext&) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                return net::Response::json(
+                    net::Status::ok,
+                    trace_snapshot_.empty()
+                        ? "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+                        : trace_snapshot_);
               });
   router->add(net::Method::get, "/federation/healthz",
               [this, ok_json](const net::RouteContext&) {

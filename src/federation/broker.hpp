@@ -28,6 +28,7 @@
 #include "json/value.hpp"
 #include "net/rest_bus.hpp"
 #include "net/router.hpp"
+#include "telemetry/registry.hpp"
 
 namespace slices::federation {
 
@@ -94,10 +95,42 @@ class Broker {
   [[nodiscard]] std::size_t deferred_pending() const noexcept { return deferred_.size(); }
   [[nodiscard]] const std::vector<std::string>& regions() const noexcept { return regions_; }
 
+  /// Broker-side SLO instruments (docs/federation.md): deferred-lane
+  /// depth, backbone lease occupancy, per-region headroom at refresh,
+  /// placement counters. Sampled by refresh_snapshot() on sim time, so
+  /// the contents are transport-invariant.
+  [[nodiscard]] const telemetry::MonitorRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+  /// Federation-wide metrics roll-up: pulls every region's full-fidelity
+  /// /federation/metrics export over the bus and merges them (counters
+  /// add, histograms bucket-merge). Returns
+  ///   {"t_us", "regions": {<r>: <export>}, "merged": <snapshot>,
+  ///    "broker": <broker-registry snapshot>}
+  /// Byte-identical across in-process / socket / multi-process edges.
+  /// Single-threaded with the run loop (drives the bus).
+  [[nodiscard]] json::Value federation_metrics_json(std::int64_t t_us);
+
+  /// One merged Chrome trace for the whole metro: per-region span lists
+  /// pulled over the bus plus the broker's own spans, stitched into
+  /// region-named lanes (tid 0 = broker, tid 1+i = regions in sorted
+  /// order). Region pulls happen before the broker lane is read, so the
+  /// pulls' own bus.call spans land in the export on every transport.
+  /// Single-threaded with the run loop (drives the bus).
+  void export_federated_trace(std::string& out);
+
+  /// When enabled, refresh_snapshot() also rebuilds the federation
+  /// metrics/trace bodies the REST facade serves (they require bus
+  /// pulls, which only the run loop may do). Off by default to keep
+  /// non-facade runs free of the export cost.
+  void set_facade_enabled(bool on) noexcept { facade_enabled_ = on; }
+
   /// REST facade for slicectl: GET /federation/regions (latest
-  /// snapshot), GET /federation/placements, GET /federation/healthz.
-  /// Handlers only read mutex-guarded snapshots — safe to serve from an
-  /// HttpServer thread while the run loop mutates the broker.
+  /// snapshot), GET /federation/placements, GET /federation/metrics,
+  /// GET /federation/trace, GET /federation/healthz. Handlers only read
+  /// mutex-guarded snapshots — safe to serve from an HttpServer thread
+  /// while the run loop mutates the broker.
   [[nodiscard]] std::shared_ptr<net::Router> make_router();
 
  private:
@@ -145,12 +178,16 @@ class Broker {
 
   BrokerCounters counters_;
   std::uint64_t next_seq_ = 1;
+  telemetry::MonitorRegistry registry_;
+  bool facade_enabled_ = false;
 
   // REST-facade state: the run loop writes under the mutex, HttpServer
   // handler threads read under it.
   mutable std::mutex mutex_;
   std::vector<PlacementDecision> placements_;
   json::Value regions_snapshot_{nullptr};
+  std::string metrics_snapshot_;  ///< facade /federation/metrics body
+  std::string trace_snapshot_;    ///< facade /federation/trace body
 };
 
 }  // namespace slices::federation

@@ -29,7 +29,11 @@ std::optional<std::size_t> edge_dc_index(const std::string& target, std::size_t 
 
 EdgeNode::EdgeNode(const RegionPlan& plan, const scenario::Scenario& scenario,
                    std::size_t epoch_threads)
-    : plan_(plan) {
+    : plan_(plan),
+      component_(telemetry::trace::Tracer::instance().intern_component("edge." + plan.name)) {
+  // Construction-time spans (none today, but guard against future ones)
+  // must carry the region's component like handler-triggered spans do.
+  telemetry::trace::ComponentScope trace_component(component_);
   core::OrchestratorConfig config = scenario.orchestrator;
   config.epoch_threads = epoch_threads == 0 ? 1 : epoch_threads;
   if (config.epoch_threads > 1) {
@@ -294,25 +298,81 @@ json::Value EdgeNode::summary_json() const {
   return Value(std::move(out));
 }
 
+std::string EdgeNode::metrics_body() const {
+  std::string body = "{\"metrics\":";
+  std::string registry_body;
+  registry_.metrics_body(registry_body);
+  body += registry_body;
+  body += ",\"trace\":";
+  body += json::serialize(telemetry::trace::Tracer::instance().status_json());
+  body.push_back('}');
+  return body;
+}
+
+std::string EdgeNode::federation_metrics_body() const {
+  Object out;
+  out.emplace("region", plan_.name);
+  out.emplace("metrics", registry_.export_json());
+  return json::serialize(Value(std::move(out)));
+}
+
+std::string EdgeNode::federation_trace_body() const {
+  const telemetry::trace::Tracer& tracer = telemetry::trace::Tracer::instance();
+  std::string spans;
+  tracer.export_component_spans_json(component_.index, spans);
+  std::string body = "{\"dropped\":";
+  json::append_number(body, static_cast<double>(tracer.dropped()));
+  body += ",\"region\":";
+  json::append_escaped(body, plan_.name);
+  body += ",\"spans\":";
+  body += spans;
+  body.push_back('}');
+  return body;
+}
+
 std::shared_ptr<net::Router> EdgeNode::make_router() {
   auto router = std::make_shared<net::Router>();
   const auto ok_json = [](const json::Value& doc) {
     return net::Response::json(net::Status::ok, json::serialize(doc));
   };
+  // Every northbound handler runs under the region's trace component, so
+  // spans it triggers — orchestrator admission, epoch phases, domain
+  // installs — are id-keyed by region regardless of the hosting process.
+  const auto traced = [this](net::Handler handler) -> net::Handler {
+    return [this, handler = std::move(handler)](const net::RouteContext& ctx) {
+      telemetry::trace::ComponentScope trace_component(component_);
+      return handler(ctx);
+    };
+  };
 
   router->add(net::Method::get, "/federation/info",
-              [this, ok_json](const net::RouteContext&) { return ok_json(info_json()); });
+              traced([this, ok_json](const net::RouteContext&) { return ok_json(info_json()); }));
   router->add(net::Method::get, "/federation/headroom",
-              [this, ok_json](const net::RouteContext&) { return ok_json(headroom_json()); });
+              traced([this, ok_json](const net::RouteContext&) {
+                return ok_json(headroom_json());
+              }));
   router->add(net::Method::get, "/federation/summary",
-              [this, ok_json](const net::RouteContext&) { return ok_json(summary_json()); });
+              traced([this, ok_json](const net::RouteContext&) {
+                return ok_json(summary_json());
+              }));
   router->add(net::Method::get, "/federation/healthz",
-              [this, ok_json](const net::RouteContext&) {
+              traced([this, ok_json](const net::RouteContext&) {
                 return ok_json(orchestrator_->health_json());
-              });
+              }));
+  router->add(net::Method::get, "/metrics", traced([this](const net::RouteContext&) {
+                return net::Response::json(net::Status::ok, metrics_body());
+              }));
+  router->add(net::Method::get, "/federation/metrics",
+              traced([this](const net::RouteContext&) {
+                return net::Response::json(net::Status::ok, federation_metrics_body());
+              }));
+  router->add(net::Method::get, "/federation/trace",
+              traced([this](const net::RouteContext&) {
+                return net::Response::json(net::Status::ok, federation_trace_body());
+              }));
 
   router->add(net::Method::post, "/federation/advance",
-              [this, ok_json](const net::RouteContext& ctx) {
+              traced([this, ok_json](const net::RouteContext& ctx) {
                 Result<json::Value> body = json::parse(ctx.request->body);
                 if (!body.ok()) return net::Response::from_error(body.error());
                 if (!body.value().is_object() ||
@@ -326,19 +386,19 @@ std::shared_ptr<net::Router> EdgeNode::make_router() {
                 out.emplace("region", plan_.name);
                 out.emplace("t_us", static_cast<double>(simulator_.now().as_micros()));
                 return ok_json(Value(std::move(out)));
-              });
+              }));
 
   router->add(net::Method::post, "/federation/slices",
-              [this, ok_json](const net::RouteContext& ctx) {
+              traced([this, ok_json](const net::RouteContext& ctx) {
                 Result<json::Value> body = json::parse(ctx.request->body);
                 if (!body.ok()) return net::Response::from_error(body.error());
                 Result<json::Value> outcome = submit(body.value());
                 if (!outcome.ok()) return net::Response::from_error(outcome.error());
                 return ok_json(outcome.value());
-              });
+              }));
 
   router->add(net::Method::post, "/federation/fault",
-              [this, ok_json](const net::RouteContext& ctx) {
+              traced([this, ok_json](const net::RouteContext& ctx) {
                 Result<json::Value> body = json::parse(ctx.request->body);
                 if (!body.ok()) return net::Response::from_error(body.error());
                 if (Result<void> r = apply_fault(body.value()); !r.ok()) {
@@ -348,7 +408,7 @@ std::shared_ptr<net::Router> EdgeNode::make_router() {
                 out.emplace("region", plan_.name);
                 out.emplace("applied", true);
                 return ok_json(Value(std::move(out)));
-              });
+              }));
   return router;
 }
 

@@ -10,6 +10,9 @@
 //   GET  /federation/headroom  forecast headroom + placement gates
 //   GET  /federation/summary   full census for the federated scorecard
 //   GET  /federation/healthz   the orchestrator's health document
+//   GET  /federation/metrics   full-fidelity registry export (mergeable)
+//   GET  /federation/trace     this region's spans (transport-invariant)
+//   GET  /metrics              registry snapshot + tracer drop counters
 //   POST /federation/advance   lock-step clock: run_until(t_us)
 //   POST /federation/slices    delegated admission (503 while suspended)
 //   POST /federation/fault     region-scoped fault injection
@@ -17,7 +20,10 @@
 // Because every interaction crosses this router, an EdgeNode behaves
 // identically whether the router is dispatched in-process, over a
 // loopback socket in another thread, or in another OS process — the
-// transport-parity half of the federation determinism bar.
+// transport-parity half of the federation determinism bar. Handlers run
+// under a trace ComponentScope named "edge.<region>", so spans they
+// trigger carry region-keyed ids whether they record into the broker
+// process's tracer (in-process edges) or a remote edge's.
 
 #include <memory>
 #include <string>
@@ -37,6 +43,7 @@
 #include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 #include "traffic/model.hpp"
 #include "transport/controller.hpp"
 
@@ -80,6 +87,18 @@ class EdgeNode {
   [[nodiscard]] json::Value headroom_json() const;
   [[nodiscard]] json::Value summary_json() const;
 
+  /// GET /metrics body: the region registry snapshot plus the tracer's
+  /// status (per-lane ring-overwrite drop counters included), so silent
+  /// span loss is visible wherever metrics are scraped.
+  [[nodiscard]] std::string metrics_body() const;
+  /// GET /federation/metrics body: {"region", "metrics": export_json()}
+  /// — the full-fidelity, mergeable form the broker aggregates.
+  [[nodiscard]] std::string federation_metrics_body() const;
+  /// GET /federation/trace body: {"region", "dropped", "spans": [...]}
+  /// — this region's spans in span-id order, byte-identical whether the
+  /// region ran in the broker's process or its own.
+  [[nodiscard]] std::string federation_trace_body() const;
+
   /// The northbound REST surface (routes above). Handlers capture
   /// `this`; the node must outlive the router.
   [[nodiscard]] std::shared_ptr<net::Router> make_router();
@@ -90,6 +109,7 @@ class EdgeNode {
   void apply_restart(Duration duration);
 
   RegionPlan plan_;
+  telemetry::trace::ComponentRef component_;  ///< "edge.<region>" trace identity
   sim::Simulator simulator_;
   telemetry::MonitorRegistry registry_;
   std::unique_ptr<ThreadPool> pool_;

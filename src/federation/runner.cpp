@@ -239,6 +239,9 @@ Result<FederatedScorecard> FederatedRunner::run() {
 
   if (Result<void> built = build_edges(); !built.ok()) return built.error();
   broker_ = std::make_unique<Broker>(&bus_, fabric_);
+  // The facade's /federation/metrics|trace bodies require bus pulls the
+  // run loop must perform; only pay for them when the facade is up.
+  broker_->set_facade_enabled(options_.broker_port != 0);
 
   std::unique_ptr<net::HttpServer> facade;
   std::thread facade_thread;

@@ -2,6 +2,8 @@
 
 #include <charconv>
 
+#include "telemetry/trace.hpp"
+
 namespace slices::net {
 namespace {
 
@@ -65,8 +67,21 @@ Result<void> HttpServer::serve_one() {
     response = Response::from_error(wire.error());
   } else {
     const Result<Request> request = parse_request(wire.value());
-    response = request.ok() ? router_->dispatch(request.value())
-                            : Response::from_error(request.error());
+    if (!request.ok()) {
+      response = Response::from_error(request.error());
+    } else {
+      // Adopt a carried trace context (if any) so spans opened by the
+      // handler parent the caller's span exactly like a direct dispatch
+      // would. Invalid/absent headers make this a no-op.
+      telemetry::trace::Context ctx;
+      const auto trace_header =
+          request.value().headers.find(telemetry::trace::kContextHeader);
+      if (trace_header != request.value().headers.end()) {
+        ctx = telemetry::trace::parse_context(trace_header->second);
+      }
+      telemetry::trace::ContextScope trace_scope(ctx);
+      response = router_->dispatch(request.value());
+    }
   }
   response.headers.insert_or_assign("Connection", "close");
   (void)conn.send_all(response.encode());

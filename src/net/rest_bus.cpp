@@ -40,12 +40,31 @@ Result<Response> RestBus::call(const std::string& name, const Request& request) 
   BusStats& stats = it->second.stats;
   ++stats.requests;
 
+  // Stamp the live trace context onto the request so callee spans parent
+  // this bus.call span: in-struct on the direct-dispatch path, as an
+  // X-Slices-Trace header across the socket backend. All three paths use
+  // the same stamped copy, so byte counters and wire-check bytes stay
+  // transport-invariant whether tracing is on or off.
+  const Request* req = &request;
+  Request stamped;
+  if (telemetry::trace::enabled()) {
+    const telemetry::trace::Context ctx =
+        telemetry::trace::Tracer::instance().current_context();
+    if (ctx.valid()) {
+      stamped = request;
+      std::string encoded;
+      telemetry::trace::encode_context(ctx, encoded);
+      stamped.headers.insert_or_assign(telemetry::trace::kContextHeader, std::move(encoded));
+      req = &stamped;
+    }
+  }
+
   // Remote backend: the exchange crosses a real loopback socket (the
   // server encodes/parses on its side), so every call pays the full
   // wire codec by construction.
   if (it->second.router == nullptr) {
-    stats.bytes_tx += request.encoded_size();
-    Result<Response> resp = http_request(it->second.remote_port, request);
+    stats.bytes_tx += req->encoded_size();
+    Result<Response> resp = http_request(it->second.remote_port, *req);
     if (!resp.ok()) {
       ++stats.responses_error;
       return resp;
@@ -64,7 +83,7 @@ Result<Response> RestBus::call(const std::string& name, const Request& request) 
   // request crosses the codec exactly as it would cross a TCP
   // connection, keeping the wire format continuously verified.
   if (wire_check_interval_ <= 1 || stats.requests % wire_check_interval_ == 1) {
-    const std::string request_wire = request.encode();
+    const std::string request_wire = req->encode();
     stats.bytes_tx += request_wire.size();
     Result<Request> decoded = parse_request(request_wire);
     if (!decoded.ok()) return decoded.error();
@@ -89,8 +108,8 @@ Result<Response> RestBus::call(const std::string& name, const Request& request) 
   // the exact bytes the wire would have carried, and the response gets
   // the canonical Content-Length header a codec round trip would add,
   // so callers cannot tell the two paths apart.
-  stats.bytes_tx += request.encoded_size();
-  Response served = it->second.router->dispatch(request);
+  stats.bytes_tx += req->encoded_size();
+  Response served = it->second.router->dispatch(*req);
   stats.bytes_rx += served.encoded_size();
   served.headers.insert_or_assign("Content-Length", std::to_string(served.body.size()));
 

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "json/value.hpp"
+
 namespace slices::telemetry {
 
 /// Log-linear histogram over uint64 values with p50/p90/p99/p999 export.
@@ -51,6 +53,62 @@ class Histogram {
     }
     count_ += other.count_;
     sum_ += other.sum_;
+  }
+
+  /// Full-fidelity export for cross-process merging: the scalar state
+  /// plus the non-zero buckets as [index, count] pairs. Unlike the
+  /// quantile summary in MonitorRegistry snapshots, this loses nothing:
+  /// merge_json(to_json()) into an empty histogram reproduces the
+  /// original bit for bit.
+  [[nodiscard]] json::Value to_json() const {
+    json::Object out;
+    json::Array buckets;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] == 0) continue;
+      json::Array pair;
+      pair.emplace_back(static_cast<double>(i));
+      pair.emplace_back(static_cast<double>(buckets_[i]));
+      buckets.push_back(std::move(pair));
+    }
+    out.emplace("buckets", std::move(buckets));
+    out.emplace("count", static_cast<double>(count_));
+    out.emplace("max", static_cast<double>(max_));
+    out.emplace("min", static_cast<double>(min_));
+    out.emplace("sum", static_cast<double>(sum_));
+    return out;
+  }
+
+  /// Elementwise-add a to_json() document into this histogram, exactly
+  /// like merge(). Malformed documents are ignored.
+  void merge_json(const json::Value& doc) {
+    if (!doc.is_object()) return;
+    const json::Value* count = doc.find("count");
+    const json::Value* sum = doc.find("sum");
+    const json::Value* min = doc.find("min");
+    const json::Value* max = doc.find("max");
+    const json::Value* buckets = doc.find("buckets");
+    if (count == nullptr || !count->is_number() || sum == nullptr || !sum->is_number() ||
+        min == nullptr || !min->is_number() || max == nullptr || !max->is_number() ||
+        buckets == nullptr || !buckets->is_array()) {
+      return;
+    }
+    const auto other_count = static_cast<std::uint64_t>(count->as_number());
+    if (other_count == 0) return;
+    const auto other_min = static_cast<std::uint64_t>(min->as_number());
+    const auto other_max = static_cast<std::uint64_t>(max->as_number());
+    for (const json::Value& pair : buckets->as_array()) {
+      if (!pair.is_array() || pair.as_array().size() != 2) continue;
+      const json::Value& index = pair.as_array()[0];
+      const json::Value& bucket_count = pair.as_array()[1];
+      if (!index.is_number() || !bucket_count.is_number()) continue;
+      const auto i = static_cast<std::size_t>(index.as_number());
+      if (i >= buckets_.size()) buckets_.resize(i + 1, 0);
+      buckets_[i] += static_cast<std::uint64_t>(bucket_count.as_number());
+    }
+    min_ = count_ == 0 ? other_min : (other_min < min_ ? other_min : min_);
+    max_ = count_ == 0 ? other_max : (other_max > max_ ? other_max : max_);
+    count_ += other_count;
+    sum_ += static_cast<std::uint64_t>(sum->as_number());
   }
 
   void reset() noexcept {

@@ -160,6 +160,54 @@ void MonitorRegistry::metrics_body(std::string& out, std::string_view prefix) co
   out += "}}";
 }
 
+json::Value MonitorRegistry::export_json(std::string_view prefix) const {
+  json::Object counters;
+  for (auto it = prefix_begin(counters_, prefix);
+       it != counters_.end() && in_prefix(it->first, prefix); ++it) {
+    counters.emplace(it->first, static_cast<double>(it->second.value()));
+  }
+
+  json::Object gauges;
+  for (auto it = prefix_begin(gauges_, prefix);
+       it != gauges_.end() && in_prefix(it->first, prefix); ++it) {
+    gauges.emplace(it->first, it->second.value());
+  }
+
+  json::Object histograms;
+  for (auto it = prefix_begin(histograms_, prefix);
+       it != histograms_.end() && in_prefix(it->first, prefix); ++it) {
+    histograms.emplace(it->first, it->second.to_json());
+  }
+
+  json::Object root;
+  root.emplace("counters", std::move(counters));
+  root.emplace("gauges", std::move(gauges));
+  root.emplace("histograms", std::move(histograms));
+  return root;
+}
+
+void MonitorRegistry::merge_from(const json::Value& doc) {
+  if (const json::Value* counters = doc.find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->as_object()) {
+      if (!value.is_number()) continue;
+      counter(name).increment(static_cast<std::uint64_t>(value.as_number()));
+    }
+  }
+  if (const json::Value* gauges = doc.find("gauges"); gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, value] : gauges->as_object()) {
+      if (!value.is_number()) continue;
+      gauge(name).add(value.as_number());
+    }
+  }
+  if (const json::Value* histograms = doc.find("histograms");
+      histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, value] : histograms->as_object()) {
+      histogram(name).merge_json(value);
+    }
+  }
+}
+
 json::Value MonitorRegistry::series_window(std::string_view name, std::size_t n) const {
   json::Array out;
   const TimeSeries* s = find_series(name);

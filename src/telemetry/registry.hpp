@@ -135,6 +135,18 @@ class MonitorRegistry {
   /// {"t": seconds, "v": value} pairs (most recent `n`).
   [[nodiscard]] json::Value series_window(std::string_view name, std::size_t n) const;
 
+  /// Full-fidelity export for broker-side aggregation: counters and
+  /// gauges by value, histograms via Histogram::to_json (raw buckets,
+  /// not the lossy quantile summary of snapshot()). Series are
+  /// deliberately excluded — they are per-process sample windows, not
+  /// mergeable instruments.
+  [[nodiscard]] json::Value export_json(std::string_view prefix = {}) const;
+
+  /// Merge an export_json() document into this registry: counters add,
+  /// gauges add (a merged gauge therefore reads as the *sum* across
+  /// sources), histograms bucket-merge. Malformed entries are skipped.
+  void merge_from(const json::Value& doc);
+
  private:
   std::size_t series_capacity_;
   std::map<std::string, Counter> counters_;

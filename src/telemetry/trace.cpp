@@ -1,6 +1,42 @@
 #include "telemetry/trace.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 namespace slices::telemetry::trace {
+
+namespace {
+
+constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << Tracer::kComponentShift) - 1;
+
+/// Stable 24-bit key for a component name (FNV-1a folded). Empty names
+/// (the root/control-plane component) key to 0 so broker span ids are
+/// plain sequence numbers.
+std::uint64_t component_key(std::string_view name) {
+  if (name.empty()) return 0;
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  const std::uint64_t folded = (h ^ (h >> 24) ^ (h >> 48)) & 0xFFFFFFull;
+  return folded == 0 ? 1 : folded;
+}
+
+void append_id_string(std::string& out, std::uint64_t id) {
+  out.push_back('"');
+  out += std::to_string(id);
+  out.push_back('"');
+}
+
+}  // namespace
+
+Tracer::Tracer() {
+  auto root = std::make_unique<Component>();
+  root->name = "";
+  root->key = 0;
+  components_.push_back(std::move(root));
+}
 
 Tracer& Tracer::instance() {
   static Tracer tracer;
@@ -17,14 +53,55 @@ Tracer::Lane& Tracer::local_lane() {
     owned->ring.resize(lane_capacity_.load(std::memory_order_relaxed));
     std::lock_guard<std::mutex> lock(lanes_mutex_);
     owned->tid = static_cast<int>(lanes_.size());
+    owned->comp = components_.front().get();
     lanes_.push_back(std::move(owned));
     lane = lanes_.back().get();
   }
   return *lane;
 }
 
-void Tracer::record(const char* name, std::int64_t sim_us, std::int64_t wall_start_ns,
-                    std::int64_t wall_dur_ns, std::uint32_t depth) noexcept {
+ComponentRef Tracer::intern_component(std::string_view name) {
+  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i]->name == name) {
+      return ComponentRef{static_cast<std::uint32_t>(i), components_[i].get()};
+    }
+  }
+  auto owned = std::make_unique<Component>();
+  owned->name = std::string(name);
+  owned->key = component_key(name);
+  components_.push_back(std::move(owned));
+  return ComponentRef{static_cast<std::uint32_t>(components_.size() - 1),
+                      components_.back().get()};
+}
+
+EntryToken Tracer::enter() noexcept {
+  Lane& lane = local_lane();
+  EntryToken token;
+  token.depth = lane.depth++;
+  token.component = lane.component;
+  token.parent = lane.cur_parent;
+  if (lane.cur_trace == 0) {
+    lane.cur_trace = 1 + next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    token.new_trace = true;
+  }
+  token.trace = lane.cur_trace;
+  const std::uint64_t seq =
+      1 + lane.comp->next_seq.fetch_add(1, std::memory_order_relaxed);
+  token.span = (lane.comp->key << kComponentShift) | (seq & kSeqMask);
+  lane.cur_parent = token.span;
+  return token;
+}
+
+void Tracer::exit(const EntryToken& token) noexcept {
+  Lane& lane = local_lane();
+  if (lane.depth > 0) --lane.depth;
+  lane.cur_parent = token.parent;
+  if (token.new_trace) lane.cur_trace = 0;
+}
+
+void Tracer::record(const char* name, const EntryToken& token, std::int64_t sim_us,
+                    std::int64_t wall_start_ns, std::int64_t wall_dur_ns) noexcept {
   Lane& lane = local_lane();
   Span& slot = lane.ring[lane.next];
   if (lane.size == lane.ring.size()) {
@@ -36,19 +113,54 @@ void Tracer::record(const char* name, std::int64_t sim_us, std::int64_t wall_sta
   slot.sim_us = sim_us;
   slot.wall_start_ns = wall_start_ns;
   slot.wall_dur_ns = wall_dur_ns;
+  slot.trace = token.trace;
+  slot.span = token.span;
+  slot.parent = token.parent;
   slot.seq = lane.seq++;
-  slot.depth = depth;
+  slot.depth = token.depth;
+  slot.component = token.component;
   lane.next = lane.next + 1 == lane.ring.size() ? 0 : lane.next + 1;
 }
 
-std::uint32_t Tracer::enter_depth() noexcept {
+Context Tracer::current_context() noexcept {
   Lane& lane = local_lane();
-  return lane.depth++;
+  Context ctx;
+  ctx.trace = lane.cur_trace;
+  ctx.parent = lane.cur_parent;
+  ctx.depth = lane.depth;
+  ctx.sim_us = sim_now();
+  return ctx;
 }
 
-void Tracer::exit_depth() noexcept {
+Context Tracer::adopt_context(const Context& ctx) noexcept {
   Lane& lane = local_lane();
-  if (lane.depth > 0) --lane.depth;
+  Context saved;
+  saved.trace = lane.cur_trace;
+  saved.parent = lane.cur_parent;
+  saved.depth = lane.depth;
+  saved.sim_us = sim_now();
+  lane.cur_trace = ctx.trace;
+  lane.cur_parent = ctx.parent;
+  lane.depth = ctx.depth;
+  // Slave this process's sim clock to the caller's at the hop boundary;
+  // in-process (shared tracer) this is a no-op store of the same value.
+  set_sim_now(ctx.sim_us);
+  return saved;
+}
+
+void Tracer::restore_context(const Context& saved) noexcept {
+  Lane& lane = local_lane();
+  lane.cur_trace = saved.trace;
+  lane.cur_parent = saved.parent;
+  lane.depth = saved.depth;
+}
+
+ComponentRef Tracer::swap_component(const ComponentRef& ref) noexcept {
+  Lane& lane = local_lane();
+  ComponentRef previous{lane.component, lane.comp};
+  lane.component = ref.index;
+  lane.comp = ref.ptr;
+  return previous;
 }
 
 std::size_t Tracer::span_count() const {
@@ -67,14 +179,26 @@ std::uint64_t Tracer::dropped() const {
 
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(lanes_mutex_);
+  const std::size_t capacity = lane_capacity_.load(std::memory_order_relaxed);
   for (auto& lane : lanes_) {
+    // A pending set_lane_capacity takes effect here: clear() is a
+    // quiescent point and the retained spans are being dropped anyway.
+    if (lane->ring.size() != capacity) {
+      lane->ring.assign(capacity, Span{});
+      lane->ring.shrink_to_fit();
+    }
     lane->next = 0;
     lane->size = 0;
     lane->seq = 0;
     lane->dropped = 0;
+    lane->cur_trace = 0;
+    lane->cur_parent = 0;
   }
-  // Clearing the trace restarts its timeline; otherwise spans recorded
-  // before the next epoch would carry the previous run's sim clock.
+  // Clearing the trace restarts identity as well as the timeline: trace
+  // ids and per-component span sequences restart so two cleared runs
+  // produce byte-identical exports.
+  for (auto& comp : components_) comp->next_seq.store(0, std::memory_order_relaxed);
+  next_trace_id_.store(0, std::memory_order_relaxed);
   sim_now_us_.store(0, std::memory_order_relaxed);
 }
 
@@ -87,6 +211,16 @@ json::Value Tracer::status_json() const {
   {
     std::lock_guard<std::mutex> lock(lanes_mutex_);
     out.emplace("lanes", static_cast<double>(lanes_.size()));
+    json::Array detail;
+    for (const auto& lane : lanes_) {
+      json::Object entry;
+      entry.emplace("tid", static_cast<double>(lane->tid));
+      entry.emplace("spans", static_cast<double>(lane->size));
+      entry.emplace("dropped", static_cast<double>(lane->dropped));
+      entry.emplace("capacity", static_cast<double>(lane->ring.size()));
+      detail.push_back(std::move(entry));
+    }
+    out.emplace("lane_detail", std::move(detail));
   }
   return out;
 }
@@ -133,14 +267,104 @@ void Tracer::export_chrome_json(std::string& out) const {
                               : 0.0);
       out += ",\"args\":{\"depth\":";
       json::append_number(out, static_cast<double>(span.depth));
+      out += ",\"parent\":";
+      append_id_string(out, span.parent);
       out += ",\"seq\":";
       json::append_number(out, static_cast<double>(span.seq));
       out += ",\"sim_us\":";
       json::append_number(out, static_cast<double>(span.sim_us));
+      out += ",\"span\":";
+      append_id_string(out, span.span);
+      out += ",\"trace\":";
+      append_id_string(out, span.trace);
       out += "}}";
     }
   }
   out += "]}";
+}
+
+void Tracer::export_component_spans_json(std::uint32_t component, std::string& out) const {
+  // Ids-as-strings span list for one component, ordered by span-id
+  // sequence (the order enter() assigned them). The bytes are invariant
+  // to which thread or process recorded each span, which is what lets
+  // the broker diff a remote region export against an in-process run.
+  std::vector<Span> spans;
+  {
+    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    for (const auto& lane : lanes_) {
+      const std::size_t start = lane->size == lane->ring.size() ? lane->next : 0;
+      for (std::size_t i = 0; i < lane->size; ++i) {
+        const Span& span = lane->ring[(start + i) % lane->ring.size()];
+        if (span.component == component) spans.push_back(span);
+      }
+    }
+  }
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    return (a.span & kSeqMask) < (b.span & kSeqMask);
+  });
+  out.clear();
+  out.push_back('[');
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    json::append_escaped(out, span.name);
+    out += ",\"sim_us\":";
+    json::append_number(out, static_cast<double>(span.sim_us));
+    out += ",\"trace\":";
+    append_id_string(out, span.trace);
+    out += ",\"span\":";
+    append_id_string(out, span.span);
+    out += ",\"parent\":";
+    append_id_string(out, span.parent);
+    out += ",\"depth\":";
+    json::append_number(out, static_cast<double>(span.depth));
+    out.push_back('}');
+  }
+  out.push_back(']');
+}
+
+void encode_context(const Context& ctx, std::string& out) {
+  out.clear();
+  out += std::to_string(ctx.trace);
+  out.push_back('-');
+  out += std::to_string(ctx.parent);
+  out.push_back('-');
+  out += std::to_string(ctx.depth);
+  out.push_back('-');
+  out += std::to_string(ctx.sim_us);
+}
+
+Context parse_context(std::string_view value) {
+  Context ctx;
+  std::uint64_t fields[4] = {0, 0, 0, 0};
+  std::size_t field = 0;
+  std::size_t pos = 0;
+  bool consumed = false;  // the last field must run to the end of the value
+  while (field < 4) {
+    const std::size_t end = value.find('-', pos);
+    const std::string_view part =
+        value.substr(pos, end == std::string_view::npos ? std::string_view::npos : end - pos);
+    if (part.empty()) return Context{};
+    std::uint64_t parsed = 0;
+    for (const char c : part) {
+      if (c < '0' || c > '9') return Context{};
+      parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    fields[field++] = parsed;
+    if (end == std::string_view::npos) {
+      consumed = true;
+      break;
+    }
+    pos = end + 1;
+  }
+  if (field != 4 || !consumed) return Context{};
+  ctx.trace = fields[0];
+  ctx.parent = fields[1];
+  ctx.depth = static_cast<std::uint32_t>(fields[2]);
+  ctx.sim_us = static_cast<std::int64_t>(fields[3]);
+  return ctx;
 }
 
 }  // namespace slices::telemetry::trace

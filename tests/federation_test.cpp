@@ -14,10 +14,12 @@
 #include "federation/edge.hpp"
 #include "federation/fabric.hpp"
 #include "federation/runner.hpp"
+#include "json/value.hpp"
 #include "net/http_server.hpp"
 #include "net/rest_bus.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/trace.hpp"
 
 namespace slices {
 namespace {
@@ -308,6 +310,140 @@ TEST(BrokerFailover, RestartingLoneRegionDefersAdmissionUntilResume) {
   EXPECT_EQ(card.value().deferred_unplaced, 0u) << "deferred request never landed";
   EXPECT_EQ(card.value().admitted, 1u);
   EXPECT_EQ(card.value().placed_local, 1u);
+}
+
+// ------------------------------------------------------- observability
+
+/// Run the metro scenario with deterministic tracing on and return the
+/// broker's merged federated trace (and, when asked, the merged
+/// federation metrics document). Restores the tracer's default state.
+std::string run_traced(FederatedRunOptions options, std::string* metrics = nullptr) {
+  telemetry::trace::Tracer& tracer = telemetry::trace::Tracer::instance();
+  tracer.set_lane_capacity(1u << 16);
+  telemetry::trace::set_wall_clock(false);
+  telemetry::trace::set_enabled(true);
+  telemetry::trace::clear();
+
+  scenario::Scenario scenario = metro_scenario();
+  const std::int64_t end_us = (SimTime::origin() + scenario.duration).as_micros();
+  FederatedRunner runner(std::move(scenario), options);
+  const Result<FederatedScorecard> card = runner.run();
+  EXPECT_TRUE(card.ok()) << (card.ok() ? "" : card.error().message);
+
+  std::string trace;
+  runner.broker()->export_federated_trace(trace);
+  if (metrics != nullptr) {
+    *metrics = json::serialize(runner.broker()->federation_metrics_json(end_us));
+  }
+
+  telemetry::trace::set_enabled(false);
+  tracer.set_lane_capacity(telemetry::trace::Tracer::kDefaultLaneCapacity);
+  telemetry::trace::clear();
+  EXPECT_EQ(tracer.dropped(), 0u) << "ring overwrote spans; the parity check is meaningless";
+  return trace;
+}
+
+TEST(FederationObservability, MergedTraceIsTransportInvariant) {
+  FederatedRunOptions inproc;
+  FederatedRunOptions socket;
+  socket.socket_transport = true;
+  const std::string a = run_traced(inproc);
+  const std::string b = run_traced(socket);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "merged federated trace must not depend on the transport";
+}
+
+TEST(FederationObservability, FederationMetricsAreTransportInvariant) {
+  std::string inproc_metrics;
+  std::string socket_metrics;
+  FederatedRunOptions socket;
+  socket.socket_transport = true;
+  (void)run_traced({}, &inproc_metrics);
+  (void)run_traced(socket, &socket_metrics);
+  ASSERT_FALSE(inproc_metrics.empty());
+  EXPECT_EQ(inproc_metrics, socket_metrics)
+      << "merged /federation/metrics must not depend on the transport";
+
+  // The merged document really carries the full-fidelity SLO exports.
+  const Result<json::Value> doc = json::parse(inproc_metrics);
+  ASSERT_TRUE(doc.ok());
+  const json::Value* merged = doc.value().find("merged");
+  ASSERT_NE(merged, nullptr);
+  const json::Value* headroom =
+      merged->find("histograms")->find("orchestrator.slo.admission_headroom_mbps");
+  ASSERT_NE(headroom, nullptr);
+  EXPECT_GT(headroom->find("count")->as_number(), 0.0);
+  const json::Value* broker = doc.value().find("broker");
+  ASSERT_NE(broker, nullptr);
+  EXPECT_GT(broker->find("gauges")->find("federation.submitted")->as_number(), 0.0);
+}
+
+TEST(FederationObservability, BrokerSpansParentEdgeSpansInTheMergedTrace) {
+  const std::string trace = run_traced({});
+  const Result<json::Value> doc = json::parse(trace);
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const json::Value* events = doc.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Lane 0 is the broker; resolve the edge lanes from the metadata.
+  std::set<double> edge_tids;
+  std::set<std::string> broker_span_ids;
+  for (const json::Value& event : events->as_array()) {
+    const json::Value* ph = event.find("ph");
+    if (ph != nullptr && ph->is_string() && ph->as_string() == "M") {
+      const json::Value* lane_name = event.find("args")->find("name");
+      if (lane_name != nullptr && lane_name->as_string().starts_with("edge.")) {
+        edge_tids.insert(event.find("tid")->as_number());
+      }
+      continue;
+    }
+    if (event.find("tid")->as_number() == 0.0) {
+      broker_span_ids.insert(event.find("args")->find("span")->as_string());
+    }
+  }
+  ASSERT_EQ(edge_tids.size(), 2u);
+  ASSERT_FALSE(broker_span_ids.empty());
+
+  // The acceptance shape: an edge-side admission span whose parent is a
+  // broker-side span (the bus.call that delegated the admission).
+  bool admission_parented_by_broker = false;
+  for (const json::Value& event : events->as_array()) {
+    const json::Value* ph = event.find("ph");
+    if (ph != nullptr && ph->is_string() && ph->as_string() == "M") continue;
+    if (!edge_tids.contains(event.find("tid")->as_number())) continue;
+    if (event.find("name")->as_string() != "orch.admit.decide") continue;
+    EXPECT_GT(event.find("args")->find("depth")->as_number(), 0.0);
+    if (broker_span_ids.contains(event.find("args")->find("parent")->as_string())) {
+      admission_parented_by_broker = true;
+    }
+  }
+  EXPECT_TRUE(admission_parented_by_broker)
+      << "no edge admission span parented by a broker span in the merged trace";
+}
+
+TEST(FederationObservability, EdgeMetricsRouteExposesRegistryAndDropCounters) {
+  scenario::Scenario scenario = metro_scenario();
+  const Result<MetroFabric> fabric = make_metro_fabric(scenario.federation, scenario.seed);
+  ASSERT_TRUE(fabric.ok());
+  federation::EdgeNode node(fabric.value().regions[0], scenario, 1);
+
+  net::RestBus bus;
+  bus.register_service("edge.r0", node.make_router());
+  const Result<json::Value> doc = bus.get_json("edge.r0", "/metrics");
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  ASSERT_NE(doc.value().find("metrics"), nullptr);
+  const json::Value* trace_status = doc.value().find("trace");
+  ASSERT_NE(trace_status, nullptr);
+  EXPECT_NE(trace_status->find("dropped"), nullptr);
+  EXPECT_NE(trace_status->find("lane_detail"), nullptr);
+
+  const Result<json::Value> fed = bus.get_json("edge.r0", "/federation/metrics");
+  ASSERT_TRUE(fed.ok());
+  EXPECT_EQ(fed.value().find("region")->as_string(), "r0");
+  const json::Value* histograms = fed.value().find("metrics")->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  EXPECT_NE(histograms->find("orchestrator.slo.admission_headroom_mbps"), nullptr)
+      << "SLO instruments must be interned eagerly, not only after traffic";
 }
 
 }  // namespace

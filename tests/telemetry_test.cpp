@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 
+#include "common/rng.hpp"
 #include "json/value.hpp"
 #include "telemetry/csv.hpp"
 #include "telemetry/histogram.hpp"
@@ -585,6 +587,143 @@ TEST_F(TraceTest, FullLaneOverwritesOldestAndCountsDrops) {
   EXPECT_DOUBLE_EQ(events.back().find("args")->find("seq")->as_number(), 9.0);
 }
 
+TEST(Histogram, JsonRoundTripIsLossless) {
+  Histogram h;
+  for (std::uint64_t v : {0u, 1u, 15u, 16u, 17u, 1000u, 123456u}) h.record(v);
+  Histogram rebuilt;
+  rebuilt.merge_json(h.to_json());
+  EXPECT_EQ(json::serialize(rebuilt.to_json()), json::serialize(h.to_json()));
+  EXPECT_EQ(rebuilt.count(), h.count());
+  EXPECT_EQ(rebuilt.sum(), h.sum());
+  EXPECT_EQ(rebuilt.minimum(), h.minimum());
+  EXPECT_EQ(rebuilt.maximum(), h.maximum());
+}
+
+TEST(Histogram, JsonMergeIsAssociativeAndCommutative) {
+  // Property check over seeded pseudo-random sample sets: bucket counts
+  // are plain sums, so any merge order/grouping must give the same
+  // to_json() bytes.
+  Rng rng(20260808);
+  std::vector<Histogram> parts(3);
+  for (Histogram& h : parts) {
+    const int samples = rng.uniform_int(1, 64);
+    for (int i = 0; i < samples; ++i) {
+      h.record(static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)));
+    }
+  }
+  const auto merged_json = [](const Histogram& x, const Histogram& y) {
+    Histogram out;
+    out.merge_json(x.to_json());
+    out.merge_json(y.to_json());
+    return out;
+  };
+  // Commutativity: A+B == B+A.
+  EXPECT_EQ(json::serialize(merged_json(parts[0], parts[1]).to_json()),
+            json::serialize(merged_json(parts[1], parts[0]).to_json()));
+  // Associativity: (A+B)+C == A+(B+C).
+  Histogram left = merged_json(parts[0], parts[1]);
+  left.merge_json(parts[2].to_json());
+  Histogram right = merged_json(parts[1], parts[2]);
+  Histogram a_first;
+  a_first.merge_json(parts[0].to_json());
+  a_first.merge_json(right.to_json());
+  EXPECT_EQ(json::serialize(left.to_json()), json::serialize(a_first.to_json()));
+}
+
+TEST(Histogram, CrossProcessJsonMergeMatchesSingleHistogram) {
+  // The broker-side aggregation path: two "edge" histograms cross a
+  // process boundary as to_json() documents and are merged; the result
+  // must be bit-identical to one histogram that saw every sample.
+  Rng rng(42);
+  Histogram edge_a;
+  Histogram edge_b;
+  Histogram single;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 16));
+    (i % 2 == 0 ? edge_a : edge_b).record(v);
+    single.record(v);
+  }
+  Histogram broker;
+  broker.merge_json(json::parse(json::serialize(edge_a.to_json())).value());
+  broker.merge_json(json::parse(json::serialize(edge_b.to_json())).value());
+  EXPECT_EQ(json::serialize(broker.to_json()), json::serialize(single.to_json()));
+  EXPECT_DOUBLE_EQ(broker.value_at_quantile(0.5), single.value_at_quantile(0.5));
+}
+
+TEST(Histogram, MergeJsonIgnoresMalformedDocuments) {
+  Histogram h;
+  h.record(7);
+  const std::string before = json::serialize(h.to_json());
+  h.merge_json(json::Value(nullptr));
+  h.merge_json(json::Value(3.0));
+  h.merge_json(json::parse(R"({"count": 2})").value());          // missing fields
+  h.merge_json(json::parse(R"({"buckets": [], "count": 0, "max": 0, "min": 0, "sum": 0})")
+                   .value());  // empty merge is identity
+  EXPECT_EQ(json::serialize(h.to_json()), before);
+}
+
+TEST(MonitorRegistry, ExportJsonExcludesSeriesAndKeepsRawBuckets) {
+  MonitorRegistry registry;
+  registry.counter("requests").increment(3);
+  registry.gauge("load").set(0.5);
+  registry.histogram("latency_us").record(1000);
+  registry.observe("demand", at(1.0), 12.0);
+
+  const json::Value doc = registry.export_json();
+  EXPECT_EQ(doc.find("series"), nullptr) << "series are per-process windows, not mergeable";
+  EXPECT_DOUBLE_EQ(doc.find("counters")->find("requests")->as_number(), 3.0);
+  // observe() mirrors into a gauge, which the export does carry.
+  EXPECT_DOUBLE_EQ(doc.find("gauges")->find("demand")->as_number(), 12.0);
+  const json::Value* hist = doc.find("histograms")->find("latency_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_NE(hist->find("buckets"), nullptr) << "export must be raw buckets, not quantiles";
+  EXPECT_EQ(hist->find("p50"), nullptr);
+}
+
+TEST(MonitorRegistry, MergeFromAddsCountersGaugesAndHistograms) {
+  MonitorRegistry a;
+  a.counter("admitted").increment(2);
+  a.gauge("reserved_mbps").set(100.0);
+  a.histogram("headroom").record(10);
+
+  MonitorRegistry b;
+  b.counter("admitted").increment(5);
+  b.counter("only_b").increment(1);
+  b.gauge("reserved_mbps").set(50.0);
+  b.histogram("headroom").record(20);
+
+  a.merge_from(b.export_json());
+  EXPECT_EQ(a.find_counter("admitted")->value(), 7u);
+  EXPECT_EQ(a.find_counter("only_b")->value(), 1u);
+  // Merged gauges read as the sum across sources (documented semantics).
+  EXPECT_DOUBLE_EQ(a.find_gauge("reserved_mbps")->value(), 150.0);
+  EXPECT_EQ(a.find_histogram("headroom")->count(), 2u);
+  EXPECT_EQ(a.find_histogram("headroom")->minimum(), 10u);
+  EXPECT_EQ(a.find_histogram("headroom")->maximum(), 20u);
+}
+
+TEST(MonitorRegistry, CrossRegistryMergeMatchesSingleRegistry) {
+  // Registry-level analog of the cross-process histogram parity: two
+  // half registries merged through their JSON exports must serialize
+  // exactly like one registry that recorded everything.
+  Rng rng(7);
+  MonitorRegistry half_a;
+  MonitorRegistry half_b;
+  MonitorRegistry whole;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform_int(0, 4096));
+    MonitorRegistry& half = i % 2 == 0 ? half_a : half_b;
+    half.histogram("epoch_us").record(v);
+    whole.histogram("epoch_us").record(v);
+    half.counter("epochs").increment();
+    whole.counter("epochs").increment();
+  }
+  MonitorRegistry merged;
+  merged.merge_from(json::parse(json::serialize(half_a.export_json())).value());
+  merged.merge_from(json::parse(json::serialize(half_b.export_json())).value());
+  EXPECT_EQ(json::serialize(merged.export_json()), json::serialize(whole.export_json()));
+}
+
 TEST_F(TraceTest, ClearResetsSpansAndTimeline) {
   trace::set_enabled(true);
   trace::set_sim_now(999);
@@ -596,6 +735,141 @@ TEST_F(TraceTest, ClearResetsSpansAndTimeline) {
   const json::Value status = trace::Tracer::instance().status_json();
   EXPECT_TRUE(status.find("enabled")->as_bool());
   EXPECT_DOUBLE_EQ(status.find("spans")->as_number(), 0.0);
+}
+
+TEST_F(TraceTest, LaneCapacityAppliesToExistingLanesAtClear) {
+  trace::Tracer& tracer = trace::Tracer::instance();
+  trace::set_enabled(true);
+  { TRACE_SCOPE("warm"); }  // this thread's lane now exists at the default capacity
+  trace::clear();
+
+  // A live ring is never resized in place: the shrink stays pending...
+  tracer.set_lane_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    TRACE_SCOPE("pre");
+  }
+  EXPECT_EQ(tracer.span_count(), 5u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  // ...and takes effect at the next clear(), where the spans were being
+  // dropped anyway.
+  trace::clear();
+  for (int i = 0; i < 5; ++i) {
+    TRACE_SCOPE("post");
+  }
+  EXPECT_EQ(tracer.span_count(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+
+  const json::Value status = tracer.status_json();
+  bool saw_lane = false;
+  for (const json::Value& lane : status.find("lane_detail")->as_array()) {
+    if (lane.find("spans")->as_number() != 2.0) continue;
+    saw_lane = true;
+    EXPECT_DOUBLE_EQ(lane.find("capacity")->as_number(), 2.0);
+    EXPECT_DOUBLE_EQ(lane.find("dropped")->as_number(), 3.0);
+  }
+  EXPECT_TRUE(saw_lane);
+  tracer.set_lane_capacity(trace::Tracer::kDefaultLaneCapacity);
+}
+
+TEST_F(TraceTest, ContextHeaderRoundTrips) {
+  trace::Context ctx;
+  ctx.trace = 3;
+  ctx.parent = (0xabcdefull << trace::Tracer::kComponentShift) | 17u;
+  ctx.depth = 4;
+  ctx.sim_us = 1234567;
+  std::string wire;
+  trace::encode_context(ctx, wire);
+  const trace::Context back = trace::parse_context(wire);
+  EXPECT_TRUE(back.valid());
+  EXPECT_EQ(back.trace, ctx.trace);
+  EXPECT_EQ(back.parent, ctx.parent);
+  EXPECT_EQ(back.depth, ctx.depth);
+  EXPECT_EQ(back.sim_us, ctx.sim_us);
+
+  for (const char* garbage : {"", "1-2-3", "a-b-c-d", "1-2-3-4-5", "0-0-0-0"}) {
+    EXPECT_FALSE(trace::parse_context(garbage).valid()) << garbage;
+  }
+}
+
+TEST_F(TraceTest, ContextScopeParentsSpansAcrossThreads) {
+  // The socket-transport shape: a caller records "bus.call" and stamps
+  // its context; the handler thread adopts it and records "handler".
+  // The handler span must parent the caller span exactly as a nested
+  // in-process scope would.
+  trace::set_enabled(true);
+  trace::set_sim_now(50);
+  trace::Context carried;
+  {
+    TRACE_SCOPE("bus.call");
+    carried = trace::Tracer::instance().current_context();
+  }
+  ASSERT_TRUE(carried.valid());
+  EXPECT_EQ(carried.depth, 1u);
+
+  std::thread server([&carried] {
+    trace::ContextScope adopt(carried);
+    TRACE_SCOPE("handler");
+  });
+  server.join();
+
+  std::string out;
+  trace::Tracer::instance().export_chrome_json(out);
+  const Result<json::Value> doc = json::parse(out);
+  ASSERT_TRUE(doc.ok());
+  const json::Value* caller = nullptr;
+  const json::Value* handler = nullptr;
+  for (const json::Value& event : doc.value().find("traceEvents")->as_array()) {
+    if (event.find("name")->as_string() == "bus.call") caller = &event;
+    if (event.find("name")->as_string() == "handler") handler = &event;
+  }
+  ASSERT_NE(caller, nullptr);
+  ASSERT_NE(handler, nullptr);
+  EXPECT_EQ(handler->find("args")->find("parent")->as_string(),
+            caller->find("args")->find("span")->as_string());
+  EXPECT_EQ(handler->find("args")->find("trace")->as_string(),
+            caller->find("args")->find("trace")->as_string());
+  EXPECT_DOUBLE_EQ(handler->find("args")->find("depth")->as_number(), 1.0);
+  // The adopted sim clock slaves the handler's timestamp to the caller.
+  EXPECT_DOUBLE_EQ(handler->find("ts")->as_number(), 50.0);
+}
+
+TEST_F(TraceTest, ComponentScopeKeysSpanIdsByComponent) {
+  trace::Tracer& tracer = trace::Tracer::instance();
+  trace::set_enabled(true);
+  const trace::ComponentRef edge = tracer.intern_component("edge.r0");
+  ASSERT_NE(edge.ptr, nullptr);
+  EXPECT_NE(edge.index, 0u);
+  // Interning is idempotent.
+  EXPECT_EQ(tracer.intern_component("edge.r0").index, edge.index);
+
+  {
+    trace::ComponentScope scope(edge);
+    TRACE_SCOPE("edge.work");
+  }
+  { TRACE_SCOPE("broker.work"); }
+
+  std::string edge_spans;
+  tracer.export_component_spans_json(edge.index, edge_spans);
+  const Result<json::Value> edge_doc = json::parse(edge_spans);
+  ASSERT_TRUE(edge_doc.ok());
+  ASSERT_EQ(edge_doc.value().as_array().size(), 1u);
+  const json::Value& span = edge_doc.value().as_array()[0];
+  EXPECT_EQ(span.find("name")->as_string(), "edge.work");
+  // Span ids are decimal strings carrying (component key << 40) | seq.
+  const std::uint64_t id = std::strtoull(span.find("span")->as_string().c_str(), nullptr, 10);
+  EXPECT_EQ(id >> trace::Tracer::kComponentShift, edge.ptr->key);
+  EXPECT_EQ(id & ((1ull << trace::Tracer::kComponentShift) - 1), 1u);
+
+  std::string broker_spans;
+  tracer.export_component_spans_json(0, broker_spans);
+  const Result<json::Value> broker_doc = json::parse(broker_spans);
+  ASSERT_TRUE(broker_doc.ok());
+  ASSERT_EQ(broker_doc.value().as_array().size(), 1u);
+  const std::uint64_t broker_id = std::strtoull(
+      broker_doc.value().as_array()[0].find("span")->as_string().c_str(), nullptr, 10);
+  EXPECT_EQ(broker_id >> trace::Tracer::kComponentShift, 0u)
+      << "the default component keys ids with 0 (broker / control plane)";
 }
 
 }  // namespace
