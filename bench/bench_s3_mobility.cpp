@@ -1,0 +1,177 @@
+// Experiment S3 — mobility & handover scalability: how fast can the
+// mobility Field walk a city's UE population, and how fast does the
+// RAN controller absorb the resulting handover batches? The epoch loop
+// budget already pays for CQI wander + serving (S2); mobility adds a
+// move phase (pool-shardable, row-local) plus a sequential transition
+// scan and one allocation-free apply_handovers pass, and this bench
+// keeps that addition honest at 10k..1M UEs.
+//
+// BM_MobilityStep/<ues>/<threads>
+//                      — one mobility epoch over `ues` UEs on a
+//                        128-cell grid: Field::step (waypoint move +
+//                        transition scan, `threads`-wide pool; 1 =
+//                        serial) followed by Field::apply (the handover
+//                        batch through the controller). Time advances
+//                        one minute per iteration, so the handover mix
+//                        matches the scenario engine's cadence.
+//                        items/s = UE-steps per second.
+// BM_HandoverApply/<batch>
+//                      — apply_handovers alone: a prepared batch of
+//                        `batch` UEs ping-ponged between two cells
+//                        (every request succeeds, PRB reservation
+//                        migration included). items/s = handovers per
+//                        second; this is the worst case where every UE
+//                        in a cell crosses at once (stadium storm).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "mobility/field.hpp"
+#include "ran/cell.hpp"
+#include "ran/controller.hpp"
+
+namespace {
+
+using namespace slices;
+using namespace slices::bench;
+
+constexpr std::size_t kCells = 128;
+constexpr std::size_t kPlmns = 6;  // broadcast-list capacity per cell
+
+/// 128-cell RAN with six allocated PLMNs and a mobility Field animating
+/// ~`ues` UEs (ues/6 per slice), population spawned once up front.
+struct MobilitySystem {
+  ran::RanController ran;
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<mobility::Field> field;
+  std::vector<PlmnId> plmns;
+  std::int64_t now_us = 0;
+
+  MobilitySystem(std::size_t ues, std::size_t threads) {
+    for (std::size_t c = 0; c < kCells; ++c) {
+      ran.add_cell(ran::Cell(CellId{c + 1}, "cell-" + std::to_string(c),
+                             ran::Bandwidth::mhz20, ran::SharingPolicy::pooled));
+    }
+    for (std::size_t p = 0; p < kPlmns; ++p) {
+      const PlmnId plmn{p + 1};
+      if (!ran.install_plmn(plmn)) std::abort();
+      if (!ran.set_allocation(plmn, DataRate::mbps(200.0))) std::abort();
+      plmns.push_back(plmn);
+    }
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+    mobility::FieldConfig config;
+    config.seed = 20206;
+    config.ues_per_slice = std::max<std::size_t>(ues / kPlmns, 1);
+    field = std::make_unique<mobility::Field>(config, &ran, pool.get());
+    field->sync_population(plmns, [](PlmnId) { return 0.0; });
+  }
+
+  /// One scenario-cadence mobility epoch: move everyone one minute and
+  /// hand over the boundary crossers.
+  ran::HandoverStats epoch() {
+    now_us += 60'000'000;
+    const SimTime now = SimTime::from_micros(now_us);
+    field->step(now);
+    return field->apply(now);
+  }
+};
+
+void print_experiment() {
+  std::printf("\nS3: mobility & handover scalability — moving-UE data plane\n");
+  std::printf("(128-cell grid, 6 PLMNs; waypoint walk at one-minute epochs)\n");
+  std::printf("see the google-benchmark tables: BM_MobilityStep/<ues>/<threads>,\n"
+              "BM_HandoverApply/<batch>\n");
+  std::printf("expected shape: the move phase is linear in UEs and shards across the\n"
+              "pool; the transition scan and handover apply stay sequential but touch\n"
+              "only the crossing UEs, so step cost is dominated by the walk. The apply\n"
+              "path is allocation-free — BM_HandoverApply is pure per-request work\n"
+              "(row moves + PRB reservation migration), the stadium-storm worst case.\n\n");
+}
+
+void BM_MobilityStep(benchmark::State& state) {
+  MobilitySystem sys(static_cast<std::size_t>(state.range(0)),
+                     static_cast<std::size_t>(state.range(1)));
+  // Warm one epoch outside the timed loop: the first step seeds the
+  // waypoints and sizes the reusable batch buffers.
+  (void)sys.epoch();
+  std::uint64_t handovers = 0;
+  for (auto _ : state) {
+    handovers += sys.epoch().successes;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sys.field->population()));
+  state.counters["population"] = static_cast<double>(sys.field->population());
+  state.counters["ho_per_epoch"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(handovers) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MobilityStep)
+    ->Args({10'000, 1})
+    ->Args({100'000, 1})
+    ->Args({1'000'000, 1})
+    ->Args({100'000, 4})
+    ->Args({1'000'000, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HandoverApply(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  ran::RanController ran;
+  ran.add_cell(ran::Cell(CellId{1}, "cell-a", ran::Bandwidth::mhz20,
+                         ran::SharingPolicy::pooled));
+  ran.add_cell(ran::Cell(CellId{2}, "cell-b", ran::Bandwidth::mhz20,
+                         ran::SharingPolicy::pooled));
+  const PlmnId plmn{1};
+  if (!ran.install_plmn(plmn)) std::abort();
+  // Two mhz20 cells bound the PLMN-wide allocation; 50 Mb/s leaves PRBs
+  // free on the target so the per-UE reservation migration exercises
+  // its clamp path without starving.
+  if (!ran.set_allocation(plmn, DataRate::mbps(50.0))) std::abort();
+
+  std::vector<ran::HandoverRequest> to_b, to_a;
+  to_b.reserve(batch);
+  to_a.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    Result<UeId> ue = ran.attach_ue_at(CellId{1}, plmn, ran::Cqi{10});
+    if (!ue) std::abort();
+    to_b.push_back(ran::HandoverRequest{ue.value(), CellId{2}});
+    to_a.push_back(ran::HandoverRequest{ue.value(), CellId{1}});
+  }
+
+  std::int64_t now_us = 0;
+  bool forward = true;
+  // Warm one apply per direction: sizes the internal outcome scratch.
+  (void)ran.apply_handovers(to_b, SimTime::from_micros(now_us += 1000));
+  (void)ran.apply_handovers(to_a, SimTime::from_micros(now_us += 1000));
+  for (auto _ : state) {
+    const auto& requests = forward ? to_b : to_a;
+    const ran::HandoverStats stats =
+        ran.apply_handovers(requests, SimTime::from_micros(now_us += 1000));
+    if (stats.successes != batch) std::abort();
+    forward = !forward;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_HandoverApply)->Arg(1'000)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -153,6 +153,7 @@ bool parse_run_flags(int argc, char** argv, int first, RunFlags& flags) {
       const char* v = value("path");
       if (v == nullptr) return false;
       flags.options.record_path = v;
+      flags.federated.record_path = v;
     } else if (arg == "--out") {
       const char* v = value("path");
       if (v == nullptr) return false;
@@ -197,8 +198,6 @@ int report(const std::string& serialized, bool targets_met,
 }
 
 int execute_federated(scenario::Scenario loaded, const RunFlags& flags) {
-  if (!flags.options.record_path.empty())
-    return fail("--record is not supported for metro scenarios");
   if (flags.options.wall_profile)
     return fail("--wall-profile is not supported for metro scenarios");
   // The facade's live GET /federation/trace is useless without spans,
@@ -302,6 +301,7 @@ int cmd_record(int argc, char** argv) {
   if (argc < 4) return usage();
   RunFlags flags;
   flags.options.record_path = argv[3];
+  flags.federated.record_path = argv[3];
   if (!parse_run_flags(argc, argv, 4, flags)) return 2;
   Result<scenario::Scenario> loaded = scenario::load_scenario_file(argv[2]);
   if (!loaded.ok()) return fail(loaded.error().message);

@@ -33,6 +33,9 @@
 //   slicectl <port> federation dashboard
 //       the text federation pane (broker SLO table + per-region
 //       roll-up) rendered from the same metrics document
+//   slicectl <port> federation mobility
+//       the handover pane: per-region handover attempt/success/drop
+//       counters plus the broker's inter-region roam funnel
 //
 // Offline (no server required):
 //
@@ -154,6 +157,22 @@ int run_command(std::uint16_t port, int argc, char** argv) {
       const Result<json::Value> doc = json::parse(response.value().body);
       if (!doc.ok()) return fail("bad metrics body: " + doc.error().message);
       std::cout << dashboard::Dashboard::render_federation(doc.value());
+      return 0;
+    }
+    if (sub == "mobility") {
+      const Result<net::Response> response =
+          call(port, net::Method::get, "/federation/metrics");
+      if (!response.ok()) return fail(response.error().message);
+      if (static_cast<int>(response.value().status) != 200) return print_response(response);
+      const Result<json::Value> doc = json::parse(response.value().body);
+      if (!doc.ok()) return fail("bad metrics body: " + doc.error().message);
+      const std::string pane = dashboard::Dashboard::render_mobility(doc.value());
+      if (pane.empty()) {
+        std::cout << "no mobility signal (scenario has no mobility block, or no "
+                     "handovers yet)\n";
+        return 0;
+      }
+      std::cout << pane;
       return 0;
     }
     const char* region =

@@ -197,6 +197,48 @@ std::string Dashboard::render_federation(const json::Value& metrics) {
     }
     out += table.render();
   }
+  const std::string mobility = render_mobility(metrics);
+  if (!mobility.empty()) out += mobility;
+  return out;
+}
+
+std::string Dashboard::render_mobility(const json::Value& metrics) {
+  const auto num = [](const json::Value* section, const char* key) -> double {
+    if (section == nullptr) return 0.0;
+    const json::Value* v = section->find(key);
+    return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+  };
+
+  const json::Value* broker = metrics.find("broker");
+  const json::Value* broker_gauges = broker != nullptr ? broker->find("gauges") : nullptr;
+  const double roam_attempts = num(broker_gauges, "federation.roam_attempts");
+  const double roam_admitted = num(broker_gauges, "federation.roam_admitted");
+  const double roam_dropped = num(broker_gauges, "federation.roam_dropped");
+
+  TextTable table({"region", "HO attempts", "HO success", "HO drops", "success %"});
+  double total_attempts = 0.0;
+  if (const json::Value* regions = metrics.find("regions");
+      regions != nullptr && regions->is_object()) {
+    for (const auto& [name, doc] : regions->as_object()) {
+      if (!doc.is_object()) continue;  // unreachable edge
+      const json::Value* counters = doc.find("counters");
+      const double attempts = num(counters, "ran.handover.attempts");
+      if (attempts <= 0.0) continue;  // region without mobile UEs
+      total_attempts += attempts;
+      const double successes = num(counters, "ran.handover.success");
+      table.add_row({name, TextTable::num(attempts, 0), TextTable::num(successes, 0),
+                     TextTable::num(num(counters, "ran.handover.drops"), 0),
+                     TextTable::num(100.0 * successes / attempts, 1)});
+    }
+  }
+  if (total_attempts <= 0.0 && roam_attempts <= 0.0) return {};  // no mobility signal
+
+  std::string out = "== Mobility ==\n" + table.render();
+  TextTable roam({"roam metric", "value"});
+  roam.add_row({"attempts", TextTable::num(roam_attempts, 0)});
+  roam.add_row({"admitted", TextTable::num(roam_admitted, 0)});
+  roam.add_row({"dropped", TextTable::num(roam_dropped, 0)});
+  out += roam.render();
   return out;
 }
 

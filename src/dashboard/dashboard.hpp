@@ -47,6 +47,13 @@ class Dashboard {
   /// broker, not from this dashboard's single-region testbed.
   [[nodiscard]] static std::string render_federation(const json::Value& metrics);
 
+  /// Mobility pane from the same merged /federation/metrics document:
+  /// per-region handover attempt/success/drop counters (the edges'
+  /// ran.handover.* instruments) plus the broker's inter-region roam
+  /// funnel. Empty string when the run carries no mobility signal, so
+  /// static-UE deployments render exactly as before.
+  [[nodiscard]] static std::string render_mobility(const json::Value& metrics);
+
   /// All panels concatenated.
   [[nodiscard]] std::string render_all() const;
 

@@ -297,6 +297,62 @@ std::size_t Broker::retry_deferred(std::int64_t now_us) {
   return placed;
 }
 
+std::size_t Broker::route_roamers(std::int64_t now_us) {
+  std::size_t admitted_total = 0;
+  const json::Value empty_body{json::Object{}};
+  for (const std::string& region : regions_) {
+    Result<json::Value> drained = bus_->call_json(
+        service_name(region), net::Method::post, "/federation/mobility/drain", empty_body);
+    if (!drained.ok()) continue;  // unreachable edge: exits stay queued there
+    const json::Value* exits = drained.value().find("exits");
+    if (exits == nullptr || !exits->is_array() || exits->as_array().empty()) continue;
+
+    // One batch per border: region i's east border faces region i+1.
+    json::Array east;
+    json::Array west;
+    for (const json::Value& exit : exits->as_array()) {
+      const json::Value* side = exit.find("side");
+      const bool goes_west = side != nullptr && side->is_number() && side->as_number() < 0.0;
+      (goes_west ? west : east).push_back(exit);
+    }
+
+    const std::size_t src = region_index_.at(region);
+    const auto deliver = [&](json::Array&& batch, std::size_t dst_index) {
+      if (batch.empty()) return;
+      const std::uint64_t count = batch.size();
+      counters_.roam_attempts += count;
+      if (dst_index >= regions_.size()) {  // walked off the end of the metro line
+        counters_.roam_dropped += count;
+        return;
+      }
+      const std::string& dst = regions_[dst_index];
+      // Signalling lease on the border leg: 0.1 Mb/s per roamer for an
+      // hour, best effort — a saturated backbone degrades the roamers'
+      // traffic, it must not strand them between regions.
+      (void)reserve_backbone(region, dst, DataRate::mbps(0.1 * static_cast<double>(count)),
+                             now_us + 3'600'000'000);
+      json::Object body;
+      body.emplace("roamers", std::move(batch));
+      Result<json::Value> outcome =
+          bus_->call_json(service_name(dst), net::Method::post,
+                          "/federation/mobility/ingress", json::Value(std::move(body)));
+      if (!outcome.ok()) {
+        counters_.roam_dropped += count;
+        return;
+      }
+      const std::uint64_t admitted =
+          static_cast<std::uint64_t>(number_or(outcome.value(), "admitted", 0.0));
+      counters_.roam_admitted += admitted;
+      counters_.roam_dropped +=
+          static_cast<std::uint64_t>(number_or(outcome.value(), "dropped", 0.0));
+      admitted_total += admitted;
+    };
+    deliver(std::move(east), src + 1);
+    deliver(std::move(west), src - 1);  // wraps to SIZE_MAX at r0 -> dropped
+  }
+  return admitted_total;
+}
+
 json::Value Broker::regions_json() {
   json::Array list;
   for (const std::string& region : regions_) {
@@ -327,6 +383,9 @@ json::Value Broker::regions_json() {
   counters.emplace("backbone_reservations",
                    static_cast<double>(counters_.backbone_reservations));
   counters.emplace("backbone_reserved_mbps_peak", counters_.backbone_reserved_mbps_peak);
+  counters.emplace("roam_attempts", static_cast<double>(counters_.roam_attempts));
+  counters.emplace("roam_admitted", static_cast<double>(counters_.roam_admitted));
+  counters.emplace("roam_dropped", static_cast<double>(counters_.roam_dropped));
   out.emplace("counters", json::Value(std::move(counters)));
   return json::Value(std::move(out));
 }
@@ -353,6 +412,12 @@ void Broker::refresh_snapshot(std::int64_t t_us) {
       .set(static_cast<double>(counters_.rejected_no_region));
   registry_.gauge("federation.deferred_total")
       .set(static_cast<double>(counters_.deferred_total));
+  registry_.gauge("federation.roam_attempts")
+      .set(static_cast<double>(counters_.roam_attempts));
+  registry_.gauge("federation.roam_admitted")
+      .set(static_cast<double>(counters_.roam_admitted));
+  registry_.gauge("federation.roam_dropped")
+      .set(static_cast<double>(counters_.roam_dropped));
   if (const json::Value* list = snapshot.find("regions"); list != nullptr && list->is_array()) {
     for (const json::Value& entry : list->as_array()) {
       const json::Value* region = entry.find("region");

@@ -57,6 +57,11 @@ struct BrokerCounters {
   std::uint64_t deferred_total = 0;   ///< entries into the deferred lane
   std::uint64_t backbone_reservations = 0;
   double backbone_reserved_mbps_peak = 0.0;
+  // Inter-region mobility (route_roamers); zero unless a mobility
+  // scenario is running.
+  std::uint64_t roam_attempts = 0;    ///< exits drained from the regions
+  std::uint64_t roam_admitted = 0;    ///< re-attached in the neighbour
+  std::uint64_t roam_dropped = 0;     ///< neighbour refused the attach
 };
 
 class Broker {
@@ -83,6 +88,14 @@ class Broker {
 
   /// Retry the deferred lane (epoch ticks); returns how many placed.
   std::size_t retry_deferred(std::int64_t now_us);
+
+  /// Inter-region handover: drain every region's roaming-exit queue
+  /// (sorted region order) and re-attach each batch in the neighbour
+  /// region the UE walked into (+1 = east, -1 = west on the metro
+  /// line). Each non-empty batch takes a best-effort signalling lease
+  /// on the backbone leg. Returns how many roamers were re-admitted.
+  /// Call once per epoch tick, after advance_all().
+  std::size_t route_roamers(std::int64_t now_us);
 
   /// Live per-region roll-up (headroom poll over the bus). Single-
   /// threaded with the run loop; the REST facade serves the snapshot

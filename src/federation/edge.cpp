@@ -103,6 +103,140 @@ EdgeNode::EdgeNode(const RegionPlan& plan, const scenario::Scenario& scenario,
   if (!segments.empty()) {
     envelope_ = std::make_shared<const traffic::PiecewiseEnvelope>(std::move(segments));
   }
+
+  if (scenario.mobility.enabled) build_mobility(scenario);
+}
+
+void EdgeNode::build_mobility(const scenario::Scenario& scenario) {
+  mobility_spec_ = scenario.mobility;
+  mobility::FieldConfig config;
+  config.cell_spacing_m = mobility_spec_.cell_spacing_m;
+  config.default_speed_mps = mobility_spec_.default_speed_mps;
+  config.ues_per_slice = mobility_spec_.ues_per_slice;
+  config.cqi_min = mobility_spec_.cqi_min;
+  config.cqi_max = mobility_spec_.cqi_max;
+  config.seed = plan_.seed;
+  config.region_index = plan_.index;
+  config.region_count = scenario.federation.regions;
+  config.region = plan_.name;
+  field_ = std::make_unique<mobility::Field>(config, &ran_, pool_.get());
+
+  for (const scenario::MobilityStorm& storm : mobility_spec_.storms) {
+    if (!storm.region.empty() && storm.region != plan_.name) continue;
+    // "c<k>" names grid cell k; empty focuses the region's first cell.
+    std::size_t cell = 0;
+    if (storm.cell.size() > 1 && storm.cell[0] == 'c') {
+      cell = static_cast<std::size_t>(std::strtoull(storm.cell.c_str() + 1, nullptr, 10));
+    }
+    field_->add_storm(storm.kind, SimTime::origin() + storm.at,
+                      SimTime::origin() + storm.at + storm.duration, storm.fraction, cell);
+  }
+
+  // Registered after orchestrator start: at shared timestamps the epoch
+  // periodic runs first (FIFO), so UEs move over the epoch's result —
+  // the same order the fig2 runner uses.
+  const Duration period = scenario.orchestrator.monitoring_period;
+  simulator_.add_periodic(period, [this](SimTime now) { step_mobility(now); }, period);
+}
+
+void EdgeNode::step_mobility(SimTime now) {
+  telemetry::trace::ComponentScope trace_component(component_);
+  std::vector<PlmnId> live;
+  std::vector<traffic::Vertical> verticals;
+  for (const core::SliceRecord* record : orchestrator_->all_slices()) {
+    if (record->state != core::SliceState::active) continue;
+    live.push_back(record->embedding.plmn);
+    verticals.push_back(record->spec.vertical);
+  }
+  const auto speed_of = [&](PlmnId plmn) -> double {
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (live[i] != plmn) continue;
+      for (const auto& [vertical, speed] : mobility_spec_.speed_classes) {
+        if (vertical == verticals[i]) return speed;
+      }
+      break;
+    }
+    return 0.0;  // take the configured default
+  };
+  field_->sync_population(live, speed_of);
+  field_->step(now);
+  (void)field_->apply(now);
+}
+
+json::Value EdgeNode::mobility_json() const {
+  Object out;
+  out.emplace("region", plan_.name);
+  if (field_ == nullptr) {
+    out.emplace("enabled", false);
+    return Value(std::move(out));
+  }
+  const ran::HandoverStats& handovers = ran_.handover_totals();
+  out.emplace("enabled", true);
+  out.emplace("population", static_cast<double>(field_->population()));
+  out.emplace("handover_attempts", static_cast<double>(handovers.attempts));
+  out.emplace("handover_successes", static_cast<double>(handovers.successes));
+  out.emplace("handover_drops", static_cast<double>(handovers.drops));
+  out.emplace("exits", static_cast<double>(field_->exits_total()));
+  out.emplace("roamers_admitted", static_cast<double>(field_->roamers_admitted()));
+  out.emplace("roamers_dropped", static_cast<double>(field_->roamers_dropped()));
+  return Value(std::move(out));
+}
+
+json::Value EdgeNode::drain_roamers_json() {
+  json::Array exits;
+  if (field_ != nullptr) {
+    std::vector<mobility::RoamingExit> drained;
+    field_->drain_exits(drained);
+    for (const mobility::RoamingExit& exit : drained) {
+      Object entry;
+      entry.emplace("plmn", static_cast<double>(exit.plmn));
+      entry.emplace("cqi", static_cast<double>(exit.cqi));
+      entry.emplace("y_mm", static_cast<double>(exit.y_mm));
+      entry.emplace("side", static_cast<double>(exit.side));
+      exits.push_back(Value(std::move(entry)));
+    }
+  }
+  Object out;
+  out.emplace("region", plan_.name);
+  out.emplace("exits", std::move(exits));
+  return Value(std::move(out));
+}
+
+Result<json::Value> EdgeNode::admit_roamers(const json::Value& body) {
+  if (field_ == nullptr) {
+    return make_error(Errc::unavailable, "region " + plan_.name + " has no mobility field");
+  }
+  const json::Value* roamers = body.find("roamers");
+  if (roamers == nullptr || !roamers->is_array()) {
+    return bad("ingress body needs a roamers array");
+  }
+  std::uint64_t admitted = 0;
+  std::uint64_t dropped = 0;
+  for (const json::Value& entry : roamers->as_array()) {
+    mobility::RoamingExit exit;
+    if (const json::Value* v = entry.find("plmn"); v != nullptr && v->is_number()) {
+      exit.plmn = static_cast<std::uint64_t>(v->as_number());
+    }
+    if (const json::Value* v = entry.find("cqi"); v != nullptr && v->is_number()) {
+      exit.cqi = static_cast<int>(v->as_number());
+    }
+    if (const json::Value* v = entry.find("y_mm"); v != nullptr && v->is_number()) {
+      exit.y_mm = static_cast<std::int64_t>(v->as_number());
+    }
+    if (const json::Value* v = entry.find("side"); v != nullptr && v->is_number()) {
+      exit.side = v->as_number() < 0.0 ? -1 : 1;
+    }
+    if (field_->admit_roamer(exit)) {
+      ++admitted;
+    } else {
+      ++dropped;
+    }
+  }
+  Object out;
+  out.emplace("region", plan_.name);
+  out.emplace("admitted", static_cast<double>(admitted));
+  out.emplace("dropped", static_cast<double>(dropped));
+  return Value(std::move(out));
 }
 
 void EdgeNode::advance_to(std::int64_t t_us) {
@@ -393,6 +527,23 @@ std::shared_ptr<net::Router> EdgeNode::make_router() {
                 Result<json::Value> body = json::parse(ctx.request->body);
                 if (!body.ok()) return net::Response::from_error(body.error());
                 Result<json::Value> outcome = submit(body.value());
+                if (!outcome.ok()) return net::Response::from_error(outcome.error());
+                return ok_json(outcome.value());
+              }));
+
+  router->add(net::Method::get, "/federation/mobility",
+              traced([this, ok_json](const net::RouteContext&) {
+                return ok_json(mobility_json());
+              }));
+  router->add(net::Method::post, "/federation/mobility/drain",
+              traced([this, ok_json](const net::RouteContext&) {
+                return ok_json(drain_roamers_json());
+              }));
+  router->add(net::Method::post, "/federation/mobility/ingress",
+              traced([this, ok_json](const net::RouteContext& ctx) {
+                Result<json::Value> body = json::parse(ctx.request->body);
+                if (!body.ok()) return net::Response::from_error(body.error());
+                Result<json::Value> outcome = admit_roamers(body.value());
                 if (!outcome.ok()) return net::Response::from_error(outcome.error());
                 return ok_json(outcome.value());
               }));

@@ -37,6 +37,7 @@
 #include "epc/epc.hpp"
 #include "federation/fabric.hpp"
 #include "json/value.hpp"
+#include "mobility/field.hpp"
 #include "net/rest_bus.hpp"
 #include "net/router.hpp"
 #include "ran/controller.hpp"
@@ -87,6 +88,21 @@ class EdgeNode {
   [[nodiscard]] json::Value headroom_json() const;
   [[nodiscard]] json::Value summary_json() const;
 
+  /// Mobility engine; null unless the scenario has an enabled mobility
+  /// block. Valid for the node's lifetime.
+  [[nodiscard]] mobility::Field* field() noexcept { return field_.get(); }
+
+  /// GET /federation/mobility: population + handover/roaming counters.
+  [[nodiscard]] json::Value mobility_json() const;
+  /// POST /federation/mobility/drain: this epoch's roaming exits, as
+  /// {"region", "exits": [{"plmn","cqi","y_mm","side"}...]}; clears the
+  /// queue. The broker calls this once per epoch tick.
+  [[nodiscard]] json::Value drain_roamers_json();
+  /// POST /federation/mobility/ingress: admit roamers arriving from a
+  /// neighbour region. Body {"roamers": [exit...]}; returns
+  /// {"region", "admitted", "dropped"}.
+  [[nodiscard]] Result<json::Value> admit_roamers(const json::Value& body);
+
   /// GET /metrics body: the region registry snapshot plus the tracer's
   /// status (per-lane ring-overwrite drop counters included), so silent
   /// span loss is visible wherever metrics are scraped.
@@ -107,6 +123,8 @@ class EdgeNode {
   [[nodiscard]] Result<void> apply_dc_fault(const std::string& target, bool up);
   [[nodiscard]] Result<void> apply_cell_fault(const std::string& target, bool up);
   void apply_restart(Duration duration);
+  void build_mobility(const scenario::Scenario& scenario);
+  void step_mobility(SimTime now);
 
   RegionPlan plan_;
   telemetry::trace::ComponentRef component_;  ///< "edge.<region>" trace identity
@@ -120,6 +138,9 @@ class EdgeNode {
   std::unique_ptr<epc::EpcManager> epc_;
   std::unique_ptr<core::Orchestrator> orchestrator_;
   std::shared_ptr<const traffic::PiecewiseEnvelope> envelope_;
+  /// Declared after ran_ so it is destroyed first (it holds &ran_).
+  std::unique_ptr<mobility::Field> field_;
+  scenario::MobilitySpec mobility_spec_;
 
   std::vector<CellId> cells_;
   DatacenterId core_dc_;

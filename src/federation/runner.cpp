@@ -98,6 +98,17 @@ json::Value FederatedScorecard::to_json() const {
   ops.emplace("epochs", static_cast<double>(epochs));
   ops.emplace("events_injected", static_cast<double>(events_injected));
 
+  json::Object mobility;
+  if (mobility_enabled) {
+    mobility.emplace("handover_attempts", static_cast<double>(handover_attempts));
+    mobility.emplace("handover_successes", static_cast<double>(handover_successes));
+    mobility.emplace("handover_drops", static_cast<double>(handover_drops));
+    mobility.emplace("roam_attempts", static_cast<double>(roam_attempts));
+    mobility.emplace("roam_admitted", static_cast<double>(roam_admitted));
+    mobility.emplace("roam_dropped", static_cast<double>(roam_dropped));
+    mobility.emplace("population_at_end", static_cast<double>(mobile_population));
+  }
+
   json::Array region_list;
   for (const RegionScore& r : regions) region_list.push_back(r.to_json());
 
@@ -118,6 +129,7 @@ json::Value FederatedScorecard::to_json() const {
   out.emplace("revenue", std::move(revenue));
   out.emplace("overbooking", std::move(overbooking));
   out.emplace("ops", std::move(ops));
+  if (mobility_enabled) out.emplace("mobility", std::move(mobility));
   out.emplace("regions", std::move(region_list));
   out.emplace("targets", std::move(targets));
   return json::Value(std::move(out));
@@ -191,6 +203,7 @@ std::vector<core::RatePoint> FederatedRunner::build_rate_schedule() const {
 }
 
 void FederatedRunner::inject_event(const scenario::ScenarioEvent& event) {
+  if (recorder_) (void)recorder_->record_event(event);
   json::Object body;
   body.emplace("kind", std::string(scenario::to_string(event.kind)));
   body.emplace("target", event.target);
@@ -203,6 +216,12 @@ void FederatedRunner::inject_event(const scenario::ScenarioEvent& event) {
 
 void FederatedRunner::submit_scenario_request(const scenario::ScenarioRequest& request,
                                               std::int64_t t_us) {
+  // Recorded post-draw: replays carry the concrete home region, so the
+  // broker's home RNG never has to re-draw (and cannot diverge).
+  if (recorder_) {
+    (void)recorder_->record_request(SimTime::from_micros(t_us), request.spec,
+                                    request.workload_seed, request.region);
+  }
   (void)broker_->submit(scenario::request_to_json(request), request.region, t_us);
 }
 
@@ -239,6 +258,12 @@ Result<FederatedScorecard> FederatedRunner::run() {
 
   if (Result<void> built = build_edges(); !built.ok()) return built.error();
   broker_ = std::make_unique<Broker>(&bus_, fabric_);
+  if (!options_.record_path.empty()) {
+    Result<std::unique_ptr<scenario::ScenarioRecorder>> recorder =
+        scenario::ScenarioRecorder::create(options_.record_path, scenario_);
+    if (!recorder.ok()) return recorder.error();
+    recorder_ = std::move(recorder.value());
+  }
   // The facade's /federation/metrics|trace bodies require bus pulls the
   // run loop must perform; only pay for them when the facade is up.
   broker_->set_facade_enabled(options_.broker_port != 0);
@@ -319,6 +344,9 @@ Result<FederatedScorecard> FederatedRunner::run() {
 
     if (t == next_tick_us) {
       (void)broker_->retry_deferred(t);
+      // advance_all(t) already ran every region's mobility periodic for
+      // this window, so the exit queues are complete when we route them.
+      if (scenario_.mobility.enabled) (void)broker_->route_roamers(t);
       sample_gain();
       broker_->refresh_snapshot(t);
       ++epochs_;
@@ -347,6 +375,12 @@ Result<FederatedScorecard> FederatedRunner::run() {
 
   FederatedScorecard card = finalize();
   evaluate_targets(card);
+
+  if (recorder_) {
+    if (Result<void> r = recorder_->finish(SimTime::from_micros(end_us)); !r.ok()) {
+      return r.error();
+    }
+  }
 
   if (facade != nullptr) {
     facade->stop();
@@ -402,6 +436,20 @@ FederatedScorecard FederatedRunner::finalize() {
     card.regions.push_back(std::move(score));
   }
 
+  if (scenario_.mobility.enabled) {
+    card.mobility_enabled = true;
+    for (const std::string& region : broker_->regions()) {
+      Result<json::Value> doc =
+          bus_.get_json(Broker::service_name(region), "/federation/mobility");
+      if (!doc.ok()) continue;
+      const json::Value& m = doc.value();
+      card.handover_attempts += u64_field(m, "handover_attempts");
+      card.handover_successes += u64_field(m, "handover_successes");
+      card.handover_drops += u64_field(m, "handover_drops");
+      card.mobile_population += u64_field(m, "population");
+    }
+  }
+
   const BrokerCounters& counters = broker_->counters();
   card.submitted = counters.submitted;
   card.placed_local = counters.placed_local;
@@ -412,6 +460,9 @@ FederatedScorecard FederatedRunner::finalize() {
   card.deferred_unplaced = broker_->deferred_pending();
   card.backbone_reservations = counters.backbone_reservations;
   card.backbone_reserved_mbps_peak = counters.backbone_reserved_mbps_peak;
+  card.roam_attempts = counters.roam_attempts;
+  card.roam_admitted = counters.roam_admitted;
+  card.roam_dropped = counters.roam_dropped;
 
   // City-level rejections are the broker's, not the sum of per-region
   // orchestrator refusals: shopping a request to a second region after

@@ -30,6 +30,7 @@
 #include "json/value.hpp"
 #include "net/http_server.hpp"
 #include "net/rest_bus.hpp"
+#include "scenario/recorder.hpp"
 #include "scenario/scenario.hpp"
 
 namespace slices::federation {
@@ -49,6 +50,9 @@ struct FederatedRunOptions {
   /// When non-zero, serve the broker's REST facade (for slicectl) on
   /// this loopback port for the duration of the run.
   std::uint16_t broker_port = 0;
+  /// When non-empty, record the run's request/event stream (regions
+  /// pinned post-draw) into this journal for later replay.
+  std::string record_path;
 };
 
 /// Per-region slice of the federated scorecard (from the region's
@@ -117,6 +121,18 @@ struct FederatedScorecard {
   std::uint64_t epochs = 0;           ///< broker epoch ticks
   std::uint64_t events_injected = 0;  ///< region faults delivered
 
+  // Mobility & handover (summed over regions + broker roam counters);
+  // serialized only when the scenario enables the subsystem, so
+  // static-UE scorecards keep their exact byte layout.
+  bool mobility_enabled = false;
+  std::uint64_t handover_attempts = 0;   ///< intra-region, RAN-side
+  std::uint64_t handover_successes = 0;
+  std::uint64_t handover_drops = 0;
+  std::uint64_t roam_attempts = 0;       ///< inter-region, broker-routed
+  std::uint64_t roam_admitted = 0;
+  std::uint64_t roam_dropped = 0;
+  std::uint64_t mobile_population = 0;   ///< live mobile UEs at the horizon
+
   std::vector<RegionScore> regions;
 
   // Target evaluation (scenario targets against the global numbers).
@@ -165,6 +181,7 @@ class FederatedRunner {
   std::vector<std::unique_ptr<net::HttpServer>> servers_;
   std::vector<std::thread> server_threads_;
   std::unique_ptr<Broker> broker_;
+  std::unique_ptr<scenario::ScenarioRecorder> recorder_;
   bool ran_ = false;
 
   // Sampled at epoch ticks (from headroom bodies — deterministic).

@@ -1,0 +1,108 @@
+#pragma once
+// Mobility model primitives shared by the Field engine and the scenario
+// DSL: the cell-grid geometry a region's UEs move over, the storm kinds
+// the `mobility` scenario block can schedule, and the model parameters.
+//
+// Everything here is deterministic and hash-driven. A UE never owns an
+// RNG object — every random choice is a counter-based SplitMix64 hash
+// of (field seed, UE key, draw counter), so a draw's value depends only
+// on *which* draw it is, never on which thread computed it or how many
+// other UEs drew before it. That is what makes the move phase safely
+// shardable across a ThreadPool with bit-identical results at any pool
+// size.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace slices::mobility {
+
+/// A scheduled mobility storm (the DSL's `mobility.storms[]` kinds).
+enum class StormKind {
+  stadium_ingress,  ///< participating UEs converge on one cell
+  stadium_egress,   ///< participating UEs disperse away from one cell
+  commuter_wave,    ///< participating UEs stream toward the neighbour region
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StormKind k) noexcept {
+  switch (k) {
+    case StormKind::stadium_ingress: return "stadium_ingress";
+    case StormKind::stadium_egress: return "stadium_egress";
+    case StormKind::commuter_wave: return "commuter_wave";
+  }
+  return "?";
+}
+
+/// SplitMix64 finalizer: the one-way mix behind every mobility draw.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from a hash word (53-bit mantissa).
+[[nodiscard]] constexpr double unit_interval(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Square-grid placement of a region's cells: cell i sits at the centre
+/// of grid square (i % side, i / side), `spacing_m` metres apart. The
+/// region rectangle is [0, width) x [0, height); a UE's serving cell is
+/// simply the nearest grid centre (clamped, so positions slightly
+/// outside the rectangle still resolve to a border cell).
+class CellGrid {
+ public:
+  CellGrid(std::size_t cells, double spacing_m)
+      : cells_(cells == 0 ? 1 : cells),
+        side_(static_cast<std::size_t>(
+            std::ceil(std::sqrt(static_cast<double>(cells == 0 ? 1 : cells))))),
+        spacing_(spacing_m) {}
+
+  [[nodiscard]] std::size_t cells() const noexcept { return cells_; }
+  [[nodiscard]] std::size_t side() const noexcept { return side_; }
+  [[nodiscard]] double spacing() const noexcept { return spacing_; }
+  [[nodiscard]] double width() const noexcept {
+    return static_cast<double>(side_) * spacing_;
+  }
+  [[nodiscard]] double height() const noexcept { return width(); }
+
+  [[nodiscard]] double cell_x(std::size_t i) const noexcept {
+    return (static_cast<double>(i % side_) + 0.5) * spacing_;
+  }
+  [[nodiscard]] double cell_y(std::size_t i) const noexcept {
+    return (static_cast<double>(i / side_) + 0.5) * spacing_;
+  }
+
+  /// Nearest cell index for a position (clamped into the grid).
+  [[nodiscard]] std::size_t nearest_cell(double x, double y) const noexcept {
+    const auto clamp_axis = [this](double v) -> std::size_t {
+      if (!(v > 0.0)) return 0;
+      const std::size_t g = static_cast<std::size_t>(v / spacing_);
+      return g >= side_ ? side_ - 1 : g;
+    };
+    const std::size_t index = clamp_axis(y) * side_ + clamp_axis(x);
+    return index >= cells_ ? cells_ - 1 : index;
+  }
+
+ private:
+  std::size_t cells_;
+  std::size_t side_;
+  double spacing_;
+};
+
+/// Model parameters of one region's Field (resolved from the scenario's
+/// `mobility` block plus the region's place in the metro).
+struct FieldConfig {
+  double cell_spacing_m = 500.0;
+  double default_speed_mps = 1.4;     ///< walking pace unless a speed class applies
+  std::size_t ues_per_slice = 50;     ///< population attached per installed PLMN
+  int cqi_min = 5;                    ///< attach-time CQI draw range
+  int cqi_max = 15;
+  std::uint64_t seed = 1;
+  std::uint32_t region_index = 0;     ///< position on the metro's west-east axis
+  std::uint32_t region_count = 1;     ///< 1 on fig2 (no region boundaries to cross)
+  std::string region;                 ///< name, for storm region filters ("" = fig2)
+};
+
+}  // namespace slices::mobility

@@ -213,6 +213,158 @@ void RanController::wander_cqis(Rng& rng, double step_probability) {
   }
 }
 
+Result<UeId> RanController::attach_ue_at(CellId cell, PlmnId plmn, Cqi cqi) {
+  if (!installed_.contains(plmn))
+    return make_error(Errc::not_found, "PLMN not on the air; UE cannot attach");
+  const std::uint32_t* index = cell_index_.find(cell);
+  if (index == nullptr) return make_error(Errc::not_found, "unknown cell");
+  if (!cell_active(cell)) return make_error(Errc::conflict, "cell is inactive");
+
+  const UeId ue = ue_ids_.next();
+  if (Result<void> r = cells_[*index].attach_ue(ue, plmn, cqi); !r.ok()) {
+    return r.error();
+  }
+  ues_.insert(ue, UeRecord{cell, plmn});
+  if (std::size_t* count = attached_by_plmn_.find(plmn)) {
+    ++*count;
+  } else {
+    attached_by_plmn_.insert(plmn, 1);
+  }
+  return ue;
+}
+
+std::optional<Cqi> RanController::ue_cqi(UeId ue) const noexcept {
+  const UeRecord* record = ues_.find(ue);
+  if (record == nullptr) return std::nullopt;
+  const std::uint32_t* index = cell_index_.find(record->cell);
+  if (index == nullptr) return std::nullopt;
+  return cells_[*index].ue_cqi(ue);
+}
+
+std::vector<PlmnId> RanController::installed_plmns() const {
+  std::vector<PlmnId> out;
+  out.reserve(installed_.size());
+  for (const auto& [plmn, unused] : installed_) out.push_back(plmn);
+  return out;
+}
+
+HandoverStats RanController::apply_handovers(std::span<const HandoverRequest> batch,
+                                             SimTime now,
+                                             std::span<std::uint8_t> outcomes) {
+  TRACE_SCOPE("ran.handover.apply");
+  HandoverStats stats;
+  if (batch.empty()) return stats;
+  assert(outcomes.empty() || outcomes.size() >= batch.size());
+  std::span<std::uint8_t> outs = outcomes;
+  if (outs.empty()) {
+    // Track per-request outcomes internally so the latency histogram
+    // only sees successes; capacity is reused across batches.
+    if (outcome_scratch_.size() < batch.size()) outcome_scratch_.resize(batch.size());
+    outs = std::span<std::uint8_t>(outcome_scratch_.data(), batch.size());
+  }
+
+  const std::size_t n_cells = cells_.size();
+  handover_arrivals_.assign(n_cells, 0);
+  handover_departures_.assign(n_cells, 0);
+
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const HandoverRequest& req = batch[k];
+    ++stats.attempts;
+    bool ok = false;
+
+    UeRecord* record = ues_.find(req.ue);
+    const std::uint32_t* dst_index =
+        record == nullptr ? nullptr : cell_index_.find(req.target);
+    if (record != nullptr && dst_index != nullptr && record->cell != req.target &&
+        cell_active(req.target)) {
+      Cell& destination = cells_[*dst_index];
+      const std::uint32_t* src_index = cell_index_.find(record->cell);
+      assert(src_index != nullptr);
+      Cell& source = cells_[*src_index];
+
+      const std::optional<Cqi> cqi = source.ue_cqi(req.ue);
+      assert(cqi.has_value());
+      // PRB migration plan, decided before the row move so the counts
+      // reflect the pre-handover population: the leaving UE takes its
+      // per-UE share of the source reservation along, clamped to what
+      // the target has free. Only live Cell reservations move — the
+      // planned RanAllocation::per_cell layout stays as installed (and
+      // this loop stays allocation-free).
+      const PlmnId plmn = record->plmn;
+      int moved = 0;
+      const std::size_t src_attached = source.attached_count(plmn);
+      if (src_attached > 0) {
+        const int src_reserved = source.reservation_of(plmn).value;
+        moved = src_reserved / static_cast<int>(src_attached);
+        const int target_free = destination.unreserved_prbs().value;
+        if (moved > target_free) moved = target_free;
+      }
+      // Attach on the target first so a failure leaves the UE in place.
+      if (destination.attach_ue(req.ue, plmn, *cqi).ok()) {
+        const Result<void> detached = source.detach_ue(req.ue);
+        assert(detached.ok());
+        (void)detached;
+        if (moved > 0) {
+          const int src_after = source.reservation_of(plmn).value - moved;
+          const int dst_after = destination.reservation_of(plmn).value + moved;
+          const Result<void> shrink = source.set_reservation(plmn, PrbCount{src_after});
+          const Result<void> grow = destination.set_reservation(plmn, PrbCount{dst_after});
+          assert(shrink.ok() && grow.ok());
+          (void)shrink;
+          (void)grow;
+        }
+        record->cell = req.target;
+        ++handover_departures_[*src_index];
+        ++handover_arrivals_[*dst_index];
+        ok = true;
+      }
+    }
+
+    if (ok) {
+      ++stats.successes;
+    } else {
+      ++stats.drops;
+    }
+    outs[k] = ok ? 1 : 0;
+  }
+
+  handover_totals_ += stats;
+
+  if (registry_ != nullptr) {
+    if (handover_handles_.attempts == nullptr) {
+      handover_handles_.attempts = &registry_->counter("ran.handover.attempts");
+      handover_handles_.successes = &registry_->counter("ran.handover.success");
+      handover_handles_.drops = &registry_->counter("ran.handover.drops");
+      handover_handles_.latency = &registry_->histogram("ran.handover.latency_us");
+    }
+    handover_handles_.attempts->increment(stats.attempts);
+    handover_handles_.successes->increment(stats.successes);
+    handover_handles_.drops->increment(stats.drops);
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      if (outs[k] == 0) continue;
+      // Modelled X2 interruption: ~50 ms baseline plus a per-UE jitter
+      // hashed from the UE id, so the histogram is deterministic yet
+      // spread like a real handover latency distribution.
+      const std::uint64_t h =
+          (batch[k].ue.value() * 0x9e3779b97f4a7c15ull) ^ (batch[k].ue.value() >> 7);
+      handover_handles_.latency->record(50'000 + h % 30'000);
+    }
+    if (cell_flow_handles_.size() < n_cells) cell_flow_handles_.resize(n_cells);
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      if (handover_arrivals_[i] == 0 && handover_departures_[i] == 0) continue;
+      CellFlowHandles& h = cell_flow_handles_[i];
+      if (!h.arrivals.valid()) {
+        const std::string prefix = "ran.cell." + std::to_string(cells_[i].id().value());
+        h.arrivals = registry_->handle(prefix + ".ho_in");
+        h.departures = registry_->handle(prefix + ".ho_out");
+      }
+      h.arrivals.observe(now, static_cast<double>(handover_arrivals_[i]));
+      h.departures.observe(now, static_cast<double>(handover_departures_[i]));
+    }
+  }
+  return stats;
+}
+
 Result<void> RanController::handover_ue(UeId ue, CellId target) {
   UeRecord* record = ues_.find(ue);
   if (record == nullptr) return make_error(Errc::not_found, "unknown UE");

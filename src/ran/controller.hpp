@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <memory>
 #include <span>
@@ -49,6 +50,27 @@ struct RanServeReport {
   DataRate demand;
   DataRate served;
   DataRate unserved;
+};
+
+/// One requested inter-cell handover (produced per epoch by the
+/// mobility Field's transition scan).
+struct HandoverRequest {
+  UeId ue;
+  CellId target;
+};
+
+/// Aggregate outcome of one apply_handovers batch.
+struct HandoverStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t drops = 0;
+
+  HandoverStats& operator+=(const HandoverStats& o) noexcept {
+    attempts += o.attempts;
+    successes += o.successes;
+    drops += o.drops;
+    return *this;
+  }
 };
 
 /// The radio-domain controller.
@@ -125,10 +147,52 @@ class RanController {
   /// on both sides.
   void set_legacy_wander_path(bool legacy) noexcept { legacy_wander_path_ = legacy; }
 
+  /// Attach a new UE under `plmn` to a specific cell (mobility placement
+  /// — the Field knows where the UE is, so least-loaded selection does
+  /// not apply). Errors: not_found (PLMN not installed / unknown cell),
+  /// conflict (cell inactive).
+  [[nodiscard]] Result<UeId> attach_ue_at(CellId cell, PlmnId plmn, Cqi cqi);
+
   /// X2-style handover: move `ue` to `target`, preserving its PLMN and
   /// reported CQI. Errors: not_found (unknown UE/cell), conflict (UE
   /// already on the target, or target inactive).
   [[nodiscard]] Result<void> handover_ue(UeId ue, CellId target);
+
+  /// Apply one epoch's batch of mobility handovers, sequentially in
+  /// batch order. Each success migrates the UE's share of its PLMN's
+  /// source-cell PRB reservation to the target cell (clamped to the
+  /// target's free PRBs) — the MOCN reservation follows the load.
+  /// Failures (unknown UE/cell, same-cell, inactive target, full
+  /// target) count as drops and leave the UE where it was. When
+  /// `outcomes` is non-empty it must be at least batch-sized and
+  /// receives 1/0 per request. Emits ran.handover.* telemetry (counters,
+  /// latency histogram, per-cell arrival/departure series) when a
+  /// registry is attached. Steady-state allocation-free: per-cell
+  /// scratch is controller-owned and reused (pinned by the zero-alloc
+  /// guard in mobility_test).
+  HandoverStats apply_handovers(std::span<const HandoverRequest> batch, SimTime now,
+                                std::span<std::uint8_t> outcomes = {});
+
+  [[nodiscard]] const HandoverStats& handover_totals() const noexcept {
+    return handover_totals_;
+  }
+
+  // --- Mobility introspection ---------------------------------------------
+
+  [[nodiscard]] bool ue_attached(UeId ue) const noexcept { return ues_.contains(ue); }
+  /// Serving cell of `ue` (invalid id when unknown).
+  [[nodiscard]] CellId ue_cell(UeId ue) const noexcept {
+    const UeRecord* record = ues_.find(ue);
+    return record == nullptr ? CellId::invalid() : record->cell;
+  }
+  /// Reported CQI of `ue` on its serving cell.
+  [[nodiscard]] std::optional<Cqi> ue_cqi(UeId ue) const noexcept;
+  /// Cell by dense index (add order); `index` < cell_count().
+  [[nodiscard]] const Cell& cell_at(std::size_t index) const noexcept {
+    return cells_[index];
+  }
+  /// Installed PLMNs in deterministic slot (install) order.
+  [[nodiscard]] std::vector<PlmnId> installed_plmns() const;
 
   /// Load-balancing pass: hand UEs over from the most- to the
   /// least-loaded active cell until attach counts differ by at most 1.
@@ -208,6 +272,18 @@ class RanController {
     telemetry::SeriesHandle served;
     telemetry::SeriesHandle unserved;
   };
+  // Handover instruments, interned on the first apply_handovers call so
+  // the steady-state batch path never touches the registry's name maps.
+  struct HandoverHandles {
+    telemetry::Counter* attempts = nullptr;
+    telemetry::Counter* successes = nullptr;
+    telemetry::Counter* drops = nullptr;
+    telemetry::Histogram* latency = nullptr;
+  };
+  struct CellFlowHandles {
+    telemetry::SeriesHandle arrivals;
+    telemetry::SeriesHandle departures;
+  };
 
   // Hot-path state is slot-indexed (common/dense_map.hpp): attach,
   // detach and the epoch demand scans are O(1) lookups / contiguous
@@ -234,6 +310,13 @@ class RanController {
   std::vector<CellHandles> cell_handles_;  // index-aligned with cells_
   DenseIdMap<PlmnId, PlmnHandles> plmn_handles_;
   std::string metrics_buffer_;  ///< reused /metrics serialization buffer
+  /// Handover telemetry + per-batch scratch (reused; see apply_handovers).
+  HandoverStats handover_totals_;
+  HandoverHandles handover_handles_;
+  std::vector<CellFlowHandles> cell_flow_handles_;   // index-aligned with cells_
+  std::vector<std::uint32_t> handover_arrivals_;     // per-cell, reused per batch
+  std::vector<std::uint32_t> handover_departures_;   // per-cell, reused per batch
+  std::vector<std::uint8_t> outcome_scratch_;        // when the caller passes none
 };
 
 }  // namespace slices::ran

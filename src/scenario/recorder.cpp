@@ -41,11 +41,13 @@ Result<void> ScenarioRecorder::append(json::Object record) {
 }
 
 Result<void> ScenarioRecorder::record_request(SimTime at, const core::SliceSpec& spec,
-                                              std::uint64_t workload_seed) {
+                                              std::uint64_t workload_seed,
+                                              const std::string& region) {
   ScenarioRequest request;
   request.at = at - SimTime::origin();
   request.spec = spec;
   request.workload_seed = workload_seed;
+  request.region = region;
   json::Object record;
   record.emplace("kind", kRequestRecord);
   record.emplace("doc", request_to_json(request));
@@ -105,11 +107,15 @@ Result<Scenario> load_recording(const std::string& path) {
     if (!have_header)
       return make_error(Errc::protocol_error,
                         path + ": not a scenario recording (no header record)");
+    // Metro journals carry region-scoped entries; parse them with the
+    // header's federation grammar.
+    const FederationSpec* fed =
+        scenario.topology == "metro" ? &scenario.federation : nullptr;
     if (kind.value() == kRequestRecord) {
       const json::Value* doc = record.find("doc");
       if (doc == nullptr)
         return make_error(Errc::protocol_error, prefix + ": missing doc");
-      Result<ScenarioRequest> request = request_from_json(*doc);
+      Result<ScenarioRequest> request = request_from_json(*doc, fed);
       if (!request.ok())
         return make_error(request.error().code, prefix + ": " + request.error().message);
       scenario.requests.push_back(std::move(request.value()));
@@ -117,7 +123,7 @@ Result<Scenario> load_recording(const std::string& path) {
       const json::Value* doc = record.find("doc");
       if (doc == nullptr)
         return make_error(Errc::protocol_error, prefix + ": missing doc");
-      Result<ScenarioEvent> event = event_from_json(*doc);
+      Result<ScenarioEvent> event = event_from_json(*doc, fed);
       if (!event.ok())
         return make_error(event.error().code, prefix + ": " + event.error().message);
       scenario.events.push_back(std::move(event.value()));

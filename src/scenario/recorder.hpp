@@ -37,9 +37,12 @@ class ScenarioRecorder {
   ScenarioRecorder(const ScenarioRecorder&) = delete;
   ScenarioRecorder& operator=(const ScenarioRecorder&) = delete;
 
-  /// Append one submitted request at its submission time.
+  /// Append one submitted request at its submission time. `region` is
+  /// the tenant's home region on metro runs ("" on fig2) — replays
+  /// carry it explicitly so the broker never re-draws a home.
   [[nodiscard]] Result<void> record_request(SimTime at, const core::SliceSpec& spec,
-                                            std::uint64_t workload_seed);
+                                            std::uint64_t workload_seed,
+                                            const std::string& region = {});
 
   /// Append one concrete injected action (flaps and auto-restores are
   /// recorded as the individual down/up actions they expand to).

@@ -61,6 +61,7 @@ Result<Scorecard> ScenarioRunner::run() {
 
   testbed_ = core::make_testbed(scenario_.seed, config);
   end_ = SimTime::origin() + scenario_.duration;
+  if (scenario_.mobility.enabled) build_mobility();
 
   std::vector<traffic::PiecewiseEnvelope::Segment> segments;
   for (const Phase& phase : scenario_.phases) {
@@ -327,7 +328,53 @@ void ScenarioRunner::stop_storms() {
   testbed_->orchestrator->note_fault("churn", false, "storm over");
 }
 
+void ScenarioRunner::build_mobility() {
+  const MobilitySpec& mob = scenario_.mobility;
+  mobility::FieldConfig config;
+  config.cell_spacing_m = mob.cell_spacing_m;
+  config.default_speed_mps = mob.default_speed_mps;
+  config.ues_per_slice = mob.ues_per_slice;
+  config.cqi_min = mob.cqi_min;
+  config.cqi_max = mob.cqi_max;
+  config.seed = scenario_.seed;
+  field_ = std::make_unique<mobility::Field>(config, &testbed_->ran, testbed_->pool.get());
+  for (const MobilityStorm& storm : scenario_.mobility.storms) {
+    // Fig. 2 has exactly the two MOCN cells: "a" is grid cell 0, "b" is 1.
+    const std::size_t cell = storm.cell == "b" ? 1 : 0;
+    field_->add_storm(storm.kind, SimTime::origin() + storm.at,
+                      SimTime::origin() + storm.at + storm.duration, storm.fraction, cell);
+  }
+}
+
+void ScenarioRunner::step_mobility(SimTime now) {
+  core::Orchestrator* orchestrator = testbed_->orchestrator.get();
+  std::vector<PlmnId> live;
+  std::vector<traffic::Vertical> verticals;
+  for (const core::SliceRecord* record : orchestrator->all_slices()) {
+    if (record->state != core::SliceState::active) continue;
+    live.push_back(record->embedding.plmn);
+    verticals.push_back(record->spec.vertical);
+  }
+  const MobilitySpec& mob = scenario_.mobility;
+  const auto speed_of = [&](PlmnId plmn) -> double {
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (live[i] != plmn) continue;
+      for (const auto& [vertical, speed] : mob.speed_classes) {
+        if (vertical == verticals[i]) return speed;
+      }
+      break;
+    }
+    return 0.0;  // take the configured default
+  };
+  field_->sync_population(live, speed_of);
+  field_->step(now);
+  (void)field_->apply(now);
+}
+
 void ScenarioRunner::sample(SimTime now) {
+  // UEs keep moving (and handing over, RAN-side) even while the
+  // orchestration loop is restarting — mobility precedes the early-out.
+  if (field_) step_mobility(now);
   core::Orchestrator* orchestrator = testbed_->orchestrator.get();
   for (const core::Event& event : orchestrator->events().since(last_event_seq_)) {
     last_event_seq_ = event.sequence;
@@ -400,6 +447,18 @@ Scorecard ScenarioRunner::finalize() {
   card.install_ms = Percentiles::of(install_hist_, 1e-3);
   card.active_slices = Percentiles::of(active_hist_);
   card.reserved_mbps = Percentiles::of(reserved_hist_);
+
+  if (field_) {
+    card.mobility_enabled = true;
+    const ran::HandoverStats& handovers = testbed_->ran.handover_totals();
+    card.handover_attempts = handovers.attempts;
+    card.handover_successes = handovers.successes;
+    card.handover_drops = handovers.drops;
+    card.mobility_exits = field_->exits_total();
+    card.roamers_admitted = field_->roamers_admitted();
+    card.roamers_dropped = field_->roamers_dropped();
+    card.mobile_ues_at_end = field_->population();
+  }
   return card;
 }
 

@@ -20,6 +20,7 @@
 #include "core/request_generator.hpp"
 #include "core/testbed.hpp"
 #include "core/ue_population.hpp"
+#include "mobility/field.hpp"
 #include "scenario/recorder.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/scorecard.hpp"
@@ -76,6 +77,8 @@ class ScenarioRunner {
   void stop_storms();
   void record_action(const ScenarioEvent& event);
 
+  void build_mobility();
+  void step_mobility(SimTime now);
   void sample(SimTime now);
   [[nodiscard]] Scorecard finalize();
   void evaluate_targets(Scorecard& card) const;
@@ -89,6 +92,8 @@ class ScenarioRunner {
   std::shared_ptr<const traffic::PiecewiseEnvelope> envelope_;
   std::unique_ptr<ScenarioRecorder> recorder_;
   std::vector<std::unique_ptr<core::UePopulation>> storm_populations_;
+  /// Moving-UE engine; null unless scenario.mobility.enabled.
+  std::unique_ptr<mobility::Field> field_;
   SimTime end_;
   bool ran_ = false;
 

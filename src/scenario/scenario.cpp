@@ -519,6 +519,170 @@ Result<ScenarioRequest> request_from_json_at(const Value& doc, const std::string
   return request;
 }
 
+mobility::StormKind kAllStormKinds[] = {mobility::StormKind::stadium_ingress,
+                                        mobility::StormKind::stadium_egress,
+                                        mobility::StormKind::commuter_wave};
+
+/// The "mobility" block. `metro` selects the storm-cell grammar
+/// ("c<k>" vs fig2's "a"/"b") and whether region filters are accepted.
+Result<void> parse_mobility(const Object& obj, const Scenario& scenario, bool metro,
+                            MobilitySpec& mobility) {
+  const std::string path = "mobility";
+  if (Result<void> r = check_keys(obj, path,
+                                  {"enabled", "cell_spacing_m", "default_speed_mps",
+                                   "ues_per_slice", "cqi_min", "cqi_max", "speed_classes",
+                                   "storms"});
+      !r.ok()) {
+    return r.error();
+  }
+
+  // The block's presence opts in; "enabled": false keeps a block
+  // authored for later without activating it.
+  const Result<bool> enabled = bool_in(obj, path, "enabled", true);
+  if (!enabled.ok()) return enabled.error();
+  mobility.enabled = enabled.value();
+
+  const Result<double> spacing = number_in(obj, path, "cell_spacing_m",
+                                           mobility.cell_spacing_m, 10.0, 1.0e4,
+                                           "in [10, 1e4] metres");
+  if (!spacing.ok()) return spacing.error();
+  mobility.cell_spacing_m = spacing.value();
+
+  const Result<double> speed = number_in(obj, path, "default_speed_mps",
+                                         mobility.default_speed_mps, 1.0e-3, 1.0e3,
+                                         "in (0, 1e3] m/s");
+  if (!speed.ok()) return speed.error();
+  mobility.default_speed_mps = speed.value();
+
+  const Result<double> ues = number_in(obj, path, "ues_per_slice",
+                                       static_cast<double>(mobility.ues_per_slice), 0.0, 1.0e5,
+                                       "an integer in [0, 1e5]");
+  if (!ues.ok()) return ues.error();
+  if (ues.value() != std::floor(ues.value()))
+    return bad("mobility.ues_per_slice: must be an integer");
+  mobility.ues_per_slice = static_cast<std::size_t>(ues.value());
+
+  const auto cqi_in = [&](std::string_view key, int fallback, int& out) -> Result<void> {
+    const Result<double> v = number_in(obj, path, key, static_cast<double>(fallback), 1.0, 15.0,
+                                       "an integer in [1, 15]");
+    if (!v.ok()) return v.error();
+    if (v.value() != std::floor(v.value()))
+      return bad(path_key(path, key) + ": must be an integer");
+    out = static_cast<int>(v.value());
+    return {};
+  };
+  if (Result<void> r = cqi_in("cqi_min", mobility.cqi_min, mobility.cqi_min); !r.ok()) return r;
+  if (Result<void> r = cqi_in("cqi_max", mobility.cqi_max, mobility.cqi_max); !r.ok()) return r;
+  if (mobility.cqi_max < mobility.cqi_min)
+    return bad("mobility.cqi_max: must be >= cqi_min");
+
+  if (const auto it = obj.find("speed_classes"); it != obj.end()) {
+    if (!it->second.is_object()) return bad("mobility.speed_classes: must be an object");
+    const Object& classes = it->second.as_object();
+    // Canonical order: all_verticals(), so serialize -> parse is stable
+    // regardless of authoring order.
+    std::size_t matched = 0;
+    for (const traffic::Vertical v : traffic::all_verticals()) {
+      const auto entry = classes.find(std::string(traffic::to_string(v)));
+      if (entry == classes.end()) continue;
+      ++matched;
+      const std::string entry_path = "mobility.speed_classes." +
+                                     std::string(traffic::to_string(v));
+      if (!entry->second.is_number() || !std::isfinite(entry->second.as_number()) ||
+          entry->second.as_number() <= 0.0 || entry->second.as_number() > 1.0e3) {
+        return bad(entry_path + ": must be in (0, 1e3] m/s");
+      }
+      mobility.speed_classes.emplace_back(v, entry->second.as_number());
+    }
+    if (matched != classes.size()) {
+      for (const auto& [key, unused] : classes) {
+        bool known = false;
+        for (const traffic::Vertical v : traffic::all_verticals()) {
+          if (traffic::to_string(v) == key) known = true;
+        }
+        if (!known)
+          return bad("mobility.speed_classes." + key + ": unknown vertical");
+      }
+    }
+  }
+
+  if (const auto it = obj.find("storms"); it != obj.end()) {
+    if (!it->second.is_array()) return bad("mobility.storms: must be an array");
+    std::size_t index = 0;
+    for (const Value& entry : it->second.as_array()) {
+      const std::string storm_path = "mobility.storms[" + std::to_string(index++) + "]";
+      if (!entry.is_object()) return bad(storm_path + ": must be an object");
+      const Object& storm_obj = entry.as_object();
+
+      MobilityStorm storm;
+      const Result<std::string> kind_name = string_in(storm_obj, storm_path, "kind", "");
+      if (!kind_name.ok()) return kind_name.error();
+      bool matched_kind = false;
+      for (const mobility::StormKind k : kAllStormKinds) {
+        if (mobility::to_string(k) == kind_name.value()) {
+          storm.kind = k;
+          matched_kind = true;
+        }
+      }
+      if (!matched_kind)
+        return bad(path_key(storm_path, "kind") + ": unknown storm kind '" +
+                   kind_name.value() + "'");
+
+      std::set<std::string_view> allowed = {"kind", "at_hours", "duration_minutes",
+                                            "fraction"};
+      const bool stadium = storm.kind != mobility::StormKind::commuter_wave;
+      if (stadium) allowed.insert("cell");
+      if (metro) allowed.insert("region");
+      if (Result<void> r = check_keys(storm_obj, storm_path, allowed); !r.ok())
+        return r.error();
+
+      const Result<double> at = require_number(storm_obj, storm_path, "at_hours", 0.0,
+                                               kMaxDurationHours, "in [0, 8784] hours");
+      if (!at.ok()) return at.error();
+      storm.at = hours_dur(at.value());
+      if (storm.at > scenario.duration)
+        return bad(storm_path + ".at_hours: past the scenario duration");
+
+      const Result<double> dur = require_number(storm_obj, storm_path, "duration_minutes",
+                                                1.0e-3, 1.0e6, "> 0 minutes");
+      if (!dur.ok()) return dur.error();
+      storm.duration = minutes_dur(dur.value());
+
+      const Result<double> fraction = number_in(storm_obj, storm_path, "fraction",
+                                                storm.fraction, 1.0e-6, 1.0, "in (0, 1]");
+      if (!fraction.ok()) return fraction.error();
+      storm.fraction = fraction.value();
+
+      if (stadium) {
+        const Result<std::string> cell = string_in(storm_obj, storm_path, "cell", "");
+        if (!cell.ok()) return cell.error();
+        if (!cell.value().empty()) {
+          if (metro) {
+            if (Result<std::size_t> k = indexed_name(storm_path, "cell", cell.value(), "c",
+                                                     scenario.federation.cells_per_region);
+                !k.ok()) {
+              return k.error();
+            }
+          } else if (cell.value() != "a" && cell.value() != "b") {
+            return bad(path_key(storm_path, "cell") +
+                       ": unknown name '" + cell.value() + "' (expected one of a, b)");
+          }
+          storm.cell = cell.value();
+        }
+      }
+
+      if (metro) {
+        const Result<std::string> region =
+            region_in(storm_obj, storm_path, scenario.federation, /*required=*/false);
+        if (!region.ok()) return region.error();
+        storm.region = region.value();
+      }
+      mobility.storms.push_back(std::move(storm));
+    }
+  }
+  return {};
+}
+
 Result<void> parse_workload(const Object& obj, core::RequestGeneratorConfig& workload) {
   const std::string path = "workload";
   if (Result<void> r = check_keys(obj, path,
@@ -686,6 +850,14 @@ Result<ScenarioRequest> request_from_json(const json::Value& doc) {
   return request_from_json_at(doc, "request", nullptr);
 }
 
+Result<ScenarioEvent> event_from_json(const json::Value& doc, const FederationSpec* fed) {
+  return event_from_json_at(doc, "event", fed);
+}
+
+Result<ScenarioRequest> request_from_json(const json::Value& doc, const FederationSpec* fed) {
+  return request_from_json_at(doc, "request", fed);
+}
+
 json::Value event_to_json(const ScenarioEvent& event) {
   Object out;
   out.emplace("kind", std::string(to_string(event.kind)));
@@ -757,7 +929,7 @@ Result<Scenario> scenario_from_json(const json::Value& doc) {
   const Object& root = doc.as_object();
   if (Result<void> r = check_keys(root, "",
                                   {"name", "description", "seed", "duration_hours", "topology",
-                                   "federation", "orchestrator", "workload",
+                                   "federation", "mobility", "orchestrator", "workload",
                                    "generate_arrivals", "phases", "events", "requests",
                                    "targets"});
       !r.ok()) {
@@ -798,6 +970,15 @@ Result<Scenario> scenario_from_json(const json::Value& doc) {
     if (!fed->is_object()) return bad("federation: must be an object");
     if (Result<void> r = parse_federation(fed->as_object(), scenario.federation); !r.ok())
       return r.error();
+  }
+
+  if (const Value* mob = root.contains("mobility") ? &root.at("mobility") : nullptr;
+      mob != nullptr) {
+    if (!mob->is_object()) return bad("mobility: must be an object");
+    if (Result<void> r = parse_mobility(mob->as_object(), scenario, metro, scenario.mobility);
+        !r.ok()) {
+      return r.error();
+    }
   }
 
   if (const Value* orch = root.contains("orchestrator") ? &root.at("orchestrator") : nullptr;
@@ -978,6 +1159,35 @@ json::Value scenario_to_json(const Scenario& scenario) {
     fed.emplace("backbone", scenario.federation.backbone);
     fed.emplace("backbone_gbps", scenario.federation.backbone_gbps);
     out.emplace("federation", std::move(fed));
+  }
+  if (scenario.mobility.enabled) {
+    // Documents without moving UEs keep their exact pre-mobility byte
+    // layout: the block is only emitted when enabled.
+    Object mob;
+    mob.emplace("enabled", true);
+    mob.emplace("cell_spacing_m", scenario.mobility.cell_spacing_m);
+    mob.emplace("default_speed_mps", scenario.mobility.default_speed_mps);
+    mob.emplace("ues_per_slice", static_cast<double>(scenario.mobility.ues_per_slice));
+    mob.emplace("cqi_min", static_cast<double>(scenario.mobility.cqi_min));
+    mob.emplace("cqi_max", static_cast<double>(scenario.mobility.cqi_max));
+    Object classes;
+    for (const auto& [vertical, mps] : scenario.mobility.speed_classes) {
+      classes.emplace(std::string(traffic::to_string(vertical)), mps);
+    }
+    mob.emplace("speed_classes", std::move(classes));
+    json::Array storms;
+    for (const MobilityStorm& storm : scenario.mobility.storms) {
+      Object entry;
+      entry.emplace("kind", std::string(mobility::to_string(storm.kind)));
+      entry.emplace("at_hours", storm.at.as_hours());
+      entry.emplace("duration_minutes", storm.duration.as_seconds() / 60.0);
+      entry.emplace("fraction", storm.fraction);
+      if (!storm.cell.empty()) entry.emplace("cell", storm.cell);
+      if (!storm.region.empty()) entry.emplace("region", storm.region);
+      storms.push_back(Value(std::move(entry)));
+    }
+    mob.emplace("storms", std::move(storms));
+    out.emplace("mobility", std::move(mob));
   }
   out.emplace("orchestrator", orchestrator_config_to_json(scenario.orchestrator));
   out.emplace("workload", std::move(workload));

@@ -26,6 +26,8 @@
 #include "core/request_generator.hpp"
 #include "core/slice.hpp"
 #include "json/value.hpp"
+#include "mobility/model.hpp"
+#include "traffic/verticals.hpp"
 
 namespace slices::scenario {
 
@@ -97,6 +99,35 @@ struct FederationSpec {
   double backbone_gbps = 40.0;          ///< capacity of each backbone leg
 };
 
+/// One scheduled mobility storm (the `mobility.storms[]` array).
+struct MobilityStorm {
+  mobility::StormKind kind = mobility::StormKind::stadium_ingress;
+  Duration at;              ///< window start, from scenario start
+  Duration duration;        ///< window length
+  double fraction = 0.25;   ///< participating share of each region's UEs
+  /// Stadium focus cell — "a"/"b" on fig2, "c<k>" on metro; empty =
+  /// first cell. Not accepted on commuter waves (they target a border).
+  std::string cell;
+  /// Metro only: region the storm hits; empty = every region.
+  std::string region;
+};
+
+/// The `mobility` block: moving-UE populations and their storms.
+/// Meaningful only when `enabled` (a document without the block keeps
+/// the static-UE behaviour and its exact byte layout).
+struct MobilitySpec {
+  bool enabled = false;
+  double cell_spacing_m = 500.0;     ///< cell-grid pitch of each region
+  double default_speed_mps = 1.4;    ///< pedestrian default
+  std::size_t ues_per_slice = 50;    ///< mobile population per admitted slice
+  int cqi_min = 5;                   ///< spawn-time CQI draw range
+  int cqi_max = 15;
+  /// Per-vertical speed overrides (m/s), canonical order of
+  /// traffic::all_verticals().
+  std::vector<std::pair<traffic::Vertical, double>> speed_classes;
+  std::vector<MobilityStorm> storms;
+};
+
 /// Pass/fail thresholds evaluated against the final scorecard. Any
 /// unset target is not checked.
 struct ScenarioTargets {
@@ -125,6 +156,9 @@ struct Scenario {
   /// Stochastic workload; `rate_schedule` stays empty here — phases are
   /// compiled into a schedule by the runner.
   core::RequestGeneratorConfig workload;
+  /// Moving-UE population; disabled unless the document has a
+  /// "mobility" block.
+  MobilitySpec mobility;
   /// False for recorded scenarios: only `requests` are submitted.
   bool generate_arrivals = true;
   std::vector<Phase> phases;
@@ -158,5 +192,14 @@ struct Scenario {
 [[nodiscard]] json::Value request_to_json(const ScenarioRequest& request);
 [[nodiscard]] Result<ScenarioEvent> event_from_json(const json::Value& doc);
 [[nodiscard]] Result<ScenarioRequest> request_from_json(const json::Value& doc);
+
+// Grammar-selecting variants: `fed` != nullptr parses with metro
+// semantics (region-scoped targets, optional request homes). The
+// recorder uses these to replay metro journals; nullptr behaves exactly
+// like the overloads above.
+[[nodiscard]] Result<ScenarioEvent> event_from_json(const json::Value& doc,
+                                                    const FederationSpec* fed);
+[[nodiscard]] Result<ScenarioRequest> request_from_json(const json::Value& doc,
+                                                        const FederationSpec* fed);
 
 }  // namespace slices::scenario

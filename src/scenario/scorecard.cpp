@@ -82,6 +82,17 @@ json::Value Scorecard::to_json() const {
   out.emplace("overbooking", std::move(overbooking));
   out.emplace("ops", std::move(ops));
   out.emplace("distributions", std::move(latency));
+  if (mobility_enabled) {
+    json::Object mobility;
+    mobility.emplace("handover_attempts", static_cast<double>(handover_attempts));
+    mobility.emplace("handover_successes", static_cast<double>(handover_successes));
+    mobility.emplace("handover_drops", static_cast<double>(handover_drops));
+    mobility.emplace("exits", static_cast<double>(mobility_exits));
+    mobility.emplace("roamers_admitted", static_cast<double>(roamers_admitted));
+    mobility.emplace("roamers_dropped", static_cast<double>(roamers_dropped));
+    mobility.emplace("population_at_end", static_cast<double>(mobile_ues_at_end));
+    out.emplace("mobility", std::move(mobility));
+  }
   out.emplace("targets", std::move(targets));
   if (epoch_wall_us) out.emplace("wall_profile", json::Object{{"epoch_us", epoch_wall_us->to_json()}});
   return json::Value(std::move(out));

@@ -73,6 +73,17 @@ struct Scorecard {
   Percentiles active_slices;   ///< per-epoch active-slice count
   Percentiles reserved_mbps;   ///< per-epoch total reservation
 
+  // Mobility & handover (only when the scenario has a mobility block;
+  // disabled runs keep the exact byte layout of the pre-mobility card).
+  bool mobility_enabled = false;
+  std::uint64_t handover_attempts = 0;
+  std::uint64_t handover_successes = 0;
+  std::uint64_t handover_drops = 0;
+  std::uint64_t mobility_exits = 0;      ///< UEs that roamed out across a region border
+  std::uint64_t roamers_admitted = 0;    ///< inbound roamers re-attached here
+  std::uint64_t roamers_dropped = 0;
+  std::uint64_t mobile_ues_at_end = 0;   ///< live mobile population at the horizon
+
   // Target evaluation (empty failures + true when no targets set).
   bool targets_met = true;
   std::vector<std::string> target_failures;

@@ -133,6 +133,69 @@ TEST_P(ParserFuzz, MutatedValidScenarioErrorsAreActionable) {
   }
 }
 
+TEST_P(ParserFuzz, MutatedMobilityScenarioNeverCrashes) {
+  Rng rng(GetParam() * 307 + 11);
+  const std::string base = R"({"name":"fuzz_mob","seed":9,"duration_hours":8,
+    "topology":"metro","federation":{"regions":2,"cells_per_region":4},
+    "workload":{"arrivals_per_hour":2.0},
+    "mobility":{"cell_spacing_m":400,"default_speed_mps":1.4,"ues_per_slice":40,
+      "cqi_min":5,"cqi_max":15,
+      "speed_classes":{"automotive":14,"cloud_gaming":0.9},
+      "storms":[
+        {"kind":"commuter_wave","at_hours":2,"duration_minutes":90,"fraction":0.5},
+        {"kind":"stadium_ingress","at_hours":4,"duration_minutes":60,"fraction":0.4,
+         "cell":"c2","region":"r1"},
+        {"kind":"stadium_egress","at_hours":5.5,"duration_minutes":45,"fraction":0.4,
+         "cell":"c2","region":"r1"}]}})";
+  ASSERT_TRUE(scenario::parse_scenario(base).ok());
+  for (int i = 0; i < 1000; ++i) {
+    std::string mutated = base;
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(base.size() - 1)));
+    mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    const Result<scenario::Scenario> r = scenario::parse_scenario(mutated);
+    // Must not crash; a rejection must say what and where went wrong.
+    if (!r.ok()) EXPECT_FALSE(r.error().message.empty());
+  }
+}
+
+TEST_P(ParserFuzz, MobilityStormSerializationRoundTrips) {
+  const std::string base = R"({"name":"fuzz_mob","seed":9,"duration_hours":8,
+    "topology":"metro","federation":{"regions":2,"cells_per_region":4},
+    "workload":{"arrivals_per_hour":2.0},
+    "mobility":{"ues_per_slice":40,
+      "speed_classes":{"automotive":14,"cloud_gaming":0.9},
+      "storms":[
+        {"kind":"commuter_wave","at_hours":2,"duration_minutes":90,"fraction":0.5},
+        {"kind":"stadium_ingress","at_hours":4,"duration_minutes":60,"fraction":0.4,
+         "cell":"c2","region":"r1"}]}})";
+  const Result<scenario::Scenario> parsed = scenario::parse_scenario(base);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  ASSERT_TRUE(parsed.value().mobility.enabled);
+  ASSERT_EQ(parsed.value().mobility.storms.size(), 2u);
+
+  // serialize_scenario is canonical: its output re-parses to a document
+  // that serializes byte-identically, with every storm event intact.
+  const std::string canonical = scenario::serialize_scenario(parsed.value());
+  const Result<scenario::Scenario> again = scenario::parse_scenario(canonical);
+  ASSERT_TRUE(again.ok()) << again.error().message;
+  EXPECT_EQ(scenario::serialize_scenario(again.value()), canonical);
+
+  const auto& a = parsed.value().mobility;
+  const auto& b = again.value().mobility;
+  ASSERT_EQ(b.storms.size(), a.storms.size());
+  for (std::size_t i = 0; i < a.storms.size(); ++i) {
+    EXPECT_EQ(b.storms[i].kind, a.storms[i].kind);
+    EXPECT_EQ(b.storms[i].at.as_micros(), a.storms[i].at.as_micros());
+    EXPECT_EQ(b.storms[i].duration.as_micros(), a.storms[i].duration.as_micros());
+    EXPECT_DOUBLE_EQ(b.storms[i].fraction, a.storms[i].fraction);
+    EXPECT_EQ(b.storms[i].cell, a.storms[i].cell);
+    EXPECT_EQ(b.storms[i].region, a.storms[i].region);
+  }
+  EXPECT_EQ(b.speed_classes, a.speed_classes);
+  EXPECT_EQ(b.ues_per_slice, a.ues_per_slice);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(1, 2, 3));
 
 }  // namespace

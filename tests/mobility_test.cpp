@@ -1,0 +1,350 @@
+// Mobility & handover subsystem: direct Field mechanics, the
+// controller's batched handover path, determinism of mobile scenarios
+// (thread-count invariance, record/replay parity, cross-region roaming
+// through the federation), and the zero-allocation contract of the
+// steady-state step+apply loop.
+//
+// Like epoch_alloc_test, this binary overrides global operator
+// new/delete to count allocations on every thread — it must stay its
+// own test executable.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "federation/runner.hpp"
+#include "mobility/field.hpp"
+#include "ran/cell.hpp"
+#include "ran/controller.hpp"
+#include "scenario/recorder.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace slices {
+namespace {
+
+/// RAII window during which global allocations are counted.
+class AllocationCounter {
+ public:
+  AllocationCounter() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationCounter() { g_counting.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t count() const {
+    return g_allocations.load(std::memory_order_relaxed);
+  }
+};
+
+/// A small RAN + Field pair: 16 cells, `plmns` installed, population
+/// spawned through one sync_population call.
+struct FieldFixture {
+  ran::RanController ran;  // no registry: telemetry growth is out of scope
+  std::vector<PlmnId> plmns;
+  std::unique_ptr<mobility::Field> field;
+
+  explicit FieldFixture(std::size_t n_plmns, std::size_t ues_per_slice,
+                        std::uint64_t seed = 7) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      ran.add_cell(ran::Cell(CellId{c + 1}, "cell-" + std::to_string(c),
+                             ran::Bandwidth::mhz20, ran::SharingPolicy::pooled));
+    }
+    for (std::size_t p = 0; p < n_plmns; ++p) {
+      const PlmnId plmn{p + 1};
+      EXPECT_TRUE(ran.install_plmn(plmn).ok());
+      plmns.push_back(plmn);
+    }
+    mobility::FieldConfig config;
+    config.seed = seed;
+    config.ues_per_slice = ues_per_slice;
+    field = std::make_unique<mobility::Field>(config, &ran);
+    field->sync_population(plmns, [](PlmnId) { return 0.0; });
+  }
+
+  ran::HandoverStats epoch(int minute) {
+    const SimTime now = SimTime::from_micros(static_cast<std::int64_t>(minute) * 60'000'000);
+    field->step(now);
+    return field->apply(now);
+  }
+};
+
+// ------------------------------------------------------- Field basics
+
+TEST(MobilityField, SpawnsOnePopulationPerLivePlmn) {
+  FieldFixture fx(3, 40);
+  EXPECT_EQ(fx.field->population(), 120u);
+  // Every spawned UE is really attached in the RAN.
+  std::size_t attached = 0;
+  for (const PlmnId plmn : fx.plmns) attached += fx.ran.attached_ues(plmn);
+  EXPECT_EQ(attached, 120u);
+  // A second sync with the same set is a no-op.
+  fx.field->sync_population(fx.plmns, [](PlmnId) { return 0.0; });
+  EXPECT_EQ(fx.field->population(), 120u);
+}
+
+TEST(MobilityField, SyncDrainsDeadPlmns) {
+  FieldFixture fx(3, 40);
+  ASSERT_EQ(fx.field->population(), 120u);
+  // PLMN 2's slice tears down: only 1 and 3 stay live.
+  const std::vector<PlmnId> live{PlmnId{1}, PlmnId{3}};
+  fx.field->sync_population(live, [](PlmnId) { return 0.0; });
+  EXPECT_EQ(fx.field->population(), 80u);
+  EXPECT_EQ(fx.ran.attached_ues(PlmnId{2}), 0u);
+}
+
+TEST(MobilityField, WalkProducesHandoversDeterministically) {
+  FieldFixture a(2, 60);
+  FieldFixture b(2, 60);
+  std::uint64_t ho_a = 0, ho_b = 0;
+  for (int minute = 1; minute <= 30; ++minute) {
+    ho_a += a.epoch(minute).successes;
+    ho_b += b.epoch(minute).successes;
+  }
+  EXPECT_GT(ho_a, 0u) << "a 30-minute walk must cross cell boundaries";
+  EXPECT_EQ(ho_a, ho_b) << "same seed, same walk, same handovers";
+  EXPECT_EQ(a.ran.handover_totals().attempts, b.ran.handover_totals().attempts);
+  // A different seed walks differently.
+  FieldFixture c(2, 60, /*seed=*/8);
+  std::uint64_t ho_c = 0;
+  for (int minute = 1; minute <= 30; ++minute) ho_c += c.epoch(minute).successes;
+  EXPECT_NE(ho_a, ho_c);
+}
+
+TEST(MobilityField, StadiumStormPullsUesTowardTheFocusCell) {
+  FieldFixture fx(2, 100);
+  fx.field->add_storm(mobility::StormKind::stadium_ingress, SimTime::from_micros(0),
+                      SimTime::from_micros(3'600'000'000), /*fraction=*/0.8,
+                      /*cell_index=*/5);
+  EXPECT_EQ(fx.field->storm_count(), 1u);
+  for (int minute = 1; minute <= 60; ++minute) (void)fx.epoch(minute);
+  // The focus cell holds far more than the uniform share (200/16 ≈ 12).
+  const ran::Cell& focus = fx.ran.cell_at(5);
+  EXPECT_GT(focus.attached_total(), 60u);
+}
+
+// ----------------------------------------------- apply_handovers path
+
+TEST(RanHandover, BatchMovesUesAndCountsOutcomes) {
+  ran::RanController ran;
+  ran.add_cell(ran::Cell(CellId{1}, "a", ran::Bandwidth::mhz20, ran::SharingPolicy::pooled));
+  ran.add_cell(ran::Cell(CellId{2}, "b", ran::Bandwidth::mhz20, ran::SharingPolicy::pooled));
+  const PlmnId plmn{1};
+  ASSERT_TRUE(ran.install_plmn(plmn).ok());
+  const Result<UeId> ue = ran.attach_ue_at(CellId{1}, plmn, ran::Cqi{10});
+  ASSERT_TRUE(ue.ok());
+
+  const std::vector<ran::HandoverRequest> batch{
+      {ue.value(), CellId{2}},   // moves
+      {ue.value(), CellId{2}},   // already there after the first -> drop
+      {UeId{999}, CellId{2}},    // unknown UE -> drop
+      {ue.value(), CellId{77}},  // unknown cell -> drop
+  };
+  std::vector<std::uint8_t> outcomes(batch.size(), 0xff);
+  const ran::HandoverStats stats =
+      ran.apply_handovers(batch, SimTime::from_micros(1), outcomes);
+  EXPECT_EQ(stats.attempts, 4u);
+  EXPECT_EQ(stats.successes, 1u);
+  EXPECT_EQ(stats.drops, 3u);
+  EXPECT_EQ(outcomes[0], 1u);
+  EXPECT_EQ(outcomes[1], 0u);
+  EXPECT_EQ(outcomes[2], 0u);
+  EXPECT_EQ(outcomes[3], 0u);
+  EXPECT_EQ(ran.ue_cell(ue.value()), CellId{2});
+  EXPECT_EQ(ran.handover_totals().attempts, 4u);
+}
+
+// ------------------------------------------------ zero-alloc contract
+
+TEST(MobilityAlloc, SteadyStateStepAndApplyAllocateNothing) {
+  FieldFixture fx(3, 400);  // 1200 UEs on 16 cells: every epoch hands over
+  // Warm-up: grow the transition batch and controller scratch to their
+  // high-water marks.
+  for (int minute = 1; minute <= 60; ++minute) (void)fx.epoch(minute);
+  AllocationCounter counter;
+  std::uint64_t handovers = 0;
+  for (int minute = 61; minute <= 80; ++minute) handovers += fx.epoch(minute).successes;
+  EXPECT_GT(handovers, 0u) << "the guard must observe real handover work";
+  EXPECT_EQ(counter.count(), 0u)
+      << "steady-state Field::step + Field::apply must not touch the heap";
+}
+
+// --------------------------------------------- fig2 scenario parity
+
+constexpr const char* kFig2Mobility = R"({
+  "name": "mobility_fig2",
+  "seed": 11,
+  "duration_hours": 6,
+  "topology": "fig2",
+  "orchestrator": {"monitoring_period_minutes": 5, "overbooking": {"enabled": true}},
+  "workload": {"arrivals_per_hour": 2.0, "min_duration_hours": 2, "max_duration_hours": 5},
+  "mobility": {
+    "cell_spacing_m": 400,
+    "ues_per_slice": 30,
+    "speed_classes": {"automotive": 14, "cloud_gaming": 0.9},
+    "storms": [
+      {"kind": "stadium_ingress", "at_hours": 1, "duration_minutes": 60,
+       "fraction": 0.6, "cell": "b"},
+      {"kind": "stadium_egress", "at_hours": 2.5, "duration_minutes": 45,
+       "fraction": 0.6, "cell": "b"}
+    ]
+  },
+  "targets": {"min_admission_rate": 0.1}
+})";
+
+scenario::Scenario parse_fig2() {
+  Result<scenario::Scenario> parsed = scenario::parse_scenario(kFig2Mobility);
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().message);
+  return parsed.ok() ? std::move(parsed.value()) : scenario::Scenario{};
+}
+
+scenario::Scorecard run_fig2(scenario::RunOptions options,
+                             scenario::Scenario scenario = parse_fig2()) {
+  scenario::ScenarioRunner runner(std::move(scenario), options);
+  Result<scenario::Scorecard> card = runner.run();
+  EXPECT_TRUE(card.ok()) << (card.ok() ? "" : card.error().message);
+  return card.ok() ? std::move(card.value()) : scenario::Scorecard{};
+}
+
+TEST(MobilityScenario, ScorecardCarriesHandoverCounters) {
+  const scenario::Scorecard card = run_fig2({});
+  EXPECT_TRUE(card.mobility_enabled);
+  EXPECT_GT(card.handover_attempts, 0u);
+  EXPECT_EQ(card.handover_attempts, card.handover_successes + card.handover_drops);
+  EXPECT_NE(card.serialize().find("\"mobility\""), std::string::npos);
+}
+
+TEST(MobilityScenario, ThreadCountDoesNotChangeTheScorecard) {
+  scenario::RunOptions one, three, four;
+  one.epoch_threads = 1;
+  three.epoch_threads = 3;
+  four.epoch_threads = 4;
+  const std::string serial = run_fig2(one).serialize();
+  EXPECT_EQ(serial, run_fig2(three).serialize());
+  EXPECT_EQ(serial, run_fig2(four).serialize());
+}
+
+TEST(MobilityScenario, RecordedRunReplaysToTheSameScorecard) {
+  const std::string path = testing::TempDir() + "/mobility_replay.journal";
+  scenario::RunOptions recording;
+  recording.record_path = path;
+  const std::string original = run_fig2(recording).serialize();
+
+  Result<scenario::Scenario> replayed = scenario::load_recording(path);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+  EXPECT_FALSE(replayed.value().generate_arrivals);
+  EXPECT_TRUE(replayed.value().mobility.enabled)
+      << "the journal must preserve the mobility block";
+
+  scenario::RunOptions threaded;
+  threaded.epoch_threads = 3;
+  EXPECT_EQ(run_fig2(threaded, std::move(replayed.value())).serialize(), original);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------- metro roaming parity
+
+constexpr const char* kMetroMobility = R"({
+  "name": "mobility_metro",
+  "seed": 17,
+  "duration_hours": 6,
+  "topology": "metro",
+  "federation": {
+    "regions": 2,
+    "cells_per_region": 4,
+    "edge_dcs_per_region": 1,
+    "hosts_per_dc": 2,
+    "backbone": "ring",
+    "backbone_gbps": 40
+  },
+  "orchestrator": {"monitoring_period_minutes": 5, "overbooking": {"enabled": true}},
+  "workload": {"arrivals_per_hour": 3.0, "min_duration_hours": 2, "max_duration_hours": 5},
+  "mobility": {
+    "cell_spacing_m": 400,
+    "ues_per_slice": 40,
+    "speed_classes": {"automotive": 14},
+    "storms": [
+      {"kind": "commuter_wave", "at_hours": 1, "duration_minutes": 120, "fraction": 0.6},
+      {"kind": "stadium_ingress", "at_hours": 3.5, "duration_minutes": 60,
+       "fraction": 0.5, "cell": "c2", "region": "r1"}
+    ]
+  },
+  "targets": {"min_admission_rate": 0.1}
+})";
+
+scenario::Scenario parse_metro() {
+  Result<scenario::Scenario> parsed = scenario::parse_scenario(kMetroMobility);
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().message);
+  return parsed.ok() ? std::move(parsed.value()) : scenario::Scenario{};
+}
+
+federation::FederatedScorecard run_metro(federation::FederatedRunOptions options,
+                                         scenario::Scenario scenario = parse_metro()) {
+  federation::FederatedRunner runner(std::move(scenario), options);
+  Result<federation::FederatedScorecard> card = runner.run();
+  EXPECT_TRUE(card.ok()) << (card.ok() ? "" : card.error().message);
+  return card.ok() ? std::move(card.value()) : federation::FederatedScorecard{};
+}
+
+TEST(MobilityFederation, CommuterWaveRoamsAcrossRegionsDeterministically) {
+  federation::FederatedRunOptions one;
+  one.epoch_threads = 1;
+  const federation::FederatedScorecard card = run_metro(one);
+  EXPECT_TRUE(card.mobility_enabled);
+  EXPECT_GT(card.handover_successes, 0u) << "intra-region handovers must happen";
+  EXPECT_GT(card.roam_attempts, 0u) << "the commuter wave must reach the border";
+  EXPECT_GT(card.roam_admitted, 0u) << "the neighbour region must re-attach roamers";
+  ASSERT_EQ(card.regions.size(), 2u);
+
+  federation::FederatedRunOptions four;
+  four.epoch_threads = 4;
+  EXPECT_EQ(run_metro(four).serialize(), card.serialize());
+}
+
+TEST(MobilityFederation, RecordedMetroRunReplaysToTheSameScorecard) {
+  const std::string path = testing::TempDir() + "/mobility_metro_replay.journal";
+  federation::FederatedRunOptions recording;
+  recording.record_path = path;
+  const std::string original = run_metro(recording).serialize();
+
+  Result<scenario::Scenario> replayed = scenario::load_recording(path);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+  EXPECT_FALSE(replayed.value().generate_arrivals);
+  EXPECT_TRUE(replayed.value().mobility.enabled);
+
+  federation::FederatedRunOptions threaded;
+  threaded.epoch_threads = 3;
+  EXPECT_EQ(run_metro(threaded, std::move(replayed.value())).serialize(), original);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace slices
